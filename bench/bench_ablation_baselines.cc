@@ -1,0 +1,111 @@
+// Baseline ablation (not a single paper figure, but the cross-method context
+// the paper's §6-§7 discussion implies): expected spread of the seed sets
+// chosen by every selection strategy in the library, evaluated on the same
+// fresh worlds.
+//
+//   std-fixed : greedy on a fixed world sample (noise-free empirical optimum)
+//   std-mc    : the paper's InfMax_std (CELF over fresh Monte-Carlo)
+//   TC        : InfMax_TC (Algorithm 3, max-cover over spheres of influence)
+//   RR        : reverse-reachable sketches (Borgs et al. / TIM)
+//   degree    : top out-degree heuristic
+//   random    : uniform random seeds
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/typical_cascade.h"
+#include "index/cascade_index.h"
+#include "infmax/baselines.h"
+#include "infmax/evaluate.h"
+#include "infmax/greedy_std.h"
+#include "infmax/infmax_tc.h"
+#include "infmax/rrset.h"
+#include "util/rng.h"
+#include "util/table_printer.h"
+
+int main() {
+  using soi::TablePrinter;
+  auto config = soi::bench::BenchConfig::FromEnv();
+  if (std::getenv("SOI_DATASETS") == nullptr) {
+    config.configs = {"Digg-S", "Twitter-G", "NetHEPT-W", "Epinions-W",
+                      "Slashdot-F"};
+  }
+  const uint32_t k = std::min(config.k, 50u);
+  soi::bench::PrintBanner("Ablation",
+                          "Expected spread by selection strategy (same "
+                          "fresh-world evaluation)",
+                          config);
+
+  TablePrinter table({"Config", "k", "std-fixed", "std-mc", "TC", "RR",
+                      "degree", "random"});
+  for (const auto& name : config.configs) {
+    const soi::Dataset dataset = soi::bench::LoadDatasetOrDie(name, config);
+    const soi::ProbGraph& g = dataset.graph;
+    const uint32_t kk = std::min<uint32_t>(k, g.num_nodes());
+
+    soi::CascadeIndexOptions index_options;
+    index_options.num_worlds = config.worlds;
+    soi::Rng rng(config.seed + 20);
+    auto index = soi::CascadeIndex::Build(g, index_options, &rng);
+    if (!index.ok()) return 1;
+
+    soi::GreedyStdOptions fixed_options;
+    fixed_options.k = kk;
+    auto fixed = soi::InfMaxStd(*index, fixed_options);
+    if (!fixed.ok()) return 1;
+
+    soi::GreedyStdMcOptions mc_options;
+    mc_options.k = kk;
+    mc_options.mc_samples = config.worlds;
+    soi::Rng mc_rng(config.seed + 21);
+    auto mc = soi::InfMaxStdMc(g, mc_options, &mc_rng);
+    if (!mc.ok()) return 1;
+
+    soi::TypicalCascadeComputer computer(&*index);
+    auto typical = computer.ComputeAll();
+    if (!typical.ok()) return 1;
+    std::vector<std::vector<soi::NodeId>> cascades;
+    for (auto& r : *typical) cascades.push_back(std::move(r.cascade));
+    soi::InfMaxTcOptions tc_options;
+    tc_options.k = kk;
+    auto tc = soi::InfMaxTC(cascades, g.num_nodes(), tc_options);
+    if (!tc.ok()) return 1;
+
+    soi::RrSetOptions rr_options;
+    rr_options.k = kk;
+    rr_options.num_rr_sets = 50 * config.worlds;
+    soi::Rng rr_rng(config.seed + 22);
+    auto rr = soi::InfMaxRr(g, rr_options, &rr_rng);
+    if (!rr.ok()) return 1;
+
+    auto degree = soi::SelectTopDegree(g, kk);
+    if (!degree.ok()) return 1;
+    soi::Rng random_rng(config.seed + 23);
+    auto random = soi::SelectRandom(g, kk, &random_rng);
+    if (!random.ok()) return 1;
+
+    auto evaluate = [&](const std::vector<soi::NodeId>& seeds) {
+      soi::Rng eval_rng(config.seed + 24);
+      auto spread =
+          soi::EvaluateSpread(g, seeds, config.eval_worlds, &eval_rng);
+      SOI_CHECK(spread.ok());
+      return *spread;
+    };
+    table.AddRow({name, TablePrinter::Fmt(uint64_t{kk}),
+                  TablePrinter::Fmt(evaluate(fixed->seeds), 1),
+                  TablePrinter::Fmt(evaluate(mc->seeds), 1),
+                  TablePrinter::Fmt(evaluate(tc->seeds), 1),
+                  TablePrinter::Fmt(evaluate(rr->seeds), 1),
+                  TablePrinter::Fmt(evaluate(*degree), 1),
+                  TablePrinter::Fmt(evaluate(*random), 1)});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nExpected shape: noise-free greedy variants (std-fixed/TC/RR) beat "
+      "degree and random; std-mc (the paper's actual baseline) degrades "
+      "where marginal gains are small relative to its Monte-Carlo noise "
+      "(most visibly on the -W settings) — the saturation mechanism behind "
+      "Figures 6-7.\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+#include "bench_common.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace soi::bench {
+
+namespace {
+
+double EnvDouble(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  return value == nullptr ? fallback : std::atof(value);
+}
+
+uint64_t EnvU64(const char* name, uint64_t fallback) {
+  const char* value = std::getenv(name);
+  return value == nullptr ? fallback
+                          : std::strtoull(value, nullptr, 10);
+}
+
+}  // namespace
+
+BenchConfig BenchConfig::FromEnv() {
+  BenchConfig config;
+  config.scale = EnvDouble("SOI_SCALE", config.scale);
+  config.worlds = static_cast<uint32_t>(EnvU64("SOI_WORLDS", config.worlds));
+  config.eval_worlds =
+      static_cast<uint32_t>(EnvU64("SOI_EVAL_WORLDS", config.eval_worlds));
+  config.k = static_cast<uint32_t>(EnvU64("SOI_K", config.k));
+  config.node_cap =
+      static_cast<uint32_t>(EnvU64("SOI_NODE_CAP", config.node_cap));
+  config.seed = EnvU64("SOI_SEED", config.seed);
+  if (const char* list = std::getenv("SOI_DATASETS")) {
+    std::istringstream iss(list);
+    std::string token;
+    while (std::getline(iss, token, ',')) {
+      if (!token.empty()) config.configs.push_back(token);
+    }
+  }
+  if (config.configs.empty()) config.configs = AllDatasetConfigs();
+  return config;
+}
+
+Dataset LoadDatasetOrDie(const std::string& config, const BenchConfig& bench) {
+  auto dataset = MakeDataset(config, bench.dataset_options());
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "failed to build dataset %s: %s\n", config.c_str(),
+                 dataset.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(dataset).value();
+}
+
+void PrintBanner(const char* artifact, const char* description,
+                 const BenchConfig& config) {
+  std::printf("=== %s ===\n%s\n", artifact, description);
+  std::printf(
+      "config: scale=%.3g worlds=%u eval_worlds=%u k=%u node_cap=%u seed=%llu"
+      " datasets=%zu\n\n",
+      config.scale, config.worlds, config.eval_worlds, config.k,
+      config.node_cap, static_cast<unsigned long long>(config.seed),
+      config.configs.size());
+}
+
+}  // namespace soi::bench

@@ -1,0 +1,54 @@
+#ifndef SOI_BENCH_BENCH_COMMON_H_
+#define SOI_BENCH_BENCH_COMMON_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gen/datasets.h"
+
+namespace soi::bench {
+
+/// Shared configuration for the experiment harnesses. Every knob can be
+/// overridden from the environment so the same binaries scale from smoke
+/// runs to paper-sized sweeps:
+///
+///   SOI_SCALE       dataset scale factor (default 0.25 of registry size)
+///   SOI_WORLDS      sampled worlds l for indexes (default 128; paper: 1000)
+///   SOI_EVAL_WORLDS fresh worlds for unbiased evaluation (default 200)
+///   SOI_K           seed-set size for influence maximization (default 100;
+///                   paper: 200)
+///   SOI_NODE_CAP    max nodes per dataset for per-node sweeps (default 0 =
+///                   all nodes)
+///   SOI_DATASETS    comma-separated config subset (default: all 12)
+///   SOI_SEED        master RNG seed (default 42)
+struct BenchConfig {
+  double scale = 0.25;
+  uint32_t worlds = 128;
+  uint32_t eval_worlds = 200;
+  uint32_t k = 100;
+  uint32_t node_cap = 0;
+  std::vector<std::string> configs;
+  uint64_t seed = 42;
+
+  static BenchConfig FromEnv();
+
+  DatasetOptions dataset_options() const {
+    DatasetOptions options;
+    options.scale = scale;
+    options.seed = seed;
+    return options;
+  }
+};
+
+/// Loads one dataset, aborting with a message on failure (benches have no
+/// meaningful recovery path).
+Dataset LoadDatasetOrDie(const std::string& config, const BenchConfig& bench);
+
+/// Prints the standard harness banner.
+void PrintBanner(const char* artifact, const char* description,
+                 const BenchConfig& config);
+
+}  // namespace soi::bench
+
+#endif  // SOI_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,50 @@
+// Reproduces Figure 3: CDF of edge influence probabilities per method of
+// obtaining them — Saito EM (left), Goyal frequentist (center), weighted
+// cascade (right). The paper omits the fixed-0.1 method (a step function).
+//
+// Output: one CDF series per dataset, "p F(p)" pairs, plus quartile summary.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "util/stats.h"
+#include "util/table_printer.h"
+
+int main() {
+  using soi::TablePrinter;
+  const auto config = soi::bench::BenchConfig::FromEnv();
+  soi::bench::PrintBanner(
+      "Figure 3", "CDF of edge probabilities (learnt and assigned)", config);
+
+  TablePrinter summary(
+      {"Config", "edges", "p25", "median", "p75", "p95", "max"});
+  for (const auto& name : config.configs) {
+    if (name.ends_with("-F")) continue;  // step function, as in the paper
+    const soi::Dataset dataset = soi::bench::LoadDatasetOrDie(name, config);
+    const soi::ProbGraph& g = dataset.graph;
+    soi::EmpiricalDistribution dist;
+    dist.Reserve(g.num_edges());
+    for (soi::EdgeId e = 0; e < g.num_edges(); ++e) {
+      dist.Add(g.EdgeProb(e));
+    }
+    if (dist.count() == 0) continue;
+    summary.AddRow({name, TablePrinter::Fmt(uint64_t{g.num_edges()}),
+                    TablePrinter::Fmt(dist.Quantile(0.25), 4),
+                    TablePrinter::Fmt(dist.Quantile(0.5), 4),
+                    TablePrinter::Fmt(dist.Quantile(0.75), 4),
+                    TablePrinter::Fmt(dist.Quantile(0.95), 4),
+                    TablePrinter::Fmt(dist.Quantile(1.0), 4)});
+
+    std::printf("# CDF series %s (p, F(p))\n", name.c_str());
+    for (const auto& [x, fx] : dist.CdfSeries(16)) {
+      std::printf("%-10s %.4f %.4f\n", name.c_str(), x, fx);
+    }
+    std::printf("\n");
+  }
+  summary.Print(std::cout);
+  std::printf(
+      "\nExpected shape (paper): Goyal (-G) probabilities stochastically "
+      "dominate Saito (-S); WC (-W) concentrates near 1/inDeg.\n");
+  return 0;
+}

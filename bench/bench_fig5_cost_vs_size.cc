@@ -1,0 +1,86 @@
+// Reproduces Figure 5: distribution of the expected cost rho(C*) of the
+// typical cascade as a function of its size |C*| (bucketed). The paper's
+// observation: disregarding very small cascades, larger typical cascades are
+// more reliable (lower cost), and large cascades with large cost are
+// practically impossible.
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/typical_cascade.h"
+#include "index/cascade_index.h"
+#include "jaccard/jaccard.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table_printer.h"
+
+int main() {
+  using soi::TablePrinter;
+  const auto config = soi::bench::BenchConfig::FromEnv();
+  soi::bench::PrintBanner(
+      "Figure 5", "Expected cost of C* vs its size (log2 size buckets)",
+      config);
+
+  for (const auto& name : config.configs) {
+    const soi::Dataset dataset = soi::bench::LoadDatasetOrDie(name, config);
+    const soi::ProbGraph& g = dataset.graph;
+
+    soi::CascadeIndexOptions index_options;
+    index_options.num_worlds = config.worlds;
+    soi::Rng rng(config.seed + 3);
+    auto index = soi::CascadeIndex::Build(g, index_options, &rng);
+    if (!index.ok()) return 1;
+    auto eval_index = soi::CascadeIndex::Build(g, index_options, &rng);
+    if (!eval_index.ok()) return 1;
+
+    soi::TypicalCascadeComputer computer(&*index);
+    soi::CascadeIndex::Workspace eval_ws;
+
+    // Bucket b holds sizes in [2^b, 2^(b+1)).
+    constexpr int kBuckets = 16;
+    soi::RunningStats per_bucket[kBuckets];
+
+    const soi::NodeId limit =
+        config.node_cap == 0
+            ? g.num_nodes()
+            : std::min<soi::NodeId>(config.node_cap, g.num_nodes());
+    for (soi::NodeId v = 0; v < limit; ++v) {
+      auto result = computer.Compute(v);
+      if (!result.ok()) return 1;
+      if (result->cascade.empty()) continue;
+      double total = 0.0;
+      for (uint32_t i = 0; i < eval_index->num_worlds(); ++i) {
+        const auto cascade = eval_index->Cascade(v, i, &eval_ws);
+        total += soi::JaccardDistance(cascade, result->cascade);
+      }
+      const double cost = total / eval_index->num_worlds();
+      const int bucket = std::min(
+          kBuckets - 1,
+          static_cast<int>(std::log2(
+              static_cast<double>(result->cascade.size()))));
+      per_bucket[bucket].Add(cost);
+    }
+
+    TablePrinter table(
+        {"size bucket", "nodes", "cost avg", "cost sd", "cost max"});
+    for (int b = 0; b < kBuckets; ++b) {
+      if (per_bucket[b].count() == 0) continue;
+      char label[32];
+      std::snprintf(label, sizeof(label), "[%d, %d)", 1 << b, 1 << (b + 1));
+      table.AddRow({label, TablePrinter::Fmt(uint64_t{per_bucket[b].count()}),
+                    TablePrinter::Fmt(per_bucket[b].mean(), 3),
+                    TablePrinter::Fmt(per_bucket[b].stddev(), 3),
+                    TablePrinter::Fmt(per_bucket[b].max(), 3)});
+    }
+    std::printf("--- %s ---\n", name.c_str());
+    table.Print(std::cout);
+    std::printf("\n");
+  }
+  std::printf(
+      "Expected shape (paper Fig 5): beyond the smallest buckets, cost "
+      "decreases as |C*| grows; no bucket combines large size with large "
+      "max cost.\n");
+  return 0;
+}

@@ -1,0 +1,215 @@
+// Component microbenchmarks and design-choice ablations (google-benchmark):
+//   - possible-world sampling, Tarjan SCC, condensation build
+//   - transitive reduction: dense-bitset vs DFS strategies (ablation)
+//   - index construction with vs without transitive reduction (ablation)
+//   - cascade query through the index vs direct BFS on a materialized world
+//     (the paper's reason for the index)
+//   - Jaccard median: threshold sweep alone vs + input candidates vs
+//     + local search (quality/time ablation)
+//   - spread-oracle marginal-gain evaluation
+
+#include <benchmark/benchmark.h>
+
+#include "cascade/world.h"
+#include "gen/generators.h"
+#include "graph/prob_assign.h"
+#include "index/cascade_index.h"
+#include "infmax/sketch_oracle.h"
+#include "infmax/spread_oracle.h"
+#include "jaccard/median.h"
+#include "scc/condensation.h"
+#include "scc/tarjan.h"
+#include "scc/transitive.h"
+#include "util/rng.h"
+
+namespace soi {
+namespace {
+
+const ProbGraph& TestGraph() {
+  static const ProbGraph* graph = [] {
+    Rng gen_rng(1);
+    auto topo = GenerateRmat(12, 30000, {}, &gen_rng);
+    SOI_CHECK(topo.ok());
+    Rng assign_rng(2);
+    auto g = AssignUniform(*topo, &assign_rng, 0.03, 0.25);
+    SOI_CHECK(g.ok());
+    return new ProbGraph(std::move(g).value());
+  }();
+  return *graph;
+}
+
+void BM_SampleWorld(benchmark::State& state) {
+  const ProbGraph& g = TestGraph();
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SampleWorld(g, &rng));
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+BENCHMARK(BM_SampleWorld);
+
+void BM_TarjanScc(benchmark::State& state) {
+  Rng rng(4);
+  const Csr world = SampleWorld(TestGraph(), &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TarjanScc(world));
+  }
+}
+BENCHMARK(BM_TarjanScc);
+
+void BM_CondensationBuild(benchmark::State& state) {
+  Rng rng(5);
+  const Csr world = SampleWorld(TestGraph(), &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Condensation::Build(world));
+  }
+}
+BENCHMARK(BM_CondensationBuild);
+
+void BM_TransitiveReduce(benchmark::State& state) {
+  const auto strategy = static_cast<ReductionStrategy>(state.range(0));
+  Rng rng(6);
+  const Csr world = SampleWorld(TestGraph(), &rng);
+  const Condensation base = Condensation::Build(world);
+  ReductionOptions options;
+  options.strategy = strategy;
+  options.dense_limit = ~uint32_t{0};  // force dense when asked
+  for (auto _ : state) {
+    Condensation cond = base;
+    benchmark::DoNotOptimize(TransitiveReduce(&cond, options));
+  }
+}
+BENCHMARK(BM_TransitiveReduce)
+    ->Arg(static_cast<int>(ReductionStrategy::kDenseBitset))
+    ->Arg(static_cast<int>(ReductionStrategy::kDfs))
+    ->ArgNames({"strategy"});
+
+void BM_IndexBuild(benchmark::State& state) {
+  const bool reduce = state.range(0) != 0;
+  CascadeIndexOptions options;
+  options.num_worlds = 16;
+  options.transitive_reduction = reduce;
+  for (auto _ : state) {
+    Rng rng(7);
+    auto index = CascadeIndex::Build(TestGraph(), options, &rng);
+    SOI_CHECK(index.ok());
+    benchmark::DoNotOptimize(index->stats().approx_bytes);
+  }
+}
+BENCHMARK(BM_IndexBuild)->Arg(0)->Arg(1)->ArgNames({"reduction"});
+
+void BM_CascadeQueryViaIndex(benchmark::State& state) {
+  CascadeIndexOptions options;
+  options.num_worlds = 32;
+  Rng rng(8);
+  const auto index = CascadeIndex::Build(TestGraph(), options, &rng);
+  SOI_CHECK(index.ok());
+  CascadeIndex::Workspace ws;
+  NodeId v = 0;
+  uint32_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index->Cascade(v, i, &ws));
+    v = (v + 911) % TestGraph().num_nodes();
+    i = (i + 1) % index->num_worlds();
+  }
+}
+BENCHMARK(BM_CascadeQueryViaIndex);
+
+void BM_CascadeQueryDirectBfs(benchmark::State& state) {
+  // The no-index alternative: re-materialize the world and BFS.
+  std::vector<Csr> worlds;
+  Rng rng(9);
+  for (int i = 0; i < 32; ++i) worlds.push_back(SampleWorld(TestGraph(), &rng));
+  NodeId v = 0;
+  uint32_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ReachableFrom(worlds[i], v));
+    v = (v + 911) % TestGraph().num_nodes();
+    i = (i + 1) % worlds.size();
+  }
+}
+BENCHMARK(BM_CascadeQueryDirectBfs);
+
+void BM_JaccardMedian(benchmark::State& state) {
+  const int mode = static_cast<int>(state.range(0));
+  CascadeIndexOptions options;
+  options.num_worlds = 128;
+  Rng rng(10);
+  const auto index = CascadeIndex::Build(TestGraph(), options, &rng);
+  SOI_CHECK(index.ok());
+  CascadeIndex::Workspace ws;
+  // A moderately influential node: pick the max out-degree one.
+  NodeId best = 0;
+  for (NodeId v = 0; v < TestGraph().num_nodes(); ++v) {
+    if (TestGraph().OutDegree(v) > TestGraph().OutDegree(best)) best = v;
+  }
+  const auto cascades = index->AllCascades(best, &ws);
+  JaccardMedianSolver solver(TestGraph().num_nodes());
+  MedianOptions median;
+  median.input_candidates = mode >= 1 ? 8 : 0;
+  median.local_search = mode >= 2;
+  for (auto _ : state) {
+    auto result = solver.Compute(cascades, median);
+    SOI_CHECK(result.ok());
+    benchmark::DoNotOptimize(result->cost);
+  }
+}
+BENCHMARK(BM_JaccardMedian)->Arg(0)->Arg(1)->Arg(2)->ArgNames({"mode"});
+
+void BM_SketchOracleBuild(benchmark::State& state) {
+  const uint32_t k = static_cast<uint32_t>(state.range(0));
+  CascadeIndexOptions options;
+  options.num_worlds = 16;
+  Rng rng(12);
+  const auto index = CascadeIndex::Build(TestGraph(), options, &rng);
+  SOI_CHECK(index.ok());
+  SketchOptions sketch;
+  sketch.k = k;
+  for (auto _ : state) {
+    Rng build_rng(13);
+    auto oracle = SketchSpreadOracle::Build(*index, sketch, &build_rng);
+    SOI_CHECK(oracle.ok());
+    benchmark::DoNotOptimize(oracle->total_sketch_entries());
+  }
+}
+BENCHMARK(BM_SketchOracleBuild)->Arg(8)->Arg(32)->ArgNames({"k"});
+
+// Ablation: sketch-based spread estimate vs exact DFS oracle.
+void BM_SketchOracleQuery(benchmark::State& state) {
+  CascadeIndexOptions options;
+  options.num_worlds = 64;
+  Rng rng(14);
+  const auto index = CascadeIndex::Build(TestGraph(), options, &rng);
+  SOI_CHECK(index.ok());
+  SketchOptions sketch;
+  sketch.k = 32;
+  Rng build_rng(15);
+  const auto oracle = SketchSpreadOracle::Build(*index, sketch, &build_rng);
+  SOI_CHECK(oracle.ok());
+  NodeId v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(oracle->EstimateSpread(v));
+    v = (v + 131) % TestGraph().num_nodes();
+  }
+}
+BENCHMARK(BM_SketchOracleQuery);
+
+void BM_SpreadOracleGain(benchmark::State& state) {
+  CascadeIndexOptions options;
+  options.num_worlds = 64;
+  Rng rng(11);
+  const auto index = CascadeIndex::Build(TestGraph(), options, &rng);
+  SOI_CHECK(index.ok());
+  SpreadOracle oracle(&*index);
+  NodeId v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(oracle.MarginalGain(v));
+    v = (v + 131) % TestGraph().num_nodes();
+  }
+}
+BENCHMARK(BM_SpreadOracleGain);
+
+}  // namespace
+}  // namespace soi
+
+BENCHMARK_MAIN();

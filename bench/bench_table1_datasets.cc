@@ -1,0 +1,37 @@
+// Reproduces Table 1: dataset characteristics (|V|, |E|, type, how the
+// influence probabilities were obtained) for all 12 experimental settings.
+// Paper values (full-size crawls) are listed in EXPERIMENTS.md; this harness
+// prints the synthetic stand-ins actually used by the other benches.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "util/table_printer.h"
+
+int main() {
+  using soi::TablePrinter;
+  const auto config = soi::bench::BenchConfig::FromEnv();
+  soi::bench::PrintBanner("Table 1", "Dataset characteristics", config);
+
+  TablePrinter table({"Config", "Network", "|V|", "|E| (arcs)", "Type",
+                      "Probabilities", "avg p", "E[out-deg]"});
+  for (const auto& name : config.configs) {
+    const soi::Dataset dataset = soi::bench::LoadDatasetOrDie(name, config);
+    const soi::ProbGraph& g = dataset.graph;
+    double prob_sum = 0.0;
+    for (soi::EdgeId e = 0; e < g.num_edges(); ++e) {
+      prob_sum += g.EdgeProb(e);
+    }
+    const double avg_p =
+        g.num_edges() == 0 ? 0.0 : prob_sum / g.num_edges();
+    table.AddRow({dataset.config, dataset.network,
+                  TablePrinter::Fmt(uint64_t{g.num_nodes()}),
+                  TablePrinter::Fmt(uint64_t{g.num_edges()}),
+                  dataset.directed ? "directed" : "undirected",
+                  dataset.prob_source, TablePrinter::Fmt(avg_p, 4),
+                  TablePrinter::Fmt(prob_sum / g.num_nodes(), 3)});
+  }
+  table.Print(std::cout);
+  return 0;
+}

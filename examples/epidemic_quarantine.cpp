@@ -1,0 +1,146 @@
+// Epidemics (paper §1): "given an ebola case, which other individuals should
+// we quarantine?" The sphere of influence of patient zero under a contagion
+// model is a principled quarantine set: the set closest (in expected Jaccard
+// distance) to the realized outbreak.
+//
+// This example compares the typical cascade against the classic k-hop ball
+// (quarantine everyone within h hops) on a contact network:
+//   - coverage: fraction of the realized outbreak inside the quarantine set
+//   - waste:    quarantined individuals who would not have been infected
+//
+//   $ ./epidemic_quarantine
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "cascade/simulate.h"
+#include "core/typical_cascade.h"
+#include "gen/generators.h"
+#include "graph/prob_assign.h"
+#include "index/cascade_index.h"
+#include "util/rng.h"
+
+namespace {
+
+template <typename T>
+T Unwrap(soi::Result<T> result, const char* what) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s: %s\n", what,
+                 result.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(result).value();
+}
+
+// Everyone within `hops` directed hops of the source (ignores probabilities
+// — the naive quarantine rule).
+std::vector<soi::NodeId> KHopBall(const soi::ProbGraph& g, soi::NodeId source,
+                                  int hops) {
+  std::vector<soi::NodeId> frontier{source}, ball{source};
+  std::vector<uint8_t> seen(g.num_nodes(), 0);
+  seen[source] = 1;
+  for (int h = 0; h < hops; ++h) {
+    std::vector<soi::NodeId> next;
+    for (soi::NodeId u : frontier) {
+      for (soi::NodeId v : g.OutNeighbors(u)) {
+        if (!seen[v]) {
+          seen[v] = 1;
+          next.push_back(v);
+          ball.push_back(v);
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  std::sort(ball.begin(), ball.end());
+  return ball;
+}
+
+struct QuarantineScore {
+  double coverage = 0.0;  // E[|Q ∩ outbreak|] / E[|outbreak|]
+  double waste = 0.0;     // E[|Q \ outbreak|] / |Q|
+  double jaccard = 0.0;   // E[d_J(Q, outbreak)]
+};
+
+QuarantineScore Score(const soi::ProbGraph& g,
+                      const std::vector<soi::NodeId>& quarantine,
+                      soi::NodeId source, int trials, soi::Rng* rng) {
+  std::vector<uint8_t> in_q(g.num_nodes(), 0);
+  for (soi::NodeId v : quarantine) in_q[v] = 1;
+  const soi::NodeId seeds[1] = {source};
+  double covered = 0.0, outbreak_total = 0.0, waste = 0.0, dj = 0.0;
+  for (int t = 0; t < trials; ++t) {
+    const auto outbreak = soi::SimulateCascade(g, seeds, rng);
+    size_t inter = 0;
+    for (soi::NodeId v : outbreak) inter += in_q[v];
+    covered += static_cast<double>(inter);
+    outbreak_total += static_cast<double>(outbreak.size());
+    waste += static_cast<double>(quarantine.size() - inter);
+    const size_t uni = quarantine.size() + outbreak.size() - inter;
+    dj += uni == 0 ? 0.0 : 1.0 - static_cast<double>(inter) / uni;
+  }
+  QuarantineScore score;
+  score.coverage = covered / outbreak_total;
+  score.waste = quarantine.empty() ? 0.0
+                                   : waste / (static_cast<double>(trials) *
+                                              quarantine.size());
+  score.jaccard = dj / trials;
+  return score;
+}
+
+}  // namespace
+
+int main() {
+  soi::Rng rng(99);
+
+  // Contact network: small-world (households + commutes), infection
+  // probability heterogeneous across contacts.
+  auto topo = Unwrap(soi::GenerateWattsStrogatz(3000, 4, 0.1, &rng),
+                     "GenerateWattsStrogatz");
+  const auto graph = Unwrap(soi::AssignExponential(topo, &rng, 0.12, 0.9),
+                            "AssignExponential");
+  std::printf("contact network: %s\n", graph.Summary().c_str());
+
+  const soi::NodeId patient_zero = 1234;
+
+  // Sphere of influence of patient zero.
+  soi::CascadeIndexOptions index_options;
+  index_options.num_worlds = 500;
+  auto index = Unwrap(soi::CascadeIndex::Build(graph, index_options, &rng),
+                      "CascadeIndex::Build");
+  soi::TypicalCascadeComputer computer(&index);
+  soi::TypicalCascadeOptions tc_options;
+  tc_options.median.local_search = true;
+  const auto sphere = Unwrap(computer.Compute(patient_zero, tc_options),
+                             "Compute");
+  std::printf("typical outbreak from patient zero: %zu individuals "
+              "(in-sample cost %.3f)\n\n",
+              sphere.cascade.size(), sphere.in_sample_cost);
+
+  // Compare quarantine policies on fresh outbreak simulations.
+  std::printf("%-28s %8s %10s %8s %10s\n", "policy", "size", "coverage",
+              "waste", "E[d_J]");
+  soi::Rng eval_rng(7);
+  const auto tc_score =
+      Score(graph, sphere.cascade, patient_zero, 2000, &eval_rng);
+  std::printf("%-28s %8zu %9.1f%% %7.1f%% %10.3f\n",
+              "sphere of influence", sphere.cascade.size(),
+              100 * tc_score.coverage, 100 * tc_score.waste,
+              tc_score.jaccard);
+
+  for (int hops = 1; hops <= 4; ++hops) {
+    const auto ball = KHopBall(graph, patient_zero, hops);
+    const auto score = Score(graph, ball, patient_zero, 2000, &eval_rng);
+    char label[32];
+    std::snprintf(label, sizeof(label), "%d-hop ball", hops);
+    std::printf("%-28s %8zu %9.1f%% %7.1f%% %10.3f\n", label, ball.size(),
+                100 * score.coverage, 100 * score.waste, score.jaccard);
+  }
+  std::printf(
+      "\nThe sphere of influence minimizes E[d_J] by construction — it "
+      "balances coverage against waste, where hop balls must trade one for "
+      "the other.\n");
+  return 0;
+}

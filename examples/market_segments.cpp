@@ -1,0 +1,107 @@
+// Market segments (paper §8, future work made concrete): "different segments
+// of market have different values for a viral marketing campaign... this is
+// directly achieved by means of a weighted max-cover using the available
+// spheres of influence. Then when the next campaign is run, and the users
+// have different values, we can again reuse the same spheres."
+//
+// This example precomputes the spheres of influence ONCE, then runs three
+// campaigns with different segment values plus a budgeted campaign with
+// per-seed costs — all without touching the index again.
+//
+//   $ ./market_segments
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "core/typical_cascade.h"
+#include "gen/generators.h"
+#include "graph/prob_assign.h"
+#include "index/cascade_index.h"
+#include "infmax/weighted_cover.h"
+#include "util/rng.h"
+
+namespace {
+
+template <typename T>
+T Unwrap(soi::Result<T> result, const char* what) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s: %s\n", what,
+                 result.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(result).value();
+}
+
+}  // namespace
+
+int main() {
+  soi::Rng rng(321);
+
+  // A social network with three demographic segments (communities):
+  // segment of node v = v % 3.
+  auto topo = Unwrap(soi::GeneratePlantedPartition(3000, 3, 0.004, 0.0008,
+                                                   &rng),
+                     "GeneratePlantedPartition");
+  const auto graph =
+      Unwrap(soi::AssignUniform(topo, &rng, 0.1, 0.4), "AssignUniform");
+  std::printf("social network: %s, 3 segments\n", graph.Summary().c_str());
+
+  // Precompute every sphere of influence once.
+  soi::CascadeIndexOptions options;
+  options.num_worlds = 200;
+  auto index = Unwrap(soi::CascadeIndex::Build(graph, options, &rng),
+                      "CascadeIndex::Build");
+  soi::TypicalCascadeComputer computer(&index);
+  auto all = Unwrap(computer.ComputeAll(), "ComputeAll");
+  std::vector<std::vector<soi::NodeId>> spheres;
+  spheres.reserve(all.size());
+  for (auto& r : all) spheres.push_back(std::move(r.cascade));
+  std::printf("precomputed %zu spheres of influence (index built once)\n\n",
+              spheres.size());
+
+  // Three campaigns valuing different segments; same spheres, new weights.
+  const soi::NodeId n = graph.num_nodes();
+  const char* campaign_names[3] = {"teens launch", "family bundle",
+                                   "retiree plan"};
+  for (int campaign = 0; campaign < 3; ++campaign) {
+    std::vector<double> values(n, 0.1);
+    for (soi::NodeId v = 0; v < n; ++v) {
+      if (v % 3 == static_cast<soi::NodeId>(campaign)) values[v] = 1.0;
+    }
+    soi::WeightedCoverOptions cover;
+    cover.k = 10;
+    const auto result = Unwrap(soi::InfMaxTcWeighted(spheres, values, cover),
+                               "InfMaxTcWeighted");
+    // How focused is the selection on the valuable segment?
+    int in_segment = 0;
+    for (soi::NodeId s : result.seeds) {
+      in_segment += (s % 3) == static_cast<soi::NodeId>(campaign);
+    }
+    std::printf("campaign '%s': covered value %.1f, %d/10 seeds in the "
+                "valued segment\n",
+                campaign_names[campaign],
+                result.steps.back().objective_after, in_segment);
+  }
+
+  // Budgeted campaign: influencer fees grow with their sphere size.
+  std::vector<double> values(n, 1.0);
+  std::vector<double> costs(n);
+  for (soi::NodeId v = 0; v < n; ++v) {
+    costs[v] = 1.0 + 0.05 * static_cast<double>(spheres[v].size());
+  }
+  soi::BudgetedCoverOptions budgeted;
+  budgeted.budget = 25.0;
+  const auto result =
+      Unwrap(soi::InfMaxTcBudgeted(spheres, values, costs, budgeted),
+             "InfMaxTcBudgeted");
+  std::printf(
+      "\nbudgeted campaign (budget 25.0, fee ~ sphere size): %zu seeds, "
+      "cost %.1f, reach %.0f users%s\n",
+      result.seeds.size(), result.total_cost, result.covered_value,
+      result.used_single_fallback ? " (single-seed fallback)" : "");
+  std::printf(
+      "\nSame spheres, four campaigns: the index amortizes exactly as the "
+      "paper's deployment story promises.\n");
+  return 0;
+}

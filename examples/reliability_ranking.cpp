@@ -1,0 +1,115 @@
+// Reliability ranking (Watts' "ordinary influencers" argument, paper §1):
+// rank users not by raw expected spread but by the *stability* of their
+// sphere of influence — the expected cost of their typical cascade. Reliable
+// influencers have low cost: their cascades look the same every time.
+//
+// Prints the top users under both rankings and shows how they disagree:
+// some high-spread users are lottery tickets (huge variance), while slightly
+// smaller but stable spheres deliver predictably.
+//
+//   $ ./reliability_ranking
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <numeric>
+#include <vector>
+
+#include "core/typical_cascade.h"
+#include "gen/generators.h"
+#include "graph/prob_assign.h"
+#include "index/cascade_index.h"
+#include "jaccard/jaccard.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace {
+
+template <typename T>
+T Unwrap(soi::Result<T> result, const char* what) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s: %s\n", what,
+                 result.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(result).value();
+}
+
+}  // namespace
+
+int main() {
+  soi::Rng rng(777);
+  auto topo = Unwrap(soi::GenerateBarabasiAlbert(4000, 3, true, &rng),
+                     "GenerateBarabasiAlbert");
+  const auto graph = Unwrap(soi::AssignWeightedCascade(topo),
+                            "AssignWeightedCascade");
+  std::printf("social network: %s (weighted-cascade probabilities)\n\n",
+              graph.Summary().c_str());
+
+  // Optimization index and an independent evaluation index.
+  soi::CascadeIndexOptions options;
+  options.num_worlds = 256;
+  auto index = Unwrap(soi::CascadeIndex::Build(graph, options, &rng),
+                      "CascadeIndex::Build");
+  auto eval_index = Unwrap(soi::CascadeIndex::Build(graph, options, &rng),
+                           "CascadeIndex::Build(eval)");
+
+  // Per-node: typical cascade, its size, spread, and hold-out cost.
+  soi::TypicalCascadeComputer computer(&index);
+  soi::CascadeIndex::Workspace eval_ws;
+  const soi::NodeId n = graph.num_nodes();
+  std::vector<double> spread(n), cost(n), sphere_size(n);
+  for (soi::NodeId v = 0; v < n; ++v) {
+    const auto result = Unwrap(computer.Compute(v), "Compute");
+    sphere_size[v] = static_cast<double>(result.cascade.size());
+    spread[v] = result.mean_sample_size;
+    double total = 0.0;
+    for (uint32_t i = 0; i < eval_index.num_worlds(); ++i) {
+      total += soi::JaccardDistance(eval_index.Cascade(v, i, &eval_ws),
+                                    result.cascade);
+    }
+    cost[v] = total / eval_index.num_worlds();
+  }
+
+  // Ranking A: by expected spread. Ranking B: by stability among nodes with
+  // a non-trivial sphere (|C*| >= 3, as tiny spheres are trivially stable).
+  std::vector<soi::NodeId> by_spread(n), by_stability;
+  std::iota(by_spread.begin(), by_spread.end(), soi::NodeId{0});
+  std::sort(by_spread.begin(), by_spread.end(),
+            [&](soi::NodeId a, soi::NodeId b) { return spread[a] > spread[b]; });
+  for (soi::NodeId v = 0; v < n; ++v) {
+    if (sphere_size[v] >= 3) by_stability.push_back(v);
+  }
+  std::sort(by_stability.begin(), by_stability.end(),
+            [&](soi::NodeId a, soi::NodeId b) { return cost[a] < cost[b]; });
+
+  auto print_top = [&](const char* title,
+                       const std::vector<soi::NodeId>& ranking) {
+    std::printf("%s\n%-8s %10s %10s %12s\n", title, "user", "E[spread]",
+                "|sphere|", "E[cost]");
+    for (int i = 0; i < 10 && i < static_cast<int>(ranking.size()); ++i) {
+      const soi::NodeId v = ranking[i];
+      std::printf("%-8u %10.1f %10.0f %12.3f\n", v, spread[v],
+                  sphere_size[v], cost[v]);
+    }
+    std::printf("\n");
+  };
+  print_top("top 10 by expected spread (classic view):", by_spread);
+  print_top("top 10 by stability (reliable influencers):", by_stability);
+
+  // How unstable are the top spreaders?
+  soi::RunningStats top_spreader_cost, stable_cost;
+  for (int i = 0; i < 50; ++i) top_spreader_cost.Add(cost[by_spread[i]]);
+  for (int i = 0; i < 50 && i < static_cast<int>(by_stability.size()); ++i) {
+    stable_cost.Add(cost[by_stability[i]]);
+  }
+  std::printf("mean E[cost] of top-50 spreaders:        %.3f\n",
+              top_spreader_cost.mean());
+  std::printf("mean E[cost] of top-50 stable spheres:   %.3f\n",
+              stable_cost.mean());
+  std::printf(
+      "\nWatts' point, quantified: raw-spread ranking surfaces unreliable "
+      "influencers; stability ranking surfaces users whose (possibly "
+      "smaller) spheres fire predictably.\n");
+  return 0;
+}

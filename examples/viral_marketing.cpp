@@ -1,0 +1,127 @@
+// Viral marketing end-to-end: the full paper pipeline on a synthetic social
+// network with probabilities *learnt from an action log*.
+//
+//   1. Generate a social graph and a hidden ground-truth IC model.
+//   2. Simulate a propagation log (who adopted which item, when).
+//   3. Learn edge probabilities from the log (Saito EM).
+//   4. Pick k seeds with InfMax_std (classic greedy) and InfMax_TC
+//      (max-cover over spheres of influence).
+//   5. Compare expected spread and stability of the two campaigns on
+//      independent samples.
+//
+//   $ ./viral_marketing [k]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/stability.h"
+#include "core/typical_cascade.h"
+#include "gen/generators.h"
+#include "graph/prob_assign.h"
+#include "index/cascade_index.h"
+#include "infmax/evaluate.h"
+#include "infmax/greedy_std.h"
+#include "infmax/infmax_tc.h"
+#include "problearn/action_log.h"
+#include "problearn/saito.h"
+#include "util/rng.h"
+
+namespace {
+
+template <typename T>
+T Unwrap(soi::Result<T> result, const char* what) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s: %s\n", what,
+                 result.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(result).value();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const uint32_t k = argc > 1 ? std::atoi(argv[1]) : 40;
+  soi::Rng rng(2024);
+
+  // 1. Social network: heavy-tailed directed graph (an R-MAT crawl stand-in).
+  std::printf("== 1. social network\n");
+  auto social = Unwrap(soi::GenerateRmat(11, 12000, {}, &rng), "GenerateRmat");
+  std::printf("   %s\n", social.Summary().c_str());
+
+  // 2. Hidden ground truth + simulated adoption log.
+  std::printf("== 2. simulate action log from hidden ground truth\n");
+  const auto ground_truth =
+      Unwrap(soi::AssignExponential(social, &rng, 0.08, 1.0),
+             "AssignExponential");
+  soi::LogSimulationOptions log_options;
+  log_options.num_items = 3000;
+  log_options.seeds_per_item = 2;
+  const auto log = Unwrap(soi::SimulateActionLog(ground_truth, log_options,
+                                                 &rng),
+                          "SimulateActionLog");
+  std::printf("   %zu actions across %u items\n", log.num_actions(),
+              log.num_items());
+
+  // 3. Learn probabilities with Saito et al.'s EM.
+  std::printf("== 3. learn influence probabilities (Saito EM)\n");
+  auto learnt = Unwrap(soi::LearnSaito(social, log), "LearnSaito");
+  std::printf("   learnt %u arcs in %u EM iterations (delta %.2g)\n",
+              learnt.graph.num_edges(), learnt.iterations,
+              learnt.final_delta);
+  const soi::ProbGraph& graph = learnt.graph;
+
+  // 4. Seed selection with both methods on the same sampled worlds.
+  std::printf("== 4. select %u seeds\n", k);
+  soi::CascadeIndexOptions index_options;
+  index_options.num_worlds = 200;
+  auto index = Unwrap(soi::CascadeIndex::Build(graph, index_options, &rng),
+                      "CascadeIndex::Build");
+
+  soi::GreedyStdOptions std_options;
+  std_options.k = k;
+  const auto std_result = Unwrap(soi::InfMaxStd(index, std_options),
+                                 "InfMaxStd");
+
+  soi::TypicalCascadeComputer computer(&index);
+  auto typical = Unwrap(computer.ComputeAll(), "ComputeAll");
+  std::vector<std::vector<soi::NodeId>> spheres;
+  spheres.reserve(typical.size());
+  for (auto& r : typical) spheres.push_back(std::move(r.cascade));
+  soi::InfMaxTcOptions tc_options;
+  tc_options.k = k;
+  const auto tc_result =
+      Unwrap(soi::InfMaxTC(spheres, graph.num_nodes(), tc_options),
+             "InfMaxTC");
+
+  // 5. Head-to-head evaluation on fresh worlds.
+  std::printf("== 5. evaluate campaigns on independent samples\n");
+  soi::Rng eval_rng(7);
+  const auto sigma_std = Unwrap(
+      soi::EvaluateSpread(graph, std_result.seeds, 400, &eval_rng),
+      "EvaluateSpread(std)");
+  const auto sigma_tc = Unwrap(
+      soi::EvaluateSpread(graph, tc_result.seeds, 400, &eval_rng),
+      "EvaluateSpread(TC)");
+
+  soi::StabilityOptions stab_options;
+  const auto stab_std = Unwrap(
+      soi::ComputeSeedSetStability(graph, std_result.seeds, stab_options,
+                                   &eval_rng),
+      "stability(std)");
+  const auto stab_tc = Unwrap(
+      soi::ComputeSeedSetStability(graph, tc_result.seeds, stab_options,
+                                   &eval_rng),
+      "stability(TC)");
+
+  std::printf("\n   %-22s %12s %12s\n", "", "InfMax_std", "InfMax_TC");
+  std::printf("   %-22s %12.1f %12.1f\n", "expected spread", sigma_std,
+              sigma_tc);
+  std::printf("   %-22s %12.4f %12.4f\n", "expected cost (inst.)",
+              stab_std.expected_cost, stab_tc.expected_cost);
+  std::printf("   %-22s %12zu %12zu\n", "typical cascade size",
+              stab_std.typical_cascade.size(), stab_tc.typical_cascade.size());
+  std::printf(
+      "\n   Lower expected cost = more predictable campaign (paper §5).\n");
+  return 0;
+}

@@ -1,0 +1,177 @@
+#include "cascade/exact.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "cascade/world.h"
+#include "jaccard/jaccard.h"
+#include "util/bitvector.h"
+
+namespace soi {
+
+namespace {
+
+Status CheckSize(const ProbGraph& graph) {
+  if (graph.num_edges() > kMaxExactEdges) {
+    return Status::InvalidArgument(
+        "exact enumeration limited to " + std::to_string(kMaxExactEdges) +
+        " edges, got " + std::to_string(graph.num_edges()));
+  }
+  return Status::OK();
+}
+
+Status CheckSeeds(const ProbGraph& graph, std::span<const NodeId> seeds) {
+  if (seeds.empty()) return Status::InvalidArgument("empty seed set");
+  for (NodeId s : seeds) {
+    if (s >= graph.num_nodes()) {
+      return Status::OutOfRange("seed out of range");
+    }
+  }
+  return Status::OK();
+}
+
+// Enumerates all worlds; calls fn(reachable_sorted, world_probability).
+template <typename Fn>
+void EnumerateWorlds(const ProbGraph& graph, std::span<const NodeId> seeds,
+                     Fn&& fn) {
+  const EdgeId m = graph.num_edges();
+  BitVector mask(m);
+  for (uint64_t bits = 0; bits < (uint64_t{1} << m); ++bits) {
+    double prob = 1.0;
+    mask.Reset();
+    for (EdgeId e = 0; e < m; ++e) {
+      if ((bits >> e) & 1) {
+        prob *= graph.EdgeProb(e);
+        mask.Set(e);
+      } else {
+        prob *= 1.0 - graph.EdgeProb(e);
+      }
+    }
+    if (prob == 0.0) continue;
+    const Csr world = WorldFromMask(graph, mask);
+    fn(ReachableFromSet(world, seeds), prob);
+  }
+}
+
+}  // namespace
+
+Result<std::vector<std::pair<std::vector<NodeId>, double>>>
+ExactCascadeDistribution(const ProbGraph& graph,
+                         std::span<const NodeId> seeds) {
+  SOI_RETURN_IF_ERROR(CheckSize(graph));
+  SOI_RETURN_IF_ERROR(CheckSeeds(graph, seeds));
+  std::map<std::vector<NodeId>, double> dist;
+  EnumerateWorlds(graph, seeds,
+                  [&](std::vector<NodeId> cascade, double prob) {
+                    dist[std::move(cascade)] += prob;
+                  });
+  std::vector<std::pair<std::vector<NodeId>, double>> out(dist.begin(),
+                                                          dist.end());
+  std::stable_sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.second > b.second;
+  });
+  return out;
+}
+
+Result<double> ExactExpectedCost(const ProbGraph& graph,
+                                 std::span<const NodeId> seeds,
+                                 std::span<const NodeId> candidate) {
+  SOI_RETURN_IF_ERROR(CheckSize(graph));
+  SOI_RETURN_IF_ERROR(CheckSeeds(graph, seeds));
+  std::vector<NodeId> cand(candidate.begin(), candidate.end());
+  std::sort(cand.begin(), cand.end());
+  double cost = 0.0;
+  EnumerateWorlds(graph, seeds, [&](const std::vector<NodeId>& cascade,
+                                    double prob) {
+    cost += prob * JaccardDistance(cascade, cand);
+  });
+  return cost;
+}
+
+Result<double> ExactReliability(const ProbGraph& graph, NodeId s, NodeId t) {
+  SOI_RETURN_IF_ERROR(CheckSize(graph));
+  const NodeId seeds[1] = {s};
+  SOI_RETURN_IF_ERROR(CheckSeeds(graph, seeds));
+  if (t >= graph.num_nodes()) return Status::OutOfRange("t out of range");
+  double reliability = 0.0;
+  EnumerateWorlds(graph, seeds,
+                  [&](const std::vector<NodeId>& cascade, double prob) {
+                    if (std::binary_search(cascade.begin(), cascade.end(), t)) {
+                      reliability += prob;
+                    }
+                  });
+  return reliability;
+}
+
+Result<double> ExactExpectedSpread(const ProbGraph& graph,
+                                   std::span<const NodeId> seeds) {
+  SOI_RETURN_IF_ERROR(CheckSize(graph));
+  SOI_RETURN_IF_ERROR(CheckSeeds(graph, seeds));
+  double spread = 0.0;
+  EnumerateWorlds(graph, seeds,
+                  [&](const std::vector<NodeId>& cascade, double prob) {
+                    spread += prob * static_cast<double>(cascade.size());
+                  });
+  return spread;
+}
+
+Result<std::pair<std::vector<NodeId>, double>> ExactTypicalCascade(
+    const ProbGraph& graph, std::span<const NodeId> seeds) {
+  SOI_ASSIGN_OR_RETURN(const auto dist, ExactCascadeDistribution(graph, seeds));
+
+  // Universe = union of all possible cascades; the optimal median never
+  // includes a node outside it (such a node increases the symmetric
+  // difference with every cascade).
+  std::vector<NodeId> universe;
+  for (const auto& [cascade, prob] : dist) {
+    universe.insert(universe.end(), cascade.begin(), cascade.end());
+  }
+  std::sort(universe.begin(), universe.end());
+  universe.erase(std::unique(universe.begin(), universe.end()),
+                 universe.end());
+  if (universe.size() > 20) {
+    return Status::InvalidArgument("cascade union too large for exact median");
+  }
+  const size_t u = universe.size();
+
+  // Each cascade as a bitmask over universe positions.
+  std::vector<std::pair<uint32_t, double>> masks;
+  masks.reserve(dist.size());
+  for (const auto& [cascade, prob] : dist) {
+    uint32_t mask = 0;
+    for (NodeId v : cascade) {
+      const size_t pos = static_cast<size_t>(
+          std::lower_bound(universe.begin(), universe.end(), v) -
+          universe.begin());
+      mask |= uint32_t{1} << pos;
+    }
+    masks.emplace_back(mask, prob);
+  }
+
+  double best_cost = 2.0;
+  uint32_t best_mask = 0;
+  for (uint32_t candidate = 0; candidate < (uint32_t{1} << u); ++candidate) {
+    double cost = 0.0;
+    const int cand_size = __builtin_popcount(candidate);
+    for (const auto& [mask, prob] : masks) {
+      const int inter = __builtin_popcount(candidate & mask);
+      const int uni = cand_size + __builtin_popcount(mask) - inter;
+      const double d =
+          uni == 0 ? 0.0 : 1.0 - static_cast<double>(inter) / uni;
+      cost += prob * d;
+    }
+    if (cost < best_cost - 1e-15) {
+      best_cost = cost;
+      best_mask = candidate;
+    }
+  }
+
+  std::vector<NodeId> best_set;
+  for (size_t pos = 0; pos < u; ++pos) {
+    if ((best_mask >> pos) & 1) best_set.push_back(universe[pos]);
+  }
+  return std::make_pair(std::move(best_set), best_cost);
+}
+
+}  // namespace soi

@@ -1,0 +1,48 @@
+#ifndef SOI_CASCADE_EXACT_H_
+#define SOI_CASCADE_EXACT_H_
+
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "graph/prob_graph.h"
+#include "util/status.h"
+
+namespace soi {
+
+/// Exact possible-world computations by enumerating all 2^m worlds.
+/// Exponential by design (the quantities are #P-hard, Theorem 1); these are
+/// ground-truth oracles for tests and for the Theorem 1 / Theorem 2
+/// verification experiments. All functions reject graphs with more than
+/// `kMaxExactEdges` edges.
+
+inline constexpr EdgeId kMaxExactEdges = 20;
+
+/// The exact distribution of the cascade from `seeds`: pairs of
+/// (sorted node set, probability), aggregated over worlds and sorted by
+/// descending probability. Probabilities sum to 1.
+Result<std::vector<std::pair<std::vector<NodeId>, double>>>
+ExactCascadeDistribution(const ProbGraph& graph, std::span<const NodeId> seeds);
+
+/// Exact expected cost rho_{G,seeds}(C) = E[d_J(R_seeds(G), C)] (paper §2.2).
+Result<double> ExactExpectedCost(const ProbGraph& graph,
+                                 std::span<const NodeId> seeds,
+                                 std::span<const NodeId> candidate);
+
+/// Exact s-t reliability: probability that t is reachable from s.
+Result<double> ExactReliability(const ProbGraph& graph, NodeId s, NodeId t);
+
+/// Exact expected spread sigma(seeds).
+Result<double> ExactExpectedSpread(const ProbGraph& graph,
+                                   std::span<const NodeId> seeds);
+
+/// The exact optimal typical cascade (Problem 1): the subset of V minimizing
+/// the expected Jaccard distance, found by enumerating all subsets of the
+/// union of possible cascades. Returns (optimal set, optimal cost).
+/// Rejects instances whose cascade-union exceeds 20 nodes.
+Result<std::pair<std::vector<NodeId>, double>> ExactTypicalCascade(
+    const ProbGraph& graph, std::span<const NodeId> seeds);
+
+}  // namespace soi
+
+#endif  // SOI_CASCADE_EXACT_H_

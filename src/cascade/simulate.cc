@@ -1,0 +1,55 @@
+#include "cascade/simulate.h"
+
+#include <algorithm>
+
+#include "util/bitvector.h"
+
+namespace soi {
+
+std::vector<Activation> SimulateCascadeWithTimes(const ProbGraph& graph,
+                                                 std::span<const NodeId> seeds,
+                                                 Rng* rng) {
+  std::vector<Activation> events;
+  BitVector active(graph.num_nodes());
+  for (NodeId s : seeds) {
+    SOI_CHECK(s < graph.num_nodes());
+    if (active.TestAndSet(s)) events.push_back({s, 0});
+  }
+  // BFS frontier by read cursor; steps are nondecreasing in `events`.
+  for (size_t read = 0; read < events.size(); ++read) {
+    const Activation cur = events[read];
+    const auto nbrs = graph.OutNeighbors(cur.node);
+    const auto probs = graph.OutProbs(cur.node);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      const NodeId v = nbrs[i];
+      if (active.Test(v)) continue;
+      if (!rng->NextBernoulli(probs[i])) continue;
+      active.Set(v);
+      events.push_back({v, cur.step + 1});
+    }
+  }
+  return events;
+}
+
+std::vector<NodeId> SimulateCascade(const ProbGraph& graph,
+                                    std::span<const NodeId> seeds, Rng* rng) {
+  const std::vector<Activation> events =
+      SimulateCascadeWithTimes(graph, seeds, rng);
+  std::vector<NodeId> out;
+  out.reserve(events.size());
+  for (const Activation& a : events) out.push_back(a.node);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+double EstimateSpread(const ProbGraph& graph, std::span<const NodeId> seeds,
+                      uint32_t num_samples, Rng* rng) {
+  SOI_CHECK(num_samples > 0);
+  uint64_t total = 0;
+  for (uint32_t i = 0; i < num_samples; ++i) {
+    total += SimulateCascadeWithTimes(graph, seeds, rng).size();
+  }
+  return static_cast<double>(total) / num_samples;
+}
+
+}  // namespace soi

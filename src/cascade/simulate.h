@@ -1,0 +1,46 @@
+#ifndef SOI_CASCADE_SIMULATE_H_
+#define SOI_CASCADE_SIMULATE_H_
+
+#include <span>
+#include <vector>
+
+#include "graph/prob_graph.h"
+#include "util/rng.h"
+
+namespace soi {
+
+/// Direct Independent Cascade simulation (paper §1): seeds activate at time
+/// 0; a node activated at time t gets one chance to activate each inactive
+/// out-neighbor, succeeding independently with the edge probability.
+///
+/// The returned activation set has the same distribution as
+/// ReachableFromSet(SampleWorld(g), seeds); both are provided because the
+/// direct simulation only flips coins on edges leaving activated nodes
+/// (cheaper for small cascades) and records activation *times*, which the
+/// action-log simulator needs.
+
+/// One activation event: node v became active at discrete `step`
+/// (0 for seeds).
+struct Activation {
+  NodeId node;
+  uint32_t step;
+};
+
+/// Runs one IC cascade; returns the activated nodes sorted ascending.
+std::vector<NodeId> SimulateCascade(const ProbGraph& graph,
+                                    std::span<const NodeId> seeds, Rng* rng);
+
+/// Runs one IC cascade returning (node, step) events in activation order
+/// (BFS order: nondecreasing step).
+std::vector<Activation> SimulateCascadeWithTimes(const ProbGraph& graph,
+                                                 std::span<const NodeId> seeds,
+                                                 Rng* rng);
+
+/// Monte-Carlo estimate of the expected spread sigma(seeds) over
+/// `num_samples` independent cascades.
+double EstimateSpread(const ProbGraph& graph, std::span<const NodeId> seeds,
+                      uint32_t num_samples, Rng* rng);
+
+}  // namespace soi
+
+#endif  // SOI_CASCADE_SIMULATE_H_

@@ -1,0 +1,38 @@
+#ifndef SOI_CASCADE_WORLD_H_
+#define SOI_CASCADE_WORLD_H_
+
+#include <vector>
+
+#include "graph/csr.h"
+#include "graph/prob_graph.h"
+#include "util/bitvector.h"
+#include "util/rng.h"
+
+namespace soi {
+
+/// Possible-world sampling (paper §2.1): a world G ⊑ G keeps each edge e
+/// independently with probability p(e). By the standard live-edge argument
+/// the reachable set of s in a sampled world has exactly the distribution of
+/// the IC cascade from s, which is what the whole index machinery exploits.
+
+/// Samples the edge-presence mask of a world: bit e set iff edge e exists.
+void SampleWorldMask(const ProbGraph& graph, Rng* rng, BitVector* mask);
+
+/// Materializes a world's adjacency from an edge mask.
+Csr WorldFromMask(const ProbGraph& graph, const BitVector& mask);
+
+/// Samples and materializes a world in one pass (no mask kept).
+Csr SampleWorld(const ProbGraph& graph, Rng* rng);
+
+/// Set of nodes reachable from `source` in a deterministic world
+/// (sorted ascending, includes `source`).
+std::vector<NodeId> ReachableFrom(const Csr& world, NodeId source);
+
+/// Multi-source variant: nodes reachable from any seed (sorted ascending,
+/// includes the seeds).
+std::vector<NodeId> ReachableFromSet(const Csr& world,
+                                     std::span<const NodeId> seeds);
+
+}  // namespace soi
+
+#endif  // SOI_CASCADE_WORLD_H_

@@ -1,0 +1,69 @@
+#include "core/ranking.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "jaccard/jaccard.h"
+
+namespace soi {
+
+Result<InfluencerRanking> RankInfluencers(const CascadeIndex& index,
+                                          const CascadeIndex& eval_index,
+                                          const RankingOptions& options) {
+  if (index.num_nodes() != eval_index.num_nodes()) {
+    return Status::InvalidArgument("index/eval_index node mismatch");
+  }
+  const NodeId n = index.num_nodes();
+  InfluencerRanking ranking;
+  ranking.scores.resize(n);
+
+  TypicalCascadeComputer computer(&index);
+  CascadeIndex::Workspace eval_ws;
+  for (NodeId v = 0; v < n; ++v) {
+    SOI_ASSIGN_OR_RETURN(const TypicalCascadeResult sphere,
+                         computer.Compute(v, options.typical));
+    double total = 0.0;
+    for (uint32_t i = 0; i < eval_index.num_worlds(); ++i) {
+      total += JaccardDistance(eval_index.Cascade(v, i, &eval_ws),
+                               sphere.cascade);
+    }
+    InfluencerScore& score = ranking.scores[v];
+    score.node = v;
+    score.expected_spread = sphere.mean_sample_size;
+    score.sphere_size = static_cast<uint32_t>(sphere.cascade.size());
+    score.expected_cost = total / eval_index.num_worlds();
+  }
+
+  ranking.by_spread.resize(n);
+  std::iota(ranking.by_spread.begin(), ranking.by_spread.end(), NodeId{0});
+  std::sort(ranking.by_spread.begin(), ranking.by_spread.end(),
+            [&](NodeId a, NodeId b) {
+              const auto& sa = ranking.scores[a];
+              const auto& sb = ranking.scores[b];
+              if (sa.expected_spread != sb.expected_spread) {
+                return sa.expected_spread > sb.expected_spread;
+              }
+              return a < b;
+            });
+
+  for (NodeId v = 0; v < n; ++v) {
+    if (ranking.scores[v].sphere_size >= options.min_sphere_size) {
+      ranking.by_stability.push_back(v);
+    }
+  }
+  std::sort(ranking.by_stability.begin(), ranking.by_stability.end(),
+            [&](NodeId a, NodeId b) {
+              const auto& sa = ranking.scores[a];
+              const auto& sb = ranking.scores[b];
+              if (sa.expected_cost != sb.expected_cost) {
+                return sa.expected_cost < sb.expected_cost;
+              }
+              if (sa.sphere_size != sb.sphere_size) {
+                return sa.sphere_size > sb.sphere_size;
+              }
+              return a < b;
+            });
+  return ranking;
+}
+
+}  // namespace soi

@@ -1,0 +1,54 @@
+#ifndef SOI_CORE_RANKING_H_
+#define SOI_CORE_RANKING_H_
+
+#include <vector>
+
+#include "core/typical_cascade.h"
+#include "index/cascade_index.h"
+#include "util/status.h"
+
+namespace soi {
+
+/// Influencer scoring and ranking — the Watts-inspired product of the paper
+/// (§1): instead of ranking users by raw expected spread, rank them by how
+/// *reliably* their sphere of influence fires.
+
+/// Per-node scores computed in one pass over the graph.
+struct InfluencerScore {
+  NodeId node = kInvalidNode;
+  /// Expected spread estimate (mean sampled-cascade size).
+  double expected_spread = 0.0;
+  /// Size of the typical cascade.
+  uint32_t sphere_size = 0;
+  /// Hold-out expected cost of the sphere on the evaluation index (lower =
+  /// more reliable).
+  double expected_cost = 0.0;
+};
+
+struct RankingOptions {
+  TypicalCascadeOptions typical;
+  /// Spheres smaller than this are excluded from the stability ranking
+  /// (singleton spheres are trivially stable and uninteresting).
+  uint32_t min_sphere_size = 3;
+};
+
+struct InfluencerRanking {
+  /// One entry per node (indexed by node id).
+  std::vector<InfluencerScore> scores;
+  /// Node ids ordered by descending expected spread.
+  std::vector<NodeId> by_spread;
+  /// Node ids with sphere_size >= min_sphere_size, ordered by ascending
+  /// expected cost (most reliable first; ties by larger sphere).
+  std::vector<NodeId> by_stability;
+};
+
+/// Scores every node: typical cascades from `index`, hold-out costs from
+/// `eval_index` (an independently sampled index over the same graph — pass
+/// a fresh build; using the same index would grade in-sample).
+Result<InfluencerRanking> RankInfluencers(const CascadeIndex& index,
+                                          const CascadeIndex& eval_index,
+                                          const RankingOptions& options = {});
+
+}  // namespace soi
+
+#endif  // SOI_CORE_RANKING_H_

@@ -1,0 +1,44 @@
+#include "core/stability.h"
+
+#include "cascade/simulate.h"
+#include "core/typical_cascade.h"
+
+namespace soi {
+
+Result<StabilityResult> ComputeSeedSetStability(const ProbGraph& graph,
+                                                std::span<const NodeId> seeds,
+                                                const StabilityOptions& options,
+                                                Rng* rng) {
+  if (seeds.empty()) return Status::InvalidArgument("empty seed set");
+  if (options.median_samples == 0 || options.eval_samples == 0) {
+    return Status::InvalidArgument("sample counts must be >= 1");
+  }
+  for (NodeId s : seeds) {
+    if (s >= graph.num_nodes()) return Status::OutOfRange("seed out of range");
+  }
+
+  std::vector<std::vector<NodeId>> cascades;
+  cascades.reserve(options.median_samples);
+  double mean_size = 0.0;
+  for (uint32_t i = 0; i < options.median_samples; ++i) {
+    cascades.push_back(SimulateCascade(graph, seeds, rng));
+    mean_size += static_cast<double>(cascades.back().size());
+  }
+  mean_size /= static_cast<double>(options.median_samples);
+
+  JaccardMedianSolver solver(graph.num_nodes());
+  SOI_ASSIGN_OR_RETURN(MedianResult median,
+                       solver.Compute(cascades, options.median));
+
+  StabilityResult result;
+  result.in_sample_cost = median.cost;
+  result.mean_cascade_size = mean_size;
+  SOI_ASSIGN_OR_RETURN(
+      result.expected_cost,
+      EstimateExpectedCost(graph, seeds, median.median, options.eval_samples,
+                           rng));
+  result.typical_cascade = std::move(median.median);
+  return result;
+}
+
+}  // namespace soi

@@ -1,0 +1,84 @@
+#include "core/time_bounded.h"
+
+#include <algorithm>
+
+#include "cascade/simulate.h"
+#include "jaccard/jaccard.h"
+
+namespace soi {
+
+namespace {
+
+Status CheckSeeds(const ProbGraph& graph, std::span<const NodeId> seeds) {
+  if (seeds.empty()) return Status::InvalidArgument("empty seed set");
+  for (NodeId s : seeds) {
+    if (s >= graph.num_nodes()) return Status::OutOfRange("seed out of range");
+  }
+  return Status::OK();
+}
+
+// One time-bounded cascade: simulate and keep activations with
+// step <= max_steps. SimulateCascadeWithTimes emits events in nondecreasing
+// step order, so a prefix cut suffices.
+std::vector<NodeId> SampleBounded(const ProbGraph& graph,
+                                  std::span<const NodeId> seeds,
+                                  uint32_t max_steps, Rng* rng) {
+  const std::vector<Activation> events =
+      SimulateCascadeWithTimes(graph, seeds, rng);
+  std::vector<NodeId> out;
+  for (const Activation& a : events) {
+    if (a.step > max_steps) break;
+    out.push_back(a.node);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+Result<TimeBoundedResult> ComputeTimeBoundedTypicalCascade(
+    const ProbGraph& graph, std::span<const NodeId> seeds,
+    const TimeBoundedOptions& options, Rng* rng) {
+  SOI_RETURN_IF_ERROR(CheckSeeds(graph, seeds));
+  if (options.median_samples == 0) {
+    return Status::InvalidArgument("median_samples must be >= 1");
+  }
+  std::vector<std::vector<NodeId>> cascades;
+  cascades.reserve(options.median_samples);
+  double mean_size = 0.0;
+  for (uint32_t i = 0; i < options.median_samples; ++i) {
+    cascades.push_back(SampleBounded(graph, seeds, options.max_steps, rng));
+    mean_size += static_cast<double>(cascades.back().size());
+  }
+  mean_size /= static_cast<double>(options.median_samples);
+
+  JaccardMedianSolver solver(graph.num_nodes());
+  SOI_ASSIGN_OR_RETURN(MedianResult median,
+                       solver.Compute(cascades, options.median));
+  TimeBoundedResult result;
+  result.cascade = std::move(median.median);
+  result.in_sample_cost = median.cost;
+  result.mean_sample_size = mean_size;
+  return result;
+}
+
+Result<double> EstimateTimeBoundedCost(const ProbGraph& graph,
+                                       std::span<const NodeId> seeds,
+                                       std::span<const NodeId> candidate,
+                                       uint32_t max_steps,
+                                       uint32_t num_samples, Rng* rng) {
+  SOI_RETURN_IF_ERROR(CheckSeeds(graph, seeds));
+  if (num_samples == 0) {
+    return Status::InvalidArgument("num_samples must be >= 1");
+  }
+  std::vector<NodeId> cand(candidate.begin(), candidate.end());
+  std::sort(cand.begin(), cand.end());
+  double total = 0.0;
+  for (uint32_t i = 0; i < num_samples; ++i) {
+    total += JaccardDistance(SampleBounded(graph, seeds, max_steps, rng),
+                             cand);
+  }
+  return total / static_cast<double>(num_samples);
+}
+
+}  // namespace soi

@@ -1,0 +1,54 @@
+#ifndef SOI_CORE_TIME_BOUNDED_H_
+#define SOI_CORE_TIME_BOUNDED_H_
+
+#include <span>
+#include <vector>
+
+#include "graph/prob_graph.h"
+#include "jaccard/median.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace soi {
+
+/// Time-bounded spheres of influence: the typical cascade restricted to the
+/// first `max_steps` rounds of the contagion. The distance-constrained
+/// cousin of Problem 1 (cf. Jin et al. [23] in the paper's related work) —
+/// relevant whenever the response window is bounded (quarantine within T
+/// days, campaign horizon of T rounds).
+///
+/// The condensation index intentionally discards distances, so these
+/// queries sample cascades by direct simulation instead.
+struct TimeBoundedOptions {
+  /// Contagion rounds counted after the seeds (0 = just the seeds).
+  uint32_t max_steps = 2;
+  /// Cascades sampled to fit the median.
+  uint32_t median_samples = 200;
+  MedianOptions median;
+};
+
+struct TimeBoundedResult {
+  /// Approximate typical cascade of the first max_steps rounds (sorted).
+  std::vector<NodeId> cascade;
+  /// In-sample average Jaccard distance.
+  double in_sample_cost = 0.0;
+  /// Mean size of the sampled time-bounded cascades.
+  double mean_sample_size = 0.0;
+};
+
+/// Computes the time-bounded typical cascade of a seed set.
+Result<TimeBoundedResult> ComputeTimeBoundedTypicalCascade(
+    const ProbGraph& graph, std::span<const NodeId> seeds,
+    const TimeBoundedOptions& options, Rng* rng);
+
+/// Hold-out expected cost of `candidate` against fresh time-bounded
+/// cascades from `seeds`.
+Result<double> EstimateTimeBoundedCost(const ProbGraph& graph,
+                                       std::span<const NodeId> seeds,
+                                       std::span<const NodeId> candidate,
+                                       uint32_t max_steps,
+                                       uint32_t num_samples, Rng* rng);
+
+}  // namespace soi
+
+#endif  // SOI_CORE_TIME_BOUNDED_H_

@@ -1,0 +1,81 @@
+#include "core/typical_cascade.h"
+
+#include <algorithm>
+
+#include "cascade/simulate.h"
+#include "jaccard/jaccard.h"
+#include "util/stats.h"
+
+namespace soi {
+
+TypicalCascadeComputer::TypicalCascadeComputer(const CascadeIndex* index)
+    : index_(index), solver_(index->num_nodes()) {
+  SOI_CHECK(index != nullptr);
+}
+
+Result<TypicalCascadeResult> TypicalCascadeComputer::Compute(
+    NodeId source, const TypicalCascadeOptions& options) {
+  const NodeId seeds[1] = {source};
+  return ComputeForSeeds(std::span<const NodeId>(seeds, 1), options);
+}
+
+Result<TypicalCascadeResult> TypicalCascadeComputer::ComputeForSeeds(
+    std::span<const NodeId> seeds, const TypicalCascadeOptions& options) {
+  if (seeds.empty()) return Status::InvalidArgument("empty seed set");
+  for (NodeId s : seeds) {
+    if (s >= index_->num_nodes()) {
+      return Status::OutOfRange("seed out of range");
+    }
+  }
+  WallTimer timer;
+  const std::vector<std::vector<NodeId>> cascades =
+      index_->AllCascades(seeds, &ws_);
+  double mean_size = 0.0;
+  for (const auto& c : cascades) mean_size += static_cast<double>(c.size());
+  mean_size /= static_cast<double>(cascades.size());
+
+  SOI_ASSIGN_OR_RETURN(MedianResult median,
+                       solver_.Compute(cascades, options.median));
+
+  TypicalCascadeResult result;
+  result.cascade = std::move(median.median);
+  result.in_sample_cost = median.cost;
+  result.mean_sample_size = mean_size;
+  result.compute_seconds = timer.ElapsedSeconds();
+  result.median_source = median.source;
+  return result;
+}
+
+Result<std::vector<TypicalCascadeResult>> TypicalCascadeComputer::ComputeAll(
+    const TypicalCascadeOptions& options) {
+  std::vector<TypicalCascadeResult> all;
+  all.reserve(index_->num_nodes());
+  for (NodeId v = 0; v < index_->num_nodes(); ++v) {
+    SOI_ASSIGN_OR_RETURN(TypicalCascadeResult r, Compute(v, options));
+    all.push_back(std::move(r));
+  }
+  return all;
+}
+
+Result<double> EstimateExpectedCost(const ProbGraph& graph,
+                                    std::span<const NodeId> seeds,
+                                    std::span<const NodeId> candidate,
+                                    uint32_t num_samples, Rng* rng) {
+  if (seeds.empty()) return Status::InvalidArgument("empty seed set");
+  if (num_samples == 0) {
+    return Status::InvalidArgument("num_samples must be >= 1");
+  }
+  for (NodeId s : seeds) {
+    if (s >= graph.num_nodes()) return Status::OutOfRange("seed out of range");
+  }
+  std::vector<NodeId> cand(candidate.begin(), candidate.end());
+  std::sort(cand.begin(), cand.end());
+  double total = 0.0;
+  for (uint32_t i = 0; i < num_samples; ++i) {
+    const std::vector<NodeId> cascade = SimulateCascade(graph, seeds, rng);
+    total += JaccardDistance(cascade, cand);
+  }
+  return total / static_cast<double>(num_samples);
+}
+
+}  // namespace soi

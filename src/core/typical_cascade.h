@@ -1,0 +1,77 @@
+#ifndef SOI_CORE_TYPICAL_CASCADE_H_
+#define SOI_CORE_TYPICAL_CASCADE_H_
+
+#include <span>
+#include <vector>
+
+#include "graph/prob_graph.h"
+#include "index/cascade_index.h"
+#include "jaccard/median.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace soi {
+
+/// Options for typical-cascade computation.
+struct TypicalCascadeOptions {
+  MedianOptions median;
+};
+
+/// The sphere of influence of a source (paper Problem 1, approximated per
+/// §3-§4): an approximate minimizer of the expected Jaccard distance to a
+/// random cascade, plus bookkeeping the experiments report.
+struct TypicalCascadeResult {
+  /// Approximate typical cascade C*, sorted ascending.
+  std::vector<NodeId> cascade;
+  /// Empirical cost on the index samples (in-sample; biased low, Thm 2).
+  double in_sample_cost = 0.0;
+  /// Mean size of the sampled cascades the median was computed from.
+  double mean_sample_size = 0.0;
+  /// Wall time to extract cascades + compute the median, excluding index
+  /// construction (this is what Figure 4 plots).
+  double compute_seconds = 0.0;
+  /// Which candidate family produced the median (ablation bookkeeping).
+  MedianResult::Source median_source = MedianResult::Source::kThreshold;
+};
+
+/// Computes typical cascades against a prebuilt CascadeIndex (Algorithm 2).
+/// Owns reusable scratch; not thread-safe, create one per thread.
+class TypicalCascadeComputer {
+ public:
+  /// `index` must outlive the computer.
+  explicit TypicalCascadeComputer(const CascadeIndex* index);
+
+  /// Typical cascade of a single source node.
+  Result<TypicalCascadeResult> Compute(
+      NodeId source, const TypicalCascadeOptions& options = {});
+
+  /// Typical cascade of a seed set (used for stability of seed sets, §5).
+  Result<TypicalCascadeResult> ComputeForSeeds(
+      std::span<const NodeId> seeds,
+      const TypicalCascadeOptions& options = {});
+
+  /// Algorithm 2: typical cascades of every node. Results indexed by node.
+  Result<std::vector<TypicalCascadeResult>> ComputeAll(
+      const TypicalCascadeOptions& options = {});
+
+  const CascadeIndex& index() const { return *index_; }
+
+ private:
+  const CascadeIndex* index_;
+  CascadeIndex::Workspace ws_;
+  JaccardMedianSolver solver_;
+};
+
+/// Unbiased hold-out estimate of the expected cost rho_{G,seeds}(candidate):
+/// averages the Jaccard distance from `candidate` to `num_samples` freshly
+/// simulated cascades (independent of whatever samples produced the
+/// candidate — Theorem 2 is precisely about the gap between this and the
+/// in-sample cost).
+Result<double> EstimateExpectedCost(const ProbGraph& graph,
+                                    std::span<const NodeId> seeds,
+                                    std::span<const NodeId> candidate,
+                                    uint32_t num_samples, Rng* rng);
+
+}  // namespace soi
+
+#endif  // SOI_CORE_TYPICAL_CASCADE_H_

@@ -1,0 +1,180 @@
+#include "gen/datasets.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "gen/generators.h"
+#include "graph/prob_assign.h"
+#include "problearn/action_log.h"
+#include "problearn/goyal.h"
+#include "problearn/saito.h"
+#include "util/rng.h"
+
+namespace soi {
+
+namespace {
+
+enum class ProbMethod { kSaito, kGoyal, kWeightedCascade, kFixed };
+enum class Topology { kRmat, kBarabasiAlbert };
+
+// Default (scale = 1.0) shapes, roughly paper/10 with matched direction.
+struct NetworkSpec {
+  const char* name;
+  Topology topology;
+  bool directed;
+  NodeId nodes;          // BA node count / RMAT rounded to 2^k
+  double edges_per_node; // target m / n (arcs for directed, und. edges else)
+  double gt_prob_mean;   // ground-truth exponential mean (learnt settings)
+};
+
+constexpr NetworkSpec kNetworks[] = {
+    // Learnt-probability networks.
+    {"Digg", Topology::kRmat, /*directed=*/true, 4096, 6.0, 0.08},
+    {"Flixster", Topology::kBarabasiAlbert, /*directed=*/false, 6000, 6.0,
+     0.15},
+    {"Twitter", Topology::kRmat, /*directed=*/false, 2048, 10.0, 0.08},
+    // Assigned-probability networks.
+    {"NetHEPT", Topology::kBarabasiAlbert, /*directed=*/false, 4000, 6.0, 0.0},
+    {"Epinions", Topology::kRmat, /*directed=*/true, 8192, 6.0, 0.0},
+    {"Slashdot", Topology::kRmat, /*directed=*/true, 8192, 8.0, 0.0},
+};
+
+Result<const NetworkSpec*> FindNetwork(std::string_view name) {
+  for (const NetworkSpec& spec : kNetworks) {
+    if (name == spec.name) return &spec;
+  }
+  return Status::NotFound("unknown network '" + std::string(name) + "'");
+}
+
+Result<ProbMethod> ParseMethod(std::string_view suffix) {
+  if (suffix == "S") return ProbMethod::kSaito;
+  if (suffix == "G") return ProbMethod::kGoyal;
+  if (suffix == "W") return ProbMethod::kWeightedCascade;
+  if (suffix == "F") return ProbMethod::kFixed;
+  return Status::NotFound("unknown probability method suffix '" +
+                          std::string(suffix) + "'");
+}
+
+const char* MethodLabel(ProbMethod method) {
+  switch (method) {
+    case ProbMethod::kSaito:
+      return "learnt (Saito EM)";
+    case ProbMethod::kGoyal:
+      return "learnt (Goyal frequentist)";
+    case ProbMethod::kWeightedCascade:
+      return "assigned (weighted cascade)";
+    case ProbMethod::kFixed:
+      return "assigned (fixed 0.1)";
+  }
+  return "?";
+}
+
+Result<ProbGraph> BuildTopology(const NetworkSpec& spec, double scale,
+                                Rng* rng) {
+  const double n_target = std::max(64.0, spec.nodes * scale);
+  switch (spec.topology) {
+    case Topology::kRmat: {
+      const uint32_t bits = static_cast<uint32_t>(
+          std::clamp(std::lround(std::log2(n_target)), 6l, 24l));
+      const uint64_t n = uint64_t{1} << bits;
+      const uint64_t m = static_cast<uint64_t>(
+          std::max(1.0, spec.edges_per_node * static_cast<double>(n) /
+                            (spec.directed ? 1.0 : 2.0)));
+      RmatOptions options;
+      options.undirected = !spec.directed;
+      return GenerateRmat(bits, m, options, rng);
+    }
+    case Topology::kBarabasiAlbert: {
+      const NodeId n = static_cast<NodeId>(n_target);
+      const uint32_t epn = static_cast<uint32_t>(
+          std::max(1.0, spec.edges_per_node / 2.0));
+      return GenerateBarabasiAlbert(n, epn, !spec.directed, rng);
+    }
+  }
+  return Status::Internal("unreachable topology");
+}
+
+}  // namespace
+
+std::vector<std::string> AllDatasetConfigs() {
+  return {"Digg-S",     "Flixster-S", "Twitter-S",  "Digg-G",
+          "Flixster-G", "Twitter-G",  "NetHEPT-W",  "Epinions-W",
+          "Slashdot-W", "NetHEPT-F",  "Epinions-F", "Slashdot-F"};
+}
+
+Result<Dataset> MakeDataset(std::string_view config,
+                            const DatasetOptions& options) {
+  const size_t dash = config.rfind('-');
+  if (dash == std::string_view::npos) {
+    return Status::InvalidArgument(
+        "config must look like '<Network>-<S|G|W|F>'");
+  }
+  SOI_ASSIGN_OR_RETURN(const NetworkSpec* spec,
+                       FindNetwork(config.substr(0, dash)));
+  SOI_ASSIGN_OR_RETURN(const ProbMethod method,
+                       ParseMethod(config.substr(dash + 1)));
+  const bool learnt =
+      method == ProbMethod::kSaito || method == ProbMethod::kGoyal;
+  const bool has_gt = spec->gt_prob_mean > 0.0;
+  if (learnt != has_gt) {
+    return Status::InvalidArgument(
+        "network/method mismatch: learnt methods apply to Digg/Flixster/"
+        "Twitter, assigned methods to NetHEPT/Epinions/Slashdot");
+  }
+  if (!(options.scale > 0.0)) {
+    return Status::InvalidArgument("scale must be positive");
+  }
+
+  // Derive a deterministic per-*network* stream from the seed (FNV-1a mix),
+  // so Digg-S and Digg-G learn from the same topology and action log, like
+  // the paper's paired settings.
+  uint64_t hash = 1469598103934665603ull;
+  for (char c : config.substr(0, dash)) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;
+  }
+  Rng rng(SplitMix64(hash ^ options.seed).Next());
+
+  SOI_ASSIGN_OR_RETURN(ProbGraph topology,
+                       BuildTopology(*spec, options.scale, &rng));
+
+  Dataset dataset;
+  dataset.config = std::string(config);
+  dataset.network = spec->name;
+  dataset.prob_source = MethodLabel(method);
+  dataset.directed = spec->directed;
+
+  switch (method) {
+    case ProbMethod::kWeightedCascade: {
+      SOI_ASSIGN_OR_RETURN(dataset.graph, AssignWeightedCascade(topology));
+      break;
+    }
+    case ProbMethod::kFixed: {
+      SOI_ASSIGN_OR_RETURN(dataset.graph, AssignFixed(topology, 0.1));
+      break;
+    }
+    case ProbMethod::kSaito:
+    case ProbMethod::kGoyal: {
+      SOI_ASSIGN_OR_RETURN(
+          const ProbGraph ground_truth,
+          AssignExponential(topology, &rng, spec->gt_prob_mean, 1.0));
+      LogSimulationOptions log_options;
+      log_options.num_items = static_cast<uint32_t>(std::max(
+          64.0, options.items_per_node * topology.num_nodes()));
+      log_options.seeds_per_item = options.seeds_per_item;
+      SOI_ASSIGN_OR_RETURN(const ActionLog log,
+                           SimulateActionLog(ground_truth, log_options, &rng));
+      if (method == ProbMethod::kSaito) {
+        SOI_ASSIGN_OR_RETURN(SaitoResult learnt_result,
+                             LearnSaito(topology, log));
+        dataset.graph = std::move(learnt_result.graph);
+      } else {
+        SOI_ASSIGN_OR_RETURN(dataset.graph, LearnGoyal(topology, log));
+      }
+      break;
+    }
+  }
+  return dataset;
+}
+
+}  // namespace soi

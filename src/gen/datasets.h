@@ -1,0 +1,58 @@
+#ifndef SOI_GEN_DATASETS_H_
+#define SOI_GEN_DATASETS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/prob_graph.h"
+#include "util/status.h"
+
+namespace soi {
+
+/// The paper's 12 experimental settings (§6.1-§6.2): six networks × two ways
+/// of obtaining influence probabilities each.
+///
+///   Digg-S / Digg-G         directed,   probabilities learnt (Saito / Goyal)
+///   Flixster-S / Flixster-G undirected, learnt
+///   Twitter-S / Twitter-G   undirected, learnt
+///   NetHEPT-W / NetHEPT-F   undirected, assigned (WC / fixed 0.1)
+///   Epinions-W / Epinions-F directed,   assigned
+///   Slashdot-W / Slashdot-F directed,   assigned
+///
+/// The original datasets (SNAP crawls, Digg/Flixster/Twitter logs) are not
+/// available offline, so each is replaced by a synthetic network with
+/// matching direction and heavy-tailed degree shape; the learnt settings
+/// simulate an action log from a hidden ground-truth IC model and re-learn
+/// probabilities from it with the paper's actual learners (DESIGN.md §2).
+/// Sizes default to roughly paper/10 so single-core sweeps finish in
+/// minutes; `scale` shrinks or grows them further.
+
+struct DatasetOptions {
+  /// Multiplies node/edge counts of the registry's default sizes.
+  double scale = 1.0;
+  uint64_t seed = 42;
+  /// Log-simulation richness for the learnt datasets.
+  double items_per_node = 0.5;
+  uint32_t seeds_per_item = 2;
+};
+
+/// A ready-to-use experimental dataset.
+struct Dataset {
+  std::string config;       // "Digg-S"
+  std::string network;      // "Digg"
+  std::string prob_source;  // "learnt (Saito EM)", "assigned (WC)", ...
+  bool directed = true;
+  ProbGraph graph;          // final probabilistic graph for the experiments
+};
+
+/// All 12 configuration names, in the paper's table order.
+std::vector<std::string> AllDatasetConfigs();
+
+/// Builds one configuration ("Digg-S", "NetHEPT-F", ...).
+Result<Dataset> MakeDataset(std::string_view config,
+                            const DatasetOptions& options = {});
+
+}  // namespace soi
+
+#endif  // SOI_GEN_DATASETS_H_

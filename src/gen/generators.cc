@@ -1,0 +1,263 @@
+#include "gen/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <unordered_set>
+#include <vector>
+
+namespace soi {
+
+namespace {
+
+constexpr double kPlaceholderProb = 0.5;
+
+uint64_t PairKey(NodeId u, NodeId v, NodeId n) {
+  return static_cast<uint64_t>(u) * n + v;
+}
+
+// Lazily iterates the index space [0, num_pairs) including each index with
+// probability p, using geometric skips (O(expected hits) time). Calls
+// fn(index) for each hit.
+template <typename Fn>
+void SkipSample(uint64_t num_pairs, double p, Rng* rng, Fn&& fn) {
+  if (p <= 0.0) return;
+  if (p >= 1.0) {
+    for (uint64_t i = 0; i < num_pairs; ++i) fn(i);
+    return;
+  }
+  const double log1mp = std::log1p(-p);
+  double i = -1.0;
+  while (true) {
+    const double u = 1.0 - rng->NextDouble();  // in (0, 1]
+    i += 1.0 + std::floor(std::log(u) / log1mp);
+    if (i >= static_cast<double>(num_pairs)) break;
+    fn(static_cast<uint64_t>(i));
+  }
+}
+
+}  // namespace
+
+Result<ProbGraph> GenerateErdosRenyi(NodeId n, uint64_t m, bool undirected,
+                                     Rng* rng) {
+  if (n < 2) return Status::InvalidArgument("ErdosRenyi: need n >= 2");
+  const uint64_t max_pairs = static_cast<uint64_t>(n) * (n - 1) /
+                             (undirected ? 2 : 1);
+  if (m > max_pairs / 2) {
+    return Status::InvalidArgument(
+        "ErdosRenyi: m too large for rejection sampling (need m <= "
+        "max_pairs/2)");
+  }
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(m * 2);
+  ProbGraphBuilder builder(n);
+  while (seen.size() < m) {
+    NodeId u = static_cast<NodeId>(rng->NextBounded(n));
+    NodeId v = static_cast<NodeId>(rng->NextBounded(n));
+    if (u == v) continue;
+    if (undirected && u > v) std::swap(u, v);
+    if (!seen.insert(PairKey(u, v, n)).second) continue;
+    if (undirected) {
+      SOI_RETURN_IF_ERROR(builder.AddUndirectedEdge(u, v, kPlaceholderProb));
+    } else {
+      SOI_RETURN_IF_ERROR(builder.AddEdge(u, v, kPlaceholderProb));
+    }
+  }
+  return builder.Build();
+}
+
+Result<ProbGraph> GenerateBarabasiAlbert(NodeId n, uint32_t edges_per_node,
+                                         bool undirected, Rng* rng) {
+  if (edges_per_node == 0) {
+    return Status::InvalidArgument("BarabasiAlbert: edges_per_node >= 1");
+  }
+  if (n <= edges_per_node) {
+    return Status::InvalidArgument("BarabasiAlbert: need n > edges_per_node");
+  }
+  // `endpoints` holds one entry per edge endpoint; drawing uniformly from it
+  // realizes preferential attachment.
+  std::vector<NodeId> endpoints;
+  endpoints.reserve(2ull * n * edges_per_node);
+  ProbGraphBuilder builder(n);
+  builder.keep_max_duplicate(true);
+
+  // Seed clique over the first edges_per_node + 1 nodes.
+  const NodeId seed = edges_per_node + 1;
+  for (NodeId u = 0; u < seed; ++u) {
+    for (NodeId v = u + 1; v < seed; ++v) {
+      if (undirected) {
+        SOI_RETURN_IF_ERROR(builder.AddUndirectedEdge(u, v, kPlaceholderProb));
+      } else {
+        SOI_RETURN_IF_ERROR(builder.AddEdge(u, v, kPlaceholderProb));
+      }
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+
+  std::vector<NodeId> targets;
+  for (NodeId u = seed; u < n; ++u) {
+    targets.clear();
+    while (targets.size() < edges_per_node) {
+      const NodeId t = endpoints[rng->NextBounded(endpoints.size())];
+      if (t == u) continue;
+      if (std::find(targets.begin(), targets.end(), t) != targets.end()) {
+        continue;
+      }
+      targets.push_back(t);
+    }
+    for (NodeId t : targets) {
+      if (undirected) {
+        SOI_RETURN_IF_ERROR(builder.AddUndirectedEdge(u, t, kPlaceholderProb));
+      } else {
+        SOI_RETURN_IF_ERROR(builder.AddEdge(u, t, kPlaceholderProb));
+      }
+      endpoints.push_back(u);
+      endpoints.push_back(t);
+    }
+  }
+  return builder.Build();
+}
+
+Result<ProbGraph> GenerateRmat(uint32_t scale, uint64_t m,
+                               const RmatOptions& options, Rng* rng) {
+  if (scale == 0 || scale > 30) {
+    return Status::InvalidArgument("Rmat: scale must be in [1, 30]");
+  }
+  const double total = options.a + options.b + options.c + options.d;
+  if (std::abs(total - 1.0) > 1e-9) {
+    return Status::InvalidArgument("Rmat: partition probabilities must sum to 1");
+  }
+  const NodeId n = NodeId{1} << scale;
+  const uint64_t max_pairs = static_cast<uint64_t>(n) * (n - 1);
+  if (m > max_pairs / 4) {
+    return Status::InvalidArgument("Rmat: m too large for graph scale");
+  }
+
+  std::vector<NodeId> perm(n);
+  std::iota(perm.begin(), perm.end(), NodeId{0});
+  if (options.permute) {
+    for (NodeId i = n - 1; i > 0; --i) {
+      std::swap(perm[i], perm[rng->NextBounded(i + 1)]);
+    }
+  }
+
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(m * 2);
+  ProbGraphBuilder builder(n);
+  uint64_t attempts = 0;
+  const uint64_t max_attempts = 100 * m + 1000;
+  while (seen.size() < m) {
+    if (++attempts > max_attempts) {
+      return Status::Internal("Rmat: rejection sampling did not converge");
+    }
+    NodeId u = 0, v = 0;
+    for (uint32_t level = 0; level < scale; ++level) {
+      const double r = rng->NextDouble();
+      u <<= 1;
+      v <<= 1;
+      if (r < options.a) {
+        // top-left: no bits set
+      } else if (r < options.a + options.b) {
+        v |= 1;
+      } else if (r < options.a + options.b + options.c) {
+        u |= 1;
+      } else {
+        u |= 1;
+        v |= 1;
+      }
+    }
+    u = perm[u];
+    v = perm[v];
+    if (u == v) continue;
+    if (options.undirected && u > v) std::swap(u, v);
+    if (!seen.insert(PairKey(u, v, n)).second) continue;
+    if (options.undirected) {
+      SOI_RETURN_IF_ERROR(builder.AddUndirectedEdge(u, v, kPlaceholderProb));
+    } else {
+      SOI_RETURN_IF_ERROR(builder.AddEdge(u, v, kPlaceholderProb));
+    }
+  }
+  return builder.Build();
+}
+
+Result<ProbGraph> GenerateWattsStrogatz(NodeId n, uint32_t k, double beta,
+                                        Rng* rng) {
+  if (n < 4 || k == 0 || 2ull * k >= n) {
+    return Status::InvalidArgument("WattsStrogatz: need n >= 4, 0 < 2k < n");
+  }
+  if (!(beta >= 0.0 && beta <= 1.0)) {
+    return Status::InvalidArgument("WattsStrogatz: beta must be in [0,1]");
+  }
+  std::unordered_set<uint64_t> seen;
+  auto key_of = [n](NodeId a, NodeId b) {
+    if (a > b) std::swap(a, b);
+    return PairKey(a, b, n);
+  };
+  struct Und {
+    NodeId a, b;
+  };
+  std::vector<Und> edges;
+  for (NodeId u = 0; u < n; ++u) {
+    for (uint32_t j = 1; j <= k; ++j) {
+      const NodeId v = static_cast<NodeId>((u + j) % n);
+      if (seen.insert(key_of(u, v)).second) edges.push_back({u, v});
+    }
+  }
+  // Rewire the far endpoint with probability beta.
+  for (Und& e : edges) {
+    if (!rng->NextBernoulli(beta)) continue;
+    for (int tries = 0; tries < 32; ++tries) {
+      const NodeId w = static_cast<NodeId>(rng->NextBounded(n));
+      if (w == e.a || w == e.b) continue;
+      if (seen.count(key_of(e.a, w))) continue;
+      seen.erase(key_of(e.a, e.b));
+      seen.insert(key_of(e.a, w));
+      e.b = w;
+      break;
+    }
+  }
+  ProbGraphBuilder builder(n);
+  for (const Und& e : edges) {
+    SOI_RETURN_IF_ERROR(builder.AddUndirectedEdge(e.a, e.b, kPlaceholderProb));
+  }
+  return builder.Build();
+}
+
+Result<ProbGraph> GeneratePlantedPartition(NodeId n, uint32_t communities,
+                                           double p_in, double p_out,
+                                           Rng* rng) {
+  if (communities == 0 || communities > n) {
+    return Status::InvalidArgument("PlantedPartition: bad community count");
+  }
+  if (!(p_in >= 0.0 && p_in <= 1.0 && p_out >= 0.0 && p_out <= 1.0)) {
+    return Status::InvalidArgument("PlantedPartition: probabilities in [0,1]");
+  }
+  ProbGraphBuilder builder(n);
+  auto community_of = [&](NodeId u) { return u % communities; };
+  // Sample all ordered pairs via skip sampling over the n*(n-1) off-diagonal
+  // index space, choosing p by block. Split into two passes (within / across)
+  // so each pass has a uniform probability and skip sampling applies.
+  const uint64_t all_pairs = static_cast<uint64_t>(n) * (n - 1);
+  auto index_to_pair = [&](uint64_t idx) {
+    const NodeId u = static_cast<NodeId>(idx / (n - 1));
+    uint64_t rem = idx % (n - 1);
+    const NodeId v = static_cast<NodeId>(rem >= u ? rem + 1 : rem);
+    return std::make_pair(u, v);
+  };
+  Status status = Status::OK();
+  SkipSample(all_pairs, std::max(p_in, p_out), rng, [&](uint64_t idx) {
+    if (!status.ok()) return;
+    const auto [u, v] = index_to_pair(idx);
+    const bool same = community_of(u) == community_of(v);
+    const double p = same ? p_in : p_out;
+    const double pmax = std::max(p_in, p_out);
+    // Thin the stream down from pmax to the block's probability.
+    if (p < pmax && !rng->NextBernoulli(p / pmax)) return;
+    status = builder.AddEdge(u, v, kPlaceholderProb);
+  });
+  SOI_RETURN_IF_ERROR(status);
+  return builder.Build();
+}
+
+}  // namespace soi

@@ -1,0 +1,61 @@
+#ifndef SOI_GEN_GENERATORS_H_
+#define SOI_GEN_GENERATORS_H_
+
+#include <cstdint>
+
+#include "graph/prob_graph.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace soi {
+
+/// Synthetic graph generators standing in for the paper's benchmark networks
+/// (SNAP graphs and crawled social networks are not available offline; see
+/// DESIGN.md §2). All generators emit topology only — probabilities start at
+/// the placeholder 0.5 and are meant to be replaced with the assigners in
+/// graph/prob_assign.h or learnt with src/problearn.
+
+/// G(n, m) Erdős–Rényi: m distinct directed arcs sampled uniformly.
+/// With undirected=true, m distinct undirected edges are sampled and both
+/// arcs are added (num_edges() == 2m).
+Result<ProbGraph> GenerateErdosRenyi(NodeId n, uint64_t m, bool undirected,
+                                     Rng* rng);
+
+/// Barabási–Albert preferential attachment: each new node attaches to
+/// `edges_per_node` existing nodes chosen proportionally to degree.
+/// Produces the heavy-tailed degree distribution of citation/social graphs
+/// (our NetHEPT / Flixster stand-ins). Undirected semantics: both arcs added.
+Result<ProbGraph> GenerateBarabasiAlbert(NodeId n, uint32_t edges_per_node,
+                                         bool undirected, Rng* rng);
+
+/// R-MAT (Chakrabarti, Zhan, Faloutsos): recursive-matrix generator that
+/// matches SNAP-crawl degree skew and community structure; our Epinions /
+/// Slashdot / Digg stand-ins. `scale` gives n = 2^scale; m distinct arcs.
+/// Default partition probabilities (0.57, 0.19, 0.19, 0.05) are the
+/// conventional social-network parametrization.
+struct RmatOptions {
+  double a = 0.57;
+  double b = 0.19;
+  double c = 0.19;
+  double d = 0.05;
+  bool undirected = false;
+  /// Random node-id permutation to break the R-MAT id/degree correlation.
+  bool permute = true;
+};
+Result<ProbGraph> GenerateRmat(uint32_t scale, uint64_t m,
+                               const RmatOptions& options, Rng* rng);
+
+/// Watts–Strogatz small world: ring lattice with `k` neighbors per side,
+/// each arc rewired with probability `beta`. Undirected semantics.
+Result<ProbGraph> GenerateWattsStrogatz(NodeId n, uint32_t k, double beta,
+                                        Rng* rng);
+
+/// Planted-partition graph: `communities` equal blocks; arc probability
+/// p_in within a block, p_out across blocks. Directed.
+Result<ProbGraph> GeneratePlantedPartition(NodeId n, uint32_t communities,
+                                           double p_in, double p_out,
+                                           Rng* rng);
+
+}  // namespace soi
+
+#endif  // SOI_GEN_GENERATORS_H_

@@ -1,0 +1,51 @@
+#ifndef SOI_GRAPH_CSR_H_
+#define SOI_GRAPH_CSR_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "graph/prob_graph.h"
+#include "util/check.h"
+
+namespace soi {
+
+/// Plain compressed-sparse-row adjacency used for transient structures
+/// (sampled worlds, condensation DAGs) where no probabilities are attached.
+struct Csr {
+  std::vector<uint32_t> offsets;  // size num_nodes + 1
+  std::vector<NodeId> targets;    // size num_edges
+
+  uint32_t num_nodes() const {
+    return offsets.empty() ? 0 : static_cast<uint32_t>(offsets.size() - 1);
+  }
+  uint32_t num_edges() const { return static_cast<uint32_t>(targets.size()); }
+
+  std::span<const NodeId> Neighbors(NodeId u) const {
+    SOI_DCHECK(u + 1 < offsets.size());
+    return {targets.data() + offsets[u], targets.data() + offsets[u + 1]};
+  }
+
+  /// Builds a CSR from an (unsorted) edge list over `n` nodes. Sorts and
+  /// optionally deduplicates.
+  static Csr FromEdges(uint32_t n, std::vector<std::pair<NodeId, NodeId>> edges,
+                       bool dedupe) {
+    std::sort(edges.begin(), edges.end());
+    if (dedupe) {
+      edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+    }
+    Csr csr;
+    csr.offsets.assign(n + 1, 0);
+    csr.targets.resize(edges.size());
+    for (const auto& [u, v] : edges) ++csr.offsets[u + 1];
+    for (uint32_t i = 0; i < n; ++i) csr.offsets[i + 1] += csr.offsets[i];
+    for (size_t i = 0; i < edges.size(); ++i) csr.targets[i] = edges[i].second;
+    return csr;
+  }
+};
+
+}  // namespace soi
+
+#endif  // SOI_GRAPH_CSR_H_

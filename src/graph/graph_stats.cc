@@ -1,0 +1,128 @@
+#include "graph/graph_stats.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+#include <vector>
+
+#include "graph/csr.h"
+#include "scc/tarjan.h"
+
+namespace soi {
+
+namespace {
+
+// Union-find with path halving and union by size.
+class UnionFind {
+ public:
+  explicit UnionFind(NodeId n) : parent_(n), size_(n, 1) {
+    std::iota(parent_.begin(), parent_.end(), NodeId{0});
+  }
+
+  NodeId Find(NodeId x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  void Union(NodeId a, NodeId b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return;
+    if (size_[a] < size_[b]) std::swap(a, b);
+    parent_[b] = a;
+    size_[a] += size_[b];
+  }
+
+  NodeId ComponentSize(NodeId x) { return size_[Find(x)]; }
+
+ private:
+  std::vector<NodeId> parent_;
+  std::vector<NodeId> size_;
+};
+
+}  // namespace
+
+GraphStats ComputeGraphStats(const ProbGraph& graph) {
+  GraphStats stats;
+  stats.nodes = graph.num_nodes();
+  stats.edges = graph.num_edges();
+  if (stats.nodes == 0) return stats;
+
+  double prob_sum = 0.0;
+  uint64_t reciprocated = 0;
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    prob_sum += graph.EdgeProb(e);
+    if (graph.FindEdge(graph.EdgeTarget(e), graph.EdgeSource(e)).ok()) {
+      ++reciprocated;
+    }
+  }
+  stats.avg_probability =
+      stats.edges == 0 ? 0.0 : prob_sum / stats.edges;
+  stats.mean_expected_out_degree = prob_sum / stats.nodes;
+  stats.reciprocity =
+      stats.edges == 0 ? 0.0
+                       : static_cast<double>(reciprocated) / stats.edges;
+
+  uint64_t degree_sum = 0;
+  for (NodeId v = 0; v < stats.nodes; ++v) {
+    degree_sum += graph.OutDegree(v);
+    stats.max_out_degree = std::max(stats.max_out_degree, graph.OutDegree(v));
+    stats.max_in_degree = std::max(stats.max_in_degree, graph.InDegree(v));
+  }
+  stats.avg_out_degree = static_cast<double>(degree_sum) / stats.nodes;
+
+  // Weak components.
+  UnionFind uf(stats.nodes);
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    uf.Union(graph.EdgeSource(e), graph.EdgeTarget(e));
+  }
+  std::vector<uint8_t> seen_root(stats.nodes, 0);
+  for (NodeId v = 0; v < stats.nodes; ++v) {
+    const NodeId root = uf.Find(v);
+    if (!seen_root[root]) {
+      seen_root[root] = 1;
+      ++stats.num_weak_components;
+      stats.largest_weak_component =
+          std::max(stats.largest_weak_component, uf.ComponentSize(root));
+    }
+  }
+
+  // Strong components of the certain topology.
+  Csr topo;
+  topo.offsets.assign(stats.nodes + 1, 0);
+  topo.targets.resize(stats.edges);
+  for (NodeId v = 0; v < stats.nodes; ++v) {
+    const auto nbrs = graph.OutNeighbors(v);
+    std::copy(nbrs.begin(), nbrs.end(),
+              topo.targets.begin() + topo.offsets[v]);
+    topo.offsets[v + 1] = topo.offsets[v] + static_cast<uint32_t>(nbrs.size());
+  }
+  const SccResult scc = TarjanScc(topo);
+  stats.num_strong_components = scc.num_components;
+  std::vector<NodeId> comp_size(scc.num_components, 0);
+  for (NodeId v = 0; v < stats.nodes; ++v) ++comp_size[scc.comp_of[v]];
+  for (NodeId size : comp_size) {
+    stats.largest_strong_component =
+        std::max(stats.largest_strong_component, size);
+  }
+  return stats;
+}
+
+std::string GraphStats::ToString() const {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "n=%u m=%u avg_out=%.2f max_out=%u max_in=%u reciprocity=%.2f "
+      "wcc=%u (largest %u) scc=%u (largest %u) avg_p=%.4f E[out]=%.3f",
+      static_cast<unsigned>(nodes), static_cast<unsigned>(edges),
+      avg_out_degree, max_out_degree, max_in_degree, reciprocity,
+      num_weak_components, static_cast<unsigned>(largest_weak_component),
+      num_strong_components, static_cast<unsigned>(largest_strong_component),
+      avg_probability, mean_expected_out_degree);
+  return buf;
+}
+
+}  // namespace soi

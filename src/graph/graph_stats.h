@@ -1,0 +1,46 @@
+#ifndef SOI_GRAPH_GRAPH_STATS_H_
+#define SOI_GRAPH_GRAPH_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "graph/prob_graph.h"
+
+namespace soi {
+
+/// Topology diagnostics used by Table 1-style reporting and the CLI `stats`
+/// command: connectivity structure and degree/probability moments.
+struct GraphStats {
+  NodeId nodes = 0;
+  EdgeId edges = 0;
+
+  double avg_out_degree = 0.0;
+  uint32_t max_out_degree = 0;
+  uint32_t max_in_degree = 0;
+
+  /// Fraction of arcs whose reverse arc also exists (1.0 for graphs loaded
+  /// as undirected).
+  double reciprocity = 0.0;
+
+  /// Weakly connected components (edge direction ignored).
+  uint32_t num_weak_components = 0;
+  NodeId largest_weak_component = 0;
+
+  /// Strongly connected components of the full (certain) topology.
+  uint32_t num_strong_components = 0;
+  NodeId largest_strong_component = 0;
+
+  double avg_probability = 0.0;
+  /// Sum of all edge probabilities / n: the mean expected out-degree, the
+  /// quantity that governs sub/supercritical cascade behaviour.
+  double mean_expected_out_degree = 0.0;
+
+  std::string ToString() const;
+};
+
+/// Computes all statistics in O(n + m alpha(n)).
+GraphStats ComputeGraphStats(const ProbGraph& graph);
+
+}  // namespace soi
+
+#endif  // SOI_GRAPH_GRAPH_STATS_H_

@@ -1,0 +1,58 @@
+#include "graph/prob_assign.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace soi {
+
+Result<ProbGraph> AssignWeightedCascade(const ProbGraph& graph) {
+  std::vector<double> probs(graph.num_edges());
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    const NodeId v = graph.EdgeTarget(e);
+    // InDegree(v) >= 1 because edge e itself points at v.
+    probs[e] = 1.0 / static_cast<double>(graph.InDegree(v));
+  }
+  return graph.WithProbs(std::move(probs));
+}
+
+Result<ProbGraph> AssignFixed(const ProbGraph& graph, double p) {
+  if (!(p > 0.0 && p <= 1.0)) {
+    return Status::InvalidArgument("AssignFixed: p must be in (0,1]");
+  }
+  return graph.WithProbs(std::vector<double>(graph.num_edges(), p));
+}
+
+Result<ProbGraph> AssignTrivalency(const ProbGraph& graph, Rng* rng) {
+  static constexpr double kLevels[3] = {0.1, 0.01, 0.001};
+  std::vector<double> probs(graph.num_edges());
+  for (double& p : probs) p = kLevels[rng->NextBounded(3)];
+  return graph.WithProbs(std::move(probs));
+}
+
+Result<ProbGraph> AssignUniform(const ProbGraph& graph, Rng* rng, double lo,
+                                double hi) {
+  if (!(lo > 0.0 && lo <= hi && hi <= 1.0)) {
+    return Status::InvalidArgument("AssignUniform: need 0 < lo <= hi <= 1");
+  }
+  std::vector<double> probs(graph.num_edges());
+  for (double& p : probs) p = lo + (hi - lo) * rng->NextDouble();
+  return graph.WithProbs(std::move(probs));
+}
+
+Result<ProbGraph> AssignExponential(const ProbGraph& graph, Rng* rng,
+                                    double mean, double cap) {
+  if (!(mean > 0.0 && cap > 0.0 && cap <= 1.0)) {
+    return Status::InvalidArgument(
+        "AssignExponential: need mean > 0 and cap in (0,1]");
+  }
+  std::vector<double> probs(graph.num_edges());
+  for (double& p : probs) {
+    const double u = rng->NextDouble();
+    const double x = -mean * std::log1p(-u);  // Exp(mean) sample.
+    p = std::clamp(x, 1e-6, cap);
+  }
+  return graph.WithProbs(std::move(probs));
+}
+
+}  // namespace soi

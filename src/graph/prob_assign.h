@@ -1,0 +1,39 @@
+#ifndef SOI_GRAPH_PROB_ASSIGN_H_
+#define SOI_GRAPH_PROB_ASSIGN_H_
+
+#include "graph/prob_graph.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace soi {
+
+/// Artificial influence-probability assignment methods (paper §6.2,
+/// "Artificial assignments"). Each returns a copy of `graph` with new edge
+/// probabilities; topology is untouched.
+
+/// Weighted cascade (WC) model [Chen et al.]: p(u,v) = 1 / inDeg(v).
+/// Every node is then activated by one in-neighbor in expectation, which
+/// yields the small, shallow cascades the paper reports for the -W datasets.
+Result<ProbGraph> AssignWeightedCascade(const ProbGraph& graph);
+
+/// Fixed probability: p(u,v) = p for every arc (the paper uses p = 0.1,
+/// the -F datasets).
+Result<ProbGraph> AssignFixed(const ProbGraph& graph, double p = 0.1);
+
+/// Trivalency model (common in the influence-maximization literature):
+/// p(u,v) drawn uniformly from {0.1, 0.01, 0.001}.
+Result<ProbGraph> AssignTrivalency(const ProbGraph& graph, Rng* rng);
+
+/// Uniform random probabilities in [lo, hi].
+Result<ProbGraph> AssignUniform(const ProbGraph& graph, Rng* rng,
+                                double lo = 0.01, double hi = 0.2);
+
+/// Exponentially distributed probabilities clipped to (0, cap]; produces the
+/// heavy-tailed CDF shape of probabilities *learnt* from logs (Figure 3) and
+/// is used as ground truth when simulating action logs.
+Result<ProbGraph> AssignExponential(const ProbGraph& graph, Rng* rng,
+                                    double mean = 0.05, double cap = 1.0);
+
+}  // namespace soi
+
+#endif  // SOI_GRAPH_PROB_ASSIGN_H_

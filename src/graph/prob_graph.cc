@@ -1,0 +1,130 @@
+#include "graph/prob_graph.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace soi {
+
+Result<EdgeId> ProbGraph::FindEdge(NodeId u, NodeId v) const {
+  if (u >= num_nodes_ || v >= num_nodes_) {
+    return Status::OutOfRange("FindEdge: node id out of range");
+  }
+  const auto nbrs = OutNeighbors(u);
+  const auto it = std::lower_bound(nbrs.begin(), nbrs.end(), v);
+  if (it == nbrs.end() || *it != v) {
+    return Status::NotFound("edge not present");
+  }
+  return static_cast<EdgeId>(offsets_[u] + (it - nbrs.begin()));
+}
+
+Result<ProbGraph> ProbGraph::WithProbs(std::vector<double> probs) const {
+  if (probs.size() != targets_.size()) {
+    return Status::InvalidArgument("WithProbs: size mismatch");
+  }
+  for (double p : probs) {
+    if (!(p > 0.0 && p <= 1.0)) {
+      return Status::InvalidArgument("WithProbs: probability outside (0,1]");
+    }
+  }
+  ProbGraph out = *this;
+  out.probs_ = std::move(probs);
+  return out;
+}
+
+std::vector<ProbEdge> ProbGraph::Edges() const {
+  std::vector<ProbEdge> out;
+  out.reserve(targets_.size());
+  for (EdgeId e = 0; e < num_edges(); ++e) {
+    out.push_back({sources_[e], targets_[e], probs_[e]});
+  }
+  return out;
+}
+
+double ProbGraph::ExpectedOutDegree(NodeId u) const {
+  double sum = 0.0;
+  for (double p : OutProbs(u)) sum += p;
+  return sum;
+}
+
+std::string ProbGraph::Summary() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "n=%u m=%u directed",
+                static_cast<unsigned>(num_nodes_),
+                static_cast<unsigned>(num_edges()));
+  return buf;
+}
+
+Status ProbGraphBuilder::AddEdge(NodeId u, NodeId v, double p) {
+  if (u >= num_nodes_ || v >= num_nodes_) {
+    return Status::OutOfRange("AddEdge: node id out of range");
+  }
+  if (u == v) {
+    return Status::InvalidArgument("AddEdge: self-loops not allowed");
+  }
+  if (!(p > 0.0 && p <= 1.0)) {
+    return Status::InvalidArgument("AddEdge: probability must be in (0,1]");
+  }
+  edges_.push_back({u, v, p});
+  return Status::OK();
+}
+
+Status ProbGraphBuilder::AddUndirectedEdge(NodeId u, NodeId v, double p) {
+  SOI_RETURN_IF_ERROR(AddEdge(u, v, p));
+  return AddEdge(v, u, p);
+}
+
+Result<ProbGraph> ProbGraphBuilder::Build() {
+  std::sort(edges_.begin(), edges_.end(),
+            [](const ProbEdge& a, const ProbEdge& b) {
+              return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+            });
+  // Deduplicate.
+  std::vector<ProbEdge> unique;
+  unique.reserve(edges_.size());
+  for (const ProbEdge& e : edges_) {
+    if (!unique.empty() && unique.back().src == e.src &&
+        unique.back().dst == e.dst) {
+      if (!keep_max_duplicate_) {
+        return Status::InvalidArgument(
+            "duplicate edge (" + std::to_string(e.src) + "," +
+            std::to_string(e.dst) + ")");
+      }
+      unique.back().prob = std::max(unique.back().prob, e.prob);
+      continue;
+    }
+    unique.push_back(e);
+  }
+
+  ProbGraph g;
+  g.num_nodes_ = num_nodes_;
+  const size_t m = unique.size();
+  g.offsets_.assign(num_nodes_ + 1, 0);
+  g.targets_.resize(m);
+  g.probs_.resize(m);
+  g.sources_.resize(m);
+  for (const ProbEdge& e : unique) ++g.offsets_[e.src + 1];
+  for (NodeId u = 0; u < num_nodes_; ++u) g.offsets_[u + 1] += g.offsets_[u];
+  for (size_t i = 0; i < m; ++i) {
+    g.targets_[i] = unique[i].dst;
+    g.probs_[i] = unique[i].prob;
+    g.sources_[i] = unique[i].src;
+  }
+
+  // Reverse CSR.
+  g.rev_offsets_.assign(num_nodes_ + 1, 0);
+  g.rev_sources_.resize(m);
+  for (const ProbEdge& e : unique) ++g.rev_offsets_[e.dst + 1];
+  for (NodeId v = 0; v < num_nodes_; ++v) {
+    g.rev_offsets_[v + 1] += g.rev_offsets_[v];
+  }
+  std::vector<uint64_t> cursor(g.rev_offsets_.begin(),
+                               g.rev_offsets_.end() - 1);
+  for (const ProbEdge& e : unique) {
+    g.rev_sources_[cursor[e.dst]++] = e.src;
+  }
+  // Sources within each in-neighborhood arrive in (src, dst) order, hence
+  // already sorted by src for a fixed dst.
+  return g;
+}
+
+}  // namespace soi

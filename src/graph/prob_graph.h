@@ -1,0 +1,150 @@
+#ifndef SOI_GRAPH_PROB_GRAPH_H_
+#define SOI_GRAPH_PROB_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+#include "util/status.h"
+
+namespace soi {
+
+/// Node identifier: dense, 0-based.
+using NodeId = uint32_t;
+/// Edge identifier: index into the CSR arrays of a ProbGraph.
+using EdgeId = uint32_t;
+
+inline constexpr NodeId kInvalidNode = ~NodeId{0};
+
+/// One directed probabilistic arc (u, v) with contagion probability p(u,v)
+/// in (0, 1]. Under the Independent Cascade model, when u becomes active it
+/// has a single chance to activate v, succeeding with probability `prob`.
+struct ProbEdge {
+  NodeId src = 0;
+  NodeId dst = 0;
+  double prob = 0.0;
+};
+
+/// A directed probabilistic graph G = (V, E, p): the input object of the
+/// whole library (paper §2.1). Immutable after construction; build it with
+/// ProbGraphBuilder. Stored as forward CSR plus a lazily shareable reverse
+/// CSR for in-degree queries (weighted-cascade probabilities) and learning.
+///
+/// Edges are unique per (src, dst) pair and sorted by (src, dst), so
+/// OutEdgesSorted merge algorithms can rely on the order.
+class ProbGraph {
+ public:
+  ProbGraph() = default;
+
+  NodeId num_nodes() const { return num_nodes_; }
+  EdgeId num_edges() const { return static_cast<EdgeId>(targets_.size()); }
+
+  /// Out-neighbors of u (sorted by node id).
+  std::span<const NodeId> OutNeighbors(NodeId u) const {
+    SOI_DCHECK(u < num_nodes_);
+    return {targets_.data() + offsets_[u],
+            targets_.data() + offsets_[u + 1]};
+  }
+
+  /// Probabilities aligned with OutNeighbors(u).
+  std::span<const double> OutProbs(NodeId u) const {
+    SOI_DCHECK(u < num_nodes_);
+    return {probs_.data() + offsets_[u], probs_.data() + offsets_[u + 1]};
+  }
+
+  /// First edge id of u's out-edge range; edge e = (u, targets_[e]) for
+  /// e in [OutBegin(u), OutBegin(u+1)).
+  EdgeId OutBegin(NodeId u) const {
+    SOI_DCHECK(u <= num_nodes_);
+    return static_cast<EdgeId>(offsets_[u]);
+  }
+
+  uint32_t OutDegree(NodeId u) const {
+    SOI_DCHECK(u < num_nodes_);
+    return static_cast<uint32_t>(offsets_[u + 1] - offsets_[u]);
+  }
+
+  /// In-neighbors of v (sorted). Requires reverse CSR (always built).
+  std::span<const NodeId> InNeighbors(NodeId v) const {
+    SOI_DCHECK(v < num_nodes_);
+    return {rev_sources_.data() + rev_offsets_[v],
+            rev_sources_.data() + rev_offsets_[v + 1]};
+  }
+
+  uint32_t InDegree(NodeId v) const {
+    SOI_DCHECK(v < num_nodes_);
+    return static_cast<uint32_t>(rev_offsets_[v + 1] - rev_offsets_[v]);
+  }
+
+  NodeId EdgeSource(EdgeId e) const { return sources_[e]; }
+  NodeId EdgeTarget(EdgeId e) const { return targets_[e]; }
+  double EdgeProb(EdgeId e) const { return probs_[e]; }
+
+  /// Returns the edge id of (u, v), or a NotFound status.
+  Result<EdgeId> FindEdge(NodeId u, NodeId v) const;
+
+  /// Returns a copy of this graph with the same topology but probabilities
+  /// replaced by `probs` (must have num_edges() entries in (0, 1]).
+  Result<ProbGraph> WithProbs(std::vector<double> probs) const;
+
+  /// All edges as a flat list (src, dst, prob), sorted by (src, dst).
+  std::vector<ProbEdge> Edges() const;
+
+  /// Sum of probabilities of out-edges (expected instantaneous fanout).
+  double ExpectedOutDegree(NodeId u) const;
+
+  /// Human-readable one-line summary: "n=15233 m=62774 directed".
+  std::string Summary() const;
+
+ private:
+  friend class ProbGraphBuilder;
+
+  NodeId num_nodes_ = 0;
+  // Forward CSR.
+  std::vector<uint64_t> offsets_;   // size num_nodes_ + 1
+  std::vector<NodeId> targets_;     // size m
+  std::vector<double> probs_;       // size m, aligned with targets_
+  std::vector<NodeId> sources_;     // size m, edge id -> source node
+  // Reverse CSR (no probabilities; look up via FindEdge when needed).
+  std::vector<uint64_t> rev_offsets_;
+  std::vector<NodeId> rev_sources_;
+};
+
+/// Accumulates edges and produces a validated ProbGraph.
+///
+/// Duplicate (src, dst) pairs are rejected by default (the paper's model has
+/// one probability per arc); set keep_max_duplicate(true) to instead keep the
+/// maximum probability, which is convenient when deriving arcs from noisy
+/// logs.
+class ProbGraphBuilder {
+ public:
+  explicit ProbGraphBuilder(NodeId num_nodes) : num_nodes_(num_nodes) {}
+
+  /// Adds the directed arc (u, v) with probability p. Self-loops are
+  /// rejected: they never change a cascade.
+  Status AddEdge(NodeId u, NodeId v, double p);
+
+  /// Adds both (u, v) and (v, u) with probability p.
+  Status AddUndirectedEdge(NodeId u, NodeId v, double p);
+
+  ProbGraphBuilder& keep_max_duplicate(bool keep) {
+    keep_max_duplicate_ = keep;
+    return *this;
+  }
+
+  size_t num_pending_edges() const { return edges_.size(); }
+
+  /// Validates, sorts, dedupes, and builds the CSR structures.
+  Result<ProbGraph> Build();
+
+ private:
+  NodeId num_nodes_;
+  bool keep_max_duplicate_ = false;
+  std::vector<ProbEdge> edges_;
+};
+
+}  // namespace soi
+
+#endif  // SOI_GRAPH_PROB_GRAPH_H_

@@ -1,0 +1,81 @@
+#include "graph/sparsify.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+namespace soi {
+
+namespace {
+
+Result<ProbGraph> BuildFromKept(const ProbGraph& graph,
+                                const std::vector<EdgeId>& kept) {
+  ProbGraphBuilder builder(graph.num_nodes());
+  for (EdgeId e : kept) {
+    SOI_RETURN_IF_ERROR(builder.AddEdge(graph.EdgeSource(e),
+                                        graph.EdgeTarget(e),
+                                        graph.EdgeProb(e)));
+  }
+  return builder.Build();
+}
+
+}  // namespace
+
+Result<ProbGraph> SparsifyGlobalTopK(const ProbGraph& graph,
+                                     EdgeId keep_edges) {
+  if (keep_edges >= graph.num_edges()) {
+    return graph;  // nothing to drop
+  }
+  std::vector<EdgeId> edges(graph.num_edges());
+  std::iota(edges.begin(), edges.end(), EdgeId{0});
+  std::partial_sort(edges.begin(), edges.begin() + keep_edges, edges.end(),
+                    [&](EdgeId a, EdgeId b) {
+                      if (graph.EdgeProb(a) != graph.EdgeProb(b)) {
+                        return graph.EdgeProb(a) > graph.EdgeProb(b);
+                      }
+                      return a < b;  // edge id order == (src, dst) order
+                    });
+  edges.resize(keep_edges);
+  return BuildFromKept(graph, edges);
+}
+
+Result<ProbGraph> SparsifyPerNodeTopK(const ProbGraph& graph,
+                                      uint32_t max_out_degree) {
+  if (max_out_degree == 0) {
+    return Status::InvalidArgument("max_out_degree must be >= 1");
+  }
+  std::vector<EdgeId> kept;
+  std::vector<EdgeId> local;
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    const EdgeId begin = graph.OutBegin(u);
+    const uint32_t degree = graph.OutDegree(u);
+    local.resize(degree);
+    std::iota(local.begin(), local.end(), begin);
+    if (degree > max_out_degree) {
+      std::partial_sort(local.begin(), local.begin() + max_out_degree,
+                        local.end(), [&](EdgeId a, EdgeId b) {
+                          if (graph.EdgeProb(a) != graph.EdgeProb(b)) {
+                            return graph.EdgeProb(a) > graph.EdgeProb(b);
+                          }
+                          return a < b;
+                        });
+      local.resize(max_out_degree);
+    }
+    kept.insert(kept.end(), local.begin(), local.end());
+  }
+  return BuildFromKept(graph, kept);
+}
+
+Result<ProbGraph> SparsifyByThreshold(const ProbGraph& graph,
+                                      double threshold) {
+  if (!(threshold >= 0.0 && threshold <= 1.0)) {
+    return Status::InvalidArgument("threshold must be in [0, 1]");
+  }
+  std::vector<EdgeId> kept;
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    if (graph.EdgeProb(e) >= threshold) kept.push_back(e);
+  }
+  return BuildFromKept(graph, kept);
+}
+
+}  // namespace soi

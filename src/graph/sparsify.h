@@ -1,0 +1,35 @@
+#ifndef SOI_GRAPH_SPARSIFY_H_
+#define SOI_GRAPH_SPARSIFY_H_
+
+#include "graph/prob_graph.h"
+#include "util/status.h"
+
+namespace soi {
+
+/// Influence-network sparsification (the paper's related work [29],
+/// Mathioudakis et al., KDD 2011): shrink a learnt influence graph to a
+/// prescribed number of arcs while retaining as much of the propagation
+/// behaviour as possible. Their exact objective maximizes the likelihood of
+/// the propagation log; the standard practical surrogate implemented here
+/// keeps the highest-probability arcs — globally, or per node to preserve
+/// every node's strongest influencers. Sparsified graphs build smaller
+/// cascade indexes with near-identical spheres for the retained arcs.
+
+/// Keeps the `keep_edges` arcs with the highest probabilities (ties broken
+/// by (src, dst) for determinism). keep_edges >= num_edges() is a no-op
+/// copy.
+Result<ProbGraph> SparsifyGlobalTopK(const ProbGraph& graph,
+                                     EdgeId keep_edges);
+
+/// Keeps, for every node, at most `max_out_degree` outgoing arcs (the
+/// highest-probability ones).
+Result<ProbGraph> SparsifyPerNodeTopK(const ProbGraph& graph,
+                                      uint32_t max_out_degree);
+
+/// Drops every arc with probability below `threshold`.
+Result<ProbGraph> SparsifyByThreshold(const ProbGraph& graph,
+                                      double threshold);
+
+}  // namespace soi
+
+#endif  // SOI_GRAPH_SPARSIFY_H_

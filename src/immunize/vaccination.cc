@@ -1,0 +1,153 @@
+#include "immunize/vaccination.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "cascade/world.h"
+#include "util/bitvector.h"
+
+namespace soi {
+
+namespace {
+
+Status CheckInfected(const ProbGraph& graph, std::span<const NodeId> infected) {
+  if (infected.empty()) return Status::InvalidArgument("no infected nodes");
+  for (NodeId s : infected) {
+    if (s >= graph.num_nodes()) {
+      return Status::OutOfRange("infected node out of range");
+    }
+  }
+  return Status::OK();
+}
+
+// Outbreak size in `world` from `infected`, treating `blocked` nodes as
+// removed (they neither get infected nor transmit). Blocked infected nodes
+// do not occur (vaccination targets are healthy by construction).
+uint64_t OutbreakSize(const Csr& world, std::span<const NodeId> infected,
+                      const BitVector& blocked, BitVector* visited,
+                      std::vector<NodeId>* frontier) {
+  visited->Reset();
+  frontier->clear();
+  for (NodeId s : infected) {
+    if (!blocked.Test(s) && visited->TestAndSet(s)) frontier->push_back(s);
+  }
+  for (size_t read = 0; read < frontier->size(); ++read) {
+    for (NodeId v : world.Neighbors((*frontier)[read])) {
+      if (blocked.Test(v)) continue;
+      if (visited->TestAndSet(v)) frontier->push_back(v);
+    }
+  }
+  return frontier->size();
+}
+
+}  // namespace
+
+Result<VaccinationResult> SelectVaccinationTargets(
+    const ProbGraph& graph, std::span<const NodeId> infected,
+    const VaccinationOptions& options, Rng* rng) {
+  SOI_RETURN_IF_ERROR(CheckInfected(graph, infected));
+  if (options.k == 0) return Status::InvalidArgument("k must be >= 1");
+  if (options.num_worlds == 0) {
+    return Status::InvalidArgument("num_worlds must be >= 1");
+  }
+  const NodeId n = graph.num_nodes();
+
+  // Sample the worlds once; greedy rounds reuse them (common random numbers
+  // make marginal comparisons low-variance).
+  std::vector<Csr> worlds;
+  worlds.reserve(options.num_worlds);
+  for (uint32_t i = 0; i < options.num_worlds; ++i) {
+    worlds.push_back(SampleWorld(graph, rng));
+  }
+
+  BitVector is_infected(n);
+  for (NodeId s : infected) is_infected.Set(s);
+
+  // Infection frequency over worlds -> candidate pool.
+  std::vector<uint32_t> hit_count(n, 0);
+  BitVector visited(n);
+  std::vector<NodeId> frontier;
+  BitVector no_block(n);
+  for (const Csr& world : worlds) {
+    OutbreakSize(world, infected, no_block, &visited, &frontier);
+    for (NodeId v : frontier) ++hit_count[v];
+  }
+  std::vector<NodeId> candidates;
+  for (NodeId v = 0; v < n; ++v) {
+    if (hit_count[v] > 0 && !is_infected.Test(v)) candidates.push_back(v);
+  }
+  if (options.max_candidates > 0 &&
+      candidates.size() > options.max_candidates) {
+    std::partial_sort(candidates.begin(),
+                      candidates.begin() + options.max_candidates,
+                      candidates.end(), [&](NodeId a, NodeId b) {
+                        return hit_count[a] != hit_count[b]
+                                   ? hit_count[a] > hit_count[b]
+                                   : a < b;
+                      });
+    candidates.resize(options.max_candidates);
+    std::sort(candidates.begin(), candidates.end());
+  }
+
+  VaccinationResult result;
+  BitVector blocked(n);
+  auto expected_outbreak = [&](const BitVector& block) {
+    uint64_t total = 0;
+    for (const Csr& world : worlds) {
+      total += OutbreakSize(world, infected, block, &visited, &frontier);
+    }
+    return static_cast<double>(total) / worlds.size();
+  };
+  result.outbreak_before = expected_outbreak(blocked);
+
+  double current = result.outbreak_before;
+  const uint32_t k = std::min<uint32_t>(
+      options.k, static_cast<uint32_t>(candidates.size()));
+  for (uint32_t round = 0; round < k; ++round) {
+    NodeId best = kInvalidNode;
+    double best_outbreak = current + 1.0;
+    for (NodeId v : candidates) {
+      if (blocked.Test(v)) continue;
+      blocked.Set(v);
+      const double outbreak = expected_outbreak(blocked);
+      blocked.Clear(v);
+      if (outbreak < best_outbreak) {
+        best_outbreak = outbreak;
+        best = v;
+      }
+    }
+    if (best == kInvalidNode) break;
+    blocked.Set(best);
+    result.vaccinated.push_back(best);
+    result.steps.push_back({best, current - best_outbreak, best_outbreak});
+    current = best_outbreak;
+  }
+  result.outbreak_after = current;
+  return result;
+}
+
+Result<double> EstimateOutbreak(const ProbGraph& graph,
+                                std::span<const NodeId> infected,
+                                std::span<const NodeId> removed,
+                                uint32_t num_samples, Rng* rng) {
+  SOI_RETURN_IF_ERROR(CheckInfected(graph, infected));
+  if (num_samples == 0) {
+    return Status::InvalidArgument("num_samples must be >= 1");
+  }
+  const NodeId n = graph.num_nodes();
+  BitVector blocked(n);
+  for (NodeId v : removed) {
+    if (v >= n) return Status::OutOfRange("removed node out of range");
+    blocked.Set(v);
+  }
+  BitVector visited(n);
+  std::vector<NodeId> frontier;
+  uint64_t total = 0;
+  for (uint32_t i = 0; i < num_samples; ++i) {
+    const Csr world = SampleWorld(graph, rng);
+    total += OutbreakSize(world, infected, blocked, &visited, &frontier);
+  }
+  return static_cast<double>(total) / num_samples;
+}
+
+}  // namespace soi

@@ -1,0 +1,66 @@
+#ifndef SOI_IMMUNIZE_VACCINATION_H_
+#define SOI_IMMUNIZE_VACCINATION_H_
+
+#include <span>
+#include <vector>
+
+#include "graph/prob_graph.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace soi {
+
+/// Data-driven vaccination (the paper's §7/§8 pointer to Zhang & Prakash,
+/// DAVA): given a set of already-infected nodes, choose k healthy nodes to
+/// vaccinate (remove from the graph) so that the expected final outbreak is
+/// minimized.
+///
+/// Greedy on sampled worlds: each round evaluates, for every candidate, the
+/// expected number of nodes *saved* by additionally removing it, and commits
+/// the best. The objective (expected outbreak size after removals) is
+/// monotone non-increasing but NOT supermodular in general, so this is a
+/// principled heuristic — the same footing as DAVA — rather than an
+/// approximation algorithm.
+struct VaccinationOptions {
+  /// Number of nodes to vaccinate.
+  uint32_t k = 10;
+  /// Worlds sampled once and reused across rounds.
+  uint32_t num_worlds = 128;
+  /// Candidate pool: the healthy nodes most frequently infected across the
+  /// sampled worlds (0 = all healthy nodes that were ever infected).
+  /// Restricting the pool bounds each round to
+  /// O(candidates * worlds * outbreak).
+  uint32_t max_candidates = 200;
+};
+
+struct VaccinationStep {
+  NodeId vaccinated = kInvalidNode;
+  /// Expected nodes saved by this vaccination (marginal).
+  double saved = 0.0;
+  /// Expected outbreak size after it.
+  double outbreak_after = 0.0;
+};
+
+struct VaccinationResult {
+  std::vector<NodeId> vaccinated;  // in selection order
+  std::vector<VaccinationStep> steps;
+  double outbreak_before = 0.0;
+  double outbreak_after = 0.0;
+};
+
+/// Selects vaccination targets for the outbreak started by `infected`.
+/// Infected nodes cannot be vaccinated (it is too late for them).
+Result<VaccinationResult> SelectVaccinationTargets(
+    const ProbGraph& graph, std::span<const NodeId> infected,
+    const VaccinationOptions& options, Rng* rng);
+
+/// Expected outbreak size from `infected` when `removed` nodes are
+/// vaccinated, by direct Monte-Carlo (evaluation utility; fresh worlds).
+Result<double> EstimateOutbreak(const ProbGraph& graph,
+                                std::span<const NodeId> infected,
+                                std::span<const NodeId> removed,
+                                uint32_t num_samples, Rng* rng);
+
+}  // namespace soi
+
+#endif  // SOI_IMMUNIZE_VACCINATION_H_

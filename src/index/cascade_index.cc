@@ -1,0 +1,148 @@
+#include "index/cascade_index.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "cascade/threshold.h"
+#include "cascade/world.h"
+#include "util/stats.h"
+
+namespace soi {
+
+void CascadeIndex::Workspace::Prepare(uint32_t num_components) {
+  if (stamp_.size() < num_components) {
+    stamp_.assign(num_components, 0);
+    stamp_id_ = 0;
+  }
+  if (++stamp_id_ == 0) {  // stamp counter wrapped: hard reset
+    std::fill(stamp_.begin(), stamp_.end(), 0);
+    stamp_id_ = 1;
+  }
+  comps_.clear();
+}
+
+Result<CascadeIndex> CascadeIndex::Build(const ProbGraph& graph,
+                                         const CascadeIndexOptions& options,
+                                         Rng* rng) {
+  if (options.num_worlds == 0) {
+    return Status::InvalidArgument("CascadeIndex: num_worlds must be >= 1");
+  }
+  if (graph.num_nodes() == 0) {
+    return Status::InvalidArgument("CascadeIndex: empty graph");
+  }
+  WallTimer timer;
+  CascadeIndex index;
+  index.num_nodes_ = graph.num_nodes();
+  index.worlds_.reserve(options.num_worlds);
+
+  // Linear Threshold worlds share an amortized sampler (validates weights
+  // and precomputes cumulative in-weights once).
+  std::optional<LtWorldSampler> lt_sampler;
+  if (options.model == PropagationModel::kLinearThreshold) {
+    SOI_ASSIGN_OR_RETURN(lt_sampler, LtWorldSampler::Create(graph));
+  }
+
+  RunningStats comps, edges_before, edges_after;
+  for (uint32_t i = 0; i < options.num_worlds; ++i) {
+    const Csr world = lt_sampler.has_value() ? lt_sampler->Sample(rng)
+                                             : SampleWorld(graph, rng);
+    Condensation cond = Condensation::Build(world);
+    uint32_t before = cond.num_dag_edges();
+    uint32_t after = before;
+    if (options.transitive_reduction) {
+      const ReductionStats rstats = TransitiveReduce(&cond, options.reduction);
+      before = rstats.edges_before;
+      after = rstats.edges_after;
+    }
+    comps.Add(cond.num_components());
+    edges_before.Add(before);
+    edges_after.Add(after);
+    index.worlds_.push_back(std::move(cond));
+  }
+
+  index.stats_.build_seconds = timer.ElapsedSeconds();
+  index.stats_.avg_components = comps.mean();
+  index.stats_.avg_dag_edges_before = edges_before.mean();
+  index.stats_.avg_dag_edges_after = edges_after.mean();
+  uint64_t bytes = 0;
+  for (const Condensation& c : index.worlds_) {
+    bytes += 4ull * c.comp_of().size();          // I[v, i] column
+    bytes += 4ull * (c.num_components() + 1);    // members offsets
+    bytes += 4ull * c.num_nodes();               // members targets
+    bytes += 4ull * (c.num_components() + 1);    // dag offsets
+    bytes += 4ull * c.num_dag_edges();           // dag targets
+  }
+  index.stats_.approx_bytes = bytes;
+  return index;
+}
+
+Result<CascadeIndex> CascadeIndex::FromWorlds(NodeId num_nodes,
+                                              std::vector<Condensation> worlds) {
+  if (num_nodes == 0) return Status::InvalidArgument("empty node set");
+  if (worlds.empty()) return Status::InvalidArgument("no worlds");
+  for (const Condensation& c : worlds) {
+    if (c.num_nodes() != num_nodes) {
+      return Status::InvalidArgument("condensation node count mismatch");
+    }
+  }
+  CascadeIndex index;
+  index.num_nodes_ = num_nodes;
+  RunningStats comps, edges;
+  uint64_t bytes = 0;
+  for (const Condensation& c : worlds) {
+    comps.Add(c.num_components());
+    edges.Add(c.num_dag_edges());
+    bytes += 4ull * c.comp_of().size() + 4ull * c.num_nodes() +
+             8ull * (c.num_components() + 1) + 4ull * c.num_dag_edges();
+  }
+  index.stats_.avg_components = comps.mean();
+  index.stats_.avg_dag_edges_before = edges.mean();
+  index.stats_.avg_dag_edges_after = edges.mean();
+  index.stats_.approx_bytes = bytes;
+  index.worlds_ = std::move(worlds);
+  return index;
+}
+
+std::vector<NodeId> CascadeIndex::Cascade(std::span<const NodeId> seeds,
+                                          uint32_t i, Workspace* ws) const {
+  const Condensation& cond = world(i);
+  ws->Prepare(cond.num_components());
+  for (NodeId s : seeds) {
+    SOI_CHECK(s < num_nodes_);
+    ReachableComponents(cond, cond.ComponentOf(s), &ws->stamp_, ws->stamp_id_,
+                        &ws->comps_);
+  }
+  std::vector<NodeId> out;
+  for (uint32_t c : ws->comps_) {
+    const auto members = cond.ComponentMembers(c);
+    out.insert(out.end(), members.begin(), members.end());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+uint64_t CascadeIndex::CascadeSize(std::span<const NodeId> seeds, uint32_t i,
+                                   Workspace* ws) const {
+  const Condensation& cond = world(i);
+  ws->Prepare(cond.num_components());
+  for (NodeId s : seeds) {
+    SOI_CHECK(s < num_nodes_);
+    ReachableComponents(cond, cond.ComponentOf(s), &ws->stamp_, ws->stamp_id_,
+                        &ws->comps_);
+  }
+  uint64_t total = 0;
+  for (uint32_t c : ws->comps_) total += cond.ComponentSize(c);
+  return total;
+}
+
+std::vector<std::vector<NodeId>> CascadeIndex::AllCascades(
+    std::span<const NodeId> seeds, Workspace* ws) const {
+  std::vector<std::vector<NodeId>> out;
+  out.reserve(num_worlds());
+  for (uint32_t i = 0; i < num_worlds(); ++i) {
+    out.push_back(Cascade(seeds, i, ws));
+  }
+  return out;
+}
+
+}  // namespace soi

@@ -1,0 +1,129 @@
+#ifndef SOI_INDEX_CASCADE_INDEX_H_
+#define SOI_INDEX_CASCADE_INDEX_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/prob_graph.h"
+#include "scc/condensation.h"
+#include "scc/transitive.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace soi {
+
+/// Diffusion model whose live-edge worlds the index samples. Both models
+/// admit a live-edge view (KKT 2003), so everything downstream — typical
+/// cascades, spread oracles, InfMax — is model-agnostic.
+enum class PropagationModel {
+  /// Independent Cascade: every edge flips its own coin (the paper's model).
+  kIndependentCascade,
+  /// Linear Threshold: every node keeps at most one incoming edge, chosen
+  /// with probability equal to its weight (requires per-node in-weights
+  /// summing to <= 1; see cascade/threshold.h).
+  kLinearThreshold,
+};
+
+/// Options for index construction.
+struct CascadeIndexOptions {
+  /// Number of sampled possible worlds l. Theorem 2: a constant number of
+  /// samples suffices for a multiplicative approximation; the paper uses
+  /// 1000, we default lower for single-core sweeps.
+  uint32_t num_worlds = 128;
+  PropagationModel model = PropagationModel::kIndependentCascade;
+  /// Apply the transitive reduction to each condensation (paper §4);
+  /// disabling is an ablation that trades memory for build time.
+  bool transitive_reduction = true;
+  ReductionOptions reduction;
+};
+
+/// Aggregate construction statistics (reported by benches).
+struct CascadeIndexStats {
+  double build_seconds = 0.0;
+  double avg_components = 0.0;
+  double avg_dag_edges_before = 0.0;
+  double avg_dag_edges_after = 0.0;
+  uint64_t approx_bytes = 0;
+};
+
+/// The cascade index of Algorithm 1 (paper §4, Figure 2): for each of the l
+/// sampled worlds G_i it stores the SCC condensation (DAG, transitively
+/// reduced) plus the node→component matrix I[v, i]. The cascade of v in G_i
+/// is then the union of the members of all components reachable from
+/// I[v, i], obtained by one DAG traversal — typically far cheaper than
+/// re-traversing G_i.
+class CascadeIndex {
+ public:
+  /// Reusable per-thread scratch for cascade queries; sized on first use.
+  class Workspace {
+   public:
+    Workspace() = default;
+
+   private:
+    friend class CascadeIndex;
+    void Prepare(uint32_t num_components);
+
+    std::vector<uint32_t> stamp_;
+    uint32_t stamp_id_ = 0;
+    std::vector<uint32_t> comps_;
+  };
+
+  /// Samples l worlds from `graph` and builds their condensations.
+  static Result<CascadeIndex> Build(const ProbGraph& graph,
+                                    const CascadeIndexOptions& options,
+                                    Rng* rng);
+
+  /// Reassembles an index from prebuilt condensations (deserialization path;
+  /// see index/index_io.h). All condensations must cover `num_nodes` nodes.
+  static Result<CascadeIndex> FromWorlds(NodeId num_nodes,
+                                         std::vector<Condensation> worlds);
+
+  uint32_t num_worlds() const { return static_cast<uint32_t>(worlds_.size()); }
+  NodeId num_nodes() const { return num_nodes_; }
+  const CascadeIndexStats& stats() const { return stats_; }
+
+  /// The condensation of world i.
+  const Condensation& world(uint32_t i) const {
+    SOI_DCHECK(i < worlds_.size());
+    return worlds_[i];
+  }
+
+  /// The I[v, i] matrix entry: component of v in world i.
+  uint32_t ComponentOf(NodeId v, uint32_t i) const {
+    return world(i).ComponentOf(v);
+  }
+
+  /// Cascade of the seed set in world i, sorted ascending (includes seeds).
+  std::vector<NodeId> Cascade(std::span<const NodeId> seeds, uint32_t i,
+                              Workspace* ws) const;
+  std::vector<NodeId> Cascade(NodeId v, uint32_t i, Workspace* ws) const {
+    const NodeId seeds[1] = {v};
+    return Cascade(std::span<const NodeId>(seeds, 1), i, ws);
+  }
+
+  /// Number of nodes in the cascade, without materializing them.
+  uint64_t CascadeSize(std::span<const NodeId> seeds, uint32_t i,
+                       Workspace* ws) const;
+  uint64_t CascadeSize(NodeId v, uint32_t i, Workspace* ws) const {
+    const NodeId seeds[1] = {v};
+    return CascadeSize(std::span<const NodeId>(seeds, 1), i, ws);
+  }
+
+  /// All l cascades of a seed set (the sample fed to the Jaccard median).
+  std::vector<std::vector<NodeId>> AllCascades(std::span<const NodeId> seeds,
+                                               Workspace* ws) const;
+  std::vector<std::vector<NodeId>> AllCascades(NodeId v, Workspace* ws) const {
+    const NodeId seeds[1] = {v};
+    return AllCascades(std::span<const NodeId>(seeds, 1), ws);
+  }
+
+ private:
+  NodeId num_nodes_ = 0;
+  std::vector<Condensation> worlds_;
+  CascadeIndexStats stats_;
+};
+
+}  // namespace soi
+
+#endif  // SOI_INDEX_CASCADE_INDEX_H_

@@ -1,0 +1,164 @@
+#include "index/index_io.h"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace soi {
+
+namespace {
+
+constexpr char kMagic[8] = {'S', 'O', 'I', 'I', 'D', 'X', '\0', '\0'};
+constexpr uint32_t kVersion = 1;
+
+void AppendU32(std::string* out, uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out->append(buf, 4);
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out->append(buf, 8);
+}
+
+uint64_t Fnv1a(const char* data, size_t size) {
+  uint64_t hash = 1469598103934665603ull;
+  for (size_t i = 0; i < size; ++i) {
+    hash ^= static_cast<unsigned char>(data[i]);
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+// Bounds-checked little-endian reader.
+class Reader {
+ public:
+  Reader(const char* data, size_t size) : data_(data), size_(size) {}
+
+  Result<uint32_t> U32() {
+    if (pos_ + 4 > size_) return Truncated();
+    uint32_t v;
+    std::memcpy(&v, data_ + pos_, 4);
+    pos_ += 4;
+    return v;
+  }
+
+  Result<uint64_t> U64() {
+    if (pos_ + 8 > size_) return Truncated().status();
+    uint64_t v;
+    std::memcpy(&v, data_ + pos_, 8);
+    pos_ += 8;
+    return v;
+  }
+
+  Status ReadU32Array(size_t count, std::vector<uint32_t>* out) {
+    if (pos_ + 4 * count > size_) return Truncated().status();
+    out->resize(count);
+    std::memcpy(out->data(), data_ + pos_, 4 * count);
+    pos_ += 4 * count;
+    return Status::OK();
+  }
+
+  size_t pos() const { return pos_; }
+
+ private:
+  static Result<uint32_t> Truncated() {
+    return Status::IOError("truncated index payload");
+  }
+
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string SerializeCascadeIndex(const CascadeIndex& index) {
+  std::string out(kMagic, sizeof(kMagic));
+  AppendU32(&out, kVersion);
+  AppendU32(&out, index.num_nodes());
+  AppendU32(&out, index.num_worlds());
+  for (uint32_t i = 0; i < index.num_worlds(); ++i) {
+    const Condensation& cond = index.world(i);
+    AppendU32(&out, cond.num_components());
+    for (uint32_t c : cond.comp_of()) AppendU32(&out, c);
+    const Csr& dag = cond.dag();
+    AppendU32(&out, dag.num_edges());
+    for (uint32_t off : dag.offsets) AppendU32(&out, off);
+    for (NodeId t : dag.targets) AppendU32(&out, t);
+  }
+  AppendU64(&out, Fnv1a(out.data() + sizeof(kMagic),
+                        out.size() - sizeof(kMagic)));
+  return out;
+}
+
+Result<CascadeIndex> DeserializeCascadeIndex(const std::string& bytes) {
+  if (bytes.size() < sizeof(kMagic) + 12 + 8 ||
+      std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::IOError("not a soi cascade index");
+  }
+  // Verify trailing checksum first.
+  const size_t body_end = bytes.size() - 8;
+  uint64_t stored_checksum;
+  std::memcpy(&stored_checksum, bytes.data() + body_end, 8);
+  const uint64_t computed = Fnv1a(bytes.data() + sizeof(kMagic),
+                                  body_end - sizeof(kMagic));
+  if (stored_checksum != computed) {
+    return Status::IOError("index checksum mismatch (corrupt file?)");
+  }
+
+  Reader reader(bytes.data() + sizeof(kMagic), body_end - sizeof(kMagic));
+  SOI_ASSIGN_OR_RETURN(const uint32_t version, reader.U32());
+  if (version != kVersion) {
+    return Status::IOError("unsupported index version " +
+                           std::to_string(version));
+  }
+  SOI_ASSIGN_OR_RETURN(const uint32_t num_nodes, reader.U32());
+  SOI_ASSIGN_OR_RETURN(const uint32_t num_worlds, reader.U32());
+  if (num_worlds == 0 || num_nodes == 0) {
+    return Status::IOError("index with no nodes or worlds");
+  }
+
+  std::vector<Condensation> worlds;
+  worlds.reserve(num_worlds);
+  for (uint32_t i = 0; i < num_worlds; ++i) {
+    SOI_ASSIGN_OR_RETURN(const uint32_t num_components, reader.U32());
+    std::vector<uint32_t> comp_of;
+    SOI_RETURN_IF_ERROR(reader.ReadU32Array(num_nodes, &comp_of));
+    SOI_ASSIGN_OR_RETURN(const uint32_t num_dag_edges, reader.U32());
+    Csr dag;
+    SOI_RETURN_IF_ERROR(
+        reader.ReadU32Array(num_components + 1, &dag.offsets));
+    SOI_RETURN_IF_ERROR(reader.ReadU32Array(num_dag_edges, &dag.targets));
+    if (!dag.offsets.empty() && dag.offsets.back() != num_dag_edges) {
+      return Status::IOError("inconsistent DAG offsets");
+    }
+    SOI_ASSIGN_OR_RETURN(
+        Condensation cond,
+        Condensation::FromParts(std::move(comp_of), num_components,
+                                std::move(dag)));
+    worlds.push_back(std::move(cond));
+  }
+  return CascadeIndex::FromWorlds(num_nodes, std::move(worlds));
+}
+
+Status SaveCascadeIndex(const CascadeIndex& index, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open '" + path + "' for writing");
+  const std::string bytes = SerializeCascadeIndex(index);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!out) return Status::IOError("write to '" + path + "' failed");
+  return Status::OK();
+}
+
+Result<CascadeIndex> LoadCascadeIndex(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return DeserializeCascadeIndex(buf.str());
+}
+
+}  // namespace soi

@@ -1,0 +1,42 @@
+#ifndef SOI_INDEX_INDEX_IO_H_
+#define SOI_INDEX_INDEX_IO_H_
+
+#include <string>
+
+#include "index/cascade_index.h"
+#include "util/status.h"
+
+namespace soi {
+
+/// Binary persistence for the cascade index. The paper's deployment story
+/// (§8) is "precompute the spheres of influence once, reuse them across
+/// campaigns" — persisting the sampled condensations makes the index itself
+/// reusable across processes.
+///
+/// Format (little-endian, versioned):
+///   magic "SOIIDX\0", u32 version, u32 num_nodes, u32 num_worlds
+///   per world:
+///     u32 num_components
+///     u32 comp_of[num_nodes]
+///     u32 num_dag_edges
+///     u32 dag_offsets[num_components + 1]
+///     u32 dag_targets[num_dag_edges]
+///   u64 FNV-1a checksum of everything after the magic
+///
+/// The members CSR is not stored; it is rebuilt from comp_of on load.
+
+/// Serializes the index to a byte string.
+std::string SerializeCascadeIndex(const CascadeIndex& index);
+
+/// Parses an index from bytes produced by SerializeCascadeIndex.
+Result<CascadeIndex> DeserializeCascadeIndex(const std::string& bytes);
+
+/// Writes the index to a file.
+Status SaveCascadeIndex(const CascadeIndex& index, const std::string& path);
+
+/// Loads an index from a file.
+Result<CascadeIndex> LoadCascadeIndex(const std::string& path);
+
+}  // namespace soi
+
+#endif  // SOI_INDEX_INDEX_IO_H_

@@ -1,0 +1,62 @@
+#include "infmax/baselines.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace soi {
+
+namespace {
+
+Status CheckK(const ProbGraph& graph, uint32_t k) {
+  if (k == 0) return Status::InvalidArgument("k must be >= 1");
+  if (k > graph.num_nodes()) {
+    return Status::InvalidArgument("k exceeds number of nodes");
+  }
+  return Status::OK();
+}
+
+template <typename Score>
+std::vector<NodeId> TopK(NodeId n, uint32_t k, Score&& score) {
+  std::vector<NodeId> nodes(n);
+  std::iota(nodes.begin(), nodes.end(), NodeId{0});
+  std::partial_sort(nodes.begin(), nodes.begin() + k, nodes.end(),
+                    [&](NodeId a, NodeId b) {
+                      const auto sa = score(a);
+                      const auto sb = score(b);
+                      return sa != sb ? sa > sb : a < b;
+                    });
+  nodes.resize(k);
+  return nodes;
+}
+
+}  // namespace
+
+Result<std::vector<NodeId>> SelectTopDegree(const ProbGraph& graph,
+                                            uint32_t k) {
+  SOI_RETURN_IF_ERROR(CheckK(graph, k));
+  return TopK(graph.num_nodes(), k,
+              [&](NodeId v) { return graph.OutDegree(v); });
+}
+
+Result<std::vector<NodeId>> SelectTopExpectedDegree(const ProbGraph& graph,
+                                                    uint32_t k) {
+  SOI_RETURN_IF_ERROR(CheckK(graph, k));
+  return TopK(graph.num_nodes(), k,
+              [&](NodeId v) { return graph.ExpectedOutDegree(v); });
+}
+
+Result<std::vector<NodeId>> SelectRandom(const ProbGraph& graph, uint32_t k,
+                                         Rng* rng) {
+  SOI_RETURN_IF_ERROR(CheckK(graph, k));
+  // Partial Fisher-Yates over a node permutation.
+  std::vector<NodeId> nodes(graph.num_nodes());
+  std::iota(nodes.begin(), nodes.end(), NodeId{0});
+  for (uint32_t i = 0; i < k; ++i) {
+    const uint64_t j = i + rng->NextBounded(nodes.size() - i);
+    std::swap(nodes[i], nodes[j]);
+  }
+  nodes.resize(k);
+  return nodes;
+}
+
+}  // namespace soi

@@ -1,0 +1,30 @@
+#ifndef SOI_INFMAX_BASELINES_H_
+#define SOI_INFMAX_BASELINES_H_
+
+#include <vector>
+
+#include "graph/prob_graph.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace soi {
+
+/// Non-greedy seed-selection baselines used for sanity context in the
+/// experiment harnesses (the influence-maximization literature's standard
+/// straw men).
+
+/// Top-k nodes by out-degree (ties by smaller id).
+Result<std::vector<NodeId>> SelectTopDegree(const ProbGraph& graph,
+                                            uint32_t k);
+
+/// Top-k nodes by expected out-degree (sum of outgoing probabilities).
+Result<std::vector<NodeId>> SelectTopExpectedDegree(const ProbGraph& graph,
+                                                    uint32_t k);
+
+/// k distinct nodes uniformly at random.
+Result<std::vector<NodeId>> SelectRandom(const ProbGraph& graph, uint32_t k,
+                                         Rng* rng);
+
+}  // namespace soi
+
+#endif  // SOI_INFMAX_BASELINES_H_

@@ -1,0 +1,86 @@
+#include "infmax/evaluate.h"
+
+#include <algorithm>
+
+#include "cascade/world.h"
+#include "scc/condensation.h"
+#include "util/bitvector.h"
+
+namespace soi {
+
+namespace {
+
+Status CheckArgs(const ProbGraph& graph, std::span<const NodeId> seeds,
+                 uint32_t num_worlds) {
+  if (seeds.empty()) return Status::InvalidArgument("empty seed sequence");
+  if (num_worlds == 0) return Status::InvalidArgument("num_worlds must be >= 1");
+  for (NodeId s : seeds) {
+    if (s >= graph.num_nodes()) return Status::OutOfRange("seed out of range");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::vector<double>> EvaluatePrefixSpreads(const ProbGraph& graph,
+                                                  std::span<const NodeId> seeds,
+                                                  uint32_t num_worlds,
+                                                  Rng* rng) {
+  SOI_RETURN_IF_ERROR(CheckArgs(graph, seeds, num_worlds));
+  std::vector<uint64_t> totals(seeds.size(), 0);
+
+  BitVector covered;
+  std::vector<uint32_t> stamp;
+  std::vector<uint32_t> stack;
+  for (uint32_t w = 0; w < num_worlds; ++w) {
+    const Csr world = SampleWorld(graph, rng);
+    const Condensation cond = Condensation::Build(world);
+    const uint32_t nc = cond.num_components();
+    covered.Resize(nc);
+    stamp.assign(nc, 0);
+
+    uint64_t covered_nodes = 0;
+    for (size_t j = 0; j < seeds.size(); ++j) {
+      const uint32_t start = cond.ComponentOf(seeds[j]);
+      if (!covered.Test(start)) {
+        // DFS skipping covered components (their closures are covered).
+        stack.clear();
+        stack.push_back(start);
+        stamp[start] = 1;
+        while (!stack.empty()) {
+          const uint32_t c = stack.back();
+          stack.pop_back();
+          covered.Set(c);
+          covered_nodes += cond.ComponentSize(c);
+          for (uint32_t succ : cond.DagSuccessors(c)) {
+            if (stamp[succ] == 1 || covered.Test(succ)) continue;
+            stamp[succ] = 1;
+            stack.push_back(succ);
+          }
+        }
+      }
+      totals[j] += covered_nodes;
+    }
+  }
+
+  std::vector<double> spreads(seeds.size());
+  for (size_t j = 0; j < seeds.size(); ++j) {
+    spreads[j] = static_cast<double>(totals[j]) /
+                 static_cast<double>(num_worlds);
+  }
+  return spreads;
+}
+
+Result<double> EvaluateSpread(const ProbGraph& graph,
+                              std::span<const NodeId> seeds,
+                              uint32_t num_worlds, Rng* rng) {
+  SOI_RETURN_IF_ERROR(CheckArgs(graph, seeds, num_worlds));
+  uint64_t total = 0;
+  for (uint32_t w = 0; w < num_worlds; ++w) {
+    const Csr world = SampleWorld(graph, rng);
+    total += ReachableFromSet(world, seeds).size();
+  }
+  return static_cast<double>(total) / static_cast<double>(num_worlds);
+}
+
+}  // namespace soi

@@ -1,0 +1,35 @@
+#ifndef SOI_INFMAX_EVALUATE_H_
+#define SOI_INFMAX_EVALUATE_H_
+
+#include <span>
+#include <vector>
+
+#include "graph/prob_graph.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace soi {
+
+/// Unbiased evaluation of seed sequences on *fresh* sampled worlds,
+/// independent of whatever samples the selection algorithms optimized on.
+/// This is the Y-axis of Figure 6: both InfMax_std and InfMax_TC seed
+/// sequences are scored with the same evaluator, so neither gets to grade
+/// its own homework.
+
+/// Expected spread sigma(seeds[0..j]) for every prefix j = 1..|seeds|,
+/// estimated over `num_worlds` freshly sampled possible worlds. Worlds are
+/// streamed one at a time (memory O(graph)). Returns a vector of |seeds|
+/// values.
+Result<std::vector<double>> EvaluatePrefixSpreads(const ProbGraph& graph,
+                                                  std::span<const NodeId> seeds,
+                                                  uint32_t num_worlds,
+                                                  Rng* rng);
+
+/// Expected spread of a single fixed seed set over fresh worlds.
+Result<double> EvaluateSpread(const ProbGraph& graph,
+                              std::span<const NodeId> seeds,
+                              uint32_t num_worlds, Rng* rng);
+
+}  // namespace soi
+
+#endif  // SOI_INFMAX_EVALUATE_H_

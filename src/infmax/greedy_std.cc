@@ -1,0 +1,190 @@
+#include "infmax/greedy_std.h"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+#include "infmax/spread_oracle.h"
+#include "util/bitvector.h"
+
+namespace soi {
+
+namespace {
+
+// CELF heap entry: stale gains bubble up and get refreshed lazily.
+struct CelfEntry {
+  double gain;
+  NodeId node;
+  uint32_t round;  // iteration at which `gain` was computed
+};
+
+struct CelfLess {
+  bool operator()(const CelfEntry& a, const CelfEntry& b) const {
+    if (a.gain != b.gain) return a.gain < b.gain;
+    return a.node > b.node;  // deterministic: prefer smaller node id
+  }
+};
+
+// Generic CELF loop over any marginal-gain oracle.
+//   gain(v)   -> estimated marginal gain of v w.r.t. the committed set
+//   commit(v) -> commits v, returns (realized gain, objective after)
+template <typename GainFn, typename CommitFn>
+GreedyResult RunCelf(NodeId n, uint32_t k, GainFn&& gain, CommitFn&& commit) {
+  GreedyResult result;
+  std::priority_queue<CelfEntry, std::vector<CelfEntry>, CelfLess> heap;
+  for (NodeId v = 0; v < n; ++v) {
+    heap.push({gain(v), v, 0});
+  }
+  for (uint32_t round = 1; round <= k && !heap.empty(); ++round) {
+    while (true) {
+      CelfEntry top = heap.top();
+      if (top.round == round) {
+        heap.pop();
+        const auto [realized, objective] = commit(top.node);
+        result.seeds.push_back(top.node);
+        result.steps.push_back({top.node, realized, objective, -1.0});
+        break;
+      }
+      heap.pop();
+      top.gain = gain(top.node);
+      top.round = round;
+      heap.push(top);
+    }
+  }
+  return result;
+}
+
+// Generic exhaustive loop; records MG_10/MG_1 when track_saturation is set.
+template <typename GainFn, typename CommitFn>
+GreedyResult RunExhaustive(NodeId n, uint32_t k, bool track_saturation,
+                           GainFn&& gain, CommitFn&& commit) {
+  GreedyResult result;
+  BitVector selected(n);
+  std::vector<double> gains;
+  for (uint32_t round = 0; round < k && round < n; ++round) {
+    gains.clear();
+    NodeId best = kInvalidNode;
+    double best_gain = 0.0;
+    bool have_best = false;
+    for (NodeId v = 0; v < n; ++v) {
+      if (selected.Test(v)) continue;
+      const double g = gain(v);
+      gains.push_back(g);
+      if (!have_best || g > best_gain) {
+        have_best = true;
+        best_gain = g;
+        best = v;
+      }
+    }
+    SOI_CHECK(have_best);
+    double ratio = -1.0;
+    if (track_saturation && gains.size() >= 10) {
+      std::nth_element(gains.begin(), gains.begin() + 9, gains.end(),
+                       std::greater<double>());
+      ratio = best_gain > 0.0 ? std::clamp(gains[9] / best_gain, 0.0, 1.0)
+                              : 1.0;
+    }
+    selected.Set(best);
+    const auto [realized, objective] = commit(best);
+    result.seeds.push_back(best);
+    result.steps.push_back({best, realized, objective, ratio});
+  }
+  return result;
+}
+
+// Fresh-Monte-Carlo spread estimator with reusable buffers: every call to
+// Estimate() runs `samples` independent IC simulations.
+class McEstimator {
+ public:
+  McEstimator(const ProbGraph& graph, Rng* rng)
+      : graph_(graph), rng_(rng), active_(graph.num_nodes()) {}
+
+  /// Mean cascade size from seeds (+ optional extra node) over `samples`
+  /// fresh simulations.
+  double Estimate(const std::vector<NodeId>& seeds, NodeId extra,
+                  uint32_t samples) {
+    uint64_t total = 0;
+    for (uint32_t s = 0; s < samples; ++s) total += RunOnce(seeds, extra);
+    return static_cast<double>(total) / samples;
+  }
+
+ private:
+  uint64_t RunOnce(const std::vector<NodeId>& seeds, NodeId extra) {
+    frontier_.clear();
+    auto activate = [&](NodeId v) {
+      if (active_.TestAndSet(v)) frontier_.push_back(v);
+    };
+    for (NodeId s : seeds) activate(s);
+    if (extra != kInvalidNode) activate(extra);
+    for (size_t read = 0; read < frontier_.size(); ++read) {
+      const NodeId u = frontier_[read];
+      const auto nbrs = graph_.OutNeighbors(u);
+      const auto probs = graph_.OutProbs(u);
+      for (size_t i = 0; i < nbrs.size(); ++i) {
+        if (!active_.Test(nbrs[i]) && rng_->NextBernoulli(probs[i])) {
+          activate(nbrs[i]);
+        }
+      }
+    }
+    const uint64_t size = frontier_.size();
+    for (NodeId v : frontier_) active_.Clear(v);
+    return size;
+  }
+
+  const ProbGraph& graph_;
+  Rng* rng_;
+  BitVector active_;
+  std::vector<NodeId> frontier_;
+};
+
+}  // namespace
+
+Result<GreedyResult> InfMaxStd(const CascadeIndex& index,
+                               const GreedyStdOptions& options) {
+  if (options.k == 0) return Status::InvalidArgument("k must be >= 1");
+  const uint32_t k = std::min<uint32_t>(options.k, index.num_nodes());
+  SpreadOracle oracle(&index);
+  auto gain = [&](NodeId v) { return oracle.MarginalGain(v); };
+  auto commit = [&](NodeId v) {
+    const double realized = oracle.Add(v);
+    return std::make_pair(realized, oracle.CurrentSpread());
+  };
+  if (options.track_saturation || !options.use_celf) {
+    return RunExhaustive(index.num_nodes(), k, options.track_saturation, gain,
+                         commit);
+  }
+  return RunCelf(index.num_nodes(), k, gain, commit);
+}
+
+Result<GreedyResult> InfMaxStdMc(const ProbGraph& graph,
+                                 const GreedyStdMcOptions& options, Rng* rng) {
+  if (options.k == 0) return Status::InvalidArgument("k must be >= 1");
+  if (options.mc_samples == 0) {
+    return Status::InvalidArgument("mc_samples must be >= 1");
+  }
+  if (graph.num_nodes() == 0) return Status::InvalidArgument("empty graph");
+  const uint32_t k = std::min<uint32_t>(options.k, graph.num_nodes());
+
+  McEstimator estimator(graph, rng);
+  std::vector<NodeId> committed;
+  double sigma_committed = 0.0;
+  auto gain = [&](NodeId v) {
+    return estimator.Estimate(committed, v, options.mc_samples) -
+           sigma_committed;
+  };
+  auto commit = [&](NodeId v) {
+    committed.push_back(v);
+    const double sigma_new =
+        estimator.Estimate(committed, kInvalidNode, options.mc_samples);
+    const double realized = sigma_new - sigma_committed;
+    sigma_committed = sigma_new;
+    return std::make_pair(realized, sigma_new);
+  };
+  if (options.track_saturation || !options.use_celf) {
+    return RunExhaustive(graph.num_nodes(), k, options.track_saturation, gain,
+                         commit);
+  }
+  return RunCelf(graph.num_nodes(), k, gain, commit);
+}
+
+}  // namespace soi

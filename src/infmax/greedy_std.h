@@ -1,0 +1,59 @@
+#ifndef SOI_INFMAX_GREEDY_STD_H_
+#define SOI_INFMAX_GREEDY_STD_H_
+
+#include "index/cascade_index.h"
+#include "infmax/types.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace soi {
+
+/// Options for the standard greedy influence maximization.
+struct GreedyStdOptions {
+  /// Seed-set size.
+  uint32_t k = 50;
+  /// Lazy (CELF) evaluation [Leskovec et al. 2007 / Goyal et al. CELF++].
+  /// Output is identical to exhaustive greedy by submodularity; only the
+  /// number of gain evaluations changes.
+  bool use_celf = true;
+  /// When true, every iteration evaluates *all* candidates exhaustively and
+  /// records the MG_10/MG_1 saturation ratio (Figure 7). Forces
+  /// use_celf = false semantics; expensive, use on small graphs only.
+  bool track_saturation = false;
+};
+
+/// InfMax_std (paper §6.4): the classic Kempe-Kleinberg-Tardos greedy that
+/// maximizes Monte-Carlo-estimated expected spread, evaluated over the
+/// sampled worlds of `index`.
+///
+/// This variant scores every candidate on the SAME fixed world sample, so
+/// marginal gains carry no fresh evaluation noise (it solves the empirical
+/// problem exactly). The paper's implementation ([18], CELF over Monte-Carlo
+/// simulation) instead re-simulates cascades for every estimate — see
+/// InfMaxStdMc below, which is the faithful reproduction and the one whose
+/// large-seed-set behaviour degrades into the saturation the paper analyzes.
+Result<GreedyResult> InfMaxStd(const CascadeIndex& index,
+                               const GreedyStdOptions& options);
+
+/// Paper-faithful InfMax_std: greedy (with CELF laziness) where every
+/// marginal-gain estimate runs `mc_samples` fresh Independent-Cascade
+/// simulations, exactly like the Kempe et al. / CELF++ implementations the
+/// paper benchmarks against. Estimates are therefore noisy: once true
+/// marginal-gain differences fall below the Monte-Carlo noise floor the
+/// selection becomes effectively random among near-ties — the "point of
+/// saturation" of paper §6.4 / Figure 7.
+struct GreedyStdMcOptions {
+  uint32_t k = 50;
+  /// Fresh simulations per spread estimate (the paper uses 1000).
+  uint32_t mc_samples = 1000;
+  bool use_celf = true;
+  /// Exhaustive evaluation with MG_10/MG_1 tracking (Figure 7).
+  bool track_saturation = false;
+};
+
+Result<GreedyResult> InfMaxStdMc(const ProbGraph& graph,
+                                 const GreedyStdMcOptions& options, Rng* rng);
+
+}  // namespace soi
+
+#endif  // SOI_INFMAX_GREEDY_STD_H_

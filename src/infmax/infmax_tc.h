@@ -1,0 +1,35 @@
+#ifndef SOI_INFMAX_INFMAX_TC_H_
+#define SOI_INFMAX_INFMAX_TC_H_
+
+#include <vector>
+
+#include "infmax/types.h"
+#include "util/status.h"
+
+namespace soi {
+
+/// Options for InfMax_TC.
+struct InfMaxTcOptions {
+  uint32_t k = 50;
+  /// Lazy evaluation of coverage gains (identical output, fewer scans).
+  bool use_celf = true;
+  /// Exhaustive gain evaluation recording MG_10/MG_1 (Figure 7).
+  bool track_saturation = false;
+};
+
+/// InfMax_TC (paper Algorithm 3): greedy maximum coverage over the typical
+/// cascades of the singleton nodes. `typical_cascades[v]` is the sphere of
+/// influence C_v (sorted node set) computed by Algorithm 2; the objective is
+/// |union of C_v over selected v|.
+///
+/// The objective is monotone submodular, so CELF's lazy evaluation is exact
+/// and the greedy is a (1 - 1/e)-approximation of the best *coverage* —
+/// the paper's point is that maximizing this proxy outperforms maximizing
+/// estimated spread once the spread signal saturates.
+Result<GreedyResult> InfMaxTC(
+    const std::vector<std::vector<NodeId>>& typical_cascades, NodeId num_nodes,
+    const InfMaxTcOptions& options);
+
+}  // namespace soi
+
+#endif  // SOI_INFMAX_INFMAX_TC_H_

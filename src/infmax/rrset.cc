@@ -1,0 +1,235 @@
+#include "infmax/rrset.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/bitvector.h"
+#include "util/check.h"
+
+namespace soi {
+
+namespace {
+
+// Reverse-aligned edge probabilities: probs_for(v)[i] is the probability of
+// the arc (InNeighbors(v)[i], v). Computed once per graph traversal batch.
+std::vector<double> ReverseAlignedProbs(const ProbGraph& graph) {
+  std::vector<double> probs;
+  probs.reserve(graph.num_edges());
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    for (NodeId u : graph.InNeighbors(v)) {
+      const auto e = graph.FindEdge(u, v);
+      SOI_CHECK(e.ok());
+      probs.push_back(graph.EdgeProb(*e));
+    }
+  }
+  return probs;
+}
+
+// One reverse-reachable set from a uniform random target. Each incoming arc
+// is examined (and its coin flipped) at most once because nodes enter the
+// frontier at most once.
+void SampleOneRrSet(const ProbGraph& graph,
+                    const std::vector<double>& rev_probs,
+                    const std::vector<uint64_t>& rev_begin, Rng* rng,
+                    BitVector* visited, std::vector<NodeId>* out) {
+  out->clear();
+  const NodeId target = static_cast<NodeId>(rng->NextBounded(graph.num_nodes()));
+  visited->Set(target);
+  out->push_back(target);
+  for (size_t read = 0; read < out->size(); ++read) {
+    const NodeId x = (*out)[read];
+    const auto in_nbrs = graph.InNeighbors(x);
+    const uint64_t base = rev_begin[x];
+    for (size_t i = 0; i < in_nbrs.size(); ++i) {
+      const NodeId u = in_nbrs[i];
+      if (visited->Test(u)) continue;
+      if (!rng->NextBernoulli(rev_probs[base + i])) continue;
+      visited->Set(u);
+      out->push_back(u);
+    }
+  }
+  for (NodeId v : *out) visited->Clear(v);
+  std::sort(out->begin(), out->end());
+}
+
+// TIM-style KPT estimation (Tang et al., Algorithm 2, simplified): find the
+// scale 2^i at which the mean of kappa(R) = 1 - (1 - w(R)/m)^k exceeds
+// 1/2^i, where w(R) is the number of arcs entering R. Returns a lower-bound
+// estimate of the optimal expected spread OPT_k.
+double EstimateKpt(const ProbGraph& graph,
+                   const std::vector<double>& rev_probs,
+                   const std::vector<uint64_t>& rev_begin, uint32_t k,
+                   Rng* rng) {
+  const double n = graph.num_nodes();
+  const double m = std::max<double>(1.0, graph.num_edges());
+  BitVector visited(graph.num_nodes());
+  std::vector<NodeId> rr;
+  const int levels = std::max(1, static_cast<int>(std::log2(n)) - 1);
+  for (int i = 1; i <= levels; ++i) {
+    const uint32_t samples = static_cast<uint32_t>(
+        std::min(1e6, (6.0 * std::log(n) + 6.0 * std::log(std::log2(n))) *
+                          std::pow(2.0, i)));
+    double sum = 0.0;
+    for (uint32_t s = 0; s < samples; ++s) {
+      SampleOneRrSet(graph, rev_probs, rev_begin, rng, &visited, &rr);
+      uint64_t width = 0;
+      for (NodeId v : rr) width += graph.InDegree(v);
+      const double kappa =
+          1.0 - std::pow(1.0 - static_cast<double>(width) / m,
+                         static_cast<double>(k));
+      sum += kappa;
+    }
+    const double mean = sum / samples;
+    if (mean > 1.0 / std::pow(2.0, i)) {
+      return std::max(1.0, n * mean / 2.0);
+    }
+  }
+  return 1.0;
+}
+
+double LogChoose(double n, double k) {
+  return std::lgamma(n + 1) - std::lgamma(k + 1) - std::lgamma(n - k + 1);
+}
+
+}  // namespace
+
+Result<RrCollection> RrCollection::Sample(const ProbGraph& graph,
+                                          uint32_t count, Rng* rng) {
+  if (graph.num_nodes() == 0) return Status::InvalidArgument("empty graph");
+  if (count == 0) return Status::InvalidArgument("count must be >= 1");
+
+  const std::vector<double> rev_probs = ReverseAlignedProbs(graph);
+  std::vector<uint64_t> rev_begin(graph.num_nodes());
+  {
+    uint64_t cursor = 0;
+    for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+      rev_begin[v] = cursor;
+      cursor += graph.InDegree(v);
+    }
+  }
+
+  RrCollection collection;
+  collection.num_nodes_ = graph.num_nodes();
+  collection.offsets_.reserve(count + 1);
+  collection.offsets_.push_back(0);
+  BitVector visited(graph.num_nodes());
+  std::vector<NodeId> rr;
+  for (uint32_t i = 0; i < count; ++i) {
+    SampleOneRrSet(graph, rev_probs, rev_begin, rng, &visited, &rr);
+    collection.members_.insert(collection.members_.end(), rr.begin(),
+                               rr.end());
+    collection.offsets_.push_back(collection.members_.size());
+  }
+
+  // Inverted index (counting sort by node).
+  collection.inv_offsets_.assign(graph.num_nodes() + 1, 0);
+  for (NodeId v : collection.members_) ++collection.inv_offsets_[v + 1];
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    collection.inv_offsets_[v + 1] += collection.inv_offsets_[v];
+  }
+  collection.inv_sets_.resize(collection.members_.size());
+  std::vector<uint64_t> cursor(collection.inv_offsets_.begin(),
+                               collection.inv_offsets_.end() - 1);
+  for (uint32_t i = 0; i < collection.num_sets(); ++i) {
+    for (NodeId v : collection.Set(i)) {
+      collection.inv_sets_[cursor[v]++] = i;
+    }
+  }
+  return collection;
+}
+
+Result<GreedyResult> RrCollection::SelectSeeds(uint32_t k) const {
+  if (k == 0) return Status::InvalidArgument("k must be >= 1");
+  k = std::min<uint32_t>(k, num_nodes_);
+  const double scale =
+      static_cast<double>(num_nodes_) / static_cast<double>(num_sets());
+
+  // Exact greedy max-cover via cover counters (standard TIM node selection).
+  std::vector<uint64_t> cover_count(num_nodes_, 0);
+  for (NodeId v : members_) ++cover_count[v];
+  std::vector<uint8_t> set_covered(num_sets(), 0);
+  std::vector<uint8_t> selected(num_nodes_, 0);
+
+  GreedyResult result;
+  uint64_t covered_total = 0;
+  for (uint32_t round = 0; round < k; ++round) {
+    NodeId best = kInvalidNode;
+    uint64_t best_count = 0;
+    bool have_best = false;
+    for (NodeId v = 0; v < num_nodes_; ++v) {
+      if (selected[v]) continue;
+      if (!have_best || cover_count[v] > best_count) {
+        have_best = true;
+        best_count = cover_count[v];
+        best = v;
+      }
+    }
+    SOI_CHECK(have_best);
+    selected[best] = 1;
+    // Retire the RR sets newly covered by `best`.
+    for (uint64_t idx = inv_offsets_[best]; idx < inv_offsets_[best + 1];
+         ++idx) {
+      const uint32_t set_id = inv_sets_[idx];
+      if (set_covered[set_id]) continue;
+      set_covered[set_id] = 1;
+      for (NodeId v : Set(set_id)) --cover_count[v];
+    }
+    covered_total += best_count;
+    result.seeds.push_back(best);
+    result.steps.push_back({best, static_cast<double>(best_count) * scale,
+                            static_cast<double>(covered_total) * scale,
+                            -1.0});
+  }
+  return result;
+}
+
+double RrCollection::EstimateSpread(std::span<const NodeId> seeds) const {
+  std::vector<uint8_t> covered(num_sets(), 0);
+  uint64_t count = 0;
+  for (NodeId s : seeds) {
+    SOI_CHECK(s < num_nodes_);
+    for (uint64_t idx = inv_offsets_[s]; idx < inv_offsets_[s + 1]; ++idx) {
+      const uint32_t set_id = inv_sets_[idx];
+      if (!covered[set_id]) {
+        covered[set_id] = 1;
+        ++count;
+      }
+    }
+  }
+  return static_cast<double>(count) * num_nodes_ / num_sets();
+}
+
+Result<GreedyResult> InfMaxRr(const ProbGraph& graph,
+                              const RrSetOptions& options, Rng* rng) {
+  if (options.k == 0) return Status::InvalidArgument("k must be >= 1");
+  if (graph.num_nodes() == 0) return Status::InvalidArgument("empty graph");
+  const uint32_t k = std::min<uint32_t>(options.k, graph.num_nodes());
+
+  uint32_t theta = options.num_rr_sets;
+  if (theta == 0) {
+    if (!(options.epsilon > 0.0 && options.epsilon < 1.0)) {
+      return Status::InvalidArgument("epsilon must be in (0, 1)");
+    }
+    const std::vector<double> rev_probs = ReverseAlignedProbs(graph);
+    std::vector<uint64_t> rev_begin(graph.num_nodes());
+    uint64_t cursor = 0;
+    for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+      rev_begin[v] = cursor;
+      cursor += graph.InDegree(v);
+    }
+    const double n = graph.num_nodes();
+    const double kpt = EstimateKpt(graph, rev_probs, rev_begin, k, rng);
+    const double lambda =
+        (8.0 + 2.0 * options.epsilon) * n *
+        (std::log(n) + LogChoose(n, k) + std::log(2.0)) /
+        (options.epsilon * options.epsilon);
+    theta = static_cast<uint32_t>(std::clamp(
+        lambda / kpt, 1.0, static_cast<double>(options.max_rr_sets)));
+  }
+
+  SOI_ASSIGN_OR_RETURN(const RrCollection collection,
+                       RrCollection::Sample(graph, theta, rng));
+  return collection.SelectSeeds(k);
+}
+
+}  // namespace soi

@@ -1,0 +1,119 @@
+#include "infmax/sketch_oracle.h"
+
+#include <algorithm>
+
+namespace soi {
+
+namespace {
+
+// Deterministic per-(node, world) rank derived from one build salt.
+inline uint64_t RankOf(uint64_t salt, uint32_t world, NodeId v) {
+  SplitMix64 mixer(salt ^ (static_cast<uint64_t>(world) * 0x9E3779B97F4A7C15ull) ^
+                   (static_cast<uint64_t>(v) << 1));
+  return mixer.Next();
+}
+
+// Rank 0 .. 2^64-1 mapped to (0, 1]: avoids a zero denominator.
+inline double NormalizedRank(uint64_t rank) {
+  return (static_cast<double>(rank) + 1.0) * 0x1.0p-64;
+}
+
+}  // namespace
+
+Result<SketchSpreadOracle> SketchSpreadOracle::Build(
+    const CascadeIndex& index, const SketchOptions& options, Rng* rng) {
+  if (options.k < 2) {
+    return Status::InvalidArgument("sketch k must be >= 2");
+  }
+  SketchSpreadOracle oracle;
+  oracle.index_ = &index;
+  oracle.k_ = options.k;
+  const uint64_t salt = rng->Next();
+
+  std::vector<uint64_t> buf;
+  for (uint32_t i = 0; i < index.num_worlds(); ++i) {
+    const Condensation& cond = index.world(i);
+    const uint32_t nc = cond.num_components();
+    oracle.world_base_.push_back(oracle.sketch_offsets_.size());
+    // Offset table for this world: nc + 1 entries. Filled as we go.
+    const size_t table_start = oracle.sketch_offsets_.size();
+    oracle.sketch_offsets_.resize(table_start + nc + 1);
+    oracle.sketch_offsets_[table_start] = oracle.entries_.size();
+
+    // Children (DAG successors) have smaller ids, so ascending order is a
+    // valid bottom-up schedule.
+    for (uint32_t c = 0; c < nc; ++c) {
+      buf.clear();
+      for (NodeId v : cond.ComponentMembers(c)) {
+        buf.push_back(RankOf(salt, i, v));
+      }
+      for (uint32_t succ : cond.DagSuccessors(c)) {
+        const uint64_t begin = oracle.sketch_offsets_[table_start + succ];
+        const uint64_t end = oracle.sketch_offsets_[table_start + succ + 1];
+        buf.insert(buf.end(), oracle.entries_.begin() + begin,
+                   oracle.entries_.begin() + end);
+      }
+      std::sort(buf.begin(), buf.end());
+      buf.erase(std::unique(buf.begin(), buf.end()), buf.end());
+      if (buf.size() > oracle.k_) buf.resize(oracle.k_);
+      oracle.entries_.insert(oracle.entries_.end(), buf.begin(), buf.end());
+      oracle.sketch_offsets_[table_start + c + 1] = oracle.entries_.size();
+    }
+  }
+  return oracle;
+}
+
+std::span<const uint64_t> SketchSpreadOracle::Sketch(uint32_t world,
+                                                     uint32_t comp) const {
+  const uint64_t table_start = world_base_[world];
+  const uint64_t begin = sketch_offsets_[table_start + comp];
+  const uint64_t end = sketch_offsets_[table_start + comp + 1];
+  return {entries_.data() + begin, entries_.data() + end};
+}
+
+Result<double> SketchSpreadOracle::EstimateSpread(
+    std::span<const NodeId> seeds) const {
+  if (seeds.empty()) return Status::InvalidArgument("empty seed set");
+  for (NodeId s : seeds) {
+    if (s >= index_->num_nodes()) {
+      return Status::OutOfRange("seed out of range");
+    }
+  }
+  std::vector<uint64_t> merged;
+  std::vector<uint32_t> comps;
+  double total = 0.0;
+  for (uint32_t i = 0; i < index_->num_worlds(); ++i) {
+    const Condensation& cond = index_->world(i);
+    comps.clear();
+    for (NodeId s : seeds) comps.push_back(cond.ComponentOf(s));
+    std::sort(comps.begin(), comps.end());
+    comps.erase(std::unique(comps.begin(), comps.end()), comps.end());
+
+    merged.clear();
+    for (uint32_t c : comps) {
+      const auto sketch = Sketch(i, c);
+      merged.insert(merged.end(), sketch.begin(), sketch.end());
+    }
+    std::sort(merged.begin(), merged.end());
+    // Shared descendants contribute the same ranks through several seed
+    // sketches; min-wise semantics require deduplication.
+    merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+
+    if (merged.size() < k_) {
+      // Sketch is exhaustive: it IS the reachable rank set.
+      total += static_cast<double>(merged.size());
+    } else {
+      total += static_cast<double>(k_ - 1) / NormalizedRank(merged[k_ - 1]);
+    }
+  }
+  return total / index_->num_worlds();
+}
+
+double SketchSpreadOracle::EstimateSpread(NodeId v) const {
+  const NodeId seeds[1] = {v};
+  const auto result = EstimateSpread(std::span<const NodeId>(seeds, 1));
+  SOI_CHECK(result.ok());
+  return *result;
+}
+
+}  // namespace soi

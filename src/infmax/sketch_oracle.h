@@ -1,0 +1,66 @@
+#ifndef SOI_INFMAX_SKETCH_ORACLE_H_
+#define SOI_INFMAX_SKETCH_ORACLE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "index/cascade_index.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace soi {
+
+/// Bottom-k combined reachability sketches (Cohen, Delling, Pajor, Werneck;
+/// CIKM 2014 — the sketch-based influence oracle in the paper's related
+/// work). Every (node, world) pair gets an independent uniform 64-bit rank;
+/// the sketch of a component is the k smallest ranks among all (node, world)
+/// pairs reachable from it. Spread queries then reduce to order-statistics
+/// estimation:
+///
+///   |R| ~= (k - 1) / tau_k        (tau_k = k-th smallest normalized rank)
+///
+/// with exact counting when fewer than k ranks are reachable. Sketches are
+/// built bottom-up over each condensation DAG (children before parents, by
+/// the Tarjan id invariant), so construction is O(total DAG size * k).
+///
+/// Compared to SpreadOracle this trades exactness for O(k log) query time
+/// independent of cascade size; bench_micro quantifies the trade.
+struct SketchOptions {
+  /// Sketch size k: relative error ~ 1/sqrt(k - 2).
+  uint32_t k = 16;
+};
+
+class SketchSpreadOracle {
+ public:
+  /// Builds per-(world, component) sketches over the index's worlds.
+  /// `index` must outlive the oracle; `rng` seeds the rank assignment.
+  static Result<SketchSpreadOracle> Build(const CascadeIndex& index,
+                                          const SketchOptions& options,
+                                          Rng* rng);
+
+  NodeId num_nodes() const { return index_->num_nodes(); }
+  uint32_t sketch_k() const { return k_; }
+  uint64_t total_sketch_entries() const { return entries_.size(); }
+
+  /// Estimated expected spread of a seed set: the per-world union sizes are
+  /// estimated from merged bottom-k sketches and averaged.
+  Result<double> EstimateSpread(std::span<const NodeId> seeds) const;
+  double EstimateSpread(NodeId v) const;
+
+ private:
+  SketchSpreadOracle() = default;
+
+  std::span<const uint64_t> Sketch(uint32_t world, uint32_t comp) const;
+
+  const CascadeIndex* index_ = nullptr;
+  uint32_t k_ = 0;
+  // Per world: offsets into entries_ per component (flattened).
+  std::vector<uint64_t> world_base_;            // world -> offset table start
+  std::vector<uint64_t> sketch_offsets_;        // flattened comp offsets
+  std::vector<uint64_t> entries_;               // sorted ranks per sketch
+};
+
+}  // namespace soi
+
+#endif  // SOI_INFMAX_SKETCH_ORACLE_H_

@@ -1,0 +1,67 @@
+#include "infmax/spread_oracle.h"
+
+#include <algorithm>
+
+namespace soi {
+
+SpreadOracle::SpreadOracle(const CascadeIndex* index) : index_(index) {
+  SOI_CHECK(index != nullptr);
+  covered_.resize(index_->num_worlds());
+  uint32_t max_comps = 0;
+  for (uint32_t i = 0; i < index_->num_worlds(); ++i) {
+    const uint32_t nc = index_->world(i).num_components();
+    covered_[i].Resize(nc);
+    max_comps = std::max(max_comps, nc);
+  }
+  stamp_.assign(max_comps, 0);
+}
+
+void SpreadOracle::Reset() {
+  for (BitVector& bv : covered_) bv.Reset();
+  spread_ = 0.0;
+}
+
+template <bool kCommit>
+uint64_t SpreadOracle::Traverse(NodeId v) {
+  SOI_CHECK(v < index_->num_nodes());
+  uint64_t total_gain = 0;
+  for (uint32_t i = 0; i < index_->num_worlds(); ++i) {
+    const Condensation& cond = index_->world(i);
+    BitVector& covered = covered_[i];
+    const uint32_t start = cond.ComponentOf(v);
+    if (covered.Test(start)) continue;
+    if (++stamp_id_ == 0) {  // wrapped: hard reset
+      std::fill(stamp_.begin(), stamp_.end(), 0);
+      stamp_id_ = 1;
+    }
+    stack_.clear();
+    stack_.push_back(start);
+    stamp_[start] = stamp_id_;
+    while (!stack_.empty()) {
+      const uint32_t c = stack_.back();
+      stack_.pop_back();
+      total_gain += cond.ComponentSize(c);
+      if constexpr (kCommit) covered.Set(c);
+      for (uint32_t succ : cond.DagSuccessors(c)) {
+        if (stamp_[succ] == stamp_id_ || covered.Test(succ)) continue;
+        stamp_[succ] = stamp_id_;
+        stack_.push_back(succ);
+      }
+    }
+  }
+  return total_gain;
+}
+
+double SpreadOracle::MarginalGain(NodeId v) {
+  return static_cast<double>(Traverse<false>(v)) /
+         static_cast<double>(index_->num_worlds());
+}
+
+double SpreadOracle::Add(NodeId v) {
+  const double gain = static_cast<double>(Traverse<true>(v)) /
+                      static_cast<double>(index_->num_worlds());
+  spread_ += gain;
+  return gain;
+}
+
+}  // namespace soi

@@ -1,0 +1,55 @@
+#ifndef SOI_INFMAX_SPREAD_ORACLE_H_
+#define SOI_INFMAX_SPREAD_ORACLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "index/cascade_index.h"
+#include "util/bitvector.h"
+
+namespace soi {
+
+/// Incremental expected-spread oracle over the sampled worlds of a
+/// CascadeIndex, the workhorse of the standard greedy algorithm
+/// (InfMax_std): sigma(S) is estimated as the average, over worlds, of the
+/// number of nodes reachable from S.
+///
+/// Per world it keeps the set of covered components; a marginal-gain query
+/// for node v DFSes the condensation from v's component, skipping covered
+/// components (whose descendants are covered by construction), and sums the
+/// uncovered component sizes. Committing a node performs the same traversal
+/// and marks the components covered.
+class SpreadOracle {
+ public:
+  /// `index` must outlive the oracle.
+  explicit SpreadOracle(const CascadeIndex* index);
+
+  NodeId num_nodes() const { return index_->num_nodes(); }
+
+  /// Estimated marginal gain sigma(S + v) - sigma(S) for the committed S.
+  double MarginalGain(NodeId v);
+
+  /// Commits v into the seed set and returns its realized marginal gain.
+  double Add(NodeId v);
+
+  /// Estimated expected spread of the committed seed set.
+  double CurrentSpread() const { return spread_; }
+
+  /// Clears the committed seed set.
+  void Reset();
+
+ private:
+  template <bool kCommit>
+  uint64_t Traverse(NodeId v);
+
+  const CascadeIndex* index_;
+  std::vector<BitVector> covered_;   // per world: covered components
+  std::vector<uint32_t> stamp_;      // DFS visitation stamps (shared)
+  uint32_t stamp_id_ = 0;
+  std::vector<uint32_t> stack_;
+  double spread_ = 0.0;
+};
+
+}  // namespace soi
+
+#endif  // SOI_INFMAX_SPREAD_ORACLE_H_

@@ -1,0 +1,36 @@
+#ifndef SOI_INFMAX_TYPES_H_
+#define SOI_INFMAX_TYPES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/prob_graph.h"
+
+namespace soi {
+
+/// One greedy iteration's bookkeeping, shared by both seed-selection
+/// algorithms.
+struct GreedyStepInfo {
+  /// The seed selected at this iteration.
+  NodeId node = kInvalidNode;
+  /// Its marginal gain under the algorithm's own objective (expected spread
+  /// for InfMax_std, coverage for InfMax_TC).
+  double marginal_gain = 0.0;
+  /// Objective value after committing the seed.
+  double objective_after = 0.0;
+  /// MG_10 / MG_1: the saturation diagnostic of Figure 7 (ratio of the
+  /// 10th-largest to the largest marginal gain this iteration). Only
+  /// populated when gain tracking is enabled (requires exhaustive
+  /// evaluation); -1 otherwise.
+  double mg_ratio_10_1 = -1.0;
+};
+
+/// Output of a greedy seed-selection run.
+struct GreedyResult {
+  std::vector<NodeId> seeds;         // in selection order
+  std::vector<GreedyStepInfo> steps;  // aligned with seeds
+};
+
+}  // namespace soi
+
+#endif  // SOI_INFMAX_TYPES_H_

@@ -1,0 +1,56 @@
+#include "jaccard/jaccard.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace soi {
+
+size_t IntersectionSize(std::span<const NodeId> a, std::span<const NodeId> b) {
+  size_t i = 0, j = 0, count = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+double JaccardSimilarity(std::span<const NodeId> a, std::span<const NodeId> b) {
+  if (a.empty() && b.empty()) return 1.0;
+  const size_t inter = IntersectionSize(a, b);
+  const size_t uni = a.size() + b.size() - inter;
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+double JaccardDistance(std::span<const NodeId> a, std::span<const NodeId> b) {
+  return 1.0 - JaccardSimilarity(a, b);
+}
+
+double AverageJaccardDistance(std::span<const NodeId> candidate,
+                              const std::vector<std::vector<NodeId>>& sets,
+                              NodeId universe) {
+  SOI_CHECK(!sets.empty());
+  std::vector<uint8_t> in_candidate(universe, 0);
+  for (NodeId v : candidate) {
+    SOI_CHECK(v < universe);
+    in_candidate[v] = 1;
+  }
+  double total = 0.0;
+  for (const auto& s : sets) {
+    size_t inter = 0;
+    for (NodeId v : s) inter += in_candidate[v];
+    const size_t uni = candidate.size() + s.size() - inter;
+    if (uni == 0) continue;  // both empty: distance 0
+    total += 1.0 - static_cast<double>(inter) / static_cast<double>(uni);
+  }
+  return total / static_cast<double>(sets.size());
+}
+
+}  // namespace soi

@@ -1,0 +1,31 @@
+#ifndef SOI_JACCARD_JACCARD_H_
+#define SOI_JACCARD_JACCARD_H_
+
+#include <span>
+#include <vector>
+
+#include "graph/prob_graph.h"
+
+namespace soi {
+
+/// Jaccard distance d_J(A, B) = 1 - |A∩B| / |A∪B| over sorted node sets
+/// (paper §2.2). A metric on finite sets; d_J(∅, ∅) is defined as 0 and
+/// d_J(∅, B) = 1 for nonempty B.
+double JaccardDistance(std::span<const NodeId> a, std::span<const NodeId> b);
+
+/// Jaccard similarity |A∩B| / |A∪B| (1 for two empty sets).
+double JaccardSimilarity(std::span<const NodeId> a, std::span<const NodeId> b);
+
+/// |A∩B| for sorted sets.
+size_t IntersectionSize(std::span<const NodeId> a, std::span<const NodeId> b);
+
+/// Average Jaccard distance from `candidate` to every set in `sets`
+/// (the empirical cost rho-bar of a candidate median). O(|C| + sum |S_i|)
+/// using a scratch mark array of size `universe` (pass num_nodes()).
+double AverageJaccardDistance(std::span<const NodeId> candidate,
+                              const std::vector<std::vector<NodeId>>& sets,
+                              NodeId universe);
+
+}  // namespace soi
+
+#endif  // SOI_JACCARD_JACCARD_H_

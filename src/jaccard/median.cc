@@ -1,0 +1,283 @@
+#include "jaccard/median.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace soi {
+
+namespace {
+
+// Cost contribution of one set with intersection `inter`, candidate size `c`,
+// set size `s`: the Jaccard distance 1 - inter / (c + s - inter).
+inline double Term(uint32_t inter, size_t c, size_t s) {
+  const size_t uni = c + s - inter;
+  if (uni == 0) return 0.0;  // both empty
+  return 1.0 - static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+Status ValidateSets(const std::vector<std::vector<NodeId>>& sets,
+                    NodeId universe) {
+  if (sets.empty()) {
+    return Status::InvalidArgument("median of an empty collection");
+  }
+  for (const auto& s : sets) {
+    for (size_t i = 0; i < s.size(); ++i) {
+      if (s[i] >= universe) {
+        return Status::OutOfRange("set element exceeds universe");
+      }
+      if (i > 0 && s[i] <= s[i - 1]) {
+        return Status::InvalidArgument(
+            "input sets must be sorted strictly ascending");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+JaccardMedianSolver::JaccardMedianSolver(NodeId universe)
+    : universe_(universe),
+      slot_of_(universe, 0),
+      slot_stamp_(universe, 0),
+      mark_(universe, 0) {}
+
+double JaccardMedianSolver::EvaluateCandidate(
+    const std::vector<NodeId>& candidate,
+    const std::vector<std::vector<NodeId>>& sets) {
+  for (NodeId v : candidate) mark_[v] = 1;
+  double total = 0.0;
+  for (const auto& s : sets) {
+    uint32_t inter = 0;
+    for (NodeId v : s) inter += mark_[v];
+    total += Term(inter, candidate.size(), s.size());
+  }
+  for (NodeId v : candidate) mark_[v] = 0;
+  return total / static_cast<double>(sets.size());
+}
+
+Result<MedianResult> JaccardMedianSolver::Compute(
+    const std::vector<std::vector<NodeId>>& sets,
+    const MedianOptions& options) {
+  SOI_RETURN_IF_ERROR(ValidateSets(sets, universe_));
+  const uint32_t num_sets = static_cast<uint32_t>(sets.size());
+
+  // --- Collect distinct elements and frequencies. ---------------------------
+  ++stamp_;
+  std::vector<NodeId> distinct;        // slot -> element
+  std::vector<uint32_t> freq;          // slot -> #sets containing element
+  size_t total_occurrences = 0;
+  for (const auto& s : sets) {
+    total_occurrences += s.size();
+    for (NodeId x : s) {
+      if (slot_stamp_[x] != stamp_) {
+        slot_stamp_[x] = stamp_;
+        slot_of_[x] = static_cast<uint32_t>(distinct.size());
+        distinct.push_back(x);
+        freq.push_back(1);
+      } else {
+        ++freq[slot_of_[x]];
+      }
+    }
+  }
+
+  // --- Inverted index: slot -> ids of sets containing the element. ----------
+  std::vector<uint32_t> inv_offsets(distinct.size() + 1, 0);
+  for (size_t slot = 0; slot < distinct.size(); ++slot) {
+    inv_offsets[slot + 1] = inv_offsets[slot] + freq[slot];
+  }
+  std::vector<uint32_t> inv(total_occurrences);
+  {
+    std::vector<uint32_t> cursor(inv_offsets.begin(), inv_offsets.end() - 1);
+    for (uint32_t i = 0; i < num_sets; ++i) {
+      for (NodeId x : sets[i]) inv[cursor[slot_of_[x]]++] = i;
+    }
+  }
+  auto sets_containing = [&](uint32_t slot) {
+    return std::span<const uint32_t>(inv.data() + inv_offsets[slot],
+                                     inv.data() + inv_offsets[slot + 1]);
+  };
+
+  // --- Threshold sweep (frequency-descending prefix candidates). ------------
+  std::vector<uint32_t> order(distinct.size());
+  for (uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    return freq[a] != freq[b] ? freq[a] > freq[b]
+                              : distinct[a] < distinct[b];
+  });
+
+  std::vector<uint32_t> inter(num_sets, 0);
+  size_t cand_size = 0;
+
+  auto full_cost = [&](size_t c) {
+    double total = 0.0;
+    for (uint32_t i = 0; i < num_sets; ++i) {
+      total += Term(inter[i], c, sets[i].size());
+    }
+    return total / num_sets;
+  };
+
+  // The empty candidate is the degenerate threshold "> num_sets".
+  double best_cost = full_cost(0);
+  size_t best_prefix = 0;
+  uint32_t best_threshold = num_sets + 1;
+
+  size_t pos = 0;
+  while (pos < order.size()) {
+    const uint32_t t = freq[order[pos]];
+    // Add the whole equal-frequency group before evaluating.
+    while (pos < order.size() && freq[order[pos]] == t) {
+      for (uint32_t i : sets_containing(order[pos])) ++inter[i];
+      ++cand_size;
+      ++pos;
+    }
+    const double cost = full_cost(cand_size);
+    if (cost < best_cost - 1e-15) {
+      best_cost = cost;
+      best_prefix = pos;
+      best_threshold = t;
+    }
+  }
+
+  MedianResult result;
+  result.median.reserve(best_prefix);
+  for (size_t i = 0; i < best_prefix; ++i) {
+    result.median.push_back(distinct[order[i]]);
+  }
+  std::sort(result.median.begin(), result.median.end());
+  result.cost = best_cost;
+  result.threshold = best_threshold <= num_sets ? best_threshold : 0;
+  result.source = MedianResult::Source::kThreshold;
+
+  // --- Input-set candidates (stride-sampled, deterministic). -----------------
+  if (options.input_candidates > 0) {
+    const uint32_t k = std::min<uint32_t>(options.input_candidates, num_sets);
+    for (uint32_t j = 0; j < k; ++j) {
+      const uint32_t idx = static_cast<uint32_t>(
+          static_cast<uint64_t>(j) * num_sets / k);
+      const double cost = EvaluateCandidate(sets[idx], sets);
+      if (cost < result.cost - 1e-15) {
+        result.cost = cost;
+        result.median = sets[idx];
+        result.threshold = 0;
+        result.source = MedianResult::Source::kInputSet;
+      }
+    }
+  }
+
+  // --- Local search: 1-element toggles. --------------------------------------
+  if (options.local_search && !distinct.empty()) {
+    // Rebuild intersection counts for the current best candidate.
+    std::fill(inter.begin(), inter.end(), 0);
+    for (NodeId x : result.median) mark_[x] = 1;
+    for (uint32_t i = 0; i < num_sets; ++i) {
+      uint32_t cnt = 0;
+      for (NodeId x : sets[i]) cnt += mark_[x];
+      inter[i] = cnt;
+    }
+    cand_size = result.median.size();
+    double cur_cost = result.cost;
+    bool changed = false;
+
+    for (uint32_t pass = 0; pass < options.local_search_passes; ++pass) {
+      bool improved = false;
+      for (uint32_t slot_idx = 0; slot_idx < order.size(); ++slot_idx) {
+        const uint32_t slot = order[slot_idx];
+        const NodeId x = distinct[slot];
+        const bool inside = mark_[x] != 0;
+        const size_t new_c = inside ? cand_size - 1 : cand_size + 1;
+        // Base: all sets at unchanged intersection but new candidate size.
+        double new_total = 0.0;
+        for (uint32_t i = 0; i < num_sets; ++i) {
+          new_total += Term(inter[i], new_c, sets[i].size());
+        }
+        // Adjust the sets that contain x.
+        const int delta = inside ? -1 : +1;
+        for (uint32_t i : sets_containing(slot)) {
+          new_total -= Term(inter[i], new_c, sets[i].size());
+          new_total += Term(inter[i] + delta, new_c, sets[i].size());
+        }
+        const double new_cost = new_total / num_sets;
+        if (new_cost < cur_cost - 1e-12) {
+          cur_cost = new_cost;
+          cand_size = new_c;
+          mark_[x] = inside ? 0 : 1;
+          for (uint32_t i : sets_containing(slot)) {
+            inter[i] += delta;
+          }
+          improved = true;
+          changed = true;
+        }
+      }
+      if (!improved) break;
+    }
+
+    if (changed) {
+      result.median.clear();
+      for (NodeId x : distinct) {
+        if (mark_[x]) result.median.push_back(x);
+      }
+      std::sort(result.median.begin(), result.median.end());
+      result.cost = cur_cost;
+      result.threshold = 0;
+      result.source = MedianResult::Source::kLocalSearch;
+    }
+    for (NodeId x : distinct) mark_[x] = 0;
+  }
+
+  return result;
+}
+
+Result<std::pair<std::vector<NodeId>, double>> ExactJaccardMedian(
+    const std::vector<std::vector<NodeId>>& sets) {
+  if (sets.empty()) {
+    return Status::InvalidArgument("median of an empty collection");
+  }
+  std::vector<NodeId> universe;
+  for (const auto& s : sets) universe.insert(universe.end(), s.begin(), s.end());
+  std::sort(universe.begin(), universe.end());
+  universe.erase(std::unique(universe.begin(), universe.end()), universe.end());
+  if (universe.size() > 20) {
+    return Status::InvalidArgument("union too large for exact median");
+  }
+  const size_t u = universe.size();
+
+  std::vector<uint32_t> masks;
+  masks.reserve(sets.size());
+  for (const auto& s : sets) {
+    uint32_t mask = 0;
+    for (NodeId v : s) {
+      const size_t pos = static_cast<size_t>(
+          std::lower_bound(universe.begin(), universe.end(), v) -
+          universe.begin());
+      mask |= uint32_t{1} << pos;
+    }
+    masks.push_back(mask);
+  }
+
+  double best_cost = 2.0;
+  uint32_t best_mask = 0;
+  for (uint32_t candidate = 0; candidate < (uint32_t{1} << u); ++candidate) {
+    double total = 0.0;
+    const int c = __builtin_popcount(candidate);
+    for (uint32_t mask : masks) {
+      const int inter = __builtin_popcount(candidate & mask);
+      const int uni = c + __builtin_popcount(mask) - inter;
+      total += uni == 0 ? 0.0 : 1.0 - static_cast<double>(inter) / uni;
+    }
+    const double cost = total / static_cast<double>(sets.size());
+    if (cost < best_cost - 1e-15) {
+      best_cost = cost;
+      best_mask = candidate;
+    }
+  }
+  std::vector<NodeId> best_set;
+  for (size_t pos = 0; pos < u; ++pos) {
+    if ((best_mask >> pos) & 1) best_set.push_back(universe[pos]);
+  }
+  return std::make_pair(std::move(best_set), best_cost);
+}
+
+}  // namespace soi

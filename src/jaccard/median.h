@@ -1,0 +1,85 @@
+#ifndef SOI_JACCARD_MEDIAN_H_
+#define SOI_JACCARD_MEDIAN_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/prob_graph.h"
+#include "util/status.h"
+
+namespace soi {
+
+/// Options for the approximate Jaccard-median solver.
+struct MedianOptions {
+  /// Also evaluate up to this many of the input sets as candidate medians
+  /// (stride-sampled deterministically); 0 disables. Chierichetti et al.'s
+  /// practical algorithm takes the best of frequency-threshold sets and
+  /// input sets.
+  uint32_t input_candidates = 8;
+  /// Run 1-element toggle local search after the sweep. Each pass costs
+  /// O(#distinct-elements * #sets); worthwhile for single queries, usually
+  /// disabled in whole-graph sweeps.
+  bool local_search = false;
+  uint32_t local_search_passes = 2;
+};
+
+/// Output of the solver.
+struct MedianResult {
+  /// The approximate median, sorted ascending.
+  std::vector<NodeId> median;
+  /// Its empirical cost: average Jaccard distance to the input sets.
+  /// (An *in-sample* quantity; estimate generalization cost on held-out
+  /// samples, see core/typical_cascade.h.)
+  double cost = 0.0;
+  /// The frequency threshold of the winning candidate (elements appearing in
+  /// >= threshold inputs), or 0 when an input set / local search won.
+  uint32_t threshold = 0;
+  /// Which candidate family won (for ablation reporting).
+  enum class Source { kThreshold, kInputSet, kLocalSearch } source =
+      Source::kThreshold;
+};
+
+/// Approximate Jaccard median (Problem 2, paper §2.2/§4): given sets
+/// S_1..S_l over [0, universe), find C minimizing the average Jaccard
+/// distance. NP-hard in general (Chierichetti et al., SODA 2010); this
+/// implements their practical 1+O(eps) approach: sweep all frequency
+/// thresholds with incremental cost maintenance, optionally compare against
+/// input-set candidates and refine by local search.
+///
+/// The solver owns O(universe) scratch arrays, so construct once and reuse
+/// across queries (e.g. for the all-nodes sweep of Algorithm 2).
+class JaccardMedianSolver {
+ public:
+  explicit JaccardMedianSolver(NodeId universe);
+
+  /// Computes the approximate median. Empty input collection is invalid;
+  /// empty member sets are fine (the all-empty collection has median {}).
+  Result<MedianResult> Compute(const std::vector<std::vector<NodeId>>& sets,
+                               const MedianOptions& options = {});
+
+  NodeId universe() const { return universe_; }
+
+ private:
+  struct Sweep;
+
+  double EvaluateCandidate(const std::vector<NodeId>& candidate,
+                           const std::vector<std::vector<NodeId>>& sets);
+
+  NodeId universe_;
+  // Scratch, sized universe_, stamped for O(1) logical reset.
+  std::vector<uint32_t> slot_of_;     // element -> distinct-slot index
+  std::vector<uint32_t> slot_stamp_;  // stamp guard for slot_of_
+  std::vector<uint8_t> mark_;        // generic membership scratch
+  std::vector<NodeId> marked_;       // touched entries of mark_
+  uint32_t stamp_ = 0;
+};
+
+/// Exact optimal median by enumerating all subsets of the union of the
+/// inputs (test oracle; the union may have at most 20 elements).
+Result<std::pair<std::vector<NodeId>, double>> ExactJaccardMedian(
+    const std::vector<std::vector<NodeId>>& sets);
+
+}  // namespace soi
+
+#endif  // SOI_JACCARD_MEDIAN_H_

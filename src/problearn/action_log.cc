@@ -1,0 +1,72 @@
+#include "problearn/action_log.h"
+
+#include <algorithm>
+
+#include "cascade/simulate.h"
+
+namespace soi {
+
+Result<ActionLog> ActionLog::FromActions(std::vector<Action> actions,
+                                         uint32_t num_items, NodeId num_users) {
+  for (const Action& a : actions) {
+    if (a.item >= num_items) return Status::OutOfRange("action item id");
+    if (a.user >= num_users) return Status::OutOfRange("action user id");
+  }
+  std::sort(actions.begin(), actions.end(),
+            [](const Action& a, const Action& b) {
+              if (a.item != b.item) return a.item < b.item;
+              if (a.step != b.step) return a.step < b.step;
+              return a.user < b.user;
+            });
+  // A user acts at most once per item.
+  for (size_t i = 1; i < actions.size(); ++i) {
+    if (actions[i].item == actions[i - 1].item &&
+        actions[i].user == actions[i - 1].user) {
+      return Status::InvalidArgument("duplicate (item, user) action");
+    }
+  }
+
+  ActionLog log;
+  log.num_items_ = num_items;
+  log.num_users_ = num_users;
+  log.offsets_.assign(num_items + 1, 0);
+  for (const Action& a : actions) ++log.offsets_[a.item + 1];
+  for (uint32_t i = 0; i < num_items; ++i) {
+    log.offsets_[i + 1] += log.offsets_[i];
+  }
+  log.actions_ = std::move(actions);
+  return log;
+}
+
+Result<ActionLog> SimulateActionLog(const ProbGraph& ground_truth,
+                                    const LogSimulationOptions& options,
+                                    Rng* rng) {
+  if (ground_truth.num_nodes() == 0) {
+    return Status::InvalidArgument("empty graph");
+  }
+  if (options.num_items == 0 || options.seeds_per_item == 0) {
+    return Status::InvalidArgument("num_items and seeds_per_item must be >= 1");
+  }
+  std::vector<Action> actions;
+  std::vector<NodeId> seeds;
+  for (uint32_t item = 0; item < options.num_items; ++item) {
+    seeds.clear();
+    while (seeds.size() < options.seeds_per_item) {
+      const NodeId s =
+          static_cast<NodeId>(rng->NextBounded(ground_truth.num_nodes()));
+      if (std::find(seeds.begin(), seeds.end(), s) == seeds.end()) {
+        seeds.push_back(s);
+      }
+    }
+    const std::vector<Activation> events =
+        SimulateCascadeWithTimes(ground_truth, seeds, rng);
+    if (events.size() < options.min_cascade_size) continue;
+    for (const Activation& a : events) {
+      actions.push_back({item, a.node, a.step});
+    }
+  }
+  return ActionLog::FromActions(std::move(actions), options.num_items,
+                                ground_truth.num_nodes());
+}
+
+}  // namespace soi

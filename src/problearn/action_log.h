@@ -1,0 +1,69 @@
+#ifndef SOI_PROBLEARN_ACTION_LOG_H_
+#define SOI_PROBLEARN_ACTION_LOG_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/prob_graph.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace soi {
+
+/// One log entry: `user` performed the action on `item` at discrete time
+/// `step` (the paper's Digg votes / Flixster ratings / Twitter reshares).
+/// Steps are cascade-relative: initiators act at step 0.
+struct Action {
+  uint32_t item = 0;
+  NodeId user = 0;
+  uint32_t step = 0;
+};
+
+/// A propagation log: actions grouped by item, each item's actions sorted by
+/// (step, user). Each user acts at most once per item.
+class ActionLog {
+ public:
+  /// Validates and indexes a raw action list.
+  static Result<ActionLog> FromActions(std::vector<Action> actions,
+                                       uint32_t num_items, NodeId num_users);
+
+  uint32_t num_items() const { return num_items_; }
+  NodeId num_users() const { return num_users_; }
+  size_t num_actions() const { return actions_.size(); }
+
+  /// Actions of one item, sorted by (step, user).
+  std::span<const Action> ItemActions(uint32_t item) const {
+    SOI_DCHECK(item < num_items_);
+    return {actions_.data() + offsets_[item],
+            actions_.data() + offsets_[item + 1]};
+  }
+
+ private:
+  uint32_t num_items_ = 0;
+  NodeId num_users_ = 0;
+  std::vector<Action> actions_;     // grouped by item
+  std::vector<size_t> offsets_;     // item -> range in actions_
+};
+
+/// Options for simulating a propagation log from a hidden ground-truth IC
+/// model (our stand-in for the crawled Digg/Flixster/Twitter logs, see
+/// DESIGN.md §2).
+struct LogSimulationOptions {
+  uint32_t num_items = 1000;
+  /// Initiators per item, drawn uniformly at random.
+  uint32_t seeds_per_item = 1;
+  /// Drop items whose cascade stayed below this size (tiny cascades carry
+  /// almost no learning signal; 1 keeps everything).
+  uint32_t min_cascade_size = 1;
+};
+
+/// Simulates `num_items` independent IC cascades on `ground_truth` and
+/// records every activation as an action.
+Result<ActionLog> SimulateActionLog(const ProbGraph& ground_truth,
+                                    const LogSimulationOptions& options,
+                                    Rng* rng);
+
+}  // namespace soi
+
+#endif  // SOI_PROBLEARN_ACTION_LOG_H_

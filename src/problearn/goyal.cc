@@ -1,0 +1,70 @@
+#include "problearn/goyal.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace soi {
+
+Result<ProbGraph> LearnGoyal(const ProbGraph& social_graph,
+                             const ActionLog& log,
+                             const GoyalOptions& options) {
+  if (log.num_users() != social_graph.num_nodes()) {
+    return Status::InvalidArgument("log user space != graph node space");
+  }
+  const NodeId n = social_graph.num_nodes();
+  const bool partial =
+      options.credit_model == GoyalOptions::CreditModel::kPartialCredits;
+
+  std::vector<uint64_t> actions_of(n, 0);                    // A_u
+  std::vector<double> credit(social_graph.num_edges(), 0.0);  // A_{u2v}
+
+  // Per-item scratch: activation step of each user in the current item,
+  // stamped to avoid O(n) resets.
+  constexpr uint32_t kInactive = ~uint32_t{0};
+  std::vector<uint32_t> step_of(n, 0);
+  std::vector<uint32_t> stamp(n, 0);
+  auto step_or_inactive = [&](NodeId v, uint32_t item_stamp) {
+    return stamp[v] == item_stamp ? step_of[v] : kInactive;
+  };
+
+  std::vector<EdgeId> influencer_edges;
+  for (uint32_t item = 0; item < log.num_items(); ++item) {
+    const auto acts = log.ItemActions(item);
+    const uint32_t item_stamp = item + 1;
+    for (const Action& a : acts) {
+      stamp[a.user] = item_stamp;
+      step_of[a.user] = a.step;
+      ++actions_of[a.user];
+    }
+    // For each activated v, credit the in-neighbors that acted earlier:
+    // full credit each (Bernoulli) or 1/j split (partial credits).
+    for (const Action& a : acts) {
+      const NodeId v = a.user;
+      influencer_edges.clear();
+      for (NodeId u : social_graph.InNeighbors(v)) {
+        const uint32_t tu = step_or_inactive(u, item_stamp);
+        if (tu == kInactive || tu >= a.step) continue;
+        const auto edge = social_graph.FindEdge(u, v);
+        SOI_CHECK(edge.ok());
+        influencer_edges.push_back(edge.value());
+      }
+      if (influencer_edges.empty()) continue;
+      const double share =
+          partial ? 1.0 / static_cast<double>(influencer_edges.size()) : 1.0;
+      for (EdgeId e : influencer_edges) credit[e] += share;
+    }
+  }
+
+  ProbGraphBuilder builder(n);
+  for (EdgeId e = 0; e < social_graph.num_edges(); ++e) {
+    const NodeId u = social_graph.EdgeSource(e);
+    if (actions_of[u] == 0 || credit[e] <= 0.0) continue;
+    const double p = std::min(
+        options.max_prob, credit[e] / static_cast<double>(actions_of[u]));
+    if (p < options.min_prob) continue;
+    SOI_RETURN_IF_ERROR(builder.AddEdge(u, social_graph.EdgeTarget(e), p));
+  }
+  return builder.Build();
+}
+
+}  // namespace soi

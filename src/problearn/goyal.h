@@ -1,0 +1,47 @@
+#ifndef SOI_PROBLEARN_GOYAL_H_
+#define SOI_PROBLEARN_GOYAL_H_
+
+#include "graph/prob_graph.h"
+#include "problearn/action_log.h"
+#include "util/status.h"
+
+namespace soi {
+
+/// Goyal et al. (WSDM 2010) frequentist learner, the simplest "Bernoulli"
+/// model the paper uses for the -G datasets: for a social arc (u, v),
+///
+///   p(u, v) = A_{u2v} / A_u
+///
+/// where A_u is the number of items u acted on and A_{u2v} the number of
+/// items where v acted *after* u did.
+struct GoyalOptions {
+  /// Credit model for an action of v preceded by several active neighbors.
+  enum class CreditModel {
+    /// Bernoulli: every earlier-acting in-neighbor gets full credit 1
+    /// (the paper's choice; systematically optimistic, see Figure 3).
+    kBernoulli,
+    /// Partial credits (Goyal et al. §3): the credit for v's action is
+    /// split equally among the j in-neighbors that acted before v, so each
+    /// gets 1/j. Produces smaller, less-correlated estimates.
+    kPartialCredits,
+  };
+  CreditModel credit_model = CreditModel::kBernoulli;
+  /// Arcs whose estimate falls below this are dropped from the output graph
+  /// (a zero/negligible contagion probability is equivalent to no arc under
+  /// the IC model).
+  double min_prob = 1e-4;
+  /// Cap estimates at this value (an estimate of exactly 1 is usually an
+  /// artifact of tiny counts).
+  double max_prob = 1.0;
+};
+
+/// Learns probabilities for the arcs of `social_graph` from `log`.
+/// Returns a graph over the same node set containing only the arcs with a
+/// learnable, above-threshold probability.
+Result<ProbGraph> LearnGoyal(const ProbGraph& social_graph,
+                             const ActionLog& log,
+                             const GoyalOptions& options = {});
+
+}  // namespace soi
+
+#endif  // SOI_PROBLEARN_GOYAL_H_

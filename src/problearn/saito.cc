@@ -1,0 +1,124 @@
+#include "problearn/saito.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace soi {
+
+Result<SaitoResult> LearnSaito(const ProbGraph& social_graph,
+                               const ActionLog& log,
+                               const SaitoOptions& options) {
+  if (log.num_users() != social_graph.num_nodes()) {
+    return Status::InvalidArgument("log user space != graph node space");
+  }
+  if (!(options.init_prob > 0.0 && options.init_prob <= 1.0)) {
+    return Status::InvalidArgument("init_prob must be in (0,1]");
+  }
+  const NodeId n = social_graph.num_nodes();
+  const EdgeId m = social_graph.num_edges();
+
+  // Scratch for per-item activation steps (stamped).
+  constexpr uint32_t kInactive = ~uint32_t{0};
+  std::vector<uint32_t> step_of(n, 0);
+  std::vector<uint32_t> stamp(n, 0);
+  auto step_or_inactive = [&](NodeId v, uint32_t item_stamp) {
+    return stamp[v] == item_stamp ? step_of[v] : kInactive;
+  };
+
+  // Positive events, flattened: event k owns edge ids
+  // event_edges[event_offsets[k] .. event_offsets[k+1]).
+  std::vector<size_t> event_offsets{0};
+  std::vector<EdgeId> event_edges;
+  std::vector<uint64_t> pos_count(m, 0);
+  std::vector<uint64_t> neg_count(m, 0);
+
+  for (uint32_t item = 0; item < log.num_items(); ++item) {
+    const auto acts = log.ItemActions(item);
+    const uint32_t item_stamp = item + 1;
+    for (const Action& a : acts) {
+      stamp[a.user] = item_stamp;
+      step_of[a.user] = a.step;
+    }
+    // Positive events: v activated at step t+1 with parents active at t.
+    for (const Action& a : acts) {
+      if (a.step == 0) continue;  // initiators are not explained by edges
+      const NodeId v = a.user;
+      const size_t before = event_edges.size();
+      for (NodeId u : social_graph.InNeighbors(v)) {
+        if (step_or_inactive(u, item_stamp) != a.step - 1) continue;
+        const auto edge = social_graph.FindEdge(u, v);
+        SOI_CHECK(edge.ok());
+        event_edges.push_back(edge.value());
+        ++pos_count[edge.value()];
+      }
+      if (event_edges.size() == before) continue;  // unexplained activation
+      event_offsets.push_back(event_edges.size());
+    }
+    // Negative occurrences: u active at t, out-neighbor v provably not
+    // activated by u (inactive forever, or activated later than t+1).
+    for (const Action& a : acts) {
+      const NodeId u = a.user;
+      const EdgeId begin = social_graph.OutBegin(u);
+      const auto nbrs = social_graph.OutNeighbors(u);
+      for (size_t i = 0; i < nbrs.size(); ++i) {
+        const uint32_t tv = step_or_inactive(nbrs[i], item_stamp);
+        if (tv == kInactive || tv > a.step + 1) {
+          ++neg_count[begin + static_cast<EdgeId>(i)];
+        }
+      }
+    }
+  }
+
+  // Learnable edges: at least one positive occurrence (otherwise MLE is 0).
+  std::vector<double> p(m, 0.0);
+  for (EdgeId e = 0; e < m; ++e) {
+    if (pos_count[e] > 0) p[e] = options.init_prob;
+  }
+
+  // EM iterations.
+  const size_t num_events = event_offsets.size() - 1;
+  std::vector<double> contrib(m, 0.0);
+  uint32_t iter = 0;
+  double delta = 0.0;
+  for (; iter < options.max_iterations; ++iter) {
+    std::fill(contrib.begin(), contrib.end(), 0.0);
+    for (size_t k = 0; k < num_events; ++k) {
+      double miss = 1.0;
+      for (size_t idx = event_offsets[k]; idx < event_offsets[k + 1]; ++idx) {
+        miss *= 1.0 - p[event_edges[idx]];
+      }
+      const double pv = std::max(1.0 - miss, 1e-12);
+      for (size_t idx = event_offsets[k]; idx < event_offsets[k + 1]; ++idx) {
+        const EdgeId e = event_edges[idx];
+        contrib[e] += p[e] / pv;
+      }
+    }
+    delta = 0.0;
+    for (EdgeId e = 0; e < m; ++e) {
+      if (pos_count[e] == 0) continue;
+      const double denom =
+          static_cast<double>(pos_count[e] + neg_count[e]);
+      const double updated = std::clamp(contrib[e] / denom, 1e-9, 1.0);
+      delta = std::max(delta, std::abs(updated - p[e]));
+      p[e] = updated;
+    }
+    if (delta < options.tolerance) {
+      ++iter;
+      break;
+    }
+  }
+
+  ProbGraphBuilder builder(n);
+  for (EdgeId e = 0; e < m; ++e) {
+    if (pos_count[e] == 0 || p[e] < options.min_prob) continue;
+    SOI_RETURN_IF_ERROR(builder.AddEdge(social_graph.EdgeSource(e),
+                                        social_graph.EdgeTarget(e), p[e]));
+  }
+  SaitoResult result{.graph = ProbGraph(), .iterations = iter,
+                     .final_delta = delta};
+  SOI_ASSIGN_OR_RETURN(result.graph, builder.Build());
+  return result;
+}
+
+}  // namespace soi

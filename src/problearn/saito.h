@@ -1,0 +1,48 @@
+#ifndef SOI_PROBLEARN_SAITO_H_
+#define SOI_PROBLEARN_SAITO_H_
+
+#include "graph/prob_graph.h"
+#include "problearn/action_log.h"
+#include "util/status.h"
+
+namespace soi {
+
+/// Saito, Nakano, Kimura (KES 2008): maximum-likelihood estimation of IC
+/// probabilities from propagation episodes via Expectation Maximization,
+/// used by the paper for the -S datasets.
+///
+/// For each episode (item) and each user v activated at step t+1, the
+/// likelihood of the observation is P_v = 1 - prod_{u in B_v} (1 - p_{u,v})
+/// over the parents B_v active at step t. The EM update is
+///
+///   p_{u,v} <- ( sum_{episodes in A+} p_{u,v} / P_v ) / (|A+| + |A-|)
+///
+/// where A+ are episodes where u was active at t and v activated at t+1, and
+/// A- episodes where u's influence attempt on v demonstrably failed (u
+/// active at step t but v not activated at t+1 from it).
+struct SaitoOptions {
+  uint32_t max_iterations = 100;
+  /// Stop when the max absolute parameter change drops below this.
+  double tolerance = 1e-6;
+  /// Initial value of every learnable probability.
+  double init_prob = 0.2;
+  /// Arcs whose final estimate falls below this are dropped.
+  double min_prob = 1e-4;
+};
+
+struct SaitoResult {
+  ProbGraph graph;
+  uint32_t iterations = 0;
+  /// Max absolute parameter change at the last iteration.
+  double final_delta = 0.0;
+};
+
+/// Learns probabilities for the arcs of `social_graph` from `log`.
+/// Arcs with no positive occurrence are dropped (their MLE is 0).
+Result<SaitoResult> LearnSaito(const ProbGraph& social_graph,
+                               const ActionLog& log,
+                               const SaitoOptions& options = {});
+
+}  // namespace soi
+
+#endif  // SOI_PROBLEARN_SAITO_H_

@@ -1,0 +1,58 @@
+#ifndef SOI_RELIABILITY_RELIABILITY_H_
+#define SOI_RELIABILITY_RELIABILITY_H_
+
+#include <span>
+#include <vector>
+
+#include "graph/prob_graph.h"
+#include "index/cascade_index.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace soi {
+
+/// Classical reliability queries on uncertain graphs (paper §2.1 and the
+/// related-work line of Jin et al. / Khan et al. / Zhu et al.): the typical
+/// cascade is one member of this query family, and the cascade index answers
+/// the others essentially for free.
+
+/// Monte-Carlo s-t reliability: the probability that `target` is reachable
+/// from `source`, estimated over `num_samples` sampled worlds. #P-hard to
+/// compute exactly (Valiant 1979); cascade/exact.h has the exponential
+/// oracle for tiny graphs.
+Result<double> EstimateReliability(const ProbGraph& graph, NodeId source,
+                                   NodeId target, uint32_t num_samples,
+                                   Rng* rng);
+
+/// Per-node reachability probabilities from a seed set, estimated on the
+/// sampled worlds of a prebuilt index: result[v] = fraction of worlds in
+/// which v is reachable from the seeds.
+Result<std::vector<double>> ReachabilityProbabilities(
+    const CascadeIndex& index, std::span<const NodeId> seeds);
+
+/// Reliability search (Khan, Bonchi, Gionis, Gullo; EDBT 2014): all nodes
+/// reachable from the seed set with probability >= threshold, sorted by node
+/// id. Seeds themselves are always reported (probability 1).
+Result<std::vector<NodeId>> ReliabilitySearch(const CascadeIndex& index,
+                                              std::span<const NodeId> seeds,
+                                              double threshold);
+
+/// Distance-constrained reachability (Jin et al., PVLDB 2011): probability
+/// that `target` lies within `max_hops` hops of `source` in a random world.
+/// Estimated by direct sampling (the condensation index intentionally
+/// discards distances, so this query does not use it).
+Result<double> EstimateDistanceConstrainedReliability(const ProbGraph& graph,
+                                                      NodeId source,
+                                                      NodeId target,
+                                                      uint32_t max_hops,
+                                                      uint32_t num_samples,
+                                                      Rng* rng);
+
+/// Expected reachable-set size from a seed set on the index's worlds — the
+/// expected spread, exposed under its reliability-literature name.
+Result<double> ExpectedReachableSize(const CascadeIndex& index,
+                                     std::span<const NodeId> seeds);
+
+}  // namespace soi
+
+#endif  // SOI_RELIABILITY_RELIABILITY_H_

@@ -1,0 +1,99 @@
+#include "scc/condensation.h"
+
+#include <utility>
+
+namespace soi {
+
+Condensation Condensation::Build(const Csr& world) {
+  Condensation cond;
+  SccResult scc = TarjanScc(world);
+  cond.num_components_ = scc.num_components;
+  cond.comp_of_ = std::move(scc.comp_of);
+
+  const uint32_t n = world.num_nodes();
+  const uint32_t nc = cond.num_components_;
+
+  // Members CSR: bucket nodes by component (ascending node id within).
+  cond.members_.offsets.assign(nc + 1, 0);
+  cond.members_.targets.resize(n);
+  for (NodeId v = 0; v < n; ++v) ++cond.members_.offsets[cond.comp_of_[v] + 1];
+  for (uint32_t c = 0; c < nc; ++c) {
+    cond.members_.offsets[c + 1] += cond.members_.offsets[c];
+  }
+  std::vector<uint32_t> cursor(cond.members_.offsets.begin(),
+                               cond.members_.offsets.end() - 1);
+  for (NodeId v = 0; v < n; ++v) {
+    cond.members_.targets[cursor[cond.comp_of_[v]]++] = v;
+  }
+
+  // DAG edges between distinct components, deduplicated.
+  std::vector<std::pair<NodeId, NodeId>> dag_edges;
+  for (NodeId u = 0; u < n; ++u) {
+    const uint32_t cu = cond.comp_of_[u];
+    for (NodeId v : world.Neighbors(u)) {
+      const uint32_t cv = cond.comp_of_[v];
+      if (cu != cv) dag_edges.emplace_back(cu, cv);
+    }
+  }
+  cond.dag_ = Csr::FromEdges(nc, std::move(dag_edges), /*dedupe=*/true);
+  return cond;
+}
+
+Result<Condensation> Condensation::FromParts(std::vector<uint32_t> comp_of,
+                                             uint32_t num_components,
+                                             Csr dag) {
+  for (uint32_t c : comp_of) {
+    if (c >= num_components) {
+      return Status::InvalidArgument("comp_of entry exceeds component count");
+    }
+  }
+  if (dag.num_nodes() != num_components) {
+    return Status::InvalidArgument("DAG node count != component count");
+  }
+  for (NodeId t : dag.targets) {
+    if (t >= num_components) {
+      return Status::InvalidArgument("DAG edge target out of range");
+    }
+  }
+  Condensation cond;
+  cond.num_components_ = num_components;
+  cond.comp_of_ = std::move(comp_of);
+  cond.dag_ = std::move(dag);
+
+  const uint32_t n = static_cast<uint32_t>(cond.comp_of_.size());
+  cond.members_.offsets.assign(num_components + 1, 0);
+  cond.members_.targets.resize(n);
+  for (NodeId v = 0; v < n; ++v) ++cond.members_.offsets[cond.comp_of_[v] + 1];
+  for (uint32_t c = 0; c < num_components; ++c) {
+    cond.members_.offsets[c + 1] += cond.members_.offsets[c];
+  }
+  std::vector<uint32_t> cursor(cond.members_.offsets.begin(),
+                               cond.members_.offsets.end() - 1);
+  for (NodeId v = 0; v < n; ++v) {
+    cond.members_.targets[cursor[cond.comp_of_[v]]++] = v;
+  }
+  return cond;
+}
+
+void ReachableComponents(const Condensation& cond, uint32_t start,
+                         std::vector<uint32_t>* stamp, uint32_t stamp_id,
+                         std::vector<uint32_t>* out) {
+  SOI_DCHECK(stamp->size() >= cond.num_components());
+  if ((*stamp)[start] == stamp_id) return;
+  (*stamp)[start] = stamp_id;
+  // Iterative DFS; out doubles as both result and (prefix) work discovery:
+  // we push newly discovered components and advance a read cursor.
+  const size_t base = out->size();
+  out->push_back(start);
+  for (size_t read = base; read < out->size(); ++read) {
+    const uint32_t c = (*out)[read];
+    for (uint32_t succ : cond.DagSuccessors(c)) {
+      if ((*stamp)[succ] != stamp_id) {
+        (*stamp)[succ] = stamp_id;
+        out->push_back(succ);
+      }
+    }
+  }
+}
+
+}  // namespace soi

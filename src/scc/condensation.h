@@ -1,0 +1,84 @@
+#ifndef SOI_SCC_CONDENSATION_H_
+#define SOI_SCC_CONDENSATION_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/csr.h"
+#include "scc/tarjan.h"
+#include "util/status.h"
+
+namespace soi {
+
+/// The condensation of a sampled possible world: the DAG obtained by
+/// contracting each strongly connected component to a single vertex
+/// (paper §4, Figure 2). This is the per-world payload of the cascade index.
+///
+/// Invariant inherited from TarjanScc: every DAG edge (c, c') satisfies
+/// c' < c, i.e. increasing component id is a reverse topological order.
+class Condensation {
+ public:
+  Condensation() = default;
+
+  /// Builds the condensation of `world` (deduplicating parallel DAG edges).
+  static Condensation Build(const Csr& world);
+
+  /// Reassembles a condensation from its serialized parts: the node ->
+  /// component map and the (already reduced) DAG. Rebuilds the members CSR.
+  /// Used by index/index_io.h; `comp_of` values must be < num_components and
+  /// `dag` must have num_components nodes.
+  static Result<Condensation> FromParts(std::vector<uint32_t> comp_of,
+                                        uint32_t num_components, Csr dag);
+
+  uint32_t num_nodes() const {
+    return static_cast<uint32_t>(comp_of_.size());
+  }
+  uint32_t num_components() const { return num_components_; }
+  uint32_t num_dag_edges() const { return dag_.num_edges(); }
+
+  uint32_t ComponentOf(NodeId v) const {
+    SOI_DCHECK(v < comp_of_.size());
+    return comp_of_[v];
+  }
+  const std::vector<uint32_t>& comp_of() const { return comp_of_; }
+
+  /// Number of original nodes inside component c.
+  uint32_t ComponentSize(uint32_t c) const {
+    SOI_DCHECK(c < num_components_);
+    return members_.offsets[c + 1] - members_.offsets[c];
+  }
+
+  /// Original nodes of component c (ascending node id).
+  std::span<const NodeId> ComponentMembers(uint32_t c) const {
+    return members_.Neighbors(c);
+  }
+
+  /// Successor components of c in the DAG (each id < c).
+  std::span<const uint32_t> DagSuccessors(uint32_t c) const {
+    return dag_.Neighbors(c);
+  }
+
+  /// Replaces the DAG adjacency (used by transitive reduction). The new DAG
+  /// must preserve reachability; callers are responsible for that.
+  void ReplaceDag(Csr dag) { dag_ = std::move(dag); }
+  const Csr& dag() const { return dag_; }
+
+ private:
+  std::vector<uint32_t> comp_of_;
+  uint32_t num_components_ = 0;
+  Csr members_;  // component -> member nodes
+  Csr dag_;      // component -> successor components
+};
+
+/// Collects all components reachable from `start` (inclusive) by DFS over the
+/// condensation DAG, appending them to `out` (unordered). `stamp`/`stamp_id`
+/// implement O(1) reset across repeated calls: pass a vector sized
+/// num_components() filled with 0 and a fresh ++stamp_id per call.
+void ReachableComponents(const Condensation& cond, uint32_t start,
+                         std::vector<uint32_t>* stamp, uint32_t stamp_id,
+                         std::vector<uint32_t>* out);
+
+}  // namespace soi
+
+#endif  // SOI_SCC_CONDENSATION_H_

@@ -1,0 +1,80 @@
+#include "scc/tarjan.h"
+
+#include <algorithm>
+
+namespace soi {
+
+namespace {
+
+constexpr uint32_t kUnvisited = ~uint32_t{0};
+
+// Explicit DFS frame: node plus the index of the next out-edge to examine.
+struct Frame {
+  NodeId node;
+  uint32_t next_edge;
+};
+
+}  // namespace
+
+SccResult TarjanScc(const Csr& graph) {
+  const uint32_t n = graph.num_nodes();
+  SccResult result;
+  result.comp_of.assign(n, kUnvisited);
+
+  std::vector<uint32_t> index(n, kUnvisited);
+  std::vector<uint32_t> lowlink(n, 0);
+  std::vector<uint8_t> on_stack(n, 0);
+  std::vector<NodeId> scc_stack;
+  std::vector<Frame> dfs;
+  scc_stack.reserve(64);
+  dfs.reserve(64);
+
+  uint32_t next_index = 0;
+  uint32_t next_comp = 0;
+
+  for (NodeId root = 0; root < n; ++root) {
+    if (index[root] != kUnvisited) continue;
+    dfs.push_back({root, 0});
+    index[root] = lowlink[root] = next_index++;
+    scc_stack.push_back(root);
+    on_stack[root] = 1;
+
+    while (!dfs.empty()) {
+      Frame& frame = dfs.back();
+      const NodeId u = frame.node;
+      const auto nbrs = graph.Neighbors(u);
+      if (frame.next_edge < nbrs.size()) {
+        const NodeId v = nbrs[frame.next_edge++];
+        if (index[v] == kUnvisited) {
+          index[v] = lowlink[v] = next_index++;
+          scc_stack.push_back(v);
+          on_stack[v] = 1;
+          dfs.push_back({v, 0});
+        } else if (on_stack[v]) {
+          lowlink[u] = std::min(lowlink[u], index[v]);
+        }
+        continue;
+      }
+      // u is finished: close its SCC if it is a root, then propagate lowlink.
+      if (lowlink[u] == index[u]) {
+        while (true) {
+          const NodeId w = scc_stack.back();
+          scc_stack.pop_back();
+          on_stack[w] = 0;
+          result.comp_of[w] = next_comp;
+          if (w == u) break;
+        }
+        ++next_comp;
+      }
+      dfs.pop_back();
+      if (!dfs.empty()) {
+        const NodeId parent = dfs.back().node;
+        lowlink[parent] = std::min(lowlink[parent], lowlink[u]);
+      }
+    }
+  }
+  result.num_components = next_comp;
+  return result;
+}
+
+}  // namespace soi

@@ -1,0 +1,30 @@
+#ifndef SOI_SCC_TARJAN_H_
+#define SOI_SCC_TARJAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.h"
+
+namespace soi {
+
+/// Result of a strongly-connected-components decomposition.
+///
+/// Component ids are assigned in Tarjan completion order, which is a
+/// *reverse topological* order of the condensation: for every edge (u, v)
+/// crossing components, comp_of[v] < comp_of[u]. Downstream code (transitive
+/// reduction, reachability) relies on this ordering invariant.
+struct SccResult {
+  /// comp_of[v] = id of the SCC containing v; ids in [0, num_components).
+  std::vector<uint32_t> comp_of;
+  uint32_t num_components = 0;
+};
+
+/// Iterative Tarjan SCC (Tarjan, SIAM J. Comput. 1972). Runs in O(n + m)
+/// with an explicit stack, so deep sampled worlds cannot overflow the call
+/// stack.
+SccResult TarjanScc(const Csr& graph);
+
+}  // namespace soi
+
+#endif  // SOI_SCC_TARJAN_H_

@@ -1,0 +1,66 @@
+#include "util/bitvector.h"
+
+#include <algorithm>
+
+namespace soi {
+
+void BitVector::Resize(size_t size) {
+  size_ = size;
+  words_.assign((size + 63) / 64, 0);
+}
+
+void BitVector::Reset() { std::fill(words_.begin(), words_.end(), 0); }
+
+size_t BitVector::Count() const {
+  size_t total = 0;
+  for (uint64_t w : words_) total += static_cast<size_t>(__builtin_popcountll(w));
+  return total;
+}
+
+bool BitVector::Any() const {
+  for (uint64_t w : words_) {
+    if (w != 0) return true;
+  }
+  return false;
+}
+
+BitVector& BitVector::operator|=(const BitVector& other) {
+  SOI_CHECK(size_ == other.size_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  return *this;
+}
+
+BitVector& BitVector::operator&=(const BitVector& other) {
+  SOI_CHECK(size_ == other.size_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  return *this;
+}
+
+size_t BitVector::IntersectCount(const BitVector& other) const {
+  SOI_CHECK(size_ == other.size_);
+  size_t total = 0;
+  for (size_t i = 0; i < words_.size(); ++i) {
+    total +=
+        static_cast<size_t>(__builtin_popcountll(words_[i] & other.words_[i]));
+  }
+  return total;
+}
+
+size_t BitVector::UnionCount(const BitVector& other) const {
+  SOI_CHECK(size_ == other.size_);
+  size_t total = 0;
+  for (size_t i = 0; i < words_.size(); ++i) {
+    total +=
+        static_cast<size_t>(__builtin_popcountll(words_[i] | other.words_[i]));
+  }
+  return total;
+}
+
+std::vector<uint32_t> BitVector::ToIndices() const {
+  std::vector<uint32_t> out;
+  out.reserve(Count());
+  ForEachSetBit([&](size_t i) { out.push_back(static_cast<uint32_t>(i)); });
+  return out;
+}
+
+}  // namespace soi

@@ -1,0 +1,34 @@
+#ifndef SOI_UTIL_CHECK_H_
+#define SOI_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace soi::internal {
+
+[[noreturn]] inline void CheckFail(const char* cond, const char* file,
+                                   int line) {
+  std::fprintf(stderr, "soi: CHECK failed: %s at %s:%d\n", cond, file, line);
+  std::abort();
+}
+
+}  // namespace soi::internal
+
+/// Invariant check for programming errors (not data errors). Always enabled:
+/// the cost is negligible next to the graph traversals this library performs,
+/// and silent memory corruption in an index is far worse than an abort.
+#define SOI_CHECK(cond)                                          \
+  do {                                                           \
+    if (!(cond)) ::soi::internal::CheckFail(#cond, __FILE__, __LINE__); \
+  } while (false)
+
+/// Debug-only check for hot loops.
+#ifdef NDEBUG
+#define SOI_DCHECK(cond) \
+  do {                   \
+  } while (false)
+#else
+#define SOI_DCHECK(cond) SOI_CHECK(cond)
+#endif
+
+#endif  // SOI_UTIL_CHECK_H_

@@ -1,0 +1,104 @@
+#include "util/flags.h"
+
+#include <cerrno>
+#include <cstdlib>
+
+namespace soi {
+
+Result<FlagParser> FlagParser::Parse(int argc, const char* const* argv) {
+  std::vector<std::string> tokens;
+  for (int i = 1; i < argc; ++i) tokens.emplace_back(argv[i]);
+  return Parse(tokens);
+}
+
+Result<FlagParser> FlagParser::Parse(const std::vector<std::string>& tokens) {
+  FlagParser parser;
+  bool flags_done = false;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    const std::string& token = tokens[i];
+    if (flags_done || token.rfind("--", 0) != 0) {
+      parser.positional_.push_back(token);
+      continue;
+    }
+    if (token == "--") {
+      flags_done = true;
+      continue;
+    }
+    std::string name = token.substr(2);
+    std::string value;
+    const size_t eq = name.find('=');
+    if (eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+    } else if (i + 1 < tokens.size() &&
+               tokens[i + 1].rfind("--", 0) != 0) {
+      value = tokens[++i];
+    }
+    if (name.empty()) {
+      return Status::InvalidArgument("empty flag name in '" + token + "'");
+    }
+    if (!parser.flags_.emplace(name, value).second) {
+      return Status::InvalidArgument("duplicate flag --" + name);
+    }
+  }
+  return parser;
+}
+
+bool FlagParser::HasFlag(const std::string& name) const {
+  queried_[name] = true;
+  return flags_.count(name) > 0;
+}
+
+Result<std::string> FlagParser::GetString(const std::string& name,
+                                          const std::string& fallback) const {
+  queried_[name] = true;
+  const auto it = flags_.find(name);
+  return it == flags_.end() ? fallback : it->second;
+}
+
+Result<int64_t> FlagParser::GetInt(const std::string& name,
+                                   int64_t fallback) const {
+  queried_[name] = true;
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(it->second.c_str(), &end, 10);
+  if (errno != 0 || end == it->second.c_str() || *end != '\0') {
+    return Status::InvalidArgument("--" + name + " expects an integer, got '" +
+                                   it->second + "'");
+  }
+  return static_cast<int64_t>(v);
+}
+
+Result<double> FlagParser::GetDouble(const std::string& name,
+                                     double fallback) const {
+  queried_[name] = true;
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  if (errno != 0 || end == it->second.c_str() || *end != '\0') {
+    return Status::InvalidArgument("--" + name + " expects a number, got '" +
+                                   it->second + "'");
+  }
+  return v;
+}
+
+bool FlagParser::GetBool(const std::string& name, bool fallback) const {
+  queried_[name] = true;
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  return it->second != "false" && it->second != "0";
+}
+
+std::vector<std::string> FlagParser::UnusedFlags() const {
+  std::vector<std::string> unused;
+  for (const auto& [name, value] : flags_) {
+    if (!queried_.count(name)) unused.push_back(name);
+  }
+  return unused;
+}
+
+}  // namespace soi

@@ -1,0 +1,53 @@
+#ifndef SOI_UTIL_FLAGS_H_
+#define SOI_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace soi {
+
+/// Minimal command-line parser for the soi_cli tool (and testable on its
+/// own). Grammar:
+///
+///   program <command> [--flag=value | --flag value | --bool-flag] [args...]
+///
+/// Flags may appear in any order; everything that does not start with "--"
+/// is a positional argument. "--" ends flag parsing.
+class FlagParser {
+ public:
+  /// Parses argv[1..argc); argv[0] is skipped. Returns an error for
+  /// malformed input (e.g. dangling "--flag" expecting a value is treated
+  /// as a boolean flag, so the only hard errors are duplicates).
+  static Result<FlagParser> Parse(int argc, const char* const* argv);
+
+  /// Parses a pre-split token list (test convenience).
+  static Result<FlagParser> Parse(const std::vector<std::string>& tokens);
+
+  bool HasFlag(const std::string& name) const;
+
+  /// Typed accessors with defaults; return an error when the flag is present
+  /// but not convertible.
+  Result<std::string> GetString(const std::string& name,
+                                const std::string& fallback) const;
+  Result<int64_t> GetInt(const std::string& name, int64_t fallback) const;
+  Result<double> GetDouble(const std::string& name, double fallback) const;
+  bool GetBool(const std::string& name, bool fallback) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Flags seen but never queried — typo detection for the CLI.
+  std::vector<std::string> UnusedFlags() const;
+
+ private:
+  std::map<std::string, std::string> flags_;  // name -> raw value ("" = bare)
+  std::vector<std::string> positional_;
+  mutable std::map<std::string, bool> queried_;
+};
+
+}  // namespace soi
+
+#endif  // SOI_UTIL_FLAGS_H_

@@ -1,0 +1,6 @@
+#include "util/rng.h"
+
+// Header-only; this translation unit exists so the module shows up in the
+// library and to hold future out-of-line additions (jump functions etc.).
+
+namespace soi {}  // namespace soi

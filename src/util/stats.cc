@@ -1,0 +1,109 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace soi {
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void RunningStats::Merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double n1 = static_cast<double>(count_);
+  const double n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = n1 + n2;
+  mean_ += delta * n2 / n;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void EmpiricalDistribution::EnsureSorted() {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double EmpiricalDistribution::Quantile(double q) {
+  SOI_CHECK(!samples_.empty());
+  EnsureSorted();
+  q = std::clamp(q, 0.0, 1.0);
+  const size_t rank = static_cast<size_t>(
+      q * static_cast<double>(samples_.size() - 1) + 0.5);
+  return samples_[rank];
+}
+
+double EmpiricalDistribution::CdfAt(double x) {
+  if (samples_.empty()) return 0.0;
+  EnsureSorted();
+  const auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(it - samples_.begin()) /
+         static_cast<double>(samples_.size());
+}
+
+std::vector<std::pair<double, double>> EmpiricalDistribution::CdfSeries(
+    int points) {
+  std::vector<std::pair<double, double>> out;
+  if (samples_.empty() || points < 2) return out;
+  EnsureSorted();
+  const double lo = samples_.front();
+  const double hi = samples_.back();
+  out.reserve(static_cast<size_t>(points));
+  for (int i = 0; i < points; ++i) {
+    const double x =
+        lo + (hi - lo) * static_cast<double>(i) / (points - 1);
+    out.emplace_back(x, CdfAt(x));
+  }
+  return out;
+}
+
+RunningStats EmpiricalDistribution::Summary() const {
+  RunningStats stats;
+  for (double x : samples_) stats.Add(x);
+  return stats;
+}
+
+Histogram::Histogram(double lo, double hi, int buckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / buckets),
+      counts_(static_cast<size_t>(buckets), 0) {
+  SOI_CHECK(buckets > 0);
+  SOI_CHECK(hi > lo);
+}
+
+void Histogram::Add(double x) {
+  int b = static_cast<int>((x - lo_) / width_);
+  b = std::clamp(b, 0, buckets() - 1);
+  ++counts_[static_cast<size_t>(b)];
+  ++total_;
+}
+
+double Histogram::BucketLow(int b) const { return lo_ + width_ * b; }
+
+}  // namespace soi

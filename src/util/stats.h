@@ -1,0 +1,103 @@
+#ifndef SOI_UTIL_STATS_H_
+#define SOI_UTIL_STATS_H_
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace soi {
+
+/// Streaming mean/variance/min/max via Welford's algorithm. Used everywhere a
+/// paper table reports avg/sd/max (e.g. Table 2).
+class RunningStats {
+ public:
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two observations.
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+
+  /// Merges another accumulator into this one (parallel-friendly).
+  void Merge(const RunningStats& other);
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// An empirical distribution: collects samples, then answers quantile and CDF
+/// queries. Backs the CDF plots (Figure 3) and timing distributions (Fig 4).
+class EmpiricalDistribution {
+ public:
+  void Add(double x) { samples_.push_back(x); sorted_ = false; }
+  void Reserve(size_t n) { samples_.reserve(n); }
+
+  size_t count() const { return samples_.size(); }
+
+  /// Value at quantile q in [0,1] (nearest-rank). Requires count() > 0.
+  double Quantile(double q);
+
+  /// Fraction of samples <= x.
+  double CdfAt(double x);
+
+  /// Evenly spaced (x, F(x)) pairs suitable for printing a CDF series.
+  std::vector<std::pair<double, double>> CdfSeries(int points);
+
+  RunningStats Summary() const;
+
+ private:
+  void EnsureSorted();
+
+  std::vector<double> samples_;
+  bool sorted_ = true;
+};
+
+/// Fixed-bucket histogram over [lo, hi); out-of-range values clamp to the
+/// edge buckets.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, int buckets);
+
+  void Add(double x);
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  int buckets() const { return static_cast<int>(counts_.size()); }
+  uint64_t bucket_count(int b) const { return counts_[static_cast<size_t>(b)]; }
+  uint64_t total() const { return total_; }
+
+  /// Lower edge of bucket b.
+  double BucketLow(int b) const;
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<uint64_t> counts_;
+  uint64_t total_ = 0;
+};
+
+/// Monotonic wall-clock timer.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+  void Restart() { start_ = Clock::now(); }
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace soi
+
+#endif  // SOI_UTIL_STATS_H_

@@ -1,0 +1,164 @@
+#ifndef SOI_UTIL_STATUS_H_
+#define SOI_UTIL_STATUS_H_
+
+#include <cstdlib>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace soi {
+
+/// Canonical error space for the library, loosely modeled after
+/// absl::StatusCode / arrow::StatusCode. Functions that can fail in
+/// recoverable ways return a Status (or a Result<T>); programming errors are
+/// checked with SOI_CHECK and abort.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kIOError,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Returns a stable human-readable name for a status code ("InvalidArgument").
+const char* StatusCodeToString(StatusCode code);
+
+/// A cheap value type carrying success or an (code, message) error.
+///
+/// The OK status carries no allocation. Statuses are copyable and movable;
+/// an ignored error status is a bug that tests catch via `.ok()` assertions.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Either a value of type T or an error Status, modeled after absl::StatusOr.
+///
+/// Accessing the value of an error Result aborts; call `ok()` first or use
+/// SOI_ASSIGN_OR_RETURN in Status-returning code.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value or an error keeps call sites terse:
+  /// `return 42;` and `return Status::InvalidArgument(...);` both work.
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status)                            // NOLINT(runtime/explicit)
+      : payload_(std::move(status)) {
+    if (std::get<Status>(payload_).ok()) {
+      Fail("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  const Status& status() const {
+    static const Status ok_status;
+    if (ok()) return ok_status;
+    return std::get<Status>(payload_);
+  }
+
+  const T& value() const& {
+    CheckOk();
+    return std::get<T>(payload_);
+  }
+  T& value() & {
+    CheckOk();
+    return std::get<T>(payload_);
+  }
+  T&& value() && {
+    CheckOk();
+    return std::get<T>(std::move(payload_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void CheckOk() const {
+    if (!ok()) Fail(status().ToString().c_str());
+  }
+  [[noreturn]] static void Fail(const char* what);
+
+  std::variant<T, Status> payload_;
+};
+
+namespace internal {
+[[noreturn]] void FailResultAccess(const char* what);
+}  // namespace internal
+
+template <typename T>
+void Result<T>::Fail(const char* what) {
+  internal::FailResultAccess(what);
+}
+
+/// Propagates a non-OK status to the caller.
+#define SOI_RETURN_IF_ERROR(expr)                 \
+  do {                                            \
+    ::soi::Status soi_status_ = (expr);           \
+    if (!soi_status_.ok()) return soi_status_;    \
+  } while (false)
+
+#define SOI_CONCAT_IMPL_(x, y) x##y
+#define SOI_CONCAT_(x, y) SOI_CONCAT_IMPL_(x, y)
+
+/// Evaluates a Result<T> expression; on error returns its status, otherwise
+/// move-assigns the value into `lhs` (which may be a declaration).
+#define SOI_ASSIGN_OR_RETURN(lhs, expr)                        \
+  auto SOI_CONCAT_(soi_result_, __LINE__) = (expr);            \
+  if (!SOI_CONCAT_(soi_result_, __LINE__).ok())                \
+    return SOI_CONCAT_(soi_result_, __LINE__).status();        \
+  lhs = std::move(SOI_CONCAT_(soi_result_, __LINE__)).value()
+
+}  // namespace soi
+
+#endif  // SOI_UTIL_STATUS_H_

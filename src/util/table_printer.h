@@ -1,0 +1,37 @@
+#ifndef SOI_UTIL_TABLE_PRINTER_H_
+#define SOI_UTIL_TABLE_PRINTER_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace soi {
+
+/// Renders aligned plain-text tables for the benchmark harnesses so their
+/// output reads like the paper's tables.
+///
+///   TablePrinter t({"Dataset", "|V|", "|E|"});
+///   t.AddRow({"NetHEPT", "15K", "31K"});
+///   t.Print(std::cout);
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+  void Print(std::ostream& os) const;
+
+  /// Formatting helpers used by the harnesses.
+  static std::string Fmt(double v, int precision = 2);
+  static std::string Fmt(uint64_t v);
+  static std::string Fmt(int64_t v);
+  static std::string Fmt(int v) { return Fmt(static_cast<int64_t>(v)); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace soi
+
+#endif  // SOI_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,266 @@
+// Tests for core/time_bounded.h, core/ranking.h, and the paper's §5
+// observation 4 (union of singleton spheres approximates the seed set's
+// typical cascade).
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cascade/exact.h"
+#include "core/ranking.h"
+#include "core/time_bounded.h"
+#include "core/typical_cascade.h"
+#include "gen/generators.h"
+#include "graph/prob_assign.h"
+#include "index/cascade_index.h"
+#include "jaccard/jaccard.h"
+#include "util/rng.h"
+
+namespace soi {
+namespace {
+
+CascadeIndex BuildIndex(const ProbGraph& g, uint32_t worlds, uint64_t seed) {
+  CascadeIndexOptions options;
+  options.num_worlds = worlds;
+  Rng rng(seed);
+  auto index = CascadeIndex::Build(g, options, &rng);
+  EXPECT_TRUE(index.ok());
+  return std::move(index).value();
+}
+
+// ------------------------------------------------------------ TimeBounded ---
+
+TEST(TimeBoundedTest, RejectsBadArgs) {
+  ProbGraphBuilder b(3);
+  ASSERT_TRUE(b.AddEdge(0, 1, 0.5).ok());
+  const auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  Rng rng(1);
+  const std::vector<NodeId> empty;
+  EXPECT_FALSE(ComputeTimeBoundedTypicalCascade(*g, empty, {}, &rng).ok());
+  const std::vector<NodeId> seeds = {0};
+  TimeBoundedOptions zero;
+  zero.median_samples = 0;
+  EXPECT_FALSE(
+      ComputeTimeBoundedTypicalCascade(*g, seeds, zero, &rng).ok());
+}
+
+TEST(TimeBoundedTest, ZeroStepsIsJustTheSeeds) {
+  ProbGraphBuilder b(4);
+  ASSERT_TRUE(b.AddEdge(0, 1, 1.0).ok());
+  ASSERT_TRUE(b.AddEdge(1, 2, 1.0).ok());
+  const auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  Rng rng(2);
+  const std::vector<NodeId> seeds = {0, 3};
+  TimeBoundedOptions options;
+  options.max_steps = 0;
+  options.median_samples = 50;
+  const auto result =
+      ComputeTimeBoundedTypicalCascade(*g, seeds, options, &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->cascade, (std::vector<NodeId>{0, 3}));
+  EXPECT_DOUBLE_EQ(result->in_sample_cost, 0.0);
+}
+
+TEST(TimeBoundedTest, HorizonCutsDeterministicChain) {
+  // 0 -> 1 -> 2 -> 3, all deterministic: with max_steps = 2 the typical
+  // bounded cascade is exactly {0, 1, 2}.
+  ProbGraphBuilder b(4);
+  ASSERT_TRUE(b.AddEdge(0, 1, 1.0).ok());
+  ASSERT_TRUE(b.AddEdge(1, 2, 1.0).ok());
+  ASSERT_TRUE(b.AddEdge(2, 3, 1.0).ok());
+  const auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  Rng rng(3);
+  const std::vector<NodeId> seeds = {0};
+  TimeBoundedOptions options;
+  options.max_steps = 2;
+  options.median_samples = 50;
+  const auto result =
+      ComputeTimeBoundedTypicalCascade(*g, seeds, options, &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->cascade, (std::vector<NodeId>{0, 1, 2}));
+}
+
+TEST(TimeBoundedTest, LargeHorizonMatchesUnboundedTypicalCascade) {
+  // With max_steps >= diameter the bounded problem IS Problem 1.
+  ProbGraphBuilder b(5);
+  ASSERT_TRUE(b.AddEdge(4, 0, 0.7).ok());
+  ASSERT_TRUE(b.AddEdge(4, 1, 0.4).ok());
+  ASSERT_TRUE(b.AddEdge(4, 3, 0.3).ok());
+  ASSERT_TRUE(b.AddEdge(0, 1, 0.1).ok());
+  ASSERT_TRUE(b.AddEdge(1, 0, 0.1).ok());
+  ASSERT_TRUE(b.AddEdge(1, 2, 0.4).ok());
+  ASSERT_TRUE(b.AddEdge(3, 1, 0.6).ok());
+  const auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  const std::vector<NodeId> seeds = {4};
+  const auto exact = ExactTypicalCascade(*g, seeds);
+  ASSERT_TRUE(exact.ok());
+  Rng rng(4);
+  TimeBoundedOptions options;
+  options.max_steps = 10;
+  options.median_samples = 3000;
+  options.median.local_search = true;
+  const auto bounded =
+      ComputeTimeBoundedTypicalCascade(*g, seeds, options, &rng);
+  ASSERT_TRUE(bounded.ok());
+  EXPECT_EQ(bounded->cascade, exact->first);
+}
+
+TEST(TimeBoundedTest, CostEstimatorSelfConsistent) {
+  Rng gen_rng(5);
+  auto topo = GenerateErdosRenyi(40, 160, false, &gen_rng);
+  ASSERT_TRUE(topo.ok());
+  Rng assign_rng(6);
+  const auto g = AssignUniform(*topo, &assign_rng, 0.2, 0.5);
+  ASSERT_TRUE(g.ok());
+  Rng rng(7);
+  const std::vector<NodeId> seeds = {0};
+  TimeBoundedOptions options;
+  options.max_steps = 2;
+  options.median_samples = 400;
+  const auto bounded =
+      ComputeTimeBoundedTypicalCascade(*g, seeds, options, &rng);
+  ASSERT_TRUE(bounded.ok());
+  const auto cost = EstimateTimeBoundedCost(*g, seeds, bounded->cascade, 2,
+                                            2000, &rng);
+  ASSERT_TRUE(cost.ok());
+  EXPECT_NEAR(*cost, bounded->in_sample_cost, 0.1);
+  // A horizon-mismatched candidate must cost more: compare against the
+  // unbounded sphere which includes late activations.
+  const CascadeIndex index = BuildIndex(*g, 256, 8);
+  TypicalCascadeComputer computer(&index);
+  const auto unbounded = computer.Compute(0);
+  ASSERT_TRUE(unbounded.ok());
+  if (unbounded->cascade.size() > 2 * bounded->cascade.size()) {
+    const auto mismatched_cost = EstimateTimeBoundedCost(
+        *g, seeds, unbounded->cascade, 2, 2000, &rng);
+    ASSERT_TRUE(mismatched_cost.ok());
+    EXPECT_GT(*mismatched_cost, *cost);
+  }
+}
+
+// ------------------------------------------------------- Union-vs-set TC ---
+
+// Paper §5 observation 4: a nearly-optimal typical cascade of a seed set S
+// can be assumed to contain the typical cascades of S's elements; the
+// union of singleton spheres is therefore a good proxy for the seed set's
+// typical cascade. Verify the proxy's hold-out cost is close on random
+// small graphs.
+class UnionProxySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(UnionProxySweep, UnionOfSpheresIsCompetitiveWithSetSphere) {
+  Rng gen_rng(900 + GetParam());
+  auto topo = GenerateErdosRenyi(50, 200, false, &gen_rng);
+  ASSERT_TRUE(topo.ok());
+  Rng assign_rng(901 + GetParam());
+  const auto g = AssignUniform(*topo, &assign_rng, 0.15, 0.45);
+  ASSERT_TRUE(g.ok());
+  const CascadeIndex index = BuildIndex(*g, 256, 902 + GetParam());
+  TypicalCascadeComputer computer(&index);
+
+  const std::vector<NodeId> seeds = {
+      static_cast<NodeId>(GetParam() % 50),
+      static_cast<NodeId>((GetParam() * 7 + 13) % 50)};
+  if (seeds[0] == seeds[1]) GTEST_SKIP();
+
+  // Direct typical cascade of the seed set.
+  const auto direct = computer.ComputeForSeeds(seeds);
+  ASSERT_TRUE(direct.ok());
+  // Union of singleton spheres.
+  std::vector<NodeId> union_proxy;
+  for (NodeId s : seeds) {
+    const auto sphere = computer.Compute(s);
+    ASSERT_TRUE(sphere.ok());
+    union_proxy.insert(union_proxy.end(), sphere->cascade.begin(),
+                       sphere->cascade.end());
+  }
+  std::sort(union_proxy.begin(), union_proxy.end());
+  union_proxy.erase(std::unique(union_proxy.begin(), union_proxy.end()),
+                    union_proxy.end());
+
+  // Hold-out comparison.
+  Rng eval_rng(903 + GetParam());
+  const auto direct_cost =
+      EstimateExpectedCost(*g, seeds, direct->cascade, 3000, &eval_rng);
+  const auto union_cost =
+      EstimateExpectedCost(*g, seeds, union_proxy, 3000, &eval_rng);
+  ASSERT_TRUE(direct_cost.ok());
+  ASSERT_TRUE(union_cost.ok());
+  EXPECT_LE(*union_cost, *direct_cost + 0.15)
+      << "union " << *union_cost << " vs direct " << *direct_cost;
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, UnionProxySweep,
+                         ::testing::Range(0, 8));
+
+// ---------------------------------------------------------------- Ranking ---
+
+TEST(RankingTest, RejectsMismatchedIndexes) {
+  Rng gen_rng(10);
+  auto topo_a = GenerateErdosRenyi(20, 60, false, &gen_rng);
+  auto topo_b = GenerateErdosRenyi(25, 60, false, &gen_rng);
+  ASSERT_TRUE(topo_a.ok());
+  ASSERT_TRUE(topo_b.ok());
+  Rng assign_rng(11);
+  const auto ga = AssignUniform(*topo_a, &assign_rng, 0.1, 0.3);
+  const auto gb = AssignUniform(*topo_b, &assign_rng, 0.1, 0.3);
+  ASSERT_TRUE(ga.ok());
+  ASSERT_TRUE(gb.ok());
+  const CascadeIndex ia = BuildIndex(*ga, 8, 12);
+  const CascadeIndex ib = BuildIndex(*gb, 8, 13);
+  EXPECT_FALSE(RankInfluencers(ia, ib).ok());
+}
+
+TEST(RankingTest, ScoresEveryNodeAndOrdersCorrectly) {
+  Rng gen_rng(14);
+  auto topo = GenerateBarabasiAlbert(150, 2, true, &gen_rng);
+  ASSERT_TRUE(topo.ok());
+  const auto g = AssignWeightedCascade(*topo);
+  ASSERT_TRUE(g.ok());
+  const CascadeIndex index = BuildIndex(*g, 64, 15);
+  const CascadeIndex eval_index = BuildIndex(*g, 64, 16);
+  const auto ranking = RankInfluencers(index, eval_index);
+  ASSERT_TRUE(ranking.ok());
+  ASSERT_EQ(ranking->scores.size(), g->num_nodes());
+  ASSERT_EQ(ranking->by_spread.size(), g->num_nodes());
+  // by_spread is ordered by descending expected spread.
+  for (size_t i = 1; i < ranking->by_spread.size(); ++i) {
+    EXPECT_GE(ranking->scores[ranking->by_spread[i - 1]].expected_spread,
+              ranking->scores[ranking->by_spread[i]].expected_spread);
+  }
+  // by_stability is ordered by ascending cost and respects the size floor.
+  for (size_t i = 1; i < ranking->by_stability.size(); ++i) {
+    EXPECT_LE(ranking->scores[ranking->by_stability[i - 1]].expected_cost,
+              ranking->scores[ranking->by_stability[i]].expected_cost);
+  }
+  for (NodeId v : ranking->by_stability) {
+    EXPECT_GE(ranking->scores[v].sphere_size, 3u);
+  }
+}
+
+TEST(RankingTest, DeterministicSphereIsMostReliable) {
+  // Node 10 -> {11, 12} deterministically; everything else is noisy.
+  ProbGraphBuilder b(20);
+  ASSERT_TRUE(b.AddEdge(10, 11, 1.0).ok());
+  ASSERT_TRUE(b.AddEdge(10, 12, 1.0).ok());
+  for (NodeId v = 0; v < 8; ++v) {
+    ASSERT_TRUE(b.AddEdge(v, v + 1, 0.5).ok());
+    ASSERT_TRUE(b.AddEdge(v, 13 + (v % 6), 0.4).ok());
+  }
+  const auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  const CascadeIndex index = BuildIndex(*g, 256, 17);
+  const CascadeIndex eval_index = BuildIndex(*g, 256, 18);
+  const auto ranking = RankInfluencers(index, eval_index);
+  ASSERT_TRUE(ranking.ok());
+  ASSERT_FALSE(ranking->by_stability.empty());
+  EXPECT_EQ(ranking->by_stability[0], 10u);
+  EXPECT_NEAR(ranking->scores[10].expected_cost, 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace soi

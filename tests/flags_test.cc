@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "util/flags.h"
+
+namespace soi {
+namespace {
+
+TEST(FlagParserTest, EqualsSyntax) {
+  const auto parser = FlagParser::Parse({"--name=value", "--count=3"});
+  ASSERT_TRUE(parser.ok());
+  EXPECT_EQ(parser->GetString("name", "").value(), "value");
+  EXPECT_EQ(parser->GetInt("count", 0).value(), 3);
+}
+
+TEST(FlagParserTest, SpaceSyntax) {
+  const auto parser = FlagParser::Parse({"--name", "value", "--count", "3"});
+  ASSERT_TRUE(parser.ok());
+  EXPECT_EQ(parser->GetString("name", "").value(), "value");
+  EXPECT_EQ(parser->GetInt("count", 0).value(), 3);
+}
+
+TEST(FlagParserTest, BareBooleanFlag) {
+  const auto parser = FlagParser::Parse({"--verbose", "--out=x"});
+  ASSERT_TRUE(parser.ok());
+  EXPECT_TRUE(parser->HasFlag("verbose"));
+  EXPECT_TRUE(parser->GetBool("verbose", false));
+  EXPECT_FALSE(parser->GetBool("quiet", false));
+}
+
+TEST(FlagParserTest, BoolExplicitValues) {
+  const auto parser =
+      FlagParser::Parse({"--a=true", "--b=false", "--c=0", "--d=1"});
+  ASSERT_TRUE(parser.ok());
+  EXPECT_TRUE(parser->GetBool("a", false));
+  EXPECT_FALSE(parser->GetBool("b", true));
+  EXPECT_FALSE(parser->GetBool("c", true));
+  EXPECT_TRUE(parser->GetBool("d", false));
+}
+
+TEST(FlagParserTest, PositionalArguments) {
+  const auto parser =
+      FlagParser::Parse({"cmd", "--flag=1", "arg1", "--", "--not-a-flag"});
+  ASSERT_TRUE(parser.ok());
+  EXPECT_EQ(parser->positional(),
+            (std::vector<std::string>{"cmd", "arg1", "--not-a-flag"}));
+}
+
+TEST(FlagParserTest, Defaults) {
+  const auto parser = FlagParser::Parse(std::vector<std::string>{});
+  ASSERT_TRUE(parser.ok());
+  EXPECT_EQ(parser->GetString("missing", "dflt").value(), "dflt");
+  EXPECT_EQ(parser->GetInt("missing", 42).value(), 42);
+  EXPECT_DOUBLE_EQ(parser->GetDouble("missing", 2.5).value(), 2.5);
+}
+
+TEST(FlagParserTest, TypeErrors) {
+  const auto parser = FlagParser::Parse({"--n=abc", "--x=1.2.3"});
+  ASSERT_TRUE(parser.ok());
+  EXPECT_FALSE(parser->GetInt("n", 0).ok());
+  EXPECT_FALSE(parser->GetDouble("x", 0).ok());
+  // The raw string is still accessible.
+  EXPECT_EQ(parser->GetString("n", "").value(), "abc");
+}
+
+TEST(FlagParserTest, NegativeAndFloatValues) {
+  const auto parser = FlagParser::Parse({"--n=-7", "--x=0.25"});
+  ASSERT_TRUE(parser.ok());
+  EXPECT_EQ(parser->GetInt("n", 0).value(), -7);
+  EXPECT_DOUBLE_EQ(parser->GetDouble("x", 0).value(), 0.25);
+}
+
+TEST(FlagParserTest, DuplicateFlagRejected) {
+  EXPECT_FALSE(FlagParser::Parse({"--a=1", "--a=2"}).ok());
+}
+
+TEST(FlagParserTest, EmptyFlagNameRejected) {
+  EXPECT_FALSE(FlagParser::Parse({"--=value"}).ok());
+}
+
+TEST(FlagParserTest, UnusedFlagsTracksQueries) {
+  const auto parser = FlagParser::Parse({"--used=1", "--typo=2"});
+  ASSERT_TRUE(parser.ok());
+  (void)parser->GetInt("used", 0);
+  const auto unused = parser->UnusedFlags();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+}
+
+TEST(FlagParserTest, ArgcArgvEntryPoint) {
+  const char* argv[] = {"prog", "--k=5", "pos"};
+  const auto parser = FlagParser::Parse(3, argv);
+  ASSERT_TRUE(parser.ok());
+  EXPECT_EQ(parser->GetInt("k", 0).value(), 5);
+  EXPECT_EQ(parser->positional(), std::vector<std::string>{"pos"});
+}
+
+}  // namespace
+}  // namespace soi

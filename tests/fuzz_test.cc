@@ -1,0 +1,100 @@
+// Robustness "fuzz" sweeps: the parsers must reject (never crash on)
+// arbitrary malformed input — random bytes, random printable text, and
+// systematically mutated valid payloads.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.h"
+#include "graph/graph_io.h"
+#include "graph/prob_assign.h"
+#include "index/cascade_index.h"
+#include "index/index_io.h"
+#include "util/rng.h"
+
+namespace soi {
+namespace {
+
+std::string RandomBytes(size_t size, Rng* rng) {
+  std::string out(size, '\0');
+  for (char& c : out) c = static_cast<char>(rng->NextBounded(256));
+  return out;
+}
+
+std::string RandomPrintable(size_t size, Rng* rng) {
+  static constexpr char kAlphabet[] = "0123456789 .-#ab\n\t";
+  std::string out(size, '\0');
+  for (char& c : out) {
+    c = kAlphabet[rng->NextBounded(sizeof(kAlphabet) - 1)];
+  }
+  return out;
+}
+
+class FuzzSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzSweep, IndexDeserializerNeverCrashesOnGarbage) {
+  Rng rng(1000 + GetParam());
+  for (const size_t size : {0u, 3u, 17u, 100u, 4096u}) {
+    const auto result = DeserializeCascadeIndex(RandomBytes(size, &rng));
+    EXPECT_FALSE(result.ok());  // garbage must never parse
+  }
+}
+
+TEST_P(FuzzSweep, IndexDeserializerRejectsMutatedValidPayload) {
+  Rng gen_rng(2000 + GetParam());
+  auto topo = GenerateErdosRenyi(20, 50, false, &gen_rng);
+  ASSERT_TRUE(topo.ok());
+  Rng assign_rng(2001 + GetParam());
+  const auto g = AssignUniform(*topo, &assign_rng, 0.2, 0.5);
+  ASSERT_TRUE(g.ok());
+  CascadeIndexOptions options;
+  options.num_worlds = 4;
+  Rng rng(2002 + GetParam());
+  const auto index = CascadeIndex::Build(*g, options, &rng);
+  ASSERT_TRUE(index.ok());
+  std::string bytes = SerializeCascadeIndex(*index);
+  // Flip one random byte anywhere after the magic: either the checksum
+  // rejects it, or (if the flip hits the checksum itself) the mismatch does.
+  Rng mutate_rng(3000 + GetParam());
+  for (int trial = 0; trial < 16; ++trial) {
+    std::string mutated = bytes;
+    const size_t pos = 8 + mutate_rng.NextBounded(mutated.size() - 8);
+    mutated[pos] = static_cast<char>(mutated[pos] ^
+                                     (1 + mutate_rng.NextBounded(255)));
+    const auto result = DeserializeCascadeIndex(mutated);
+    EXPECT_FALSE(result.ok()) << "flip at byte " << pos << " accepted";
+  }
+}
+
+TEST_P(FuzzSweep, EdgeListParserNeverCrashesOnRandomText) {
+  Rng rng(4000 + GetParam());
+  for (const size_t size : {1u, 40u, 500u}) {
+    // Either parses (valid rows by chance) or errors; both fine, no crash.
+    const auto result = ParseEdgeList(RandomPrintable(size, &rng));
+    if (result.ok()) {
+      EXPECT_LE(result->num_edges(), size);
+    }
+  }
+}
+
+TEST_P(FuzzSweep, EdgeListParserHandlesHostileNumbers) {
+  const char* hostile[] = {
+      "0 1 1e308\n",
+      "0 1 -1e308\n",
+      "4294967295 4294967296 0.5\n",  // dst overflows NodeId
+      "0 1 nan\n",
+      "0 1 inf\n",
+      "99999999999999999999 1 0.5\n",
+      "0 0 0.5\n",  // self loop
+  };
+  for (const char* text : hostile) {
+    const auto result = ParseEdgeList(text);
+    EXPECT_FALSE(result.ok()) << "accepted: " << text;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSweep, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace soi

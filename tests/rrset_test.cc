@@ -1,0 +1,175 @@
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cascade/exact.h"
+#include "gen/generators.h"
+#include "graph/prob_assign.h"
+#include "infmax/evaluate.h"
+#include "infmax/rrset.h"
+#include "util/rng.h"
+
+namespace soi {
+namespace {
+
+ProbGraph RandomTestGraph(NodeId n, uint64_t m, uint64_t seed) {
+  Rng gen_rng(seed);
+  auto topo = GenerateErdosRenyi(n, m, false, &gen_rng);
+  EXPECT_TRUE(topo.ok());
+  Rng assign_rng(seed + 1);
+  auto g = AssignUniform(*topo, &assign_rng, 0.05, 0.3);
+  EXPECT_TRUE(g.ok());
+  return std::move(g).value();
+}
+
+TEST(RrCollectionTest, RejectsBadArgs) {
+  const ProbGraph g = RandomTestGraph(10, 20, 1);
+  Rng rng(2);
+  EXPECT_FALSE(RrCollection::Sample(g, 0, &rng).ok());
+  ProbGraphBuilder empty(0);
+  const auto eg = empty.Build();
+  ASSERT_TRUE(eg.ok());
+  EXPECT_FALSE(RrCollection::Sample(*eg, 4, &rng).ok());
+}
+
+TEST(RrCollectionTest, SetsSortedAndContainTarget) {
+  const ProbGraph g = RandomTestGraph(50, 150, 3);
+  Rng rng(4);
+  const auto collection = RrCollection::Sample(g, 200, &rng);
+  ASSERT_TRUE(collection.ok());
+  EXPECT_EQ(collection->num_sets(), 200u);
+  for (uint32_t i = 0; i < collection->num_sets(); ++i) {
+    const auto set = collection->Set(i);
+    ASSERT_FALSE(set.empty());  // contains at least the target
+    EXPECT_TRUE(std::is_sorted(set.begin(), set.end()));
+  }
+}
+
+// The RR identity: fraction of RR sets hit by {v}, scaled by n, is an
+// unbiased estimate of sigma({v}).
+TEST(RrCollectionTest, SingletonSpreadMatchesExact) {
+  // 0 ->(0.5) 1 ->(0.4) 2: sigma({0}) = 1 + 0.5 + 0.5*0.4 = 1.7,
+  // sigma({1}) = 1.4.
+  ProbGraphBuilder b(3);
+  ASSERT_TRUE(b.AddEdge(0, 1, 0.5).ok());
+  ASSERT_TRUE(b.AddEdge(1, 2, 0.4).ok());
+  const auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  Rng rng(5);
+  const auto collection = RrCollection::Sample(*g, 60000, &rng);
+  ASSERT_TRUE(collection.ok());
+  const std::vector<NodeId> s0 = {0};
+  const std::vector<NodeId> s1 = {1};
+  EXPECT_NEAR(collection->EstimateSpread(s0), 1.7, 0.04);
+  EXPECT_NEAR(collection->EstimateSpread(s1), 1.4, 0.04);
+}
+
+TEST(RrCollectionTest, SeedSetSpreadMatchesExact) {
+  const ProbGraph g = RandomTestGraph(12, 18, 6);
+  if (g.num_edges() > kMaxExactEdges) GTEST_SKIP();
+  Rng rng(7);
+  const auto collection = RrCollection::Sample(g, 60000, &rng);
+  ASSERT_TRUE(collection.ok());
+  const std::vector<NodeId> seeds = {0, 5};
+  const auto exact = ExactExpectedSpread(g, seeds);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_NEAR(collection->EstimateSpread(seeds), *exact, 0.1);
+}
+
+TEST(RrSelectTest, FindsDominantInfluencer) {
+  ProbGraphBuilder b(20);
+  for (NodeId v = 1; v <= 10; ++v) {
+    ASSERT_TRUE(b.AddEdge(0, v, 0.9).ok());
+  }
+  ASSERT_TRUE(b.AddEdge(11, 12, 0.3).ok());
+  const auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  Rng rng(8);
+  const auto collection = RrCollection::Sample(*g, 5000, &rng);
+  ASSERT_TRUE(collection.ok());
+  const auto result = collection->SelectSeeds(1);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->seeds[0], 0u);
+}
+
+TEST(RrSelectTest, SeedsDistinctAndCoverageMonotone) {
+  const ProbGraph g = RandomTestGraph(60, 200, 9);
+  Rng rng(10);
+  const auto collection = RrCollection::Sample(g, 3000, &rng);
+  ASSERT_TRUE(collection.ok());
+  const auto result = collection->SelectSeeds(8);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->seeds.size(), 8u);
+  const std::set<NodeId> unique(result->seeds.begin(), result->seeds.end());
+  EXPECT_EQ(unique.size(), 8u);
+  for (size_t i = 1; i < result->steps.size(); ++i) {
+    EXPECT_GE(result->steps[i].objective_after,
+              result->steps[i - 1].objective_after - 1e-9);
+    EXPECT_LE(result->steps[i].marginal_gain,
+              result->steps[i - 1].marginal_gain + 1e-9);
+  }
+}
+
+TEST(RrSelectTest, GreedyCoverageOptimalOnToyInstance) {
+  const ProbGraph g = RandomTestGraph(30, 90, 11);
+  Rng rng(12);
+  const auto collection = RrCollection::Sample(g, 2000, &rng);
+  ASSERT_TRUE(collection.ok());
+  const auto result = collection->SelectSeeds(1);
+  ASSERT_TRUE(result.ok());
+  // The first seed must maximize the singleton RR coverage.
+  double best = 0;
+  for (NodeId v = 0; v < 30; ++v) {
+    const std::vector<NodeId> s = {v};
+    best = std::max(best, collection->EstimateSpread(s));
+  }
+  const std::vector<NodeId> chosen = {result->seeds[0]};
+  EXPECT_DOUBLE_EQ(collection->EstimateSpread(chosen), best);
+}
+
+TEST(InfMaxRrTest, RejectsBadOptions) {
+  const ProbGraph g = RandomTestGraph(10, 30, 13);
+  Rng rng(14);
+  RrSetOptions options;
+  options.k = 0;
+  EXPECT_FALSE(InfMaxRr(g, options, &rng).ok());
+  options.k = 2;
+  options.num_rr_sets = 0;
+  options.epsilon = 0.0;
+  EXPECT_FALSE(InfMaxRr(g, options, &rng).ok());
+}
+
+TEST(InfMaxRrTest, ExplicitThetaPath) {
+  const ProbGraph g = RandomTestGraph(40, 120, 15);
+  Rng rng(16);
+  RrSetOptions options;
+  options.k = 5;
+  options.num_rr_sets = 2000;
+  const auto result = InfMaxRr(g, options, &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->seeds.size(), 5u);
+}
+
+TEST(InfMaxRrTest, AutoThetaSelectsCompetitiveSeeds) {
+  const ProbGraph g = RandomTestGraph(50, 200, 17);
+  Rng rng(18);
+  RrSetOptions options;
+  options.k = 5;
+  options.epsilon = 0.3;
+  options.max_rr_sets = 200000;
+  const auto rr = InfMaxRr(g, options, &rng);
+  ASSERT_TRUE(rr.ok());
+  // Evaluate against random seeds on fresh worlds.
+  Rng eval_rng(19);
+  const auto rr_spread = EvaluateSpread(g, rr->seeds, 400, &eval_rng);
+  ASSERT_TRUE(rr_spread.ok());
+  const std::vector<NodeId> arbitrary = {3, 11, 23, 31, 47};
+  const auto base_spread = EvaluateSpread(g, arbitrary, 400, &eval_rng);
+  ASSERT_TRUE(base_spread.ok());
+  EXPECT_GE(*rr_spread, *base_spread * 0.95);
+}
+
+}  // namespace
+}  // namespace soi

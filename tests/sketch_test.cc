@@ -1,0 +1,143 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.h"
+#include "graph/prob_assign.h"
+#include "index/cascade_index.h"
+#include "infmax/sketch_oracle.h"
+#include "infmax/spread_oracle.h"
+#include "util/rng.h"
+
+namespace soi {
+namespace {
+
+ProbGraph RandomTestGraph(NodeId n, uint64_t m, uint64_t seed) {
+  Rng gen_rng(seed);
+  auto topo = GenerateErdosRenyi(n, m, false, &gen_rng);
+  EXPECT_TRUE(topo.ok());
+  Rng assign_rng(seed + 1);
+  auto g = AssignUniform(*topo, &assign_rng, 0.1, 0.4);
+  EXPECT_TRUE(g.ok());
+  return std::move(g).value();
+}
+
+CascadeIndex BuildIndex(const ProbGraph& g, uint32_t worlds, uint64_t seed) {
+  CascadeIndexOptions options;
+  options.num_worlds = worlds;
+  Rng rng(seed);
+  auto index = CascadeIndex::Build(g, options, &rng);
+  EXPECT_TRUE(index.ok());
+  return std::move(index).value();
+}
+
+TEST(SketchOracleTest, RejectsBadArgs) {
+  const ProbGraph g = RandomTestGraph(20, 60, 1);
+  const CascadeIndex index = BuildIndex(g, 8, 2);
+  Rng rng(3);
+  SketchOptions options;
+  options.k = 1;
+  EXPECT_FALSE(SketchSpreadOracle::Build(index, options, &rng).ok());
+  options.k = 8;
+  const auto oracle = SketchSpreadOracle::Build(index, options, &rng);
+  ASSERT_TRUE(oracle.ok());
+  const std::vector<NodeId> empty;
+  EXPECT_FALSE(oracle->EstimateSpread(empty).ok());
+  const std::vector<NodeId> bad = {99};
+  EXPECT_FALSE(oracle->EstimateSpread(bad).ok());
+}
+
+TEST(SketchOracleTest, SmallReachableSetsAreExact) {
+  // With k larger than every reachable set, sketches are exhaustive and the
+  // estimate equals the exact per-world mean (SpreadOracle's value).
+  const ProbGraph g = RandomTestGraph(30, 60, 4);
+  const CascadeIndex index = BuildIndex(g, 16, 5);
+  Rng rng(6);
+  SketchOptions options;
+  options.k = 64;  // > n, so never truncates
+  const auto oracle = SketchSpreadOracle::Build(index, options, &rng);
+  ASSERT_TRUE(oracle.ok());
+  SpreadOracle exact(&index);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_NEAR(oracle->EstimateSpread(v), exact.MarginalGain(v), 1e-9)
+        << "node " << v;
+  }
+}
+
+TEST(SketchOracleTest, EstimatesWithinRelativeError) {
+  const ProbGraph g = RandomTestGraph(300, 1500, 7);
+  const CascadeIndex index = BuildIndex(g, 32, 8);
+  Rng rng(9);
+  SketchOptions options;
+  options.k = 64;
+  const auto oracle = SketchSpreadOracle::Build(index, options, &rng);
+  ASSERT_TRUE(oracle.ok());
+  SpreadOracle exact(&index);
+  // Aggregate relative error over a node sample must be small
+  // (~1/sqrt(k-2) per world, further averaged over worlds and nodes).
+  double total_rel_err = 0.0;
+  int count = 0;
+  for (NodeId v = 0; v < g.num_nodes(); v += 7) {
+    const double truth = exact.MarginalGain(v);
+    if (truth < 5.0) continue;  // skip tiny sets (exact there anyway)
+    const double est = oracle->EstimateSpread(v);
+    total_rel_err += std::abs(est - truth) / truth;
+    ++count;
+  }
+  ASSERT_GT(count, 5);
+  EXPECT_LT(total_rel_err / count, 0.15);
+}
+
+TEST(SketchOracleTest, SeedSetMonotoneAndSubadditive) {
+  const ProbGraph g = RandomTestGraph(100, 400, 10);
+  const CascadeIndex index = BuildIndex(g, 16, 11);
+  Rng rng(12);
+  SketchOptions options;
+  options.k = 32;
+  const auto oracle = SketchSpreadOracle::Build(index, options, &rng);
+  ASSERT_TRUE(oracle.ok());
+  const std::vector<NodeId> one = {5};
+  const std::vector<NodeId> two = {5, 40};
+  const auto s1 = oracle->EstimateSpread(one);
+  const auto s2 = oracle->EstimateSpread(two);
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(s2.ok());
+  EXPECT_GE(*s2, *s1 - 1e-9);  // monotone
+  EXPECT_LE(*s2,
+            *s1 + oracle->EstimateSpread(40) + 1e-9);  // subadditive
+}
+
+TEST(SketchOracleTest, DeterministicGivenSeed) {
+  const ProbGraph g = RandomTestGraph(50, 200, 13);
+  const CascadeIndex index = BuildIndex(g, 8, 14);
+  SketchOptions options;
+  options.k = 16;
+  Rng ra(15), rb(15);
+  const auto a = SketchSpreadOracle::Build(index, options, &ra);
+  const auto b = SketchSpreadOracle::Build(index, options, &rb);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (NodeId v = 0; v < g.num_nodes(); v += 5) {
+    EXPECT_DOUBLE_EQ(a->EstimateSpread(v), b->EstimateSpread(v));
+  }
+}
+
+TEST(SketchOracleTest, SketchesBoundedByK) {
+  const ProbGraph g = RandomTestGraph(200, 1000, 16);
+  const CascadeIndex index = BuildIndex(g, 8, 17);
+  Rng rng(18);
+  SketchOptions options;
+  options.k = 8;
+  const auto oracle = SketchSpreadOracle::Build(index, options, &rng);
+  ASSERT_TRUE(oracle.ok());
+  // Total storage <= worlds * components * k.
+  uint64_t total_comps = 0;
+  for (uint32_t i = 0; i < index.num_worlds(); ++i) {
+    total_comps += index.world(i).num_components();
+  }
+  EXPECT_LE(oracle->total_sketch_entries(), total_comps * options.k);
+}
+
+}  // namespace
+}  // namespace soi

@@ -1,0 +1,163 @@
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.h"
+#include "graph/prob_assign.h"
+#include "graph/sparsify.h"
+#include "problearn/action_log.h"
+#include "problearn/goyal.h"
+#include "util/rng.h"
+
+namespace soi {
+namespace {
+
+ProbGraph RandomGraph(NodeId n, uint64_t m, uint64_t seed) {
+  Rng gen_rng(seed);
+  auto topo = GenerateErdosRenyi(n, m, false, &gen_rng);
+  EXPECT_TRUE(topo.ok());
+  Rng assign_rng(seed + 1);
+  auto g = AssignUniform(*topo, &assign_rng, 0.01, 0.9);
+  EXPECT_TRUE(g.ok());
+  return std::move(g).value();
+}
+
+// ---------------------------------------------------------------- Global ---
+
+TEST(SparsifyGlobalTest, KeepsExactlyK) {
+  const ProbGraph g = RandomGraph(30, 120, 1);
+  const auto sparse = SparsifyGlobalTopK(g, 40);
+  ASSERT_TRUE(sparse.ok());
+  EXPECT_EQ(sparse->num_edges(), 40u);
+  EXPECT_EQ(sparse->num_nodes(), g.num_nodes());
+}
+
+TEST(SparsifyGlobalTest, KeepsTheHighestProbabilities) {
+  const ProbGraph g = RandomGraph(30, 120, 2);
+  const auto sparse = SparsifyGlobalTopK(g, 40);
+  ASSERT_TRUE(sparse.ok());
+  double min_kept = 1.0;
+  for (EdgeId e = 0; e < sparse->num_edges(); ++e) {
+    min_kept = std::min(min_kept, sparse->EdgeProb(e));
+  }
+  // No dropped edge can beat the worst kept edge.
+  size_t better_dropped = 0;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (g.EdgeProb(e) > min_kept &&
+        !sparse->FindEdge(g.EdgeSource(e), g.EdgeTarget(e)).ok()) {
+      ++better_dropped;
+    }
+  }
+  EXPECT_EQ(better_dropped, 0u);
+}
+
+TEST(SparsifyGlobalTest, NoOpWhenKeepingEverything) {
+  const ProbGraph g = RandomGraph(20, 60, 3);
+  const auto sparse = SparsifyGlobalTopK(g, g.num_edges() + 10);
+  ASSERT_TRUE(sparse.ok());
+  EXPECT_EQ(sparse->num_edges(), g.num_edges());
+}
+
+// --------------------------------------------------------------- PerNode ---
+
+TEST(SparsifyPerNodeTest, CapsOutDegree) {
+  const ProbGraph g = RandomGraph(30, 200, 4);
+  const auto sparse = SparsifyPerNodeTopK(g, 3);
+  ASSERT_TRUE(sparse.ok());
+  for (NodeId v = 0; v < sparse->num_nodes(); ++v) {
+    EXPECT_LE(sparse->OutDegree(v), 3u);
+  }
+  EXPECT_FALSE(SparsifyPerNodeTopK(g, 0).ok());
+}
+
+TEST(SparsifyPerNodeTest, KeepsStrongestArcsOfEachNode) {
+  ProbGraphBuilder b(4);
+  ASSERT_TRUE(b.AddEdge(0, 1, 0.9).ok());
+  ASSERT_TRUE(b.AddEdge(0, 2, 0.5).ok());
+  ASSERT_TRUE(b.AddEdge(0, 3, 0.1).ok());
+  const auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  const auto sparse = SparsifyPerNodeTopK(*g, 2);
+  ASSERT_TRUE(sparse.ok());
+  EXPECT_TRUE(sparse->FindEdge(0, 1).ok());
+  EXPECT_TRUE(sparse->FindEdge(0, 2).ok());
+  EXPECT_FALSE(sparse->FindEdge(0, 3).ok());
+}
+
+// ------------------------------------------------------------- Threshold ---
+
+TEST(SparsifyThresholdTest, DropsWeakArcs) {
+  ProbGraphBuilder b(3);
+  ASSERT_TRUE(b.AddEdge(0, 1, 0.05).ok());
+  ASSERT_TRUE(b.AddEdge(1, 2, 0.5).ok());
+  const auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  const auto sparse = SparsifyByThreshold(*g, 0.1);
+  ASSERT_TRUE(sparse.ok());
+  EXPECT_EQ(sparse->num_edges(), 1u);
+  EXPECT_TRUE(sparse->FindEdge(1, 2).ok());
+  EXPECT_FALSE(SparsifyByThreshold(*g, 1.5).ok());
+}
+
+// ----------------------------------------------- Goyal partial credits ---
+
+TEST(GoyalPartialCreditsTest, EstimatesBelowBernoulli) {
+  // Partial credits split each activation among all earlier-acting
+  // neighbors, so per-edge estimates can only be <= the Bernoulli ones.
+  Rng gen_rng(5);
+  auto topo = GenerateErdosRenyi(40, 240, false, &gen_rng);
+  ASSERT_TRUE(topo.ok());
+  Rng assign_rng(6);
+  const auto gt = AssignUniform(*topo, &assign_rng, 0.2, 0.6);
+  ASSERT_TRUE(gt.ok());
+  Rng rng(7);
+  LogSimulationOptions log_options;
+  log_options.num_items = 3000;
+  log_options.seeds_per_item = 3;
+  const auto log = SimulateActionLog(*gt, log_options, &rng);
+  ASSERT_TRUE(log.ok());
+
+  GoyalOptions bernoulli, partial;
+  partial.credit_model = GoyalOptions::CreditModel::kPartialCredits;
+  const auto gb = LearnGoyal(*gt, *log, bernoulli);
+  const auto gp = LearnGoyal(*gt, *log, partial);
+  ASSERT_TRUE(gb.ok());
+  ASSERT_TRUE(gp.ok());
+  ASSERT_GT(gp->num_edges(), 0u);
+  size_t above = 0, compared = 0;
+  for (EdgeId e = 0; e < gp->num_edges(); ++e) {
+    const auto be = gb->FindEdge(gp->EdgeSource(e), gp->EdgeTarget(e));
+    if (!be.ok()) continue;
+    ++compared;
+    if (gp->EdgeProb(e) > gb->EdgeProb(*be) + 1e-12) ++above;
+  }
+  ASSERT_GT(compared, 20u);
+  EXPECT_EQ(above, 0u);
+}
+
+TEST(GoyalPartialCreditsTest, SingleParentMatchesBernoulli) {
+  // With exactly one possible influencer the credit split is a no-op.
+  ProbGraphBuilder b(2);
+  ASSERT_TRUE(b.AddEdge(0, 1, 0.5).ok());
+  const auto gt = b.Build();
+  ASSERT_TRUE(gt.ok());
+  Rng rng(8);
+  LogSimulationOptions log_options;
+  log_options.num_items = 5000;
+  log_options.seeds_per_item = 1;
+  const auto log = SimulateActionLog(*gt, log_options, &rng);
+  ASSERT_TRUE(log.ok());
+  GoyalOptions bernoulli, partial;
+  partial.credit_model = GoyalOptions::CreditModel::kPartialCredits;
+  const auto gb = LearnGoyal(*gt, *log, bernoulli);
+  const auto gp = LearnGoyal(*gt, *log, partial);
+  ASSERT_TRUE(gb.ok());
+  ASSERT_TRUE(gp.ok());
+  ASSERT_EQ(gb->num_edges(), gp->num_edges());
+  for (EdgeId e = 0; e < gb->num_edges(); ++e) {
+    EXPECT_DOUBLE_EQ(gb->EdgeProb(e), gp->EdgeProb(e));
+  }
+}
+
+}  // namespace
+}  // namespace soi

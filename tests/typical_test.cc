@@ -1,0 +1,311 @@
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cascade/exact.h"
+#include "core/stability.h"
+#include "core/typical_cascade.h"
+#include "index/cascade_index.h"
+#include "util/rng.h"
+
+namespace soi {
+namespace {
+
+ProbGraph PaperExampleGraph() {
+  ProbGraphBuilder b(5);
+  EXPECT_TRUE(b.AddEdge(4, 0, 0.7).ok());
+  EXPECT_TRUE(b.AddEdge(4, 1, 0.4).ok());
+  EXPECT_TRUE(b.AddEdge(4, 3, 0.3).ok());
+  EXPECT_TRUE(b.AddEdge(0, 1, 0.1).ok());
+  EXPECT_TRUE(b.AddEdge(1, 0, 0.1).ok());
+  EXPECT_TRUE(b.AddEdge(1, 2, 0.4).ok());
+  EXPECT_TRUE(b.AddEdge(3, 1, 0.6).ok());
+  auto g = b.Build();
+  EXPECT_TRUE(g.ok());
+  return std::move(g).value();
+}
+
+ProbGraph NearDeterministicStar() {
+  // 0 -> {1,2,3} with probability 0.95 each: the typical cascade from 0
+  // should be all four nodes.
+  ProbGraphBuilder b(4);
+  EXPECT_TRUE(b.AddEdge(0, 1, 0.95).ok());
+  EXPECT_TRUE(b.AddEdge(0, 2, 0.95).ok());
+  EXPECT_TRUE(b.AddEdge(0, 3, 0.95).ok());
+  auto g = b.Build();
+  EXPECT_TRUE(g.ok());
+  return std::move(g).value();
+}
+
+CascadeIndex BuildIndex(const ProbGraph& g, uint32_t worlds, uint64_t seed) {
+  CascadeIndexOptions options;
+  options.num_worlds = worlds;
+  Rng rng(seed);
+  auto index = CascadeIndex::Build(g, options, &rng);
+  EXPECT_TRUE(index.ok());
+  return std::move(index).value();
+}
+
+TEST(TypicalCascadeTest, RejectsBadArgs) {
+  const ProbGraph g = PaperExampleGraph();
+  const CascadeIndex index = BuildIndex(g, 8, 1);
+  TypicalCascadeComputer computer(&index);
+  const std::vector<NodeId> empty;
+  EXPECT_FALSE(computer.ComputeForSeeds(empty).ok());
+  EXPECT_EQ(computer.Compute(99).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(TypicalCascadeTest, NearDeterministicStarGivesFullBall) {
+  const ProbGraph g = NearDeterministicStar();
+  const CascadeIndex index = BuildIndex(g, 256, 2);
+  TypicalCascadeComputer computer(&index);
+  const auto result = computer.Compute(0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->cascade, (std::vector<NodeId>{0, 1, 2, 3}));
+  EXPECT_LT(result->in_sample_cost, 0.1);
+  EXPECT_NEAR(result->mean_sample_size, 1.0 + 3 * 0.95, 0.15);
+}
+
+TEST(TypicalCascadeTest, IsolatedNodeHasSingletonSphere) {
+  const ProbGraph g = PaperExampleGraph();
+  const CascadeIndex index = BuildIndex(g, 64, 3);
+  TypicalCascadeComputer computer(&index);
+  // Node 2 (v3) has no out-edges: its cascade is always exactly {2}.
+  const auto result = computer.Compute(2);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->cascade, std::vector<NodeId>{2});
+  EXPECT_DOUBLE_EQ(result->in_sample_cost, 0.0);
+}
+
+TEST(TypicalCascadeTest, InSampleCostCloseToExactOptimum) {
+  // With enough samples, the approximate median's *true* expected cost must
+  // approach the exact optimum (Theorem 2 with multiplicative slack).
+  const ProbGraph g = PaperExampleGraph();
+  const std::vector<NodeId> seeds = {4};
+  const auto exact = ExactTypicalCascade(g, seeds);
+  ASSERT_TRUE(exact.ok());
+
+  const CascadeIndex index = BuildIndex(g, 4000, 4);
+  TypicalCascadeComputer computer(&index);
+  TypicalCascadeOptions options;
+  options.median.local_search = true;
+  const auto approx = computer.Compute(4, options);
+  ASSERT_TRUE(approx.ok());
+
+  const auto true_cost = ExactExpectedCost(g, seeds, approx->cascade);
+  ASSERT_TRUE(true_cost.ok());
+  EXPECT_LE(*true_cost, exact->second * 1.10 + 0.01)
+      << "approx true cost " << *true_cost << " vs optimal " << exact->second;
+  EXPECT_GE(*true_cost, exact->second - 1e-12);
+}
+
+TEST(TypicalCascadeTest, SamplingConvergesWithMoreWorlds) {
+  // The gap to the exact optimum shrinks (weakly) as l grows.
+  const ProbGraph g = PaperExampleGraph();
+  const std::vector<NodeId> seeds = {4};
+  const auto exact = ExactTypicalCascade(g, seeds);
+  ASSERT_TRUE(exact.ok());
+  double small_gap = 0.0, large_gap = 0.0;
+  // Average over a few repetitions to damp sampling noise.
+  for (uint64_t rep = 0; rep < 5; ++rep) {
+    for (const uint32_t worlds : {16u, 1024u}) {
+      const CascadeIndex index = BuildIndex(g, worlds, 100 + rep);
+      TypicalCascadeComputer computer(&index);
+      const auto result = computer.Compute(4);
+      ASSERT_TRUE(result.ok());
+      const auto cost = ExactExpectedCost(g, seeds, result->cascade);
+      ASSERT_TRUE(cost.ok());
+      (worlds == 16u ? small_gap : large_gap) += *cost - exact->second;
+    }
+  }
+  EXPECT_LE(large_gap, small_gap + 0.02);
+}
+
+TEST(TypicalCascadeTest, ComputeAllCoversEveryNode) {
+  const ProbGraph g = PaperExampleGraph();
+  const CascadeIndex index = BuildIndex(g, 64, 5);
+  TypicalCascadeComputer computer(&index);
+  const auto all = computer.ComputeAll();
+  ASSERT_TRUE(all.ok());
+  ASSERT_EQ(all->size(), g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto& r = (*all)[v];
+    EXPECT_TRUE(std::binary_search(r.cascade.begin(), r.cascade.end(), v))
+        << "sphere of " << v << " must contain " << v;
+    EXPECT_GE(r.in_sample_cost, 0.0);
+    EXPECT_LE(r.in_sample_cost, 1.0);
+  }
+}
+
+TEST(TypicalCascadeTest, SeedSetSphereContainsBothSeeds) {
+  const ProbGraph g = PaperExampleGraph();
+  const CascadeIndex index = BuildIndex(g, 128, 6);
+  TypicalCascadeComputer computer(&index);
+  const std::vector<NodeId> seeds = {2, 4};
+  const auto result = computer.ComputeForSeeds(seeds);
+  ASSERT_TRUE(result.ok());
+  for (NodeId s : seeds) {
+    EXPECT_TRUE(
+        std::binary_search(result->cascade.begin(), result->cascade.end(), s));
+  }
+}
+
+// Parameterized exactness sweep: on random tiny graphs, the sampled typical
+// cascade's true cost must be within a multiplicative band of the exact
+// optimum (Theorem 2 with generous constants).
+class TypicalExactSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(TypicalExactSweep, SampledMedianNearExactOptimum) {
+  Rng graph_rng(500 + GetParam());
+  const NodeId n = 6;
+  ProbGraphBuilder builder(n);
+  int added = 0;
+  for (NodeId u = 0; u < n && added < 10; ++u) {
+    for (NodeId v = 0; v < n && added < 10; ++v) {
+      if (u == v) continue;
+      if (graph_rng.NextBernoulli(0.35)) {
+        EXPECT_TRUE(
+            builder.AddEdge(u, v, 0.15 + 0.7 * graph_rng.NextDouble()).ok());
+        ++added;
+      }
+    }
+  }
+  const auto g = builder.Build();
+  ASSERT_TRUE(g.ok());
+  if (g->num_edges() == 0) GTEST_SKIP();
+
+  const NodeId source = static_cast<NodeId>(GetParam() % n);
+  const std::vector<NodeId> seeds = {source};
+  const auto exact = ExactTypicalCascade(*g, seeds);
+  ASSERT_TRUE(exact.ok());
+
+  const CascadeIndex index = BuildIndex(*g, 3000, 600 + GetParam());
+  TypicalCascadeComputer computer(&index);
+  TypicalCascadeOptions options;
+  options.median.local_search = true;
+  const auto approx = computer.Compute(source, options);
+  ASSERT_TRUE(approx.ok());
+  const auto true_cost = ExactExpectedCost(*g, seeds, approx->cascade);
+  ASSERT_TRUE(true_cost.ok());
+  EXPECT_LE(*true_cost, exact->second * 1.15 + 0.015)
+      << "source " << source << ": " << *true_cost << " vs optimal "
+      << exact->second;
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomTinyGraphs, TypicalExactSweep,
+                         ::testing::Range(0, 16));
+
+// ------------------------------------------------- EstimateExpectedCost ---
+
+TEST(EstimateExpectedCostTest, MatchesExactOnSmallGraph) {
+  const ProbGraph g = PaperExampleGraph();
+  const std::vector<NodeId> seeds = {4};
+  const std::vector<NodeId> candidate = {0, 4};
+  const auto exact = ExactExpectedCost(g, seeds, candidate);
+  ASSERT_TRUE(exact.ok());
+  Rng rng(7);
+  const auto mc = EstimateExpectedCost(g, seeds, candidate, 40000, &rng);
+  ASSERT_TRUE(mc.ok());
+  EXPECT_NEAR(*mc, *exact, 0.01);
+}
+
+TEST(EstimateExpectedCostTest, RejectsBadArgs) {
+  const ProbGraph g = PaperExampleGraph();
+  Rng rng(8);
+  const std::vector<NodeId> seeds = {4};
+  const std::vector<NodeId> empty;
+  const std::vector<NodeId> cand = {0};
+  EXPECT_FALSE(EstimateExpectedCost(g, empty, cand, 10, &rng).ok());
+  EXPECT_FALSE(EstimateExpectedCost(g, seeds, cand, 0, &rng).ok());
+  const std::vector<NodeId> bad = {77};
+  EXPECT_FALSE(EstimateExpectedCost(g, bad, cand, 10, &rng).ok());
+}
+
+// In-sample cost is biased low vs hold-out cost (the overfitting gap that
+// Theorem 2 bounds); with few samples the gap is visible, with many it
+// nearly closes.
+TEST(EstimateExpectedCostTest, OverfittingGapShrinksWithSamples) {
+  const ProbGraph g = PaperExampleGraph();
+  const std::vector<NodeId> seeds = {4};
+  double few_gap = 0.0, many_gap = 0.0;
+  for (uint64_t rep = 0; rep < 10; ++rep) {
+    for (const uint32_t worlds : {8u, 512u}) {
+      const CascadeIndex index = BuildIndex(g, worlds, 200 + rep);
+      TypicalCascadeComputer computer(&index);
+      const auto result = computer.Compute(4);
+      ASSERT_TRUE(result.ok());
+      const auto truth = ExactExpectedCost(g, seeds, result->cascade);
+      ASSERT_TRUE(truth.ok());
+      const double gap = *truth - result->in_sample_cost;
+      (worlds == 8u ? few_gap : many_gap) += gap;
+    }
+  }
+  EXPECT_LT(many_gap, few_gap + 0.05);
+}
+
+// ------------------------------------------------------------- Stability ---
+
+TEST(StabilityTest, RejectsBadArgs) {
+  const ProbGraph g = PaperExampleGraph();
+  Rng rng(9);
+  const std::vector<NodeId> empty;
+  EXPECT_FALSE(ComputeSeedSetStability(g, empty, {}, &rng).ok());
+  StabilityOptions zero;
+  zero.median_samples = 0;
+  const std::vector<NodeId> seeds = {4};
+  EXPECT_FALSE(ComputeSeedSetStability(g, seeds, zero, &rng).ok());
+}
+
+TEST(StabilityTest, DeterministicSubgraphIsPerfectlyStable) {
+  ProbGraphBuilder b(3);
+  ASSERT_TRUE(b.AddEdge(0, 1, 1.0).ok());
+  ASSERT_TRUE(b.AddEdge(1, 2, 1.0).ok());
+  const auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  Rng rng(10);
+  const std::vector<NodeId> seeds = {0};
+  const auto result = ComputeSeedSetStability(*g, seeds, {}, &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->typical_cascade, (std::vector<NodeId>{0, 1, 2}));
+  EXPECT_DOUBLE_EQ(result->expected_cost, 0.0);
+  EXPECT_DOUBLE_EQ(result->in_sample_cost, 0.0);
+}
+
+TEST(StabilityTest, LargerSeedSetsAreMoreStable) {
+  // Paper §5 observation 3: expected cost tends to decrease as the seed set
+  // grows (cascades become more predictable). Check the trend on the
+  // example graph: seeds {4} vs {0,1,2,3,4} (everything).
+  const ProbGraph g = PaperExampleGraph();
+  Rng rng(11);
+  StabilityOptions options;
+  options.median_samples = 400;
+  options.eval_samples = 400;
+  const std::vector<NodeId> one = {4};
+  const std::vector<NodeId> all = {0, 1, 2, 3, 4};
+  const auto s1 = ComputeSeedSetStability(g, one, options, &rng);
+  const auto s5 = ComputeSeedSetStability(g, all, options, &rng);
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(s5.ok());
+  // Seeding every node makes the cascade deterministic (= V).
+  EXPECT_DOUBLE_EQ(s5->expected_cost, 0.0);
+  EXPECT_GT(s1->expected_cost, s5->expected_cost);
+}
+
+TEST(StabilityTest, ExpectedCostMatchesExactOracle) {
+  const ProbGraph g = PaperExampleGraph();
+  Rng rng(12);
+  StabilityOptions options;
+  options.median_samples = 1500;
+  options.eval_samples = 20000;
+  const std::vector<NodeId> seeds = {4};
+  const auto result = ComputeSeedSetStability(g, seeds, options, &rng);
+  ASSERT_TRUE(result.ok());
+  const auto exact =
+      ExactExpectedCost(g, seeds, result->typical_cascade);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_NEAR(result->expected_cost, *exact, 0.02);
+}
+
+}  // namespace
+}  // namespace soi

@@ -1,0 +1,338 @@
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "util/bitvector.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/status.h"
+#include "util/table_printer.h"
+
+namespace soi {
+namespace {
+
+// ---------------------------------------------------------------- Status ---
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  const Status s = Status::InvalidArgument("bad k");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad k");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad k");
+}
+
+TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
+  EXPECT_EQ(Status::NotFound("").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::OutOfRange("").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::IOError("").code(), StatusCode::kIOError);
+  EXPECT_EQ(Status::Unimplemented("").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::Internal("").code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::Internal("x"));
+}
+
+TEST(StatusTest, StreamInsertion) {
+  std::ostringstream os;
+  os << Status::IOError("disk");
+  EXPECT_EQ(os.str(), "IOError: disk");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("gone");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("payload");
+  const std::string v = std::move(r).value();
+  EXPECT_EQ(v, "payload");
+}
+
+Result<int> HalveEven(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Status UseAssignOrReturn(int x, int* out) {
+  SOI_ASSIGN_OR_RETURN(*out, HalveEven(x));
+  return Status::OK();
+}
+
+TEST(ResultTest, AssignOrReturnPropagatesError) {
+  int out = -1;
+  EXPECT_TRUE(UseAssignOrReturn(8, &out).ok());
+  EXPECT_EQ(out, 4);
+  const Status s = UseAssignOrReturn(7, &out);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+// ------------------------------------------------------------- BitVector ---
+
+TEST(BitVectorTest, StartsEmpty) {
+  BitVector bv(130);
+  EXPECT_EQ(bv.size(), 130u);
+  EXPECT_EQ(bv.Count(), 0u);
+  EXPECT_TRUE(bv.None());
+}
+
+TEST(BitVectorTest, SetTestClear) {
+  BitVector bv(100);
+  bv.Set(0);
+  bv.Set(63);
+  bv.Set(64);
+  bv.Set(99);
+  EXPECT_TRUE(bv.Test(0));
+  EXPECT_TRUE(bv.Test(63));
+  EXPECT_TRUE(bv.Test(64));
+  EXPECT_TRUE(bv.Test(99));
+  EXPECT_FALSE(bv.Test(1));
+  EXPECT_EQ(bv.Count(), 4u);
+  bv.Clear(63);
+  EXPECT_FALSE(bv.Test(63));
+  EXPECT_EQ(bv.Count(), 3u);
+}
+
+TEST(BitVectorTest, TestAndSetReportsTransition) {
+  BitVector bv(10);
+  EXPECT_TRUE(bv.TestAndSet(5));
+  EXPECT_FALSE(bv.TestAndSet(5));
+  EXPECT_TRUE(bv.Test(5));
+}
+
+TEST(BitVectorTest, ResetClearsAllBits) {
+  BitVector bv(200);
+  for (size_t i = 0; i < 200; i += 3) bv.Set(i);
+  bv.Reset();
+  EXPECT_EQ(bv.Count(), 0u);
+  EXPECT_EQ(bv.size(), 200u);
+}
+
+TEST(BitVectorTest, OrAndIntersectUnionCounts) {
+  BitVector a(128), b(128);
+  a.Set(1);
+  a.Set(70);
+  b.Set(70);
+  b.Set(90);
+  EXPECT_EQ(a.IntersectCount(b), 1u);
+  EXPECT_EQ(a.UnionCount(b), 3u);
+  a |= b;
+  EXPECT_EQ(a.Count(), 3u);
+  a &= b;
+  EXPECT_EQ(a.Count(), 2u);
+}
+
+TEST(BitVectorTest, ForEachSetBitAscending) {
+  BitVector bv(300);
+  const std::vector<uint32_t> expected = {3, 64, 65, 190, 299};
+  for (uint32_t i : expected) bv.Set(i);
+  std::vector<uint32_t> seen;
+  bv.ForEachSetBit([&](size_t i) { seen.push_back(static_cast<uint32_t>(i)); });
+  EXPECT_EQ(seen, expected);
+  EXPECT_EQ(bv.ToIndices(), expected);
+}
+
+TEST(BitVectorTest, ResizeGrowKeepsNothingSetInNewRange) {
+  BitVector bv(10);
+  bv.Set(9);
+  bv.Resize(100);
+  EXPECT_EQ(bv.Count(), 0u);  // Resize reallocates clear
+  EXPECT_EQ(bv.size(), 100u);
+}
+
+// ------------------------------------------------------------------- Rng ---
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(7), b(8);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += a.Next() == b.Next();
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, NextBoundedRespectsBound) {
+  Rng rng(2);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t x = rng.NextBounded(7);
+    EXPECT_LT(x, 7u);
+    seen.insert(x);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all residues hit
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng rng(3);
+  bool lo_hit = false, hi_hit = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t x = rng.NextInRange(-2, 2);
+    EXPECT_GE(x, -2);
+    EXPECT_LE(x, 2);
+    lo_hit |= x == -2;
+    hi_hit |= x == 2;
+  }
+  EXPECT_TRUE(lo_hit);
+  EXPECT_TRUE(hi_hit);
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(4);
+  int hits = 0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) hits += rng.NextBernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.01);
+}
+
+TEST(RngTest, UniformityChiSquaredSanity) {
+  Rng rng(5);
+  constexpr int kBuckets = 16;
+  int counts[kBuckets] = {0};
+  const int trials = 160000;
+  for (int i = 0; i < trials; ++i) ++counts[rng.NextBounded(kBuckets)];
+  double chi2 = 0;
+  const double expected = static_cast<double>(trials) / kBuckets;
+  for (int c : counts) {
+    chi2 += (c - expected) * (c - expected) / expected;
+  }
+  // 15 degrees of freedom: chi2 < 37.7 covers p > 0.001.
+  EXPECT_LT(chi2, 37.7);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(11);
+  Rng b = a.Fork();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += a.Next() == b.Next();
+  EXPECT_LT(equal, 3);
+}
+
+// ----------------------------------------------------------------- Stats ---
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStatsTest, KnownMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStatsTest, MergeMatchesSequential) {
+  RunningStats all, left, right;
+  Rng rng(6);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.NextDouble() * 10;
+    all.Add(x);
+    (i < 400 ? left : right).Add(x);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(left.min(), all.min());
+  EXPECT_EQ(left.max(), all.max());
+}
+
+TEST(EmpiricalDistributionTest, QuantilesAndCdf) {
+  EmpiricalDistribution d;
+  for (int i = 1; i <= 100; ++i) d.Add(i);
+  EXPECT_DOUBLE_EQ(d.Quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(d.Quantile(1.0), 100.0);
+  EXPECT_NEAR(d.Quantile(0.5), 50.0, 1.0);
+  EXPECT_DOUBLE_EQ(d.CdfAt(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(d.CdfAt(100.0), 1.0);
+  EXPECT_NEAR(d.CdfAt(25.0), 0.25, 0.01);
+}
+
+TEST(EmpiricalDistributionTest, CdfSeriesIsMonotone) {
+  EmpiricalDistribution d;
+  Rng rng(7);
+  for (int i = 0; i < 500; ++i) d.Add(rng.NextDouble());
+  const auto series = d.CdfSeries(20);
+  ASSERT_EQ(series.size(), 20u);
+  for (size_t i = 1; i < series.size(); ++i) {
+    EXPECT_LE(series[i - 1].first, series[i].first);
+    EXPECT_LE(series[i - 1].second, series[i].second);
+  }
+  EXPECT_DOUBLE_EQ(series.back().second, 1.0);
+}
+
+TEST(HistogramTest, BucketsAndClamping) {
+  Histogram h(0.0, 1.0, 4);
+  h.Add(0.1);   // bucket 0
+  h.Add(0.3);   // bucket 1
+  h.Add(0.99);  // bucket 3
+  h.Add(-5.0);  // clamps to 0
+  h.Add(7.0);   // clamps to 3
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(2), 0u);
+  EXPECT_EQ(h.bucket_count(3), 2u);
+  EXPECT_DOUBLE_EQ(h.BucketLow(2), 0.5);
+}
+
+// ---------------------------------------------------------- TablePrinter ---
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"name", "value"});
+  t.AddRow({"a", "1"});
+  t.AddRow({"long-name", "22"});
+  std::ostringstream os;
+  t.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| name      | value |"), std::string::npos);
+  EXPECT_NE(out.find("| long-name | 22    |"), std::string::npos);
+}
+
+TEST(TablePrinterTest, FormatHelpers) {
+  EXPECT_EQ(TablePrinter::Fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::Fmt(uint64_t{123}), "123");
+  EXPECT_EQ(TablePrinter::Fmt(int64_t{-5}), "-5");
+}
+
+}  // namespace
+}  // namespace soi

@@ -1,0 +1,158 @@
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.h"
+#include "graph/prob_assign.h"
+#include "immunize/vaccination.h"
+#include "util/rng.h"
+
+namespace soi {
+namespace {
+
+TEST(VaccinationTest, RejectsBadArgs) {
+  ProbGraphBuilder b(4);
+  ASSERT_TRUE(b.AddEdge(0, 1, 0.5).ok());
+  const auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  Rng rng(1);
+  const std::vector<NodeId> empty;
+  EXPECT_FALSE(SelectVaccinationTargets(*g, empty, {}, &rng).ok());
+  const std::vector<NodeId> bad = {9};
+  EXPECT_FALSE(SelectVaccinationTargets(*g, bad, {}, &rng).ok());
+  const std::vector<NodeId> infected = {0};
+  VaccinationOptions zero_k;
+  zero_k.k = 0;
+  EXPECT_FALSE(SelectVaccinationTargets(*g, infected, zero_k, &rng).ok());
+}
+
+TEST(VaccinationTest, CutsTheOnlyTransmissionPath) {
+  // 0 ->(1.0) 1 ->(1.0) {2, 3, 4}: vaccinating node 1 saves 4 nodes.
+  ProbGraphBuilder b(5);
+  ASSERT_TRUE(b.AddEdge(0, 1, 1.0).ok());
+  for (NodeId v = 2; v <= 4; ++v) {
+    ASSERT_TRUE(b.AddEdge(1, v, 1.0).ok());
+  }
+  const auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  Rng rng(2);
+  const std::vector<NodeId> infected = {0};
+  VaccinationOptions options;
+  options.k = 1;
+  options.num_worlds = 32;
+  const auto result = SelectVaccinationTargets(*g, infected, options, &rng);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->vaccinated.size(), 1u);
+  EXPECT_EQ(result->vaccinated[0], 1u);
+  EXPECT_DOUBLE_EQ(result->outbreak_before, 5.0);
+  EXPECT_DOUBLE_EQ(result->outbreak_after, 1.0);
+  EXPECT_DOUBLE_EQ(result->steps[0].saved, 4.0);
+}
+
+TEST(VaccinationTest, NeverVaccinatesInfectedNodes) {
+  Rng gen_rng(3);
+  auto topo = GenerateErdosRenyi(60, 240, false, &gen_rng);
+  ASSERT_TRUE(topo.ok());
+  Rng assign_rng(4);
+  const auto g = AssignUniform(*topo, &assign_rng, 0.2, 0.5);
+  ASSERT_TRUE(g.ok());
+  Rng rng(5);
+  const std::vector<NodeId> infected = {0, 1, 2};
+  VaccinationOptions options;
+  options.k = 8;
+  options.num_worlds = 32;
+  const auto result = SelectVaccinationTargets(*g, infected, options, &rng);
+  ASSERT_TRUE(result.ok());
+  for (NodeId v : result->vaccinated) {
+    EXPECT_TRUE(std::find(infected.begin(), infected.end(), v) ==
+                infected.end());
+  }
+}
+
+TEST(VaccinationTest, OutbreakMonotoneNonIncreasing) {
+  Rng gen_rng(6);
+  auto topo = GenerateErdosRenyi(80, 320, false, &gen_rng);
+  ASSERT_TRUE(topo.ok());
+  Rng assign_rng(7);
+  const auto g = AssignUniform(*topo, &assign_rng, 0.2, 0.4);
+  ASSERT_TRUE(g.ok());
+  Rng rng(8);
+  const std::vector<NodeId> infected = {10};
+  VaccinationOptions options;
+  options.k = 6;
+  options.num_worlds = 64;
+  const auto result = SelectVaccinationTargets(*g, infected, options, &rng);
+  ASSERT_TRUE(result.ok());
+  double prev = result->outbreak_before;
+  for (const auto& step : result->steps) {
+    EXPECT_LE(step.outbreak_after, prev + 1e-9);
+    EXPECT_GE(step.saved, -1e-9);
+    prev = step.outbreak_after;
+  }
+  EXPECT_DOUBLE_EQ(prev, result->outbreak_after);
+}
+
+TEST(VaccinationTest, VaccinationReducesFreshOutbreaks) {
+  // The selection, made on its own sampled worlds, must also help on fresh
+  // Monte-Carlo evaluations.
+  Rng gen_rng(9);
+  auto topo = GenerateErdosRenyi(100, 500, false, &gen_rng);
+  ASSERT_TRUE(topo.ok());
+  Rng assign_rng(10);
+  const auto g = AssignUniform(*topo, &assign_rng, 0.15, 0.35);
+  ASSERT_TRUE(g.ok());
+  Rng rng(11);
+  const std::vector<NodeId> infected = {3, 7};
+  VaccinationOptions options;
+  options.k = 10;
+  options.num_worlds = 64;
+  const auto result = SelectVaccinationTargets(*g, infected, options, &rng);
+  ASSERT_TRUE(result.ok());
+
+  Rng eval_rng(12);
+  const std::vector<NodeId> none;
+  const auto before =
+      EstimateOutbreak(*g, infected, none, 2000, &eval_rng);
+  const auto after =
+      EstimateOutbreak(*g, infected, result->vaccinated, 2000, &eval_rng);
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE(after.ok());
+  EXPECT_LT(*after, *before * 0.9);
+}
+
+TEST(VaccinationTest, CandidateCapLimitsWork) {
+  Rng gen_rng(13);
+  auto topo = GenerateErdosRenyi(50, 200, false, &gen_rng);
+  ASSERT_TRUE(topo.ok());
+  Rng assign_rng(14);
+  const auto g = AssignUniform(*topo, &assign_rng, 0.2, 0.4);
+  ASSERT_TRUE(g.ok());
+  Rng rng(15);
+  const std::vector<NodeId> infected = {0};
+  VaccinationOptions options;
+  options.k = 3;
+  options.num_worlds = 16;
+  options.max_candidates = 5;
+  const auto result = SelectVaccinationTargets(*g, infected, options, &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result->vaccinated.size(), 3u);
+}
+
+TEST(EstimateOutbreakTest, RemovingEveryNeighborIsolatesSeed) {
+  ProbGraphBuilder b(4);
+  ASSERT_TRUE(b.AddEdge(0, 1, 1.0).ok());
+  ASSERT_TRUE(b.AddEdge(0, 2, 1.0).ok());
+  ASSERT_TRUE(b.AddEdge(2, 3, 1.0).ok());
+  const auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  Rng rng(16);
+  const std::vector<NodeId> infected = {0};
+  const std::vector<NodeId> removed = {1, 2};
+  const auto outbreak = EstimateOutbreak(*g, infected, removed, 50, &rng);
+  ASSERT_TRUE(outbreak.ok());
+  EXPECT_DOUBLE_EQ(*outbreak, 1.0);
+}
+
+}  // namespace
+}  // namespace soi

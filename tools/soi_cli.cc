@@ -1,0 +1,337 @@
+// soi_cli — command-line front end for the spheres-of-influence library.
+//
+//   soi_cli gen         --config Digg-S [--scale 0.25] [--seed 42] --out g.txt
+//   soi_cli stats       --graph g.txt [--undirected] [--default-prob 0.1]
+//   soi_cli index       --graph g.txt [--worlds 256] [--model ic|lt]
+//                       [--seed 1] --out g.soiidx
+//   soi_cli sphere      --graph g.txt --node 42 [--index g.soiidx]
+//                       [--worlds 256] [--local-search] [--eval-samples 500]
+//   soi_cli infmax      --graph g.txt --method std|mc|tc|rr|degree|random
+//                       [--k 50] [--worlds 256] [--eval-worlds 400]
+//   soi_cli stability   --graph g.txt --seeds 1,2,3 [--samples 400]
+//   soi_cli reliability --graph g.txt --source 0 --target 5
+//                       [--samples 20000] [--max-hops 0]
+//
+// Graphs are whitespace edge lists: "src dst [prob]" (SNAP files load
+// directly; missing probabilities default to --default-prob).
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/stability.h"
+#include "core/typical_cascade.h"
+#include "gen/datasets.h"
+#include "graph/graph_io.h"
+#include "graph/graph_stats.h"
+#include "index/cascade_index.h"
+#include "index/index_io.h"
+#include "infmax/baselines.h"
+#include "infmax/evaluate.h"
+#include "infmax/greedy_std.h"
+#include "infmax/infmax_tc.h"
+#include "infmax/rrset.h"
+#include "reliability/reliability.h"
+#include "util/flags.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace soi::cli {
+namespace {
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: soi_cli <gen|stats|index|sphere|infmax|stability|"
+               "reliability> [flags]\n"
+               "see the header of tools/soi_cli.cc for per-command flags\n");
+  return 2;
+}
+
+#define CLI_ASSIGN(lhs, expr)              \
+  auto lhs##_result = (expr);              \
+  if (!lhs##_result.ok()) return Fail(lhs##_result.status()); \
+  auto lhs = std::move(lhs##_result).value()
+
+Result<ProbGraph> LoadGraph(const FlagParser& flags) {
+  SOI_ASSIGN_OR_RETURN(const std::string path, flags.GetString("graph", ""));
+  if (path.empty()) return Status::InvalidArgument("--graph is required");
+  EdgeListOptions options;
+  SOI_ASSIGN_OR_RETURN(options.default_prob,
+                       flags.GetDouble("default-prob", 0.1));
+  options.undirected = flags.GetBool("undirected", false);
+  options.keep_max_duplicate = flags.GetBool("keep-max-duplicate", false);
+  return LoadEdgeList(path, options);
+}
+
+Result<std::vector<NodeId>> ParseSeedList(const std::string& csv, NodeId n) {
+  std::vector<NodeId> seeds;
+  std::istringstream iss(csv);
+  std::string token;
+  while (std::getline(iss, token, ',')) {
+    if (token.empty()) continue;
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(token.c_str(), &end, 10);
+    if (end == token.c_str() || *end != '\0' || v >= n) {
+      return Status::InvalidArgument("bad seed '" + token + "'");
+    }
+    seeds.push_back(static_cast<NodeId>(v));
+  }
+  if (seeds.empty()) return Status::InvalidArgument("--seeds is empty");
+  return seeds;
+}
+
+Result<CascadeIndex> BuildIndexFromFlags(const ProbGraph& graph,
+                                         const FlagParser& flags) {
+  CascadeIndexOptions options;
+  SOI_ASSIGN_OR_RETURN(const int64_t worlds, flags.GetInt("worlds", 256));
+  options.num_worlds = static_cast<uint32_t>(worlds);
+  SOI_ASSIGN_OR_RETURN(const std::string model,
+                       flags.GetString("model", "ic"));
+  if (model == "lt") {
+    options.model = PropagationModel::kLinearThreshold;
+  } else if (model != "ic") {
+    return Status::InvalidArgument("--model must be ic or lt");
+  }
+  SOI_ASSIGN_OR_RETURN(const int64_t seed, flags.GetInt("seed", 1));
+  Rng rng(static_cast<uint64_t>(seed));
+  return CascadeIndex::Build(graph, options, &rng);
+}
+
+int CmdGen(const FlagParser& flags) {
+  CLI_ASSIGN(config, flags.GetString("config", ""));
+  if (config.empty()) return Fail(Status::InvalidArgument("--config required"));
+  DatasetOptions options;
+  CLI_ASSIGN(scale, flags.GetDouble("scale", 0.25));
+  CLI_ASSIGN(seed, flags.GetInt("seed", 42));
+  options.scale = scale;
+  options.seed = static_cast<uint64_t>(seed);
+  CLI_ASSIGN(out, flags.GetString("out", ""));
+  if (out.empty()) return Fail(Status::InvalidArgument("--out required"));
+  CLI_ASSIGN(dataset, MakeDataset(config, options));
+  const Status save = SaveEdgeList(dataset.graph, out);
+  if (!save.ok()) return Fail(save);
+  std::printf("wrote %s: %s (%s)\n", out.c_str(),
+              dataset.graph.Summary().c_str(), dataset.prob_source.c_str());
+  return 0;
+}
+
+int CmdStats(const FlagParser& flags) {
+  CLI_ASSIGN(graph, LoadGraph(flags));
+  std::printf("%s\n", ComputeGraphStats(graph).ToString().c_str());
+  RunningStats probs;
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    probs.Add(graph.EdgeProb(e));
+  }
+  std::printf("edge prob: avg %.4f min %.4f max %.4f\n", probs.mean(),
+              probs.min(), probs.max());
+  return 0;
+}
+
+int CmdIndex(const FlagParser& flags) {
+  CLI_ASSIGN(graph, LoadGraph(flags));
+  CLI_ASSIGN(out, flags.GetString("out", ""));
+  if (out.empty()) return Fail(Status::InvalidArgument("--out required"));
+  CLI_ASSIGN(index, BuildIndexFromFlags(graph, flags));
+  const Status save = SaveCascadeIndex(index, out);
+  if (!save.ok()) return Fail(save);
+  std::printf(
+      "wrote %s: %u worlds, avg %.1f components, ~%.1f MiB, %.2fs build\n",
+      out.c_str(), index.num_worlds(), index.stats().avg_components,
+      static_cast<double>(index.stats().approx_bytes) / (1 << 20),
+      index.stats().build_seconds);
+  return 0;
+}
+
+int CmdSphere(const FlagParser& flags) {
+  CLI_ASSIGN(graph, LoadGraph(flags));
+  CLI_ASSIGN(node_i64, flags.GetInt("node", -1));
+  if (node_i64 < 0 || node_i64 >= graph.num_nodes()) {
+    return Fail(Status::InvalidArgument("--node required (and in range)"));
+  }
+  const NodeId node = static_cast<NodeId>(node_i64);
+
+  CLI_ASSIGN(index_path, flags.GetString("index", ""));
+  Result<CascadeIndex> index = index_path.empty()
+                                   ? BuildIndexFromFlags(graph, flags)
+                                   : LoadCascadeIndex(index_path);
+  if (!index.ok()) return Fail(index.status());
+  if (index->num_nodes() != graph.num_nodes()) {
+    return Fail(Status::FailedPrecondition("index/graph node mismatch"));
+  }
+
+  TypicalCascadeComputer computer(&*index);
+  TypicalCascadeOptions options;
+  options.median.local_search = flags.GetBool("local-search", false);
+  CLI_ASSIGN(sphere, computer.Compute(node, options));
+
+  std::printf("sphere of influence of %u (%zu nodes, in-sample cost %.4f, "
+              "mean sample size %.1f):\n",
+              node, sphere.cascade.size(), sphere.in_sample_cost,
+              sphere.mean_sample_size);
+  for (size_t i = 0; i < sphere.cascade.size(); ++i) {
+    std::printf("%u%c", sphere.cascade[i],
+                i + 1 == sphere.cascade.size() ? '\n' : ' ');
+  }
+  CLI_ASSIGN(eval_samples, flags.GetInt("eval-samples", 0));
+  if (eval_samples > 0) {
+    const NodeId seeds[1] = {node};
+    Rng rng(7);
+    CLI_ASSIGN(cost,
+               EstimateExpectedCost(graph, seeds, sphere.cascade,
+                                    static_cast<uint32_t>(eval_samples), &rng));
+    std::printf("hold-out expected cost: %.4f\n", cost);
+  }
+  return 0;
+}
+
+int CmdInfMax(const FlagParser& flags) {
+  CLI_ASSIGN(graph, LoadGraph(flags));
+  CLI_ASSIGN(method, flags.GetString("method", "tc"));
+  CLI_ASSIGN(k_i64, flags.GetInt("k", 50));
+  const uint32_t k = static_cast<uint32_t>(k_i64);
+  CLI_ASSIGN(worlds_i64, flags.GetInt("worlds", 256));
+  const uint32_t worlds = static_cast<uint32_t>(worlds_i64);
+  CLI_ASSIGN(seed, flags.GetInt("seed", 1));
+  Rng rng(static_cast<uint64_t>(seed));
+
+  std::vector<NodeId> seeds;
+  if (method == "std" || method == "tc") {
+    CLI_ASSIGN(index, BuildIndexFromFlags(graph, flags));
+    if (method == "std") {
+      GreedyStdOptions options;
+      options.k = k;
+      CLI_ASSIGN(result, InfMaxStd(index, options));
+      seeds = std::move(result.seeds);
+    } else {
+      TypicalCascadeComputer computer(&index);
+      CLI_ASSIGN(all, computer.ComputeAll());
+      std::vector<std::vector<NodeId>> cascades;
+      cascades.reserve(all.size());
+      for (auto& r : all) cascades.push_back(std::move(r.cascade));
+      InfMaxTcOptions options;
+      options.k = k;
+      CLI_ASSIGN(result, InfMaxTC(cascades, graph.num_nodes(), options));
+      seeds = std::move(result.seeds);
+    }
+  } else if (method == "mc") {
+    GreedyStdMcOptions options;
+    options.k = k;
+    options.mc_samples = worlds;
+    CLI_ASSIGN(result, InfMaxStdMc(graph, options, &rng));
+    seeds = std::move(result.seeds);
+  } else if (method == "rr") {
+    RrSetOptions options;
+    options.k = k;
+    CLI_ASSIGN(result, InfMaxRr(graph, options, &rng));
+    seeds = std::move(result.seeds);
+  } else if (method == "degree") {
+    CLI_ASSIGN(result, SelectTopDegree(graph, k));
+    seeds = std::move(result);
+  } else if (method == "random") {
+    CLI_ASSIGN(result, SelectRandom(graph, k, &rng));
+    seeds = std::move(result);
+  } else {
+    return Fail(Status::InvalidArgument(
+        "--method must be std|mc|tc|rr|degree|random"));
+  }
+
+  CLI_ASSIGN(eval_worlds, flags.GetInt("eval-worlds", 400));
+  Rng eval_rng(99);
+  CLI_ASSIGN(spread,
+             EvaluateSpread(graph, seeds,
+                            static_cast<uint32_t>(eval_worlds), &eval_rng));
+  std::printf("method=%s k=%u expected spread=%.1f\nseeds:", method.c_str(),
+              k, spread);
+  for (NodeId s : seeds) std::printf(" %u", s);
+  std::printf("\n");
+  return 0;
+}
+
+int CmdStability(const FlagParser& flags) {
+  CLI_ASSIGN(graph, LoadGraph(flags));
+  CLI_ASSIGN(seeds_csv, flags.GetString("seeds", ""));
+  CLI_ASSIGN(seeds, ParseSeedList(seeds_csv, graph.num_nodes()));
+  StabilityOptions options;
+  CLI_ASSIGN(samples, flags.GetInt("samples", 400));
+  options.median_samples = options.eval_samples =
+      static_cast<uint32_t>(samples);
+  Rng rng(5);
+  CLI_ASSIGN(result, ComputeSeedSetStability(graph, seeds, options, &rng));
+  std::printf("seed set of %zu nodes:\n", seeds.size());
+  std::printf("  typical cascade size: %zu\n", result.typical_cascade.size());
+  std::printf("  expected cost:        %.4f (hold-out)\n",
+              result.expected_cost);
+  std::printf("  in-sample cost:       %.4f\n", result.in_sample_cost);
+  std::printf("  mean cascade size:    %.1f\n", result.mean_cascade_size);
+  return 0;
+}
+
+int CmdReliability(const FlagParser& flags) {
+  CLI_ASSIGN(graph, LoadGraph(flags));
+  CLI_ASSIGN(source, flags.GetInt("source", -1));
+  CLI_ASSIGN(target, flags.GetInt("target", -1));
+  if (source < 0 || target < 0) {
+    return Fail(Status::InvalidArgument("--source and --target required"));
+  }
+  CLI_ASSIGN(samples, flags.GetInt("samples", 20000));
+  CLI_ASSIGN(max_hops, flags.GetInt("max-hops", 0));
+  Rng rng(11);
+  if (max_hops > 0) {
+    CLI_ASSIGN(rel, EstimateDistanceConstrainedReliability(
+                        graph, static_cast<NodeId>(source),
+                        static_cast<NodeId>(target),
+                        static_cast<uint32_t>(max_hops),
+                        static_cast<uint32_t>(samples), &rng));
+    std::printf("P(reach within %lld hops) ~= %.4f\n",
+                static_cast<long long>(max_hops), rel);
+  } else {
+    CLI_ASSIGN(rel, EstimateReliability(graph, static_cast<NodeId>(source),
+                                        static_cast<NodeId>(target),
+                                        static_cast<uint32_t>(samples), &rng));
+    std::printf("rel(%lld -> %lld) ~= %.4f\n", static_cast<long long>(source),
+                static_cast<long long>(target), rel);
+  }
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  auto parsed = FlagParser::Parse(argc - 1, argv + 1);
+  if (!parsed.ok()) return Fail(parsed.status());
+  const FlagParser& flags = *parsed;
+
+  int rc;
+  if (command == "gen") {
+    rc = CmdGen(flags);
+  } else if (command == "stats") {
+    rc = CmdStats(flags);
+  } else if (command == "index") {
+    rc = CmdIndex(flags);
+  } else if (command == "sphere") {
+    rc = CmdSphere(flags);
+  } else if (command == "infmax") {
+    rc = CmdInfMax(flags);
+  } else if (command == "stability") {
+    rc = CmdStability(flags);
+  } else if (command == "reliability") {
+    rc = CmdReliability(flags);
+  } else {
+    return Usage();
+  }
+  for (const std::string& name : flags.UnusedFlags()) {
+    std::fprintf(stderr, "warning: unrecognized flag --%s\n", name.c_str());
+  }
+  return rc;
+}
+
+}  // namespace
+}  // namespace soi::cli
+
+int main(int argc, char** argv) { return soi::cli::Main(argc, argv); }
