@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_infmax.dir/bench_fig6_infmax.cc.o"
+  "CMakeFiles/bench_fig6_infmax.dir/bench_fig6_infmax.cc.o.d"
+  "bench_fig6_infmax"
+  "bench_fig6_infmax.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_infmax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_typical.dir/bench_table2_typical.cc.o"
+  "CMakeFiles/bench_table2_typical.dir/bench_table2_typical.cc.o.d"
+  "bench_table2_typical"
+  "bench_table2_typical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_typical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

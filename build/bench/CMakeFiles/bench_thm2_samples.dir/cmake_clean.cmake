@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm2_samples.dir/bench_thm2_samples.cc.o"
+  "CMakeFiles/bench_thm2_samples.dir/bench_thm2_samples.cc.o.d"
+  "bench_thm2_samples"
+  "bench_thm2_samples.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm2_samples.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soi_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/soi_bench_common.dir/bench_common.cc.o.d"
+  "libsoi_bench_common.a"
+  "libsoi_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soi_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epidemic_quarantine.dir/epidemic_quarantine.cpp.o"
+  "CMakeFiles/epidemic_quarantine.dir/epidemic_quarantine.cpp.o.d"
+  "epidemic_quarantine"
+  "epidemic_quarantine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epidemic_quarantine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/market_segments.dir/market_segments.cpp.o"
+  "CMakeFiles/market_segments.dir/market_segments.cpp.o.d"
+  "market_segments"
+  "market_segments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/market_segments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

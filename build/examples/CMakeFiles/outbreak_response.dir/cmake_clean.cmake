@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/outbreak_response.dir/outbreak_response.cpp.o"
+  "CMakeFiles/outbreak_response.dir/outbreak_response.cpp.o.d"
+  "outbreak_response"
+  "outbreak_response.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/outbreak_response.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

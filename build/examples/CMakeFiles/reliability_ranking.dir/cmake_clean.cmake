@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reliability_ranking.dir/reliability_ranking.cpp.o"
+  "CMakeFiles/reliability_ranking.dir/reliability_ranking.cpp.o.d"
+  "reliability_ranking"
+  "reliability_ranking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reliability_ranking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/viral_marketing.dir/viral_marketing.cpp.o"
+  "CMakeFiles/viral_marketing.dir/viral_marketing.cpp.o.d"
+  "viral_marketing"
+  "viral_marketing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/viral_marketing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

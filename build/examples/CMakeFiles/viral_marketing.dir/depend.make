@@ -1,0 +1,2 @@
+# Empty dependencies file for viral_marketing.
+# This may be replaced when dependencies are built.

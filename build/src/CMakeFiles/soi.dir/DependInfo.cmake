@@ -1,0 +1,59 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cascade/exact.cc" "src/CMakeFiles/soi.dir/cascade/exact.cc.o" "gcc" "src/CMakeFiles/soi.dir/cascade/exact.cc.o.d"
+  "/root/repo/src/cascade/simulate.cc" "src/CMakeFiles/soi.dir/cascade/simulate.cc.o" "gcc" "src/CMakeFiles/soi.dir/cascade/simulate.cc.o.d"
+  "/root/repo/src/cascade/threshold.cc" "src/CMakeFiles/soi.dir/cascade/threshold.cc.o" "gcc" "src/CMakeFiles/soi.dir/cascade/threshold.cc.o.d"
+  "/root/repo/src/cascade/world.cc" "src/CMakeFiles/soi.dir/cascade/world.cc.o" "gcc" "src/CMakeFiles/soi.dir/cascade/world.cc.o.d"
+  "/root/repo/src/core/ranking.cc" "src/CMakeFiles/soi.dir/core/ranking.cc.o" "gcc" "src/CMakeFiles/soi.dir/core/ranking.cc.o.d"
+  "/root/repo/src/core/stability.cc" "src/CMakeFiles/soi.dir/core/stability.cc.o" "gcc" "src/CMakeFiles/soi.dir/core/stability.cc.o.d"
+  "/root/repo/src/core/time_bounded.cc" "src/CMakeFiles/soi.dir/core/time_bounded.cc.o" "gcc" "src/CMakeFiles/soi.dir/core/time_bounded.cc.o.d"
+  "/root/repo/src/core/typical_cascade.cc" "src/CMakeFiles/soi.dir/core/typical_cascade.cc.o" "gcc" "src/CMakeFiles/soi.dir/core/typical_cascade.cc.o.d"
+  "/root/repo/src/gen/datasets.cc" "src/CMakeFiles/soi.dir/gen/datasets.cc.o" "gcc" "src/CMakeFiles/soi.dir/gen/datasets.cc.o.d"
+  "/root/repo/src/gen/generators.cc" "src/CMakeFiles/soi.dir/gen/generators.cc.o" "gcc" "src/CMakeFiles/soi.dir/gen/generators.cc.o.d"
+  "/root/repo/src/graph/graph_io.cc" "src/CMakeFiles/soi.dir/graph/graph_io.cc.o" "gcc" "src/CMakeFiles/soi.dir/graph/graph_io.cc.o.d"
+  "/root/repo/src/graph/graph_stats.cc" "src/CMakeFiles/soi.dir/graph/graph_stats.cc.o" "gcc" "src/CMakeFiles/soi.dir/graph/graph_stats.cc.o.d"
+  "/root/repo/src/graph/prob_assign.cc" "src/CMakeFiles/soi.dir/graph/prob_assign.cc.o" "gcc" "src/CMakeFiles/soi.dir/graph/prob_assign.cc.o.d"
+  "/root/repo/src/graph/prob_graph.cc" "src/CMakeFiles/soi.dir/graph/prob_graph.cc.o" "gcc" "src/CMakeFiles/soi.dir/graph/prob_graph.cc.o.d"
+  "/root/repo/src/graph/sparsify.cc" "src/CMakeFiles/soi.dir/graph/sparsify.cc.o" "gcc" "src/CMakeFiles/soi.dir/graph/sparsify.cc.o.d"
+  "/root/repo/src/immunize/vaccination.cc" "src/CMakeFiles/soi.dir/immunize/vaccination.cc.o" "gcc" "src/CMakeFiles/soi.dir/immunize/vaccination.cc.o.d"
+  "/root/repo/src/index/cascade_index.cc" "src/CMakeFiles/soi.dir/index/cascade_index.cc.o" "gcc" "src/CMakeFiles/soi.dir/index/cascade_index.cc.o.d"
+  "/root/repo/src/index/index_io.cc" "src/CMakeFiles/soi.dir/index/index_io.cc.o" "gcc" "src/CMakeFiles/soi.dir/index/index_io.cc.o.d"
+  "/root/repo/src/infmax/baselines.cc" "src/CMakeFiles/soi.dir/infmax/baselines.cc.o" "gcc" "src/CMakeFiles/soi.dir/infmax/baselines.cc.o.d"
+  "/root/repo/src/infmax/evaluate.cc" "src/CMakeFiles/soi.dir/infmax/evaluate.cc.o" "gcc" "src/CMakeFiles/soi.dir/infmax/evaluate.cc.o.d"
+  "/root/repo/src/infmax/greedy_std.cc" "src/CMakeFiles/soi.dir/infmax/greedy_std.cc.o" "gcc" "src/CMakeFiles/soi.dir/infmax/greedy_std.cc.o.d"
+  "/root/repo/src/infmax/infmax_tc.cc" "src/CMakeFiles/soi.dir/infmax/infmax_tc.cc.o" "gcc" "src/CMakeFiles/soi.dir/infmax/infmax_tc.cc.o.d"
+  "/root/repo/src/infmax/rrset.cc" "src/CMakeFiles/soi.dir/infmax/rrset.cc.o" "gcc" "src/CMakeFiles/soi.dir/infmax/rrset.cc.o.d"
+  "/root/repo/src/infmax/sketch_oracle.cc" "src/CMakeFiles/soi.dir/infmax/sketch_oracle.cc.o" "gcc" "src/CMakeFiles/soi.dir/infmax/sketch_oracle.cc.o.d"
+  "/root/repo/src/infmax/spread_oracle.cc" "src/CMakeFiles/soi.dir/infmax/spread_oracle.cc.o" "gcc" "src/CMakeFiles/soi.dir/infmax/spread_oracle.cc.o.d"
+  "/root/repo/src/infmax/weighted_cover.cc" "src/CMakeFiles/soi.dir/infmax/weighted_cover.cc.o" "gcc" "src/CMakeFiles/soi.dir/infmax/weighted_cover.cc.o.d"
+  "/root/repo/src/jaccard/jaccard.cc" "src/CMakeFiles/soi.dir/jaccard/jaccard.cc.o" "gcc" "src/CMakeFiles/soi.dir/jaccard/jaccard.cc.o.d"
+  "/root/repo/src/jaccard/median.cc" "src/CMakeFiles/soi.dir/jaccard/median.cc.o" "gcc" "src/CMakeFiles/soi.dir/jaccard/median.cc.o.d"
+  "/root/repo/src/problearn/action_log.cc" "src/CMakeFiles/soi.dir/problearn/action_log.cc.o" "gcc" "src/CMakeFiles/soi.dir/problearn/action_log.cc.o.d"
+  "/root/repo/src/problearn/goyal.cc" "src/CMakeFiles/soi.dir/problearn/goyal.cc.o" "gcc" "src/CMakeFiles/soi.dir/problearn/goyal.cc.o.d"
+  "/root/repo/src/problearn/saito.cc" "src/CMakeFiles/soi.dir/problearn/saito.cc.o" "gcc" "src/CMakeFiles/soi.dir/problearn/saito.cc.o.d"
+  "/root/repo/src/reliability/reliability.cc" "src/CMakeFiles/soi.dir/reliability/reliability.cc.o" "gcc" "src/CMakeFiles/soi.dir/reliability/reliability.cc.o.d"
+  "/root/repo/src/scc/condensation.cc" "src/CMakeFiles/soi.dir/scc/condensation.cc.o" "gcc" "src/CMakeFiles/soi.dir/scc/condensation.cc.o.d"
+  "/root/repo/src/scc/tarjan.cc" "src/CMakeFiles/soi.dir/scc/tarjan.cc.o" "gcc" "src/CMakeFiles/soi.dir/scc/tarjan.cc.o.d"
+  "/root/repo/src/scc/transitive.cc" "src/CMakeFiles/soi.dir/scc/transitive.cc.o" "gcc" "src/CMakeFiles/soi.dir/scc/transitive.cc.o.d"
+  "/root/repo/src/util/bitvector.cc" "src/CMakeFiles/soi.dir/util/bitvector.cc.o" "gcc" "src/CMakeFiles/soi.dir/util/bitvector.cc.o.d"
+  "/root/repo/src/util/flags.cc" "src/CMakeFiles/soi.dir/util/flags.cc.o" "gcc" "src/CMakeFiles/soi.dir/util/flags.cc.o.d"
+  "/root/repo/src/util/rng.cc" "src/CMakeFiles/soi.dir/util/rng.cc.o" "gcc" "src/CMakeFiles/soi.dir/util/rng.cc.o.d"
+  "/root/repo/src/util/stats.cc" "src/CMakeFiles/soi.dir/util/stats.cc.o" "gcc" "src/CMakeFiles/soi.dir/util/stats.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/soi.dir/util/status.cc.o" "gcc" "src/CMakeFiles/soi.dir/util/status.cc.o.d"
+  "/root/repo/src/util/table_printer.cc" "src/CMakeFiles/soi.dir/util/table_printer.cc.o" "gcc" "src/CMakeFiles/soi.dir/util/table_printer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

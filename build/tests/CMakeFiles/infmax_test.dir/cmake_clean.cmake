@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/infmax_test.dir/infmax_test.cc.o"
+  "CMakeFiles/infmax_test.dir/infmax_test.cc.o.d"
+  "infmax_test"
+  "infmax_test.pdb"
+  "infmax_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/infmax_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/problearn_test.dir/problearn_test.cc.o"
+  "CMakeFiles/problearn_test.dir/problearn_test.cc.o.d"
+  "problearn_test"
+  "problearn_test.pdb"
+  "problearn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/problearn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrset_test.dir/rrset_test.cc.o"
+  "CMakeFiles/rrset_test.dir/rrset_test.cc.o.d"
+  "rrset_test"
+  "rrset_test.pdb"
+  "rrset_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrset_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

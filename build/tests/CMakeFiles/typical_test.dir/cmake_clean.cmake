@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/typical_test.dir/typical_test.cc.o"
+  "CMakeFiles/typical_test.dir/typical_test.cc.o.d"
+  "typical_test"
+  "typical_test.pdb"
+  "typical_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/typical_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vaccination_test.dir/vaccination_test.cc.o"
+  "CMakeFiles/vaccination_test.dir/vaccination_test.cc.o.d"
+  "vaccination_test"
+  "vaccination_test.pdb"
+  "vaccination_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vaccination_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

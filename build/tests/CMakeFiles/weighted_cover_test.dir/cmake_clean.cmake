@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weighted_cover_test.dir/weighted_cover_test.cc.o"
+  "CMakeFiles/weighted_cover_test.dir/weighted_cover_test.cc.o.d"
+  "weighted_cover_test"
+  "weighted_cover_test.pdb"
+  "weighted_cover_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weighted_cover_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

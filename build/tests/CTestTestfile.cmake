@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_test[1]_include.cmake")
+include("/root/repo/build/tests/gen_test[1]_include.cmake")
+include("/root/repo/build/tests/scc_test[1]_include.cmake")
+include("/root/repo/build/tests/cascade_test[1]_include.cmake")
+include("/root/repo/build/tests/jaccard_test[1]_include.cmake")
+include("/root/repo/build/tests/index_test[1]_include.cmake")
+include("/root/repo/build/tests/typical_test[1]_include.cmake")
+include("/root/repo/build/tests/problearn_test[1]_include.cmake")
+include("/root/repo/build/tests/infmax_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/threshold_test[1]_include.cmake")
+include("/root/repo/build/tests/rrset_test[1]_include.cmake")
+include("/root/repo/build/tests/weighted_cover_test[1]_include.cmake")
+include("/root/repo/build/tests/reliability_test[1]_include.cmake")
+include("/root/repo/build/tests/index_io_test[1]_include.cmake")
+include("/root/repo/build/tests/flags_test[1]_include.cmake")
+include("/root/repo/build/tests/sketch_test[1]_include.cmake")
+include("/root/repo/build/tests/vaccination_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_stats_test[1]_include.cmake")
+include("/root/repo/build/tests/sparsify_test[1]_include.cmake")
+include("/root/repo/build/tests/core_extras_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_test[1]_include.cmake")

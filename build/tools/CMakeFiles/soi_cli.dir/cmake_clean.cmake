@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soi_cli.dir/soi_cli.cc.o"
+  "CMakeFiles/soi_cli.dir/soi_cli.cc.o.d"
+  "soi_cli"
+  "soi_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soi_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
