@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "runtime/parallel_for.h"
+
 namespace soi::bench {
 
 namespace {
@@ -31,6 +33,8 @@ BenchConfig BenchConfig::FromEnv() {
   config.node_cap =
       static_cast<uint32_t>(EnvU64("SOI_NODE_CAP", config.node_cap));
   config.seed = EnvU64("SOI_SEED", config.seed);
+  config.threads = static_cast<uint32_t>(EnvU64("SOI_THREADS", config.threads));
+  SetGlobalThreads(config.threads);
   if (const char* list = std::getenv("SOI_DATASETS")) {
     std::istringstream iss(list);
     std::string token;
@@ -57,10 +61,10 @@ void PrintBanner(const char* artifact, const char* description,
   std::printf("=== %s ===\n%s\n", artifact, description);
   std::printf(
       "config: scale=%.3g worlds=%u eval_worlds=%u k=%u node_cap=%u seed=%llu"
-      " datasets=%zu\n\n",
+      " datasets=%zu threads=%u\n\n",
       config.scale, config.worlds, config.eval_worlds, config.k,
       config.node_cap, static_cast<unsigned long long>(config.seed),
-      config.configs.size());
+      config.configs.size(), GlobalThreads());
 }
 
 }  // namespace soi::bench

@@ -22,6 +22,9 @@ namespace soi::bench {
 ///                   all nodes)
 ///   SOI_DATASETS    comma-separated config subset (default: all 12)
 ///   SOI_SEED        master RNG seed (default 42)
+///   SOI_THREADS     worker threads for parallel sampling / estimation
+///                   (default 0 = hardware concurrency; results are
+///                   identical for every value, see src/runtime/)
 struct BenchConfig {
   double scale = 0.25;
   uint32_t worlds = 128;
@@ -30,7 +33,10 @@ struct BenchConfig {
   uint32_t node_cap = 0;
   std::vector<std::string> configs;
   uint64_t seed = 42;
+  uint32_t threads = 0;
 
+  /// Reads the environment and applies SOI_THREADS to the global runtime
+  /// (soi::SetGlobalThreads), so every bench harness honors it.
   static BenchConfig FromEnv();
 
   DatasetOptions dataset_options() const {

@@ -4,6 +4,7 @@
 
 #include "cascade/simulate.h"
 #include "jaccard/jaccard.h"
+#include "runtime/parallel_for.h"
 #include "util/stats.h"
 
 namespace soi {
@@ -48,11 +49,26 @@ Result<TypicalCascadeResult> TypicalCascadeComputer::ComputeForSeeds(
 
 Result<std::vector<TypicalCascadeResult>> TypicalCascadeComputer::ComputeAll(
     const TypicalCascadeOptions& options) {
-  std::vector<TypicalCascadeResult> all;
-  all.reserve(index_->num_nodes());
-  for (NodeId v = 0; v < index_->num_nodes(); ++v) {
-    SOI_ASSIGN_OR_RETURN(TypicalCascadeResult r, Compute(v, options));
-    all.push_back(std::move(r));
+  const NodeId n = index_->num_nodes();
+  std::vector<TypicalCascadeResult> all(n);
+  // Per-node extraction + Jaccard median is independent across nodes and
+  // uses no randomness. Each chunk gets its own computer because the median
+  // solver and the cascade workspace are stateful scratch.
+  std::vector<Status> chunk_status(PlannedChunks(n, 1), Status::OK());
+  ParallelForChunks(0, n, /*grain=*/1,
+                    [&](uint32_t chunk, uint64_t begin, uint64_t end) {
+                      TypicalCascadeComputer local(index_);
+                      for (uint64_t v = begin; v < end; ++v) {
+                        auto r = local.Compute(static_cast<NodeId>(v), options);
+                        if (!r.ok()) {
+                          chunk_status[chunk] = r.status();
+                          return;
+                        }
+                        all[v] = std::move(r).value();
+                      }
+                    });
+  for (const Status& status : chunk_status) {
+    if (!status.ok()) return status;
   }
   return all;
 }
@@ -70,11 +86,18 @@ Result<double> EstimateExpectedCost(const ProbGraph& graph,
   }
   std::vector<NodeId> cand(candidate.begin(), candidate.end());
   std::sort(cand.begin(), cand.end());
-  double total = 0.0;
-  for (uint32_t i = 0; i < num_samples; ++i) {
-    const std::vector<NodeId> cascade = SimulateCascade(graph, seeds, rng);
-    total += JaccardDistance(cascade, cand);
-  }
+  // Per-sample streams + per-sample slots, reduced in sample order: the
+  // estimate is bit-identical for every thread count.
+  const Rng streams = rng->Fork();
+  const std::vector<double> distances = ParallelMap<double>(
+      0, num_samples, /*grain=*/8, [&](uint64_t i) {
+        Rng sample_rng = streams.Fork(i);
+        const std::vector<NodeId> cascade =
+            SimulateCascade(graph, seeds, &sample_rng);
+        return JaccardDistance(cascade, cand);
+      });
+  const double total =
+      OrderedReduce(distances, 0.0, [](double acc, double d) { return acc + d; });
   return total / static_cast<double>(num_samples);
 }
 

@@ -5,6 +5,7 @@
 
 #include "cascade/threshold.h"
 #include "cascade/world.h"
+#include "runtime/parallel_for.h"
 #include "util/stats.h"
 
 namespace soi {
@@ -33,7 +34,6 @@ Result<CascadeIndex> CascadeIndex::Build(const ProbGraph& graph,
   WallTimer timer;
   CascadeIndex index;
   index.num_nodes_ = graph.num_nodes();
-  index.worlds_.reserve(options.num_worlds);
 
   // Linear Threshold worlds share an amortized sampler (validates weights
   // and precomputes cumulative in-weights once).
@@ -42,10 +42,21 @@ Result<CascadeIndex> CascadeIndex::Build(const ProbGraph& graph,
     SOI_ASSIGN_OR_RETURN(lt_sampler, LtWorldSampler::Create(graph));
   }
 
-  RunningStats comps, edges_before, edges_after;
-  for (uint32_t i = 0; i < options.num_worlds; ++i) {
-    const Csr world = lt_sampler.has_value() ? lt_sampler->Sample(rng)
-                                             : SampleWorld(graph, rng);
+  // World i samples from its own stream, so the built index is identical
+  // for every thread count; the master rng advances exactly once per Build,
+  // so consecutive Builds from one rng still get fresh worlds.
+  const Rng streams = rng->Fork();
+  struct WorldStats {
+    uint32_t components = 0;
+    uint32_t edges_before = 0;
+    uint32_t edges_after = 0;
+  };
+  std::vector<Condensation> worlds(options.num_worlds);
+  std::vector<WorldStats> world_stats(options.num_worlds);
+  ParallelFor(0, options.num_worlds, /*grain=*/1, [&](uint64_t i) {
+    Rng world_rng = streams.Fork(i);
+    const Csr world = lt_sampler.has_value() ? lt_sampler->Sample(&world_rng)
+                                             : SampleWorld(graph, &world_rng);
     Condensation cond = Condensation::Build(world);
     uint32_t before = cond.num_dag_edges();
     uint32_t after = before;
@@ -54,11 +65,18 @@ Result<CascadeIndex> CascadeIndex::Build(const ProbGraph& graph,
       before = rstats.edges_before;
       after = rstats.edges_after;
     }
-    comps.Add(cond.num_components());
-    edges_before.Add(before);
-    edges_after.Add(after);
-    index.worlds_.push_back(std::move(cond));
+    world_stats[i] = {cond.num_components(), before, after};
+    worlds[i] = std::move(cond);
+  });
+
+  // Ordered reduction: accumulate floating-point stats in world order.
+  RunningStats comps, edges_before, edges_after;
+  for (uint32_t i = 0; i < options.num_worlds; ++i) {
+    comps.Add(world_stats[i].components);
+    edges_before.Add(world_stats[i].edges_before);
+    edges_after.Add(world_stats[i].edges_after);
   }
+  index.worlds_ = std::move(worlds);
 
   index.stats_.build_seconds = timer.ElapsedSeconds();
   index.stats_.avg_components = comps.mean();

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "cascade/world.h"
+#include "runtime/parallel_for.h"
 #include "scc/condensation.h"
 #include "util/bitvector.h"
 
@@ -29,38 +30,54 @@ Result<std::vector<double>> EvaluatePrefixSpreads(const ProbGraph& graph,
   SOI_RETURN_IF_ERROR(CheckArgs(graph, seeds, num_worlds));
   std::vector<uint64_t> totals(seeds.size(), 0);
 
-  BitVector covered;
-  std::vector<uint32_t> stamp;
-  std::vector<uint32_t> stack;
-  for (uint32_t w = 0; w < num_worlds; ++w) {
-    const Csr world = SampleWorld(graph, rng);
-    const Condensation cond = Condensation::Build(world);
-    const uint32_t nc = cond.num_components();
-    covered.Resize(nc);
-    stamp.assign(nc, 0);
+  // Each world gets its own stream and its own scratch; per-world integer
+  // counts are summed afterwards, so the result is exact and identical for
+  // every thread count.
+  const Rng streams = rng->Fork();
+  const uint32_t num_chunks = PlannedChunks(num_worlds, 1);
+  std::vector<std::vector<uint64_t>> chunk_totals(
+      num_chunks, std::vector<uint64_t>(seeds.size(), 0));
+  ParallelForChunks(0, num_worlds, /*grain=*/1, [&](uint32_t chunk,
+                                                    uint64_t world_begin,
+                                                    uint64_t world_end) {
+    std::vector<uint64_t>& local_totals = chunk_totals[chunk];
+    BitVector covered;
+    std::vector<uint32_t> stamp;
+    std::vector<uint32_t> stack;
+    for (uint64_t w = world_begin; w < world_end; ++w) {
+      Rng world_rng = streams.Fork(w);
+      const Csr world = SampleWorld(graph, &world_rng);
+      const Condensation cond = Condensation::Build(world);
+      const uint32_t nc = cond.num_components();
+      covered.Resize(nc);
+      stamp.assign(nc, 0);
 
-    uint64_t covered_nodes = 0;
-    for (size_t j = 0; j < seeds.size(); ++j) {
-      const uint32_t start = cond.ComponentOf(seeds[j]);
-      if (!covered.Test(start)) {
-        // DFS skipping covered components (their closures are covered).
-        stack.clear();
-        stack.push_back(start);
-        stamp[start] = 1;
-        while (!stack.empty()) {
-          const uint32_t c = stack.back();
-          stack.pop_back();
-          covered.Set(c);
-          covered_nodes += cond.ComponentSize(c);
-          for (uint32_t succ : cond.DagSuccessors(c)) {
-            if (stamp[succ] == 1 || covered.Test(succ)) continue;
-            stamp[succ] = 1;
-            stack.push_back(succ);
+      uint64_t covered_nodes = 0;
+      for (size_t j = 0; j < seeds.size(); ++j) {
+        const uint32_t start = cond.ComponentOf(seeds[j]);
+        if (!covered.Test(start)) {
+          // DFS skipping covered components (their closures are covered).
+          stack.clear();
+          stack.push_back(start);
+          stamp[start] = 1;
+          while (!stack.empty()) {
+            const uint32_t c = stack.back();
+            stack.pop_back();
+            covered.Set(c);
+            covered_nodes += cond.ComponentSize(c);
+            for (uint32_t succ : cond.DagSuccessors(c)) {
+              if (stamp[succ] == 1 || covered.Test(succ)) continue;
+              stamp[succ] = 1;
+              stack.push_back(succ);
+            }
           }
         }
+        local_totals[j] += covered_nodes;
       }
-      totals[j] += covered_nodes;
     }
+  });
+  for (const std::vector<uint64_t>& chunk : chunk_totals) {
+    for (size_t j = 0; j < seeds.size(); ++j) totals[j] += chunk[j];
   }
 
   std::vector<double> spreads(seeds.size());
@@ -75,11 +92,15 @@ Result<double> EvaluateSpread(const ProbGraph& graph,
                               std::span<const NodeId> seeds,
                               uint32_t num_worlds, Rng* rng) {
   SOI_RETURN_IF_ERROR(CheckArgs(graph, seeds, num_worlds));
-  uint64_t total = 0;
-  for (uint32_t w = 0; w < num_worlds; ++w) {
-    const Csr world = SampleWorld(graph, rng);
-    total += ReachableFromSet(world, seeds).size();
-  }
+  const Rng streams = rng->Fork();
+  const std::vector<uint64_t> sizes = ParallelMap<uint64_t>(
+      0, num_worlds, /*grain=*/4, [&](uint64_t w) {
+        Rng world_rng = streams.Fork(w);
+        const Csr world = SampleWorld(graph, &world_rng);
+        return static_cast<uint64_t>(ReachableFromSet(world, seeds).size());
+      });
+  const uint64_t total = OrderedReduce(
+      sizes, uint64_t{0}, [](uint64_t acc, uint64_t s) { return acc + s; });
   return static_cast<double>(total) / static_cast<double>(num_worlds);
 }
 

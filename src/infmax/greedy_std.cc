@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "infmax/spread_oracle.h"
+#include "runtime/parallel_for.h"
 #include "util/bitvector.h"
 
 namespace soi {
@@ -93,48 +94,75 @@ GreedyResult RunExhaustive(NodeId n, uint32_t k, bool track_saturation,
 }
 
 // Fresh-Monte-Carlo spread estimator with reusable buffers: every call to
-// Estimate() runs `samples` independent IC simulations.
+// Estimate() runs `samples` independent IC simulations. Simulations are
+// parallelized over chunks; each simulation draws from its own stream and
+// contributes an integer cascade size, so estimates are identical for
+// every thread count.
 class McEstimator {
  public:
-  McEstimator(const ProbGraph& graph, Rng* rng)
-      : graph_(graph), rng_(rng), active_(graph.num_nodes()) {}
+  McEstimator(const ProbGraph& graph, Rng* rng) : graph_(graph), rng_(rng) {}
 
   /// Mean cascade size from seeds (+ optional extra node) over `samples`
   /// fresh simulations.
   double Estimate(const std::vector<NodeId>& seeds, NodeId extra,
                   uint32_t samples) {
+    const Rng streams = rng_->Fork();  // advance master once per call
+    const uint32_t num_chunks = PlannedChunks(samples, 1);
+    if (scratch_.size() < num_chunks) scratch_.resize(num_chunks);
+    std::vector<uint64_t> chunk_totals(num_chunks, 0);
+    ParallelForChunks(
+        0, samples, /*grain=*/1,
+        [&](uint32_t chunk, uint64_t sample_begin, uint64_t sample_end) {
+          Scratch& scratch = scratch_[chunk];
+          if (scratch.active.size() != graph_.num_nodes()) {
+            scratch.active.Resize(graph_.num_nodes());
+          }
+          uint64_t total = 0;
+          for (uint64_t s = sample_begin; s < sample_end; ++s) {
+            Rng sample_rng = streams.Fork(s);
+            total += RunOnce(seeds, extra, &sample_rng, &scratch);
+          }
+          chunk_totals[chunk] = total;
+        });
     uint64_t total = 0;
-    for (uint32_t s = 0; s < samples; ++s) total += RunOnce(seeds, extra);
+    for (uint64_t t : chunk_totals) total += t;
     return static_cast<double>(total) / samples;
   }
 
  private:
-  uint64_t RunOnce(const std::vector<NodeId>& seeds, NodeId extra) {
-    frontier_.clear();
+  struct Scratch {
+    BitVector active;
+    std::vector<NodeId> frontier;
+  };
+
+  uint64_t RunOnce(const std::vector<NodeId>& seeds, NodeId extra, Rng* rng,
+                   Scratch* scratch) const {
+    BitVector& active = scratch->active;
+    std::vector<NodeId>& frontier = scratch->frontier;
+    frontier.clear();
     auto activate = [&](NodeId v) {
-      if (active_.TestAndSet(v)) frontier_.push_back(v);
+      if (active.TestAndSet(v)) frontier.push_back(v);
     };
     for (NodeId s : seeds) activate(s);
     if (extra != kInvalidNode) activate(extra);
-    for (size_t read = 0; read < frontier_.size(); ++read) {
-      const NodeId u = frontier_[read];
+    for (size_t read = 0; read < frontier.size(); ++read) {
+      const NodeId u = frontier[read];
       const auto nbrs = graph_.OutNeighbors(u);
       const auto probs = graph_.OutProbs(u);
       for (size_t i = 0; i < nbrs.size(); ++i) {
-        if (!active_.Test(nbrs[i]) && rng_->NextBernoulli(probs[i])) {
+        if (!active.Test(nbrs[i]) && rng->NextBernoulli(probs[i])) {
           activate(nbrs[i]);
         }
       }
     }
-    const uint64_t size = frontier_.size();
-    for (NodeId v : frontier_) active_.Clear(v);
+    const uint64_t size = frontier.size();
+    for (NodeId v : frontier) active.Clear(v);
     return size;
   }
 
   const ProbGraph& graph_;
   Rng* rng_;
-  BitVector active_;
-  std::vector<NodeId> frontier_;
+  std::vector<Scratch> scratch_;  // one per chunk, reused across calls
 };
 
 }  // namespace

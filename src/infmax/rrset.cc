@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "runtime/parallel_for.h"
 #include "util/bitvector.h"
 #include "util/check.h"
 
@@ -112,12 +113,24 @@ Result<RrCollection> RrCollection::Sample(const ProbGraph& graph,
   collection.num_nodes_ = graph.num_nodes();
   collection.offsets_.reserve(count + 1);
   collection.offsets_.push_back(0);
-  BitVector visited(graph.num_nodes());
-  std::vector<NodeId> rr;
+  // RR set i is drawn from stream i (identical for every thread count);
+  // each chunk owns a visited mask, and sets are concatenated in index
+  // order afterwards.
+  const Rng streams = rng->Fork();
+  std::vector<std::vector<NodeId>> sets(count);
+  ParallelForChunks(
+      0, count, /*grain=*/4,
+      [&](uint32_t /*chunk*/, uint64_t set_begin, uint64_t set_end) {
+        BitVector visited(graph.num_nodes());
+        for (uint64_t i = set_begin; i < set_end; ++i) {
+          Rng set_rng = streams.Fork(i);
+          SampleOneRrSet(graph, rev_probs, rev_begin, &set_rng, &visited,
+                         &sets[i]);
+        }
+      });
   for (uint32_t i = 0; i < count; ++i) {
-    SampleOneRrSet(graph, rev_probs, rev_begin, rng, &visited, &rr);
-    collection.members_.insert(collection.members_.end(), rr.begin(),
-                               rr.end());
+    collection.members_.insert(collection.members_.end(), sets[i].begin(),
+                               sets[i].end());
     collection.offsets_.push_back(collection.members_.size());
   }
 

@@ -1,0 +1,77 @@
+#include "runtime/thread_pool.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace soi {
+
+namespace {
+
+/// Set for the duration of WorkerLoop; lets InWorker() answer without
+/// tracking thread ids under the lock.
+thread_local const ThreadPool* tls_worker_pool = nullptr;
+
+}  // namespace
+
+ThreadPool::ThreadPool(uint32_t num_threads) {
+  SOI_CHECK(num_threads >= 1);
+  workers_.reserve(num_threads);
+  for (uint32_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+  SOI_CHECK(queue_.empty());  // graceful shutdown drained everything
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  SOI_CHECK(task != nullptr);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // External submission races with destruction; tasks already running may
+    // legitimately spawn follow-up work while the pool drains.
+    SOI_CHECK(!shutting_down_ || InWorker());
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+bool ThreadPool::InWorker() const { return tls_worker_pool == this; }
+
+void ThreadPool::WorkerLoop() {
+  tls_worker_pool = this;
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    cv_.wait(lock, [this] {
+      // Drain fully on shutdown: in-flight tasks may enqueue more work, so
+      // exit only once the queue is empty AND nothing is still running.
+      return !queue_.empty() || (shutting_down_ && active_tasks_ == 0);
+    });
+    if (queue_.empty()) break;
+    std::function<void()> task = std::move(queue_.front());
+    queue_.pop_front();
+    ++active_tasks_;
+    lock.unlock();
+    task();
+    lock.lock();
+    --active_tasks_;
+    if (shutting_down_ && active_tasks_ == 0 && queue_.empty()) {
+      cv_.notify_all();  // release peers parked on the exit condition
+    }
+  }
+  tls_worker_pool = nullptr;
+}
+
+uint32_t ThreadPool::HardwareConcurrency() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+}  // namespace soi

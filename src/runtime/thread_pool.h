@@ -1,0 +1,66 @@
+#ifndef SOI_RUNTIME_THREAD_POOL_H_
+#define SOI_RUNTIME_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace soi {
+
+/// A fixed-size worker pool with a FIFO work queue.
+///
+/// Tasks are arbitrary callables; they must not throw (the library reports
+/// errors through Status, and a throwing task would tear down the process
+/// from a worker thread anyway). Destruction is graceful: every task already
+/// submitted is drained before the workers join, so a caller that has
+/// arranged its own completion signalling never loses work.
+///
+/// The pool makes no ordering or affinity promises. Determinism of parallel
+/// algorithms is achieved above the pool (see runtime/parallel_for.h): work
+/// items derive their random streams from their *index*, not from the thread
+/// that happens to run them, and reductions are committed in index order.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (>= 1).
+  explicit ThreadPool(uint32_t num_threads);
+
+  /// Drains the queue, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Safe to call from any thread, including workers.
+  void Submit(std::function<void()> task);
+
+  uint32_t num_threads() const {
+    return static_cast<uint32_t>(workers_.size());
+  }
+
+  /// True when called from one of this pool's worker threads. Used by
+  /// ParallelFor to run nested parallel regions inline instead of
+  /// re-submitting to the pool (which could deadlock if every worker
+  /// blocked waiting on tasks stuck behind it in the queue).
+  bool InWorker() const;
+
+  /// Best-effort hardware thread count (>= 1 even when unknown).
+  static uint32_t HardwareConcurrency();
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool shutting_down_ = false;
+  uint32_t active_tasks_ = 0;  // tasks currently executing on workers
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace soi
+
+#endif  // SOI_RUNTIME_THREAD_POOL_H_

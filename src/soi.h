@@ -40,6 +40,8 @@
 #include "problearn/goyal.h"        // frequentist learner
 #include "problearn/saito.h"        // EM learner
 #include "reliability/reliability.h"  // reliability queries
+#include "runtime/parallel_for.h"   // deterministic parallel loops
+#include "runtime/thread_pool.h"    // shared worker pool
 #include "util/rng.h"               // deterministic PRNG
 #include "util/status.h"            // Status / Result
 

@@ -82,8 +82,24 @@ class Rng {
 
   /// Forks an independent generator (new stream derived from this one);
   /// used to give each sampled possible world its own stream so worlds are
-  /// insensitive to the order in which they are generated.
+  /// insensitive to the order in which they are generated. Advances this
+  /// generator, so successive forks differ.
   Rng Fork() { return Rng(Next() ^ 0xA5A5A5A5A5A5A5A5ull); }
+
+  /// Derives the generator of logical stream `stream` from the current
+  /// state WITHOUT advancing it. The family of streams is identified by
+  /// this generator's state, so the standard parallel pattern is
+  ///
+  ///   Rng family = master.Fork();            // advance master once
+  ///   ... work item i uses family.Fork(i) ...  // any order, any thread
+  ///
+  /// which makes per-item randomness bit-identical regardless of how items
+  /// are scheduled across threads (see runtime/parallel_for.h).
+  Rng Fork(uint64_t stream) const {
+    SplitMix64 sm(state_[0] ^ Rotl(state_[2], 37) ^
+                  (0x9E3779B97F4A7C15ull * (stream + 1)));
+    return Rng(sm.Next() ^ state_[3]);
+  }
 
  private:
   static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }

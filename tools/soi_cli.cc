@@ -12,6 +12,13 @@
 //   soi_cli reliability --graph g.txt --source 0 --target 5
 //                       [--samples 20000] [--max-hops 0]
 //
+// Global flags (any command):
+//   --threads N   worker threads for parallel sampling / estimation
+//                 (default 0 = hardware concurrency). Outputs are
+//                 bit-identical for every value of N, including 1: work
+//                 items derive their random streams from their index, not
+//                 from the executing thread (see src/runtime/).
+//
 // Graphs are whitespace edge lists: "src dst [prob]" (SNAP files load
 // directly; missing probabilities default to --default-prob).
 
@@ -33,6 +40,7 @@
 #include "infmax/infmax_tc.h"
 #include "infmax/rrset.h"
 #include "reliability/reliability.h"
+#include "runtime/parallel_for.h"
 #include "util/flags.h"
 #include "util/rng.h"
 #include "util/stats.h"
@@ -306,6 +314,13 @@ int Main(int argc, char** argv) {
   auto parsed = FlagParser::Parse(argc - 1, argv + 1);
   if (!parsed.ok()) return Fail(parsed.status());
   const FlagParser& flags = *parsed;
+
+  auto threads = flags.GetInt("threads", 0);
+  if (!threads.ok()) return Fail(threads.status());
+  if (*threads < 0) {
+    return Fail(Status::InvalidArgument("--threads must be >= 0"));
+  }
+  SetGlobalThreads(static_cast<uint32_t>(*threads));
 
   int rc;
   if (command == "gen") {
