@@ -107,5 +107,6 @@ int main() {
       "where marginal gains are small relative to its Monte-Carlo noise "
       "(most visibly on the -W settings) — the saturation mechanism behind "
       "Figures 6-7.\n");
+  soi::bench::WriteMetricsSidecar("ablation");
   return 0;
 }

@@ -4,7 +4,11 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runtime/parallel_for.h"
+#include "util/flags.h"
+#include "util/stats.h"
 
 namespace soi::bench {
 
@@ -21,9 +25,25 @@ uint64_t EnvU64(const char* name, uint64_t fallback) {
                           : std::strtoull(value, nullptr, 10);
 }
 
+// Wall clock for the metrics sidecar: started when the harness reads its
+// config, i.e. effectively at process start.
+WallTimer& ProcessTimer() {
+  static WallTimer timer;
+  return timer;
+}
+
 }  // namespace
 
 BenchConfig BenchConfig::FromEnv() {
+  ProcessTimer().Restart();
+  if (const char* trace_out = std::getenv("SOI_TRACE_OUT")) {
+    const Status ok = ValidateWritableOutPath(trace_out);
+    if (!ok.ok()) {
+      std::fprintf(stderr, "SOI_TRACE_OUT: %s\n", ok.ToString().c_str());
+      std::exit(1);
+    }
+    obs::SetTraceEnabled(true);
+  }
   BenchConfig config;
   config.scale = EnvDouble("SOI_SCALE", config.scale);
   config.worlds = static_cast<uint32_t>(EnvU64("SOI_WORLDS", config.worlds));
@@ -54,6 +74,29 @@ Dataset LoadDatasetOrDie(const std::string& config, const BenchConfig& bench) {
     std::exit(1);
   }
   return std::move(dataset).value();
+}
+
+void WriteMetricsSidecar(const char* artifact) {
+  if (!obs::Enabled()) return;
+  const std::string path = std::string("BENCH_") + artifact + ".metrics.json";
+  Status ok = ValidateWritableOutPath(path);
+  if (ok.ok()) {
+    ok = obs::WriteMetricsJson(path, ProcessTimer().ElapsedSeconds());
+  }
+  if (!ok.ok()) {
+    std::fprintf(stderr, "metrics sidecar: %s\n", ok.ToString().c_str());
+    return;
+  }
+  std::printf("wrote %s\n", path.c_str());
+  if (const char* trace_out = std::getenv("SOI_TRACE_OUT")) {
+    const Status trace_ok = obs::WriteChromeTrace(trace_out);
+    if (!trace_ok.ok()) {
+      std::fprintf(stderr, "trace: %s\n", trace_ok.ToString().c_str());
+    } else {
+      std::printf("wrote %s (%zu trace events)\n", trace_out,
+                  obs::NumTraceEvents());
+    }
+  }
 }
 
 void PrintBanner(const char* artifact, const char* description,

@@ -25,6 +25,10 @@ namespace soi::bench {
 ///   SOI_THREADS     worker threads for parallel sampling / estimation
 ///                   (default 0 = hardware concurrency; results are
 ///                   identical for every value, see src/runtime/)
+///   SOI_OBS         0 disables all metrics/tracing instrumentation
+///                   (default enabled; see src/obs/)
+///   SOI_TRACE_OUT   when set, capture spans and write a Chrome trace JSON
+///                   to this path at sidecar time
 struct BenchConfig {
   double scale = 0.25;
   uint32_t worlds = 128;
@@ -54,6 +58,12 @@ Dataset LoadDatasetOrDie(const std::string& config, const BenchConfig& bench);
 /// Prints the standard harness banner.
 void PrintBanner(const char* artifact, const char* description,
                  const BenchConfig& config);
+
+/// Writes the obs registry (per-phase timers, counters, memory high-water)
+/// to BENCH_<artifact>.metrics.json so every BENCH_* artifact has a
+/// phase-attributable cost sidecar; also writes SOI_TRACE_OUT when set.
+/// Wall time is measured from BenchConfig::FromEnv(). No-op when SOI_OBS=0.
+void WriteMetricsSidecar(const char* artifact);
 
 }  // namespace soi::bench
 

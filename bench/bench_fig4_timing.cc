@@ -188,5 +188,6 @@ int main() {
               soi::ThreadPool::HardwareConcurrency());
 
   WriteJson("BENCH_fig4.json", config, scaling_config, rows, scaling);
+  soi::bench::WriteMetricsSidecar("fig4");
   return 0;
 }

@@ -82,5 +82,6 @@ int main() {
       "Expected shape (paper Fig 5): beyond the smallest buckets, cost "
       "decreases as |C*| grows; no bucket combines large size with large "
       "max cost.\n");
+  soi::bench::WriteMetricsSidecar("fig5");
   return 0;
 }

@@ -97,5 +97,6 @@ int main() {
   std::printf(
       "\nExpected shape (paper Fig 6): InfMax_std leads for small |S|; "
       "curves cross; InfMax_TC leads for large |S| (TC/std > 1 at k).\n");
+  soi::bench::WriteMetricsSidecar("fig6");
   return 0;
 }

@@ -121,5 +121,6 @@ int main() {
       "reduced-scale datasets tie TC's integer coverage gains at ratio "
       "exactly 1.0, the analogue of the paper's saturation at iteration "
       "~65 on the 20x larger originals.\n");
+  soi::bench::WriteMetricsSidecar("fig7");
   return 0;
 }

@@ -10,6 +10,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+
 #include "cascade/world.h"
 #include "gen/generators.h"
 #include "graph/prob_assign.h"
@@ -17,10 +19,12 @@
 #include "infmax/sketch_oracle.h"
 #include "infmax/spread_oracle.h"
 #include "jaccard/median.h"
+#include "obs/metrics.h"
 #include "scc/condensation.h"
 #include "scc/tarjan.h"
 #include "scc/transitive.h"
 #include "util/rng.h"
+#include "util/stats.h"
 
 namespace soi {
 namespace {
@@ -212,4 +216,23 @@ BENCHMARK(BM_SpreadOracleGain);
 }  // namespace
 }  // namespace soi
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN so the run can emit its metrics sidecar: the
+// registry accumulates across all benchmark iterations, which makes the
+// sidecar a phase-level complement to google-benchmark's per-op numbers.
+int main(int argc, char** argv) {
+  soi::WallTimer total_timer;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (soi::obs::Enabled()) {
+    const soi::Status ok = soi::obs::WriteMetricsJson(
+        "BENCH_micro.metrics.json", total_timer.ElapsedSeconds());
+    if (!ok.ok()) {
+      std::fprintf(stderr, "metrics sidecar: %s\n", ok.ToString().c_str());
+    } else {
+      std::printf("wrote BENCH_micro.metrics.json\n");
+    }
+  }
+  return 0;
+}

@@ -33,5 +33,6 @@ int main() {
                   TablePrinter::Fmt(prob_sum / g.num_nodes(), 3)});
   }
   table.Print(std::cout);
+  soi::bench::WriteMetricsSidecar("table1");
   return 0;
 }

@@ -66,5 +66,6 @@ int main() {
   std::printf(
       "\nExpected shape (paper Table 2): -G > -S and -F > -W typical-cascade "
       "sizes; sd comparable to or larger than avg.\n");
+  soi::bench::WriteMetricsSidecar("table2");
   return 0;
 }

@@ -90,5 +90,6 @@ int main() {
       "Expected shape (Theorem 2): hold-out cost decreases in l and "
       "flattens at a constant sample size; the in-sample gap shrinks like "
       "sqrt(log(l)/l).\n");
+  soi::bench::WriteMetricsSidecar("thm2");
   return 0;
 }

@@ -4,6 +4,7 @@
 
 #include "cascade/simulate.h"
 #include "jaccard/jaccard.h"
+#include "obs/metrics.h"
 #include "runtime/parallel_for.h"
 #include "util/stats.h"
 
@@ -29,14 +30,20 @@ Result<TypicalCascadeResult> TypicalCascadeComputer::ComputeForSeeds(
     }
   }
   WallTimer timer;
-  const std::vector<std::vector<NodeId>> cascades =
-      index_->AllCascades(seeds, &ws_);
+  SOI_OBS_COUNTER_ADD("typical/computations", 1);
+  std::vector<std::vector<NodeId>> cascades;
+  {
+    SOI_OBS_SPAN("typical/extract_cascades");
+    cascades = index_->AllCascades(seeds, &ws_);
+  }
   double mean_size = 0.0;
   for (const auto& c : cascades) mean_size += static_cast<double>(c.size());
   mean_size /= static_cast<double>(cascades.size());
 
-  SOI_ASSIGN_OR_RETURN(MedianResult median,
-                       solver_.Compute(cascades, options.median));
+  SOI_ASSIGN_OR_RETURN(MedianResult median, [&] {
+    SOI_OBS_SPAN("typical/jaccard_median");
+    return solver_.Compute(cascades, options.median);
+  }());
 
   TypicalCascadeResult result;
   result.cascade = std::move(median.median);
@@ -49,6 +56,7 @@ Result<TypicalCascadeResult> TypicalCascadeComputer::ComputeForSeeds(
 
 Result<std::vector<TypicalCascadeResult>> TypicalCascadeComputer::ComputeAll(
     const TypicalCascadeOptions& options) {
+  SOI_OBS_SPAN("typical/sweep_all_nodes");
   const NodeId n = index_->num_nodes();
   std::vector<TypicalCascadeResult> all(n);
   // Per-node extraction + Jaccard median is independent across nodes and

@@ -5,6 +5,7 @@
 
 #include "cascade/threshold.h"
 #include "cascade/world.h"
+#include "obs/metrics.h"
 #include "runtime/parallel_for.h"
 #include "util/stats.h"
 
@@ -32,6 +33,7 @@ Result<CascadeIndex> CascadeIndex::Build(const ProbGraph& graph,
     return Status::InvalidArgument("CascadeIndex: empty graph");
   }
   WallTimer timer;
+  SOI_OBS_SPAN("index/build");
   CascadeIndex index;
   index.num_nodes_ = graph.num_nodes();
 
@@ -55,27 +57,40 @@ Result<CascadeIndex> CascadeIndex::Build(const ProbGraph& graph,
   std::vector<WorldStats> world_stats(options.num_worlds);
   ParallelFor(0, options.num_worlds, /*grain=*/1, [&](uint64_t i) {
     Rng world_rng = streams.Fork(i);
-    const Csr world = lt_sampler.has_value() ? lt_sampler->Sample(&world_rng)
-                                             : SampleWorld(graph, &world_rng);
-    Condensation cond = Condensation::Build(world);
-    uint32_t before = cond.num_dag_edges();
+    std::optional<Csr> world;
+    {
+      SOI_OBS_SPAN("index/sample_world");
+      world.emplace(lt_sampler.has_value() ? lt_sampler->Sample(&world_rng)
+                                           : SampleWorld(graph, &world_rng));
+    }
+    std::optional<Condensation> cond;
+    {
+      SOI_OBS_SPAN("index/scc_condense");
+      cond.emplace(Condensation::Build(*world));
+    }
+    uint32_t before = cond->num_dag_edges();
     uint32_t after = before;
     if (options.transitive_reduction) {
-      const ReductionStats rstats = TransitiveReduce(&cond, options.reduction);
+      SOI_OBS_SPAN("index/transitive_reduce");
+      const ReductionStats rstats = TransitiveReduce(&*cond, options.reduction);
       before = rstats.edges_before;
       after = rstats.edges_after;
     }
-    world_stats[i] = {cond.num_components(), before, after};
-    worlds[i] = std::move(cond);
+    world_stats[i] = {cond->num_components(), before, after};
+    worlds[i] = std::move(*cond);
   });
+  SOI_OBS_COUNTER_ADD("index/worlds_built", options.num_worlds);
 
   // Ordered reduction: accumulate floating-point stats in world order.
   RunningStats comps, edges_before, edges_after;
+  uint64_t edges_removed = 0;
   for (uint32_t i = 0; i < options.num_worlds; ++i) {
     comps.Add(world_stats[i].components);
     edges_before.Add(world_stats[i].edges_before);
     edges_after.Add(world_stats[i].edges_after);
+    edges_removed += world_stats[i].edges_before - world_stats[i].edges_after;
   }
+  SOI_OBS_COUNTER_ADD("index/dag_edges_removed", edges_removed);
   index.worlds_ = std::move(worlds);
 
   index.stats_.build_seconds = timer.ElapsedSeconds();

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "cascade/world.h"
+#include "obs/metrics.h"
 #include "runtime/parallel_for.h"
 #include "scc/condensation.h"
 #include "util/bitvector.h"
@@ -28,6 +29,8 @@ Result<std::vector<double>> EvaluatePrefixSpreads(const ProbGraph& graph,
                                                   uint32_t num_worlds,
                                                   Rng* rng) {
   SOI_RETURN_IF_ERROR(CheckArgs(graph, seeds, num_worlds));
+  SOI_OBS_SPAN("infmax/evaluate_prefix_spreads");
+  SOI_OBS_COUNTER_ADD("infmax/eval_worlds", num_worlds);
   std::vector<uint64_t> totals(seeds.size(), 0);
 
   // Each world gets its own stream and its own scratch; per-world integer
@@ -92,6 +95,8 @@ Result<double> EvaluateSpread(const ProbGraph& graph,
                               std::span<const NodeId> seeds,
                               uint32_t num_worlds, Rng* rng) {
   SOI_RETURN_IF_ERROR(CheckArgs(graph, seeds, num_worlds));
+  SOI_OBS_SPAN("infmax/evaluate_spread");
+  SOI_OBS_COUNTER_ADD("infmax/eval_worlds", num_worlds);
   const Rng streams = rng->Fork();
   const std::vector<uint64_t> sizes = ParallelMap<uint64_t>(
       0, num_worlds, /*grain=*/4, [&](uint64_t w) {

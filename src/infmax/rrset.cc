@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
 #include "runtime/parallel_for.h"
 #include "util/bitvector.h"
 #include "util/check.h"
@@ -99,6 +100,7 @@ Result<RrCollection> RrCollection::Sample(const ProbGraph& graph,
   if (graph.num_nodes() == 0) return Status::InvalidArgument("empty graph");
   if (count == 0) return Status::InvalidArgument("count must be >= 1");
 
+  SOI_OBS_SPAN("rrset/sample_collection");
   const std::vector<double> rev_probs = ReverseAlignedProbs(graph);
   std::vector<uint64_t> rev_begin(graph.num_nodes());
   {
@@ -133,6 +135,8 @@ Result<RrCollection> RrCollection::Sample(const ProbGraph& graph,
                                sets[i].end());
     collection.offsets_.push_back(collection.members_.size());
   }
+  SOI_OBS_COUNTER_ADD("rrset/sets_sampled", count);
+  SOI_OBS_COUNTER_ADD("rrset/members_total", collection.members_.size());
 
   // Inverted index (counting sort by node).
   collection.inv_offsets_.assign(graph.num_nodes() + 1, 0);
@@ -153,6 +157,7 @@ Result<RrCollection> RrCollection::Sample(const ProbGraph& graph,
 
 Result<GreedyResult> RrCollection::SelectSeeds(uint32_t k) const {
   if (k == 0) return Status::InvalidArgument("k must be >= 1");
+  SOI_OBS_SPAN("rrset/select_seeds");
   k = std::min<uint32_t>(k, num_nodes_);
   const double scale =
       static_cast<double>(num_nodes_) / static_cast<double>(num_sets());
@@ -231,6 +236,7 @@ Result<GreedyResult> InfMaxRr(const ProbGraph& graph,
       cursor += graph.InDegree(v);
     }
     const double n = graph.num_nodes();
+    SOI_OBS_SPAN("rrset/kpt_estimate");
     const double kpt = EstimateKpt(graph, rev_probs, rev_begin, k, rng);
     const double lambda =
         (8.0 + 2.0 * options.epsilon) * n *

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace soi {
@@ -62,6 +63,8 @@ Result<MedianResult> JaccardMedianSolver::Compute(
     const std::vector<std::vector<NodeId>>& sets,
     const MedianOptions& options) {
   SOI_RETURN_IF_ERROR(ValidateSets(sets, universe_));
+  SOI_OBS_SPAN("median/compute");
+  SOI_OBS_COUNTER_ADD("median/input_sets", sets.size());
   const uint32_t num_sets = static_cast<uint32_t>(sets.size());
 
   // --- Collect distinct elements and frequencies. ---------------------------
@@ -153,6 +156,7 @@ Result<MedianResult> JaccardMedianSolver::Compute(
 
   // --- Input-set candidates (stride-sampled, deterministic). -----------------
   if (options.input_candidates > 0) {
+    SOI_OBS_SPAN("median/input_candidates");
     const uint32_t k = std::min<uint32_t>(options.input_candidates, num_sets);
     for (uint32_t j = 0; j < k; ++j) {
       const uint32_t idx = static_cast<uint32_t>(
@@ -169,6 +173,7 @@ Result<MedianResult> JaccardMedianSolver::Compute(
 
   // --- Local search: 1-element toggles. --------------------------------------
   if (options.local_search && !distinct.empty()) {
+    SOI_OBS_SPAN("median/local_search");
     // Rebuild intersection counts for the current best candidate.
     std::fill(inter.begin(), inter.end(), 0);
     for (NodeId x : result.median) mark_[x] = 1;
@@ -181,6 +186,11 @@ Result<MedianResult> JaccardMedianSolver::Compute(
     double cur_cost = result.cost;
     bool changed = false;
 
+    // Counters are accumulated locally and flushed once after the search:
+    // toggles happen inside the innermost loop, where even a relaxed
+    // fetch_add per event would be measurable.
+    uint64_t toggles = 0;
+    uint64_t passes = 0;
     for (uint32_t pass = 0; pass < options.local_search_passes; ++pass) {
       bool improved = false;
       for (uint32_t slot_idx = 0; slot_idx < order.size(); ++slot_idx) {
@@ -209,10 +219,14 @@ Result<MedianResult> JaccardMedianSolver::Compute(
           }
           improved = true;
           changed = true;
+          ++toggles;
         }
       }
+      ++passes;
       if (!improved) break;
     }
+    SOI_OBS_COUNTER_ADD("median/local_search_toggles", toggles);
+    SOI_OBS_COUNTER_ADD("median/local_search_passes", passes);
 
     if (changed) {
       result.median.clear();

@@ -1,0 +1,273 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+#include "obs/trace.h"
+
+namespace soi::obs {
+
+namespace {
+
+bool InitialEnabledFromEnv() {
+  const char* value = std::getenv("SOI_OBS");
+  return value == nullptr || std::strcmp(value, "0") != 0;
+}
+
+std::atomic<bool>& EnabledFlag() {
+  static std::atomic<bool> enabled{InitialEnabledFromEnv()};
+  return enabled;
+}
+
+// JSON string escaping for metric names (controlled literals in practice,
+// but exported files must stay valid JSON for any name).
+void AppendEscaped(std::string* out, std::string_view s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendDouble(std::string* out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  *out += buf;
+}
+
+}  // namespace
+
+bool Enabled() { return EnabledFlag().load(std::memory_order_relaxed); }
+
+void SetEnabled(bool enabled) {
+  EnabledFlag().store(enabled, std::memory_order_relaxed);
+}
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void TimerStat::Record(uint64_t ns) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  total_ns_.fetch_add(ns, std::memory_order_relaxed);
+  uint64_t seen = min_ns_.load(std::memory_order_relaxed);
+  while (ns < seen &&
+         !min_ns_.compare_exchange_weak(seen, ns, std::memory_order_relaxed)) {
+  }
+  seen = max_ns_.load(std::memory_order_relaxed);
+  while (ns > seen &&
+         !max_ns_.compare_exchange_weak(seen, ns, std::memory_order_relaxed)) {
+  }
+}
+
+TimerSnapshot TimerStat::Snapshot() const {
+  TimerSnapshot snap;
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.total_ns = total_ns_.load(std::memory_order_relaxed);
+  const uint64_t min = min_ns_.load(std::memory_order_relaxed);
+  snap.min_ns = min == UINT64_MAX ? 0 : min;
+  snap.max_ns = max_ns_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+void TimerStat::Reset() {
+  count_.store(0, std::memory_order_relaxed);
+  total_ns_.store(0, std::memory_order_relaxed);
+  min_ns_.store(UINT64_MAX, std::memory_order_relaxed);
+  max_ns_.store(0, std::memory_order_relaxed);
+}
+
+Registry& Registry::Get() {
+  static Registry* registry = new Registry();  // leaked: outlives all users
+  return *registry;
+}
+
+Counter* Registry::GetCounter(std::string_view name) {
+  {
+    std::shared_lock lock(mutex_);
+    const auto it = counters_.find(std::string(name));
+    if (it != counters_.end()) return it->second.get();
+  }
+  std::unique_lock lock(mutex_);
+  auto& slot = counters_[std::string(name)];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+TimerStat* Registry::GetTimer(std::string_view name) {
+  {
+    std::shared_lock lock(mutex_);
+    const auto it = timers_.find(std::string(name));
+    if (it != timers_.end()) return it->second.get();
+  }
+  std::unique_lock lock(mutex_);
+  auto& slot = timers_[std::string(name)];
+  if (slot == nullptr) slot = std::make_unique<TimerStat>();
+  return slot.get();
+}
+
+Counter* Registry::FindCounter(std::string_view name) const {
+  std::shared_lock lock(mutex_);
+  const auto it = counters_.find(std::string(name));
+  return it == counters_.end() ? nullptr : it->second.get();
+}
+
+TimerStat* Registry::FindTimer(std::string_view name) const {
+  std::shared_lock lock(mutex_);
+  const auto it = timers_.find(std::string(name));
+  return it == timers_.end() ? nullptr : it->second.get();
+}
+
+size_t Registry::NumCounters() const {
+  std::shared_lock lock(mutex_);
+  return counters_.size();
+}
+
+size_t Registry::NumTimers() const {
+  std::shared_lock lock(mutex_);
+  return timers_.size();
+}
+
+std::vector<std::pair<std::string, uint64_t>> Registry::CounterEntries() const {
+  std::vector<std::pair<std::string, uint64_t>> out;
+  {
+    std::shared_lock lock(mutex_);
+    out.reserve(counters_.size());
+    for (const auto& [name, counter] : counters_) {
+      out.emplace_back(name, counter->Get());
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::pair<std::string, TimerSnapshot>> Registry::TimerEntries()
+    const {
+  std::vector<std::pair<std::string, TimerSnapshot>> out;
+  {
+    std::shared_lock lock(mutex_);
+    out.reserve(timers_.size());
+    for (const auto& [name, timer] : timers_) {
+      out.emplace_back(name, timer->Snapshot());
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+void Registry::ResetValues() {
+  std::shared_lock lock(mutex_);  // entries untouched; values are atomic
+  for (const auto& [name, counter] : counters_) counter->Reset();
+  for (const auto& [name, timer] : timers_) timer->Reset();
+}
+
+ScopedSpan::ScopedSpan(const char* name) : name_(name) {
+  if (!Enabled()) return;
+  timer_ = Registry::Get().GetTimer(name_);
+  tracing_ = TraceEnabled();
+  start_ns_ = NowNs();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (timer_ == nullptr) return;
+  const uint64_t end_ns = NowNs();
+  const uint64_t dur = end_ns > start_ns_ ? end_ns - start_ns_ : 0;
+  timer_->Record(dur);
+  if (tracing_) RecordTraceEvent(name_, start_ns_, dur);
+}
+
+MemoryStats ReadMemoryStats() {
+  MemoryStats stats;
+#ifdef __linux__
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return stats;
+  char line[256];
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    unsigned long long kb = 0;
+    if (std::sscanf(line, "VmRSS: %llu kB", &kb) == 1) {
+      stats.rss_bytes = kb * 1024;
+    } else if (std::sscanf(line, "VmHWM: %llu kB", &kb) == 1) {
+      stats.high_water_bytes = kb * 1024;
+    }
+  }
+  std::fclose(f);
+#endif
+  return stats;
+}
+
+std::string MetricsJson(double total_wall_seconds) {
+  const Registry& registry = Registry::Get();
+  std::string out;
+  out += "{\n  \"schema\": \"soi-metrics-v1\",\n";
+  if (total_wall_seconds > 0.0) {
+    out += "  \"total_wall_seconds\": ";
+    AppendDouble(&out, total_wall_seconds);
+    out += ",\n";
+  }
+  const MemoryStats mem = ReadMemoryStats();
+  out += "  \"memory\": {\"rss_bytes\": " + std::to_string(mem.rss_bytes) +
+         ", \"high_water_bytes\": " + std::to_string(mem.high_water_bytes) +
+         "},\n";
+
+  out += "  \"timers\": {";
+  const auto timers = registry.TimerEntries();
+  for (size_t i = 0; i < timers.size(); ++i) {
+    const auto& [name, snap] = timers[i];
+    out += i == 0 ? "\n    " : ",\n    ";
+    AppendEscaped(&out, name);
+    out += ": {\"count\": " + std::to_string(snap.count) +
+           ", \"total_seconds\": ";
+    AppendDouble(&out, snap.total_seconds());
+    out += ", \"min_ns\": " + std::to_string(snap.min_ns) +
+           ", \"max_ns\": " + std::to_string(snap.max_ns) + "}";
+  }
+  out += timers.empty() ? "},\n" : "\n  },\n";
+
+  out += "  \"counters\": {";
+  const auto counters = registry.CounterEntries();
+  for (size_t i = 0; i < counters.size(); ++i) {
+    out += i == 0 ? "\n    " : ",\n    ";
+    AppendEscaped(&out, counters[i].first);
+    out += ": " + std::to_string(counters[i].second);
+  }
+  out += counters.empty() ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+Status WriteMetricsJson(const std::string& path, double total_wall_seconds) {
+  const std::string json = MetricsJson(total_wall_seconds);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError("cannot open metrics file '" + path + "'");
+  }
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool close_ok = std::fclose(f) == 0;
+  if (written != json.size() || !close_ok) {
+    return Status::IOError("short write to metrics file '" + path + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace soi::obs

@@ -1,0 +1,173 @@
+#ifndef SOI_OBS_METRICS_H_
+#define SOI_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace soi::obs {
+
+/// Low-overhead process-wide metrics: atomic named counters and scoped
+/// wall-clock timers aggregated per phase, collected in a thread-safe
+/// global registry.
+///
+/// Contract with the deterministic runtime (src/runtime/): instrumentation
+/// only reads clocks and bumps atomics — it never draws randomness, never
+/// reorders work, and never branches on measured values — so algorithmic
+/// output is byte-identical with metrics enabled, disabled, and at every
+/// thread count.
+///
+/// Cost model:
+///   - disabled (SOI_OBS=0 / --no-metrics / SetEnabled(false)): every
+///     instrumentation site collapses to a single relaxed atomic load and a
+///     predictable branch; nothing is ever registered (zero registry growth).
+///   - enabled: a counter bump is one registry lookup (shared lock) plus one
+///     relaxed fetch_add; a span is two clock reads plus one lookup.
+/// Sites live on phase granularity (per world, per node, per round) — never
+/// inside per-edge inner loops.
+
+/// Master switch. Initialized once from the environment (`SOI_OBS=0`
+/// disables; anything else, including unset, enables) and adjustable at
+/// runtime (e.g. from --no-metrics).
+bool Enabled();
+void SetEnabled(bool enabled);
+
+/// Monotonic clock in nanoseconds (steady_clock).
+uint64_t NowNs();
+
+/// A named monotonic counter. Thread-safe; relaxed ordering is sufficient
+/// because counters are only read after parallel regions complete.
+class Counter {
+ public:
+  void Add(uint64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  uint64_t Get() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+struct TimerSnapshot {
+  uint64_t count = 0;
+  uint64_t total_ns = 0;
+  uint64_t min_ns = 0;
+  uint64_t max_ns = 0;
+
+  double total_seconds() const { return static_cast<double>(total_ns) * 1e-9; }
+  double mean_ns() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(total_ns) / static_cast<double>(count);
+  }
+};
+
+/// Aggregated durations of one named phase: count/total/min/max over every
+/// scoped timer that reported into it. Thread-safe via atomics (min/max use
+/// CAS loops; contention is negligible at phase granularity).
+class TimerStat {
+ public:
+  void Record(uint64_t ns);
+  TimerSnapshot Snapshot() const;
+  void Reset();
+
+ private:
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> total_ns_{0};
+  std::atomic<uint64_t> min_ns_{UINT64_MAX};
+  std::atomic<uint64_t> max_ns_{0};
+};
+
+/// The process-wide name -> instrument table. Lookup takes a shared lock;
+/// first use of a name takes an exclusive lock once. Returned pointers are
+/// stable for the process lifetime (entries are never removed, only their
+/// values reset), so callers may cache them.
+class Registry {
+ public:
+  static Registry& Get();
+
+  /// Finds or creates. Never returns nullptr.
+  Counter* GetCounter(std::string_view name);
+  TimerStat* GetTimer(std::string_view name);
+
+  /// Finds without creating; nullptr when the name was never registered.
+  Counter* FindCounter(std::string_view name) const;
+  TimerStat* FindTimer(std::string_view name) const;
+
+  size_t NumCounters() const;
+  size_t NumTimers() const;
+
+  /// Name-sorted snapshots (stable iteration for JSON export and tests).
+  std::vector<std::pair<std::string, uint64_t>> CounterEntries() const;
+  std::vector<std::pair<std::string, TimerSnapshot>> TimerEntries() const;
+
+  /// Zeroes every counter and timer but keeps the entries (cached pointers
+  /// stay valid). Test/bench isolation helper.
+  void ResetValues();
+
+ private:
+  Registry() = default;
+
+  mutable std::shared_mutex mutex_;
+  std::unordered_map<std::string, std::unique_ptr<Counter>> counters_;
+  std::unordered_map<std::string, std::unique_ptr<TimerStat>> timers_;
+};
+
+/// RAII phase probe: on destruction reports the elapsed wall time into the
+/// named TimerStat and, when tracing is on (see obs/trace.h), records a
+/// complete-event span for chrome://tracing. Constructed disabled when the
+/// master switch is off. `name` must outlive the span (string literals).
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_;
+  TimerStat* timer_ = nullptr;  // nullptr = span disabled at construction
+  bool tracing_ = false;
+  uint64_t start_ns_ = 0;
+};
+
+/// Resident-set probe from /proc/self/status (zeroes on platforms without
+/// procfs). high_water_bytes is VmHWM: the peak RSS since process start.
+struct MemoryStats {
+  uint64_t rss_bytes = 0;
+  uint64_t high_water_bytes = 0;
+};
+MemoryStats ReadMemoryStats();
+
+/// Serializes the registry (+ memory probe) as JSON. Schema
+/// ("soi-metrics-v1") is documented in README.md §Observability.
+/// `total_wall_seconds` is the caller-measured wall time the timers should
+/// be attributed against (<= 0 omits the coverage denominator).
+std::string MetricsJson(double total_wall_seconds);
+Status WriteMetricsJson(const std::string& path, double total_wall_seconds);
+
+#define SOI_OBS_CONCAT_IMPL_(x, y) x##y
+#define SOI_OBS_CONCAT_(x, y) SOI_OBS_CONCAT_IMPL_(x, y)
+
+/// Declares a scoped phase span for the rest of the enclosing block.
+#define SOI_OBS_SPAN(name) \
+  ::soi::obs::ScopedSpan SOI_OBS_CONCAT_(soi_obs_span_, __LINE__)(name)
+
+/// Bumps a named counter by `delta` (no-op when metrics are disabled).
+#define SOI_OBS_COUNTER_ADD(name, delta)                         \
+  do {                                                           \
+    if (::soi::obs::Enabled()) {                                 \
+      ::soi::obs::Registry::Get().GetCounter(name)->Add(delta);  \
+    }                                                            \
+  } while (false)
+
+}  // namespace soi::obs
+
+#endif  // SOI_OBS_METRICS_H_

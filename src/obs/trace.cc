@@ -1,0 +1,148 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace soi::obs {
+
+namespace {
+
+struct TraceEvent {
+  const char* name;
+  uint64_t start_ns;
+  uint64_t dur_ns;
+  uint32_t tid;
+};
+
+struct TraceBuffer {
+  std::mutex mutex;
+  std::vector<TraceEvent> events;
+  size_t capacity = size_t{1} << 20;
+  size_t dropped = 0;
+  std::atomic<uint32_t> next_tid{0};
+};
+
+TraceBuffer& Buffer() {
+  static TraceBuffer* buffer = new TraceBuffer();  // leaked: outlives users
+  return *buffer;
+}
+
+std::atomic<bool>& TraceFlag() {
+  static std::atomic<bool> enabled{false};
+  return enabled;
+}
+
+// Small stable per-thread track id (thread::id hashes make unreadable
+// traces). Assigned on a thread's first recorded event.
+uint32_t ThisThreadTid() {
+  thread_local uint32_t tid = Buffer().next_tid.fetch_add(1) + 1;
+  return tid;
+}
+
+void AppendEscapedName(std::string* out, const char* name) {
+  out->push_back('"');
+  for (const char* p = name; *p != '\0'; ++p) {
+    if (*p == '"' || *p == '\\') out->push_back('\\');
+    out->push_back(*p);
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+bool TraceEnabled() { return TraceFlag().load(std::memory_order_relaxed); }
+
+void SetTraceEnabled(bool enabled) {
+  TraceFlag().store(enabled, std::memory_order_relaxed);
+}
+
+void SetTraceCapacity(size_t max_events) {
+  TraceBuffer& buffer = Buffer();
+  std::lock_guard lock(buffer.mutex);
+  buffer.capacity = max_events;
+  buffer.events.clear();
+  buffer.dropped = 0;
+}
+
+void RecordTraceEvent(const char* name, uint64_t start_ns, uint64_t dur_ns) {
+  const uint32_t tid = ThisThreadTid();
+  TraceBuffer& buffer = Buffer();
+  std::lock_guard lock(buffer.mutex);
+  if (buffer.events.size() >= buffer.capacity) {
+    ++buffer.dropped;
+    return;
+  }
+  buffer.events.push_back({name, start_ns, dur_ns, tid});
+}
+
+size_t NumTraceEvents() {
+  TraceBuffer& buffer = Buffer();
+  std::lock_guard lock(buffer.mutex);
+  return buffer.events.size();
+}
+
+size_t NumDroppedTraceEvents() {
+  TraceBuffer& buffer = Buffer();
+  std::lock_guard lock(buffer.mutex);
+  return buffer.dropped;
+}
+
+void ClearTrace() {
+  TraceBuffer& buffer = Buffer();
+  std::lock_guard lock(buffer.mutex);
+  buffer.events.clear();
+  buffer.dropped = 0;
+}
+
+std::string ChromeTraceJson() {
+  TraceBuffer& buffer = Buffer();
+  std::lock_guard lock(buffer.mutex);
+
+  uint64_t base_ns = UINT64_MAX;
+  for (const TraceEvent& e : buffer.events) {
+    if (e.start_ns < base_ns) base_ns = e.start_ns;
+  }
+  if (buffer.events.empty()) base_ns = 0;
+
+  std::string out;
+  out.reserve(buffer.events.size() * 96 + 128);
+  out += "{\"traceEvents\": [\n";
+  char line[256];
+  for (size_t i = 0; i < buffer.events.size(); ++i) {
+    const TraceEvent& e = buffer.events[i];
+    out += "  {\"name\": ";
+    AppendEscapedName(&out, e.name);
+    // Chrome expects microsecond doubles; keep three fractional digits so
+    // sub-microsecond phases stay distinguishable.
+    std::snprintf(line, sizeof(line),
+                  ", \"cat\": \"soi\", \"ph\": \"X\", \"ts\": %.3f, "
+                  "\"dur\": %.3f, \"pid\": 1, \"tid\": %u}%s\n",
+                  static_cast<double>(e.start_ns - base_ns) / 1e3,
+                  static_cast<double>(e.dur_ns) / 1e3, e.tid,
+                  i + 1 == buffer.events.size() ? "" : ",");
+    out += line;
+  }
+  out += "], \"displayTimeUnit\": \"ms\", \"otherData\": {\"dropped_events\": " +
+         std::to_string(buffer.dropped) + "}}\n";
+  return out;
+}
+
+Status WriteChromeTrace(const std::string& path) {
+  const std::string json = ChromeTraceJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError("cannot open trace file '" + path + "'");
+  }
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool close_ok = std::fclose(f) == 0;
+  if (written != json.size() || !close_ok) {
+    return Status::IOError("short write to trace file '" + path + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace soi::obs

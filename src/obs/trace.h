@@ -1,0 +1,46 @@
+#ifndef SOI_OBS_TRACE_H_
+#define SOI_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace soi::obs {
+
+/// Span capture for chrome://tracing (or https://ui.perfetto.dev): complete
+/// events ("ph":"X") with microsecond timestamps, one track per recording
+/// thread. Tracing is opt-in on top of the metrics master switch — spans
+/// aggregate into TimerStats whenever metrics are enabled, and additionally
+/// record trace events only while tracing is on (soi_cli --trace-out,
+/// bench SOI_TRACE_OUT).
+///
+/// Events go into a bounded global buffer (drop-new past the cap, with a
+/// dropped-event count in the export) guarded by a mutex: spans are
+/// phase-granular, so one short critical section per span end is cheap, and
+/// it keeps capture trivially race-free under the PR-1 thread pool.
+bool TraceEnabled();
+void SetTraceEnabled(bool enabled);
+
+/// Maximum retained events (default 1 << 20). Setting a new cap clears the
+/// buffer. Not thread-safe with concurrent recording.
+void SetTraceCapacity(size_t max_events);
+
+/// Records one complete event; called by ScopedSpan, callable directly for
+/// phases that are not scope-shaped. `name` must be a string literal (the
+/// buffer stores the pointer).
+void RecordTraceEvent(const char* name, uint64_t start_ns, uint64_t dur_ns);
+
+size_t NumTraceEvents();
+size_t NumDroppedTraceEvents();
+void ClearTrace();
+
+/// Serializes the captured events as a Chrome Trace Event JSON object
+/// ({"traceEvents": [...], "displayTimeUnit": "ms"}). Timestamps are
+/// rebased to the first captured event.
+std::string ChromeTraceJson();
+Status WriteChromeTrace(const std::string& path);
+
+}  // namespace soi::obs
+
+#endif  // SOI_OBS_TRACE_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "cascade/world.h"
+#include "obs/metrics.h"
 #include "util/bitvector.h"
 
 namespace soi {
@@ -30,6 +31,8 @@ Result<double> EstimateReliability(const ProbGraph& graph, NodeId source,
   if (num_samples == 0) {
     return Status::InvalidArgument("num_samples must be >= 1");
   }
+  SOI_OBS_SPAN("reliability/estimate");
+  SOI_OBS_COUNTER_ADD("reliability/samples", num_samples);
   uint32_t hits = 0;
   for (uint32_t i = 0; i < num_samples; ++i) {
     // BFS with on-the-fly coin flips and early exit at the target: cheaper
@@ -60,6 +63,7 @@ Result<double> EstimateReliability(const ProbGraph& graph, NodeId source,
 Result<std::vector<double>> ReachabilityProbabilities(
     const CascadeIndex& index, std::span<const NodeId> seeds) {
   SOI_RETURN_IF_ERROR(CheckSeeds(index.num_nodes(), seeds));
+  SOI_OBS_SPAN("reliability/reachability_probabilities");
   std::vector<uint32_t> counts(index.num_nodes(), 0);
   CascadeIndex::Workspace ws;
   for (uint32_t i = 0; i < index.num_worlds(); ++i) {
@@ -101,6 +105,8 @@ Result<double> EstimateDistanceConstrainedReliability(const ProbGraph& graph,
   if (num_samples == 0) {
     return Status::InvalidArgument("num_samples must be >= 1");
   }
+  SOI_OBS_SPAN("reliability/estimate_distance_constrained");
+  SOI_OBS_COUNTER_ADD("reliability/samples", num_samples);
   uint32_t hits = 0;
   std::vector<NodeId> frontier, next;
   for (uint32_t i = 0; i < num_samples; ++i) {

@@ -2,6 +2,9 @@
 
 #include <cerrno>
 #include <cstdlib>
+#include <cstring>
+#include <sys/stat.h>
+#include <unistd.h>
 
 namespace soi {
 
@@ -91,6 +94,41 @@ bool FlagParser::GetBool(const std::string& name, bool fallback) const {
   const auto it = flags_.find(name);
   if (it == flags_.end()) return fallback;
   return it->second != "false" && it->second != "0";
+}
+
+Status ValidateWritableOutPath(const std::string& path) {
+  if (path.empty()) {
+    return Status::InvalidArgument("output path is empty");
+  }
+  struct stat st;
+  if (::stat(path.c_str(), &st) == 0) {
+    if (S_ISDIR(st.st_mode)) {
+      return Status::InvalidArgument("output path '" + path +
+                                     "' is a directory");
+    }
+    if (::access(path.c_str(), W_OK) != 0) {
+      return Status::IOError("output path '" + path +
+                             "' is not writable: " + std::strerror(errno));
+    }
+    return Status::OK();
+  }
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : (slash == 0 ? "/" : path.substr(0, slash));
+  if (::stat(dir.c_str(), &st) != 0) {
+    return Status::IOError("output directory '" + dir +
+                           "' does not exist (for '" + path + "')");
+  }
+  if (!S_ISDIR(st.st_mode)) {
+    return Status::InvalidArgument("output path '" + path +
+                                   "': '" + dir + "' is not a directory");
+  }
+  if (::access(dir.c_str(), W_OK) != 0) {
+    return Status::IOError("output directory '" + dir +
+                           "' is not writable: " + std::strerror(errno));
+  }
+  return Status::OK();
 }
 
 std::vector<std::string> FlagParser::UnusedFlags() const {

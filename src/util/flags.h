@@ -48,6 +48,16 @@ class FlagParser {
   mutable std::map<std::string, bool> queried_;
 };
 
+/// Validates an output-file path *before* any expensive work runs: the path
+/// must be non-empty, must not name a directory, and its parent directory
+/// must exist and be writable. Does not create, open, or truncate anything —
+/// existing file contents are untouched by a failed validation.
+///
+/// Shared by soi_cli (--out/--metrics-out/--trace-out) and the bench
+/// harnesses (BENCH_* artifacts and metrics sidecars) so a typo'd path fails
+/// fast with a clear error instead of silently losing the run's output.
+Status ValidateWritableOutPath(const std::string& path);
+
 }  // namespace soi
 
 #endif  // SOI_UTIL_FLAGS_H_

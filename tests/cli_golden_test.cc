@@ -1,0 +1,190 @@
+// Golden-file integration tests for soi_cli: byte-compares the stdout and
+// artifacts of `index`, `typical`, and `infmax --method tc` at a fixed seed
+// against checked-in goldens (tests/golden/), and asserts the determinism
+// contract the runtime promises — identical output at --threads 1 and
+// --threads 8, with metrics enabled and disabled.
+//
+// The binary under test and the fixture directory come in as compile
+// definitions (SOI_CLI_PATH, SOI_GOLDEN_DIR) from tests/CMakeLists.txt.
+//
+// Regenerating goldens after an intended algorithmic change (from
+// tests/golden/):
+//   soi_cli gen --config Twitter-S --scale 0.08 --seed 5 --out graph.txt
+//   soi_cli index   --graph graph.txt --worlds 64 --seed 1 --threads 1 \
+//       --out index.soiidx.golden > index.stdout.raw
+//   sed 's/[0-9]*\.[0-9][0-9]s build/<TIME>s build/' index.stdout.raw \
+//       > index.stdout.golden && rm index.stdout.raw
+//   soi_cli typical --graph graph.txt --worlds 64 --seed 1 --threads 1 \
+//       > typical.stdout.golden
+//   soi_cli infmax  --graph graph.txt --method tc --k 8 --worlds 64 \
+//       --eval-worlds 100 --seed 1 --threads 1 > infmax_tc.stdout.golden
+
+#include <cstdio>
+#include <fstream>
+#include <regex>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace soi {
+namespace {
+
+std::string GoldenPath(const std::string& name) {
+  return std::string(SOI_GOLDEN_DIR) + "/" + name;
+}
+
+std::string ReadFileOrDie(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+struct CliRun {
+  int exit_code = -1;
+  std::string stdout_text;
+};
+
+// Runs soi_cli with `args`, capturing stdout (stderr is dropped: it carries
+// only the "metrics: ..." notices and warnings, which are not part of the
+// golden contract).
+CliRun RunCli(const std::string& args) {
+  const std::string command =
+      std::string("'") + SOI_CLI_PATH + "' " + args + " 2>/dev/null";
+  CliRun run;
+  std::FILE* pipe = popen(command.c_str(), "r");
+  if (pipe == nullptr) return run;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), pipe)) > 0) {
+    run.stdout_text.append(buf, n);
+  }
+  const int status = pclose(pipe);
+  run.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return run;
+}
+
+// The one nondeterministic token in `index` stdout is the build wall time.
+std::string NormalizeIndexStdout(const std::string& text) {
+  static const std::regex kBuildTime(R"([0-9]+\.[0-9][0-9]s build)");
+  return std::regex_replace(text, kBuildTime, "<TIME>s build");
+}
+
+// Shared flags pinning the golden configuration (seed, worlds, graph).
+std::string GraphFlags() {
+  return "--graph '" + GoldenPath("graph.txt") + "' --worlds 64 --seed 1";
+}
+
+TEST(CliGoldenTest, IndexStdoutMatchesGolden) {
+  const std::string out = testing::TempDir() + "cli_golden_index.soiidx";
+  const CliRun run =
+      RunCli("index " + GraphFlags() + " --threads 1 --out '" + out + "'");
+  ASSERT_EQ(run.exit_code, 0) << run.stdout_text;
+  // The golden stores the tempdir-independent part: everything after the
+  // "wrote <path>:" prefix, with the build time normalized.
+  const std::string golden = ReadFileOrDie(GoldenPath("index.stdout.golden"));
+  const std::string normalized = NormalizeIndexStdout(run.stdout_text);
+  const size_t got_sep = normalized.find(": ");
+  const size_t want_sep = golden.find(": ");
+  ASSERT_NE(got_sep, std::string::npos);
+  ASSERT_NE(want_sep, std::string::npos);
+  EXPECT_EQ(normalized.substr(got_sep), golden.substr(want_sep));
+  std::remove(out.c_str());
+}
+
+TEST(CliGoldenTest, IndexArtifactMatchesGoldenAtOneAndEightThreads) {
+  const std::string golden = ReadFileOrDie(GoldenPath("index.soiidx.golden"));
+  for (const char* threads : {"1", "8"}) {
+    const std::string out = testing::TempDir() + "cli_golden_index_t" +
+                            threads + ".soiidx";
+    const CliRun run = RunCli("index " + GraphFlags() + " --threads " +
+                              threads + " --out '" + out + "'");
+    ASSERT_EQ(run.exit_code, 0) << run.stdout_text;
+    EXPECT_EQ(ReadFileOrDie(out), golden)
+        << "index artifact diverged from golden at --threads " << threads;
+    std::remove(out.c_str());
+  }
+}
+
+TEST(CliGoldenTest, IndexArtifactIdenticalWithMetricsDisabled) {
+  const std::string golden = ReadFileOrDie(GoldenPath("index.soiidx.golden"));
+  const std::string out = testing::TempDir() + "cli_golden_index_nm.soiidx";
+  const CliRun run = RunCli("index " + GraphFlags() +
+                            " --threads 1 --no-metrics --out '" + out + "'");
+  ASSERT_EQ(run.exit_code, 0) << run.stdout_text;
+  EXPECT_EQ(ReadFileOrDie(out), golden)
+      << "--no-metrics changed the index artifact";
+  std::remove(out.c_str());
+}
+
+TEST(CliGoldenTest, TypicalStdoutMatchesGoldenAcrossThreadsAndMetrics) {
+  const std::string golden =
+      ReadFileOrDie(GoldenPath("typical.stdout.golden"));
+  for (const char* extra : {"--threads 1", "--threads 8",
+                            "--threads 1 --no-metrics"}) {
+    const CliRun run = RunCli("typical " + GraphFlags() + " " + extra);
+    ASSERT_EQ(run.exit_code, 0);
+    EXPECT_EQ(run.stdout_text, golden) << "typical diverged with " << extra;
+  }
+}
+
+TEST(CliGoldenTest, InfMaxTcStdoutMatchesGoldenAcrossThreads) {
+  const std::string golden =
+      ReadFileOrDie(GoldenPath("infmax_tc.stdout.golden"));
+  for (const char* threads : {"1", "8"}) {
+    const CliRun run =
+        RunCli("infmax " + GraphFlags() +
+               " --method tc --k 8 --eval-worlds 100 --threads " + threads);
+    ASSERT_EQ(run.exit_code, 0);
+    EXPECT_EQ(run.stdout_text, golden)
+        << "infmax tc diverged at --threads " << threads;
+  }
+}
+
+// Pulls "key": <number> out of the metrics JSON (flat, known-schema file;
+// a full parser is not needed to check the coverage criterion).
+double JsonNumberAfter(const std::string& json, const std::string& key,
+                       size_t from = 0) {
+  const size_t at = json.find("\"" + key + "\"", from);
+  if (at == std::string::npos) return -1.0;
+  const size_t colon = json.find(':', at);
+  return std::atof(json.c_str() + colon + 1);
+}
+
+TEST(CliGoldenTest, MetricsSidecarIsValidAndCoversRuntime) {
+  const std::string out = testing::TempDir() + "cli_golden_cov.soiidx";
+  const std::string metrics = testing::TempDir() + "cli_golden_cov.json";
+  // More worlds than the golden run so real work dominates process startup
+  // and the >= 95% phase-coverage contract is comfortably testable.
+  const CliRun run = RunCli(
+      "index --graph '" + GoldenPath("graph.txt") +
+      "' --worlds 512 --seed 1 --threads 1 --out '" + out +
+      "' --metrics-out '" + metrics + "'");
+  ASSERT_EQ(run.exit_code, 0) << run.stdout_text;
+
+  const std::string json = ReadFileOrDie(metrics);
+  EXPECT_NE(json.find("\"schema\": \"soi-metrics-v1\""), std::string::npos);
+  const double total = JsonNumberAfter(json, "total_wall_seconds");
+  ASSERT_GT(total, 0.0);
+
+  // cli/* spans partition the command dispatch; together they must account
+  // for >= 95% of the process wall time past flag parsing.
+  double covered = 0.0;
+  for (const char* phase : {"cli/load_graph", "cli/build_index",
+                            "cli/save_index"}) {
+    const size_t at = json.find(std::string("\"") + phase + "\"");
+    ASSERT_NE(at, std::string::npos) << phase << " missing from metrics";
+    covered += JsonNumberAfter(json, "total_seconds", at);
+  }
+  EXPECT_GE(covered / total, 0.95)
+      << "cli/* spans cover only " << covered << "s of " << total << "s";
+
+  EXPECT_NE(json.find("\"index/worlds_built\": 512"), std::string::npos);
+  std::remove(out.c_str());
+  std::remove(metrics.c_str());
+}
+
+}  // namespace
+}  // namespace soi

@@ -1,3 +1,7 @@
+#include <cstdio>
+#include <fstream>
+#include <string>
+
 #include <gtest/gtest.h>
 
 #include "util/flags.h"
@@ -92,6 +96,63 @@ TEST(FlagParserTest, ArgcArgvEntryPoint) {
   ASSERT_TRUE(parser.ok());
   EXPECT_EQ(parser->GetInt("k", 0).value(), 5);
   EXPECT_EQ(parser->positional(), std::vector<std::string>{"pos"});
+}
+
+// Out-path validation shared by soi_cli (--out/--metrics-out/--trace-out)
+// and the bench harnesses (SOI_TRACE_OUT): typos must fail up front, before
+// any expensive work, and validation must not create or truncate anything.
+
+TEST(ValidateWritableOutPathTest, AcceptsFreshFileInWritableDir) {
+  const std::string path = testing::TempDir() + "flags_test_fresh.out";
+  std::remove(path.c_str());
+  EXPECT_TRUE(ValidateWritableOutPath(path).ok());
+  // Validation must not have created the file.
+  std::ifstream probe(path);
+  EXPECT_FALSE(probe.good());
+}
+
+TEST(ValidateWritableOutPathTest, AcceptsExistingFileWithoutTruncating) {
+  const std::string path = testing::TempDir() + "flags_test_existing.out";
+  {
+    std::ofstream out(path);
+    out << "precious";
+  }
+  EXPECT_TRUE(ValidateWritableOutPath(path).ok());
+  std::ifstream in(path);
+  std::string content;
+  in >> content;
+  EXPECT_EQ(content, "precious");
+  std::remove(path.c_str());
+}
+
+TEST(ValidateWritableOutPathTest, AcceptsBareFilenameInCwd) {
+  EXPECT_TRUE(ValidateWritableOutPath("flags_test_cwd_relative.out").ok());
+}
+
+TEST(ValidateWritableOutPathTest, RejectsEmptyPath) {
+  EXPECT_FALSE(ValidateWritableOutPath("").ok());
+}
+
+TEST(ValidateWritableOutPathTest, RejectsNonexistentDirectory) {
+  const Status status =
+      ValidateWritableOutPath("/nonexistent-soi-dir/output.json");
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("/nonexistent-soi-dir"),
+            std::string::npos);
+}
+
+TEST(ValidateWritableOutPathTest, RejectsDirectoryAsTarget) {
+  EXPECT_FALSE(ValidateWritableOutPath(testing::TempDir()).ok());
+}
+
+TEST(ValidateWritableOutPathTest, RejectsFileUsedAsDirectory) {
+  const std::string file = testing::TempDir() + "flags_test_not_a_dir";
+  {
+    std::ofstream out(file);
+    out << "x";
+  }
+  EXPECT_FALSE(ValidateWritableOutPath(file + "/child.json").ok());
+  std::remove(file.c_str());
 }
 
 }  // namespace

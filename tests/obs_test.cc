@@ -1,0 +1,269 @@
+// Unit tests for the observability layer (src/obs/): counters, timers,
+// scoped spans, trace capture, disabled-mode behavior, and thread safety
+// under the PR-1 parallel runtime (this suite runs in the TSan CI job).
+//
+// The registry is process-global, so every test uses names under its own
+// "obs_test/<Case>/" prefix and restores the enabled/tracing switches it
+// flips.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "runtime/parallel_for.h"
+
+namespace soi::obs {
+namespace {
+
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    was_enabled_ = Enabled();
+    SetEnabled(true);
+    SetTraceEnabled(false);
+  }
+  void TearDown() override {
+    SetTraceEnabled(false);
+    SetEnabled(was_enabled_);
+  }
+
+ private:
+  bool was_enabled_ = true;
+};
+
+TEST_F(ObsTest, CounterAddAndReset) {
+  Counter* c = Registry::Get().GetCounter("obs_test/CounterAddAndReset/c");
+  c->Reset();
+  c->Add(3);
+  c->Add(39);
+  EXPECT_EQ(c->Get(), 42u);
+  c->Reset();
+  EXPECT_EQ(c->Get(), 0u);
+}
+
+TEST_F(ObsTest, RegistryReturnsStablePointers) {
+  Counter* a = Registry::Get().GetCounter("obs_test/Stable/c");
+  Counter* b = Registry::Get().GetCounter("obs_test/Stable/c");
+  EXPECT_EQ(a, b);
+  TimerStat* t1 = Registry::Get().GetTimer("obs_test/Stable/t");
+  TimerStat* t2 = Registry::Get().GetTimer("obs_test/Stable/t");
+  EXPECT_EQ(t1, t2);
+  // Counters and timers live in separate namespaces.
+  EXPECT_EQ(Registry::Get().FindCounter("obs_test/Stable/t"), nullptr);
+}
+
+TEST_F(ObsTest, TimerAggregatesCountTotalMinMax) {
+  TimerStat* t = Registry::Get().GetTimer("obs_test/TimerAgg/t");
+  t->Reset();
+  t->Record(300);
+  t->Record(100);
+  t->Record(200);
+  const TimerSnapshot snap = t->Snapshot();
+  EXPECT_EQ(snap.count, 3u);
+  EXPECT_EQ(snap.total_ns, 600u);
+  EXPECT_EQ(snap.min_ns, 100u);
+  EXPECT_EQ(snap.max_ns, 300u);
+  EXPECT_DOUBLE_EQ(snap.mean_ns(), 200.0);
+  t->Reset();
+  const TimerSnapshot zero = t->Snapshot();
+  EXPECT_EQ(zero.count, 0u);
+  EXPECT_EQ(zero.min_ns, 0u);  // empty timer reports 0, not UINT64_MAX
+}
+
+TEST_F(ObsTest, ScopedSpanRecordsIntoNamedTimer) {
+  {
+    SOI_OBS_SPAN("obs_test/Span/phase");
+  }
+  TimerStat* t = Registry::Get().FindTimer("obs_test/Span/phase");
+  ASSERT_NE(t, nullptr);
+  EXPECT_GE(t->Snapshot().count, 1u);
+}
+
+TEST_F(ObsTest, DisabledModeZeroRegistryGrowth) {
+  SetEnabled(false);
+  const size_t counters_before = Registry::Get().NumCounters();
+  const size_t timers_before = Registry::Get().NumTimers();
+  for (int i = 0; i < 100; ++i) {
+    SOI_OBS_COUNTER_ADD("obs_test/Disabled/never_created", 1);
+    SOI_OBS_SPAN("obs_test/Disabled/never_created_span");
+  }
+  EXPECT_EQ(Registry::Get().NumCounters(), counters_before);
+  EXPECT_EQ(Registry::Get().NumTimers(), timers_before);
+  EXPECT_EQ(Registry::Get().FindCounter("obs_test/Disabled/never_created"),
+            nullptr);
+  EXPECT_EQ(Registry::Get().FindTimer("obs_test/Disabled/never_created_span"),
+            nullptr);
+}
+
+TEST_F(ObsTest, DisabledModeFreezesExistingInstruments) {
+  Counter* c = Registry::Get().GetCounter("obs_test/Freeze/c");
+  TimerStat* t = Registry::Get().GetTimer("obs_test/Freeze/t");
+  c->Reset();
+  t->Reset();
+  SetEnabled(false);
+  SOI_OBS_COUNTER_ADD("obs_test/Freeze/c", 7);
+  {
+    SOI_OBS_SPAN("obs_test/Freeze/t");
+  }
+  EXPECT_EQ(c->Get(), 0u);
+  EXPECT_EQ(t->Snapshot().count, 0u);
+}
+
+// A span constructed while enabled still reports if metrics get disabled
+// mid-flight (the enabled check happens at construction).
+TEST_F(ObsTest, SpanCapturedAtConstruction) {
+  TimerStat* t = Registry::Get().GetTimer("obs_test/MidFlight/t");
+  t->Reset();
+  {
+    SOI_OBS_SPAN("obs_test/MidFlight/t");
+    SetEnabled(false);
+  }
+  EXPECT_EQ(t->Snapshot().count, 1u);
+}
+
+TEST_F(ObsTest, ConcurrentCounterIncrementsFromParallelFor) {
+  const uint32_t saved_threads = GlobalThreads();
+  SetGlobalThreads(8);
+  Counter* c = Registry::Get().GetCounter("obs_test/Concurrent/c");
+  c->Reset();
+  Registry::Get().GetTimer("obs_test/Concurrent/span")->Reset();
+  constexpr uint64_t kItems = 20000;
+  ParallelFor(0, kItems, /*grain=*/64, [](uint64_t i) {
+    SOI_OBS_SPAN("obs_test/Concurrent/span");
+    SOI_OBS_COUNTER_ADD("obs_test/Concurrent/c", 1);
+    SOI_OBS_COUNTER_ADD("obs_test/Concurrent/c", i % 2);  // 0 or 1
+  });
+  SetGlobalThreads(saved_threads);
+  EXPECT_EQ(c->Get(), kItems + kItems / 2);
+  EXPECT_EQ(
+      Registry::Get().FindTimer("obs_test/Concurrent/span")->Snapshot().count,
+      kItems);
+}
+
+TEST_F(ObsTest, ConcurrentRegistrationOfFreshNames) {
+  const uint32_t saved_threads = GlobalThreads();
+  SetGlobalThreads(8);
+  // Eight distinct names, each registered from whichever worker gets there
+  // first while others hammer lookups of the same name.
+  ParallelFor(0, 800, /*grain=*/1, [](uint64_t i) {
+    const std::string name =
+        "obs_test/ConcurrentReg/c" + std::to_string(i % 8);
+    Registry::Get().GetCounter(name)->Add(1);
+  });
+  SetGlobalThreads(saved_threads);
+  uint64_t total = 0;
+  for (int j = 0; j < 8; ++j) {
+    Counter* c = Registry::Get().FindCounter("obs_test/ConcurrentReg/c" +
+                                             std::to_string(j));
+    ASSERT_NE(c, nullptr);
+    total += c->Get();
+  }
+  EXPECT_EQ(total, 800u);
+}
+
+TEST_F(ObsTest, TraceCaptureAndExport) {
+  ClearTrace();
+  SetTraceEnabled(true);
+  {
+    SOI_OBS_SPAN("obs_test/Trace/outer");
+    SOI_OBS_SPAN("obs_test/Trace/inner");
+  }
+  SetTraceEnabled(false);
+  EXPECT_EQ(NumTraceEvents(), 2u);
+  const std::string json = ChromeTraceJson();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("obs_test/Trace/outer"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  ClearTrace();
+  EXPECT_EQ(NumTraceEvents(), 0u);
+}
+
+TEST_F(ObsTest, TraceRespectsCapacity) {
+  SetTraceCapacity(4);
+  SetTraceEnabled(true);
+  for (int i = 0; i < 10; ++i) {
+    SOI_OBS_SPAN("obs_test/TraceCap/span");
+  }
+  SetTraceEnabled(false);
+  EXPECT_EQ(NumTraceEvents(), 4u);
+  EXPECT_EQ(NumDroppedTraceEvents(), 6u);
+  const std::string json = ChromeTraceJson();
+  EXPECT_NE(json.find("\"dropped_events\": 6"), std::string::npos);
+  SetTraceCapacity(size_t{1} << 20);  // restore default, clears buffer
+}
+
+TEST_F(ObsTest, TraceDisabledRecordsNothing) {
+  ClearTrace();
+  {
+    SOI_OBS_SPAN("obs_test/TraceOff/span");  // metrics on, tracing off
+  }
+  EXPECT_EQ(NumTraceEvents(), 0u);
+  // The timer side still fires.
+  EXPECT_GE(
+      Registry::Get().FindTimer("obs_test/TraceOff/span")->Snapshot().count,
+      1u);
+}
+
+TEST_F(ObsTest, ConcurrentTraceRecordingFromWorkers) {
+  const uint32_t saved_threads = GlobalThreads();
+  SetGlobalThreads(8);
+  ClearTrace();
+  SetTraceEnabled(true);
+  ParallelFor(0, 500, /*grain=*/8, [](uint64_t) {
+    SOI_OBS_SPAN("obs_test/TracePar/span");
+  });
+  SetTraceEnabled(false);
+  SetGlobalThreads(saved_threads);
+  EXPECT_EQ(NumTraceEvents(), 500u);
+  ClearTrace();
+}
+
+TEST_F(ObsTest, MetricsJsonContainsRegisteredInstruments) {
+  Registry::Get().GetCounter("obs_test/Json/counter")->Add(5);
+  {
+    SOI_OBS_SPAN("obs_test/Json/phase");
+  }
+  const std::string json = MetricsJson(/*total_wall_seconds=*/1.5);
+  EXPECT_NE(json.find("\"schema\": \"soi-metrics-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"total_wall_seconds\": 1.5"), std::string::npos);
+  EXPECT_NE(json.find("\"obs_test/Json/counter\""), std::string::npos);
+  EXPECT_NE(json.find("\"obs_test/Json/phase\""), std::string::npos);
+  EXPECT_NE(json.find("\"memory\""), std::string::npos);
+}
+
+TEST_F(ObsTest, MemoryProbeReportsResidentSet) {
+#ifdef __linux__
+  const MemoryStats stats = ReadMemoryStats();
+  EXPECT_GT(stats.rss_bytes, 0u);
+  EXPECT_GE(stats.high_water_bytes, stats.rss_bytes / 2);
+#endif
+}
+
+TEST_F(ObsTest, ResetValuesKeepsEntries) {
+  Counter* c = Registry::Get().GetCounter("obs_test/ResetVals/c");
+  c->Add(9);
+  const size_t counters = Registry::Get().NumCounters();
+  Registry::Get().ResetValues();
+  EXPECT_EQ(Registry::Get().NumCounters(), counters);
+  EXPECT_EQ(c->Get(), 0u);                                  // value cleared
+  EXPECT_EQ(Registry::Get().FindCounter("obs_test/ResetVals/c"), c);
+}
+
+TEST_F(ObsTest, WriteMetricsJsonRejectsBadPath) {
+  EXPECT_FALSE(WriteMetricsJson("/nonexistent-dir/m.json", 1.0).ok());
+  EXPECT_FALSE(WriteChromeTrace("/nonexistent-dir/t.json").ok());
+}
+
+TEST_F(ObsTest, CounterEntriesSortedByName) {
+  Registry::Get().GetCounter("obs_test/Sorted/b");
+  Registry::Get().GetCounter("obs_test/Sorted/a");
+  const auto entries = Registry::Get().CounterEntries();
+  for (size_t i = 1; i < entries.size(); ++i) {
+    EXPECT_LT(entries[i - 1].first, entries[i].first);
+  }
+}
+
+}  // namespace
+}  // namespace soi::obs

@@ -8,16 +8,23 @@
 //                       [--worlds 256] [--local-search] [--eval-samples 500]
 //   soi_cli infmax      --graph g.txt --method std|mc|tc|rr|degree|random
 //                       [--k 50] [--worlds 256] [--eval-worlds 400]
+//   soi_cli typical     --graph g.txt [--worlds 256] [--model ic|lt]
+//                       [--seed 1] [--node 42] [--local-search]
 //   soi_cli stability   --graph g.txt --seeds 1,2,3 [--samples 400]
 //   soi_cli reliability --graph g.txt --source 0 --target 5
 //                       [--samples 20000] [--max-hops 0]
 //
 // Global flags (any command):
-//   --threads N   worker threads for parallel sampling / estimation
-//                 (default 0 = hardware concurrency). Outputs are
-//                 bit-identical for every value of N, including 1: work
-//                 items derive their random streams from their index, not
-//                 from the executing thread (see src/runtime/).
+//   --threads N        worker threads for parallel sampling / estimation
+//                      (default 0 = hardware concurrency). Outputs are
+//                      bit-identical for every value of N, including 1: work
+//                      items derive their random streams from their index,
+//                      not from the executing thread (see src/runtime/).
+//   --metrics-out F    write per-phase timers/counters/memory as JSON
+//                      ("soi-metrics-v1", see README.md §Observability)
+//   --trace-out F      write spans as Chrome trace JSON (chrome://tracing)
+//   --no-metrics       disable all instrumentation (same as SOI_OBS=0);
+//                      algorithmic output is byte-identical either way
 //
 // Graphs are whitespace edge lists: "src dst [prob]" (SNAP files load
 // directly; missing probabilities default to --default-prob).
@@ -39,6 +46,8 @@
 #include "infmax/greedy_std.h"
 #include "infmax/infmax_tc.h"
 #include "infmax/rrset.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "reliability/reliability.h"
 #include "runtime/parallel_for.h"
 #include "util/flags.h"
@@ -55,8 +64,8 @@ int Fail(const Status& status) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: soi_cli <gen|stats|index|sphere|infmax|stability|"
-               "reliability> [flags]\n"
+               "usage: soi_cli <gen|stats|index|sphere|typical|infmax|"
+               "stability|reliability> [flags]\n"
                "see the header of tools/soi_cli.cc for per-command flags\n");
   return 2;
 }
@@ -67,6 +76,7 @@ int Usage() {
   auto lhs = std::move(lhs##_result).value()
 
 Result<ProbGraph> LoadGraph(const FlagParser& flags) {
+  SOI_OBS_SPAN("cli/load_graph");
   SOI_ASSIGN_OR_RETURN(const std::string path, flags.GetString("graph", ""));
   if (path.empty()) return Status::InvalidArgument("--graph is required");
   EdgeListOptions options;
@@ -96,6 +106,7 @@ Result<std::vector<NodeId>> ParseSeedList(const std::string& csv, NodeId n) {
 
 Result<CascadeIndex> BuildIndexFromFlags(const ProbGraph& graph,
                                          const FlagParser& flags) {
+  SOI_OBS_SPAN("cli/build_index");
   CascadeIndexOptions options;
   SOI_ASSIGN_OR_RETURN(const int64_t worlds, flags.GetInt("worlds", 256));
   options.num_worlds = static_cast<uint32_t>(worlds);
@@ -121,6 +132,8 @@ int CmdGen(const FlagParser& flags) {
   options.seed = static_cast<uint64_t>(seed);
   CLI_ASSIGN(out, flags.GetString("out", ""));
   if (out.empty()) return Fail(Status::InvalidArgument("--out required"));
+  const Status out_ok = ValidateWritableOutPath(out);
+  if (!out_ok.ok()) return Fail(out_ok);
   CLI_ASSIGN(dataset, MakeDataset(config, options));
   const Status save = SaveEdgeList(dataset.graph, out);
   if (!save.ok()) return Fail(save);
@@ -142,11 +155,17 @@ int CmdStats(const FlagParser& flags) {
 }
 
 int CmdIndex(const FlagParser& flags) {
-  CLI_ASSIGN(graph, LoadGraph(flags));
   CLI_ASSIGN(out, flags.GetString("out", ""));
   if (out.empty()) return Fail(Status::InvalidArgument("--out required"));
+  const Status out_ok = ValidateWritableOutPath(out);
+  if (!out_ok.ok()) return Fail(out_ok);
+  CLI_ASSIGN(graph, LoadGraph(flags));
   CLI_ASSIGN(index, BuildIndexFromFlags(graph, flags));
-  const Status save = SaveCascadeIndex(index, out);
+  Status save = Status::OK();
+  {
+    SOI_OBS_SPAN("cli/save_index");
+    save = SaveCascadeIndex(index, out);
+  }
   if (!save.ok()) return Fail(save);
   std::printf(
       "wrote %s: %u worlds, avg %.1f components, ~%.1f MiB, %.2fs build\n",
@@ -198,6 +217,43 @@ int CmdSphere(const FlagParser& flags) {
   return 0;
 }
 
+// Typical cascades (Alg. 2) for one node or the whole graph, printed as
+// "node <v>: cost=<rho_s> size=<|C*|>: <members>". Output is deterministic
+// at a fixed seed for every --threads value, which makes this command the
+// CLI-level determinism golden.
+int CmdTypical(const FlagParser& flags) {
+  CLI_ASSIGN(graph, LoadGraph(flags));
+  CLI_ASSIGN(index, BuildIndexFromFlags(graph, flags));
+  TypicalCascadeComputer computer(&index);
+  TypicalCascadeOptions options;
+  options.median.local_search = flags.GetBool("local-search", false);
+  CLI_ASSIGN(node_i64, flags.GetInt("node", -1));
+
+  SOI_OBS_SPAN("cli/compute_typical");
+  std::vector<TypicalCascadeResult> results;
+  NodeId first_node = 0;
+  if (node_i64 >= 0) {
+    if (node_i64 >= graph.num_nodes()) {
+      return Fail(Status::OutOfRange("--node out of range"));
+    }
+    first_node = static_cast<NodeId>(node_i64);
+    CLI_ASSIGN(one, computer.Compute(first_node, options));
+    results.push_back(std::move(one));
+  } else {
+    CLI_ASSIGN(all, computer.ComputeAll(options));
+    results = std::move(all);
+  }
+  for (size_t i = 0; i < results.size(); ++i) {
+    const TypicalCascadeResult& r = results[i];
+    std::printf("node %u: cost=%.4f size=%zu:",
+                static_cast<NodeId>(first_node + i), r.in_sample_cost,
+                r.cascade.size());
+    for (NodeId v : r.cascade) std::printf(" %u", v);
+    std::printf("\n");
+  }
+  return 0;
+}
+
 int CmdInfMax(const FlagParser& flags) {
   CLI_ASSIGN(graph, LoadGraph(flags));
   CLI_ASSIGN(method, flags.GetString("method", "tc"));
@@ -209,51 +265,56 @@ int CmdInfMax(const FlagParser& flags) {
   Rng rng(static_cast<uint64_t>(seed));
 
   std::vector<NodeId> seeds;
-  if (method == "std" || method == "tc") {
-    CLI_ASSIGN(index, BuildIndexFromFlags(graph, flags));
-    if (method == "std") {
-      GreedyStdOptions options;
+  {
+    SOI_OBS_SPAN("cli/select_seeds");
+    if (method == "std" || method == "tc") {
+      CLI_ASSIGN(index, BuildIndexFromFlags(graph, flags));
+      if (method == "std") {
+        GreedyStdOptions options;
+        options.k = k;
+        CLI_ASSIGN(result, InfMaxStd(index, options));
+        seeds = std::move(result.seeds);
+      } else {
+        TypicalCascadeComputer computer(&index);
+        CLI_ASSIGN(all, computer.ComputeAll());
+        std::vector<std::vector<NodeId>> cascades;
+        cascades.reserve(all.size());
+        for (auto& r : all) cascades.push_back(std::move(r.cascade));
+        InfMaxTcOptions options;
+        options.k = k;
+        CLI_ASSIGN(result, InfMaxTC(cascades, graph.num_nodes(), options));
+        seeds = std::move(result.seeds);
+      }
+    } else if (method == "mc") {
+      GreedyStdMcOptions options;
       options.k = k;
-      CLI_ASSIGN(result, InfMaxStd(index, options));
+      options.mc_samples = worlds;
+      CLI_ASSIGN(result, InfMaxStdMc(graph, options, &rng));
       seeds = std::move(result.seeds);
+    } else if (method == "rr") {
+      RrSetOptions options;
+      options.k = k;
+      CLI_ASSIGN(result, InfMaxRr(graph, options, &rng));
+      seeds = std::move(result.seeds);
+    } else if (method == "degree") {
+      CLI_ASSIGN(result, SelectTopDegree(graph, k));
+      seeds = std::move(result);
+    } else if (method == "random") {
+      CLI_ASSIGN(result, SelectRandom(graph, k, &rng));
+      seeds = std::move(result);
     } else {
-      TypicalCascadeComputer computer(&index);
-      CLI_ASSIGN(all, computer.ComputeAll());
-      std::vector<std::vector<NodeId>> cascades;
-      cascades.reserve(all.size());
-      for (auto& r : all) cascades.push_back(std::move(r.cascade));
-      InfMaxTcOptions options;
-      options.k = k;
-      CLI_ASSIGN(result, InfMaxTC(cascades, graph.num_nodes(), options));
-      seeds = std::move(result.seeds);
+      return Fail(Status::InvalidArgument(
+          "--method must be std|mc|tc|rr|degree|random"));
     }
-  } else if (method == "mc") {
-    GreedyStdMcOptions options;
-    options.k = k;
-    options.mc_samples = worlds;
-    CLI_ASSIGN(result, InfMaxStdMc(graph, options, &rng));
-    seeds = std::move(result.seeds);
-  } else if (method == "rr") {
-    RrSetOptions options;
-    options.k = k;
-    CLI_ASSIGN(result, InfMaxRr(graph, options, &rng));
-    seeds = std::move(result.seeds);
-  } else if (method == "degree") {
-    CLI_ASSIGN(result, SelectTopDegree(graph, k));
-    seeds = std::move(result);
-  } else if (method == "random") {
-    CLI_ASSIGN(result, SelectRandom(graph, k, &rng));
-    seeds = std::move(result);
-  } else {
-    return Fail(Status::InvalidArgument(
-        "--method must be std|mc|tc|rr|degree|random"));
   }
 
   CLI_ASSIGN(eval_worlds, flags.GetInt("eval-worlds", 400));
   Rng eval_rng(99);
-  CLI_ASSIGN(spread,
-             EvaluateSpread(graph, seeds,
-                            static_cast<uint32_t>(eval_worlds), &eval_rng));
+  CLI_ASSIGN(spread, [&]() -> Result<double> {
+    SOI_OBS_SPAN("cli/evaluate");
+    return EvaluateSpread(graph, seeds, static_cast<uint32_t>(eval_worlds),
+                          &eval_rng);
+  }());
   std::printf("method=%s k=%u expected spread=%.1f\nseeds:", method.c_str(),
               k, spread);
   for (NodeId s : seeds) std::printf(" %u", s);
@@ -322,6 +383,33 @@ int Main(int argc, char** argv) {
   }
   SetGlobalThreads(static_cast<uint32_t>(*threads));
 
+  // Observability flags. --no-metrics overrides the SOI_OBS environment
+  // default; out paths are validated up front so a typo fails before any
+  // expensive work, not after it.
+  if (flags.GetBool("no-metrics", false)) obs::SetEnabled(false);
+  auto metrics_out = flags.GetString("metrics-out", "");
+  if (!metrics_out.ok()) return Fail(metrics_out.status());
+  auto trace_out = flags.GetString("trace-out", "");
+  if (!trace_out.ok()) return Fail(trace_out.status());
+  if (!metrics_out->empty()) {
+    if (!obs::Enabled()) {
+      return Fail(Status::InvalidArgument(
+          "--metrics-out requires metrics (drop --no-metrics / SOI_OBS=0)"));
+    }
+    const Status ok = ValidateWritableOutPath(*metrics_out);
+    if (!ok.ok()) return Fail(ok);
+  }
+  if (!trace_out->empty()) {
+    if (!obs::Enabled()) {
+      return Fail(Status::InvalidArgument(
+          "--trace-out requires metrics (drop --no-metrics / SOI_OBS=0)"));
+    }
+    const Status ok = ValidateWritableOutPath(*trace_out);
+    if (!ok.ok()) return Fail(ok);
+    obs::SetTraceEnabled(true);
+  }
+
+  WallTimer total_timer;
   int rc;
   if (command == "gen") {
     rc = CmdGen(flags);
@@ -331,6 +419,8 @@ int Main(int argc, char** argv) {
     rc = CmdIndex(flags);
   } else if (command == "sphere") {
     rc = CmdSphere(flags);
+  } else if (command == "typical") {
+    rc = CmdTypical(flags);
   } else if (command == "infmax") {
     rc = CmdInfMax(flags);
   } else if (command == "stability") {
@@ -339,6 +429,18 @@ int Main(int argc, char** argv) {
     rc = CmdReliability(flags);
   } else {
     return Usage();
+  }
+  const double total_seconds = total_timer.ElapsedSeconds();
+  if (!metrics_out->empty()) {
+    const Status ok = obs::WriteMetricsJson(*metrics_out, total_seconds);
+    if (!ok.ok()) return Fail(ok);
+    std::fprintf(stderr, "metrics: %s\n", metrics_out->c_str());
+  }
+  if (!trace_out->empty()) {
+    const Status ok = obs::WriteChromeTrace(*trace_out);
+    if (!ok.ok()) return Fail(ok);
+    std::fprintf(stderr, "trace: %s (%zu events)\n", trace_out->c_str(),
+                 obs::NumTraceEvents());
   }
   for (const std::string& name : flags.UnusedFlags()) {
     std::fprintf(stderr, "warning: unrecognized flag --%s\n", name.c_str());
