@@ -29,6 +29,10 @@ namespace soi::bench {
 ///                   (default enabled; see src/obs/)
 ///   SOI_TRACE_OUT   when set, capture spans and write a Chrome trace JSON
 ///                   to this path at sidecar time
+///   SOI_CLOSURE_BUDGET_MB  memory budget for the per-world closure cache
+///                   (default 512, 0 disables; see index/cascade_index.h).
+///                   Read by the library itself, so it reaches every index
+///                   the benches build; outputs are identical either way.
 struct BenchConfig {
   double scale = 0.25;
   uint32_t worlds = 128;

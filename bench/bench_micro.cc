@@ -4,6 +4,10 @@
 //   - index construction with vs without transitive reduction (ablation)
 //   - cascade query through the index vs direct BFS on a materialized world
 //     (the paper's reason for the index)
+//   - cascade extraction kernel: per-query DAG traversal vs the memoized
+//     closure cache (the sweep's hot loop); a single-threaded ComputeAll
+//     comparison of the two paths is also timed directly and recorded in
+//     BENCH_micro.json
 //   - Jaccard median: threshold sweep alone vs + input candidates vs
 //     + local search (quality/time ablation)
 //   - spread-oracle marginal-gain evaluation
@@ -13,6 +17,7 @@
 #include <cstdio>
 
 #include "cascade/world.h"
+#include "core/typical_cascade.h"
 #include "gen/generators.h"
 #include "graph/prob_assign.h"
 #include "index/cascade_index.h"
@@ -20,6 +25,7 @@
 #include "infmax/spread_oracle.h"
 #include "jaccard/median.h"
 #include "obs/metrics.h"
+#include "runtime/parallel_for.h"
 #include "scc/condensation.h"
 #include "scc/tarjan.h"
 #include "scc/transitive.h"
@@ -134,6 +140,35 @@ void BM_CascadeQueryDirectBfs(benchmark::State& state) {
 }
 BENCHMARK(BM_CascadeQueryDirectBfs);
 
+// The typical-cascade sweep's hot kernel: extract all l cascades of a node
+// into a reusable arena. closure=0 forces the per-query DAG traversal,
+// closure=1 uses the memoized per-world reachability closure.
+void BM_CascadeExtractAllWorlds(benchmark::State& state) {
+  const bool closure = state.range(0) != 0;
+  CascadeIndexOptions options;
+  options.num_worlds = 64;
+  options.closure_budget_mb = closure ? DefaultClosureBudgetMb() : 0;
+  Rng rng(8);
+  const auto index = CascadeIndex::Build(TestGraph(), options, &rng);
+  SOI_CHECK(index.ok());
+  SOI_CHECK(index->has_closure_cache() == closure);
+  CascadeIndex::Workspace ws;
+  CascadeIndex::CascadeArena arena;
+  NodeId v = 0;
+  uint64_t nodes_out = 0;
+  for (auto _ : state) {
+    const NodeId seeds[1] = {v};
+    index->AllCascadesInto(seeds, &ws, &arena);
+    benchmark::DoNotOptimize(arena.num_cascades());
+    for (size_t c = 0; c < arena.num_cascades(); ++c) {
+      nodes_out += arena.View(c).size();
+    }
+    v = (v + 911) % TestGraph().num_nodes();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(nodes_out));
+}
+BENCHMARK(BM_CascadeExtractAllWorlds)->Arg(0)->Arg(1)->ArgNames({"closure"});
+
 void BM_JaccardMedian(benchmark::State& state) {
   const int mode = static_cast<int>(state.range(0));
   CascadeIndexOptions options;
@@ -213,6 +248,84 @@ void BM_SpreadOracleGain(benchmark::State& state) {
 }
 BENCHMARK(BM_SpreadOracleGain);
 
+// Times the full single-threaded ComputeAll sweep on both extraction paths
+// (closure cache vs per-query traversal), checks the outputs are identical,
+// and writes the speedup to BENCH_micro.json — the headline number of the
+// closure-cache optimization, kept as a machine-readable artifact so the
+// perf trajectory is trackable across commits.
+void RunSweepComparison() {
+  // A denser workload than TestGraph (cascades in the high hundreds of
+  // nodes), matching the regime the paper sweeps its datasets in — this is
+  // where per-query extraction cost, not the Jaccard median, dominates the
+  // traversal baseline.
+  Rng gen_rng(19);
+  auto topo = GenerateRmat(12, 40000, {}, &gen_rng);
+  SOI_CHECK(topo.ok());
+  Rng assign_rng(20);
+  auto graph = AssignUniform(*topo, &assign_rng, 0.05, 0.40);
+  SOI_CHECK(graph.ok());
+  const ProbGraph& g = *graph;
+  const uint32_t prev_threads = GlobalThreads();
+  SetGlobalThreads(1);
+
+  CascadeIndexOptions options;
+  options.num_worlds = 64;
+
+  options.closure_budget_mb = 0;
+  Rng rng_a(21);
+  const auto traversal_index = CascadeIndex::Build(g, options, &rng_a);
+  SOI_CHECK(traversal_index.ok() && !traversal_index->has_closure_cache());
+
+  options.closure_budget_mb = DefaultClosureBudgetMb();
+  Rng rng_b(21);
+  const auto closure_index = CascadeIndex::Build(g, options, &rng_b);
+  SOI_CHECK(closure_index.ok() && closure_index->has_closure_cache());
+
+  WallTimer traversal_timer;
+  TypicalCascadeComputer traversal_computer(&*traversal_index);
+  const auto traversal_all = traversal_computer.ComputeAll();
+  const double traversal_seconds = traversal_timer.ElapsedSeconds();
+  SOI_CHECK(traversal_all.ok());
+
+  WallTimer closure_timer;
+  TypicalCascadeComputer closure_computer(&*closure_index);
+  const auto closure_all = closure_computer.ComputeAll();
+  const double closure_seconds = closure_timer.ElapsedSeconds();
+  SOI_CHECK(closure_all.ok());
+
+  SOI_CHECK(traversal_all->size() == closure_all->size());
+  for (size_t v = 0; v < traversal_all->size(); ++v) {
+    SOI_CHECK((*traversal_all)[v].cascade == (*closure_all)[v].cascade);
+  }
+  SetGlobalThreads(prev_threads);
+
+  const double speedup = traversal_seconds / closure_seconds;
+  std::FILE* f = std::fopen("BENCH_micro.json", "w");
+  SOI_CHECK(f != nullptr);
+  std::fprintf(f,
+               "{\n"
+               "  \"schema\": \"soi-bench-micro-v1\",\n"
+               "  \"sweep\": {\n"
+               "    \"nodes\": %u,\n"
+               "    \"worlds\": %u,\n"
+               "    \"threads\": 1,\n"
+               "    \"closure_cache_bytes\": %llu,\n"
+               "    \"traversal_sweep_seconds\": %.6f,\n"
+               "    \"closure_sweep_seconds\": %.6f,\n"
+               "    \"speedup\": %.3f,\n"
+               "    \"outputs_identical\": true\n"
+               "  }\n"
+               "}\n",
+               g.num_nodes(), closure_index->num_worlds(),
+               static_cast<unsigned long long>(
+                   closure_index->stats().closure_bytes),
+               traversal_seconds, closure_seconds, speedup);
+  std::fclose(f);
+  std::printf("sweep: traversal %.3fs, closure %.3fs, speedup %.2fx "
+              "(wrote BENCH_micro.json)\n",
+              traversal_seconds, closure_seconds, speedup);
+}
+
 }  // namespace
 }  // namespace soi
 
@@ -224,6 +337,7 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
+  soi::RunSweepComparison();
   benchmark::Shutdown();
   if (soi::obs::Enabled()) {
     const soi::Status ok = soi::obs::WriteMetricsJson(

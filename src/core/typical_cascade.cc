@@ -31,18 +31,23 @@ Result<TypicalCascadeResult> TypicalCascadeComputer::ComputeForSeeds(
   }
   WallTimer timer;
   SOI_OBS_COUNTER_ADD("typical/computations", 1);
-  std::vector<std::vector<NodeId>> cascades;
   {
     SOI_OBS_SPAN("typical/extract_cascades");
-    cascades = index_->AllCascades(seeds, &ws_);
+    index_->AllCascadesInto(seeds, &ws_, &arena_);
   }
+  const std::vector<std::span<const NodeId>>& cascades = arena_.Views();
   double mean_size = 0.0;
   for (const auto& c : cascades) mean_size += static_cast<double>(c.size());
   mean_size /= static_cast<double>(cascades.size());
 
+  // Index cascades are sorted by construction, so the median solver can
+  // skip its per-element validation pass.
+  MedianOptions median_options = options.median;
+  median_options.trusted_presorted = true;
   SOI_ASSIGN_OR_RETURN(MedianResult median, [&] {
     SOI_OBS_SPAN("typical/jaccard_median");
-    return solver_.Compute(cascades, options.median);
+    return solver_.Compute(
+        std::span<const std::span<const NodeId>>(cascades), median_options);
   }());
 
   TypicalCascadeResult result;
@@ -58,23 +63,78 @@ Result<std::vector<TypicalCascadeResult>> TypicalCascadeComputer::ComputeAll(
     const TypicalCascadeOptions& options) {
   SOI_OBS_SPAN("typical/sweep_all_nodes");
   const NodeId n = index_->num_nodes();
+  const uint32_t l = index_->num_worlds();
   std::vector<TypicalCascadeResult> all(n);
-  // Per-node extraction + Jaccard median is independent across nodes and
-  // uses no randomness. Each chunk gets its own computer because the median
-  // solver and the cascade workspace are stateful scratch.
-  std::vector<Status> chunk_status(PlannedChunks(n, 1), Status::OK());
-  ParallelForChunks(0, n, /*grain=*/1,
-                    [&](uint32_t chunk, uint64_t begin, uint64_t end) {
-                      TypicalCascadeComputer local(index_);
-                      for (uint64_t v = begin; v < end; ++v) {
-                        auto r = local.Compute(static_cast<NodeId>(v), options);
-                        if (!r.ok()) {
-                          chunk_status[chunk] = r.status();
-                          return;
-                        }
-                        all[v] = std::move(r).value();
-                      }
-                    });
+  MedianOptions median_options = options.median;
+  median_options.trusted_presorted = true;  // index output is always sorted
+
+  // With the closure cache, a node's cascades are zero-copy spans into the
+  // memoized per-world runs — there is nothing to extract. Without it,
+  // extract in world-major batches: all cascades of a node batch one world
+  // at a time, so each world's DAG stays hot across the whole batch, then
+  // run the per-node Jaccard medians off the shared arena. Nodes are
+  // independent and use no randomness, so results are identical for every
+  // thread count and batch size. Each chunk gets its own scratch because
+  // workspace, arena and solver are stateful.
+  const bool cached = index_->has_closure_cache();
+  constexpr NodeId kBatch = 32;
+  const uint64_t num_batches = (n + kBatch - 1) / kBatch;
+  std::vector<Status> chunk_status(PlannedChunks(num_batches, 1), Status::OK());
+  ParallelForChunks(
+      0, num_batches, /*grain=*/1,
+      [&](uint32_t chunk, uint64_t chunk_begin, uint64_t chunk_end) {
+        CascadeIndex::Workspace ws;
+        CascadeIndex::CascadeArena arena;
+        JaccardMedianSolver solver(n);
+        std::vector<std::span<const NodeId>> views(l);
+        for (uint64_t b = chunk_begin; b < chunk_end; ++b) {
+          const NodeId first = static_cast<NodeId>(b * kBatch);
+          const NodeId last = std::min<NodeId>(first + kBatch, n);
+          const uint32_t batch = last - first;
+          WallTimer extract_timer;
+          if (!cached) {
+            SOI_OBS_SPAN("typical/extract_cascades");
+            arena.Clear();
+            for (uint32_t i = 0; i < l; ++i) {
+              for (NodeId v = first; v < last; ++v) {
+                index_->AppendCascade(v, i, &ws, &arena);
+              }
+            }
+          }
+          // Extraction is shared; attribute an equal share to each node so
+          // per-node compute_seconds still sums to sweep time.
+          const double extract_share =
+              extract_timer.ElapsedSeconds() / static_cast<double>(batch);
+          SOI_OBS_COUNTER_ADD("typical/computations", batch);
+          for (uint32_t j = 0; j < batch; ++j) {
+            WallTimer median_timer;
+            double mean_size = 0.0;
+            for (uint32_t i = 0; i < l; ++i) {
+              views[i] = cached
+                             ? index_->CachedCascade(first + j, i)
+                             : arena.View(static_cast<size_t>(i) * batch + j);
+              mean_size += static_cast<double>(views[i].size());
+            }
+            mean_size /= static_cast<double>(l);
+            auto median = [&]() -> Result<MedianResult> {
+              SOI_OBS_SPAN("typical/jaccard_median");
+              return solver.Compute(
+                  std::span<const std::span<const NodeId>>(views),
+                  median_options);
+            }();
+            if (!median.ok()) {
+              chunk_status[chunk] = median.status();
+              return;
+            }
+            TypicalCascadeResult& r = all[first + j];
+            r.cascade = std::move(median.value().median);
+            r.in_sample_cost = median.value().cost;
+            r.mean_sample_size = mean_size;
+            r.median_source = median.value().source;
+            r.compute_seconds = extract_share + median_timer.ElapsedSeconds();
+          }
+        }
+      });
   for (const Status& status : chunk_status) {
     if (!status.ok()) return status;
   }
@@ -92,8 +152,12 @@ Result<double> EstimateExpectedCost(const ProbGraph& graph,
   for (NodeId s : seeds) {
     if (s >= graph.num_nodes()) return Status::OutOfRange("seed out of range");
   }
-  std::vector<NodeId> cand(candidate.begin(), candidate.end());
-  std::sort(cand.begin(), cand.end());
+  // Candidates come out of the median solver / the index already sorted, so
+  // require that instead of copy+sorting on every call (this function runs
+  // once per node in ranking/stability sweeps).
+  if (!std::is_sorted(candidate.begin(), candidate.end())) {
+    return Status::InvalidArgument("candidate must be sorted ascending");
+  }
   // Per-sample streams + per-sample slots, reduced in sample order: the
   // estimate is bit-identical for every thread count.
   const Rng streams = rng->Fork();
@@ -102,7 +166,7 @@ Result<double> EstimateExpectedCost(const ProbGraph& graph,
         Rng sample_rng = streams.Fork(i);
         const std::vector<NodeId> cascade =
             SimulateCascade(graph, seeds, &sample_rng);
-        return JaccardDistance(cascade, cand);
+        return JaccardDistance(cascade, candidate);
       });
   const double total =
       OrderedReduce(distances, 0.0, [](double acc, double d) { return acc + d; });

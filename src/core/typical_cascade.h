@@ -59,6 +59,7 @@ class TypicalCascadeComputer {
  private:
   const CascadeIndex* index_;
   CascadeIndex::Workspace ws_;
+  CascadeIndex::CascadeArena arena_;
   JaccardMedianSolver solver_;
 };
 
@@ -66,7 +67,8 @@ class TypicalCascadeComputer {
 /// averages the Jaccard distance from `candidate` to `num_samples` freshly
 /// simulated cascades (independent of whatever samples produced the
 /// candidate — Theorem 2 is precisely about the gap between this and the
-/// in-sample cost).
+/// in-sample cost). `candidate` must be sorted ascending (median / index
+/// output already is); unsorted input is rejected, not silently re-sorted.
 Result<double> EstimateExpectedCost(const ProbGraph& graph,
                                     std::span<const NodeId> seeds,
                                     std::span<const NodeId> candidate,

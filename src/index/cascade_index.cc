@@ -1,6 +1,8 @@
 #include "index/cascade_index.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdlib>
 #include <optional>
 
 #include "cascade/threshold.h"
@@ -10,6 +12,33 @@
 #include "util/stats.h"
 
 namespace soi {
+
+namespace {
+
+// Resident-byte estimate of one condensation: the I[v, i] column, the
+// members CSR and the DAG CSR. One formula for every construction path so
+// Build and FromWorlds (load) report identical approx_bytes.
+uint64_t CondensationApproxBytes(const Condensation& c) {
+  return 4ull * c.comp_of().size() +         // I[v, i] column
+         4ull * (c.num_components() + 1) +   // members offsets
+         4ull * c.num_nodes() +              // members targets
+         4ull * (c.num_components() + 1) +   // dag offsets
+         4ull * c.num_dag_edges();           // dag targets
+}
+
+}  // namespace
+
+uint64_t DefaultClosureBudgetMb() {
+  static const uint64_t budget = [] {
+    const char* env = std::getenv("SOI_CLOSURE_BUDGET_MB");
+    if (env == nullptr || *env == '\0') return uint64_t{512};
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(env, &end, 10);
+    if (end == env || *end != '\0') return uint64_t{512};
+    return static_cast<uint64_t>(parsed);
+  }();
+  return budget;
+}
 
 void CascadeIndex::Workspace::Prepare(uint32_t num_components) {
   if (stamp_.size() < num_components) {
@@ -21,6 +50,64 @@ void CascadeIndex::Workspace::Prepare(uint32_t num_components) {
     stamp_id_ = 1;
   }
   comps_.clear();
+}
+
+void CascadeIndex::ComputeSharedStats() {
+  RunningStats comps, edges;
+  uint64_t bytes = 0;
+  for (const Condensation& c : worlds_) {
+    comps.Add(c.num_components());
+    edges.Add(c.num_dag_edges());
+    bytes += CondensationApproxBytes(c);
+  }
+  stats_.avg_components = comps.mean();
+  stats_.avg_dag_edges_after = edges.mean();
+  stats_.approx_bytes = bytes;
+}
+
+void CascadeIndex::BuildClosureCache(uint64_t budget_mb) {
+  closures_.clear();
+  stats_.closure_bytes = 0;
+  if (budget_mb == 0) {
+    SOI_OBS_COUNTER_ADD("index/closure_cache_disabled", 1);
+    return;
+  }
+  SOI_OBS_SPAN("index/build_closure_cache");
+  const uint64_t budget_bytes = budget_mb << 20;
+  std::vector<ReachabilityClosure> closures(worlds_.size());
+  // The kept/dropped outcome is thread-count independent: per-world closures
+  // are deterministic, and `over` can only ever be set when the true total
+  // exceeds the budget (any subset sum of a within-budget total is within
+  // budget), in which case the cache is dropped no matter which worlds were
+  // skipped after the flag went up.
+  std::atomic<uint64_t> used{0};
+  std::atomic<bool> over{false};
+  ParallelFor(0, worlds_.size(), /*grain=*/1, [&](uint64_t i) {
+    if (over.load(std::memory_order_relaxed)) return;
+    ReachabilityClosure cl =
+        BuildReachabilityClosure(worlds_[i], budget_bytes / 4);
+    if (cl.num_components() != worlds_[i].num_components()) {
+      over.store(true, std::memory_order_relaxed);
+      return;
+    }
+    const uint64_t bytes = cl.ApproxBytes();
+    if (used.fetch_add(bytes, std::memory_order_relaxed) + bytes >
+        budget_bytes) {
+      over.store(true, std::memory_order_relaxed);
+      return;
+    }
+    closures[i] = std::move(cl);
+  });
+  if (over.load()) {
+    SOI_OBS_COUNTER_ADD("index/closure_cache_skipped_budget", 1);
+    return;
+  }
+  uint64_t bytes = 0;
+  for (const ReachabilityClosure& cl : closures) bytes += cl.ApproxBytes();
+  closures_ = std::move(closures);
+  stats_.closure_bytes = bytes;
+  stats_.approx_bytes += bytes;
+  SOI_OBS_COUNTER_ADD("index/closure_cache_built", 1);
 }
 
 Result<CascadeIndex> CascadeIndex::Build(const ProbGraph& graph,
@@ -49,7 +136,6 @@ Result<CascadeIndex> CascadeIndex::Build(const ProbGraph& graph,
   // so consecutive Builds from one rng still get fresh worlds.
   const Rng streams = rng->Fork();
   struct WorldStats {
-    uint32_t components = 0;
     uint32_t edges_before = 0;
     uint32_t edges_after = 0;
   };
@@ -76,41 +162,30 @@ Result<CascadeIndex> CascadeIndex::Build(const ProbGraph& graph,
       before = rstats.edges_before;
       after = rstats.edges_after;
     }
-    world_stats[i] = {cond->num_components(), before, after};
+    world_stats[i] = {before, after};
     worlds[i] = std::move(*cond);
   });
   SOI_OBS_COUNTER_ADD("index/worlds_built", options.num_worlds);
 
   // Ordered reduction: accumulate floating-point stats in world order.
-  RunningStats comps, edges_before, edges_after;
+  RunningStats edges_before;
   uint64_t edges_removed = 0;
   for (uint32_t i = 0; i < options.num_worlds; ++i) {
-    comps.Add(world_stats[i].components);
     edges_before.Add(world_stats[i].edges_before);
-    edges_after.Add(world_stats[i].edges_after);
     edges_removed += world_stats[i].edges_before - world_stats[i].edges_after;
   }
   SOI_OBS_COUNTER_ADD("index/dag_edges_removed", edges_removed);
   index.worlds_ = std::move(worlds);
-
-  index.stats_.build_seconds = timer.ElapsedSeconds();
-  index.stats_.avg_components = comps.mean();
+  index.ComputeSharedStats();
   index.stats_.avg_dag_edges_before = edges_before.mean();
-  index.stats_.avg_dag_edges_after = edges_after.mean();
-  uint64_t bytes = 0;
-  for (const Condensation& c : index.worlds_) {
-    bytes += 4ull * c.comp_of().size();          // I[v, i] column
-    bytes += 4ull * (c.num_components() + 1);    // members offsets
-    bytes += 4ull * c.num_nodes();               // members targets
-    bytes += 4ull * (c.num_components() + 1);    // dag offsets
-    bytes += 4ull * c.num_dag_edges();           // dag targets
-  }
-  index.stats_.approx_bytes = bytes;
+  index.BuildClosureCache(options.closure_budget_mb);
+  index.stats_.build_seconds = timer.ElapsedSeconds();
   return index;
 }
 
 Result<CascadeIndex> CascadeIndex::FromWorlds(NodeId num_nodes,
-                                              std::vector<Condensation> worlds) {
+                                              std::vector<Condensation> worlds,
+                                              uint64_t closure_budget_mb) {
   if (num_nodes == 0) return Status::InvalidArgument("empty node set");
   if (worlds.empty()) return Status::InvalidArgument("no worlds");
   for (const Condensation& c : worlds) {
@@ -120,43 +195,91 @@ Result<CascadeIndex> CascadeIndex::FromWorlds(NodeId num_nodes,
   }
   CascadeIndex index;
   index.num_nodes_ = num_nodes;
-  RunningStats comps, edges;
-  uint64_t bytes = 0;
-  for (const Condensation& c : worlds) {
-    comps.Add(c.num_components());
-    edges.Add(c.num_dag_edges());
-    bytes += 4ull * c.comp_of().size() + 4ull * c.num_nodes() +
-             8ull * (c.num_components() + 1) + 4ull * c.num_dag_edges();
-  }
-  index.stats_.avg_components = comps.mean();
-  index.stats_.avg_dag_edges_before = edges.mean();
-  index.stats_.avg_dag_edges_after = edges.mean();
-  index.stats_.approx_bytes = bytes;
   index.worlds_ = std::move(worlds);
+  index.ComputeSharedStats();
+  // The serialized form stores only the (already reduced) DAG, so the
+  // pre-reduction edge count is unrecoverable here; report the stored count
+  // for both so load-side stats stay self-consistent.
+  index.stats_.avg_dag_edges_before = index.stats_.avg_dag_edges_after;
+  index.BuildClosureCache(closure_budget_mb);
   return index;
 }
 
-std::vector<NodeId> CascadeIndex::Cascade(std::span<const NodeId> seeds,
-                                          uint32_t i, Workspace* ws) const {
+void CascadeIndex::CascadeInto(std::span<const NodeId> seeds, uint32_t i,
+                               Workspace* ws, std::vector<NodeId>* out) const {
   const Condensation& cond = world(i);
+  if (has_closure_cache()) {
+    const ReachabilityClosure& cl = closures_[i];
+    if (seeds.size() == 1) {
+      SOI_CHECK(seeds[0] < num_nodes_);
+      const auto run = cl.Cascade(cond.ComponentOf(seeds[0]));
+      out->insert(out->end(), run.begin(), run.end());
+      return;
+    }
+    ws->Prepare(cond.num_components());
+    for (NodeId s : seeds) {
+      SOI_CHECK(s < num_nodes_);
+      for (uint32_t x : cl.Closure(cond.ComponentOf(s))) {
+        if (ws->stamp_[x] != ws->stamp_id_) {
+          ws->stamp_[x] = ws->stamp_id_;
+          ws->comps_.push_back(x);
+        }
+      }
+    }
+    std::sort(ws->comps_.begin(), ws->comps_.end());
+    MergeComponentMemberRuns(cond, ws->comps_, &ws->merge_, out);
+    return;
+  }
+  // Traversal fallback: DFS over the condensation DAG, gather, sort.
   ws->Prepare(cond.num_components());
   for (NodeId s : seeds) {
     SOI_CHECK(s < num_nodes_);
     ReachableComponents(cond, cond.ComponentOf(s), &ws->stamp_, ws->stamp_id_,
                         &ws->comps_);
   }
-  std::vector<NodeId> out;
+  const size_t base = out->size();
   for (uint32_t c : ws->comps_) {
     const auto members = cond.ComponentMembers(c);
-    out.insert(out.end(), members.begin(), members.end());
+    out->insert(out->end(), members.begin(), members.end());
   }
-  std::sort(out.begin(), out.end());
+  std::sort(out->begin() + base, out->end());
+}
+
+std::vector<NodeId> CascadeIndex::Cascade(std::span<const NodeId> seeds,
+                                          uint32_t i, Workspace* ws) const {
+  std::vector<NodeId> out;
+  CascadeInto(seeds, i, ws, &out);
   return out;
+}
+
+void CascadeIndex::AppendCascade(std::span<const NodeId> seeds, uint32_t i,
+                                 Workspace* ws, CascadeArena* arena) const {
+  CascadeInto(seeds, i, ws, &arena->data_);
+  arena->ends_.push_back(arena->data_.size());
 }
 
 uint64_t CascadeIndex::CascadeSize(std::span<const NodeId> seeds, uint32_t i,
                                    Workspace* ws) const {
   const Condensation& cond = world(i);
+  if (has_closure_cache()) {
+    const ReachabilityClosure& cl = closures_[i];
+    if (seeds.size() == 1) {
+      SOI_CHECK(seeds[0] < num_nodes_);
+      return cl.NodeCount(cond.ComponentOf(seeds[0]));
+    }
+    ws->Prepare(cond.num_components());
+    uint64_t total = 0;
+    for (NodeId s : seeds) {
+      SOI_CHECK(s < num_nodes_);
+      for (uint32_t x : cl.Closure(cond.ComponentOf(s))) {
+        if (ws->stamp_[x] != ws->stamp_id_) {
+          ws->stamp_[x] = ws->stamp_id_;
+          total += cond.ComponentSize(x);
+        }
+      }
+    }
+    return total;
+  }
   ws->Prepare(cond.num_components());
   for (NodeId s : seeds) {
     SOI_CHECK(s < num_nodes_);
@@ -176,6 +299,14 @@ std::vector<std::vector<NodeId>> CascadeIndex::AllCascades(
     out.push_back(Cascade(seeds, i, ws));
   }
   return out;
+}
+
+void CascadeIndex::AllCascadesInto(std::span<const NodeId> seeds,
+                                   Workspace* ws, CascadeArena* arena) const {
+  arena->Clear();
+  for (uint32_t i = 0; i < num_worlds(); ++i) {
+    AppendCascade(seeds, i, ws, arena);
+  }
 }
 
 }  // namespace soi

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "graph/prob_graph.h"
+#include "scc/closure.h"
 #include "scc/condensation.h"
 #include "scc/transitive.h"
 #include "util/rng.h"
@@ -25,6 +26,11 @@ enum class PropagationModel {
   kLinearThreshold,
 };
 
+/// Default retained-size budget for the per-world closure cache, in MiB:
+/// `SOI_CLOSURE_BUDGET_MB` when set to a valid integer, otherwise 512.
+/// 0 disables the cache entirely (pure traversal paths).
+uint64_t DefaultClosureBudgetMb();
+
 /// Options for index construction.
 struct CascadeIndexOptions {
   /// Number of sampled possible worlds l. Theorem 2: a constant number of
@@ -36,6 +42,12 @@ struct CascadeIndexOptions {
   /// disabling is an ablation that trades memory for build time.
   bool transitive_reduction = true;
   ReductionOptions reduction;
+  /// Memory budget for the per-world reachability-closure cache (see
+  /// scc/closure.h). When the total closure size across worlds would exceed
+  /// this many MiB the cache is dropped and every query falls back to the
+  /// per-query DAG traversal; outputs are byte-identical either way.
+  /// 0 disables the cache.
+  uint64_t closure_budget_mb = DefaultClosureBudgetMb();
 };
 
 /// Aggregate construction statistics (reported by benches).
@@ -44,7 +56,13 @@ struct CascadeIndexStats {
   double avg_components = 0.0;
   double avg_dag_edges_before = 0.0;
   double avg_dag_edges_after = 0.0;
+  /// Estimated resident bytes of the index payload: condensations plus the
+  /// closure cache when retained (== closure_bytes > 0). Build and
+  /// FromWorlds use one shared accounting, so a saved-then-loaded index
+  /// reports the same approx_bytes it was built with.
   uint64_t approx_bytes = 0;
+  /// Bytes of the retained closure cache (0 when disabled / over budget).
+  uint64_t closure_bytes = 0;
 };
 
 /// The cascade index of Algorithm 1 (paper §4, Figure 2): for each of the l
@@ -53,6 +71,16 @@ struct CascadeIndexStats {
 /// is then the union of the members of all components reachable from
 /// I[v, i], obtained by one DAG traversal — typically far cheaper than
 /// re-traversing G_i.
+///
+/// On top of that, the index memoizes per-world reachability: each world's
+/// full component closure is computed once in reverse-topological order and
+/// each component's cascade run is materialized once (scc/closure.h), after
+/// which a single-source cascade query is a zero-copy span into the runs CSR
+/// (see CachedCascade), a cascade-size query is an offset subtraction, and a
+/// seed-set cascade is a stamped union of closure lists plus one run merge.
+/// The cache is guarded by CascadeIndexOptions::closure_budget_mb; when
+/// absent, queries fall back to the traversal path with byte-identical
+/// results.
 class CascadeIndex {
  public:
   /// Reusable per-thread scratch for cascade queries; sized on first use.
@@ -67,17 +95,56 @@ class CascadeIndex {
     std::vector<uint32_t> stamp_;
     uint32_t stamp_id_ = 0;
     std::vector<uint32_t> comps_;
+    RunMergeScratch merge_;  // k-way member-run merge scratch
   };
 
-  /// Samples l worlds from `graph` and builds their condensations.
+  /// Flat reusable arena for batches of extracted cascades: one contiguous
+  /// buffer instead of one heap allocation per (seed set, world). Views are
+  /// only valid until the next append/Clear.
+  class CascadeArena {
+   public:
+    void Clear() {
+      data_.clear();
+      ends_.clear();
+    }
+    size_t num_cascades() const { return ends_.size(); }
+    std::span<const NodeId> View(size_t i) const {
+      SOI_DCHECK(i < ends_.size());
+      const size_t begin = i == 0 ? 0 : ends_[i - 1];
+      return std::span<const NodeId>(data_.data() + begin,
+                                     data_.data() + ends_[i]);
+    }
+    /// All cascades as spans (rebuilt on every call; the return stays valid
+    /// as long as the arena is not appended to or cleared).
+    const std::vector<std::span<const NodeId>>& Views() {
+      views_.clear();
+      views_.reserve(ends_.size());
+      for (size_t i = 0; i < ends_.size(); ++i) views_.push_back(View(i));
+      return views_;
+    }
+
+   private:
+    friend class CascadeIndex;
+    std::vector<NodeId> data_;
+    std::vector<size_t> ends_;  // exclusive end offset of each cascade
+    std::vector<std::span<const NodeId>> views_;
+  };
+
+  /// Samples l worlds from `graph` and builds their condensations (and the
+  /// closure cache, budget permitting).
   static Result<CascadeIndex> Build(const ProbGraph& graph,
                                     const CascadeIndexOptions& options,
                                     Rng* rng);
 
   /// Reassembles an index from prebuilt condensations (deserialization path;
   /// see index/index_io.h). All condensations must cover `num_nodes` nodes.
+  /// The closure cache is derived data and is never serialized; it is
+  /// rebuilt here under `closure_budget_mb` (default: same env-driven budget
+  /// as Build), so loaded indexes answer queries at cached speed.
   static Result<CascadeIndex> FromWorlds(NodeId num_nodes,
-                                         std::vector<Condensation> worlds);
+                                         std::vector<Condensation> worlds,
+                                         uint64_t closure_budget_mb =
+                                             DefaultClosureBudgetMb());
 
   uint32_t num_worlds() const { return static_cast<uint32_t>(worlds_.size()); }
   NodeId num_nodes() const { return num_nodes_; }
@@ -89,9 +156,27 @@ class CascadeIndex {
     return worlds_[i];
   }
 
+  /// True when the per-world closure cache was retained under the budget.
+  bool has_closure_cache() const { return !closures_.empty(); }
+
+  /// The reachability closure of world i; only valid with
+  /// has_closure_cache().
+  const ReachabilityClosure& closure(uint32_t i) const {
+    SOI_DCHECK(i < closures_.size());
+    return closures_[i];
+  }
+
   /// The I[v, i] matrix entry: component of v in world i.
   uint32_t ComponentOf(NodeId v, uint32_t i) const {
     return world(i).ComponentOf(v);
+  }
+
+  /// Zero-copy cascade of single source v in world i: a span into the
+  /// memoized run, sorted ascending, valid for the index's lifetime. Only
+  /// with has_closure_cache(); identical content to Cascade(v, i, ws).
+  std::span<const NodeId> CachedCascade(NodeId v, uint32_t i) const {
+    SOI_DCHECK(has_closure_cache());
+    return closures_[i].Cascade(world(i).ComponentOf(v));
   }
 
   /// Cascade of the seed set in world i, sorted ascending (includes seeds).
@@ -102,7 +187,18 @@ class CascadeIndex {
     return Cascade(std::span<const NodeId>(seeds, 1), i, ws);
   }
 
-  /// Number of nodes in the cascade, without materializing them.
+  /// Appends the cascade of the seed set in world i to `arena` (allocation
+  /// amortized across the arena's lifetime).
+  void AppendCascade(std::span<const NodeId> seeds, uint32_t i, Workspace* ws,
+                     CascadeArena* arena) const;
+  void AppendCascade(NodeId v, uint32_t i, Workspace* ws,
+                     CascadeArena* arena) const {
+    const NodeId seeds[1] = {v};
+    AppendCascade(std::span<const NodeId>(seeds, 1), i, ws, arena);
+  }
+
+  /// Number of nodes in the cascade, without materializing them. O(1) for a
+  /// single seed when the closure cache is present.
   uint64_t CascadeSize(std::span<const NodeId> seeds, uint32_t i,
                        Workspace* ws) const;
   uint64_t CascadeSize(NodeId v, uint32_t i, Workspace* ws) const {
@@ -118,9 +214,33 @@ class CascadeIndex {
     return AllCascades(std::span<const NodeId>(seeds, 1), ws);
   }
 
+  /// All l cascades of a seed set into a reusable arena (clears it first).
+  /// The zero-allocation sibling of AllCascades for sweep loops.
+  void AllCascadesInto(std::span<const NodeId> seeds, Workspace* ws,
+                       CascadeArena* arena) const;
+
  private:
+  // Appends the cascade of `seeds` in world i to *out (sorted ascending).
+  void CascadeInto(std::span<const NodeId> seeds, uint32_t i, Workspace* ws,
+                   std::vector<NodeId>* out) const;
+
+  // Fills avg_components / avg_dag_edges_after / approx_bytes from worlds_
+  // (one accounting shared by Build and FromWorlds; closure bytes are added
+  // by BuildClosureCache). Leaves avg_dag_edges_before to the caller: only
+  // Build observes pre-reduction edge counts, FromWorlds sets it equal to
+  // the stored (post-reduction) count.
+  void ComputeSharedStats();
+
+  // Builds the per-world closure cache if it fits `budget_mb`; otherwise
+  // leaves the cache empty. Records which path future queries take via the
+  // index/closure_cache_{built,skipped_budget,disabled} counters. The
+  // kept/dropped decision depends only on the worlds and the budget, never
+  // on the thread count.
+  void BuildClosureCache(uint64_t budget_mb);
+
   NodeId num_nodes_ = 0;
   std::vector<Condensation> worlds_;
+  std::vector<ReachabilityClosure> closures_;  // empty = traversal paths
   CascadeIndexStats stats_;
 };
 

@@ -19,6 +19,7 @@ SpreadOracle::SpreadOracle(const CascadeIndex* index) : index_(index) {
 void SpreadOracle::Reset() {
   for (BitVector& bv : covered_) bv.Reset();
   spread_ = 0.0;
+  any_committed_ = false;
 }
 
 template <bool kCommit>
@@ -53,6 +54,18 @@ uint64_t SpreadOracle::Traverse(NodeId v) {
 }
 
 double SpreadOracle::MarginalGain(NodeId v) {
+  // First-round fast path: with nothing committed the gain of v is its
+  // cascade size, a closure-cache table lookup per world. Identical value to
+  // the traversal (node_counts is the exact reachable-node total).
+  if (!any_committed_ && index_->has_closure_cache()) {
+    SOI_CHECK(v < index_->num_nodes());
+    uint64_t total = 0;
+    for (uint32_t i = 0; i < index_->num_worlds(); ++i) {
+      total += index_->closure(i).NodeCount(index_->world(i).ComponentOf(v));
+    }
+    return static_cast<double>(total) /
+           static_cast<double>(index_->num_worlds());
+  }
   return static_cast<double>(Traverse<false>(v)) /
          static_cast<double>(index_->num_worlds());
 }
@@ -61,6 +74,7 @@ double SpreadOracle::Add(NodeId v) {
   const double gain = static_cast<double>(Traverse<true>(v)) /
                       static_cast<double>(index_->num_worlds());
   spread_ += gain;
+  any_committed_ = true;
   return gain;
 }
 

@@ -19,6 +19,11 @@ namespace soi {
 /// components (whose descendants are covered by construction), and sums the
 /// uncovered component sizes. Committing a node performs the same traversal
 /// and marks the components covered.
+///
+/// While the committed set is still empty, nothing is covered and the gain of
+/// v is exactly its cascade size, so when the index carries the closure cache
+/// the query is l table lookups instead of l DFS traversals. This is the
+/// expensive round: CELF seeds its heap with the gains of *all* n nodes.
 class SpreadOracle {
  public:
   /// `index` must outlive the oracle.
@@ -48,6 +53,7 @@ class SpreadOracle {
   uint32_t stamp_id_ = 0;
   std::vector<uint32_t> stack_;
   double spread_ = 0.0;
+  bool any_committed_ = false;  // false => covered_ is all-empty
 };
 
 }  // namespace soi

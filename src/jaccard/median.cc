@@ -1,6 +1,7 @@
 #include "jaccard/median.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 
 #include "obs/metrics.h"
@@ -18,11 +19,8 @@ inline double Term(uint32_t inter, size_t c, size_t s) {
   return 1.0 - static_cast<double>(inter) / static_cast<double>(uni);
 }
 
-Status ValidateSets(const std::vector<std::vector<NodeId>>& sets,
+Status ValidateSets(std::span<const std::span<const NodeId>> sets,
                     NodeId universe) {
-  if (sets.empty()) {
-    return Status::InvalidArgument("median of an empty collection");
-  }
   for (const auto& s : sets) {
     for (size_t i = 0; i < s.size(); ++i) {
       if (s[i] >= universe) {
@@ -45,24 +43,15 @@ JaccardMedianSolver::JaccardMedianSolver(NodeId universe)
       slot_stamp_(universe, 0),
       mark_(universe, 0) {}
 
-double JaccardMedianSolver::EvaluateCandidate(
-    const std::vector<NodeId>& candidate,
-    const std::vector<std::vector<NodeId>>& sets) {
-  for (NodeId v : candidate) mark_[v] = 1;
-  double total = 0.0;
-  for (const auto& s : sets) {
-    uint32_t inter = 0;
-    for (NodeId v : s) inter += mark_[v];
-    total += Term(inter, candidate.size(), s.size());
-  }
-  for (NodeId v : candidate) mark_[v] = 0;
-  return total / static_cast<double>(sets.size());
-}
-
 Result<MedianResult> JaccardMedianSolver::Compute(
-    const std::vector<std::vector<NodeId>>& sets,
+    std::span<const std::span<const NodeId>> sets,
     const MedianOptions& options) {
-  SOI_RETURN_IF_ERROR(ValidateSets(sets, universe_));
+  if (sets.empty()) {
+    return Status::InvalidArgument("median of an empty collection");
+  }
+  if (!options.trusted_presorted) {
+    SOI_RETURN_IF_ERROR(ValidateSets(sets, universe_));
+  }
   SOI_OBS_SPAN("median/compute");
   SOI_OBS_COUNTER_ADD("median/input_sets", sets.size());
   const uint32_t num_sets = static_cast<uint32_t>(sets.size());
@@ -158,15 +147,67 @@ Result<MedianResult> JaccardMedianSolver::Compute(
   if (options.input_candidates > 0) {
     SOI_OBS_SPAN("median/input_candidates");
     const uint32_t k = std::min<uint32_t>(options.input_candidates, num_sets);
-    for (uint32_t j = 0; j < k; ++j) {
-      const uint32_t idx = static_cast<uint32_t>(
-          static_cast<uint64_t>(j) * num_sets / k);
-      const double cost = EvaluateCandidate(sets[idx], sets);
-      if (cost < result.cost - 1e-15) {
-        result.cost = cost;
-        result.median = sets[idx];
-        result.threshold = 0;
-        result.source = MedianResult::Source::kInputSet;
+    // Candidates are evaluated in groups of up to 8, one bit of mark_ each,
+    // so a single pass over the sets accumulates every intersection count at
+    // once: kSpread maps bit b of the mark byte to byte b of a packed
+    // uint64 accumulator, flushed to 32-bit counters before any lane
+    // saturates. Counts (and hence costs, summed in the same set order) are
+    // identical to evaluating each candidate on its own pass.
+    static constexpr std::array<uint64_t, 256> kSpread = [] {
+      std::array<uint64_t, 256> t{};
+      for (uint32_t m = 0; m < 256; ++m) {
+        for (uint32_t b = 0; b < 8; ++b) {
+          if (m & (1u << b)) t[m] |= uint64_t{1} << (8 * b);
+        }
+      }
+      return t;
+    }();
+    const auto candidate_index = [&](uint32_t j) {
+      return static_cast<uint32_t>(static_cast<uint64_t>(j) * num_sets / k);
+    };
+    std::vector<uint32_t> batch_inter(static_cast<size_t>(num_sets) * 8);
+    for (uint32_t group = 0; group < k; group += 8) {
+      const uint32_t gk = std::min<uint32_t>(8, k - group);
+      for (uint32_t b = 0; b < gk; ++b) {
+        for (NodeId v : sets[candidate_index(group + b)]) {
+          mark_[v] |= static_cast<uint8_t>(1u << b);
+        }
+      }
+      std::fill(batch_inter.begin(), batch_inter.end(), 0);
+      for (uint32_t i = 0; i < num_sets; ++i) {
+        uint32_t* row = batch_inter.data() + static_cast<size_t>(i) * 8;
+        uint64_t acc = 0;
+        uint32_t pending = 0;
+        const auto flush = [&] {
+          for (uint32_t b = 0; b < 8; ++b) {
+            row[b] += static_cast<uint32_t>((acc >> (8 * b)) & 0xFF);
+          }
+          acc = 0;
+          pending = 0;
+        };
+        for (NodeId v : sets[i]) {
+          acc += kSpread[mark_[v]];
+          if (++pending == 255) flush();
+        }
+        if (pending > 0) flush();
+      }
+      for (uint32_t b = 0; b < gk; ++b) {
+        const uint32_t idx = candidate_index(group + b);
+        double total = 0.0;
+        for (uint32_t i = 0; i < num_sets; ++i) {
+          total += Term(batch_inter[static_cast<size_t>(i) * 8 + b],
+                        sets[idx].size(), sets[i].size());
+        }
+        const double cost = total / num_sets;
+        if (cost < result.cost - 1e-15) {
+          result.cost = cost;
+          result.median.assign(sets[idx].begin(), sets[idx].end());
+          result.threshold = 0;
+          result.source = MedianResult::Source::kInputSet;
+        }
+      }
+      for (uint32_t b = 0; b < gk; ++b) {
+        for (NodeId v : sets[candidate_index(group + b)]) mark_[v] = 0;
       }
     }
   }
@@ -242,6 +283,15 @@ Result<MedianResult> JaccardMedianSolver::Compute(
   }
 
   return result;
+}
+
+Result<MedianResult> JaccardMedianSolver::Compute(
+    const std::vector<std::vector<NodeId>>& sets,
+    const MedianOptions& options) {
+  std::vector<std::span<const NodeId>> views;
+  views.reserve(sets.size());
+  for (const auto& s : sets) views.emplace_back(s.data(), s.size());
+  return Compute(std::span<const std::span<const NodeId>>(views), options);
 }
 
 Result<std::pair<std::vector<NodeId>, double>> ExactJaccardMedian(

@@ -2,6 +2,7 @@
 #define SOI_JACCARD_MEDIAN_H_
 
 #include <cstdint>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -22,6 +23,11 @@ struct MedianOptions {
   /// disabled in whole-graph sweeps.
   bool local_search = false;
   uint32_t local_search_passes = 2;
+  /// Skip per-element input validation (strictly ascending, < universe).
+  /// Only for callers whose sets are sorted by construction — e.g. cascades
+  /// out of the index, which emits ascending node lists. Malformed input
+  /// under this flag yields undefined results, not an error.
+  bool trusted_presorted = false;
 };
 
 /// Output of the solver.
@@ -55,6 +61,10 @@ class JaccardMedianSolver {
 
   /// Computes the approximate median. Empty input collection is invalid;
   /// empty member sets are fine (the all-empty collection has median {}).
+  /// The span-of-spans overload is the allocation-free core (pairs with
+  /// CascadeArena::Views() in sweep loops); the vector overload wraps it.
+  Result<MedianResult> Compute(std::span<const std::span<const NodeId>> sets,
+                               const MedianOptions& options = {});
   Result<MedianResult> Compute(const std::vector<std::vector<NodeId>>& sets,
                                const MedianOptions& options = {});
 
@@ -62,9 +72,6 @@ class JaccardMedianSolver {
 
  private:
   struct Sweep;
-
-  double EvaluateCandidate(const std::vector<NodeId>& candidate,
-                           const std::vector<std::vector<NodeId>>& sets);
 
   NodeId universe_;
   // Scratch, sized universe_, stamped for O(1) logical reset.

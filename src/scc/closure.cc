@@ -1,0 +1,112 @@
+#include "scc/closure.h"
+
+#include <algorithm>
+
+namespace soi {
+
+void MergeComponentMemberRuns(const Condensation& cond,
+                              std::span<const uint32_t> comps,
+                              RunMergeScratch* scratch,
+                              std::vector<NodeId>* out) {
+  const size_t k = comps.size();
+  if (k == 0) return;
+  if (k == 1) {
+    const auto m = cond.ComponentMembers(comps[0]);
+    out->insert(out->end(), m.begin(), m.end());
+    return;
+  }
+  if (k == 2) {
+    const auto a = cond.ComponentMembers(comps[0]);
+    const auto b = cond.ComponentMembers(comps[1]);
+    const size_t base = out->size();
+    out->resize(base + a.size() + b.size());
+    std::merge(a.begin(), a.end(), b.begin(), b.end(), out->begin() + base);
+    return;
+  }
+  // k >= 3: concatenate the runs, then pairwise ping-pong merges; the final
+  // two runs merge straight into *out. Runs are disjoint (components
+  // partition the nodes), so this is a plain merge, no dedup.
+  std::vector<NodeId>& a = scratch->a;
+  std::vector<NodeId>& b = scratch->b;
+  std::vector<size_t>& ab = scratch->bounds_a;
+  std::vector<size_t>& bb = scratch->bounds_b;
+  a.clear();
+  ab.clear();
+  ab.push_back(0);
+  for (uint32_t c : comps) {
+    const auto m = cond.ComponentMembers(c);
+    a.insert(a.end(), m.begin(), m.end());
+    ab.push_back(a.size());
+  }
+  while (ab.size() - 1 > 2) {
+    b.resize(a.size());
+    bb.clear();
+    bb.push_back(0);
+    size_t w = 0;
+    for (size_t r = 0; r + 1 < ab.size(); r += 2) {
+      if (r + 2 < ab.size()) {
+        std::merge(a.begin() + ab[r], a.begin() + ab[r + 1],
+                   a.begin() + ab[r + 1], a.begin() + ab[r + 2],
+                   b.begin() + w);
+        w += ab[r + 2] - ab[r];
+      } else {  // odd run out: carry over
+        std::copy(a.begin() + ab[r], a.begin() + ab[r + 1], b.begin() + w);
+        w += ab[r + 1] - ab[r];
+      }
+      bb.push_back(w);
+    }
+    a.swap(b);
+    ab.swap(bb);
+  }
+  const size_t base = out->size();
+  out->resize(base + a.size());
+  std::merge(a.begin(), a.begin() + ab[1], a.begin() + ab[1], a.end(),
+             out->begin() + base);
+}
+
+ReachabilityClosure BuildReachabilityClosure(const Condensation& cond,
+                                             uint64_t max_total_nodes) {
+  const uint32_t nc = cond.num_components();
+  ReachabilityClosure out;
+  out.comp_offsets.reserve(nc + 1);
+  out.comp_offsets.push_back(0);
+  out.node_offsets.reserve(nc + 1);
+  out.node_offsets.push_back(0);
+
+  // Each component gets its own stamp id (c + 1), so one zero-initialized
+  // array dedupes every union without resets; ids never wrap because
+  // nc < 2^32.
+  std::vector<uint32_t> stamp(nc, 0);
+  std::vector<uint32_t> gather;
+  RunMergeScratch scratch;
+  for (uint32_t c = 0; c < nc; ++c) {
+    const uint32_t id = c + 1;
+    gather.clear();
+    gather.push_back(c);
+    stamp[c] = id;
+    uint64_t cascade_nodes = cond.ComponentSize(c);
+    for (uint32_t s : cond.DagSuccessors(c)) {
+      // s < c (reverse-topological id order), so closure(s) is final.
+      for (uint32_t x : out.Closure(s)) {
+        if (stamp[x] != id) {
+          stamp[x] = id;
+          gather.push_back(x);
+          cascade_nodes += cond.ComponentSize(x);
+        }
+      }
+    }
+    if (out.nodes.size() + cascade_nodes > max_total_nodes) {
+      return ReachabilityClosure{};
+    }
+    std::sort(gather.begin(), gather.end());
+    out.comps.insert(out.comps.end(), gather.begin(), gather.end());
+    out.comp_offsets.push_back(out.comps.size());
+    // Materialize the cascade run once; every query on this component is a
+    // span into it from here on.
+    MergeComponentMemberRuns(cond, gather, &scratch, &out.nodes);
+    out.node_offsets.push_back(out.nodes.size());
+  }
+  return out;
+}
+
+}  // namespace soi

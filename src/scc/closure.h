@@ -1,0 +1,108 @@
+#ifndef SOI_SCC_CLOSURE_H_
+#define SOI_SCC_CLOSURE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "scc/condensation.h"
+
+namespace soi {
+
+/// Reachability closure of a condensation DAG: for every component c, the
+/// full set of components reachable from c (including c itself) as a CSR of
+/// ascending component-id lists, plus the *materialized cascade run* — the
+/// ascending node ids of those components' members, i.e. the exact cascade
+/// of any node in c.
+///
+/// This is the "share reachability across sources" idea of Cohen et al.
+/// (sketch-based influence oracles) applied exactly: the condensation
+/// invariant that every DAG edge (c, c') has c' < c makes increasing
+/// component id a reverse topological order (see scc/condensation.h), so one
+/// ascending pass computes every closure as
+///
+///   closure(c) = {c} ∪ closure(s_1) ∪ ... ∪ closure(s_k),   s_i = succ(c),
+///
+/// with all successor closures already final. Each component then merges its
+/// (disjoint, pre-sorted) member runs once, at build time — after which a
+/// single-source cascade query is a span into the runs CSR (no traversal, no
+/// sort, no copy), a cascade size is a subtraction of two offsets, and a
+/// multi-source cascade is a stamped union of closure lists followed by one
+/// run merge.
+struct ReachabilityClosure {
+  /// comps[comp_offsets[c], comp_offsets[c+1]) is the closure of component
+  /// c, component ids strictly ascending. 64-bit offsets: total closure
+  /// length is quadratic in the worst case and routinely exceeds 32 bits
+  /// before the memory budget does.
+  std::vector<uint64_t> comp_offsets;
+  std::vector<uint32_t> comps;
+  /// nodes[node_offsets[c], node_offsets[c+1]) is the cascade run of
+  /// component c: the members of its closure, node ids strictly ascending.
+  std::vector<uint64_t> node_offsets;
+  std::vector<NodeId> nodes;
+
+  uint32_t num_components() const {
+    return comp_offsets.empty()
+               ? 0
+               : static_cast<uint32_t>(comp_offsets.size() - 1);
+  }
+
+  /// Components reachable from c (ascending, includes c).
+  std::span<const uint32_t> Closure(uint32_t c) const {
+    SOI_DCHECK(c + 1 < comp_offsets.size());
+    return std::span<const uint32_t>(comps.data() + comp_offsets[c],
+                                     comps.data() + comp_offsets[c + 1]);
+  }
+
+  /// Cascade of any node in component c (ascending node ids).
+  std::span<const NodeId> Cascade(uint32_t c) const {
+    SOI_DCHECK(c + 1 < node_offsets.size());
+    return std::span<const NodeId>(nodes.data() + node_offsets[c],
+                                   nodes.data() + node_offsets[c + 1]);
+  }
+
+  /// Cascade size of any node in component c. Fits uint32: a cascade never
+  /// exceeds the node count.
+  uint32_t NodeCount(uint32_t c) const {
+    SOI_DCHECK(c + 1 < node_offsets.size());
+    return static_cast<uint32_t>(node_offsets[c + 1] - node_offsets[c]);
+  }
+
+  /// Heap footprint of the CSR arrays (the quantity the index's
+  /// closure-cache memory budget meters).
+  uint64_t ApproxBytes() const {
+    return 8ull * comp_offsets.size() + 4ull * comps.size() +
+           8ull * node_offsets.size() + 4ull * nodes.size();
+  }
+};
+
+/// Reusable scratch for MergeComponentMemberRuns (ping-pong buffers + run
+/// bounds); caller-owned to amortize allocations across queries.
+struct RunMergeScratch {
+  std::vector<NodeId> a, b;
+  std::vector<size_t> bounds_a, bounds_b;
+};
+
+/// Appends the ascending union of the member runs of `comps` (distinct,
+/// ascending component ids — their member runs are disjoint and pre-sorted)
+/// to *out. O(S log k) for S output nodes and k runs, vs O(S log S) for
+/// gather + sort.
+void MergeComponentMemberRuns(const Condensation& cond,
+                              std::span<const uint32_t> comps,
+                              RunMergeScratch* scratch,
+                              std::vector<NodeId>* out);
+
+/// Builds the full reachability closure of `cond` in one ascending
+/// (reverse-topological) pass. Deterministic: depends only on the DAG.
+///
+/// `max_total_nodes` caps the total materialized run length (the dominant
+/// memory term; the component lists it bounds are never longer); when the
+/// cap would be exceeded the build stops and returns an empty closure
+/// (num_components() == 0) so callers can fall back to per-query traversal.
+/// Pass UINT64_MAX for an unbounded build.
+ReachabilityClosure BuildReachabilityClosure(const Condensation& cond,
+                                             uint64_t max_total_nodes);
+
+}  // namespace soi
+
+#endif  // SOI_SCC_CLOSURE_H_

@@ -143,6 +143,29 @@ TEST(CliGoldenTest, InfMaxTcStdoutMatchesGoldenAcrossThreads) {
   }
 }
 
+TEST(CliGoldenTest, ClosureBudgetZeroReproducesGoldens) {
+  // The closure cache is a pure memoization; --closure-budget-mb 0 forces
+  // every query onto the traversal path, which must reproduce the (cached)
+  // goldens byte-for-byte.
+  const std::string typical_golden =
+      ReadFileOrDie(GoldenPath("typical.stdout.golden"));
+  const CliRun typical = RunCli("typical " + GraphFlags() +
+                                " --threads 1 --closure-budget-mb 0");
+  ASSERT_EQ(typical.exit_code, 0);
+  EXPECT_EQ(typical.stdout_text, typical_golden)
+      << "typical diverged with the closure cache disabled";
+
+  const std::string infmax_golden =
+      ReadFileOrDie(GoldenPath("infmax_tc.stdout.golden"));
+  const CliRun infmax =
+      RunCli("infmax " + GraphFlags() +
+             " --method tc --k 8 --eval-worlds 100 --threads 1"
+             " --closure-budget-mb 0");
+  ASSERT_EQ(infmax.exit_code, 0);
+  EXPECT_EQ(infmax.stdout_text, infmax_golden)
+      << "infmax tc diverged with the closure cache disabled";
+}
+
 // Pulls "key": <number> out of the metrics JSON (flat, known-schema file;
 // a full parser is not needed to check the coverage criterion).
 double JsonNumberAfter(const std::string& json, const std::string& key,

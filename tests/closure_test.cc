@@ -1,0 +1,318 @@
+// Equivalence suite for the per-world closure cache (scc/closure.h,
+// index/cascade_index.cc): the cache is a pure memoization, so every query
+// and every downstream result must be byte-identical between the cached and
+// the traversal path, across models, reduction settings, thread counts and
+// budget decisions. Also unit-tests the closure build invariants directly.
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cascade/threshold.h"
+#include "core/typical_cascade.h"
+#include "gen/generators.h"
+#include "graph/prob_assign.h"
+#include "index/cascade_index.h"
+#include "infmax/spread_oracle.h"
+#include "runtime/parallel_for.h"
+#include "scc/closure.h"
+#include "scc/condensation.h"
+#include "util/rng.h"
+
+namespace soi {
+namespace {
+
+// A directed graph with non-trivial SCCs and fan-out so worlds have both
+// multi-node components and deep DAGs. LT additionally normalizes in-weights.
+ProbGraph TestGraph(PropagationModel model) {
+  Rng gen_rng(7);
+  auto topo = GenerateRmat(7, 600, {}, &gen_rng);
+  EXPECT_TRUE(topo.ok());
+  Rng assign_rng(8);
+  auto g = AssignUniform(*topo, &assign_rng, 0.05, 0.35);
+  EXPECT_TRUE(g.ok());
+  if (model == PropagationModel::kLinearThreshold) {
+    auto lt = NormalizeLtWeights(*g, 0.9);
+    EXPECT_TRUE(lt.ok());
+    return std::move(lt).value();
+  }
+  return std::move(g).value();
+}
+
+CascadeIndex BuildIndex(const ProbGraph& g, PropagationModel model,
+                        bool reduction, uint64_t budget_mb,
+                        uint32_t worlds = 48, uint64_t seed = 11) {
+  CascadeIndexOptions options;
+  options.num_worlds = worlds;
+  options.model = model;
+  options.transitive_reduction = reduction;
+  options.closure_budget_mb = budget_mb;
+  Rng rng(seed);
+  auto index = CascadeIndex::Build(g, options, &rng);
+  EXPECT_TRUE(index.ok());
+  return std::move(index).value();
+}
+
+// ---------------------------------------------------------------------------
+// Closure build invariants.
+// ---------------------------------------------------------------------------
+
+TEST(ClosureBuildTest, MatchesReachableComponentsOnSampledWorlds) {
+  const ProbGraph g = TestGraph(PropagationModel::kIndependentCascade);
+  const CascadeIndex index =
+      BuildIndex(g, PropagationModel::kIndependentCascade, true, 0, 16);
+  std::vector<uint32_t> stamp;
+  std::vector<uint32_t> reached;
+  for (uint32_t i = 0; i < index.num_worlds(); ++i) {
+    const Condensation& cond = index.world(i);
+    const ReachabilityClosure closure =
+        BuildReachabilityClosure(cond, UINT64_MAX);
+    ASSERT_EQ(closure.num_components(), cond.num_components());
+    EXPECT_GT(closure.ApproxBytes(), 0u);
+    stamp.assign(cond.num_components(), 0);
+    uint32_t stamp_id = 0;
+    for (uint32_t c = 0; c < cond.num_components(); ++c) {
+      const auto comp_closure = closure.Closure(c);
+      // Ascending, includes c, and identical to a fresh DFS.
+      EXPECT_TRUE(std::is_sorted(comp_closure.begin(), comp_closure.end()));
+      EXPECT_TRUE(std::binary_search(comp_closure.begin(), comp_closure.end(),
+                                     c));
+      reached.clear();
+      ReachableComponents(cond, c, &stamp, ++stamp_id, &reached);
+      std::sort(reached.begin(), reached.end());
+      ASSERT_EQ(comp_closure.size(), reached.size());
+      EXPECT_TRUE(std::equal(comp_closure.begin(), comp_closure.end(),
+                             reached.begin()));
+      // The materialized run is the sorted union of the closure's members.
+      const auto run = closure.Cascade(c);
+      EXPECT_TRUE(std::is_sorted(run.begin(), run.end()));
+      uint64_t member_total = 0;
+      for (uint32_t cc : comp_closure) member_total += cond.ComponentSize(cc);
+      EXPECT_EQ(run.size(), member_total);
+      EXPECT_EQ(closure.NodeCount(c), member_total);
+      for (NodeId v : cond.ComponentMembers(c)) {
+        EXPECT_TRUE(std::binary_search(run.begin(), run.end(), v));
+      }
+    }
+  }
+}
+
+TEST(ClosureBuildTest, NodeCapBailsToEmptyClosure) {
+  const ProbGraph g = TestGraph(PropagationModel::kIndependentCascade);
+  const CascadeIndex index =
+      BuildIndex(g, PropagationModel::kIndependentCascade, true, 0, 4);
+  const Condensation& cond = index.world(0);
+  ASSERT_GT(cond.num_components(), 1u);
+  const ReachabilityClosure bailed = BuildReachabilityClosure(cond, 1);
+  EXPECT_EQ(bailed.num_components(), 0u);
+  EXPECT_TRUE(bailed.nodes.empty());
+  // An exact cap (total run length) succeeds.
+  const ReachabilityClosure full = BuildReachabilityClosure(cond, UINT64_MAX);
+  const ReachabilityClosure at_cap =
+      BuildReachabilityClosure(cond, full.nodes.size());
+  EXPECT_EQ(at_cap.num_components(), cond.num_components());
+  EXPECT_EQ(at_cap.nodes, full.nodes);
+}
+
+TEST(ClosureBuildTest, MergeComponentMemberRunsMatchesGatherSort) {
+  const ProbGraph g = TestGraph(PropagationModel::kIndependentCascade);
+  const CascadeIndex index =
+      BuildIndex(g, PropagationModel::kIndependentCascade, true, 0, 4);
+  const Condensation& cond = index.world(1);
+  const ReachabilityClosure closure = BuildReachabilityClosure(cond, UINT64_MAX);
+  RunMergeScratch scratch;
+  for (uint32_t c = 0; c < cond.num_components(); ++c) {
+    std::vector<NodeId> merged;
+    MergeComponentMemberRuns(cond, closure.Closure(c), &scratch, &merged);
+    std::vector<NodeId> gathered;
+    for (uint32_t cc : closure.Closure(c)) {
+      const auto m = cond.ComponentMembers(cc);
+      gathered.insert(gathered.end(), m.begin(), m.end());
+    }
+    std::sort(gathered.begin(), gathered.end());
+    EXPECT_EQ(merged, gathered);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cached vs traversal equivalence across models and reduction settings.
+// ---------------------------------------------------------------------------
+
+struct EquivalenceCase {
+  PropagationModel model;
+  bool reduction;
+};
+
+class ClosureEquivalenceTest
+    : public ::testing::TestWithParam<EquivalenceCase> {};
+
+TEST_P(ClosureEquivalenceTest, QueriesByteIdentical) {
+  const auto [model, reduction] = GetParam();
+  const ProbGraph g = TestGraph(model);
+  // Same Build seed: identical sampled worlds, only the cache differs.
+  const CascadeIndex cached = BuildIndex(g, model, reduction, 512);
+  const CascadeIndex plain = BuildIndex(g, model, reduction, 0);
+  ASSERT_TRUE(cached.has_closure_cache());
+  ASSERT_FALSE(plain.has_closure_cache());
+  EXPECT_GT(cached.stats().closure_bytes, 0u);
+  EXPECT_EQ(plain.stats().closure_bytes, 0u);
+  EXPECT_EQ(cached.stats().approx_bytes,
+            plain.stats().approx_bytes + cached.stats().closure_bytes);
+
+  CascadeIndex::Workspace ws_cached, ws_plain;
+  const NodeId n = g.num_nodes();
+  for (uint32_t i = 0; i < cached.num_worlds(); ++i) {
+    for (NodeId v = 0; v < n; ++v) {
+      const auto a = cached.Cascade(v, i, &ws_cached);
+      const auto b = plain.Cascade(v, i, &ws_plain);
+      ASSERT_EQ(a, b) << "node " << v << " world " << i;
+      const auto span = cached.CachedCascade(v, i);
+      ASSERT_TRUE(std::equal(span.begin(), span.end(), a.begin(), a.end()));
+      ASSERT_EQ(cached.CascadeSize(v, i, &ws_cached), a.size());
+      ASSERT_EQ(plain.CascadeSize(v, i, &ws_plain), b.size());
+    }
+  }
+  // Multi-seed queries exercise the stamped closure-union + run-merge path.
+  const std::vector<std::vector<NodeId>> seed_sets = {
+      {0, 1}, {2, 3, 5, 7}, {0, static_cast<NodeId>(n - 1)},
+      {10, 11, 12, 13, 14, 15, 16, 17}};
+  for (const auto& seeds : seed_sets) {
+    for (uint32_t i = 0; i < cached.num_worlds(); ++i) {
+      const auto a = cached.Cascade(seeds, i, &ws_cached);
+      const auto b = plain.Cascade(seeds, i, &ws_plain);
+      ASSERT_EQ(a, b);
+      ASSERT_EQ(cached.CascadeSize(seeds, i, &ws_cached), a.size());
+      ASSERT_EQ(plain.CascadeSize(seeds, i, &ws_plain), a.size());
+    }
+  }
+}
+
+TEST_P(ClosureEquivalenceTest, TypicalSweepByteIdenticalAcrossThreads) {
+  const auto [model, reduction] = GetParam();
+  const ProbGraph g = TestGraph(model);
+  const CascadeIndex cached = BuildIndex(g, model, reduction, 512);
+  const CascadeIndex plain = BuildIndex(g, model, reduction, 0);
+  ASSERT_TRUE(cached.has_closure_cache());
+  ASSERT_FALSE(plain.has_closure_cache());
+
+  const uint32_t saved_threads = GlobalThreads();
+  std::vector<std::vector<TypicalCascadeResult>> sweeps;
+  for (const CascadeIndex* index : {&cached, &plain}) {
+    for (uint32_t threads : {1u, 8u}) {
+      SetGlobalThreads(threads);
+      TypicalCascadeComputer computer(index);
+      auto result = computer.ComputeAll({});
+      ASSERT_TRUE(result.ok());
+      sweeps.push_back(std::move(result).value());
+    }
+  }
+  SetGlobalThreads(saved_threads);
+  const auto& reference = sweeps[0];
+  for (size_t s = 1; s < sweeps.size(); ++s) {
+    ASSERT_EQ(sweeps[s].size(), reference.size());
+    for (size_t v = 0; v < reference.size(); ++v) {
+      ASSERT_EQ(sweeps[s][v].cascade, reference[v].cascade)
+          << "sweep " << s << " node " << v;
+      ASSERT_EQ(sweeps[s][v].in_sample_cost, reference[v].in_sample_cost);
+      ASSERT_EQ(sweeps[s][v].mean_sample_size, reference[v].mean_sample_size);
+      ASSERT_EQ(sweeps[s][v].median_source, reference[v].median_source);
+    }
+  }
+}
+
+TEST_P(ClosureEquivalenceTest, SpreadOracleGainsIdentical) {
+  const auto [model, reduction] = GetParam();
+  const ProbGraph g = TestGraph(model);
+  const CascadeIndex cached = BuildIndex(g, model, reduction, 512);
+  const CascadeIndex plain = BuildIndex(g, model, reduction, 0);
+  ASSERT_TRUE(cached.has_closure_cache());
+  SpreadOracle oracle_cached(&cached);
+  SpreadOracle oracle_plain(&plain);
+  // First round: the cached oracle answers from NodeCount lookups.
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    ASSERT_EQ(oracle_cached.MarginalGain(v), oracle_plain.MarginalGain(v));
+  }
+  // After a commit both fall back to the traversal and must still agree.
+  EXPECT_EQ(oracle_cached.Add(3), oracle_plain.Add(3));
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    ASSERT_EQ(oracle_cached.MarginalGain(v), oracle_plain.MarginalGain(v));
+  }
+  EXPECT_EQ(oracle_cached.CurrentSpread(), oracle_plain.CurrentSpread());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModelsAndReduction, ClosureEquivalenceTest,
+    ::testing::Values(
+        EquivalenceCase{PropagationModel::kIndependentCascade, true},
+        EquivalenceCase{PropagationModel::kIndependentCascade, false},
+        EquivalenceCase{PropagationModel::kLinearThreshold, true},
+        EquivalenceCase{PropagationModel::kLinearThreshold, false}),
+    [](const ::testing::TestParamInfo<EquivalenceCase>& info) {
+      std::string name = info.param.model ==
+                                 PropagationModel::kIndependentCascade
+                             ? "Ic"
+                             : "Lt";
+      return name + (info.param.reduction ? "Reduced" : "Unreduced");
+    });
+
+// ---------------------------------------------------------------------------
+// Budget semantics.
+// ---------------------------------------------------------------------------
+
+TEST(ClosureBudgetTest, OverBudgetFallsBackWithIdenticalOutputs) {
+  // Dense enough that the total closure size dwarfs a 1 MiB budget.
+  Rng gen_rng(17);
+  auto topo = GenerateRmat(10, 6000, {}, &gen_rng);
+  ASSERT_TRUE(topo.ok());
+  Rng assign_rng(18);
+  auto g = AssignUniform(*topo, &assign_rng, 0.2, 0.5);
+  ASSERT_TRUE(g.ok());
+  const CascadeIndex tiny =
+      BuildIndex(*g, PropagationModel::kIndependentCascade, true, 1, 16);
+  const CascadeIndex plain =
+      BuildIndex(*g, PropagationModel::kIndependentCascade, true, 0, 16);
+  ASSERT_FALSE(tiny.has_closure_cache());
+  EXPECT_EQ(tiny.stats().closure_bytes, 0u);
+  EXPECT_EQ(tiny.stats().approx_bytes, plain.stats().approx_bytes);
+  CascadeIndex::Workspace ws_a, ws_b;
+  for (uint32_t i = 0; i < tiny.num_worlds(); ++i) {
+    for (NodeId v = 0; v < g->num_nodes(); v += 37) {
+      ASSERT_EQ(tiny.Cascade(v, i, &ws_a), plain.Cascade(v, i, &ws_b));
+    }
+  }
+}
+
+TEST(ClosureBudgetTest, FromWorldsRebuildsCacheUnderBudget) {
+  const ProbGraph g = TestGraph(PropagationModel::kIndependentCascade);
+  const CascadeIndex built =
+      BuildIndex(g, PropagationModel::kIndependentCascade, true, 512, 16);
+  ASSERT_TRUE(built.has_closure_cache());
+  std::vector<Condensation> worlds;
+  for (uint32_t i = 0; i < built.num_worlds(); ++i) {
+    worlds.push_back(built.world(i));
+  }
+  auto reloaded = CascadeIndex::FromWorlds(g.num_nodes(), worlds, 512);
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_TRUE(reloaded->has_closure_cache());
+  EXPECT_EQ(reloaded->stats().closure_bytes, built.stats().closure_bytes);
+  EXPECT_EQ(reloaded->stats().approx_bytes, built.stats().approx_bytes);
+
+  auto disabled = CascadeIndex::FromWorlds(g.num_nodes(), std::move(worlds), 0);
+  ASSERT_TRUE(disabled.ok());
+  EXPECT_FALSE(disabled->has_closure_cache());
+  EXPECT_EQ(disabled->stats().closure_bytes, 0u);
+
+  CascadeIndex::Workspace ws_a, ws_b;
+  for (uint32_t i = 0; i < built.num_worlds(); ++i) {
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      const auto a = reloaded->Cascade(v, i, &ws_a);
+      ASSERT_EQ(a, disabled->Cascade(v, i, &ws_b));
+      ASSERT_TRUE(std::ranges::equal(built.CachedCascade(v, i), a));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace soi

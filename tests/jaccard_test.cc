@@ -118,7 +118,8 @@ TEST(MedianTest, MajorityElementSelected) {
 
 TEST(MedianTest, ValidatesInputs) {
   JaccardMedianSolver solver(5);
-  EXPECT_FALSE(solver.Compute({}).ok());  // empty collection
+  const std::vector<std::vector<NodeId>> empty;
+  EXPECT_FALSE(solver.Compute(empty).ok());  // empty collection
   EXPECT_EQ(solver.Compute({{9}}).status().code(),
             StatusCode::kOutOfRange);  // exceeds universe
   EXPECT_EQ(solver.Compute({{2, 1}}).status().code(),

@@ -26,6 +26,15 @@
 //   --no-metrics       disable all instrumentation (same as SOI_OBS=0);
 //                      algorithmic output is byte-identical either way
 //
+// Index-building commands (index, sphere, typical, infmax std|tc) also take
+//   --closure-budget-mb N   memory budget for the per-world reachability
+//                      closure cache (default: SOI_CLOSURE_BUDGET_MB or 512;
+//                      0 disables). Over-budget indexes fall back to
+//                      per-query DAG traversal; outputs are byte-identical
+//                      either way, only speed changes. A loaded index
+//                      (sphere --index) rebuilds the cache under the
+//                      environment budget — the cache is never serialized.
+//
 // Graphs are whitespace edge lists: "src dst [prob]" (SNAP files load
 // directly; missing probabilities default to --default-prob).
 
@@ -117,6 +126,14 @@ Result<CascadeIndex> BuildIndexFromFlags(const ProbGraph& graph,
   } else if (model != "ic") {
     return Status::InvalidArgument("--model must be ic or lt");
   }
+  SOI_ASSIGN_OR_RETURN(
+      const int64_t budget,
+      flags.GetInt("closure-budget-mb",
+                   static_cast<int64_t>(DefaultClosureBudgetMb())));
+  if (budget < 0) {
+    return Status::InvalidArgument("--closure-budget-mb must be >= 0");
+  }
+  options.closure_budget_mb = static_cast<uint64_t>(budget);
   SOI_ASSIGN_OR_RETURN(const int64_t seed, flags.GetInt("seed", 1));
   Rng rng(static_cast<uint64_t>(seed));
   return CascadeIndex::Build(graph, options, &rng);
