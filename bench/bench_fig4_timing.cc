@@ -124,7 +124,7 @@ int main() {
       // Cost on held-out worlds, via the eval index's cascades.
       double total = 0.0;
       for (uint32_t i = 0; i < eval_index->num_worlds(); ++i) {
-        const auto cascade = eval_index->Cascade(v, i, &eval_ws);
+        const auto cascade = eval_index->Cascade(v, i, &eval_ws).value();
         total += soi::JaccardDistance(cascade, result->cascade);
       }
       cost.Add(total / eval_index->num_worlds());

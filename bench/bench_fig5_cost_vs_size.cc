@@ -52,7 +52,7 @@ int main() {
       if (result->cascade.empty()) continue;
       double total = 0.0;
       for (uint32_t i = 0; i < eval_index->num_worlds(); ++i) {
-        const auto cascade = eval_index->Cascade(v, i, &eval_ws);
+        const auto cascade = eval_index->Cascade(v, i, &eval_ws).value();
         total += soi::JaccardDistance(cascade, result->cascade);
       }
       const double cost = total / eval_index->num_worlds();

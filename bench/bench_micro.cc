@@ -29,6 +29,7 @@
 #include "scc/condensation.h"
 #include "scc/tarjan.h"
 #include "scc/transitive.h"
+#include "service/engine.h"
 #include "util/rng.h"
 #include "util/stats.h"
 
@@ -118,7 +119,7 @@ void BM_CascadeQueryViaIndex(benchmark::State& state) {
   NodeId v = 0;
   uint32_t i = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(index->Cascade(v, i, &ws));
+    benchmark::DoNotOptimize(index->Cascade(v, i, &ws).value());
     v = (v + 911) % TestGraph().num_nodes();
     i = (i + 1) % index->num_worlds();
   }
@@ -158,7 +159,7 @@ void BM_CascadeExtractAllWorlds(benchmark::State& state) {
   uint64_t nodes_out = 0;
   for (auto _ : state) {
     const NodeId seeds[1] = {v};
-    index->AllCascadesInto(seeds, &ws, &arena);
+    SOI_CHECK(index->AllCascadesInto(seeds, &ws, &arena).ok());
     benchmark::DoNotOptimize(arena.num_cascades());
     for (size_t c = 0; c < arena.num_cascades(); ++c) {
       nodes_out += arena.View(c).size();
@@ -182,7 +183,7 @@ void BM_JaccardMedian(benchmark::State& state) {
   for (NodeId v = 0; v < TestGraph().num_nodes(); ++v) {
     if (TestGraph().OutDegree(v) > TestGraph().OutDegree(best)) best = v;
   }
-  const auto cascades = index->AllCascades(best, &ws);
+  const auto cascades = index->AllCascades(best, &ws).value();
   JaccardMedianSolver solver(TestGraph().num_nodes());
   MedianOptions median;
   median.input_candidates = mode >= 1 ? 8 : 0;
@@ -248,6 +249,85 @@ void BM_SpreadOracleGain(benchmark::State& state) {
 }
 BENCHMARK(BM_SpreadOracleGain);
 
+// A mixed cascade/spread batch through the service Engine: the per-query
+// cost of the query path the CLI `serve` mode exposes, against the one
+// resident index (contrast with BM_IndexBuild — the rebuild every
+// stand-alone CLI invocation pays).
+service::Engine& BenchEngine() {
+  static service::Engine* engine = [] {
+    service::EngineOptions options;
+    options.index.num_worlds = 64;
+    auto e = service::Engine::Create(ProbGraph(TestGraph()), options);
+    SOI_CHECK(e.ok());
+    return new service::Engine(std::move(e).value());
+  }();
+  return *engine;
+}
+
+std::vector<service::Request> MixedBatch(uint32_t size, NodeId num_nodes) {
+  std::vector<service::Request> requests;
+  requests.reserve(size);
+  for (uint32_t i = 0; i < size; ++i) {
+    const NodeId v = (i * 131u) % num_nodes;
+    service::Request r;
+    if (i % 2 == 0) {
+      r.payload = service::CascadeRequest{{v}, i % 64};
+    } else {
+      r.payload = service::SpreadRequest{{v}};
+    }
+    requests.push_back(std::move(r));
+  }
+  return requests;
+}
+
+void BM_EngineBatch(benchmark::State& state) {
+  service::Engine& engine = BenchEngine();
+  const auto requests = MixedBatch(static_cast<uint32_t>(state.range(0)),
+                                   TestGraph().num_nodes());
+  for (auto _ : state) {
+    auto batch = engine.RunBatch(requests);
+    SOI_CHECK(batch.ok());
+    benchmark::DoNotOptimize(batch);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EngineBatch)->Arg(16)->Arg(256)->ArgNames({"batch"});
+
+// Engine amortization numbers for BENCH_micro.json: one index build
+// (what every stand-alone CLI query pays) vs the mean per-query latency of
+// a mixed batch against the resident engine. The service layer's reason to
+// exist is per_query_seconds << build_seconds.
+struct EngineBatchNumbers {
+  double build_seconds = 0.0;
+  double per_query_seconds = 0.0;
+  uint32_t batch_size = 0;
+  double queries_per_rebuild = 0.0;
+};
+
+EngineBatchNumbers RunEngineBatchComparison() {
+  EngineBatchNumbers out;
+  service::EngineOptions options;
+  options.index.num_worlds = 64;
+  WallTimer build_timer;
+  auto engine = service::Engine::Create(ProbGraph(TestGraph()), options);
+  out.build_seconds = build_timer.ElapsedSeconds();
+  SOI_CHECK(engine.ok());
+
+  out.batch_size = 1024;
+  const auto requests = MixedBatch(out.batch_size, TestGraph().num_nodes());
+  SOI_CHECK(engine->RunBatch(requests).ok());  // warm-up
+  constexpr uint32_t kRuns = 8;
+  WallTimer batch_timer;
+  for (uint32_t run = 0; run < kRuns; ++run) {
+    const auto batch = engine->RunBatch(requests);
+    SOI_CHECK(batch.ok());
+  }
+  out.per_query_seconds =
+      batch_timer.ElapsedSeconds() / (kRuns * out.batch_size);
+  out.queries_per_rebuild = out.build_seconds / out.per_query_seconds;
+  return out;
+}
+
 // Times the full single-threaded ComputeAll sweep on both extraction paths
 // (closure cache vs per-query traversal), checks the outputs are identical,
 // and writes the speedup to BENCH_micro.json — the headline number of the
@@ -300,6 +380,7 @@ void RunSweepComparison() {
   SetGlobalThreads(prev_threads);
 
   const double speedup = traversal_seconds / closure_seconds;
+  const EngineBatchNumbers eb = RunEngineBatchComparison();
   std::FILE* f = std::fopen("BENCH_micro.json", "w");
   SOI_CHECK(f != nullptr);
   std::fprintf(f,
@@ -314,16 +395,27 @@ void RunSweepComparison() {
                "    \"closure_sweep_seconds\": %.6f,\n"
                "    \"speedup\": %.3f,\n"
                "    \"outputs_identical\": true\n"
+               "  },\n"
+               "  \"engine_batch\": {\n"
+               "    \"batch_size\": %u,\n"
+               "    \"index_build_seconds\": %.6f,\n"
+               "    \"per_query_seconds\": %.9f,\n"
+               "    \"queries_per_rebuild\": %.1f\n"
                "  }\n"
                "}\n",
                g.num_nodes(), closure_index->num_worlds(),
                static_cast<unsigned long long>(
                    closure_index->stats().closure_bytes),
-               traversal_seconds, closure_seconds, speedup);
+               traversal_seconds, closure_seconds, speedup, eb.batch_size,
+               eb.build_seconds, eb.per_query_seconds, eb.queries_per_rebuild);
   std::fclose(f);
   std::printf("sweep: traversal %.3fs, closure %.3fs, speedup %.2fx "
               "(wrote BENCH_micro.json)\n",
               traversal_seconds, closure_seconds, speedup);
+  std::printf("engine: build %.3fs, per-query %.1fus "
+              "(%.0f queries per rebuild)\n",
+              eb.build_seconds, eb.per_query_seconds * 1e6,
+              eb.queries_per_rebuild);
 }
 
 }  // namespace

@@ -68,8 +68,8 @@ int main() {
         if (!result.ok()) return 1;
         double total = 0.0;
         for (uint32_t i = 0; i < eval_index->num_worlds(); ++i) {
-          total += soi::JaccardDistance(eval_index->Cascade(v, i, &eval_ws),
-                                        result->cascade);
+          total += soi::JaccardDistance(
+              eval_index->Cascade(v, i, &eval_ws).value(), result->cascade);
         }
         holdout.Add(total / eval_index->num_worlds());
         in_sample.Add(result->in_sample_cost);

@@ -65,8 +65,8 @@ int main() {
     spread[v] = result.mean_sample_size;
     double total = 0.0;
     for (uint32_t i = 0; i < eval_index.num_worlds(); ++i) {
-      total += soi::JaccardDistance(eval_index.Cascade(v, i, &eval_ws),
-                                    result.cascade);
+      const auto cascade = Unwrap(eval_index.Cascade(v, i, &eval_ws), "Cascade");
+      total += soi::JaccardDistance(cascade, result.cascade);
     }
     cost[v] = total / eval_index.num_worlds();
   }

@@ -22,13 +22,7 @@ Status CheckSize(const ProbGraph& graph) {
 }
 
 Status CheckSeeds(const ProbGraph& graph, std::span<const NodeId> seeds) {
-  if (seeds.empty()) return Status::InvalidArgument("empty seed set");
-  for (NodeId s : seeds) {
-    if (s >= graph.num_nodes()) {
-      return Status::OutOfRange("seed out of range");
-    }
-  }
-  return Status::OK();
+  return ValidateSeedSet(seeds, graph.num_nodes());
 }
 
 // Enumerates all worlds; calls fn(reachable_sorted, world_probability).

@@ -110,10 +110,7 @@ Result<std::vector<NodeId>> SimulateLtCascade(const ProbGraph& graph,
                                               std::span<const NodeId> seeds,
                                               Rng* rng) {
   SOI_RETURN_IF_ERROR(ValidateLtWeights(graph));
-  if (seeds.empty()) return Status::InvalidArgument("empty seed set");
-  for (NodeId s : seeds) {
-    if (s >= graph.num_nodes()) return Status::OutOfRange("seed out of range");
-  }
+  SOI_RETURN_IF_ERROR(ValidateSeedSet(seeds, graph.num_nodes()));
   const NodeId n = graph.num_nodes();
   // Lazily drawn thresholds; accumulated incoming active weight per node.
   std::vector<double> threshold(n, -1.0);

@@ -24,8 +24,9 @@ Result<InfluencerRanking> RankInfluencers(const CascadeIndex& index,
                          computer.Compute(v, options.typical));
     double total = 0.0;
     for (uint32_t i = 0; i < eval_index.num_worlds(); ++i) {
-      total += JaccardDistance(eval_index.Cascade(v, i, &eval_ws),
-                               sphere.cascade);
+      SOI_ASSIGN_OR_RETURN(const std::vector<NodeId> cascade,
+                           eval_index.Cascade(v, i, &eval_ws));
+      total += JaccardDistance(cascade, sphere.cascade);
     }
     InfluencerScore& score = ranking.scores[v];
     score.node = v;

@@ -9,12 +9,9 @@ Result<StabilityResult> ComputeSeedSetStability(const ProbGraph& graph,
                                                 std::span<const NodeId> seeds,
                                                 const StabilityOptions& options,
                                                 Rng* rng) {
-  if (seeds.empty()) return Status::InvalidArgument("empty seed set");
+  SOI_RETURN_IF_ERROR(ValidateSeedSet(seeds, graph.num_nodes()));
   if (options.median_samples == 0 || options.eval_samples == 0) {
     return Status::InvalidArgument("sample counts must be >= 1");
-  }
-  for (NodeId s : seeds) {
-    if (s >= graph.num_nodes()) return Status::OutOfRange("seed out of range");
   }
 
   std::vector<std::vector<NodeId>> cascades;

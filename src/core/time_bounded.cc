@@ -10,11 +10,7 @@ namespace soi {
 namespace {
 
 Status CheckSeeds(const ProbGraph& graph, std::span<const NodeId> seeds) {
-  if (seeds.empty()) return Status::InvalidArgument("empty seed set");
-  for (NodeId s : seeds) {
-    if (s >= graph.num_nodes()) return Status::OutOfRange("seed out of range");
-  }
-  return Status::OK();
+  return ValidateSeedSet(seeds, graph.num_nodes());
 }
 
 // One time-bounded cascade: simulate and keep activations with

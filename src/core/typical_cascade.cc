@@ -23,17 +23,12 @@ Result<TypicalCascadeResult> TypicalCascadeComputer::Compute(
 
 Result<TypicalCascadeResult> TypicalCascadeComputer::ComputeForSeeds(
     std::span<const NodeId> seeds, const TypicalCascadeOptions& options) {
-  if (seeds.empty()) return Status::InvalidArgument("empty seed set");
-  for (NodeId s : seeds) {
-    if (s >= index_->num_nodes()) {
-      return Status::OutOfRange("seed out of range");
-    }
-  }
+  SOI_RETURN_IF_ERROR(ValidateSeedSet(seeds, index_->num_nodes()));
   WallTimer timer;
   SOI_OBS_COUNTER_ADD("typical/computations", 1);
   {
     SOI_OBS_SPAN("typical/extract_cascades");
-    index_->AllCascadesInto(seeds, &ws_, &arena_);
+    SOI_RETURN_IF_ERROR(index_->AllCascadesInto(seeds, &ws_, &arena_));
   }
   const std::vector<std::span<const NodeId>>& cascades = arena_.Views();
   double mean_size = 0.0;
@@ -145,12 +140,9 @@ Result<double> EstimateExpectedCost(const ProbGraph& graph,
                                     std::span<const NodeId> seeds,
                                     std::span<const NodeId> candidate,
                                     uint32_t num_samples, Rng* rng) {
-  if (seeds.empty()) return Status::InvalidArgument("empty seed set");
+  SOI_RETURN_IF_ERROR(ValidateSeedSet(seeds, graph.num_nodes()));
   if (num_samples == 0) {
     return Status::InvalidArgument("num_samples must be >= 1");
-  }
-  for (NodeId s : seeds) {
-    if (s >= graph.num_nodes()) return Status::OutOfRange("seed out of range");
   }
   // Candidates come out of the median solver / the index already sorted, so
   // require that instead of copy+sorting on every call (this function runs

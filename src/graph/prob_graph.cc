@@ -127,4 +127,20 @@ Result<ProbGraph> ProbGraphBuilder::Build() {
   return g;
 }
 
+Status ValidateSeedSet(std::span<const NodeId> seeds, NodeId num_nodes) {
+  if (seeds.empty()) {
+    return Status::InvalidArgument(
+        "seed set is empty; provide at least one node id");
+  }
+  for (NodeId s : seeds) {
+    if (s >= num_nodes) {
+      return Status::InvalidArgument(
+          "seed node id " + std::to_string(s) + " is out of range; graph has " +
+          std::to_string(num_nodes) + " nodes (valid ids: 0.." +
+          std::to_string(num_nodes - 1) + ")");
+    }
+  }
+  return Status::OK();
+}
+
 }  // namespace soi

@@ -145,6 +145,13 @@ class ProbGraphBuilder {
   std::vector<ProbEdge> edges_;
 };
 
+/// Validates a query seed set against a node-id universe of `num_nodes`
+/// nodes: non-empty, every id in [0, num_nodes). The shared entry-point
+/// check for every public query API (cascades, spreads, reliability,
+/// stability, ...); errors are InvalidArgument with a message naming the
+/// offending id and the valid range.
+Status ValidateSeedSet(std::span<const NodeId> seeds, NodeId num_nodes);
+
 }  // namespace soi
 
 #endif  // SOI_GRAPH_PROB_GRAPH_H_

@@ -205,20 +205,36 @@ Result<CascadeIndex> CascadeIndex::FromWorlds(NodeId num_nodes,
   return index;
 }
 
+Status CascadeIndex::ValidateSeeds(std::span<const NodeId> seeds) const {
+  SOI_RETURN_IF_ERROR(ValidateSeedSet(seeds, num_nodes_));
+  return Status::OK();
+}
+
+Status CascadeIndex::ValidateWorld(uint32_t i) const {
+  if (i >= num_worlds()) {
+    return Status::InvalidArgument(
+        "world index " + std::to_string(i) + " is out of range; index has " +
+        std::to_string(num_worlds()) + " worlds (valid: 0.." +
+        std::to_string(num_worlds() - 1) + ")");
+  }
+  return Status::OK();
+}
+
 void CascadeIndex::CascadeInto(std::span<const NodeId> seeds, uint32_t i,
                                Workspace* ws, std::vector<NodeId>* out) const {
+  // Precondition (debug-checked): seeds/world validated by the caller.
   const Condensation& cond = world(i);
   if (has_closure_cache()) {
     const ReachabilityClosure& cl = closures_[i];
     if (seeds.size() == 1) {
-      SOI_CHECK(seeds[0] < num_nodes_);
+      SOI_DCHECK(seeds[0] < num_nodes_);
       const auto run = cl.Cascade(cond.ComponentOf(seeds[0]));
       out->insert(out->end(), run.begin(), run.end());
       return;
     }
     ws->Prepare(cond.num_components());
     for (NodeId s : seeds) {
-      SOI_CHECK(s < num_nodes_);
+      SOI_DCHECK(s < num_nodes_);
       for (uint32_t x : cl.Closure(cond.ComponentOf(s))) {
         if (ws->stamp_[x] != ws->stamp_id_) {
           ws->stamp_[x] = ws->stamp_id_;
@@ -233,7 +249,7 @@ void CascadeIndex::CascadeInto(std::span<const NodeId> seeds, uint32_t i,
   // Traversal fallback: DFS over the condensation DAG, gather, sort.
   ws->Prepare(cond.num_components());
   for (NodeId s : seeds) {
-    SOI_CHECK(s < num_nodes_);
+    SOI_DCHECK(s < num_nodes_);
     ReachableComponents(cond, cond.ComponentOf(s), &ws->stamp_, ws->stamp_id_,
                         &ws->comps_);
   }
@@ -245,8 +261,11 @@ void CascadeIndex::CascadeInto(std::span<const NodeId> seeds, uint32_t i,
   std::sort(out->begin() + base, out->end());
 }
 
-std::vector<NodeId> CascadeIndex::Cascade(std::span<const NodeId> seeds,
-                                          uint32_t i, Workspace* ws) const {
+Result<std::vector<NodeId>> CascadeIndex::Cascade(std::span<const NodeId> seeds,
+                                                  uint32_t i,
+                                                  Workspace* ws) const {
+  SOI_RETURN_IF_ERROR(ValidateSeeds(seeds));
+  SOI_RETURN_IF_ERROR(ValidateWorld(i));
   std::vector<NodeId> out;
   CascadeInto(seeds, i, ws, &out);
   return out;
@@ -258,19 +277,19 @@ void CascadeIndex::AppendCascade(std::span<const NodeId> seeds, uint32_t i,
   arena->ends_.push_back(arena->data_.size());
 }
 
-uint64_t CascadeIndex::CascadeSize(std::span<const NodeId> seeds, uint32_t i,
-                                   Workspace* ws) const {
+Result<uint64_t> CascadeIndex::CascadeSize(std::span<const NodeId> seeds,
+                                           uint32_t i, Workspace* ws) const {
+  SOI_RETURN_IF_ERROR(ValidateSeeds(seeds));
+  SOI_RETURN_IF_ERROR(ValidateWorld(i));
   const Condensation& cond = world(i);
   if (has_closure_cache()) {
     const ReachabilityClosure& cl = closures_[i];
     if (seeds.size() == 1) {
-      SOI_CHECK(seeds[0] < num_nodes_);
       return cl.NodeCount(cond.ComponentOf(seeds[0]));
     }
     ws->Prepare(cond.num_components());
     uint64_t total = 0;
     for (NodeId s : seeds) {
-      SOI_CHECK(s < num_nodes_);
       for (uint32_t x : cl.Closure(cond.ComponentOf(s))) {
         if (ws->stamp_[x] != ws->stamp_id_) {
           ws->stamp_[x] = ws->stamp_id_;
@@ -282,7 +301,6 @@ uint64_t CascadeIndex::CascadeSize(std::span<const NodeId> seeds, uint32_t i,
   }
   ws->Prepare(cond.num_components());
   for (NodeId s : seeds) {
-    SOI_CHECK(s < num_nodes_);
     ReachableComponents(cond, cond.ComponentOf(s), &ws->stamp_, ws->stamp_id_,
                         &ws->comps_);
   }
@@ -291,22 +309,28 @@ uint64_t CascadeIndex::CascadeSize(std::span<const NodeId> seeds, uint32_t i,
   return total;
 }
 
-std::vector<std::vector<NodeId>> CascadeIndex::AllCascades(
+Result<std::vector<std::vector<NodeId>>> CascadeIndex::AllCascades(
     std::span<const NodeId> seeds, Workspace* ws) const {
+  SOI_RETURN_IF_ERROR(ValidateSeeds(seeds));
   std::vector<std::vector<NodeId>> out;
   out.reserve(num_worlds());
   for (uint32_t i = 0; i < num_worlds(); ++i) {
-    out.push_back(Cascade(seeds, i, ws));
+    std::vector<NodeId> cascade;
+    CascadeInto(seeds, i, ws, &cascade);
+    out.push_back(std::move(cascade));
   }
   return out;
 }
 
-void CascadeIndex::AllCascadesInto(std::span<const NodeId> seeds,
-                                   Workspace* ws, CascadeArena* arena) const {
+Status CascadeIndex::AllCascadesInto(std::span<const NodeId> seeds,
+                                     Workspace* ws,
+                                     CascadeArena* arena) const {
   arena->Clear();
+  SOI_RETURN_IF_ERROR(ValidateSeeds(seeds));
   for (uint32_t i = 0; i < num_worlds(); ++i) {
     AppendCascade(seeds, i, ws, arena);
   }
+  return Status::OK();
 }
 
 }  // namespace soi

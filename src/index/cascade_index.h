@@ -171,24 +171,44 @@ class CascadeIndex {
     return world(i).ComponentOf(v);
   }
 
+  /// Validates a query seed set: non-empty, every id < num_nodes(). The
+  /// query entry points below call this themselves; it is public so batch
+  /// drivers (the service layer) can validate once and then use the
+  /// unchecked per-world kernels.
+  Status ValidateSeeds(std::span<const NodeId> seeds) const;
+
+  /// Validates a world index against num_worlds().
+  Status ValidateWorld(uint32_t i) const;
+
   /// Zero-copy cascade of single source v in world i: a span into the
-  /// memoized run, sorted ascending, valid for the index's lifetime. Only
-  /// with has_closure_cache(); identical content to Cascade(v, i, ws).
+  /// memoized run, sorted ascending, valid for the index's lifetime.
+  ///
+  /// Unchecked hot kernel: requires has_closure_cache(), v < num_nodes()
+  /// and i < num_worlds() (pre-validated by the caller; debug-checked).
+  /// Identical content to Cascade(v, i, ws).
   std::span<const NodeId> CachedCascade(NodeId v, uint32_t i) const {
     SOI_DCHECK(has_closure_cache());
+    SOI_DCHECK(v < num_nodes_);
     return closures_[i].Cascade(world(i).ComponentOf(v));
   }
 
   /// Cascade of the seed set in world i, sorted ascending (includes seeds).
-  std::vector<NodeId> Cascade(std::span<const NodeId> seeds, uint32_t i,
-                              Workspace* ws) const;
-  std::vector<NodeId> Cascade(NodeId v, uint32_t i, Workspace* ws) const {
+  /// Validated entry point: bad seeds or world index return a Status
+  /// instead of aborting.
+  Result<std::vector<NodeId>> Cascade(std::span<const NodeId> seeds,
+                                      uint32_t i, Workspace* ws) const;
+  Result<std::vector<NodeId>> Cascade(NodeId v, uint32_t i,
+                                      Workspace* ws) const {
     const NodeId seeds[1] = {v};
     return Cascade(std::span<const NodeId>(seeds, 1), i, ws);
   }
 
   /// Appends the cascade of the seed set in world i to `arena` (allocation
   /// amortized across the arena's lifetime).
+  ///
+  /// Unchecked hot kernel: seeds and world index must be pre-validated
+  /// (ValidateSeeds/ValidateWorld); out-of-range input is a programming
+  /// error, debug-checked only.
   void AppendCascade(std::span<const NodeId> seeds, uint32_t i, Workspace* ws,
                      CascadeArena* arena) const;
   void AppendCascade(NodeId v, uint32_t i, Workspace* ws,
@@ -198,26 +218,29 @@ class CascadeIndex {
   }
 
   /// Number of nodes in the cascade, without materializing them. O(1) for a
-  /// single seed when the closure cache is present.
-  uint64_t CascadeSize(std::span<const NodeId> seeds, uint32_t i,
-                       Workspace* ws) const;
-  uint64_t CascadeSize(NodeId v, uint32_t i, Workspace* ws) const {
+  /// single seed when the closure cache is present. Validated entry point.
+  Result<uint64_t> CascadeSize(std::span<const NodeId> seeds, uint32_t i,
+                               Workspace* ws) const;
+  Result<uint64_t> CascadeSize(NodeId v, uint32_t i, Workspace* ws) const {
     const NodeId seeds[1] = {v};
     return CascadeSize(std::span<const NodeId>(seeds, 1), i, ws);
   }
 
   /// All l cascades of a seed set (the sample fed to the Jaccard median).
-  std::vector<std::vector<NodeId>> AllCascades(std::span<const NodeId> seeds,
-                                               Workspace* ws) const;
-  std::vector<std::vector<NodeId>> AllCascades(NodeId v, Workspace* ws) const {
+  /// Validated entry point.
+  Result<std::vector<std::vector<NodeId>>> AllCascades(
+      std::span<const NodeId> seeds, Workspace* ws) const;
+  Result<std::vector<std::vector<NodeId>>> AllCascades(NodeId v,
+                                                       Workspace* ws) const {
     const NodeId seeds[1] = {v};
     return AllCascades(std::span<const NodeId>(seeds, 1), ws);
   }
 
   /// All l cascades of a seed set into a reusable arena (clears it first).
-  /// The zero-allocation sibling of AllCascades for sweep loops.
-  void AllCascadesInto(std::span<const NodeId> seeds, Workspace* ws,
-                       CascadeArena* arena) const;
+  /// The zero-allocation sibling of AllCascades for sweep loops. Validated
+  /// entry point; on error the arena is left cleared.
+  Status AllCascadesInto(std::span<const NodeId> seeds, Workspace* ws,
+                         CascadeArena* arena) const;
 
  private:
   // Appends the cascade of `seeds` in world i to *out (sorted ascending).

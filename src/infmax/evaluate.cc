@@ -14,12 +14,8 @@ namespace {
 
 Status CheckArgs(const ProbGraph& graph, std::span<const NodeId> seeds,
                  uint32_t num_worlds) {
-  if (seeds.empty()) return Status::InvalidArgument("empty seed sequence");
   if (num_worlds == 0) return Status::InvalidArgument("num_worlds must be >= 1");
-  for (NodeId s : seeds) {
-    if (s >= graph.num_nodes()) return Status::OutOfRange("seed out of range");
-  }
-  return Status::OK();
+  return ValidateSeedSet(seeds, graph.num_nodes());
 }
 
 }  // namespace

@@ -184,19 +184,28 @@ class McEstimator {
 
 Result<GreedyResult> InfMaxStd(const CascadeIndex& index,
                                const GreedyStdOptions& options) {
-  if (options.k == 0) return Status::InvalidArgument("k must be >= 1");
-  const uint32_t k = std::min<uint32_t>(options.k, index.num_nodes());
   SpreadOracle oracle(&index);
-  auto gain = [&](NodeId v) { return oracle.MarginalGain(v); };
+  return InfMaxStd(&oracle, options);
+}
+
+Result<GreedyResult> InfMaxStd(SpreadOracle* oracle,
+                               const GreedyStdOptions& options) {
+  if (oracle == nullptr) {
+    return Status::InvalidArgument("oracle must not be null");
+  }
+  if (options.k == 0) return Status::InvalidArgument("k must be >= 1");
+  oracle->Reset();
+  const NodeId n = oracle->num_nodes();
+  const uint32_t k = std::min<uint32_t>(options.k, n);
+  auto gain = [&](NodeId v) { return oracle->MarginalGain(v); };
   auto commit = [&](NodeId v) {
-    const double realized = oracle.Add(v);
-    return std::make_pair(realized, oracle.CurrentSpread());
+    const double realized = oracle->Add(v);
+    return std::make_pair(realized, oracle->CurrentSpread());
   };
   if (options.track_saturation || !options.use_celf) {
-    return RunExhaustive(index.num_nodes(), k, options.track_saturation, gain,
-                         commit);
+    return RunExhaustive(n, k, options.track_saturation, gain, commit);
   }
-  return RunCelf(index.num_nodes(), k, gain, commit);
+  return RunCelf(n, k, gain, commit);
 }
 
 Result<GreedyResult> InfMaxStdMc(const ProbGraph& graph,

@@ -8,6 +8,8 @@
 
 namespace soi {
 
+class SpreadOracle;
+
 /// Options for the standard greedy influence maximization.
 struct GreedyStdOptions {
   /// Seed-set size.
@@ -33,6 +35,14 @@ struct GreedyStdOptions {
 /// InfMaxStdMc below, which is the faithful reproduction and the one whose
 /// large-seed-set behaviour degrades into the saturation the paper analyzes.
 Result<GreedyResult> InfMaxStd(const CascadeIndex& index,
+                               const GreedyStdOptions& options);
+
+/// Same algorithm over a caller-owned oracle. The oracle is Reset() first,
+/// so each call is a fresh, deterministic run; reusing one oracle across
+/// calls amortizes its per-world covered-set allocations (the service layer
+/// keeps one per engine). The oracle's committed set after the call is the
+/// selected seed set.
+Result<GreedyResult> InfMaxStd(SpreadOracle* oracle,
                                const GreedyStdOptions& options);
 
 /// Paper-faithful InfMax_std: greedy (with CELF laziness) where every

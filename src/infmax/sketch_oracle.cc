@@ -73,12 +73,7 @@ std::span<const uint64_t> SketchSpreadOracle::Sketch(uint32_t world,
 
 Result<double> SketchSpreadOracle::EstimateSpread(
     std::span<const NodeId> seeds) const {
-  if (seeds.empty()) return Status::InvalidArgument("empty seed set");
-  for (NodeId s : seeds) {
-    if (s >= index_->num_nodes()) {
-      return Status::OutOfRange("seed out of range");
-    }
-  }
+  SOI_RETURN_IF_ERROR(ValidateSeedSet(seeds, index_->num_nodes()));
   std::vector<uint64_t> merged;
   std::vector<uint32_t> comps;
   double total = 0.0;

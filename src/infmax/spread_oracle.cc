@@ -24,7 +24,7 @@ void SpreadOracle::Reset() {
 
 template <bool kCommit>
 uint64_t SpreadOracle::Traverse(NodeId v) {
-  SOI_CHECK(v < index_->num_nodes());
+  SOI_DCHECK(v < index_->num_nodes());
   uint64_t total_gain = 0;
   for (uint32_t i = 0; i < index_->num_worlds(); ++i) {
     const Condensation& cond = index_->world(i);
@@ -58,7 +58,7 @@ double SpreadOracle::MarginalGain(NodeId v) {
   // cascade size, a closure-cache table lookup per world. Identical value to
   // the traversal (node_counts is the exact reachable-node total).
   if (!any_committed_ && index_->has_closure_cache()) {
-    SOI_CHECK(v < index_->num_nodes());
+    SOI_DCHECK(v < index_->num_nodes());
     uint64_t total = 0;
     for (uint32_t i = 0; i < index_->num_worlds(); ++i) {
       total += index_->closure(i).NodeCount(index_->world(i).ComponentOf(v));

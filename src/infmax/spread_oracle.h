@@ -32,9 +32,12 @@ class SpreadOracle {
   NodeId num_nodes() const { return index_->num_nodes(); }
 
   /// Estimated marginal gain sigma(S + v) - sigma(S) for the committed S.
+  /// Precondition (debug-checked): v < num_nodes(); callers validate ids
+  /// before entering the greedy loop.
   double MarginalGain(NodeId v);
 
   /// Commits v into the seed set and returns its realized marginal gain.
+  /// Same precondition as MarginalGain.
   double Add(NodeId v);
 
   /// Estimated expected spread of the committed seed set.

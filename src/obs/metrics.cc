@@ -1,6 +1,7 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <bit>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -97,6 +98,55 @@ void TimerStat::Reset() {
   max_ns_.store(0, std::memory_order_relaxed);
 }
 
+void Histogram::Record(uint64_t value) {
+  // bit_width is 64 for values >= 2^63; clamp them into the last bucket.
+  const size_t bucket =
+      std::min<size_t>(std::bit_width(value), kNumBuckets - 1);
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t Histogram::Count() const {
+  uint64_t total = 0;
+  for (const auto& b : buckets_) total += b.load(std::memory_order_relaxed);
+  return total;
+}
+
+uint64_t Histogram::ValueAtQuantile(double q) const {
+  uint64_t counts[kNumBuckets];
+  uint64_t total = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  if (total == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the q-quantile sample (1-based), then walk buckets until the
+  // cumulative count reaches it.
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(q * static_cast<double>(total) + 0.5));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    if (counts[i] == 0) continue;
+    if (seen + counts[i] < rank) {
+      seen += counts[i];
+      continue;
+    }
+    // Bucket i holds values in [lo, hi]: interpolate by the rank's position
+    // inside the bucket. Bucket 0 is the single value 0.
+    if (i == 0) return 0;
+    const uint64_t lo = uint64_t{1} << (i - 1);
+    const uint64_t width = lo;  // hi - lo + 1 == 2^(i-1)
+    const double frac = static_cast<double>(rank - seen) /
+                        static_cast<double>(counts[i]);
+    return lo + static_cast<uint64_t>(frac * static_cast<double>(width - 1));
+  }
+  return 0;  // unreachable: rank <= total
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
 Registry& Registry::Get() {
   static Registry* registry = new Registry();  // leaked: outlives all users
   return *registry;
@@ -126,6 +176,18 @@ TimerStat* Registry::GetTimer(std::string_view name) {
   return slot.get();
 }
 
+Histogram* Registry::GetHistogram(std::string_view name) {
+  {
+    std::shared_lock lock(mutex_);
+    const auto it = histograms_.find(std::string(name));
+    if (it != histograms_.end()) return it->second.get();
+  }
+  std::unique_lock lock(mutex_);
+  auto& slot = histograms_[std::string(name)];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
 Counter* Registry::FindCounter(std::string_view name) const {
   std::shared_lock lock(mutex_);
   const auto it = counters_.find(std::string(name));
@@ -138,6 +200,12 @@ TimerStat* Registry::FindTimer(std::string_view name) const {
   return it == timers_.end() ? nullptr : it->second.get();
 }
 
+Histogram* Registry::FindHistogram(std::string_view name) const {
+  std::shared_lock lock(mutex_);
+  const auto it = histograms_.find(std::string(name));
+  return it == histograms_.end() ? nullptr : it->second.get();
+}
+
 size_t Registry::NumCounters() const {
   std::shared_lock lock(mutex_);
   return counters_.size();
@@ -146,6 +214,11 @@ size_t Registry::NumCounters() const {
 size_t Registry::NumTimers() const {
   std::shared_lock lock(mutex_);
   return timers_.size();
+}
+
+size_t Registry::NumHistograms() const {
+  std::shared_lock lock(mutex_);
+  return histograms_.size();
 }
 
 std::vector<std::pair<std::string, uint64_t>> Registry::CounterEntries() const {
@@ -176,10 +249,30 @@ std::vector<std::pair<std::string, TimerSnapshot>> Registry::TimerEntries()
   return out;
 }
 
+std::vector<std::pair<std::string, HistogramSnapshot>>
+Registry::HistogramEntries() const {
+  std::vector<std::pair<std::string, HistogramSnapshot>> out;
+  {
+    std::shared_lock lock(mutex_);
+    out.reserve(histograms_.size());
+    for (const auto& [name, histogram] : histograms_) {
+      HistogramSnapshot snap;
+      snap.count = histogram->Count();
+      snap.p50 = histogram->ValueAtQuantile(0.50);
+      snap.p95 = histogram->ValueAtQuantile(0.95);
+      out.emplace_back(name, snap);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
 void Registry::ResetValues() {
   std::shared_lock lock(mutex_);  // entries untouched; values are atomic
   for (const auto& [name, counter] : counters_) counter->Reset();
   for (const auto& [name, timer] : timers_) timer->Reset();
+  for (const auto& [name, histogram] : histograms_) histogram->Reset();
 }
 
 ScopedSpan::ScopedSpan(const char* name) : name_(name) {
@@ -251,7 +344,21 @@ std::string MetricsJson(double total_wall_seconds) {
     AppendEscaped(&out, counters[i].first);
     out += ": " + std::to_string(counters[i].second);
   }
-  out += counters.empty() ? "}\n" : "\n  }\n";
+  out += counters.empty() ? "},\n" : "\n  },\n";
+
+  // Latency distributions (service request latencies, batch sizes): count
+  // plus p50/p95 at one-binary-order-of-magnitude resolution.
+  out += "  \"histograms\": {";
+  const auto histograms = registry.HistogramEntries();
+  for (size_t i = 0; i < histograms.size(); ++i) {
+    const auto& [name, snap] = histograms[i];
+    out += i == 0 ? "\n    " : ",\n    ";
+    AppendEscaped(&out, name);
+    out += ": {\"count\": " + std::to_string(snap.count) +
+           ", \"p50\": " + std::to_string(snap.p50) +
+           ", \"p95\": " + std::to_string(snap.p95) + "}";
+  }
+  out += histograms.empty() ? "}\n" : "\n  }\n";
   out += "}\n";
   return out;
 }

@@ -84,6 +84,33 @@ class TimerStat {
   std::atomic<uint64_t> max_ns_{0};
 };
 
+/// A lock-free latency histogram with power-of-two buckets: bucket i counts
+/// values whose bit width is i (i.e. values in [2^(i-1), 2^i)). Resolution
+/// is therefore one binary order of magnitude — enough to tell a 2 µs query
+/// from a 2 ms one, which is what the service layer's p50/p95 dashboards
+/// need. Record is one relaxed fetch_add; quantile queries snapshot the
+/// buckets and interpolate linearly inside the winning bucket.
+class Histogram {
+ public:
+  static constexpr size_t kNumBuckets = 64;
+
+  void Record(uint64_t value);
+  uint64_t Count() const;
+  /// Estimated value at quantile q (clamped to [0, 1]); 0 when empty.
+  uint64_t ValueAtQuantile(double q) const;
+  void Reset();
+
+ private:
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+};
+
+/// Name-sorted histogram snapshot row (count + the dump's quantiles).
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  uint64_t p50 = 0;
+  uint64_t p95 = 0;
+};
+
 /// The process-wide name -> instrument table. Lookup takes a shared lock;
 /// first use of a name takes an exclusive lock once. Returned pointers are
 /// stable for the process lifetime (entries are never removed, only their
@@ -95,17 +122,22 @@ class Registry {
   /// Finds or creates. Never returns nullptr.
   Counter* GetCounter(std::string_view name);
   TimerStat* GetTimer(std::string_view name);
+  Histogram* GetHistogram(std::string_view name);
 
   /// Finds without creating; nullptr when the name was never registered.
   Counter* FindCounter(std::string_view name) const;
   TimerStat* FindTimer(std::string_view name) const;
+  Histogram* FindHistogram(std::string_view name) const;
 
   size_t NumCounters() const;
   size_t NumTimers() const;
+  size_t NumHistograms() const;
 
   /// Name-sorted snapshots (stable iteration for JSON export and tests).
   std::vector<std::pair<std::string, uint64_t>> CounterEntries() const;
   std::vector<std::pair<std::string, TimerSnapshot>> TimerEntries() const;
+  std::vector<std::pair<std::string, HistogramSnapshot>> HistogramEntries()
+      const;
 
   /// Zeroes every counter and timer but keeps the entries (cached pointers
   /// stay valid). Test/bench isolation helper.
@@ -117,6 +149,7 @@ class Registry {
   mutable std::shared_mutex mutex_;
   std::unordered_map<std::string, std::unique_ptr<Counter>> counters_;
   std::unordered_map<std::string, std::unique_ptr<TimerStat>> timers_;
+  std::unordered_map<std::string, std::unique_ptr<Histogram>> histograms_;
 };
 
 /// RAII phase probe: on destruction reports the elapsed wall time into the
@@ -166,6 +199,14 @@ Status WriteMetricsJson(const std::string& path, double total_wall_seconds);
     if (::soi::obs::Enabled()) {                                 \
       ::soi::obs::Registry::Get().GetCounter(name)->Add(delta);  \
     }                                                            \
+  } while (false)
+
+/// Records one sample into a named histogram (no-op when disabled).
+#define SOI_OBS_HISTOGRAM_RECORD(name, value)                      \
+  do {                                                             \
+    if (::soi::obs::Enabled()) {                                   \
+      ::soi::obs::Registry::Get().GetHistogram(name)->Record(value); \
+    }                                                              \
   } while (false)
 
 }  // namespace soi::obs

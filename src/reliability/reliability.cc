@@ -11,11 +11,7 @@ namespace soi {
 namespace {
 
 Status CheckSeeds(NodeId num_nodes, std::span<const NodeId> seeds) {
-  if (seeds.empty()) return Status::InvalidArgument("empty seed set");
-  for (NodeId s : seeds) {
-    if (s >= num_nodes) return Status::OutOfRange("seed out of range");
-  }
-  return Status::OK();
+  return ValidateSeedSet(seeds, num_nodes);
 }
 
 }  // namespace
@@ -67,7 +63,9 @@ Result<std::vector<double>> ReachabilityProbabilities(
   std::vector<uint32_t> counts(index.num_nodes(), 0);
   CascadeIndex::Workspace ws;
   for (uint32_t i = 0; i < index.num_worlds(); ++i) {
-    for (NodeId v : index.Cascade(seeds, i, &ws)) ++counts[v];
+    SOI_ASSIGN_OR_RETURN(const std::vector<NodeId> cascade,
+                         index.Cascade(seeds, i, &ws));
+    for (NodeId v : cascade) ++counts[v];
   }
   std::vector<double> probs(index.num_nodes());
   for (NodeId v = 0; v < index.num_nodes(); ++v) {
@@ -144,7 +142,8 @@ Result<double> ExpectedReachableSize(const CascadeIndex& index,
   CascadeIndex::Workspace ws;
   uint64_t total = 0;
   for (uint32_t i = 0; i < index.num_worlds(); ++i) {
-    total += index.CascadeSize(seeds, i, &ws);
+    SOI_ASSIGN_OR_RETURN(const uint64_t size, index.CascadeSize(seeds, i, &ws));
+    total += size;
   }
   return static_cast<double>(total) / index.num_worlds();
 }

@@ -1,0 +1,295 @@
+#include "service/engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "core/typical_cascade.h"
+#include "infmax/greedy_std.h"
+#include "infmax/infmax_tc.h"
+#include "infmax/spread_oracle.h"
+#include "obs/metrics.h"
+#include "reliability/reliability.h"
+#include "runtime/parallel_for.h"
+#include "util/rng.h"
+
+namespace soi::service {
+
+namespace {
+
+// Per-type latency histogram names (static storage: the registry keeps
+// string_views only long enough to copy them, but literals are simplest).
+const char* LatencyHistogramName(const Request& request) {
+  switch (request.payload.index()) {
+    case 0: return "service/latency_ns/typical";
+    case 1: return "service/latency_ns/cascade";
+    case 2: return "service/latency_ns/spread";
+    case 3: return "service/latency_ns/seed_select";
+    case 4: return "service/latency_ns/reliability";
+  }
+  return "service/latency_ns/unknown";
+}
+
+}  // namespace
+
+const char* RequestTypeName(const Request& request) {
+  switch (request.payload.index()) {
+    case 0: return "typical";
+    case 1: return "cascade";
+    case 2: return "spread";
+    case 3: return "seed_select";
+    case 4: return "reliability";
+  }
+  return "unknown";
+}
+
+class Engine::Impl {
+ public:
+  Impl(ProbGraph graph, CascadeIndex index, const EngineOptions& options)
+      : graph_(std::move(graph)),
+        index_(std::move(index)),
+        options_(options) {}
+
+  uint64_t NowNs() const {
+    return options_.clock_ns != nullptr ? options_.clock_ns() : obs::NowNs();
+  }
+
+  Result<std::vector<Result<Response>>> RunBatch(
+      std::span<const Request> requests) {
+    if (requests.size() > options_.max_batch) {
+      SOI_OBS_COUNTER_ADD("service/batches_rejected", 1);
+      return Status::ResourceExhausted(
+          "batch of " + std::to_string(requests.size()) +
+          " requests exceeds max_batch=" + std::to_string(options_.max_batch) +
+          "; split the batch");
+    }
+    // Admission: reserve an in-flight slot or reject. The slot is held for
+    // the whole batch (RAII below).
+    const uint32_t prior = in_flight_.fetch_add(1, std::memory_order_acq_rel);
+    if (prior >= options_.max_in_flight) {
+      in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+      SOI_OBS_COUNTER_ADD("service/batches_rejected", 1);
+      return Status::ResourceExhausted(
+          "max_in_flight=" + std::to_string(options_.max_in_flight) +
+          " batches already admitted; retry later");
+    }
+    struct SlotRelease {
+      std::atomic<uint32_t>* counter;
+      ~SlotRelease() { counter->fetch_sub(1, std::memory_order_acq_rel); }
+    } release{&in_flight_};
+    SOI_OBS_COUNTER_ADD("service/batches_admitted", 1);
+    SOI_OBS_HISTOGRAM_RECORD("service/queue_depth", prior + 1);
+
+    const uint64_t admit_ns = NowNs();
+    // Pre-sized per-request slots (placeholder overwritten by every item).
+    std::vector<Result<Response>> results(
+        requests.size(),
+        Result<Response>(Status::Internal("request slot never executed")));
+    ParallelForChunks(
+        0, requests.size(), /*grain=*/1,
+        [&](uint32_t /*chunk*/, uint64_t begin, uint64_t end) {
+          // Chunk-level scratch: reused across this chunk's requests,
+          // invisible in the output (handlers are pure given the request).
+          Scratch scratch;
+          for (uint64_t i = begin; i < end; ++i) {
+            results[i] = RunOne(requests[i], admit_ns, &scratch);
+          }
+        });
+    return results;
+  }
+
+  uint32_t in_flight() const {
+    return in_flight_.load(std::memory_order_acquire);
+  }
+
+  const ProbGraph& graph() const { return graph_; }
+  const CascadeIndex& index() const { return index_; }
+  const EngineOptions& options() const { return options_; }
+
+ private:
+  struct Scratch {
+    CascadeIndex::Workspace ws;
+    std::optional<TypicalCascadeComputer> computer;
+  };
+
+  Result<Response> RunOne(const Request& request, uint64_t admit_ns,
+                          Scratch* scratch) {
+    // Deadline check at pickup: started requests always run to completion.
+    const uint64_t timeout_ms = request.timeout_ms != 0
+                                    ? request.timeout_ms
+                                    : options_.default_timeout_ms;
+    const uint64_t start_ns = NowNs();
+    if (timeout_ms != 0 && start_ns - admit_ns > timeout_ms * 1'000'000ull) {
+      SOI_OBS_COUNTER_ADD("service/requests_deadline_exceeded", 1);
+      return Status::DeadlineExceeded(
+          RequestTypeName(request) + std::string(" request expired after ") +
+          std::to_string(timeout_ms) + "ms before execution started");
+    }
+    Result<Response> result = Dispatch(request, scratch);
+    const uint64_t latency_ns = NowNs() - start_ns;
+    SOI_OBS_HISTOGRAM_RECORD("service/latency_ns", latency_ns);
+    SOI_OBS_HISTOGRAM_RECORD(LatencyHistogramName(request), latency_ns);
+    if (result.ok()) {
+      SOI_OBS_COUNTER_ADD("service/requests_ok", 1);
+    } else {
+      SOI_OBS_COUNTER_ADD("service/requests_invalid", 1);
+    }
+    return result;
+  }
+
+  Result<Response> Dispatch(const Request& request, Scratch* scratch) {
+    return std::visit(
+        [&](const auto& payload) -> Result<Response> {
+          return Handle(payload, scratch);
+        },
+        request.payload);
+  }
+
+  Result<Response> Handle(const TypicalCascadeRequest& req, Scratch* scratch) {
+    SOI_RETURN_IF_ERROR(index_.ValidateSeeds(req.seeds));
+    if (!scratch->computer.has_value()) scratch->computer.emplace(&index_);
+    TypicalCascadeOptions options;
+    options.median.local_search = req.local_search;
+    SOI_ASSIGN_OR_RETURN(TypicalCascadeResult r,
+                         scratch->computer->ComputeForSeeds(req.seeds, options));
+    TypicalCascadeResponse response;
+    response.cascade = std::move(r.cascade);
+    response.in_sample_cost = r.in_sample_cost;
+    response.mean_sample_size = r.mean_sample_size;
+    return Response(std::move(response));
+  }
+
+  Result<Response> Handle(const CascadeRequest& req, Scratch* scratch) {
+    SOI_ASSIGN_OR_RETURN(std::vector<NodeId> cascade,
+                         index_.Cascade(req.seeds, req.world, &scratch->ws));
+    return Response(CascadeResponse{std::move(cascade)});
+  }
+
+  Result<Response> Handle(const SpreadRequest& req, Scratch* /*scratch*/) {
+    SOI_ASSIGN_OR_RETURN(const double spread,
+                         ExpectedReachableSize(index_, req.seeds));
+    return Response(SpreadResponse{spread});
+  }
+
+  Result<Response> Handle(const ReliabilityRequest& req, Scratch* /*scratch*/) {
+    SOI_ASSIGN_OR_RETURN(std::vector<NodeId> nodes,
+                         ReliabilitySearch(index_, req.seeds, req.threshold));
+    return Response(ReliabilityResponse{std::move(nodes)});
+  }
+
+  Result<Response> Handle(const SeedSelectRequest& req, Scratch* /*scratch*/) {
+    if (req.k == 0) {
+      return Status::InvalidArgument("seed_select: k must be >= 1");
+    }
+    if (req.method == "tc") {
+      // tc_cascades_ is immutable once EnsureTypicalCascades returns (the
+      // mutex inside it publishes the cache), so selections run unlocked
+      // and concurrently.
+      SOI_RETURN_IF_ERROR(EnsureTypicalCascades());
+      InfMaxTcOptions options;
+      options.k = req.k;
+      SOI_ASSIGN_OR_RETURN(
+          GreedyResult r,
+          InfMaxTC(tc_cascades_, index_.num_nodes(), options));
+      return ToSeedSelectResponse(std::move(r));
+    }
+    if (req.method == "std") {
+      GreedyStdOptions options;
+      options.k = req.k;
+      // The oracle is stateful (InfMaxStd resets and then commits into it),
+      // so "std" selections are serialized on its mutex. Output is
+      // deterministic: every run starts from a Reset() oracle.
+      std::lock_guard<std::mutex> lock(oracle_mutex_);
+      if (oracle_ == nullptr) {
+        oracle_ = std::make_unique<SpreadOracle>(&index_);
+      }
+      SOI_ASSIGN_OR_RETURN(GreedyResult r, InfMaxStd(oracle_.get(), options));
+      return ToSeedSelectResponse(std::move(r));
+    }
+    return Status::InvalidArgument("seed_select: unknown method '" +
+                                   req.method + "' (expected tc or std)");
+  }
+
+  static Result<Response> ToSeedSelectResponse(GreedyResult r) {
+    SeedSelectResponse response;
+    response.seeds = std::move(r.seeds);
+    if (!r.steps.empty()) response.objective = r.steps.back().objective_after;
+    return Response(std::move(response));
+  }
+
+  // Computes the per-node typical cascades once (Algorithm 2 over all
+  // nodes — the expensive half of InfMax_TC) and caches them for every
+  // later "tc" seed selection. Concurrent first callers serialize here.
+  Status EnsureTypicalCascades() {
+    std::lock_guard<std::mutex> lock(tc_mutex_);
+    if (tc_ready_) return tc_status_;
+    TypicalCascadeComputer computer(&index_);
+    auto all = computer.ComputeAll();
+    if (all.ok()) {
+      tc_cascades_.reserve(all->size());
+      for (TypicalCascadeResult& r : *all) {
+        tc_cascades_.push_back(std::move(r.cascade));
+      }
+      tc_status_ = Status::OK();
+    } else {
+      tc_status_ = all.status();
+    }
+    tc_ready_ = true;
+    return tc_status_;
+  }
+
+  ProbGraph graph_;
+  CascadeIndex index_;
+  EngineOptions options_;
+  std::atomic<uint32_t> in_flight_{0};
+
+  std::mutex tc_mutex_;  // guards tc_ready_/tc_status_/tc_cascades_
+  bool tc_ready_ = false;
+  Status tc_status_;
+  std::vector<std::vector<NodeId>> tc_cascades_;
+
+  std::mutex oracle_mutex_;  // serializes stateful "std" selections
+  std::unique_ptr<SpreadOracle> oracle_;
+};
+
+Engine::Engine() = default;
+Engine::~Engine() = default;
+Engine::Engine(Engine&&) noexcept = default;
+Engine& Engine::operator=(Engine&&) noexcept = default;
+
+Result<Engine> Engine::Create(ProbGraph graph, const EngineOptions& options) {
+  if (options.max_batch == 0) {
+    return Status::InvalidArgument("EngineOptions: max_batch must be >= 1");
+  }
+  if (options.max_in_flight == 0) {
+    return Status::InvalidArgument("EngineOptions: max_in_flight must be >= 1");
+  }
+  if (options.threads != 0) SetGlobalThreads(options.threads);
+  Rng rng(options.seed);
+  SOI_ASSIGN_OR_RETURN(CascadeIndex index,
+                       CascadeIndex::Build(graph, options.index, &rng));
+  Engine engine;
+  engine.impl_ =
+      std::make_unique<Impl>(std::move(graph), std::move(index), options);
+  return engine;
+}
+
+Result<Response> Engine::Run(const Request& request) {
+  SOI_ASSIGN_OR_RETURN(std::vector<Result<Response>> results,
+                       RunBatch(std::span<const Request>(&request, 1)));
+  return std::move(results[0]);
+}
+
+Result<std::vector<Result<Response>>> Engine::RunBatch(
+    std::span<const Request> requests) {
+  return impl_->RunBatch(requests);
+}
+
+const ProbGraph& Engine::graph() const { return impl_->graph(); }
+const CascadeIndex& Engine::index() const { return impl_->index(); }
+const EngineOptions& Engine::options() const { return impl_->options(); }
+uint32_t Engine::in_flight() const { return impl_->in_flight(); }
+
+}  // namespace soi::service

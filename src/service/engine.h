@@ -1,0 +1,186 @@
+#ifndef SOI_SERVICE_ENGINE_H_
+#define SOI_SERVICE_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "graph/prob_graph.h"
+#include "index/cascade_index.h"
+#include "util/status.h"
+
+namespace soi::service {
+
+/// The query service facade: one loaded graph + cascade index behind a
+/// thread-safe request/response API. Every query the CLI answers by
+/// rebuilding an index from scratch is answered here against the one index
+/// the engine owns, so per-query latency is micro- to milliseconds instead
+/// of a full rebuild.
+///
+/// Error model: invalid input NEVER aborts the process. Every request
+/// returns Result<Response>; malformed requests come back as
+/// InvalidArgument with an actionable message, expired deadlines as
+/// DeadlineExceeded, admission-control rejections as ResourceExhausted.
+/// SOI_CHECK remains reserved for internal invariants.
+///
+/// Determinism: batch execution follows the runtime contract
+/// (src/runtime/parallel_for.h) — each request is executed independently,
+/// results land in per-request slots, and no handler draws fresh
+/// randomness — so a batch's responses are byte-identical at every thread
+/// count. The single best-effort exception is per-request deadlines, which
+/// compare wall clocks; batches that use no deadlines are fully
+/// deterministic.
+
+/// Sphere of influence (Algorithm 2) of a seed set.
+struct TypicalCascadeRequest {
+  std::vector<NodeId> seeds;
+  /// Enable the 1-swap local-search refinement of the Jaccard median.
+  bool local_search = false;
+};
+
+/// Exact cascade of a seed set in one sampled world.
+struct CascadeRequest {
+  std::vector<NodeId> seeds;
+  uint32_t world = 0;
+};
+
+/// Expected spread (mean reachable-set size over the index's worlds).
+struct SpreadRequest {
+  std::vector<NodeId> seeds;
+};
+
+/// Seed selection: "tc" = InfMax_TC (Algorithm 3, coverage over typical
+/// cascades, lazily computed once per engine), "std" = InfMax_std (greedy
+/// over the index's spread oracle, built lazily once per engine). Both
+/// methods reuse cached state and draw no fresh randomness, so repeated
+/// requests return identical answers.
+struct SeedSelectRequest {
+  uint32_t k = 10;
+  std::string method = "tc";
+};
+
+/// Reliability search: all nodes reachable from the seeds with probability
+/// >= threshold on the index's worlds.
+struct ReliabilityRequest {
+  std::vector<NodeId> seeds;
+  double threshold = 0.5;
+};
+
+/// A typed request plus its per-request deadline. The deadline is measured
+/// from batch admission; a request whose deadline has expired before it is
+/// picked up returns DeadlineExceeded. Partial-result policy: a request
+/// that has already STARTED executing always runs to completion — deadlines
+/// shed queued work, they never truncate an answer.
+struct Request {
+  std::variant<TypicalCascadeRequest, CascadeRequest, SpreadRequest,
+               SeedSelectRequest, ReliabilityRequest>
+      payload;
+  /// Per-request timeout in milliseconds; 0 = EngineOptions default.
+  uint64_t timeout_ms = 0;
+};
+
+struct TypicalCascadeResponse {
+  std::vector<NodeId> cascade;
+  double in_sample_cost = 0.0;
+  double mean_sample_size = 0.0;
+};
+
+struct CascadeResponse {
+  std::vector<NodeId> cascade;
+};
+
+struct SpreadResponse {
+  double spread = 0.0;
+};
+
+struct SeedSelectResponse {
+  std::vector<NodeId> seeds;  // in selection order
+  /// Objective after the last committed seed (expected spread for "std",
+  /// covered-node count for "tc").
+  double objective = 0.0;
+};
+
+struct ReliabilityResponse {
+  std::vector<NodeId> nodes;
+};
+
+using Response =
+    std::variant<TypicalCascadeResponse, CascadeResponse, SpreadResponse,
+                 SeedSelectResponse, ReliabilityResponse>;
+
+/// Stable lowercase name of a request's type ("typical", "cascade",
+/// "spread", "seed_select", "reliability") — used for metrics and the wire
+/// protocol.
+const char* RequestTypeName(const Request& request);
+
+/// Engine configuration: index construction plus admission control.
+struct EngineOptions {
+  /// Worlds / model / closure budget for the index the engine builds.
+  CascadeIndexOptions index;
+  /// Seed for world sampling (same seed + graph => same index => same
+  /// answers).
+  uint64_t seed = 1;
+  /// When nonzero, sets the process-global thread budget at Create time
+  /// (equivalent to SetGlobalThreads). 0 leaves the current budget alone.
+  uint32_t threads = 0;
+
+  // -- Admission control --------------------------------------------------
+  /// Largest batch RunBatch accepts; bigger batches are rejected whole with
+  /// ResourceExhausted (no partial execution).
+  uint32_t max_batch = 1024;
+  /// Maximum concurrently admitted RunBatch/Run calls; excess callers are
+  /// rejected with ResourceExhausted instead of queueing unboundedly.
+  uint32_t max_in_flight = 4;
+  /// Default per-request timeout in milliseconds (0 = none). Overridable
+  /// per request via Request::timeout_ms.
+  uint64_t default_timeout_ms = 0;
+  /// Injectable monotonic clock (nanoseconds) for deadline checks; nullptr
+  /// uses the real clock. Tests inject a fake clock to exercise deadlines
+  /// deterministically.
+  uint64_t (*clock_ns)() = nullptr;
+};
+
+/// Thread-safe, movable facade owning the graph, the index, and the lazily
+/// built seed-selection caches. Create once, answer many.
+class Engine {
+ public:
+  /// Builds the index from `graph` (which the engine takes ownership of)
+  /// and validates the options.
+  static Result<Engine> Create(ProbGraph graph,
+                               const EngineOptions& options = {});
+
+  ~Engine();
+  Engine(Engine&&) noexcept;
+  Engine& operator=(Engine&&) noexcept;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Executes one request (a batch of one: same admission control, same
+  /// error model).
+  Result<Response> Run(const Request& request);
+
+  /// Executes a batch. The outer Status rejects the whole batch (too big,
+  /// too many batches in flight); the inner results are per-request and
+  /// ordered like the input. Deterministic at every thread count when no
+  /// deadlines are set.
+  Result<std::vector<Result<Response>>> RunBatch(
+      std::span<const Request> requests);
+
+  const ProbGraph& graph() const;
+  const CascadeIndex& index() const;
+  const EngineOptions& options() const;
+  /// Currently admitted Run/RunBatch calls (admission-control observability).
+  uint32_t in_flight() const;
+
+ private:
+  Engine();
+  class Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace soi::service
+
+#endif  // SOI_SERVICE_ENGINE_H_

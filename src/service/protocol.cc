@@ -1,0 +1,455 @@
+#include "service/protocol.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <utility>
+#include <vector>
+
+namespace soi::service {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader — just enough for the flat request schema above (no
+// external dependency). Numbers are doubles; request ids and node ids are
+// integers well inside the double-exact range.
+// ---------------------------------------------------------------------------
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  const JsonValue* Find(std::string_view key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonReader {
+ public:
+  explicit JsonReader(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    SOI_ASSIGN_OR_RETURN(JsonValue value, ParseValue());
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Status::InvalidArgument("trailing characters after JSON value");
+    }
+    return value;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<JsonValue> ParseValue() {
+    SkipSpace();
+    if (pos_ >= text_.size()) {
+      return Status::InvalidArgument("unexpected end of JSON input");
+    }
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject();
+    if (c == '[') return ParseArray();
+    if (c == '"') return ParseString();
+    if (c == 't' || c == 'f') return ParseBool();
+    if (c == 'n') return ParseNull();
+    if (c == '-' || (c >= '0' && c <= '9')) return ParseNumber();
+    return Status::InvalidArgument(std::string("unexpected character '") + c +
+                                   "' in JSON");
+  }
+
+  Result<JsonValue> ParseObject() {
+    ++pos_;  // '{'
+    JsonValue value;
+    value.kind = JsonValue::Kind::kObject;
+    SkipSpace();
+    if (Consume('}')) return value;
+    while (true) {
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Status::InvalidArgument("expected string key in JSON object");
+      }
+      SOI_ASSIGN_OR_RETURN(JsonValue key, ParseString());
+      SkipSpace();
+      if (!Consume(':')) {
+        return Status::InvalidArgument("expected ':' in JSON object");
+      }
+      SOI_ASSIGN_OR_RETURN(JsonValue member, ParseValue());
+      value.object.emplace_back(std::move(key.string), std::move(member));
+      SkipSpace();
+      if (Consume('}')) return value;
+      if (!Consume(',')) {
+        return Status::InvalidArgument("expected ',' or '}' in JSON object");
+      }
+    }
+  }
+
+  Result<JsonValue> ParseArray() {
+    ++pos_;  // '['
+    JsonValue value;
+    value.kind = JsonValue::Kind::kArray;
+    SkipSpace();
+    if (Consume(']')) return value;
+    while (true) {
+      SOI_ASSIGN_OR_RETURN(JsonValue element, ParseValue());
+      value.array.push_back(std::move(element));
+      SkipSpace();
+      if (Consume(']')) return value;
+      if (!Consume(',')) {
+        return Status::InvalidArgument("expected ',' or ']' in JSON array");
+      }
+    }
+  }
+
+  Result<JsonValue> ParseString() {
+    ++pos_;  // '"'
+    JsonValue value;
+    value.kind = JsonValue::Kind::kString;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return value;
+      if (c != '\\') {
+        value.string.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': value.string.push_back('"'); break;
+        case '\\': value.string.push_back('\\'); break;
+        case '/': value.string.push_back('/'); break;
+        case 'b': value.string.push_back('\b'); break;
+        case 'f': value.string.push_back('\f'); break;
+        case 'n': value.string.push_back('\n'); break;
+        case 'r': value.string.push_back('\r'); break;
+        case 't': value.string.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            return Status::InvalidArgument("truncated \\u escape in JSON");
+          }
+          uint32_t code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<uint32_t>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<uint32_t>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<uint32_t>(h - 'A' + 10);
+            else return Status::InvalidArgument("bad \\u escape in JSON");
+          }
+          // UTF-8 encode (basic multilingual plane only; enough for a
+          // protocol whose strings are ASCII identifiers).
+          if (code < 0x80) {
+            value.string.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            value.string.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            value.string.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            value.string.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            value.string.push_back(
+                static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            value.string.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Status::InvalidArgument("bad escape in JSON string");
+      }
+    }
+    return Status::InvalidArgument("unterminated JSON string");
+  }
+
+  Result<JsonValue> ParseBool() {
+    JsonValue value;
+    value.kind = JsonValue::Kind::kBool;
+    if (text_.substr(pos_, 4) == "true") {
+      value.boolean = true;
+      pos_ += 4;
+      return value;
+    }
+    if (text_.substr(pos_, 5) == "false") {
+      value.boolean = false;
+      pos_ += 5;
+      return value;
+    }
+    return Status::InvalidArgument("bad literal in JSON");
+  }
+
+  Result<JsonValue> ParseNull() {
+    if (text_.substr(pos_, 4) == "null") {
+      pos_ += 4;
+      return JsonValue{};
+    }
+    return Status::InvalidArgument("bad literal in JSON");
+  }
+
+  Result<JsonValue> ParseNumber() {
+    const size_t start = pos_;
+    if (Consume('-')) {}
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) {
+      return Status::InvalidArgument("bad number '" + token + "' in JSON");
+    }
+    JsonValue value;
+    value.kind = JsonValue::Kind::kNumber;
+    value.number = v;
+    return value;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Schema helpers.
+// ---------------------------------------------------------------------------
+
+Result<int64_t> RequireInt(const JsonValue& object, std::string_view field,
+                           int64_t fallback, bool required) {
+  const JsonValue* v = object.Find(field);
+  if (v == nullptr) {
+    if (required) {
+      return Status::InvalidArgument("missing required field \"" +
+                                     std::string(field) + "\"");
+    }
+    return fallback;
+  }
+  if (v->kind != JsonValue::Kind::kNumber ||
+      v->number != std::floor(v->number)) {
+    return Status::InvalidArgument("field \"" + std::string(field) +
+                                   "\" must be an integer");
+  }
+  return static_cast<int64_t>(v->number);
+}
+
+Result<std::vector<NodeId>> RequireSeeds(const JsonValue& object) {
+  const JsonValue* v = object.Find("seeds");
+  if (v == nullptr || v->kind != JsonValue::Kind::kArray) {
+    return Status::InvalidArgument(
+        "missing required field \"seeds\" (array of node ids)");
+  }
+  std::vector<NodeId> seeds;
+  seeds.reserve(v->array.size());
+  for (const JsonValue& e : v->array) {
+    if (e.kind != JsonValue::Kind::kNumber || e.number != std::floor(e.number) ||
+        e.number < 0.0 || e.number > static_cast<double>(UINT32_MAX)) {
+      return Status::InvalidArgument(
+          "\"seeds\" entries must be non-negative 32-bit node ids");
+    }
+    seeds.push_back(static_cast<NodeId>(e.number));
+  }
+  return seeds;
+}
+
+void AppendNodes(std::string* out, const std::vector<NodeId>& nodes) {
+  out->push_back('[');
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    if (i != 0) out->push_back(',');
+    out->append(std::to_string(nodes[i]));
+  }
+  out->push_back(']');
+}
+
+void AppendDouble(std::string* out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  out->append(buf);
+}
+
+void AppendEscaped(std::string* out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out->append("\\\""); break;
+      case '\\': out->append("\\\\"); break;
+      case '\n': out->append("\\n"); break;
+      case '\r': out->append("\\r"); break;
+      case '\t': out->append("\\t"); break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+}
+
+struct ResponseBodyWriter {
+  std::string* out;
+
+  void operator()(const TypicalCascadeResponse& r) const {
+    out->append(",\"op\":\"typical\",\"cascade\":");
+    AppendNodes(out, r.cascade);
+    out->append(",\"in_sample_cost\":");
+    AppendDouble(out, r.in_sample_cost);
+    out->append(",\"mean_sample_size\":");
+    AppendDouble(out, r.mean_sample_size);
+  }
+  void operator()(const CascadeResponse& r) const {
+    out->append(",\"op\":\"cascade\",\"cascade\":");
+    AppendNodes(out, r.cascade);
+  }
+  void operator()(const SpreadResponse& r) const {
+    out->append(",\"op\":\"spread\",\"spread\":");
+    AppendDouble(out, r.spread);
+  }
+  void operator()(const SeedSelectResponse& r) const {
+    out->append(",\"op\":\"seed_select\",\"seeds\":");
+    AppendNodes(out, r.seeds);
+    out->append(",\"objective\":");
+    AppendDouble(out, r.objective);
+  }
+  void operator()(const ReliabilityResponse& r) const {
+    out->append(",\"op\":\"reliability\",\"nodes\":");
+    AppendNodes(out, r.nodes);
+  }
+};
+
+}  // namespace
+
+const char* StatusCodeToWireString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kInvalidArgument: return "invalid_argument";
+    case StatusCode::kNotFound: return "not_found";
+    case StatusCode::kOutOfRange: return "out_of_range";
+    case StatusCode::kFailedPrecondition: return "failed_precondition";
+    case StatusCode::kIOError: return "io_error";
+    case StatusCode::kUnimplemented: return "unimplemented";
+    case StatusCode::kInternal: return "internal";
+    case StatusCode::kDeadlineExceeded: return "deadline_exceeded";
+    case StatusCode::kResourceExhausted: return "resource_exhausted";
+  }
+  return "unknown";
+}
+
+Result<ProtocolRequest> ParseRequestLine(std::string_view line) {
+  JsonReader reader(line);
+  SOI_ASSIGN_OR_RETURN(const JsonValue root, reader.Parse());
+  if (root.kind != JsonValue::Kind::kObject) {
+    return Status::InvalidArgument("request line must be a JSON object");
+  }
+
+  ProtocolRequest out;
+  SOI_ASSIGN_OR_RETURN(out.id, RequireInt(root, "id", -1, /*required=*/false));
+  SOI_ASSIGN_OR_RETURN(
+      const int64_t timeout_ms,
+      RequireInt(root, "timeout_ms", 0, /*required=*/false));
+  if (timeout_ms < 0) {
+    return Status::InvalidArgument("\"timeout_ms\" must be >= 0");
+  }
+  out.request.timeout_ms = static_cast<uint64_t>(timeout_ms);
+
+  const JsonValue* op = root.Find("op");
+  if (op == nullptr || op->kind != JsonValue::Kind::kString) {
+    return Status::InvalidArgument("missing required field \"op\" (string)");
+  }
+
+  if (op->string == "typical") {
+    TypicalCascadeRequest req;
+    SOI_ASSIGN_OR_RETURN(req.seeds, RequireSeeds(root));
+    const JsonValue* ls = root.Find("local_search");
+    if (ls != nullptr) {
+      if (ls->kind != JsonValue::Kind::kBool) {
+        return Status::InvalidArgument("\"local_search\" must be a boolean");
+      }
+      req.local_search = ls->boolean;
+    }
+    out.request.payload = std::move(req);
+  } else if (op->string == "cascade") {
+    CascadeRequest req;
+    SOI_ASSIGN_OR_RETURN(req.seeds, RequireSeeds(root));
+    SOI_ASSIGN_OR_RETURN(const int64_t world,
+                         RequireInt(root, "world", 0, /*required=*/true));
+    if (world < 0 || world > static_cast<int64_t>(UINT32_MAX)) {
+      return Status::InvalidArgument("\"world\" must be a 32-bit world index");
+    }
+    req.world = static_cast<uint32_t>(world);
+    out.request.payload = std::move(req);
+  } else if (op->string == "spread") {
+    SpreadRequest req;
+    SOI_ASSIGN_OR_RETURN(req.seeds, RequireSeeds(root));
+    out.request.payload = std::move(req);
+  } else if (op->string == "seed_select") {
+    SeedSelectRequest req;
+    SOI_ASSIGN_OR_RETURN(const int64_t k,
+                         RequireInt(root, "k", 0, /*required=*/true));
+    if (k <= 0 || k > static_cast<int64_t>(UINT32_MAX)) {
+      return Status::InvalidArgument("\"k\" must be a positive integer");
+    }
+    req.k = static_cast<uint32_t>(k);
+    const JsonValue* method = root.Find("method");
+    if (method != nullptr) {
+      if (method->kind != JsonValue::Kind::kString) {
+        return Status::InvalidArgument("\"method\" must be a string");
+      }
+      req.method = method->string;
+    }
+    out.request.payload = std::move(req);
+  } else if (op->string == "reliability") {
+    ReliabilityRequest req;
+    SOI_ASSIGN_OR_RETURN(req.seeds, RequireSeeds(root));
+    const JsonValue* threshold = root.Find("threshold");
+    if (threshold != nullptr) {
+      if (threshold->kind != JsonValue::Kind::kNumber) {
+        return Status::InvalidArgument("\"threshold\" must be a number");
+      }
+      req.threshold = threshold->number;
+    }
+    out.request.payload = std::move(req);
+  } else {
+    return Status::InvalidArgument(
+        "unknown op \"" + op->string +
+        "\" (expected typical|cascade|spread|seed_select|reliability)");
+  }
+  return out;
+}
+
+std::string FormatResponseLine(int64_t id, const Result<Response>& result) {
+  std::string out = "{\"id\":";
+  out.append(std::to_string(id));
+  out.append(",\"status\":\"");
+  out.append(StatusCodeToWireString(result.ok() ? StatusCode::kOk
+                                                : result.status().code()));
+  out.append("\"");
+  if (result.ok()) {
+    std::visit(ResponseBodyWriter{&out}, *result);
+  } else {
+    out.append(",\"error\":\"");
+    AppendEscaped(&out, result.status().message());
+    out.append("\"");
+  }
+  out.append("}\n");
+  return out;
+}
+
+}  // namespace soi::service

@@ -1,0 +1,53 @@
+#ifndef SOI_SERVICE_PROTOCOL_H_
+#define SOI_SERVICE_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "service/engine.h"
+#include "util/status.h"
+
+namespace soi::service {
+
+/// Line-delimited JSON wire protocol for the engine ("soi-service-v1").
+///
+/// One request per line, one response line per request, in request order:
+///
+///   {"op":"typical","seeds":[4],"id":1}
+///   {"op":"cascade","seeds":[0,3],"world":2,"id":2}
+///   {"op":"spread","seeds":[4],"id":3}
+///   {"op":"seed_select","k":5,"method":"tc","id":4}
+///   {"op":"reliability","seeds":[4],"threshold":0.5,"id":5}
+///
+/// Optional fields on every request: "id" (integer echoed back, default -1),
+/// "timeout_ms" (per-request deadline, 0 = server default). "typical" also
+/// takes "local_search" (bool).
+///
+/// Responses: {"id":N,"status":"ok","op":...,<payload>} on success, or
+/// {"id":N,"status":"invalid_argument","error":"..."} on failure — status
+/// strings are the snake_case of StatusCode. A malformed line yields an
+/// error response (id -1 unless an id could be salvaged) and the stream
+/// keeps serving: one bad client line never kills the connection.
+
+/// A parsed request: wire correlation id + the engine request.
+struct ProtocolRequest {
+  int64_t id = -1;
+  Request request;
+};
+
+/// Parses one request line. Unknown "op" values, missing required fields,
+/// wrong types, and trailing garbage are all InvalidArgument with a message
+/// naming the offending field.
+Result<ProtocolRequest> ParseRequestLine(std::string_view line);
+
+/// Formats one response line (terminated with '\n').
+std::string FormatResponseLine(int64_t id, const Result<Response>& result);
+
+/// snake_case wire name of a status code ("ok", "invalid_argument",
+/// "deadline_exceeded", ...).
+const char* StatusCodeToWireString(StatusCode code);
+
+}  // namespace soi::service
+
+#endif  // SOI_SERVICE_PROTOCOL_H_

@@ -1,0 +1,239 @@
+#include "service/server.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "service/protocol.h"
+
+namespace soi::service {
+
+namespace {
+
+Status WriteAll(int fd, std::string_view data) {
+  while (!data.empty()) {
+    const ssize_t n = ::write(fd, data.data(), data.size());
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("write failed: ") +
+                             std::strerror(errno));
+    }
+    data.remove_prefix(static_cast<size_t>(n));
+  }
+  return Status::OK();
+}
+
+// True when `fd` has data ready right now (used to decide whether to keep
+// accumulating a batch or flush what we have).
+bool ReadableNow(int fd) {
+  struct pollfd pfd{fd, POLLIN, 0};
+  return ::poll(&pfd, 1, /*timeout_ms=*/0) > 0 &&
+         (pfd.revents & (POLLIN | POLLHUP)) != 0;
+}
+
+// Best-effort recovery of the correlation id from a line that failed to
+// parse, so the client can still match the error to its request.
+int64_t SalvageId(std::string_view line) {
+  const size_t key = line.find("\"id\"");
+  if (key == std::string_view::npos) return -1;
+  size_t pos = line.find(':', key + 4);
+  if (pos == std::string_view::npos) return -1;
+  ++pos;
+  while (pos < line.size() && (line[pos] == ' ' || line[pos] == '\t')) ++pos;
+  bool negative = false;
+  if (pos < line.size() && line[pos] == '-') {
+    negative = true;
+    ++pos;
+  }
+  if (pos >= line.size() || line[pos] < '0' || line[pos] > '9') return -1;
+  int64_t value = 0;
+  while (pos < line.size() && line[pos] >= '0' && line[pos] <= '9') {
+    value = value * 10 + (line[pos] - '0');
+    ++pos;
+  }
+  return negative ? -value : value;
+}
+
+class StreamServer {
+ public:
+  StreamServer(Engine* engine, int in_fd, int out_fd, uint32_t batch_max)
+      : engine_(engine),
+        in_fd_(in_fd),
+        out_fd_(out_fd),
+        batch_max_(batch_max) {}
+
+  Status Serve() {
+    std::string buffer;
+    char chunk[1 << 16];
+    bool eof = false;
+    while (!eof) {
+      const ssize_t n = ::read(in_fd_, chunk, sizeof(chunk));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Status::IOError(std::string("read failed: ") +
+                               std::strerror(errno));
+      }
+      if (n == 0) {
+        eof = true;
+      } else {
+        buffer.append(chunk, static_cast<size_t>(n));
+      }
+      size_t start = 0;
+      size_t nl;
+      while ((nl = buffer.find('\n', start)) != std::string::npos) {
+        SOI_RETURN_IF_ERROR(
+            HandleLine(std::string_view(buffer).substr(start, nl - start)));
+        start = nl + 1;
+      }
+      buffer.erase(0, start);
+      // Nothing more buffered right now: execute what we have instead of
+      // stalling the client's responses.
+      if (!eof && !pending_.empty() && !ReadableNow(in_fd_)) {
+        SOI_RETURN_IF_ERROR(Flush());
+      }
+    }
+    // A trailing line without '\n' still counts.
+    if (!buffer.empty()) SOI_RETURN_IF_ERROR(HandleLine(buffer));
+    return Flush();
+  }
+
+ private:
+  Status HandleLine(std::string_view line) {
+    // Skip blank lines (a trailing newline at EOF is not a request).
+    const bool blank =
+        line.find_first_not_of(" \t\r") == std::string_view::npos;
+    if (blank) return Status::OK();
+    Result<ProtocolRequest> parsed = ParseRequestLine(line);
+    if (!parsed.ok()) {
+      SOI_OBS_COUNTER_ADD("service/lines_malformed", 1);
+      // Responses stay in request order: run everything queued before this
+      // line, then report the parse error.
+      SOI_RETURN_IF_ERROR(Flush());
+      return WriteAll(out_fd_,
+                      FormatResponseLine(SalvageId(line),
+                                         Result<Response>(parsed.status())));
+    }
+    pending_.push_back(std::move(*parsed));
+    if (pending_.size() >= batch_max_) return Flush();
+    return Status::OK();
+  }
+
+  Status Flush() {
+    if (pending_.empty()) return Status::OK();
+    std::vector<Request> requests;
+    requests.reserve(pending_.size());
+    for (const ProtocolRequest& p : pending_) requests.push_back(p.request);
+    Result<std::vector<Result<Response>>> batch = engine_->RunBatch(requests);
+    std::string out;
+    if (batch.ok()) {
+      for (size_t i = 0; i < pending_.size(); ++i) {
+        out += FormatResponseLine(pending_[i].id, (*batch)[i]);
+      }
+    } else {
+      // Batch-level rejection (admission control): every queued request
+      // gets the same error response.
+      for (const ProtocolRequest& p : pending_) {
+        out += FormatResponseLine(p.id, Result<Response>(batch.status()));
+      }
+    }
+    pending_.clear();
+    return WriteAll(out_fd_, out);
+  }
+
+  Engine* engine_;
+  int in_fd_;
+  int out_fd_;
+  uint32_t batch_max_;
+  std::vector<ProtocolRequest> pending_;
+};
+
+uint32_t EffectiveBatchMax(const Engine& engine, const ServeOptions& options) {
+  const uint32_t engine_max = engine.options().max_batch;
+  if (options.batch_max == 0) return engine_max;
+  return std::min(options.batch_max, engine_max);
+}
+
+}  // namespace
+
+Status ServeStream(Engine* engine, int in_fd, int out_fd,
+                   const ServeOptions& options) {
+  if (engine == nullptr) {
+    return Status::InvalidArgument("engine must not be null");
+  }
+  StreamServer server(engine, in_fd, out_fd,
+                      EffectiveBatchMax(*engine, options));
+  return server.Serve();
+}
+
+Status ServeTcp(Engine* engine, uint16_t port, const ServeOptions& options,
+                uint16_t* bound_port) {
+  if (engine == nullptr) {
+    return Status::InvalidArgument("engine must not be null");
+  }
+  const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd < 0) {
+    return Status::IOError(std::string("socket failed: ") +
+                           std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd, reinterpret_cast<struct sockaddr*>(&addr),
+             sizeof(addr)) < 0) {
+    const Status status = Status::IOError(
+        "bind to 127.0.0.1:" + std::to_string(port) + " failed: " +
+        std::strerror(errno));
+    ::close(listen_fd);
+    return status;
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(listen_fd, reinterpret_cast<struct sockaddr*>(&addr),
+                    &addr_len) == 0 &&
+      bound_port != nullptr) {
+    *bound_port = ntohs(addr.sin_port);
+  }
+  if (::listen(listen_fd, /*backlog=*/16) < 0) {
+    const Status status = Status::IOError(std::string("listen failed: ") +
+                                          std::strerror(errno));
+    ::close(listen_fd);
+    return status;
+  }
+  if (options.on_listening) options.on_listening(ntohs(addr.sin_port));
+  uint32_t served = 0;
+  while (options.max_connections == 0 || served < options.max_connections) {
+    const int conn_fd = ::accept(listen_fd, nullptr, nullptr);
+    if (conn_fd < 0) {
+      if (errno == EINTR) continue;
+      const Status status = Status::IOError(std::string("accept failed: ") +
+                                            std::strerror(errno));
+      ::close(listen_fd);
+      return status;
+    }
+    SOI_OBS_COUNTER_ADD("service/connections", 1);
+    const Status status = ServeStream(engine, conn_fd, conn_fd, options);
+    ::close(conn_fd);
+    ++served;
+    if (!status.ok()) {
+      // One broken connection does not stop the server; log via metrics and
+      // keep accepting.
+      SOI_OBS_COUNTER_ADD("service/connections_failed", 1);
+    }
+  }
+  ::close(listen_fd);
+  return Status::OK();
+}
+
+}  // namespace soi::service

@@ -1,0 +1,46 @@
+#ifndef SOI_SERVICE_SERVER_H_
+#define SOI_SERVICE_SERVER_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "service/engine.h"
+#include "util/status.h"
+
+namespace soi::service {
+
+/// Serve-loop configuration (the engine's own admission control still
+/// applies underneath).
+struct ServeOptions {
+  /// Flush a pending batch once it reaches this many requests. 0 = use the
+  /// engine's max_batch. Values above the engine's max_batch are clamped.
+  uint32_t batch_max = 0;
+  /// ServeTcp only: stop accepting after this many connections (0 = serve
+  /// forever). Lets tests and smoke scripts run a bounded server.
+  uint32_t max_connections = 0;
+  /// ServeTcp only: invoked once the socket is listening, with the bound
+  /// port — the race-free way for a test or supervisor to learn when (and
+  /// where) to connect.
+  std::function<void(uint16_t)> on_listening;
+};
+
+/// Runs the line-JSON protocol over a pair of file descriptors until EOF on
+/// `in_fd`. Requests are batched greedily: lines already buffered are
+/// grouped into one RunBatch call (up to batch_max), so a client that
+/// writes N requests and then waits gets them executed as one deterministic
+/// batch. Responses are written in request order. Malformed lines produce
+/// an in-order error response and the stream keeps serving. Returns only on
+/// EOF (OK) or an unrecoverable read/write error (IOError).
+Status ServeStream(Engine* engine, int in_fd, int out_fd,
+                   const ServeOptions& options = {});
+
+/// Listens on 127.0.0.1:`port` (0 = ephemeral; the chosen port is stored in
+/// `*bound_port` if non-null) and serves connections sequentially with
+/// ServeStream. Returns after `max_connections` connections when that is
+/// nonzero.
+Status ServeTcp(Engine* engine, uint16_t port, const ServeOptions& options = {},
+                uint16_t* bound_port = nullptr);
+
+}  // namespace soi::service
+
+#endif  // SOI_SERVICE_SERVER_H_

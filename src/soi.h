@@ -42,6 +42,9 @@
 #include "reliability/reliability.h"  // reliability queries
 #include "runtime/parallel_for.h"   // deterministic parallel loops
 #include "runtime/thread_pool.h"    // shared worker pool
+#include "service/engine.h"         // query service facade
+#include "service/protocol.h"       // line-JSON wire protocol
+#include "service/server.h"         // stdio / TCP serve loops
 #include "util/rng.h"               // deterministic PRNG
 #include "util/status.h"            // Status / Result
 

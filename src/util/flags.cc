@@ -1,5 +1,6 @@
 #include "util/flags.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdlib>
 #include <cstring>
@@ -131,12 +132,114 @@ Status ValidateWritableOutPath(const std::string& path) {
   return Status::OK();
 }
 
+std::vector<std::string> FlagParser::FlagNames() const {
+  std::vector<std::string> names;
+  names.reserve(flags_.size());
+  for (const auto& [name, value] : flags_) names.push_back(name);
+  return names;
+}
+
 std::vector<std::string> FlagParser::UnusedFlags() const {
   std::vector<std::string> unused;
   for (const auto& [name, value] : flags_) {
     if (!queried_.count(name)) unused.push_back(name);
   }
   return unused;
+}
+
+namespace {
+
+const char* FlagTypeName(FlagType type) {
+  switch (type) {
+    case FlagType::kString: return "string";
+    case FlagType::kInt: return "int";
+    case FlagType::kDouble: return "num";
+    case FlagType::kBool: return "bool";
+  }
+  return "?";
+}
+
+}  // namespace
+
+Result<FlagParser> ParseCommandFlags(const CommandSpec& command,
+                                     const std::vector<std::string>& tokens) {
+  SOI_ASSIGN_OR_RETURN(FlagParser parser, FlagParser::Parse(tokens));
+  for (const std::string& name : parser.FlagNames()) {
+    const FlagSpec* spec = nullptr;
+    for (const FlagSpec& s : command.flags) {
+      if (s.name == name) {
+        spec = &s;
+        break;
+      }
+    }
+    if (spec == nullptr) {
+      return Status::InvalidArgument(
+          "unknown flag --" + name + " for command '" + command.name +
+          "' (run with --help to list its flags)");
+    }
+    // Eager type validation: a typo'd value fails here, before any work.
+    switch (spec->type) {
+      case FlagType::kInt:
+        SOI_RETURN_IF_ERROR(parser.GetInt(name, 0).status());
+        break;
+      case FlagType::kDouble:
+        SOI_RETURN_IF_ERROR(parser.GetDouble(name, 0.0).status());
+        break;
+      case FlagType::kString:
+      case FlagType::kBool:
+        break;
+    }
+  }
+  return parser;
+}
+
+std::string FormatCommandHelp(const std::string& program,
+                              const CommandSpec& command) {
+  std::string out = "Usage: " + program + " " + command.name + " [flags]";
+  if (!command.positional_help.empty()) {
+    out += " " + command.positional_help;
+  }
+  out += "\n  " + command.summary + "\n";
+  if (command.flags.empty()) return out;
+  out += "\nFlags:\n";
+  size_t width = 0;
+  std::vector<std::string> heads;
+  heads.reserve(command.flags.size());
+  for (const FlagSpec& spec : command.flags) {
+    std::string head = "--" + spec.name;
+    if (spec.type != FlagType::kBool) {
+      head += std::string("=<") + FlagTypeName(spec.type) + ">";
+    }
+    width = std::max(width, head.size());
+    heads.push_back(std::move(head));
+  }
+  for (size_t i = 0; i < command.flags.size(); ++i) {
+    const FlagSpec& spec = command.flags[i];
+    out += "  " + heads[i] + std::string(width - heads[i].size() + 2, ' ') +
+           spec.help;
+    if (!spec.default_value.empty()) {
+      out += " (default: " + spec.default_value + ")";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::string FormatProgramHelp(const std::string& program,
+                              const std::vector<CommandSpec>& commands) {
+  std::string out = "Usage: " + program + " <command> [flags]\n\nCommands:\n";
+  size_t width = 0;
+  for (const CommandSpec& command : commands) {
+    width = std::max(width, command.name.size());
+  }
+  for (const CommandSpec& command : commands) {
+    out += "  " + command.name +
+           std::string(width - command.name.size() + 2, ' ') +
+           command.summary + "\n";
+  }
+  out += "\nRun '" + program +
+         " <command> --help' for that command's flags.\n";
+  return out;
 }
 
 }  // namespace soi

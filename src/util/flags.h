@@ -39,6 +39,9 @@ class FlagParser {
 
   const std::vector<std::string>& positional() const { return positional_; }
 
+  /// Names of all flags that were present on the command line (sorted).
+  std::vector<std::string> FlagNames() const;
+
   /// Flags seen but never queried — typo detection for the CLI.
   std::vector<std::string> UnusedFlags() const;
 
@@ -47,6 +50,46 @@ class FlagParser {
   std::vector<std::string> positional_;
   mutable std::map<std::string, bool> queried_;
 };
+
+// ---------------------------------------------------------------------------
+// Declarative subcommand flag tables. Each subcommand declares its flags
+// once; parsing rejects unknown flags with an error naming the command,
+// validates typed values eagerly (before any work runs), and the same table
+// generates --help text — so flags, validation, and documentation cannot
+// drift apart.
+// ---------------------------------------------------------------------------
+
+enum class FlagType { kString, kInt, kDouble, kBool };
+
+/// One flag a subcommand accepts.
+struct FlagSpec {
+  std::string name;               // without the leading "--"
+  FlagType type = FlagType::kString;
+  std::string default_value;      // shown in help; "" = no default shown
+  std::string help;               // one-line description
+};
+
+/// One subcommand: its flags plus the strings help is generated from.
+struct CommandSpec {
+  std::string name;               // e.g. "serve"
+  std::string summary;            // one-line, shown in the program help
+  std::string positional_help;    // e.g. "<graph-file>"; "" = none
+  std::vector<FlagSpec> flags;
+};
+
+/// Parses `tokens` against a command's table. Unknown flags are a hard
+/// error naming the command; flags with kInt/kDouble types are validated
+/// immediately so a typo fails before any expensive work.
+Result<FlagParser> ParseCommandFlags(const CommandSpec& command,
+                                     const std::vector<std::string>& tokens);
+
+/// Help text for one subcommand (usage line, summary, flag table).
+std::string FormatCommandHelp(const std::string& program,
+                              const CommandSpec& command);
+
+/// Help text for the whole program (usage line + command summaries).
+std::string FormatProgramHelp(const std::string& program,
+                              const std::vector<CommandSpec>& commands);
 
 /// Validates an output-file path *before* any expensive work runs: the path
 /// must be non-empty, must not name a directory, and its parent directory

@@ -22,6 +22,11 @@ enum class StatusCode {
   kIOError,
   kUnimplemented,
   kInternal,
+  /// A per-request deadline expired before the work ran (service layer).
+  kDeadlineExceeded,
+  /// An admission-control limit rejected the work (batch too large, too
+  /// many batches in flight); retry later or with a smaller batch.
+  kResourceExhausted,
 };
 
 /// Returns a stable human-readable name for a status code ("InvalidArgument").
@@ -60,6 +65,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

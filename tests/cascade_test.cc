@@ -262,7 +262,7 @@ TEST(ExactTest, RejectsBadSeeds) {
   EXPECT_FALSE(ExactExpectedSpread(g, empty).ok());
   const std::vector<NodeId> bad = {99};
   EXPECT_EQ(ExactExpectedSpread(g, bad).status().code(),
-            StatusCode::kOutOfRange);
+            StatusCode::kInvalidArgument);
 }
 
 TEST(ExactTest, TypicalCascadeDeterministicGraph) {

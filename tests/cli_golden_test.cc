@@ -18,6 +18,8 @@
 //       > typical.stdout.golden
 //   soi_cli infmax  --graph graph.txt --method tc --k 8 --worlds 64 \
 //       --eval-worlds 100 --seed 1 --threads 1 > infmax_tc.stdout.golden
+//   soi_cli serve   --graph graph.txt --worlds 64 --seed 1 --threads 1 \
+//       --stdin < serve.requests.jsonl > serve.stdout.golden
 
 #include <cstdio>
 #include <fstream>
@@ -164,6 +166,22 @@ TEST(CliGoldenTest, ClosureBudgetZeroReproducesGoldens) {
   ASSERT_EQ(infmax.exit_code, 0);
   EXPECT_EQ(infmax.stdout_text, infmax_golden)
       << "infmax tc diverged with the closure cache disabled";
+}
+
+TEST(CliGoldenTest, ServeStdinMatchesGoldenAcrossThreads) {
+  // The request fixture mixes every op with malformed and invalid lines;
+  // the golden asserts the whole protocol contract at once: responses in
+  // request order, errors as status lines (the process must not abort),
+  // and ids salvaged from broken JSON.
+  const std::string golden = ReadFileOrDie(GoldenPath("serve.stdout.golden"));
+  for (const char* threads : {"1", "8"}) {
+    const CliRun run = RunCli("serve " + GraphFlags() + " --stdin --threads " +
+                              threads + " < '" +
+                              GoldenPath("serve.requests.jsonl") + "'");
+    ASSERT_EQ(run.exit_code, 0);
+    EXPECT_EQ(run.stdout_text, golden)
+        << "serve diverged at --threads " << threads;
+  }
 }
 
 // Pulls "key": <number> out of the metrics JSON (flat, known-schema file;

@@ -165,13 +165,13 @@ TEST_P(ClosureEquivalenceTest, QueriesByteIdentical) {
   const NodeId n = g.num_nodes();
   for (uint32_t i = 0; i < cached.num_worlds(); ++i) {
     for (NodeId v = 0; v < n; ++v) {
-      const auto a = cached.Cascade(v, i, &ws_cached);
-      const auto b = plain.Cascade(v, i, &ws_plain);
+      const auto a = cached.Cascade(v, i, &ws_cached).value();
+      const auto b = plain.Cascade(v, i, &ws_plain).value();
       ASSERT_EQ(a, b) << "node " << v << " world " << i;
       const auto span = cached.CachedCascade(v, i);
       ASSERT_TRUE(std::equal(span.begin(), span.end(), a.begin(), a.end()));
-      ASSERT_EQ(cached.CascadeSize(v, i, &ws_cached), a.size());
-      ASSERT_EQ(plain.CascadeSize(v, i, &ws_plain), b.size());
+      ASSERT_EQ(cached.CascadeSize(v, i, &ws_cached).value(), a.size());
+      ASSERT_EQ(plain.CascadeSize(v, i, &ws_plain).value(), b.size());
     }
   }
   // Multi-seed queries exercise the stamped closure-union + run-merge path.
@@ -180,11 +180,11 @@ TEST_P(ClosureEquivalenceTest, QueriesByteIdentical) {
       {10, 11, 12, 13, 14, 15, 16, 17}};
   for (const auto& seeds : seed_sets) {
     for (uint32_t i = 0; i < cached.num_worlds(); ++i) {
-      const auto a = cached.Cascade(seeds, i, &ws_cached);
-      const auto b = plain.Cascade(seeds, i, &ws_plain);
+      const auto a = cached.Cascade(seeds, i, &ws_cached).value();
+      const auto b = plain.Cascade(seeds, i, &ws_plain).value();
       ASSERT_EQ(a, b);
-      ASSERT_EQ(cached.CascadeSize(seeds, i, &ws_cached), a.size());
-      ASSERT_EQ(plain.CascadeSize(seeds, i, &ws_plain), a.size());
+      ASSERT_EQ(cached.CascadeSize(seeds, i, &ws_cached).value(), a.size());
+      ASSERT_EQ(plain.CascadeSize(seeds, i, &ws_plain).value(), a.size());
     }
   }
 }
@@ -279,7 +279,8 @@ TEST(ClosureBudgetTest, OverBudgetFallsBackWithIdenticalOutputs) {
   CascadeIndex::Workspace ws_a, ws_b;
   for (uint32_t i = 0; i < tiny.num_worlds(); ++i) {
     for (NodeId v = 0; v < g->num_nodes(); v += 37) {
-      ASSERT_EQ(tiny.Cascade(v, i, &ws_a), plain.Cascade(v, i, &ws_b));
+      ASSERT_EQ(tiny.Cascade(v, i, &ws_a).value(),
+                plain.Cascade(v, i, &ws_b).value());
     }
   }
 }
@@ -307,8 +308,8 @@ TEST(ClosureBudgetTest, FromWorldsRebuildsCacheUnderBudget) {
   CascadeIndex::Workspace ws_a, ws_b;
   for (uint32_t i = 0; i < built.num_worlds(); ++i) {
     for (NodeId v = 0; v < g.num_nodes(); ++v) {
-      const auto a = reloaded->Cascade(v, i, &ws_a);
-      ASSERT_EQ(a, disabled->Cascade(v, i, &ws_b));
+      const auto a = reloaded->Cascade(v, i, &ws_a).value();
+      ASSERT_EQ(a, disabled->Cascade(v, i, &ws_b).value());
       ASSERT_TRUE(std::ranges::equal(built.CachedCascade(v, i), a));
     }
   }

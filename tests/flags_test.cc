@@ -155,5 +155,71 @@ TEST(ValidateWritableOutPathTest, RejectsFileUsedAsDirectory) {
   std::remove(file.c_str());
 }
 
+// Declarative subcommand flag tables (ParseCommandFlags + help generation):
+// unknown flags are hard errors naming the command, typed values are
+// validated before any work runs, and help text comes from the same table.
+
+CommandSpec TestCommand() {
+  CommandSpec spec;
+  spec.name = "frob";
+  spec.summary = "frobnicate the graph";
+  spec.positional_help = "<graph-file>";
+  spec.flags = {
+      {"graph", FlagType::kString, "", "input file (required)"},
+      {"worlds", FlagType::kInt, "256", "worlds to sample"},
+      {"scale", FlagType::kDouble, "0.25", "scale factor"},
+      {"verbose", FlagType::kBool, "", "log more"},
+  };
+  return spec;
+}
+
+TEST(CommandSpecTest, AcceptsDeclaredFlags) {
+  const auto parsed = ParseCommandFlags(
+      TestCommand(), {"--graph=g.txt", "--worlds", "64", "--verbose"});
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->GetString("graph", "").value(), "g.txt");
+  EXPECT_EQ(parsed->GetInt("worlds", 0).value(), 64);
+  EXPECT_TRUE(parsed->GetBool("verbose", false));
+}
+
+TEST(CommandSpecTest, UnknownFlagIsHardErrorNamingCommand) {
+  const auto parsed = ParseCommandFlags(TestCommand(), {"--wrlds=64"});
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("--wrlds"), std::string::npos);
+  EXPECT_NE(parsed.status().message().find("'frob'"), std::string::npos);
+}
+
+TEST(CommandSpecTest, TypedValuesValidatedEagerly) {
+  const auto bad_int = ParseCommandFlags(TestCommand(), {"--worlds=lots"});
+  ASSERT_FALSE(bad_int.ok());
+  EXPECT_NE(bad_int.status().message().find("worlds"), std::string::npos);
+  const auto bad_double = ParseCommandFlags(TestCommand(), {"--scale=big"});
+  EXPECT_FALSE(bad_double.ok());
+}
+
+TEST(CommandSpecTest, CommandHelpListsEveryFlagAndDefault) {
+  const std::string help = FormatCommandHelp("soi_cli", TestCommand());
+  EXPECT_NE(help.find("Usage: soi_cli frob [flags] <graph-file>"),
+            std::string::npos);
+  EXPECT_NE(help.find("frobnicate the graph"), std::string::npos);
+  EXPECT_NE(help.find("--graph=<string>"), std::string::npos);
+  EXPECT_NE(help.find("--worlds=<int>"), std::string::npos);
+  EXPECT_NE(help.find("(default: 256)"), std::string::npos);
+  // Bool flags take no value in help.
+  EXPECT_NE(help.find("--verbose "), std::string::npos);
+  EXPECT_EQ(help.find("--verbose=<"), std::string::npos);
+}
+
+TEST(CommandSpecTest, ProgramHelpListsCommands) {
+  CommandSpec other;
+  other.name = "defrag";
+  other.summary = "defragment the worlds";
+  const std::string help =
+      FormatProgramHelp("soi_cli", {TestCommand(), other});
+  EXPECT_NE(help.find("Usage: soi_cli <command> [flags]"), std::string::npos);
+  EXPECT_NE(help.find("frob"), std::string::npos);
+  EXPECT_NE(help.find("defragment the worlds"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace soi

@@ -33,7 +33,7 @@ void ExpectSameCascades(const CascadeIndex& a, const CascadeIndex& b) {
   CascadeIndex::Workspace wa, wb;
   for (NodeId v = 0; v < a.num_nodes(); v += 3) {
     for (uint32_t i = 0; i < a.num_worlds(); ++i) {
-      EXPECT_EQ(a.Cascade(v, i, &wa), b.Cascade(v, i, &wb))
+      EXPECT_EQ(a.Cascade(v, i, &wa).value(), b.Cascade(v, i, &wb).value())
           << "node " << v << " world " << i;
     }
   }
@@ -98,8 +98,8 @@ TEST(IndexIoTest, LoadedIndexDrivesQueriesIdentically) {
   CascadeIndex::Workspace wa, wb;
   uint64_t total_a = 0, total_b = 0;
   for (uint32_t i = 0; i < index.num_worlds(); ++i) {
-    total_a += index.CascadeSize(NodeId{7}, i, &wa);
-    total_b += loaded->CascadeSize(NodeId{7}, i, &wb);
+    total_a += index.CascadeSize(NodeId{7}, i, &wa).value();
+    total_b += loaded->CascadeSize(NodeId{7}, i, &wb).value();
   }
   EXPECT_EQ(total_a, total_b);
 }

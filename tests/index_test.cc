@@ -68,7 +68,7 @@ TEST(CascadeIndexTest, CascadeContainsSource) {
   CascadeIndex::Workspace ws;
   for (NodeId v = 0; v < g.num_nodes(); ++v) {
     for (uint32_t i = 0; i < index.num_worlds(); ++i) {
-      const auto cascade = index.Cascade(v, i, &ws);
+      const auto cascade = index.Cascade(v, i, &ws).value();
       EXPECT_TRUE(std::binary_search(cascade.begin(), cascade.end(), v));
       EXPECT_TRUE(std::is_sorted(cascade.begin(), cascade.end()));
     }
@@ -81,8 +81,8 @@ TEST(CascadeIndexTest, CascadeSizeMatchesMaterialized) {
   CascadeIndex::Workspace ws;
   for (NodeId v = 0; v < g.num_nodes(); ++v) {
     for (uint32_t i = 0; i < index.num_worlds(); ++i) {
-      EXPECT_EQ(index.CascadeSize(v, i, &ws),
-                index.Cascade(v, i, &ws).size());
+      EXPECT_EQ(index.CascadeSize(v, i, &ws).value(),
+                index.Cascade(v, i, &ws).value().size());
     }
   }
 }
@@ -93,9 +93,9 @@ TEST(CascadeIndexTest, SeedSetCascadeIsUnionOfSingletons) {
   CascadeIndex::Workspace ws;
   const std::vector<NodeId> seeds = {0, 3};
   for (uint32_t i = 0; i < index.num_worlds(); ++i) {
-    const auto joint = index.Cascade(seeds, i, &ws);
-    auto a = index.Cascade(NodeId{0}, i, &ws);
-    const auto b = index.Cascade(NodeId{3}, i, &ws);
+    const auto joint = index.Cascade(seeds, i, &ws).value();
+    auto a = index.Cascade(NodeId{0}, i, &ws).value();
+    const auto b = index.Cascade(NodeId{3}, i, &ws).value();
     a.insert(a.end(), b.begin(), b.end());
     std::sort(a.begin(), a.end());
     a.erase(std::unique(a.begin(), a.end()), a.end());
@@ -110,7 +110,7 @@ TEST(CascadeIndexTest, DeterministicForSameSeed) {
   CascadeIndex::Workspace wa, wb;
   for (NodeId v = 0; v < g.num_nodes(); ++v) {
     for (uint32_t i = 0; i < 8; ++i) {
-      EXPECT_EQ(a.Cascade(v, i, &wa), b.Cascade(v, i, &wb));
+      EXPECT_EQ(a.Cascade(v, i, &wa).value(), b.Cascade(v, i, &wb).value());
     }
   }
 }
@@ -122,7 +122,8 @@ TEST(CascadeIndexTest, ReductionDoesNotChangeCascades) {
   CascadeIndex::Workspace wr, wp;
   for (NodeId v = 0; v < g.num_nodes(); ++v) {
     for (uint32_t i = 0; i < 16; ++i) {
-      EXPECT_EQ(reduced.Cascade(v, i, &wr), plain.Cascade(v, i, &wp));
+      EXPECT_EQ(reduced.Cascade(v, i, &wr).value(),
+                plain.Cascade(v, i, &wp).value());
     }
   }
 }
@@ -131,10 +132,10 @@ TEST(CascadeIndexTest, AllCascadesShape) {
   const ProbGraph g = PaperExampleGraph();
   const CascadeIndex index = BuildIndex(g, 24, 9);
   CascadeIndex::Workspace ws;
-  const auto all = index.AllCascades(NodeId{4}, &ws);
+  const auto all = index.AllCascades(NodeId{4}, &ws).value();
   ASSERT_EQ(all.size(), 24u);
   for (uint32_t i = 0; i < 24; ++i) {
-    EXPECT_EQ(all[i], index.Cascade(NodeId{4}, i, &ws));
+    EXPECT_EQ(all[i], index.Cascade(NodeId{4}, i, &ws).value());
   }
 }
 
@@ -149,7 +150,7 @@ TEST(CascadeIndexTest, MeanCascadeSizeMatchesExactSpread) {
   CascadeIndex::Workspace ws;
   double total = 0.0;
   for (uint32_t i = 0; i < index.num_worlds(); ++i) {
-    total += static_cast<double>(index.CascadeSize(NodeId{4}, i, &ws));
+    total += static_cast<double>(index.CascadeSize(NodeId{4}, i, &ws).value());
   }
   EXPECT_NEAR(total / index.num_worlds(), *exact, 0.03);
 }
@@ -169,14 +170,14 @@ TEST(CascadeIndexTest, LargerGraphSmokeAndInvariants) {
   // cascade of v is a superset of {v} union out-neighbors present in world.
   for (NodeId v = 0; v < g->num_nodes(); v += 37) {
     for (uint32_t i = 0; i < index.num_worlds(); ++i) {
-      const auto cascade = index.Cascade(v, i, &ws);
+      const auto cascade = index.Cascade(v, i, &ws).value();
       EXPECT_TRUE(std::is_sorted(cascade.begin(), cascade.end()));
       EXPECT_TRUE(std::binary_search(cascade.begin(), cascade.end(), v));
       // Everything in the cascade of v must have its own cascade contained
       // in v's cascade (reachability transitivity).
       if (!cascade.empty()) {
         const NodeId w = cascade[cascade.size() / 2];
-        const auto sub = index.Cascade(w, i, &ws);
+        const auto sub = index.Cascade(w, i, &ws).value();
         EXPECT_TRUE(std::includes(cascade.begin(), cascade.end(),
                                   sub.begin(), sub.end()));
       }

@@ -70,7 +70,7 @@ TEST(SpreadOracleTest, SingletonGainMatchesMeanCascadeSize) {
   for (NodeId v = 0; v < 10; ++v) {
     uint64_t total = 0;
     for (uint32_t i = 0; i < index.num_worlds(); ++i) {
-      total += index.CascadeSize(v, i, &ws);
+      total += index.CascadeSize(v, i, &ws).value();
     }
     EXPECT_DOUBLE_EQ(oracle.MarginalGain(v),
                      static_cast<double>(total) / index.num_worlds());

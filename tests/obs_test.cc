@@ -265,5 +265,53 @@ TEST_F(ObsTest, CounterEntriesSortedByName) {
   }
 }
 
+// Histograms (log2 buckets): the service layer records request latencies
+// and queue depths through these.
+
+TEST_F(ObsTest, HistogramRecordsAndQuantiles) {
+  Histogram h;
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_EQ(h.ValueAtQuantile(0.5), 0u);
+  for (int i = 0; i < 90; ++i) h.Record(100);    // bucket of 2^6..2^7
+  for (int i = 0; i < 10; ++i) h.Record(100000);  // far tail
+  EXPECT_EQ(h.Count(), 100u);
+  const uint64_t p50 = h.ValueAtQuantile(0.5);
+  const uint64_t p99 = h.ValueAtQuantile(0.99);
+  EXPECT_GE(p50, 64u);
+  EXPECT_LE(p50, 128u);
+  EXPECT_GT(p99, 1000u);
+  EXPECT_LE(h.ValueAtQuantile(0.0), p50);
+  EXPECT_LE(p50, p99);
+  h.Reset();
+  EXPECT_EQ(h.Count(), 0u);
+}
+
+TEST_F(ObsTest, HistogramHandlesExtremeValues) {
+  Histogram h;
+  h.Record(0);
+  h.Record(UINT64_MAX);  // clamps to the last bucket, no overflow
+  EXPECT_EQ(h.Count(), 2u);
+  EXPECT_GT(h.ValueAtQuantile(1.0), 0u);
+}
+
+TEST_F(ObsTest, RegistryHistogramsAndMacro) {
+  const std::string name = "obs_test/HistMacro/latency";
+  SOI_OBS_HISTOGRAM_RECORD(name.c_str(), 1024);
+  SOI_OBS_HISTOGRAM_RECORD(name.c_str(), 2048);
+  Histogram* h = Registry::Get().FindHistogram(name);
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->Count(), 2u);
+  bool found = false;
+  for (const auto& [entry_name, snapshot] : Registry::Get().HistogramEntries()) {
+    if (entry_name == name) {
+      found = true;
+      EXPECT_EQ(snapshot.count, 2u);
+      EXPECT_GT(snapshot.p50, 0u);
+      EXPECT_GE(snapshot.p95, snapshot.p50);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
 }  // namespace
 }  // namespace soi::obs

@@ -137,7 +137,7 @@ std::vector<std::vector<NodeId>> AllIndexCascades(const CascadeIndex& index) {
   std::vector<std::vector<NodeId>> out;
   for (NodeId v = 0; v < index.num_nodes(); ++v) {
     for (uint32_t i = 0; i < index.num_worlds(); ++i) {
-      out.push_back(index.Cascade(v, i, &ws));
+      out.push_back(index.Cascade(v, i, &ws).value());
     }
   }
   return out;

@@ -1,0 +1,534 @@
+// Tests for the query service layer (src/service/): the Engine facade's
+// non-aborting error model, deadline and admission control, batch
+// determinism across thread counts, the line-JSON protocol, and the
+// stream/TCP serve loops. This suite runs in the TSan CI job, so every
+// concurrent path it exercises is also a data-race check.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.h"
+#include "graph/prob_assign.h"
+#include "graph/prob_graph.h"
+#include "runtime/parallel_for.h"
+#include "service/engine.h"
+#include "service/protocol.h"
+#include "service/server.h"
+#include "util/rng.h"
+
+namespace soi::service {
+namespace {
+
+// The running example from the paper (Figure 1 topology).
+ProbGraph PaperExampleGraph() {
+  ProbGraphBuilder b(5);
+  EXPECT_TRUE(b.AddEdge(4, 0, 0.7).ok());
+  EXPECT_TRUE(b.AddEdge(4, 1, 0.4).ok());
+  EXPECT_TRUE(b.AddEdge(4, 3, 0.3).ok());
+  EXPECT_TRUE(b.AddEdge(0, 1, 0.1).ok());
+  EXPECT_TRUE(b.AddEdge(1, 0, 0.1).ok());
+  EXPECT_TRUE(b.AddEdge(1, 2, 0.4).ok());
+  EXPECT_TRUE(b.AddEdge(3, 1, 0.6).ok());
+  auto g = b.Build();
+  EXPECT_TRUE(g.ok());
+  return std::move(g).value();
+}
+
+ProbGraph RandomGraph(NodeId n, uint64_t m, uint64_t seed) {
+  Rng rng(seed);
+  auto topology = GenerateErdosRenyi(n, m, /*undirected=*/false, &rng);
+  SOI_CHECK(topology.ok());
+  auto graph = AssignUniform(*topology, &rng);
+  SOI_CHECK(graph.ok());
+  return std::move(graph).value();
+}
+
+Engine MakeEngine(ProbGraph graph, EngineOptions options = {}) {
+  if (options.index.num_worlds == 256) options.index.num_worlds = 16;
+  auto engine = Engine::Create(std::move(graph), options);
+  EXPECT_TRUE(engine.ok()) << engine.status().ToString();
+  return std::move(engine).value();
+}
+
+Request MakeCascade(std::vector<NodeId> seeds, uint32_t world) {
+  Request r;
+  r.payload = CascadeRequest{std::move(seeds), world};
+  return r;
+}
+
+TEST(EngineTest, CreateValidatesOptions) {
+  EngineOptions options;
+  options.max_batch = 0;
+  EXPECT_FALSE(Engine::Create(PaperExampleGraph(), options).ok());
+  options.max_batch = 1;
+  options.max_in_flight = 0;
+  EXPECT_FALSE(Engine::Create(PaperExampleGraph(), options).ok());
+}
+
+TEST(EngineTest, InvalidNodeIdReturnsStatusNotAbort) {
+  Engine engine = MakeEngine(PaperExampleGraph());
+  Request request = MakeCascade({99}, 0);
+  const Result<Response> result = engine.Run(request);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("out of range"), std::string::npos);
+}
+
+TEST(EngineTest, EmptySeedSetReturnsInvalidArgument) {
+  Engine engine = MakeEngine(PaperExampleGraph());
+  Request request;
+  request.payload = SpreadRequest{{}};
+  const Result<Response> result = engine.Run(request);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("empty"), std::string::npos);
+}
+
+TEST(EngineTest, OutOfRangeWorldReturnsInvalidArgument) {
+  Engine engine = MakeEngine(PaperExampleGraph());
+  const Result<Response> result = engine.Run(MakeCascade({0}, 1u << 20));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EngineTest, UnknownSeedSelectMethodReturnsInvalidArgument) {
+  Engine engine = MakeEngine(PaperExampleGraph());
+  Request request;
+  request.payload = SeedSelectRequest{2, "magic"};
+  const Result<Response> result = engine.Run(request);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("magic"), std::string::npos);
+}
+
+TEST(EngineTest, EngineReuseAcrossRequestTypes) {
+  Engine engine = MakeEngine(PaperExampleGraph());
+  Request typical;
+  typical.payload = TypicalCascadeRequest{{4}, false};
+  Request spread;
+  spread.payload = SpreadRequest{{4}};
+  Request select_tc;
+  select_tc.payload = SeedSelectRequest{2, "tc"};
+  Request select_std;
+  select_std.payload = SeedSelectRequest{2, "std"};
+  Request reliability;
+  reliability.payload = ReliabilityRequest{{4}, 0.5};
+
+  for (const Request* request :
+       {&typical, &spread, &select_tc, &select_std, &reliability}) {
+    const Result<Response> result = engine.Run(*request);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+  }
+  // Same engine, same answers on a repeat run (cached state is read-only).
+  const Result<Response> once = engine.Run(select_tc);
+  const Result<Response> again = engine.Run(select_tc);
+  ASSERT_TRUE(once.ok());
+  ASSERT_TRUE(again.ok());
+  const auto& first = std::get<SeedSelectResponse>(*once);
+  const auto& second = std::get<SeedSelectResponse>(*again);
+  EXPECT_EQ(first.seeds, second.seeds);
+  EXPECT_EQ(first.objective, second.objective);
+}
+
+TEST(EngineTest, SpreadMatchesCascadeSizeAverage) {
+  Engine engine = MakeEngine(PaperExampleGraph());
+  Request spread;
+  spread.payload = SpreadRequest{{4}};
+  const Result<Response> result = engine.Run(spread);
+  ASSERT_TRUE(result.ok());
+  double total = 0.0;
+  for (uint32_t i = 0; i < engine.index().num_worlds(); ++i) {
+    const Result<Response> one = engine.Run(MakeCascade({4}, i));
+    ASSERT_TRUE(one.ok());
+    total += static_cast<double>(std::get<CascadeResponse>(*one).cascade.size());
+  }
+  EXPECT_DOUBLE_EQ(std::get<SpreadResponse>(*result).spread,
+                   total / engine.index().num_worlds());
+}
+
+TEST(EngineTest, BatchTooLargeRejectedWhole) {
+  EngineOptions options;
+  options.max_batch = 4;
+  Engine engine = MakeEngine(PaperExampleGraph(), options);
+  std::vector<Request> requests(5, MakeCascade({0}, 0));
+  const auto batch = engine.RunBatch(requests);
+  ASSERT_FALSE(batch.ok());
+  EXPECT_EQ(batch.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(engine.in_flight(), 0u);  // slot released on rejection
+}
+
+TEST(EngineTest, InFlightIsZeroWhenIdle) {
+  Engine engine = MakeEngine(PaperExampleGraph());
+  EXPECT_EQ(engine.in_flight(), 0u);
+  ASSERT_TRUE(engine.Run(MakeCascade({0}, 0)).ok());
+  EXPECT_EQ(engine.in_flight(), 0u);
+}
+
+// Fake clock: every call advances by 10ms, so the second reading (request
+// pickup) is 10ms after the first (batch admission).
+std::atomic<uint64_t> g_fake_now_ns{0};
+uint64_t FakeClock() { return g_fake_now_ns.fetch_add(10'000'000ull); }
+
+TEST(EngineTest, DeadlineExceededViaFakeClock) {
+  EngineOptions options;
+  options.clock_ns = &FakeClock;
+  Engine engine = MakeEngine(PaperExampleGraph(), options);
+
+  g_fake_now_ns.store(0);
+  Request request = MakeCascade({0}, 0);
+  request.timeout_ms = 5;  // pickup happens a simulated 10ms after admission
+  const Result<Response> expired = engine.Run(request);
+  ASSERT_FALSE(expired.ok());
+  EXPECT_EQ(expired.status().code(), StatusCode::kDeadlineExceeded);
+
+  g_fake_now_ns.store(0);
+  request.timeout_ms = 50;  // generous deadline: same request succeeds
+  EXPECT_TRUE(engine.Run(request).ok());
+
+  g_fake_now_ns.store(0);
+  request.timeout_ms = 0;  // no deadline at all
+  EXPECT_TRUE(engine.Run(request).ok());
+}
+
+TEST(EngineTest, DefaultTimeoutAppliesWhenRequestHasNone) {
+  EngineOptions options;
+  options.clock_ns = &FakeClock;
+  options.default_timeout_ms = 5;
+  Engine engine = MakeEngine(PaperExampleGraph(), options);
+  g_fake_now_ns.store(0);
+  const Result<Response> expired = engine.Run(MakeCascade({0}, 0));
+  ASSERT_FALSE(expired.ok());
+  EXPECT_EQ(expired.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+// The acceptance bar for the batching layer: a 1000-request mixed batch is
+// byte-identical (after wire formatting) at --threads 1 and --threads 8.
+TEST(EngineTest, MixedBatchDeterministicAcrossThreadCounts) {
+  const ProbGraph graph = RandomGraph(200, 800, 7);
+  std::vector<Request> requests;
+  requests.reserve(1000);
+  for (uint32_t i = 0; i < 1000; ++i) {
+    Request r;
+    const NodeId v = static_cast<NodeId>(i % graph.num_nodes());
+    switch (i % 5) {
+      case 0: r.payload = TypicalCascadeRequest{{v}, false}; break;
+      case 1: r.payload = CascadeRequest{{v}, i % 16}; break;
+      case 2: r.payload = SpreadRequest{{v}}; break;
+      case 3: r.payload = SeedSelectRequest{1 + i % 4, "tc"}; break;
+      case 4: r.payload = ReliabilityRequest{{v}, 0.25}; break;
+    }
+    requests.push_back(std::move(r));
+  }
+
+  auto run_at = [&](uint32_t threads) {
+    EngineOptions options;
+    options.index.num_worlds = 16;
+    options.threads = threads;
+    Engine engine = MakeEngine(ProbGraph(graph), options);
+    const auto batch = engine.RunBatch(requests);
+    SOI_CHECK(batch.ok());
+    std::string wire;
+    for (size_t i = 0; i < batch->size(); ++i) {
+      wire += FormatResponseLine(static_cast<int64_t>(i), (*batch)[i]);
+    }
+    return wire;
+  };
+
+  const std::string at_one = run_at(1);
+  const std::string at_eight = run_at(8);
+  SetGlobalThreads(0);
+  EXPECT_EQ(at_one, at_eight);
+}
+
+// Concurrent batches against one engine: no data races (TSan job) and
+// every outcome is either success or an explicit admission rejection.
+TEST(EngineTest, ConcurrentBatchesAreRaceFree) {
+  EngineOptions options;
+  options.max_in_flight = 2;
+  Engine engine = MakeEngine(RandomGraph(100, 400, 3), options);
+  std::vector<Request> requests;
+  for (uint32_t i = 0; i < 50; ++i) {
+    requests.push_back(MakeCascade({i % 100}, i % 16));
+  }
+  std::atomic<int> ok_batches{0};
+  std::atomic<int> rejected{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int round = 0; round < 5; ++round) {
+        const auto batch = engine.RunBatch(requests);
+        if (batch.ok()) {
+          ok_batches.fetch_add(1);
+          for (const auto& r : *batch) SOI_CHECK(r.ok());
+        } else {
+          SOI_CHECK(batch.status().code() == StatusCode::kResourceExhausted);
+          rejected.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_GT(ok_batches.load(), 0);
+  EXPECT_EQ(ok_batches.load() + rejected.load(), 20);
+  EXPECT_EQ(engine.in_flight(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Protocol.
+// ---------------------------------------------------------------------------
+
+TEST(ProtocolTest, ParsesEveryOp) {
+  const auto typical =
+      ParseRequestLine(R"({"op":"typical","seeds":[4],"id":1})");
+  ASSERT_TRUE(typical.ok());
+  EXPECT_EQ(typical->id, 1);
+  EXPECT_EQ(std::get<TypicalCascadeRequest>(typical->request.payload).seeds,
+            std::vector<NodeId>({4}));
+
+  const auto cascade = ParseRequestLine(
+      R"({"op":"cascade","seeds":[0,3],"world":2,"timeout_ms":25})");
+  ASSERT_TRUE(cascade.ok());
+  EXPECT_EQ(cascade->id, -1);
+  EXPECT_EQ(cascade->request.timeout_ms, 25u);
+  EXPECT_EQ(std::get<CascadeRequest>(cascade->request.payload).world, 2u);
+
+  const auto spread = ParseRequestLine(R"({"op":"spread","seeds":[1,2]})");
+  ASSERT_TRUE(spread.ok());
+
+  const auto select =
+      ParseRequestLine(R"({"op":"seed_select","k":5,"method":"std"})");
+  ASSERT_TRUE(select.ok());
+  EXPECT_EQ(std::get<SeedSelectRequest>(select->request.payload).k, 5u);
+  EXPECT_EQ(std::get<SeedSelectRequest>(select->request.payload).method,
+            "std");
+
+  const auto reliability =
+      ParseRequestLine(R"({"op":"reliability","seeds":[4],"threshold":0.7})");
+  ASSERT_TRUE(reliability.ok());
+  EXPECT_DOUBLE_EQ(
+      std::get<ReliabilityRequest>(reliability->request.payload).threshold,
+      0.7);
+}
+
+TEST(ProtocolTest, RejectsMalformedInputWithNamedField) {
+  EXPECT_FALSE(ParseRequestLine("not json").ok());
+  EXPECT_FALSE(ParseRequestLine("{\"op\":\"typical\"").ok());  // truncated
+  EXPECT_FALSE(ParseRequestLine(R"([1,2,3])").ok());  // not an object
+  EXPECT_FALSE(ParseRequestLine(R"({"seeds":[1]})").ok());  // no op
+
+  const auto unknown_op = ParseRequestLine(R"({"op":"frobnicate"})");
+  ASSERT_FALSE(unknown_op.ok());
+  EXPECT_NE(unknown_op.status().message().find("frobnicate"),
+            std::string::npos);
+
+  const auto no_seeds = ParseRequestLine(R"({"op":"spread"})");
+  ASSERT_FALSE(no_seeds.ok());
+  EXPECT_NE(no_seeds.status().message().find("seeds"), std::string::npos);
+
+  const auto bad_seed =
+      ParseRequestLine(R"({"op":"spread","seeds":[-1]})");
+  EXPECT_FALSE(bad_seed.ok());
+  EXPECT_FALSE(
+      ParseRequestLine(R"({"op":"spread","seeds":[1.5]})").ok());
+  EXPECT_FALSE(
+      ParseRequestLine(R"({"op":"cascade","seeds":[1]})").ok());  // no world
+  EXPECT_FALSE(ParseRequestLine(R"({"op":"seed_select","k":0})").ok());
+  EXPECT_FALSE(
+      ParseRequestLine(R"({"op":"spread","seeds":[1]} trailing)").ok());
+}
+
+TEST(ProtocolTest, FormatsSuccessAndErrorLines) {
+  SeedSelectResponse select;
+  select.seeds = {7, 3};
+  select.objective = 41.5;
+  const std::string ok_line =
+      FormatResponseLine(9, Result<Response>(Response(select)));
+  EXPECT_EQ(ok_line,
+            "{\"id\":9,\"status\":\"ok\",\"op\":\"seed_select\","
+            "\"seeds\":[7,3],\"objective\":41.5}\n");
+
+  const std::string err_line = FormatResponseLine(
+      -1, Result<Response>(Status::InvalidArgument("bad \"stuff\"")));
+  EXPECT_EQ(err_line,
+            "{\"id\":-1,\"status\":\"invalid_argument\","
+            "\"error\":\"bad \\\"stuff\\\"\"}\n");
+}
+
+TEST(ProtocolTest, RoundTripThroughEngine) {
+  Engine engine = MakeEngine(PaperExampleGraph());
+  const auto parsed =
+      ParseRequestLine(R"({"op":"cascade","seeds":[4],"world":0,"id":3})");
+  ASSERT_TRUE(parsed.ok());
+  const std::string line =
+      FormatResponseLine(parsed->id, engine.Run(parsed->request));
+  EXPECT_EQ(line.rfind("{\"id\":3,\"status\":\"ok\",\"op\":\"cascade\"", 0),
+            0u);
+  EXPECT_EQ(line.back(), '\n');
+}
+
+TEST(ProtocolTest, WireStatusStringsAreSnakeCase) {
+  EXPECT_STREQ(StatusCodeToWireString(StatusCode::kOk), "ok");
+  EXPECT_STREQ(StatusCodeToWireString(StatusCode::kDeadlineExceeded),
+               "deadline_exceeded");
+  EXPECT_STREQ(StatusCodeToWireString(StatusCode::kResourceExhausted),
+               "resource_exhausted");
+}
+
+// ---------------------------------------------------------------------------
+// Serve loops.
+// ---------------------------------------------------------------------------
+
+// Runs ServeStream over pipes: input written up front, EOF, then the full
+// output is read back.
+std::string ServeOnce(Engine* engine, const std::string& input,
+                      const ServeOptions& options = {}) {
+  int in_pipe[2];
+  int out_pipe[2];
+  SOI_CHECK(::pipe(in_pipe) == 0);
+  SOI_CHECK(::pipe(out_pipe) == 0);
+  // Writer thread: pipes have finite buffers, so feed input concurrently.
+  std::thread writer([&] {
+    size_t off = 0;
+    while (off < input.size()) {
+      const ssize_t n =
+          ::write(in_pipe[1], input.data() + off, input.size() - off);
+      SOI_CHECK(n > 0);
+      off += static_cast<size_t>(n);
+    }
+    ::close(in_pipe[1]);
+  });
+  std::string output;
+  std::thread reader([&] {
+    char buf[4096];
+    ssize_t n;
+    while ((n = ::read(out_pipe[0], buf, sizeof(buf))) > 0) {
+      output.append(buf, static_cast<size_t>(n));
+    }
+  });
+  const Status status =
+      ServeStream(engine, in_pipe[0], out_pipe[1], options);
+  ::close(in_pipe[0]);
+  ::close(out_pipe[1]);
+  writer.join();
+  reader.join();
+  ::close(out_pipe[0]);
+  SOI_CHECK(status.ok());
+  return output;
+}
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  size_t start = 0;
+  size_t nl;
+  while ((nl = text.find('\n', start)) != std::string::npos) {
+    lines.push_back(text.substr(start, nl - start));
+    start = nl + 1;
+  }
+  return lines;
+}
+
+TEST(ServeStreamTest, AnswersInOrderAndSurvivesMalformedLines) {
+  Engine engine = MakeEngine(PaperExampleGraph());
+  const std::string input =
+      "{\"op\":\"spread\",\"seeds\":[4],\"id\":1}\n"
+      "this is not json\n"
+      "\n"
+      "{\"op\":\"cascade\",\"seeds\":[4],\"world\":0,\"id\":2}\n"
+      "{\"op\":\"spread\",\"seeds\":[999],\"id\":3}\n";
+  const std::vector<std::string> lines =
+      SplitLines(ServeOnce(&engine, input));
+  ASSERT_EQ(lines.size(), 4u);  // blank line is not a request
+  EXPECT_EQ(lines[0].rfind("{\"id\":1,\"status\":\"ok\"", 0), 0u);
+  EXPECT_EQ(lines[1].rfind("{\"id\":-1,\"status\":\"invalid_argument\"", 0),
+            0u);
+  EXPECT_EQ(lines[2].rfind("{\"id\":2,\"status\":\"ok\"", 0), 0u);
+  EXPECT_EQ(lines[3].rfind("{\"id\":3,\"status\":\"invalid_argument\"", 0),
+            0u);
+}
+
+TEST(ServeStreamTest, SalvagesIdFromMalformedLine) {
+  Engine engine = MakeEngine(PaperExampleGraph());
+  const std::string output = ServeOnce(
+      &engine, "{\"op\":\"spread\",\"seeds\":[oops],\"id\":42}\n");
+  EXPECT_EQ(output.rfind("{\"id\":42,\"status\":\"invalid_argument\"", 0),
+            0u);
+}
+
+TEST(ServeStreamTest, TrailingLineWithoutNewlineIsServed) {
+  Engine engine = MakeEngine(PaperExampleGraph());
+  const std::string output =
+      ServeOnce(&engine, "{\"op\":\"spread\",\"seeds\":[4],\"id\":8}");
+  EXPECT_EQ(output.rfind("{\"id\":8,\"status\":\"ok\"", 0), 0u);
+}
+
+TEST(ServeStreamTest, ManyRequestsBatchAndStayOrdered) {
+  Engine engine = MakeEngine(PaperExampleGraph());
+  std::string input;
+  for (int i = 0; i < 100; ++i) {
+    input += "{\"op\":\"cascade\",\"seeds\":[" + std::to_string(i % 5) +
+             "],\"world\":" + std::to_string(i % 16) +
+             ",\"id\":" + std::to_string(i) + "}\n";
+  }
+  ServeOptions options;
+  options.batch_max = 8;
+  const std::vector<std::string> lines =
+      SplitLines(ServeOnce(&engine, input, options));
+  ASSERT_EQ(lines.size(), 100u);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(lines[i].rfind("{\"id\":" + std::to_string(i) + ",", 0), 0u)
+        << lines[i];
+  }
+}
+
+TEST(ServeTcpTest, ServesOneConnectionOnEphemeralPort) {
+  Engine engine = MakeEngine(PaperExampleGraph());
+  std::promise<uint16_t> port_promise;
+  std::future<uint16_t> port_future = port_promise.get_future();
+  ServeOptions options;
+  options.max_connections = 1;
+  options.on_listening = [&](uint16_t port) { port_promise.set_value(port); };
+  std::thread server([&] {
+    const Status status = ServeTcp(&engine, /*port=*/0, options);
+    SOI_CHECK(status.ok());
+  });
+  const uint16_t port = port_future.get();
+  ASSERT_NE(port, 0);
+
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+  const std::string request = "{\"op\":\"spread\",\"seeds\":[4],\"id\":5}\n";
+  ASSERT_EQ(::write(fd, request.data(), request.size()),
+            static_cast<ssize_t>(request.size()));
+  ::shutdown(fd, SHUT_WR);
+  std::string response;
+  char buf[1024];
+  ssize_t n;
+  while ((n = ::read(fd, buf, sizeof(buf))) > 0) {
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  server.join();
+  EXPECT_EQ(response.rfind("{\"id\":5,\"status\":\"ok\",\"op\":\"spread\"", 0),
+            0u);
+}
+
+}  // namespace
+}  // namespace soi::service

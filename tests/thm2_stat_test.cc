@@ -74,7 +74,7 @@ std::vector<SweepPoint> RunSweep(const std::vector<uint32_t>& sample_counts) {
       SOI_CHECK(result.ok());
       double total = 0.0;
       for (uint32_t i = 0; i < eval_index->num_worlds(); ++i) {
-        total += JaccardDistance(eval_index->Cascade(v, i, &eval_ws),
+        total += JaccardDistance(eval_index->Cascade(v, i, &eval_ws).value(),
                                  result->cascade);
       }
       point.holdout_cost += total / eval_index->num_worlds();

@@ -186,7 +186,8 @@ TEST(LtIndexTest, TypicalCascadeUnderLt) {
   CascadeIndex::Workspace ws;
   double index_mean = 0.0;
   for (uint32_t i = 0; i < index->num_worlds(); ++i) {
-    index_mean += static_cast<double>(index->CascadeSize(NodeId{0}, i, &ws));
+    index_mean +=
+        static_cast<double>(index->CascadeSize(NodeId{0}, i, &ws).value());
   }
   index_mean /= index->num_worlds();
   Rng eval_rng(12);

@@ -53,7 +53,8 @@ TEST(TypicalCascadeTest, RejectsBadArgs) {
   TypicalCascadeComputer computer(&index);
   const std::vector<NodeId> empty;
   EXPECT_FALSE(computer.ComputeForSeeds(empty).ok());
-  EXPECT_EQ(computer.Compute(99).status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(computer.Compute(99).status().code(),
+            StatusCode::kInvalidArgument);
 }
 
 TEST(TypicalCascadeTest, NearDeterministicStarGivesFullBall) {

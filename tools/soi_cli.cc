@@ -13,8 +13,16 @@
 //   soi_cli stability   --graph g.txt --seeds 1,2,3 [--samples 400]
 //   soi_cli reliability --graph g.txt --source 0 --target 5
 //                       [--samples 20000] [--max-hops 0]
+//   soi_cli serve       --graph g.txt [--worlds 256] [--seed 1]
+//                       (--stdin | --port N) [--max-batch 1024]
+//                       [--max-in-flight 4] [--timeout-ms 0]
 //
-// Global flags (any command):
+// Every subcommand's flags live in one declarative table (see Commands()
+// below); `soi_cli <command> --help` prints the generated flag reference
+// and unknown flags are hard errors naming the command. Global flags
+// (--threads, --metrics-out, --trace-out, --no-metrics) are part of every
+// command's table.
+//
 //   --threads N        worker threads for parallel sampling / estimation
 //                      (default 0 = hardware concurrency). Outputs are
 //                      bit-identical for every value of N, including 1: work
@@ -26,7 +34,8 @@
 //   --no-metrics       disable all instrumentation (same as SOI_OBS=0);
 //                      algorithmic output is byte-identical either way
 //
-// Index-building commands (index, sphere, typical, infmax std|tc) also take
+// Index-building commands (index, sphere, typical, infmax std|tc, serve)
+// also take
 //   --closure-budget-mb N   memory budget for the per-world reachability
 //                      closure cache (default: SOI_CLOSURE_BUDGET_MB or 512;
 //                      0 disables). Over-budget indexes fall back to
@@ -35,12 +44,17 @@
 //                      (sphere --index) rebuilds the cache under the
 //                      environment budget — the cache is never serialized.
 //
+// `serve` speaks the line-delimited JSON protocol "soi-service-v1" (see
+// src/service/protocol.h) over stdin/stdout or a loopback TCP port, with
+// one resident index answering every request.
+//
 // Graphs are whitespace edge lists: "src dst [prob]" (SNAP files load
 // directly; missing probabilities default to --default-prob).
 
 #include <cstdio>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/stability.h"
@@ -59,6 +73,8 @@
 #include "obs/trace.h"
 #include "reliability/reliability.h"
 #include "runtime/parallel_for.h"
+#include "service/engine.h"
+#include "service/server.h"
 #include "util/flags.h"
 #include "util/rng.h"
 #include "util/stats.h"
@@ -71,18 +87,126 @@ int Fail(const Status& status) {
   return 1;
 }
 
-int Usage() {
-  std::fprintf(stderr,
-               "usage: soi_cli <gen|stats|index|sphere|typical|infmax|"
-               "stability|reliability> [flags]\n"
-               "see the header of tools/soi_cli.cc for per-command flags\n");
-  return 2;
-}
-
 #define CLI_ASSIGN(lhs, expr)              \
   auto lhs##_result = (expr);              \
   if (!lhs##_result.ok()) return Fail(lhs##_result.status()); \
   auto lhs = std::move(lhs##_result).value()
+
+// ---------------------------------------------------------------------------
+// The flag tables. One entry per subcommand; shared flag groups (graph
+// loading, index building, globals) are appended by WithShared so every
+// command documents exactly what it accepts.
+// ---------------------------------------------------------------------------
+
+std::vector<FlagSpec> WithShared(std::vector<FlagSpec> flags, bool graph,
+                                 bool index) {
+  if (graph) {
+    flags.push_back({"graph", FlagType::kString, "",
+                     "input edge-list file (required)"});
+    flags.push_back({"default-prob", FlagType::kDouble, "0.1",
+                     "probability for edges listed without one"});
+    flags.push_back({"undirected", FlagType::kBool, "",
+                     "treat edges as undirected"});
+    flags.push_back({"keep-max-duplicate", FlagType::kBool, "",
+                     "keep the max-probability duplicate edge"});
+  }
+  if (index) {
+    flags.push_back({"worlds", FlagType::kInt, "256",
+                     "possible worlds to sample"});
+    flags.push_back({"model", FlagType::kString, "ic",
+                     "propagation model (ic|lt)"});
+    flags.push_back({"seed", FlagType::kInt, "1", "world-sampling seed"});
+    flags.push_back({"closure-budget-mb", FlagType::kInt, "512",
+                     "closure cache memory budget (0 = disabled)"});
+  }
+  flags.push_back({"threads", FlagType::kInt, "0",
+                   "worker threads (0 = hardware concurrency)"});
+  flags.push_back({"metrics-out", FlagType::kString, "",
+                   "write metrics JSON to this path"});
+  flags.push_back({"trace-out", FlagType::kString, "",
+                   "write Chrome trace JSON to this path"});
+  flags.push_back({"no-metrics", FlagType::kBool, "",
+                   "disable all instrumentation"});
+  return flags;
+}
+
+std::vector<CommandSpec> Commands() {
+  std::vector<CommandSpec> commands;
+  commands.push_back(
+      {"gen", "generate a paper-configuration synthetic graph", "",
+       WithShared({{"config", FlagType::kString, "",
+                    "dataset configuration name (required)"},
+                   {"scale", FlagType::kDouble, "0.25", "size scale factor"},
+                   {"seed", FlagType::kInt, "42", "generator seed"},
+                   {"out", FlagType::kString, "",
+                    "output edge-list path (required)"}},
+                  /*graph=*/false, /*index=*/false)});
+  commands.push_back({"stats", "print topology and edge-probability summary",
+                      "", WithShared({}, /*graph=*/true, /*index=*/false)});
+  commands.push_back(
+      {"index", "build the cascade index (Algorithm 1) and save it", "",
+       WithShared({{"out", FlagType::kString, "",
+                    "output index path (required)"}},
+                  /*graph=*/true, /*index=*/true)});
+  commands.push_back(
+      {"sphere", "sphere of influence (Algorithm 2) of one node", "",
+       WithShared({{"node", FlagType::kInt, "", "seed node id (required)"},
+                   {"index", FlagType::kString, "",
+                    "load this index instead of building one"},
+                   {"local-search", FlagType::kBool, "",
+                    "enable 1-swap local-search refinement"},
+                   {"eval-samples", FlagType::kInt, "0",
+                    "hold-out cost evaluation samples (0 = skip)"}},
+                  /*graph=*/true, /*index=*/true)});
+  commands.push_back(
+      {"typical", "typical cascades for one node or the whole graph", "",
+       WithShared({{"node", FlagType::kInt, "-1",
+                    "single node id (-1 = all nodes)"},
+                   {"local-search", FlagType::kBool, "",
+                    "enable 1-swap local-search refinement"}},
+                  /*graph=*/true, /*index=*/true)});
+  commands.push_back(
+      {"infmax", "seed selection plus independent spread evaluation", "",
+       WithShared({{"method", FlagType::kString, "tc",
+                    "std|mc|tc|rr|degree|random"},
+                   {"k", FlagType::kInt, "50", "number of seeds"},
+                   {"eval-worlds", FlagType::kInt, "400",
+                    "worlds for the final spread estimate"}},
+                  /*graph=*/true, /*index=*/true)});
+  commands.push_back(
+      {"stability", "seed-set stability diagnostics (Figure 8)", "",
+       WithShared({{"seeds", FlagType::kString, "",
+                    "comma-separated seed ids (required)"},
+                   {"samples", FlagType::kInt, "400",
+                    "median + evaluation sample count"}},
+                  /*graph=*/true, /*index=*/false)});
+  commands.push_back(
+      {"reliability", "source-target reliability estimate", "",
+       WithShared({{"source", FlagType::kInt, "", "source node (required)"},
+                   {"target", FlagType::kInt, "", "target node (required)"},
+                   {"samples", FlagType::kInt, "20000", "Monte Carlo samples"},
+                   {"max-hops", FlagType::kInt, "0",
+                    "distance constraint (0 = unconstrained)"}},
+                  /*graph=*/true, /*index=*/false)});
+  commands.push_back(
+      {"serve", "answer line-JSON queries against one resident index", "",
+       WithShared({{"stdin", FlagType::kBool, "",
+                    "serve requests from stdin, responses to stdout"},
+                   {"port", FlagType::kInt, "",
+                    "serve TCP on 127.0.0.1:<port> (0 = ephemeral)"},
+                   {"max-batch", FlagType::kInt, "1024",
+                    "largest request batch the engine accepts"},
+                   {"max-in-flight", FlagType::kInt, "4",
+                    "concurrently admitted batches"},
+                   {"timeout-ms", FlagType::kInt, "0",
+                    "default per-request deadline (0 = none)"},
+                   {"batch-max", FlagType::kInt, "0",
+                    "serve-loop flush threshold (0 = max-batch)"},
+                   {"max-connections", FlagType::kInt, "0",
+                    "TCP only: stop after N connections (0 = forever)"}},
+                  /*graph=*/true, /*index=*/true)});
+  return commands;
+}
 
 Result<ProbGraph> LoadGraph(const FlagParser& flags) {
   SOI_OBS_SPAN("cli/load_graph");
@@ -113,9 +237,7 @@ Result<std::vector<NodeId>> ParseSeedList(const std::string& csv, NodeId n) {
   return seeds;
 }
 
-Result<CascadeIndex> BuildIndexFromFlags(const ProbGraph& graph,
-                                         const FlagParser& flags) {
-  SOI_OBS_SPAN("cli/build_index");
+Result<CascadeIndexOptions> IndexOptionsFromFlags(const FlagParser& flags) {
   CascadeIndexOptions options;
   SOI_ASSIGN_OR_RETURN(const int64_t worlds, flags.GetInt("worlds", 256));
   options.num_worlds = static_cast<uint32_t>(worlds);
@@ -134,6 +256,14 @@ Result<CascadeIndex> BuildIndexFromFlags(const ProbGraph& graph,
     return Status::InvalidArgument("--closure-budget-mb must be >= 0");
   }
   options.closure_budget_mb = static_cast<uint64_t>(budget);
+  return options;
+}
+
+Result<CascadeIndex> BuildIndexFromFlags(const ProbGraph& graph,
+                                         const FlagParser& flags) {
+  SOI_OBS_SPAN("cli/build_index");
+  SOI_ASSIGN_OR_RETURN(const CascadeIndexOptions options,
+                       IndexOptionsFromFlags(flags));
   SOI_ASSIGN_OR_RETURN(const int64_t seed, flags.GetInt("seed", 1));
   Rng rng(static_cast<uint64_t>(seed));
   return CascadeIndex::Build(graph, options, &rng);
@@ -386,10 +516,112 @@ int CmdReliability(const FlagParser& flags) {
   return 0;
 }
 
+// Builds the engine once, then serves the line-JSON protocol until the
+// client goes away (EOF on stdin, or --max-connections TCP clients).
+int CmdServe(const FlagParser& flags) {
+  const bool use_stdin = flags.GetBool("stdin", false);
+  CLI_ASSIGN(port_i64, flags.GetInt("port", -1));
+  if (use_stdin == (port_i64 >= 0)) {
+    return Fail(Status::InvalidArgument(
+        "serve: pass exactly one of --stdin or --port"));
+  }
+  if (port_i64 > 65535) {
+    return Fail(Status::InvalidArgument("--port must be <= 65535"));
+  }
+
+  CLI_ASSIGN(graph, LoadGraph(flags));
+  service::EngineOptions options;
+  CLI_ASSIGN(index_options, IndexOptionsFromFlags(flags));
+  options.index = index_options;
+  CLI_ASSIGN(seed, flags.GetInt("seed", 1));
+  options.seed = static_cast<uint64_t>(seed);
+  CLI_ASSIGN(max_batch, flags.GetInt("max-batch", 1024));
+  CLI_ASSIGN(max_in_flight, flags.GetInt("max-in-flight", 4));
+  CLI_ASSIGN(timeout_ms, flags.GetInt("timeout-ms", 0));
+  if (max_batch < 1 || max_in_flight < 1 || timeout_ms < 0) {
+    return Fail(Status::InvalidArgument(
+        "serve: --max-batch and --max-in-flight must be >= 1, "
+        "--timeout-ms >= 0"));
+  }
+  options.max_batch = static_cast<uint32_t>(max_batch);
+  options.max_in_flight = static_cast<uint32_t>(max_in_flight);
+  options.default_timeout_ms = static_cast<uint64_t>(timeout_ms);
+
+  CLI_ASSIGN(engine, service::Engine::Create(std::move(graph), options));
+  std::fprintf(stderr, "serve: index ready (%u nodes, %u worlds)\n",
+               engine.index().num_nodes(), engine.index().num_worlds());
+
+  service::ServeOptions serve_options;
+  CLI_ASSIGN(batch_max, flags.GetInt("batch-max", 0));
+  CLI_ASSIGN(max_connections, flags.GetInt("max-connections", 0));
+  if (batch_max < 0 || max_connections < 0) {
+    return Fail(Status::InvalidArgument(
+        "serve: --batch-max and --max-connections must be >= 0"));
+  }
+  serve_options.batch_max = static_cast<uint32_t>(batch_max);
+  serve_options.max_connections = static_cast<uint32_t>(max_connections);
+
+  Status served = Status::OK();
+  if (use_stdin) {
+    served = service::ServeStream(&engine, /*in_fd=*/0, /*out_fd=*/1,
+                                  serve_options);
+  } else {
+    uint16_t bound_port = 0;
+    std::fprintf(stderr, "serve: listening on 127.0.0.1:%lld\n",
+                 static_cast<long long>(port_i64));
+    served = service::ServeTcp(&engine, static_cast<uint16_t>(port_i64),
+                               serve_options, &bound_port);
+  }
+  if (!served.ok()) return Fail(served);
+  return 0;
+}
+
 int Main(int argc, char** argv) {
-  if (argc < 2) return Usage();
+  const std::vector<CommandSpec> commands = Commands();
+  const std::string program = "soi_cli";
+  if (argc < 2) {
+    std::fprintf(stderr, "%s", FormatProgramHelp(program, commands).c_str());
+    return 2;
+  }
   const std::string command = argv[1];
-  auto parsed = FlagParser::Parse(argc - 1, argv + 1);
+  if (command == "help" || command == "--help" || command == "-h") {
+    if (argc >= 3) {
+      for (const CommandSpec& spec : commands) {
+        if (spec.name == argv[2]) {
+          std::printf("%s", FormatCommandHelp(program, spec).c_str());
+          return 0;
+        }
+      }
+      std::fprintf(stderr, "unknown command '%s'\n\n%s", argv[2],
+                   FormatProgramHelp(program, commands).c_str());
+      return 2;
+    }
+    std::printf("%s", FormatProgramHelp(program, commands).c_str());
+    return 0;
+  }
+
+  const CommandSpec* spec = nullptr;
+  for (const CommandSpec& s : commands) {
+    if (s.name == command) {
+      spec = &s;
+      break;
+    }
+  }
+  if (spec == nullptr) {
+    std::fprintf(stderr, "unknown command '%s'\n\n%s", command.c_str(),
+                 FormatProgramHelp(program, commands).c_str());
+    return 2;
+  }
+
+  std::vector<std::string> tokens;
+  for (int i = 2; i < argc; ++i) tokens.emplace_back(argv[i]);
+  for (const std::string& token : tokens) {
+    if (token == "--help" || token == "-h") {
+      std::printf("%s", FormatCommandHelp(program, *spec).c_str());
+      return 0;
+    }
+  }
+  auto parsed = ParseCommandFlags(*spec, tokens);
   if (!parsed.ok()) return Fail(parsed.status());
   const FlagParser& flags = *parsed;
 
@@ -445,7 +677,7 @@ int Main(int argc, char** argv) {
   } else if (command == "reliability") {
     rc = CmdReliability(flags);
   } else {
-    return Usage();
+    rc = CmdServe(flags);
   }
   const double total_seconds = total_timer.ElapsedSeconds();
   if (!metrics_out->empty()) {
@@ -458,9 +690,6 @@ int Main(int argc, char** argv) {
     if (!ok.ok()) return Fail(ok);
     std::fprintf(stderr, "trace: %s (%zu events)\n", trace_out->c_str(),
                  obs::NumTraceEvents());
-  }
-  for (const std::string& name : flags.UnusedFlags()) {
-    std::fprintf(stderr, "warning: unrecognized flag --%s\n", name.c_str());
   }
   return rc;
 }
