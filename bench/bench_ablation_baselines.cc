@@ -63,13 +63,11 @@ int main() {
     if (!mc.ok()) return 1;
 
     soi::TypicalCascadeComputer computer(&*index);
-    auto typical = computer.ComputeAll();
+    auto typical = computer.ComputeAllFlat();
     if (!typical.ok()) return 1;
-    std::vector<std::vector<soi::NodeId>> cascades;
-    for (auto& r : *typical) cascades.push_back(std::move(r.cascade));
     soi::InfMaxTcOptions tc_options;
     tc_options.k = kk;
-    auto tc = soi::InfMaxTC(cascades, g.num_nodes(), tc_options);
+    auto tc = soi::InfMaxTC(typical->cascades, g.num_nodes(), tc_options);
     if (!tc.ok()) return 1;
 
     soi::RrSetOptions rr_options;

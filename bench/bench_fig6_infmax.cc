@@ -52,14 +52,12 @@ int main() {
 
     // InfMax_TC: Algorithm 2 then Algorithm 3.
     soi::TypicalCascadeComputer computer(&*index);
-    auto typical = computer.ComputeAll();
+    auto typical = computer.ComputeAllFlat();
     if (!typical.ok()) return 1;
-    std::vector<std::vector<soi::NodeId>> cascades;
-    cascades.reserve(typical->size());
-    for (auto& r : *typical) cascades.push_back(std::move(r.cascade));
     soi::InfMaxTcOptions tc_options;
     tc_options.k = k;
-    auto tc_result = soi::InfMaxTC(cascades, g.num_nodes(), tc_options);
+    auto tc_result =
+        soi::InfMaxTC(typical->cascades, g.num_nodes(), tc_options);
     if (!tc_result.ok()) return 1;
 
     // Unbiased evaluation of every prefix on fresh worlds.

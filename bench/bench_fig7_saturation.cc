@@ -68,14 +68,13 @@ int main() {
     if (!std_result.ok()) return 1;
 
     soi::TypicalCascadeComputer computer(&*index);
-    auto typical = computer.ComputeAll();
+    auto typical = computer.ComputeAllFlat();
     if (!typical.ok()) return 1;
-    std::vector<std::vector<soi::NodeId>> cascades;
-    for (auto& r : *typical) cascades.push_back(std::move(r.cascade));
     soi::InfMaxTcOptions tc_options;
     tc_options.k = k;
     tc_options.track_saturation = true;
-    auto tc_result = soi::InfMaxTC(cascades, g.num_nodes(), tc_options);
+    auto tc_result =
+        soi::InfMaxTC(typical->cascades, g.num_nodes(), tc_options);
     if (!tc_result.ok()) return 1;
 
     std::printf("# series %s: iteration ratio_std ratio_TC gain_TC\n",

@@ -11,18 +11,28 @@
 //   - Jaccard median: threshold sweep alone vs + input candidates vs
 //     + local search (quality/time ablation)
 //   - spread-oracle marginal-gain evaluation
+//   - greedy seed selection: the shared cover engine (exact decrements +
+//     lazy bucket queue) vs the legacy CELF heap and the legacy O(k*n)
+//     rescan, over typical cascades (BM_InfMaxTC) and RR sets (BM_RrSelect);
+//     single-threaded comparisons with in-process output-equality checks are
+//     recorded in BENCH_micro.json ("infmax_select", "rr_select")
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdio>
+#include <queue>
 
 #include "cascade/world.h"
 #include "core/typical_cascade.h"
 #include "gen/generators.h"
 #include "graph/prob_assign.h"
 #include "index/cascade_index.h"
+#include "infmax/infmax_tc.h"
+#include "infmax/rrset.h"
 #include "infmax/sketch_oracle.h"
 #include "infmax/spread_oracle.h"
+#include "util/bitvector.h"
 #include "jaccard/median.h"
 #include "obs/metrics.h"
 #include "runtime/parallel_for.h"
@@ -249,6 +259,214 @@ void BM_SpreadOracleGain(benchmark::State& state) {
 }
 BENCHMARK(BM_SpreadOracleGain);
 
+// ----------------------------------------------------------------------
+// Greedy seed selection: cover engine vs the legacy loops it replaced.
+// The legacy implementations are kept verbatim here (and in
+// tests/cover_engine_test.cc) as the baseline and correctness reference.
+// ----------------------------------------------------------------------
+
+uint64_t LegacyCoverageGain(const std::vector<NodeId>& cascade,
+                            const BitVector& covered) {
+  uint64_t gain = 0;
+  for (NodeId v : cascade) gain += covered.Test(v) ? 0 : 1;
+  return gain;
+}
+
+struct LegacyCelfEntry {
+  uint64_t gain;
+  NodeId node;
+  uint32_t round;
+};
+
+struct LegacyCelfLess {
+  bool operator()(const LegacyCelfEntry& a, const LegacyCelfEntry& b) const {
+    if (a.gain != b.gain) return a.gain < b.gain;
+    return a.node > b.node;
+  }
+};
+
+// The pre-engine InfMaxTC selection loops: CELF heap or exhaustive rescan.
+// Includes the per-element input validation pass the legacy entry point ran
+// on every call, so timings compare full call against full call.
+GreedyResult LegacyTcSelect(const std::vector<std::vector<NodeId>>& cascades,
+                            NodeId num_nodes, uint32_t k, bool use_celf) {
+  for (const auto& c : cascades) {
+    for (NodeId v : c) SOI_CHECK(v < num_nodes);
+  }
+  GreedyResult result;
+  BitVector covered(num_nodes);
+  uint64_t total_covered = 0;
+  if (!use_celf) {
+    BitVector selected(num_nodes);
+    for (uint32_t round = 0; round < k; ++round) {
+      NodeId best = kInvalidNode;
+      uint64_t best_gain = 0;
+      bool have_best = false;
+      for (NodeId v = 0; v < num_nodes; ++v) {
+        if (selected.Test(v)) continue;
+        const uint64_t g = LegacyCoverageGain(cascades[v], covered);
+        if (!have_best || g > best_gain) {
+          have_best = true;
+          best_gain = g;
+          best = v;
+        }
+      }
+      selected.Set(best);
+      for (NodeId v : cascades[best]) covered.Set(v);
+      total_covered += best_gain;
+      result.seeds.push_back(best);
+      result.steps.push_back({best, static_cast<double>(best_gain),
+                              static_cast<double>(total_covered), -1.0});
+    }
+    return result;
+  }
+  std::priority_queue<LegacyCelfEntry, std::vector<LegacyCelfEntry>,
+                      LegacyCelfLess>
+      heap;
+  for (NodeId v = 0; v < num_nodes; ++v) {
+    heap.push({LegacyCoverageGain(cascades[v], covered), v, 0});
+  }
+  for (uint32_t round = 1; round <= k && !heap.empty(); ++round) {
+    while (true) {
+      LegacyCelfEntry top = heap.top();
+      if (top.round == round) {
+        heap.pop();
+        for (NodeId v : cascades[top.node]) covered.Set(v);
+        total_covered += top.gain;
+        result.seeds.push_back(top.node);
+        result.steps.push_back({top.node, static_cast<double>(top.gain),
+                                static_cast<double>(total_covered), -1.0});
+        break;
+      }
+      heap.pop();
+      top.gain = LegacyCoverageGain(cascades[top.node], covered);
+      top.round = round;
+      heap.push(top);
+    }
+  }
+  return result;
+}
+
+// The pre-engine RrCollection::SelectSeeds (exact cover counters + full
+// O(n) argmax rescan per round), rebuilt on the collection's public views.
+GreedyResult LegacyRrSelect(const RrCollection& collection, uint32_t k) {
+  const NodeId n = collection.num_nodes();
+  const uint32_t num_sets = collection.num_sets();
+  const double scale = static_cast<double>(n) / static_cast<double>(num_sets);
+  std::vector<uint64_t> cover_count(n, 0);
+  for (uint32_t i = 0; i < num_sets; ++i) {
+    for (NodeId v : collection.Set(i)) ++cover_count[v];
+  }
+  std::vector<uint8_t> set_covered(num_sets, 0);
+  std::vector<uint8_t> selected(n, 0);
+  GreedyResult result;
+  uint64_t covered_total = 0;
+  for (uint32_t round = 0; round < k; ++round) {
+    NodeId best = kInvalidNode;
+    uint64_t best_count = 0;
+    bool have_best = false;
+    for (NodeId v = 0; v < n; ++v) {
+      if (selected[v]) continue;
+      if (!have_best || cover_count[v] > best_count) {
+        have_best = true;
+        best_count = cover_count[v];
+        best = v;
+      }
+    }
+    selected[best] = 1;
+    for (uint32_t set_id : collection.inverted().Set(best)) {
+      if (set_covered[set_id]) continue;
+      set_covered[set_id] = 1;
+      for (NodeId v : collection.Set(set_id)) --cover_count[v];
+    }
+    covered_total += best_count;
+    result.seeds.push_back(best);
+    result.steps.push_back({best, static_cast<double>(best_count) * scale,
+                            static_cast<double>(covered_total) * scale, -1.0});
+  }
+  return result;
+}
+
+// Synthetic typical-cascade workload in the regime the acceptance numbers
+// quote: n = 4096 candidates, mean cascade length ~64 (uniform 32..96,
+// deduplicated), cascade of v always contains v.
+struct SelectWorkload {
+  std::vector<std::vector<NodeId>> nested;
+  FlatSets flat;
+  NodeId num_nodes = 0;
+};
+
+const SelectWorkload& InfMaxWorkload() {
+  static const SelectWorkload* workload = [] {
+    auto* w = new SelectWorkload;
+    constexpr NodeId kN = 4096;
+    w->num_nodes = kN;
+    w->nested.resize(kN);
+    Rng rng(23);
+    for (NodeId v = 0; v < kN; ++v) {
+      auto& c = w->nested[v];
+      const uint32_t len = 32 + static_cast<uint32_t>(rng.NextBounded(65));
+      c.push_back(v);
+      for (uint32_t i = 1; i < len; ++i) {
+        c.push_back(static_cast<NodeId>(rng.NextBounded(kN)));
+      }
+      std::sort(c.begin(), c.end());
+      c.erase(std::unique(c.begin(), c.end()), c.end());
+    }
+    w->flat = FlatSets::FromNested(w->nested);
+    return w;
+  }();
+  return *workload;
+}
+
+// variant: 0 = cover engine, 1 = legacy CELF, 2 = legacy rescan.
+void BM_InfMaxTC(benchmark::State& state) {
+  const int variant = static_cast<int>(state.range(0));
+  const SelectWorkload& w = InfMaxWorkload();
+  constexpr uint32_t kK = 256;
+  InfMaxTcOptions options;
+  options.k = kK;
+  for (auto _ : state) {
+    if (variant == 0) {
+      const auto result = InfMaxTC(w.flat, w.num_nodes, options);
+      SOI_CHECK(result.ok());
+      benchmark::DoNotOptimize(result->seeds.size());
+    } else {
+      benchmark::DoNotOptimize(
+          LegacyTcSelect(w.nested, w.num_nodes, kK, variant == 1)
+              .seeds.size());
+    }
+  }
+}
+BENCHMARK(BM_InfMaxTC)->Arg(0)->Arg(1)->Arg(2)->ArgNames({"variant"});
+
+const RrCollection& RrWorkload() {
+  static const RrCollection* collection = [] {
+    Rng rng(29);
+    auto c = RrCollection::Sample(TestGraph(), 16384, &rng);
+    SOI_CHECK(c.ok());
+    return new RrCollection(std::move(c).value());
+  }();
+  return *collection;
+}
+
+// variant: 0 = cover engine, 1 = legacy rescan.
+void BM_RrSelect(benchmark::State& state) {
+  const int variant = static_cast<int>(state.range(0));
+  const RrCollection& collection = RrWorkload();
+  constexpr uint32_t kK = 64;
+  for (auto _ : state) {
+    if (variant == 0) {
+      const auto result = collection.SelectSeeds(kK);
+      SOI_CHECK(result.ok());
+      benchmark::DoNotOptimize(result->seeds.size());
+    } else {
+      benchmark::DoNotOptimize(LegacyRrSelect(collection, kK).seeds.size());
+    }
+  }
+}
+BENCHMARK(BM_RrSelect)->Arg(0)->Arg(1)->ArgNames({"variant"});
+
 // A mixed cascade/spread batch through the service Engine: the per-query
 // cost of the query path the CLI `serve` mode exposes, against the one
 // resident index (contrast with BM_IndexBuild — the rebuild every
@@ -328,6 +546,105 @@ EngineBatchNumbers RunEngineBatchComparison() {
   return out;
 }
 
+// Single-threaded selection comparisons for BENCH_micro.json: the cover
+// engine vs the legacy CELF heap and the legacy rescan, with the outputs
+// checked bit-identical in-process (seeds and every GreedyStepInfo field).
+struct StepEquality {
+  static bool Same(const GreedyResult& a, const GreedyResult& b) {
+    if (a.seeds != b.seeds || a.steps.size() != b.steps.size()) return false;
+    for (size_t i = 0; i < a.steps.size(); ++i) {
+      if (a.steps[i].node != b.steps[i].node ||
+          a.steps[i].marginal_gain != b.steps[i].marginal_gain ||
+          a.steps[i].objective_after != b.steps[i].objective_after) {
+        return false;
+      }
+    }
+    return true;
+  }
+};
+
+template <typename Fn>
+double BestOfThreeSeconds(Fn&& fn) {
+  double best = 0.0;
+  for (int run = 0; run < 3; ++run) {
+    WallTimer timer;
+    fn();
+    const double seconds = timer.ElapsedSeconds();
+    if (run == 0 || seconds < best) best = seconds;
+  }
+  return best;
+}
+
+struct InfMaxSelectNumbers {
+  uint32_t num_nodes = 0;
+  uint32_t k = 0;
+  double engine_seconds = 0.0;
+  double celf_seconds = 0.0;
+  double rescan_seconds = 0.0;
+  double speedup_vs_celf = 0.0;
+  double speedup_vs_rescan = 0.0;
+};
+
+InfMaxSelectNumbers RunInfMaxSelectComparison() {
+  InfMaxSelectNumbers out;
+  const SelectWorkload& w = InfMaxWorkload();
+  out.num_nodes = w.num_nodes;
+  out.k = 256;
+  InfMaxTcOptions options;
+  options.k = out.k;
+
+  const auto engine_result = InfMaxTC(w.flat, w.num_nodes, options);
+  SOI_CHECK(engine_result.ok());
+  SOI_CHECK(StepEquality::Same(
+      *engine_result, LegacyTcSelect(w.nested, w.num_nodes, out.k, true)));
+  SOI_CHECK(StepEquality::Same(
+      *engine_result, LegacyTcSelect(w.nested, w.num_nodes, out.k, false)));
+
+  out.engine_seconds = BestOfThreeSeconds([&] {
+    benchmark::DoNotOptimize(InfMaxTC(w.flat, w.num_nodes, options)->seeds);
+  });
+  out.celf_seconds = BestOfThreeSeconds([&] {
+    benchmark::DoNotOptimize(
+        LegacyTcSelect(w.nested, w.num_nodes, out.k, true).seeds);
+  });
+  out.rescan_seconds = BestOfThreeSeconds([&] {
+    benchmark::DoNotOptimize(
+        LegacyTcSelect(w.nested, w.num_nodes, out.k, false).seeds);
+  });
+  out.speedup_vs_celf = out.celf_seconds / out.engine_seconds;
+  out.speedup_vs_rescan = out.rescan_seconds / out.engine_seconds;
+  return out;
+}
+
+struct RrSelectNumbers {
+  uint32_t num_sets = 0;
+  uint32_t k = 0;
+  double engine_seconds = 0.0;
+  double rescan_seconds = 0.0;
+  double speedup_vs_rescan = 0.0;
+};
+
+RrSelectNumbers RunRrSelectComparison() {
+  RrSelectNumbers out;
+  const RrCollection& collection = RrWorkload();
+  out.num_sets = collection.num_sets();
+  out.k = 64;
+
+  const auto engine_result = collection.SelectSeeds(out.k);
+  SOI_CHECK(engine_result.ok());
+  SOI_CHECK(
+      StepEquality::Same(*engine_result, LegacyRrSelect(collection, out.k)));
+
+  out.engine_seconds = BestOfThreeSeconds([&] {
+    benchmark::DoNotOptimize(collection.SelectSeeds(out.k)->seeds);
+  });
+  out.rescan_seconds = BestOfThreeSeconds([&] {
+    benchmark::DoNotOptimize(LegacyRrSelect(collection, out.k).seeds);
+  });
+  out.speedup_vs_rescan = out.rescan_seconds / out.engine_seconds;
+  return out;
+}
+
 // Times the full single-threaded ComputeAll sweep on both extraction paths
 // (closure cache vs per-query traversal), checks the outputs are identical,
 // and writes the speedup to BENCH_micro.json — the headline number of the
@@ -377,6 +694,12 @@ void RunSweepComparison() {
   for (size_t v = 0; v < traversal_all->size(); ++v) {
     SOI_CHECK((*traversal_all)[v].cascade == (*closure_all)[v].cascade);
   }
+
+  // Selection comparisons run inside the same single-thread window so the
+  // engine's parallel gain init doesn't flatter it against the serial
+  // legacy loops.
+  const InfMaxSelectNumbers is = RunInfMaxSelectComparison();
+  const RrSelectNumbers rs = RunRrSelectComparison();
   SetGlobalThreads(prev_threads);
 
   const double speedup = traversal_seconds / closure_seconds;
@@ -401,13 +724,37 @@ void RunSweepComparison() {
                "    \"index_build_seconds\": %.6f,\n"
                "    \"per_query_seconds\": %.9f,\n"
                "    \"queries_per_rebuild\": %.1f\n"
+               "  },\n"
+               "  \"infmax_select\": {\n"
+               "    \"nodes\": %u,\n"
+               "    \"k\": %u,\n"
+               "    \"threads\": 1,\n"
+               "    \"engine_seconds\": %.6f,\n"
+               "    \"celf_seconds\": %.6f,\n"
+               "    \"rescan_seconds\": %.6f,\n"
+               "    \"speedup_vs_celf\": %.2f,\n"
+               "    \"speedup_vs_rescan\": %.2f,\n"
+               "    \"outputs_identical\": true\n"
+               "  },\n"
+               "  \"rr_select\": {\n"
+               "    \"rr_sets\": %u,\n"
+               "    \"k\": %u,\n"
+               "    \"threads\": 1,\n"
+               "    \"engine_seconds\": %.6f,\n"
+               "    \"rescan_seconds\": %.6f,\n"
+               "    \"speedup_vs_rescan\": %.2f,\n"
+               "    \"outputs_identical\": true\n"
                "  }\n"
                "}\n",
                g.num_nodes(), closure_index->num_worlds(),
                static_cast<unsigned long long>(
                    closure_index->stats().closure_bytes),
                traversal_seconds, closure_seconds, speedup, eb.batch_size,
-               eb.build_seconds, eb.per_query_seconds, eb.queries_per_rebuild);
+               eb.build_seconds, eb.per_query_seconds, eb.queries_per_rebuild,
+               is.num_nodes, is.k, is.engine_seconds, is.celf_seconds,
+               is.rescan_seconds, is.speedup_vs_celf, is.speedup_vs_rescan,
+               rs.num_sets, rs.k, rs.engine_seconds, rs.rescan_seconds,
+               rs.speedup_vs_rescan);
   std::fclose(f);
   std::printf("sweep: traversal %.3fs, closure %.3fs, speedup %.2fx "
               "(wrote BENCH_micro.json)\n",
@@ -416,6 +763,14 @@ void RunSweepComparison() {
               "(%.0f queries per rebuild)\n",
               eb.build_seconds, eb.per_query_seconds * 1e6,
               eb.queries_per_rebuild);
+  std::printf("infmax select (n=%u, k=%u): engine %.4fs, celf %.4fs "
+              "(%.1fx), rescan %.4fs (%.1fx)\n",
+              is.num_nodes, is.k, is.engine_seconds, is.celf_seconds,
+              is.speedup_vs_celf, is.rescan_seconds, is.speedup_vs_rescan);
+  std::printf("rr select (sets=%u, k=%u): engine %.4fs, rescan %.4fs "
+              "(%.1fx)\n",
+              rs.num_sets, rs.k, rs.engine_seconds, rs.rescan_seconds,
+              rs.speedup_vs_rescan);
 }
 
 }  // namespace

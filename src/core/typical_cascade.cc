@@ -10,6 +10,12 @@
 
 namespace soi {
 
+namespace {
+// Node-batch size of the whole-graph sweep; ComputeAllFlat relies on the
+// chunk count implied by this to pre-size its per-chunk arenas.
+constexpr NodeId kSweepBatch = 32;
+}  // namespace
+
 TypicalCascadeComputer::TypicalCascadeComputer(const CascadeIndex* index)
     : index_(index), solver_(index->num_nodes()) {
   SOI_CHECK(index != nullptr);
@@ -54,12 +60,12 @@ Result<TypicalCascadeResult> TypicalCascadeComputer::ComputeForSeeds(
   return result;
 }
 
-Result<std::vector<TypicalCascadeResult>> TypicalCascadeComputer::ComputeAll(
-    const TypicalCascadeOptions& options) {
+template <typename Emit>
+Status TypicalCascadeComputer::SweepAllNodes(
+    const TypicalCascadeOptions& options, Emit&& emit) {
   SOI_OBS_SPAN("typical/sweep_all_nodes");
   const NodeId n = index_->num_nodes();
   const uint32_t l = index_->num_worlds();
-  std::vector<TypicalCascadeResult> all(n);
   MedianOptions median_options = options.median;
   median_options.trusted_presorted = true;  // index output is always sorted
 
@@ -72,8 +78,7 @@ Result<std::vector<TypicalCascadeResult>> TypicalCascadeComputer::ComputeAll(
   // thread count and batch size. Each chunk gets its own scratch because
   // workspace, arena and solver are stateful.
   const bool cached = index_->has_closure_cache();
-  constexpr NodeId kBatch = 32;
-  const uint64_t num_batches = (n + kBatch - 1) / kBatch;
+  const uint64_t num_batches = (n + kSweepBatch - 1) / kSweepBatch;
   std::vector<Status> chunk_status(PlannedChunks(num_batches, 1), Status::OK());
   ParallelForChunks(
       0, num_batches, /*grain=*/1,
@@ -83,8 +88,8 @@ Result<std::vector<TypicalCascadeResult>> TypicalCascadeComputer::ComputeAll(
         JaccardMedianSolver solver(n);
         std::vector<std::span<const NodeId>> views(l);
         for (uint64_t b = chunk_begin; b < chunk_end; ++b) {
-          const NodeId first = static_cast<NodeId>(b * kBatch);
-          const NodeId last = std::min<NodeId>(first + kBatch, n);
+          const NodeId first = static_cast<NodeId>(b * kSweepBatch);
+          const NodeId last = std::min<NodeId>(first + kSweepBatch, n);
           const uint32_t batch = last - first;
           WallTimer extract_timer;
           if (!cached) {
@@ -121,19 +126,60 @@ Result<std::vector<TypicalCascadeResult>> TypicalCascadeComputer::ComputeAll(
               chunk_status[chunk] = median.status();
               return;
             }
-            TypicalCascadeResult& r = all[first + j];
-            r.cascade = std::move(median.value().median);
-            r.in_sample_cost = median.value().cost;
-            r.mean_sample_size = mean_size;
-            r.median_source = median.value().source;
-            r.compute_seconds = extract_share + median_timer.ElapsedSeconds();
+            emit(chunk, first + j, std::move(median.value()), mean_size,
+                 extract_share + median_timer.ElapsedSeconds());
           }
         }
       });
   for (const Status& status : chunk_status) {
     if (!status.ok()) return status;
   }
+  return Status::OK();
+}
+
+Result<std::vector<TypicalCascadeResult>> TypicalCascadeComputer::ComputeAll(
+    const TypicalCascadeOptions& options) {
+  std::vector<TypicalCascadeResult> all(index_->num_nodes());
+  SOI_RETURN_IF_ERROR(SweepAllNodes(
+      options, [&](uint32_t /*chunk*/, NodeId v, MedianResult&& median,
+                   double mean_size, double seconds) {
+        TypicalCascadeResult& r = all[v];
+        r.cascade = std::move(median.median);
+        r.in_sample_cost = median.cost;
+        r.mean_sample_size = mean_size;
+        r.median_source = median.source;
+        r.compute_seconds = seconds;
+      }));
   return all;
+}
+
+Result<TypicalCascadeSweep> TypicalCascadeComputer::ComputeAllFlat(
+    const TypicalCascadeOptions& options) {
+  const NodeId n = index_->num_nodes();
+  TypicalCascadeSweep sweep;
+  sweep.in_sample_cost.resize(n);
+  sweep.mean_sample_size.resize(n);
+  sweep.compute_seconds.resize(n);
+  sweep.median_source.resize(n, MedianResult::Source::kThreshold);
+  // Chunks cover ascending contiguous node ranges and emit sequentially
+  // within a chunk, so per-chunk arenas concatenated in chunk order land in
+  // node order. Stats are slot writes.
+  const uint64_t num_batches = (n + kSweepBatch - 1) / kSweepBatch;
+  std::vector<FlatSets> chunk_cascades(PlannedChunks(num_batches, 1));
+  SOI_RETURN_IF_ERROR(SweepAllNodes(
+      options, [&](uint32_t chunk, NodeId v, MedianResult&& median,
+                   double mean_size, double seconds) {
+        chunk_cascades[chunk].AddSet(median.median);
+        sweep.in_sample_cost[v] = median.cost;
+        sweep.mean_sample_size[v] = mean_size;
+        sweep.median_source[v] = median.source;
+        sweep.compute_seconds[v] = seconds;
+      }));
+  uint64_t total = 0;
+  for (const FlatSets& cs : chunk_cascades) total += cs.total_elements();
+  sweep.cascades.Reserve(n, total);
+  for (const FlatSets& cs : chunk_cascades) sweep.cascades.Append(cs);
+  return sweep;
 }
 
 Result<double> EstimateExpectedCost(const ProbGraph& graph,

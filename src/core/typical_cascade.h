@@ -34,6 +34,18 @@ struct TypicalCascadeResult {
   MedianResult::Source median_source = MedianResult::Source::kThreshold;
 };
 
+/// Structure-of-arrays form of a whole-graph sweep: `cascades.Set(v)` is the
+/// typical cascade of node v, in one contiguous arena ready for the cover
+/// engine; the bookkeeping vectors are indexed by node and match
+/// TypicalCascadeResult field-for-field.
+struct TypicalCascadeSweep {
+  FlatSets cascades;
+  std::vector<double> in_sample_cost;
+  std::vector<double> mean_sample_size;
+  std::vector<double> compute_seconds;
+  std::vector<MedianResult::Source> median_source;
+};
+
 /// Computes typical cascades against a prebuilt CascadeIndex (Algorithm 2).
 /// Owns reusable scratch; not thread-safe, create one per thread.
 class TypicalCascadeComputer {
@@ -54,9 +66,23 @@ class TypicalCascadeComputer {
   Result<std::vector<TypicalCascadeResult>> ComputeAll(
       const TypicalCascadeOptions& options = {});
 
+  /// ComputeAll emitting straight into a flat arena (one allocation for all
+  /// n cascades instead of one vector per node) — the representation
+  /// InfMaxTC / the cover engine consume directly. Identical cascades and
+  /// bookkeeping to ComputeAll for every thread count.
+  Result<TypicalCascadeSweep> ComputeAllFlat(
+      const TypicalCascadeOptions& options = {});
+
   const CascadeIndex& index() const { return *index_; }
 
  private:
+  // Shared ComputeAll/ComputeAllFlat sweep: calls
+  // emit(chunk, node, MedianResult&&, mean_sample_size, compute_seconds)
+  // for every node, sequentially within a chunk, chunks covering ascending
+  // contiguous node ranges.
+  template <typename Emit>
+  Status SweepAllNodes(const TypicalCascadeOptions& options, Emit&& emit);
+
   const CascadeIndex* index_;
   CascadeIndex::Workspace ws_;
   CascadeIndex::CascadeArena arena_;

@@ -273,8 +273,8 @@ Result<std::vector<NodeId>> CascadeIndex::Cascade(std::span<const NodeId> seeds,
 
 void CascadeIndex::AppendCascade(std::span<const NodeId> seeds, uint32_t i,
                                  Workspace* ws, CascadeArena* arena) const {
-  CascadeInto(seeds, i, ws, &arena->data_);
-  arena->ends_.push_back(arena->data_.size());
+  CascadeInto(seeds, i, ws, &arena->sets_.MutableElements());
+  arena->sets_.SealSet();
 }
 
 Result<uint64_t> CascadeIndex::CascadeSize(std::span<const NodeId> seeds,

@@ -9,6 +9,7 @@
 #include "scc/closure.h"
 #include "scc/condensation.h"
 #include "scc/transitive.h"
+#include "util/flat_sets.h"
 #include "util/rng.h"
 #include "util/status.h"
 
@@ -99,34 +100,29 @@ class CascadeIndex {
   };
 
   /// Flat reusable arena for batches of extracted cascades: one contiguous
-  /// buffer instead of one heap allocation per (seed set, world). Views are
-  /// only valid until the next append/Clear.
+  /// buffer instead of one heap allocation per (seed set, world). Backed by
+  /// a FlatSets arena, so batches feed straight into the cover engine /
+  /// InfMaxTC flat paths without repacking. Views are only valid until the
+  /// next append/Clear.
   class CascadeArena {
    public:
-    void Clear() {
-      data_.clear();
-      ends_.clear();
-    }
-    size_t num_cascades() const { return ends_.size(); }
-    std::span<const NodeId> View(size_t i) const {
-      SOI_DCHECK(i < ends_.size());
-      const size_t begin = i == 0 ? 0 : ends_[i - 1];
-      return std::span<const NodeId>(data_.data() + begin,
-                                     data_.data() + ends_[i]);
-    }
+    void Clear() { sets_.Clear(); }
+    size_t num_cascades() const { return sets_.num_sets(); }
+    std::span<const NodeId> View(size_t i) const { return sets_.Set(i); }
+    /// The underlying flat storage (same indexing as View()).
+    const FlatSets& flat() const { return sets_; }
     /// All cascades as spans (rebuilt on every call; the return stays valid
     /// as long as the arena is not appended to or cleared).
     const std::vector<std::span<const NodeId>>& Views() {
       views_.clear();
-      views_.reserve(ends_.size());
-      for (size_t i = 0; i < ends_.size(); ++i) views_.push_back(View(i));
+      views_.reserve(sets_.num_sets());
+      for (size_t i = 0; i < sets_.num_sets(); ++i) views_.push_back(View(i));
       return views_;
     }
 
    private:
     friend class CascadeIndex;
-    std::vector<NodeId> data_;
-    std::vector<size_t> ends_;  // exclusive end offset of each cascade
+    FlatSets sets_;
     std::vector<std::span<const NodeId>> views_;
   };
 

@@ -1,0 +1,277 @@
+#include "infmax/cover_engine.h"
+
+#include <algorithm>
+#include <functional>
+#include <queue>
+
+#include "obs/metrics.h"
+#include "runtime/parallel_for.h"
+#include "util/bitvector.h"
+#include "util/check.h"
+
+namespace soi {
+
+namespace {
+
+// Marginal value of a candidate's set under the current cover, summed in
+// element order (the legacy ValueGain loop — summation order is part of the
+// bit-compatibility contract for the weighted paths).
+double ValueGain(std::span<const uint32_t> set, std::span<const double> values,
+                 const BitVector& covered) {
+  double gain = 0.0;
+  for (uint32_t e : set) {
+    if (!covered.Test(e)) gain += values[e];
+  }
+  return gain;
+}
+
+// CELF heap entry ordered by (gain desc, candidate id asc) — identical to
+// the legacy comparators, so stale-entry pop order is preserved.
+struct CelfEntry {
+  double gain;
+  NodeId node;
+  uint64_t round;
+};
+
+struct CelfLess {
+  bool operator()(const CelfEntry& a, const CelfEntry& b) const {
+    if (a.gain != b.gain) return a.gain < b.gain;
+    return a.node > b.node;
+  }
+};
+
+using CelfHeap =
+    std::priority_queue<CelfEntry, std::vector<CelfEntry>, CelfLess>;
+
+}  // namespace
+
+CoverEngine::CoverEngine(const FlatSets* cand_to_elems, uint32_t num_elements)
+    : fwd_(cand_to_elems), num_elements_(num_elements) {
+  SOI_CHECK(cand_to_elems != nullptr);
+  SOI_OBS_SPAN("cover/build_inverted");
+  owned_inv_ = fwd_->Transpose(num_elements);
+  inv_ = &owned_inv_;
+}
+
+CoverEngine::CoverEngine(const FlatSets* cand_to_elems,
+                         const FlatSets* elem_to_cands, uint32_t num_elements)
+    : fwd_(cand_to_elems), inv_(elem_to_cands), num_elements_(num_elements) {
+  SOI_CHECK(cand_to_elems != nullptr && elem_to_cands != nullptr);
+  SOI_DCHECK(elem_to_cands->num_sets() == num_elements);
+  SOI_DCHECK(elem_to_cands->total_elements() == fwd_->total_elements());
+}
+
+GreedyResult CoverEngine::Select(uint32_t k, bool track_saturation) const {
+  const uint32_t n = num_candidates();
+  SOI_CHECK(k >= 1 && k <= n);
+  SOI_OBS_SPAN("cover/select");
+
+  // Exact gains with a +1 sentinel encoding: stored[v] = gain(v) + 1 while
+  // v is unselected, 0 once selected. The shift keeps the decrement hot
+  // loop branch-free (a selected candidate is zeroed after its own commit
+  // pass, and no other selected candidate can be hit — all its elements are
+  // already covered) and makes the argmax a dense scan that never picks a
+  // selected candidate: any unselected stored value is >= 1 > 0.
+  // Initialization is parallel; slot-per-candidate writes keep the result
+  // identical for every thread count.
+  SOI_CHECK(fwd_->total_elements() < ~uint32_t{0});
+  std::vector<uint32_t> stored(n);
+  ParallelFor(0, n, /*grain=*/4096, [&](uint64_t v) {
+    stored[v] = static_cast<uint32_t>(fwd_->SetSize(v)) + 1;
+  });
+
+  BitVector covered(num_elements_);
+  std::vector<double> sat_gains;  // track_saturation scratch
+  uint64_t covered_total = 0;
+  uint64_t scanned = 0, decrements = 0;
+  const uint32_t* stored_data = stored.data();
+
+  // Per-block maxima let the argmax run as one vectorizable max reduction
+  // plus a single short scalar scan inside the first winning block, instead
+  // of an average n/2 scalar first-match scan.
+  constexpr uint32_t kBlock = 1024;
+  const uint32_t num_blocks = (n + kBlock - 1) / kBlock;
+  std::vector<uint32_t> block_max(num_blocks);
+
+  GreedyResult result;
+  result.seeds.reserve(k);
+  result.steps.reserve(k);
+  for (uint32_t round = 0; round < k; ++round) {
+    // Dense argmax over the maintained gains with the legacy lowest-id
+    // tie-break; replaces the legacy O(n * |set|) gain rescan per round.
+    uint32_t best_stored = 0;
+    for (uint32_t b = 0; b < num_blocks; ++b) {
+      const uint32_t begin = b * kBlock;
+      const uint32_t end = std::min(n, begin + kBlock);
+      uint32_t m = 0;
+      for (uint32_t v = begin; v < end; ++v) {
+        m = std::max(m, stored_data[v]);
+      }
+      block_max[b] = m;
+      best_stored = std::max(best_stored, m);
+    }
+    SOI_CHECK(best_stored > 0);  // k <= n: an unselected candidate exists
+    uint32_t block = 0;
+    while (block_max[block] != best_stored) ++block;
+    uint32_t best = block * kBlock;
+    while (stored_data[best] != best_stored) ++best;
+    scanned += n;
+    const uint64_t best_gain = best_stored - 1;
+
+    double ratio = -1.0;
+    if (track_saturation) {
+      // MG_10/MG_1 over the unselected candidates. The gains are exact, so
+      // this is one O(n) copy + selection — no rescan of the sets.
+      sat_gains.clear();
+      for (uint32_t v = 0; v < n; ++v) {
+        if (stored_data[v] > 0) {
+          sat_gains.push_back(static_cast<double>(stored_data[v] - 1));
+        }
+      }
+      if (sat_gains.size() >= 10) {
+        std::nth_element(sat_gains.begin(), sat_gains.begin() + 9,
+                         sat_gains.end(), std::greater<double>());
+        ratio = best_gain > 0
+                    ? sat_gains[9] / static_cast<double>(best_gain)
+                    : 1.0;
+      }
+    }
+
+    // Exact decrement: retire each newly covered element from the gain of
+    // every candidate containing it. Only unselected candidates can appear
+    // in the inverted lists of newly covered elements (a selected
+    // candidate's elements are all covered) except `best` itself, whose
+    // stored value is overwritten with the 0 sentinel right after.
+    for (uint32_t e : fwd_->Set(best)) {
+      if (!covered.TestAndSet(e)) continue;
+      const std::span<const uint32_t> cands = inv_->Set(e);
+      for (uint32_t c : cands) --stored[c];
+      decrements += cands.size();
+    }
+    stored[best] = 0;
+
+    covered_total += best_gain;
+    result.seeds.push_back(best);
+    result.steps.push_back({best, static_cast<double>(best_gain),
+                            static_cast<double>(covered_total), ratio});
+  }
+  SOI_OBS_COUNTER_ADD("cover/decrements", decrements);
+  SOI_OBS_COUNTER_ADD("cover/bucket_pops", scanned);
+  return result;
+}
+
+GreedyResult SelectWeightedCover(const FlatSets& cand_to_elems,
+                                 std::span<const double> elem_values,
+                                 uint32_t k) {
+  const uint32_t n = static_cast<uint32_t>(cand_to_elems.num_sets());
+  SOI_CHECK(k >= 1 && k <= n);
+  SOI_OBS_SPAN("cover/select_weighted");
+  BitVector covered(elem_values.size());
+
+  // Initial gains in parallel (each candidate's sum runs in its own element
+  // order, so values are bit-identical at every thread count), pushed in
+  // ascending id order like the legacy loop.
+  const std::vector<double> init = ParallelMap<double>(
+      0, n, /*grain=*/512, [&](uint64_t v) {
+        return ValueGain(cand_to_elems.Set(v), elem_values, covered);
+      });
+  CelfHeap heap;
+  for (uint32_t v = 0; v < n; ++v) heap.push({init[v], v, 0});
+
+  GreedyResult result;
+  result.seeds.reserve(k);
+  result.steps.reserve(k);
+  double total_value = 0.0;
+  uint64_t refreshes = 0;
+  for (uint64_t round = 1; round <= k && !heap.empty(); ++round) {
+    for (;;) {
+      CelfEntry top = heap.top();
+      if (top.round == round) {
+        heap.pop();
+        for (uint32_t e : cand_to_elems.Set(top.node)) covered.Set(e);
+        total_value += top.gain;
+        result.seeds.push_back(top.node);
+        result.steps.push_back({top.node, top.gain, total_value, -1.0});
+        break;
+      }
+      heap.pop();
+      top.gain = ValueGain(cand_to_elems.Set(top.node), elem_values, covered);
+      top.round = round;
+      heap.push(top);
+      ++refreshes;
+    }
+  }
+  SOI_OBS_COUNTER_ADD("cover/lazy_refreshes", refreshes);
+  return result;
+}
+
+BudgetedSelection SelectBudgetedCover(const FlatSets& cand_to_elems,
+                                      std::span<const double> elem_values,
+                                      std::span<const double> cand_costs,
+                                      double budget,
+                                      bool best_single_fallback) {
+  const uint32_t n = static_cast<uint32_t>(cand_to_elems.num_sets());
+  SOI_OBS_SPAN("cover/select_budgeted");
+  BitVector covered(elem_values.size());
+
+  // Full set values double as the round-0 gains and the best-single scan.
+  const std::vector<double> full_value = ParallelMap<double>(
+      0, n, /*grain=*/512, [&](uint64_t v) {
+        return ValueGain(cand_to_elems.Set(v), elem_values, covered);
+      });
+
+  // Lazy ratio heap: keys only decrease (gains shrink as coverage grows,
+  // costs are fixed) and unaffordable candidates stay unaffordable (the
+  // remaining budget is non-increasing), so popping until a fresh entry
+  // surfaces reproduces the legacy full rescan exactly, lowest id on ties.
+  CelfHeap heap;
+  for (uint32_t v = 0; v < n; ++v) {
+    heap.push({full_value[v] / cand_costs[v], v, 0});
+  }
+
+  BudgetedSelection result;
+  uint64_t refreshes = 0;
+  uint64_t round = 0;
+  while (!heap.empty()) {
+    const CelfEntry top = heap.top();
+    heap.pop();
+    if (cand_costs[top.node] > budget - result.total_cost) continue;
+    const double gain =
+        ValueGain(cand_to_elems.Set(top.node), elem_values, covered);
+    if (top.round != round) {
+      heap.push({gain / cand_costs[top.node], top.node, round});
+      ++refreshes;
+      continue;
+    }
+    if (gain <= 0.0) break;
+    for (uint32_t e : cand_to_elems.Set(top.node)) covered.Set(e);
+    result.total_cost += cand_costs[top.node];
+    result.covered_value += gain;
+    result.seeds.push_back(top.node);
+    ++round;
+  }
+  SOI_OBS_COUNTER_ADD("cover/lazy_refreshes", refreshes);
+
+  if (best_single_fallback) {
+    // Khuller-Moss-Naor: compare against the single best affordable seed.
+    NodeId best_single = kInvalidNode;
+    double best_single_value = -1.0;
+    for (uint32_t v = 0; v < n; ++v) {
+      if (cand_costs[v] > budget) continue;
+      if (full_value[v] > best_single_value) {
+        best_single_value = full_value[v];
+        best_single = v;
+      }
+    }
+    if (best_single != kInvalidNode &&
+        best_single_value > result.covered_value) {
+      result.seeds = {best_single};
+      result.total_cost = cand_costs[best_single];
+      result.covered_value = best_single_value;
+      result.used_single_fallback = true;
+    }
+  }
+  return result;
+}
+
+}  // namespace soi

@@ -1,0 +1,112 @@
+#ifndef SOI_INFMAX_COVER_ENGINE_H_
+#define SOI_INFMAX_COVER_ENGINE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "infmax/types.h"
+#include "util/flat_sets.h"
+
+namespace soi {
+
+/// The shared greedy max-cover kernel behind every seed-selection path:
+/// InfMax_TC (Algorithm 3, max-cover over typical cascades), RR-set node
+/// selection (Borgs et al. / TIM), and the weighted/budgeted variants.
+///
+/// A cover problem is a bipartite incidence: candidates cover elements.
+/// `cand_to_elems` (the forward index) lists, per candidate, the sorted
+/// elements it covers; `elem_to_cands` (the inverted index) is its
+/// transpose. Both live in FlatSets arenas, so selection never touches a
+/// per-set heap allocation.
+///
+/// Unweighted selection maintains exact marginal gains by decrement: when an
+/// element is covered for the first time, the gain of every candidate whose
+/// set contains it drops by one. Summed over all k rounds this costs
+/// O(total elements) — each element is retired at most once — instead of the
+/// O(k * n * |set|) rescan or the CELF refreshes the legacy paths paid.
+/// Gains are kept in one dense uint32 array with a +1 sentinel encoding
+/// (stored = gain + 1 while unselected, 0 once selected) so the decrement
+/// loop is branch-free, and the per-round argmax is a contiguous max
+/// reduction (with per-block maxima to localize the first-match scan) that
+/// can never pick a selected candidate. Ties break to the lowest candidate
+/// id, byte-identical to the legacy ascending scan and to CELF with the
+/// (gain desc, id asc) heap order.
+///
+/// Weighted gains are doubles, where exact decrements would change the
+/// floating-point results; those paths instead use a lazy-refresh (CELF)
+/// heap whose recomputation sums element values in set order — bit-identical
+/// to the legacy implementations, just over flat storage.
+///
+/// Obs instrumentation (per Select call): `cover/decrements`,
+/// `cover/bucket_pops`, `cover/lazy_refreshes`.
+class CoverEngine {
+ public:
+  /// Borrows `cand_to_elems` (must outlive the engine) and builds the
+  /// inverted index, in O(total elements). `num_elements` is the element
+  /// universe size; every stored element must be < num_elements.
+  CoverEngine(const FlatSets* cand_to_elems, uint32_t num_elements);
+
+  /// Borrows a prebuilt forward/inverted pair (they must be transposes of
+  /// each other, e.g. an RR collection's inverted index + its sets).
+  CoverEngine(const FlatSets* cand_to_elems, const FlatSets* elem_to_cands,
+              uint32_t num_elements);
+
+  // Non-movable: inv_ may point at owned_inv_.
+  CoverEngine(const CoverEngine&) = delete;
+  CoverEngine& operator=(const CoverEngine&) = delete;
+
+  uint32_t num_candidates() const {
+    return static_cast<uint32_t>(fwd_->num_sets());
+  }
+  uint32_t num_elements() const { return num_elements_; }
+
+  /// Greedy unweighted max-cover: exactly `k` steps (1 <= k <=
+  /// num_candidates()), each step recording the selected candidate, its
+  /// exact marginal gain (newly covered elements) and the cumulative
+  /// coverage. With `track_saturation`, also records MG_10/MG_1 (the
+  /// Figure 7 diagnostic: 10th-largest over largest marginal gain among the
+  /// unselected candidates, -1 when fewer than 10 remain) at O(n) per round
+  /// — the gains are already maintained, so no rescan of the sets is needed.
+  /// Deterministic and identical for every thread count.
+  GreedyResult Select(uint32_t k, bool track_saturation = false) const;
+
+ private:
+  const FlatSets* fwd_;   // candidate -> covered elements
+  const FlatSets* inv_;   // element -> candidates containing it
+  FlatSets owned_inv_;    // backing storage when the transpose is built here
+  uint32_t num_elements_;
+};
+
+/// Weighted greedy max-cover (lazy-refresh CELF heap over flat storage):
+/// maximizes the summed `elem_values` of covered elements. `elem_values`
+/// must have one non-negative entry per element. Returns exactly `k` steps
+/// (1 <= k <= cand_to_elems.num_sets()). Bit-identical to the legacy
+/// vector-of-vectors CELF implementation.
+GreedyResult SelectWeightedCover(const FlatSets& cand_to_elems,
+                                 std::span<const double> elem_values,
+                                 uint32_t k);
+
+/// Result of budgeted selection (cover-engine level; see
+/// infmax/weighted_cover.h for the public API with validation).
+struct BudgetedSelection {
+  std::vector<NodeId> seeds;  // in selection order
+  double total_cost = 0.0;
+  double covered_value = 0.0;
+  bool used_single_fallback = false;
+};
+
+/// Budgeted weighted max-cover (Khuller-Moss-Naor ratio greedy with
+/// optional best-single fallback) on a lazy ratio heap: affordability is
+/// monotone (the remaining budget only shrinks) and marginal value-per-cost
+/// only decreases, so lazy evaluation is exact. `cand_costs` must have one
+/// positive entry per candidate. Bit-identical to the legacy rescan loop.
+BudgetedSelection SelectBudgetedCover(const FlatSets& cand_to_elems,
+                                      std::span<const double> elem_values,
+                                      std::span<const double> cand_costs,
+                                      double budget,
+                                      bool best_single_fallback);
+
+}  // namespace soi
+
+#endif  // SOI_INFMAX_COVER_ENGINE_H_

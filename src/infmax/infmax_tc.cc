@@ -1,124 +1,40 @@
 #include "infmax/infmax_tc.h"
 
 #include <algorithm>
-#include <queue>
+#include <string>
 
-#include "util/bitvector.h"
-#include "util/check.h"
+#include "infmax/cover_engine.h"
 
 namespace soi {
 
-namespace {
-
-// Number of nodes in `cascade` not yet covered.
-uint64_t CoverageGain(const std::vector<NodeId>& cascade,
-                      const BitVector& covered) {
-  uint64_t gain = 0;
-  for (NodeId v : cascade) gain += covered.Test(v) ? 0 : 1;
-  return gain;
-}
-
-void Commit(const std::vector<NodeId>& cascade, BitVector* covered) {
-  for (NodeId v : cascade) covered->Set(v);
-}
-
-struct CelfEntry {
-  uint64_t gain;
-  NodeId node;
-  uint32_t round;
-};
-
-struct CelfLess {
-  bool operator()(const CelfEntry& a, const CelfEntry& b) const {
-    if (a.gain != b.gain) return a.gain < b.gain;
-    return a.node > b.node;
+Result<GreedyResult> InfMaxTC(const FlatSets& typical_cascades,
+                              NodeId num_nodes,
+                              const InfMaxTcOptions& options) {
+  if (options.k == 0) return Status::InvalidArgument("k must be >= 1");
+  if (typical_cascades.num_sets() != num_nodes) {
+    return Status::InvalidArgument(
+        "need one typical cascade per node (got " +
+        std::to_string(typical_cascades.num_sets()) + " for " +
+        std::to_string(num_nodes) + " nodes)");
   }
-};
+  // Branch-free max reduction over the flat arena (vectorizes), then one
+  // range check.
+  NodeId max_id = 0;
+  for (NodeId v : typical_cascades.elements()) max_id = std::max(max_id, v);
+  if (!typical_cascades.elements().empty() && max_id >= num_nodes) {
+    return Status::OutOfRange("cascade node id");
+  }
+  const uint32_t k = std::min<uint32_t>(options.k, num_nodes);
+  if (k == 0) return GreedyResult{};  // num_nodes == 0
 
-}  // namespace
+  const CoverEngine engine(&typical_cascades, num_nodes);
+  return engine.Select(k, options.track_saturation);
+}
 
 Result<GreedyResult> InfMaxTC(
     const std::vector<std::vector<NodeId>>& typical_cascades, NodeId num_nodes,
     const InfMaxTcOptions& options) {
-  if (options.k == 0) return Status::InvalidArgument("k must be >= 1");
-  if (typical_cascades.size() != num_nodes) {
-    return Status::InvalidArgument(
-        "need one typical cascade per node (got " +
-        std::to_string(typical_cascades.size()) + " for " +
-        std::to_string(num_nodes) + " nodes)");
-  }
-  for (const auto& c : typical_cascades) {
-    for (NodeId v : c) {
-      if (v >= num_nodes) return Status::OutOfRange("cascade node id");
-    }
-  }
-  const uint32_t k = std::min<uint32_t>(options.k, num_nodes);
-
-  GreedyResult result;
-  BitVector covered(num_nodes);
-  uint64_t total_covered = 0;
-
-  if (options.track_saturation || !options.use_celf) {
-    BitVector selected(num_nodes);
-    std::vector<double> gains;
-    for (uint32_t round = 0; round < k; ++round) {
-      gains.clear();
-      NodeId best = kInvalidNode;
-      uint64_t best_gain = 0;
-      bool have_best = false;
-      for (NodeId v = 0; v < num_nodes; ++v) {
-        if (selected.Test(v)) continue;
-        const uint64_t g = CoverageGain(typical_cascades[v], covered);
-        gains.push_back(static_cast<double>(g));
-        if (!have_best || g > best_gain) {
-          have_best = true;
-          best_gain = g;
-          best = v;
-        }
-      }
-      SOI_CHECK(have_best);
-      double ratio = -1.0;
-      if (options.track_saturation && gains.size() >= 10) {
-        std::nth_element(gains.begin(), gains.begin() + 9, gains.end(),
-                         std::greater<double>());
-        ratio = best_gain > 0
-                    ? gains[9] / static_cast<double>(best_gain)
-                    : 1.0;
-      }
-      selected.Set(best);
-      Commit(typical_cascades[best], &covered);
-      total_covered += best_gain;
-      result.seeds.push_back(best);
-      result.steps.push_back({best, static_cast<double>(best_gain),
-                              static_cast<double>(total_covered), ratio});
-    }
-    return result;
-  }
-
-  // CELF path.
-  std::priority_queue<CelfEntry, std::vector<CelfEntry>, CelfLess> heap;
-  for (NodeId v = 0; v < num_nodes; ++v) {
-    heap.push({CoverageGain(typical_cascades[v], covered), v, 0});
-  }
-  for (uint32_t round = 1; round <= k && !heap.empty(); ++round) {
-    while (true) {
-      CelfEntry top = heap.top();
-      if (top.round == round) {
-        heap.pop();
-        Commit(typical_cascades[top.node], &covered);
-        total_covered += top.gain;
-        result.seeds.push_back(top.node);
-        result.steps.push_back({top.node, static_cast<double>(top.gain),
-                                static_cast<double>(total_covered), -1.0});
-        break;
-      }
-      heap.pop();
-      top.gain = CoverageGain(typical_cascades[top.node], covered);
-      top.round = round;
-      heap.push(top);
-    }
-  }
-  return result;
+  return InfMaxTC(FlatSets::FromNested(typical_cascades), num_nodes, options);
 }
 
 }  // namespace soi

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "infmax/cover_engine.h"
 #include "obs/metrics.h"
 #include "runtime/parallel_for.h"
 #include "util/bitvector.h"
@@ -27,31 +28,33 @@ std::vector<double> ReverseAlignedProbs(const ProbGraph& graph) {
   return probs;
 }
 
-// One reverse-reachable set from a uniform random target. Each incoming arc
-// is examined (and its coin flipped) at most once because nodes enter the
-// frontier at most once.
+// One reverse-reachable set, emitted directly onto the tail of `out`'s
+// arena (sorted, then sealed). Each incoming arc is examined (and its coin
+// flipped) at most once because nodes enter the frontier at most once.
 void SampleOneRrSet(const ProbGraph& graph,
                     const std::vector<double>& rev_probs,
                     const std::vector<uint64_t>& rev_begin, Rng* rng,
-                    BitVector* visited, std::vector<NodeId>* out) {
-  out->clear();
+                    BitVector* visited, FlatSets* out) {
+  std::vector<NodeId>& elems = out->MutableElements();
+  const size_t base = elems.size();
   const NodeId target = static_cast<NodeId>(rng->NextBounded(graph.num_nodes()));
   visited->Set(target);
-  out->push_back(target);
-  for (size_t read = 0; read < out->size(); ++read) {
-    const NodeId x = (*out)[read];
+  elems.push_back(target);
+  for (size_t read = base; read < elems.size(); ++read) {
+    const NodeId x = elems[read];
     const auto in_nbrs = graph.InNeighbors(x);
-    const uint64_t base = rev_begin[x];
+    const uint64_t arc_base = rev_begin[x];
     for (size_t i = 0; i < in_nbrs.size(); ++i) {
       const NodeId u = in_nbrs[i];
       if (visited->Test(u)) continue;
-      if (!rng->NextBernoulli(rev_probs[base + i])) continue;
+      if (!rng->NextBernoulli(rev_probs[arc_base + i])) continue;
       visited->Set(u);
-      out->push_back(u);
+      elems.push_back(u);
     }
   }
-  for (NodeId v : *out) visited->Clear(v);
-  std::sort(out->begin(), out->end());
+  for (size_t i = base; i < elems.size(); ++i) visited->Clear(elems[i]);
+  std::sort(elems.begin() + base, elems.end());
+  out->SealSet();
 }
 
 // TIM-style KPT estimation (Tang et al., Algorithm 2, simplified): find the
@@ -65,7 +68,7 @@ double EstimateKpt(const ProbGraph& graph,
   const double n = graph.num_nodes();
   const double m = std::max<double>(1.0, graph.num_edges());
   BitVector visited(graph.num_nodes());
-  std::vector<NodeId> rr;
+  FlatSets rr;
   const int levels = std::max(1, static_cast<int>(std::log2(n)) - 1);
   for (int i = 1; i <= levels; ++i) {
     const uint32_t samples = static_cast<uint32_t>(
@@ -73,9 +76,10 @@ double EstimateKpt(const ProbGraph& graph,
                           std::pow(2.0, i)));
     double sum = 0.0;
     for (uint32_t s = 0; s < samples; ++s) {
+      rr.Clear();
       SampleOneRrSet(graph, rev_probs, rev_begin, rng, &visited, &rr);
       uint64_t width = 0;
-      for (NodeId v : rr) width += graph.InDegree(v);
+      for (NodeId v : rr.Set(0)) width += graph.InDegree(v);
       const double kappa =
           1.0 - std::pow(1.0 - static_cast<double>(width) / m,
                          static_cast<double>(k));
@@ -113,45 +117,31 @@ Result<RrCollection> RrCollection::Sample(const ProbGraph& graph,
 
   RrCollection collection;
   collection.num_nodes_ = graph.num_nodes();
-  collection.offsets_.reserve(count + 1);
-  collection.offsets_.push_back(0);
   // RR set i is drawn from stream i (identical for every thread count);
-  // each chunk owns a visited mask, and sets are concatenated in index
-  // order afterwards.
+  // each chunk owns a visited mask and emits into its own flat arena, and
+  // the chunk arenas are concatenated in chunk order afterwards.
   const Rng streams = rng->Fork();
-  std::vector<std::vector<NodeId>> sets(count);
+  constexpr uint64_t kGrain = 4;
+  std::vector<FlatSets> chunk_sets(PlannedChunks(count, kGrain));
   ParallelForChunks(
-      0, count, /*grain=*/4,
-      [&](uint32_t /*chunk*/, uint64_t set_begin, uint64_t set_end) {
+      0, count, kGrain,
+      [&](uint32_t chunk, uint64_t set_begin, uint64_t set_end) {
         BitVector visited(graph.num_nodes());
         for (uint64_t i = set_begin; i < set_end; ++i) {
           Rng set_rng = streams.Fork(i);
           SampleOneRrSet(graph, rev_probs, rev_begin, &set_rng, &visited,
-                         &sets[i]);
+                         &chunk_sets[chunk]);
         }
       });
-  for (uint32_t i = 0; i < count; ++i) {
-    collection.members_.insert(collection.members_.end(), sets[i].begin(),
-                               sets[i].end());
-    collection.offsets_.push_back(collection.members_.size());
-  }
+  uint64_t total = 0;
+  for (const FlatSets& cs : chunk_sets) total += cs.total_elements();
+  collection.sets_.Reserve(count, total);
+  for (const FlatSets& cs : chunk_sets) collection.sets_.Append(cs);
   SOI_OBS_COUNTER_ADD("rrset/sets_sampled", count);
-  SOI_OBS_COUNTER_ADD("rrset/members_total", collection.members_.size());
+  SOI_OBS_COUNTER_ADD("rrset/members_total", collection.sets_.total_elements());
 
   // Inverted index (counting sort by node).
-  collection.inv_offsets_.assign(graph.num_nodes() + 1, 0);
-  for (NodeId v : collection.members_) ++collection.inv_offsets_[v + 1];
-  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
-    collection.inv_offsets_[v + 1] += collection.inv_offsets_[v];
-  }
-  collection.inv_sets_.resize(collection.members_.size());
-  std::vector<uint64_t> cursor(collection.inv_offsets_.begin(),
-                               collection.inv_offsets_.end() - 1);
-  for (uint32_t i = 0; i < collection.num_sets(); ++i) {
-    for (NodeId v : collection.Set(i)) {
-      collection.inv_sets_[cursor[v]++] = i;
-    }
-  }
+  collection.inv_ = collection.sets_.Transpose(graph.num_nodes());
   return collection;
 }
 
@@ -162,54 +152,33 @@ Result<GreedyResult> RrCollection::SelectSeeds(uint32_t k) const {
   const double scale =
       static_cast<double>(num_nodes_) / static_cast<double>(num_sets());
 
-  // Exact greedy max-cover via cover counters (standard TIM node selection).
-  std::vector<uint64_t> cover_count(num_nodes_, 0);
-  for (NodeId v : members_) ++cover_count[v];
-  std::vector<uint8_t> set_covered(num_sets(), 0);
-  std::vector<uint8_t> selected(num_nodes_, 0);
-
-  GreedyResult result;
-  uint64_t covered_total = 0;
-  for (uint32_t round = 0; round < k; ++round) {
-    NodeId best = kInvalidNode;
-    uint64_t best_count = 0;
-    bool have_best = false;
-    for (NodeId v = 0; v < num_nodes_; ++v) {
-      if (selected[v]) continue;
-      if (!have_best || cover_count[v] > best_count) {
-        have_best = true;
-        best_count = cover_count[v];
-        best = v;
-      }
-    }
-    SOI_CHECK(have_best);
-    selected[best] = 1;
-    // Retire the RR sets newly covered by `best`.
-    for (uint64_t idx = inv_offsets_[best]; idx < inv_offsets_[best + 1];
-         ++idx) {
-      const uint32_t set_id = inv_sets_[idx];
-      if (set_covered[set_id]) continue;
-      set_covered[set_id] = 1;
-      for (NodeId v : Set(set_id)) --cover_count[v];
-    }
-    covered_total += best_count;
-    result.seeds.push_back(best);
-    result.steps.push_back({best, static_cast<double>(best_count) * scale,
-                            static_cast<double>(covered_total) * scale,
-                            -1.0});
+  // Exact greedy max-cover (standard TIM node selection): candidates are
+  // nodes whose covered elements are the RR sets containing them, so the
+  // collection's inverted index is the engine's forward index and vice
+  // versa.
+  const CoverEngine engine(&inv_, &sets_, num_sets());
+  GreedyResult result = engine.Select(k, /*track_saturation=*/false);
+  for (GreedyStepInfo& step : result.steps) {
+    step.marginal_gain *= scale;
+    step.objective_after *= scale;
   }
   return result;
 }
 
 double RrCollection::EstimateSpread(std::span<const NodeId> seeds) const {
-  std::vector<uint8_t> covered(num_sets(), 0);
+  return EstimateSpread(seeds, &scratch_);
+}
+
+double RrCollection::EstimateSpread(std::span<const NodeId> seeds,
+                                    SpreadScratch* scratch) const {
+  const uint32_t mark = scratch->BeginQuery(num_sets());
+  uint32_t* stamps = scratch->stamps();
   uint64_t count = 0;
   for (NodeId s : seeds) {
     SOI_CHECK(s < num_nodes_);
-    for (uint64_t idx = inv_offsets_[s]; idx < inv_offsets_[s + 1]; ++idx) {
-      const uint32_t set_id = inv_sets_[idx];
-      if (!covered[set_id]) {
-        covered[set_id] = 1;
+    for (uint32_t set_id : inv_.Set(s)) {
+      if (stamps[set_id] != mark) {
+        stamps[set_id] = mark;
         ++count;
       }
     }

@@ -1,18 +1,16 @@
 #include "infmax/weighted_cover.h"
 
 #include <algorithm>
-#include <queue>
 
-#include "util/bitvector.h"
-#include "util/check.h"
+#include "infmax/cover_engine.h"
 
 namespace soi {
 
 namespace {
 
-Status ValidateInputs(const std::vector<std::vector<NodeId>>& cascades,
+Status ValidateInputs(const FlatSets& cascades,
                       const std::vector<double>& values) {
-  const size_t n = cascades.size();
+  const size_t n = cascades.num_sets();
   if (n == 0) return Status::InvalidArgument("no typical cascades");
   if (values.size() != n) {
     return Status::InvalidArgument("need one value per node");
@@ -20,110 +18,38 @@ Status ValidateInputs(const std::vector<std::vector<NodeId>>& cascades,
   for (double v : values) {
     if (!(v >= 0.0)) return Status::InvalidArgument("values must be >= 0");
   }
-  for (const auto& c : cascades) {
-    for (NodeId v : c) {
-      if (v >= n) return Status::OutOfRange("cascade node id");
-    }
+  for (NodeId v : cascades.elements()) {
+    if (v >= n) return Status::OutOfRange("cascade node id");
   }
   return Status::OK();
 }
 
-double ValueGain(const std::vector<NodeId>& cascade,
-                 const std::vector<double>& values, const BitVector& covered) {
-  double gain = 0.0;
-  for (NodeId v : cascade) {
-    if (!covered.Test(v)) gain += values[v];
-  }
-  return gain;
-}
-
-void Commit(const std::vector<NodeId>& cascade, BitVector* covered) {
-  for (NodeId v : cascade) covered->Set(v);
-}
-
-struct CelfEntry {
-  double gain;
-  NodeId node;
-  uint32_t round;
-};
-
-struct CelfLess {
-  bool operator()(const CelfEntry& a, const CelfEntry& b) const {
-    if (a.gain != b.gain) return a.gain < b.gain;
-    return a.node > b.node;
-  }
-};
-
 }  // namespace
+
+Result<GreedyResult> InfMaxTcWeighted(const FlatSets& typical_cascades,
+                                      const std::vector<double>& node_values,
+                                      const WeightedCoverOptions& options) {
+  SOI_RETURN_IF_ERROR(ValidateInputs(typical_cascades, node_values));
+  if (options.k == 0) return Status::InvalidArgument("k must be >= 1");
+  const NodeId n = static_cast<NodeId>(typical_cascades.num_sets());
+  const uint32_t k = std::min<uint32_t>(options.k, n);
+  return SelectWeightedCover(typical_cascades, node_values, k);
+}
 
 Result<GreedyResult> InfMaxTcWeighted(
     const std::vector<std::vector<NodeId>>& typical_cascades,
     const std::vector<double>& node_values,
     const WeightedCoverOptions& options) {
-  SOI_RETURN_IF_ERROR(ValidateInputs(typical_cascades, node_values));
-  if (options.k == 0) return Status::InvalidArgument("k must be >= 1");
-  const NodeId n = static_cast<NodeId>(typical_cascades.size());
-  const uint32_t k = std::min<uint32_t>(options.k, n);
-
-  GreedyResult result;
-  BitVector covered(n);
-  double total_value = 0.0;
-
-  if (!options.use_celf) {
-    BitVector selected(n);
-    for (uint32_t round = 0; round < k; ++round) {
-      NodeId best = kInvalidNode;
-      double best_gain = -1.0;
-      for (NodeId v = 0; v < n; ++v) {
-        if (selected.Test(v)) continue;
-        const double g = ValueGain(typical_cascades[v], node_values, covered);
-        if (g > best_gain) {
-          best_gain = g;
-          best = v;
-        }
-      }
-      SOI_CHECK(best != kInvalidNode);
-      selected.Set(best);
-      Commit(typical_cascades[best], &covered);
-      total_value += best_gain;
-      result.seeds.push_back(best);
-      result.steps.push_back({best, best_gain, total_value, -1.0});
-    }
-    return result;
-  }
-
-  std::priority_queue<CelfEntry, std::vector<CelfEntry>, CelfLess> heap;
-  for (NodeId v = 0; v < n; ++v) {
-    heap.push({ValueGain(typical_cascades[v], node_values, covered), v, 0});
-  }
-  for (uint32_t round = 1; round <= k && !heap.empty(); ++round) {
-    while (true) {
-      CelfEntry top = heap.top();
-      if (top.round == round) {
-        heap.pop();
-        Commit(typical_cascades[top.node], &covered);
-        total_value += top.gain;
-        result.seeds.push_back(top.node);
-        result.steps.push_back({top.node, top.gain, total_value, -1.0});
-        break;
-      }
-      heap.pop();
-      top.gain = ValueGain(typical_cascades[top.node], node_values, covered);
-      top.round = round;
-      heap.push(top);
-    }
-  }
-  return result;
+  return InfMaxTcWeighted(FlatSets::FromNested(typical_cascades), node_values,
+                          options);
 }
 
 Result<BudgetedCoverResult> InfMaxTcBudgeted(
-    const std::vector<std::vector<NodeId>>& typical_cascades,
-    const std::vector<double>& node_values,
+    const FlatSets& typical_cascades, const std::vector<double>& node_values,
     const std::vector<double>& node_costs,
     const BudgetedCoverOptions& options) {
   SOI_RETURN_IF_ERROR(ValidateInputs(typical_cascades, node_values));
-  const NodeId n = static_cast<NodeId>(typical_cascades.size());
-  if (node_costs.size() != typical_cascades.size()) {
+  if (node_costs.size() != typical_cascades.num_sets()) {
     return Status::InvalidArgument("need one cost per node");
   }
   for (double c : node_costs) {
@@ -133,57 +59,24 @@ Result<BudgetedCoverResult> InfMaxTcBudgeted(
     return Status::InvalidArgument("budget must be > 0");
   }
 
-  // Ratio greedy: repeatedly take the affordable node maximizing
-  // marginal-value / cost.
+  const BudgetedSelection sel =
+      SelectBudgetedCover(typical_cascades, node_values, node_costs,
+                          options.budget, options.best_single_fallback);
   BudgetedCoverResult result;
-  BitVector covered(n);
-  BitVector selected(n);
-  while (true) {
-    NodeId best = kInvalidNode;
-    double best_ratio = -1.0;
-    double best_gain = 0.0;
-    for (NodeId v = 0; v < n; ++v) {
-      if (selected.Test(v)) continue;
-      if (node_costs[v] > options.budget - result.total_cost) continue;
-      const double gain = ValueGain(typical_cascades[v], node_values, covered);
-      const double ratio = gain / node_costs[v];
-      if (ratio > best_ratio) {
-        best_ratio = ratio;
-        best_gain = gain;
-        best = v;
-      }
-    }
-    if (best == kInvalidNode || best_gain <= 0.0) break;
-    selected.Set(best);
-    Commit(typical_cascades[best], &covered);
-    result.total_cost += node_costs[best];
-    result.covered_value += best_gain;
-    result.seeds.push_back(best);
-  }
-
-  if (options.best_single_fallback) {
-    // Khuller-Moss-Naor: compare against the single best affordable seed.
-    NodeId best_single = kInvalidNode;
-    double best_single_value = -1.0;
-    BitVector empty_cover(n);
-    for (NodeId v = 0; v < n; ++v) {
-      if (node_costs[v] > options.budget) continue;
-      const double value =
-          ValueGain(typical_cascades[v], node_values, empty_cover);
-      if (value > best_single_value) {
-        best_single_value = value;
-        best_single = v;
-      }
-    }
-    if (best_single != kInvalidNode &&
-        best_single_value > result.covered_value) {
-      result.seeds = {best_single};
-      result.total_cost = node_costs[best_single];
-      result.covered_value = best_single_value;
-      result.used_single_fallback = true;
-    }
-  }
+  result.seeds = sel.seeds;
+  result.total_cost = sel.total_cost;
+  result.covered_value = sel.covered_value;
+  result.used_single_fallback = sel.used_single_fallback;
   return result;
+}
+
+Result<BudgetedCoverResult> InfMaxTcBudgeted(
+    const std::vector<std::vector<NodeId>>& typical_cascades,
+    const std::vector<double>& node_values,
+    const std::vector<double>& node_costs,
+    const BudgetedCoverOptions& options) {
+  return InfMaxTcBudgeted(FlatSets::FromNested(typical_cascades), node_values,
+                          node_costs, options);
 }
 
 }  // namespace soi

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "infmax/types.h"
+#include "util/flat_sets.h"
 #include "util/status.h"
 
 namespace soi {
@@ -22,17 +23,27 @@ namespace soi {
 ///    max-cover, Khuller-Moss-Naor). Greedy by value-per-cost plus the
 ///    best-single-element fallback gives the classic (1 - 1/sqrt(e)) bound
 ///    (or (1 - 1/e)/2 for the simple variant implemented here).
+///
+/// Both run on the cover engine's weighted kernels (lazy-refresh heaps over
+/// flat storage — see infmax/cover_engine.h), bit-identical to the previous
+/// vector-of-vectors implementations.
 
 /// Options for the weighted variant.
 struct WeightedCoverOptions {
   uint32_t k = 50;
-  /// Lazy (CELF) evaluation; exact for this submodular objective.
+  /// Retained for API compatibility; the lazy (CELF) kernel is exact for
+  /// this submodular objective and matches the exhaustive scan exactly.
   bool use_celf = true;
 };
 
 /// Greedy weighted max-cover over the typical cascades. `node_values[v]` is
 /// the campaign value of reaching v (>= 0); objective_after reports the
 /// total covered value.
+Result<GreedyResult> InfMaxTcWeighted(const FlatSets& typical_cascades,
+                                      const std::vector<double>& node_values,
+                                      const WeightedCoverOptions& options);
+
+/// Convenience overload for the nested representation.
 Result<GreedyResult> InfMaxTcWeighted(
     const std::vector<std::vector<NodeId>>& typical_cascades,
     const std::vector<double>& node_values, const WeightedCoverOptions& options);
@@ -58,6 +69,11 @@ struct BudgetedCoverResult {
 
 /// Budgeted weighted max-cover over typical cascades: maximize covered value
 /// subject to sum of `node_costs[seed]` <= budget. Costs must be positive.
+Result<BudgetedCoverResult> InfMaxTcBudgeted(
+    const FlatSets& typical_cascades, const std::vector<double>& node_values,
+    const std::vector<double>& node_costs, const BudgetedCoverOptions& options);
+
+/// Convenience overload for the nested representation.
 Result<BudgetedCoverResult> InfMaxTcBudgeted(
     const std::vector<std::vector<NodeId>>& typical_cascades,
     const std::vector<double>& node_values,

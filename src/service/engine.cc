@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "core/typical_cascade.h"
+#include "infmax/cover_engine.h"
 #include "infmax/greedy_std.h"
 #include "infmax/infmax_tc.h"
 #include "infmax/spread_oracle.h"
@@ -184,16 +185,15 @@ class Engine::Impl {
       return Status::InvalidArgument("seed_select: k must be >= 1");
     }
     if (req.method == "tc") {
-      // tc_cascades_ is immutable once EnsureTypicalCascades returns (the
-      // mutex inside it publishes the cache), so selections run unlocked
-      // and concurrently.
+      // tc_cascades_/tc_cover_ are immutable once EnsureTypicalCascades
+      // returns (the mutex inside it publishes the cache), so selections
+      // run unlocked and concurrently. The cover engine's inverted index is
+      // built once here and amortized across every later selection.
       SOI_RETURN_IF_ERROR(EnsureTypicalCascades());
-      InfMaxTcOptions options;
-      options.k = req.k;
-      SOI_ASSIGN_OR_RETURN(
-          GreedyResult r,
-          InfMaxTC(tc_cascades_, index_.num_nodes(), options));
-      return ToSeedSelectResponse(std::move(r));
+      const uint32_t k = std::min<uint32_t>(req.k, index_.num_nodes());
+      if (k == 0) return ToSeedSelectResponse(GreedyResult{});
+      return ToSeedSelectResponse(
+          tc_cover_->Select(k, /*track_saturation=*/false));
     }
     if (req.method == "std") {
       GreedyStdOptions options;
@@ -226,15 +226,13 @@ class Engine::Impl {
     std::lock_guard<std::mutex> lock(tc_mutex_);
     if (tc_ready_) return tc_status_;
     TypicalCascadeComputer computer(&index_);
-    auto all = computer.ComputeAll();
-    if (all.ok()) {
-      tc_cascades_.reserve(all->size());
-      for (TypicalCascadeResult& r : *all) {
-        tc_cascades_.push_back(std::move(r.cascade));
-      }
+    auto sweep = computer.ComputeAllFlat();
+    if (sweep.ok()) {
+      tc_cascades_ = std::move(sweep->cascades);
+      tc_cover_.emplace(&tc_cascades_, index_.num_nodes());
       tc_status_ = Status::OK();
     } else {
-      tc_status_ = all.status();
+      tc_status_ = sweep.status();
     }
     tc_ready_ = true;
     return tc_status_;
@@ -245,10 +243,11 @@ class Engine::Impl {
   EngineOptions options_;
   std::atomic<uint32_t> in_flight_{0};
 
-  std::mutex tc_mutex_;  // guards tc_ready_/tc_status_/tc_cascades_
+  std::mutex tc_mutex_;  // guards tc_ready_/tc_status_/tc_cascades_/tc_cover_
   bool tc_ready_ = false;
   Status tc_status_;
-  std::vector<std::vector<NodeId>> tc_cascades_;
+  FlatSets tc_cascades_;  // node v -> typical cascade C*_v
+  std::optional<CoverEngine> tc_cover_;  // selection kernel over tc_cascades_
 
   std::mutex oracle_mutex_;  // serializes stateful "std" selections
   std::unique_ptr<SpreadOracle> oracle_;

@@ -1,0 +1,130 @@
+#ifndef SOI_UTIL_FLAT_SETS_H_
+#define SOI_UTIL_FLAT_SETS_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/check.h"
+
+namespace soi {
+
+/// A CSR-style arena for a sequence of small integer sets: one contiguous
+/// element array plus exclusive end offsets. This is the storage every
+/// greedy max-cover path shares (typical cascades, RR sets, their inverted
+/// indexes): set i is a span into the arena, so iterating a set costs no
+/// pointer chase into a per-set heap allocation and a whole collection is
+/// two allocations instead of one per set.
+///
+/// Sets are append-only and identified by insertion order. Elements are
+/// uint32 ids (node ids or set ids, depending on direction). Spans returned
+/// by Set() are invalidated by any further append/Clear.
+class FlatSets {
+ public:
+  FlatSets() : offsets_(1, 0) {}
+
+  void Clear() {
+    elems_.clear();
+    offsets_.assign(1, 0);
+  }
+
+  void Reserve(size_t num_sets, size_t num_elements) {
+    offsets_.reserve(num_sets + 1);
+    elems_.reserve(num_elements);
+  }
+
+  size_t num_sets() const { return offsets_.size() - 1; }
+  uint64_t total_elements() const { return elems_.size(); }
+
+  std::span<const uint32_t> Set(size_t i) const {
+    SOI_DCHECK(i + 1 < offsets_.size());
+    return {elems_.data() + offsets_[i], elems_.data() + offsets_[i + 1]};
+  }
+
+  uint64_t SetSize(size_t i) const {
+    SOI_DCHECK(i + 1 < offsets_.size());
+    return offsets_[i + 1] - offsets_[i];
+  }
+
+  /// Appends one complete set.
+  void AddSet(std::span<const uint32_t> elements) {
+    elems_.insert(elems_.end(), elements.begin(), elements.end());
+    offsets_.push_back(elems_.size());
+  }
+
+  /// In-place append: push elements directly onto the arena tail (e.g. from
+  /// a traversal kernel), then SealSet() to end the current set. The tail
+  /// [offsets_.back(), elems_.size()) is the open set under construction.
+  std::vector<uint32_t>& MutableElements() { return elems_; }
+  void SealSet() { offsets_.push_back(elems_.size()); }
+
+  /// Appends every set of `other`, preserving order.
+  void Append(const FlatSets& other) {
+    const uint64_t base = elems_.size();
+    elems_.insert(elems_.end(), other.elems_.begin(), other.elems_.end());
+    offsets_.reserve(offsets_.size() + other.num_sets());
+    for (size_t i = 1; i < other.offsets_.size(); ++i) {
+      offsets_.push_back(base + other.offsets_[i]);
+    }
+  }
+
+  /// One-allocation conversion from the nested representation.
+  static FlatSets FromNested(const std::vector<std::vector<uint32_t>>& sets) {
+    FlatSets out;
+    uint64_t total = 0;
+    for (const auto& s : sets) total += s.size();
+    out.Reserve(sets.size(), total);
+    for (const auto& s : sets) out.AddSet(s);
+    return out;
+  }
+
+  /// The transposed incidence: output set e lists, in ascending order, the
+  /// ids of every input set containing element e (counting sort,
+  /// O(total_elements)). `num_elements` is the element universe size; every
+  /// stored element must be < num_elements, and num_sets() must fit uint32.
+  FlatSets Transpose(uint32_t num_elements) const {
+    SOI_CHECK(num_sets() <= ~uint32_t{0});
+    SOI_CHECK(elems_.size() <= ~uint32_t{0});
+    FlatSets out;
+    // Count + scatter with uint32 cursors: the per-element tables stay half
+    // the size of the uint64 offsets, which keeps this (the cover engine's
+    // build cost) cache-resident for typical universes.
+    std::vector<uint32_t> cursor(num_elements, 0);
+    for (uint32_t e : elems_) {
+      SOI_DCHECK(e < num_elements);
+      ++cursor[e];
+    }
+    out.offsets_.resize(num_elements + 1);
+    uint64_t running = 0;
+    for (uint32_t e = 0; e < num_elements; ++e) {
+      out.offsets_[e] = running;
+      running += cursor[e];
+      cursor[e] = static_cast<uint32_t>(out.offsets_[e]);
+    }
+    out.offsets_[num_elements] = running;
+    out.elems_.resize(elems_.size());
+    const uint32_t* elems = elems_.data();
+    uint32_t* out_elems = out.elems_.data();
+    for (size_t i = 0; i < num_sets(); ++i) {
+      for (uint64_t j = offsets_[i]; j < offsets_[i + 1]; ++j) {
+        out_elems[cursor[elems[j]]++] = static_cast<uint32_t>(i);
+      }
+    }
+    return out;
+  }
+
+  const std::vector<uint32_t>& elements() const { return elems_; }
+  const std::vector<uint64_t>& offsets() const { return offsets_; }
+
+  bool operator==(const FlatSets& other) const {
+    return elems_ == other.elems_ && offsets_ == other.offsets_;
+  }
+
+ private:
+  std::vector<uint32_t> elems_;
+  std::vector<uint64_t> offsets_;  // offsets_[0] == 0; exclusive set ends
+};
+
+}  // namespace soi
+
+#endif  // SOI_UTIL_FLAT_SETS_H_

@@ -1,0 +1,556 @@
+// Byte-equality tests for the shared max-cover kernel (infmax/cover_engine)
+// against verbatim copies of the legacy selection loops it replaced. The
+// contract is not "close": seeds, marginal gains, objectives and MG_10/MG_1
+// ratios must be bit-identical to the pre-engine implementations, for IC and
+// LT indexes, unweighted/weighted/budgeted variants, degenerate inputs
+// (all-ties, zero-gain tails, duplicate elements) and thread counts 1 vs 8.
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cascade/threshold.h"
+#include "core/typical_cascade.h"
+#include "gen/generators.h"
+#include "graph/prob_assign.h"
+#include "index/cascade_index.h"
+#include "infmax/cover_engine.h"
+#include "infmax/infmax_tc.h"
+#include "infmax/rrset.h"
+#include "infmax/weighted_cover.h"
+#include "runtime/parallel_for.h"
+#include "util/bitvector.h"
+#include "util/rng.h"
+
+namespace soi {
+namespace {
+
+class ThreadsGuard {
+ public:
+  explicit ThreadsGuard(uint32_t threads) { SetGlobalThreads(threads); }
+  ~ThreadsGuard() { SetGlobalThreads(0); }
+};
+
+// ------------------------------------------------------------------------
+// Legacy reference implementations, copied from the pre-engine sources.
+// ------------------------------------------------------------------------
+
+uint64_t LegacyCoverageGain(const std::vector<NodeId>& cascade,
+                            const BitVector& covered) {
+  uint64_t gain = 0;
+  for (NodeId v : cascade) gain += covered.Test(v) ? 0 : 1;
+  return gain;
+}
+
+void LegacyCommit(const std::vector<NodeId>& cascade, BitVector* covered) {
+  for (NodeId v : cascade) covered->Set(v);
+}
+
+struct LegacyCelfEntry {
+  uint64_t gain;
+  NodeId node;
+  uint32_t round;
+};
+
+struct LegacyCelfLess {
+  bool operator()(const LegacyCelfEntry& a, const LegacyCelfEntry& b) const {
+    if (a.gain != b.gain) return a.gain < b.gain;
+    return a.node > b.node;
+  }
+};
+
+// The pre-engine InfMaxTC body (validation stripped; inputs are trusted).
+GreedyResult LegacyInfMaxTC(const std::vector<std::vector<NodeId>>& cascades,
+                            NodeId num_nodes, uint32_t k_request,
+                            bool use_celf, bool track_saturation) {
+  const uint32_t k = std::min<uint32_t>(k_request, num_nodes);
+  GreedyResult result;
+  BitVector covered(num_nodes);
+  uint64_t total_covered = 0;
+
+  if (track_saturation || !use_celf) {
+    BitVector selected(num_nodes);
+    std::vector<double> gains;
+    for (uint32_t round = 0; round < k; ++round) {
+      gains.clear();
+      NodeId best = kInvalidNode;
+      uint64_t best_gain = 0;
+      bool have_best = false;
+      for (NodeId v = 0; v < num_nodes; ++v) {
+        if (selected.Test(v)) continue;
+        const uint64_t g = LegacyCoverageGain(cascades[v], covered);
+        gains.push_back(static_cast<double>(g));
+        if (!have_best || g > best_gain) {
+          have_best = true;
+          best_gain = g;
+          best = v;
+        }
+      }
+      double ratio = -1.0;
+      if (track_saturation && gains.size() >= 10) {
+        std::nth_element(gains.begin(), gains.begin() + 9, gains.end(),
+                         std::greater<double>());
+        ratio = best_gain > 0 ? gains[9] / static_cast<double>(best_gain)
+                              : 1.0;
+      }
+      selected.Set(best);
+      LegacyCommit(cascades[best], &covered);
+      total_covered += best_gain;
+      result.seeds.push_back(best);
+      result.steps.push_back({best, static_cast<double>(best_gain),
+                              static_cast<double>(total_covered), ratio});
+    }
+    return result;
+  }
+
+  std::priority_queue<LegacyCelfEntry, std::vector<LegacyCelfEntry>,
+                      LegacyCelfLess>
+      heap;
+  for (NodeId v = 0; v < num_nodes; ++v) {
+    heap.push({LegacyCoverageGain(cascades[v], covered), v, 0});
+  }
+  for (uint32_t round = 1; round <= k && !heap.empty(); ++round) {
+    while (true) {
+      LegacyCelfEntry top = heap.top();
+      if (top.round == round) {
+        heap.pop();
+        LegacyCommit(cascades[top.node], &covered);
+        total_covered += top.gain;
+        result.seeds.push_back(top.node);
+        result.steps.push_back({top.node, static_cast<double>(top.gain),
+                                static_cast<double>(total_covered), -1.0});
+        break;
+      }
+      heap.pop();
+      top.gain = LegacyCoverageGain(cascades[top.node], covered);
+      top.round = round;
+      heap.push(top);
+    }
+  }
+  return result;
+}
+
+double LegacyValueGain(const std::vector<NodeId>& cascade,
+                       const std::vector<double>& values,
+                       const BitVector& covered) {
+  double gain = 0.0;
+  for (NodeId v : cascade) {
+    if (!covered.Test(v)) gain += values[v];
+  }
+  return gain;
+}
+
+struct LegacyWCelfEntry {
+  double gain;
+  NodeId node;
+  uint32_t round;
+};
+
+struct LegacyWCelfLess {
+  bool operator()(const LegacyWCelfEntry& a, const LegacyWCelfEntry& b) const {
+    if (a.gain != b.gain) return a.gain < b.gain;
+    return a.node > b.node;
+  }
+};
+
+// The pre-engine InfMaxTcWeighted CELF body.
+GreedyResult LegacyWeighted(const std::vector<std::vector<NodeId>>& cascades,
+                            const std::vector<double>& values,
+                            uint32_t k_request) {
+  const NodeId n = static_cast<NodeId>(cascades.size());
+  const uint32_t k = std::min<uint32_t>(k_request, n);
+  GreedyResult result;
+  BitVector covered(n);
+  double total_value = 0.0;
+  std::priority_queue<LegacyWCelfEntry, std::vector<LegacyWCelfEntry>,
+                      LegacyWCelfLess>
+      heap;
+  for (NodeId v = 0; v < n; ++v) {
+    heap.push({LegacyValueGain(cascades[v], values, covered), v, 0});
+  }
+  for (uint32_t round = 1; round <= k && !heap.empty(); ++round) {
+    while (true) {
+      LegacyWCelfEntry top = heap.top();
+      if (top.round == round) {
+        heap.pop();
+        LegacyCommit(cascades[top.node], &covered);
+        total_value += top.gain;
+        result.seeds.push_back(top.node);
+        result.steps.push_back({top.node, top.gain, total_value, -1.0});
+        break;
+      }
+      heap.pop();
+      top.gain = LegacyValueGain(cascades[top.node], values, covered);
+      top.round = round;
+      heap.push(top);
+    }
+  }
+  return result;
+}
+
+// The pre-engine InfMaxTcBudgeted body (full ratio rescan every round).
+BudgetedSelection LegacyBudgeted(
+    const std::vector<std::vector<NodeId>>& cascades,
+    const std::vector<double>& values, const std::vector<double>& costs,
+    double budget, bool best_single_fallback) {
+  const NodeId n = static_cast<NodeId>(cascades.size());
+  BudgetedSelection result;
+  BitVector covered(n);
+  BitVector selected(n);
+  while (true) {
+    NodeId best = kInvalidNode;
+    double best_ratio = -1.0;
+    double best_gain = 0.0;
+    for (NodeId v = 0; v < n; ++v) {
+      if (selected.Test(v)) continue;
+      if (costs[v] > budget - result.total_cost) continue;
+      const double gain = LegacyValueGain(cascades[v], values, covered);
+      const double ratio = gain / costs[v];
+      if (ratio > best_ratio) {
+        best_ratio = ratio;
+        best_gain = gain;
+        best = v;
+      }
+    }
+    if (best == kInvalidNode || best_gain <= 0.0) break;
+    selected.Set(best);
+    LegacyCommit(cascades[best], &covered);
+    result.total_cost += costs[best];
+    result.covered_value += best_gain;
+    result.seeds.push_back(best);
+  }
+  if (best_single_fallback) {
+    NodeId best_single = kInvalidNode;
+    double best_single_value = -1.0;
+    BitVector empty_cover(n);
+    for (NodeId v = 0; v < n; ++v) {
+      if (costs[v] > budget) continue;
+      const double value = LegacyValueGain(cascades[v], values, empty_cover);
+      if (value > best_single_value) {
+        best_single_value = value;
+        best_single = v;
+      }
+    }
+    if (best_single != kInvalidNode &&
+        best_single_value > result.covered_value) {
+      result.seeds = {best_single};
+      result.total_cost = costs[best_single];
+      result.covered_value = best_single_value;
+      result.used_single_fallback = true;
+    }
+  }
+  return result;
+}
+
+// The pre-engine RrCollection::SelectSeeds body (exact cover counters with a
+// full O(n) argmax rescan per round), rebuilt from the collection's public
+// forward/inverted views.
+GreedyResult LegacyRrSelect(const RrCollection& collection, uint32_t k_request) {
+  const NodeId n = collection.num_nodes();
+  const uint32_t num_sets = collection.num_sets();
+  const uint32_t k = std::min<uint32_t>(k_request, n);
+  const double scale =
+      static_cast<double>(n) / static_cast<double>(num_sets);
+  std::vector<uint64_t> cover_count(n, 0);
+  for (uint32_t i = 0; i < num_sets; ++i) {
+    for (NodeId v : collection.Set(i)) ++cover_count[v];
+  }
+  std::vector<uint8_t> set_covered(num_sets, 0);
+  std::vector<uint8_t> selected(n, 0);
+  GreedyResult result;
+  uint64_t covered_total = 0;
+  for (uint32_t round = 0; round < k; ++round) {
+    NodeId best = kInvalidNode;
+    uint64_t best_count = 0;
+    bool have_best = false;
+    for (NodeId v = 0; v < n; ++v) {
+      if (selected[v]) continue;
+      if (!have_best || cover_count[v] > best_count) {
+        have_best = true;
+        best_count = cover_count[v];
+        best = v;
+      }
+    }
+    selected[best] = 1;
+    for (uint32_t set_id : collection.inverted().Set(best)) {
+      if (set_covered[set_id]) continue;
+      set_covered[set_id] = 1;
+      for (NodeId v : collection.Set(set_id)) --cover_count[v];
+    }
+    covered_total += best_count;
+    result.seeds.push_back(best);
+    result.steps.push_back({best, static_cast<double>(best_count) * scale,
+                            static_cast<double>(covered_total) * scale, -1.0});
+  }
+  return result;
+}
+
+// ------------------------------------------------------------------------
+// Helpers.
+// ------------------------------------------------------------------------
+
+void ExpectSameResult(const GreedyResult& got, const GreedyResult& want) {
+  ASSERT_EQ(got.seeds, want.seeds);
+  ASSERT_EQ(got.steps.size(), want.steps.size());
+  for (size_t i = 0; i < want.steps.size(); ++i) {
+    EXPECT_EQ(got.steps[i].node, want.steps[i].node) << "step " << i;
+    // Bitwise double equality — the engine must reproduce the legacy
+    // floating-point results exactly, not approximately.
+    EXPECT_EQ(got.steps[i].marginal_gain, want.steps[i].marginal_gain)
+        << "step " << i;
+    EXPECT_EQ(got.steps[i].objective_after, want.steps[i].objective_after)
+        << "step " << i;
+    EXPECT_EQ(got.steps[i].mg_ratio_10_1, want.steps[i].mg_ratio_10_1)
+        << "step " << i;
+  }
+}
+
+std::vector<std::vector<NodeId>> ToNested(const FlatSets& sets) {
+  std::vector<std::vector<NodeId>> out(sets.num_sets());
+  for (size_t i = 0; i < sets.num_sets(); ++i) {
+    const auto s = sets.Set(i);
+    out[i].assign(s.begin(), s.end());
+  }
+  return out;
+}
+
+ProbGraph TestGraph(PropagationModel model) {
+  Rng gen_rng(7);
+  auto topo = GenerateRmat(7, 700, {}, &gen_rng);
+  EXPECT_TRUE(topo.ok());
+  Rng assign_rng(8);
+  auto g = AssignUniform(*topo, &assign_rng, 0.05, 0.35);
+  EXPECT_TRUE(g.ok());
+  if (model == PropagationModel::kLinearThreshold) {
+    auto lt = NormalizeLtWeights(*g, 0.9);
+    EXPECT_TRUE(lt.ok());
+    return std::move(lt).value();
+  }
+  return std::move(g).value();
+}
+
+FlatSets TypicalCascadesOf(const ProbGraph& g, PropagationModel model) {
+  CascadeIndexOptions options;
+  options.num_worlds = 24;
+  options.model = model;
+  Rng rng(11);
+  auto index = CascadeIndex::Build(g, options, &rng);
+  EXPECT_TRUE(index.ok());
+  TypicalCascadeComputer computer(&*index);
+  auto sweep = computer.ComputeAllFlat();
+  EXPECT_TRUE(sweep.ok());
+  return std::move(sweep->cascades);
+}
+
+// ------------------------------------------------------------------------
+// Unweighted InfMaxTC equality.
+// ------------------------------------------------------------------------
+
+class CoverEngineModelTest
+    : public ::testing::TestWithParam<PropagationModel> {};
+
+TEST_P(CoverEngineModelTest, MatchesLegacyAcrossKs) {
+  const ProbGraph g = TestGraph(GetParam());
+  const FlatSets cascades = TypicalCascadesOf(g, GetParam());
+  const std::vector<std::vector<NodeId>> nested = ToNested(cascades);
+  const NodeId n = g.num_nodes();
+  for (const uint32_t k : {uint32_t{1}, uint32_t{10}, uint32_t{n}}) {
+    for (const bool saturation : {false, true}) {
+      InfMaxTcOptions options;
+      options.k = k;
+      options.track_saturation = saturation;
+      const auto got = InfMaxTC(cascades, n, options);
+      ASSERT_TRUE(got.ok());
+      const GreedyResult want =
+          LegacyInfMaxTC(nested, n, k, /*use_celf=*/!saturation, saturation);
+      ExpectSameResult(*got, want);
+    }
+  }
+}
+
+TEST_P(CoverEngineModelTest, ThreadCountInvariant) {
+  const ProbGraph g = TestGraph(GetParam());
+  const FlatSets cascades = TypicalCascadesOf(g, GetParam());
+  InfMaxTcOptions options;
+  options.k = 32;
+  options.track_saturation = true;
+  std::optional<GreedyResult> at_one;
+  {
+    ThreadsGuard guard(1);
+    auto r = InfMaxTC(cascades, g.num_nodes(), options);
+    ASSERT_TRUE(r.ok());
+    at_one = std::move(r).value();
+  }
+  {
+    ThreadsGuard guard(8);
+    auto r = InfMaxTC(cascades, g.num_nodes(), options);
+    ASSERT_TRUE(r.ok());
+    ExpectSameResult(*r, *at_one);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Models, CoverEngineModelTest,
+    ::testing::Values(PropagationModel::kIndependentCascade,
+                      PropagationModel::kLinearThreshold));
+
+// Every candidate covers the same elements: all rounds tie, and the engine
+// must break every tie to the lowest unselected id, like the legacy scan.
+TEST(CoverEngineTest, AllTiesSelectLowestIds) {
+  constexpr NodeId kN = 40;
+  std::vector<std::vector<NodeId>> nested(kN, {0, 1, 2});
+  const FlatSets cascades = FlatSets::FromNested(nested);
+  InfMaxTcOptions options;
+  options.k = kN;
+  const auto got = InfMaxTC(cascades, kN, options);
+  ASSERT_TRUE(got.ok());
+  ExpectSameResult(*got, LegacyInfMaxTC(nested, kN, kN, true, false));
+  for (NodeId v = 0; v < kN; ++v) EXPECT_EQ(got->seeds[v], v);
+}
+
+// After the first pick covers everything, all remaining gains are zero; the
+// engine must keep selecting (k is exact) in id order, and with saturation
+// tracking report ratio 1.0 while >= 10 candidates remain.
+TEST(CoverEngineTest, ZeroGainTails) {
+  constexpr NodeId kN = 30;
+  std::vector<std::vector<NodeId>> nested(kN);
+  for (NodeId v = 0; v < kN; ++v) nested[0].push_back(v);
+  nested[5] = {0, 1};
+  const FlatSets cascades = FlatSets::FromNested(nested);
+  for (const bool saturation : {false, true}) {
+    InfMaxTcOptions options;
+    options.k = kN;
+    options.track_saturation = saturation;
+    const auto got = InfMaxTC(cascades, kN, options);
+    ASSERT_TRUE(got.ok());
+    ExpectSameResult(*got,
+                     LegacyInfMaxTC(nested, kN, kN, !saturation, saturation));
+    EXPECT_EQ(got->seeds[0], 0u);
+    EXPECT_EQ(got->steps[1].marginal_gain, 0.0);
+  }
+}
+
+// Duplicate occurrences in a set must count like the legacy per-occurrence
+// gain (a quirk of the legacy scan the decrement path must reproduce).
+TEST(CoverEngineTest, DuplicateElementsMatchLegacy) {
+  std::vector<std::vector<NodeId>> nested = {
+      {0, 0, 1}, {1, 2, 2, 2}, {3}, {0, 3, 3}, {4}};
+  const FlatSets cascades = FlatSets::FromNested(nested);
+  InfMaxTcOptions options;
+  options.k = 5;
+  const auto got = InfMaxTC(cascades, 5, options);
+  ASSERT_TRUE(got.ok());
+  ExpectSameResult(*got, LegacyInfMaxTC(nested, 5, 5, true, false));
+}
+
+// ------------------------------------------------------------------------
+// Weighted / budgeted equality.
+// ------------------------------------------------------------------------
+
+TEST(CoverEngineWeightedTest, MatchesLegacyOnRandomValues) {
+  const ProbGraph g = TestGraph(PropagationModel::kIndependentCascade);
+  const FlatSets cascades =
+      TypicalCascadesOf(g, PropagationModel::kIndependentCascade);
+  const std::vector<std::vector<NodeId>> nested = ToNested(cascades);
+  const NodeId n = g.num_nodes();
+  Rng rng(21);
+  std::vector<double> values(n);
+  for (double& v : values) v = rng.NextDouble();
+  values[3] = 0.0;  // zero-value nodes must not contribute
+  for (const uint32_t k : {uint32_t{1}, uint32_t{10}, uint32_t{n}}) {
+    WeightedCoverOptions options;
+    options.k = k;
+    const auto got = InfMaxTcWeighted(cascades, values, options);
+    ASSERT_TRUE(got.ok());
+    ExpectSameResult(*got, LegacyWeighted(nested, values, k));
+  }
+}
+
+TEST(CoverEngineWeightedTest, ThreadCountInvariant) {
+  const ProbGraph g = TestGraph(PropagationModel::kIndependentCascade);
+  const FlatSets cascades =
+      TypicalCascadesOf(g, PropagationModel::kIndependentCascade);
+  std::vector<double> values(g.num_nodes());
+  Rng rng(22);
+  for (double& v : values) v = rng.NextDouble();
+  WeightedCoverOptions options;
+  options.k = 16;
+  std::optional<GreedyResult> at_one;
+  {
+    ThreadsGuard guard(1);
+    auto r = InfMaxTcWeighted(cascades, values, options);
+    ASSERT_TRUE(r.ok());
+    at_one = std::move(r).value();
+  }
+  {
+    ThreadsGuard guard(8);
+    auto r = InfMaxTcWeighted(cascades, values, options);
+    ASSERT_TRUE(r.ok());
+    ExpectSameResult(*r, *at_one);
+  }
+}
+
+TEST(CoverEngineBudgetedTest, MatchesLegacyWithAndWithoutFallback) {
+  const ProbGraph g = TestGraph(PropagationModel::kIndependentCascade);
+  const FlatSets cascades =
+      TypicalCascadesOf(g, PropagationModel::kIndependentCascade);
+  const std::vector<std::vector<NodeId>> nested = ToNested(cascades);
+  const NodeId n = g.num_nodes();
+  Rng rng(23);
+  std::vector<double> values(n), costs(n);
+  for (double& v : values) v = rng.NextDouble();
+  for (double& c : costs) c = 0.25 + rng.NextDouble();
+  for (const double budget : {0.3, 2.0, 10.0}) {
+    for (const bool fallback : {false, true}) {
+      BudgetedCoverOptions options;
+      options.budget = budget;
+      options.best_single_fallback = fallback;
+      const auto got = InfMaxTcBudgeted(cascades, values, costs, options);
+      ASSERT_TRUE(got.ok());
+      const BudgetedSelection want =
+          LegacyBudgeted(nested, values, costs, budget, fallback);
+      EXPECT_EQ(got->seeds, want.seeds) << "budget " << budget;
+      EXPECT_EQ(got->total_cost, want.total_cost);
+      EXPECT_EQ(got->covered_value, want.covered_value);
+      EXPECT_EQ(got->used_single_fallback, want.used_single_fallback);
+    }
+  }
+}
+
+// ------------------------------------------------------------------------
+// RR-set selection equality.
+// ------------------------------------------------------------------------
+
+TEST(CoverEngineRrTest, SelectSeedsMatchesLegacyRescan) {
+  const ProbGraph g = TestGraph(PropagationModel::kIndependentCascade);
+  Rng rng(31);
+  const auto collection = RrCollection::Sample(g, 500, &rng);
+  ASSERT_TRUE(collection.ok());
+  for (const uint32_t k : {uint32_t{1}, uint32_t{8}, g.num_nodes()}) {
+    const auto got = collection->SelectSeeds(k);
+    ASSERT_TRUE(got.ok());
+    ExpectSameResult(*got, LegacyRrSelect(*collection, k));
+  }
+}
+
+TEST(CoverEngineRrTest, EstimateSpreadScratchReuseIsExact) {
+  const ProbGraph g = TestGraph(PropagationModel::kIndependentCascade);
+  Rng rng(32);
+  const auto collection = RrCollection::Sample(g, 400, &rng);
+  ASSERT_TRUE(collection.ok());
+  const std::vector<NodeId> a = {1, 5, 9};
+  const std::vector<NodeId> b = {0};
+  // Repeated queries through the member scratch must match fresh scratches
+  // (epoch stamping, including back-to-back reuse).
+  SpreadScratch fresh;
+  for (int i = 0; i < 3; ++i) {
+    SpreadScratch once;
+    EXPECT_EQ(collection->EstimateSpread(a), collection->EstimateSpread(a, &once));
+    EXPECT_EQ(collection->EstimateSpread(b), collection->EstimateSpread(b, &fresh));
+  }
+}
+
+}  // namespace
+}  // namespace soi

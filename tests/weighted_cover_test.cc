@@ -69,7 +69,8 @@ TEST(WeightedCoverTest, CelfMatchesExhaustive) {
 TEST(WeightedCoverTest, RejectsBadInputs) {
   WeightedCoverOptions options;
   options.k = 1;
-  EXPECT_FALSE(InfMaxTcWeighted({}, {}, options).ok());
+  EXPECT_FALSE(
+      InfMaxTcWeighted(std::vector<std::vector<NodeId>>{}, {}, options).ok());
   EXPECT_FALSE(
       InfMaxTcWeighted(ToyCascades(), {1.0, 1.0}, options).ok());  // size
   std::vector<double> negative(6, 1.0);

@@ -377,26 +377,24 @@ int CmdTypical(const FlagParser& flags) {
   CLI_ASSIGN(node_i64, flags.GetInt("node", -1));
 
   SOI_OBS_SPAN("cli/compute_typical");
-  std::vector<TypicalCascadeResult> results;
-  NodeId first_node = 0;
+  const auto print_node = [](NodeId v, double cost,
+                             std::span<const NodeId> cascade) {
+    std::printf("node %u: cost=%.4f size=%zu:", v, cost, cascade.size());
+    for (NodeId u : cascade) std::printf(" %u", u);
+    std::printf("\n");
+  };
   if (node_i64 >= 0) {
     if (node_i64 >= graph.num_nodes()) {
       return Fail(Status::OutOfRange("--node out of range"));
     }
-    first_node = static_cast<NodeId>(node_i64);
-    CLI_ASSIGN(one, computer.Compute(first_node, options));
-    results.push_back(std::move(one));
+    const NodeId node = static_cast<NodeId>(node_i64);
+    CLI_ASSIGN(one, computer.Compute(node, options));
+    print_node(node, one.in_sample_cost, one.cascade);
   } else {
-    CLI_ASSIGN(all, computer.ComputeAll(options));
-    results = std::move(all);
-  }
-  for (size_t i = 0; i < results.size(); ++i) {
-    const TypicalCascadeResult& r = results[i];
-    std::printf("node %u: cost=%.4f size=%zu:",
-                static_cast<NodeId>(first_node + i), r.in_sample_cost,
-                r.cascade.size());
-    for (NodeId v : r.cascade) std::printf(" %u", v);
-    std::printf("\n");
+    CLI_ASSIGN(sweep, computer.ComputeAllFlat(options));
+    for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+      print_node(v, sweep.in_sample_cost[v], sweep.cascades.Set(v));
+    }
   }
   return 0;
 }
@@ -423,13 +421,11 @@ int CmdInfMax(const FlagParser& flags) {
         seeds = std::move(result.seeds);
       } else {
         TypicalCascadeComputer computer(&index);
-        CLI_ASSIGN(all, computer.ComputeAll());
-        std::vector<std::vector<NodeId>> cascades;
-        cascades.reserve(all.size());
-        for (auto& r : all) cascades.push_back(std::move(r.cascade));
+        CLI_ASSIGN(sweep, computer.ComputeAllFlat());
         InfMaxTcOptions options;
         options.k = k;
-        CLI_ASSIGN(result, InfMaxTC(cascades, graph.num_nodes(), options));
+        CLI_ASSIGN(result,
+                   InfMaxTC(sweep.cascades, graph.num_nodes(), options));
         seeds = std::move(result.seeds);
       }
     } else if (method == "mc") {
