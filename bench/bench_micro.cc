@@ -28,6 +28,7 @@
 #include "gen/generators.h"
 #include "graph/prob_assign.h"
 #include "index/cascade_index.h"
+#include "index/index_io.h"
 #include "infmax/infmax_tc.h"
 #include "infmax/rrset.h"
 #include "infmax/sketch_oracle.h"
@@ -40,6 +41,8 @@
 #include "scc/tarjan.h"
 #include "scc/transitive.h"
 #include "service/engine.h"
+#include "snapshot/reader.h"
+#include "snapshot/writer.h"
 #include "util/rng.h"
 #include "util/stats.h"
 
@@ -645,6 +648,84 @@ RrSelectNumbers RunRrSelectComparison() {
   return out;
 }
 
+// Cold-start-to-first-query numbers for BENCH_micro.json: the legacy
+// restart path (LoadCascadeIndex parse + closure rebuild, then one query)
+// vs the snapshot path (mmap + structural validation + pointer fixup, then
+// the same query — the closure cache is read, never rebuilt). Also records
+// snapshot create time and file size vs the index's in-memory footprint.
+struct SnapshotRestartNumbers {
+  double create_seconds = 0.0;
+  double legacy_restart_seconds = 0.0;
+  double snapshot_restart_seconds = 0.0;
+  double speedup = 0.0;
+  uint64_t snapshot_file_bytes = 0;
+  uint64_t index_file_bytes = 0;
+  uint64_t index_approx_bytes = 0;
+};
+
+uint64_t FileBytes(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  SOI_CHECK(f != nullptr);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fclose(f);
+  SOI_CHECK(size >= 0);
+  return static_cast<uint64_t>(size);
+}
+
+SnapshotRestartNumbers RunSnapshotRestartComparison() {
+  SnapshotRestartNumbers out;
+  const ProbGraph& g = TestGraph();
+  CascadeIndexOptions options;
+  options.num_worlds = 64;
+  Rng rng(31);
+  const auto index = CascadeIndex::Build(g, options, &rng);
+  SOI_CHECK(index.ok() && index->has_closure_cache());
+  TypicalCascadeComputer computer(&*index);
+  const auto sweep = computer.ComputeAllFlat();
+  SOI_CHECK(sweep.ok());
+  out.index_approx_bytes = index->stats().approx_bytes;
+
+  const std::string idx_path = "BENCH_restart.soiidx";
+  const std::string snap_path = "BENCH_restart.soisnap";
+  SOI_CHECK(SaveCascadeIndex(*index, idx_path).ok());
+  WallTimer create_timer;
+  SnapshotWriteOptions write_options;
+  write_options.typical = &sweep->cascades;
+  SOI_CHECK(WriteSnapshot(g, *index, snap_path, write_options).ok());
+  out.create_seconds = create_timer.ElapsedSeconds();
+  out.snapshot_file_bytes = FileBytes(snap_path);
+  out.index_file_bytes = FileBytes(idx_path);
+
+  // The first query both restart paths must answer. Both paths run against
+  // a warm page cache (each timed run re-opens the file), so the comparison
+  // isolates parse/rebuild work, not disk.
+  const NodeId probe = 42 % g.num_nodes();
+  const auto reference = [&] {
+    CascadeIndex::Workspace ws;
+    return index->Cascade(probe, 0, &ws).value();
+  }();
+
+  out.legacy_restart_seconds = BestOfThreeSeconds([&] {
+    const auto loaded = LoadCascadeIndex(idx_path);
+    SOI_CHECK(loaded.ok() && loaded->has_closure_cache());
+    CascadeIndex::Workspace ws;
+    SOI_CHECK(loaded->Cascade(probe, 0, &ws).value() == reference);
+  });
+  out.snapshot_restart_seconds = BestOfThreeSeconds([&] {
+    const auto snap = Snapshot::Open(snap_path);
+    SOI_CHECK(snap.ok());
+    auto borrowed = (*snap)->MakeIndex();
+    SOI_CHECK(borrowed.ok() && borrowed->has_closure_cache());
+    CascadeIndex::Workspace ws;
+    SOI_CHECK(borrowed->Cascade(probe, 0, &ws).value() == reference);
+  });
+  out.speedup = out.legacy_restart_seconds / out.snapshot_restart_seconds;
+  std::remove(idx_path.c_str());
+  std::remove(snap_path.c_str());
+  return out;
+}
+
 // Times the full single-threaded ComputeAll sweep on both extraction paths
 // (closure cache vs per-query traversal), checks the outputs are identical,
 // and writes the speedup to BENCH_micro.json — the headline number of the
@@ -704,6 +785,7 @@ void RunSweepComparison() {
 
   const double speedup = traversal_seconds / closure_seconds;
   const EngineBatchNumbers eb = RunEngineBatchComparison();
+  const SnapshotRestartNumbers sn = RunSnapshotRestartComparison();
   std::FILE* f = std::fopen("BENCH_micro.json", "w");
   SOI_CHECK(f != nullptr);
   std::fprintf(f,
@@ -744,6 +826,17 @@ void RunSweepComparison() {
                "    \"rescan_seconds\": %.6f,\n"
                "    \"speedup_vs_rescan\": %.2f,\n"
                "    \"outputs_identical\": true\n"
+               "  },\n"
+               "  \"snapshot_restart\": {\n"
+               "    \"worlds\": 64,\n"
+               "    \"create_seconds\": %.6f,\n"
+               "    \"legacy_restart_seconds\": %.6f,\n"
+               "    \"snapshot_restart_seconds\": %.6f,\n"
+               "    \"speedup\": %.1f,\n"
+               "    \"snapshot_file_bytes\": %llu,\n"
+               "    \"index_file_bytes\": %llu,\n"
+               "    \"index_approx_bytes\": %llu,\n"
+               "    \"first_query_identical\": true\n"
                "  }\n"
                "}\n",
                g.num_nodes(), closure_index->num_worlds(),
@@ -754,7 +847,12 @@ void RunSweepComparison() {
                is.num_nodes, is.k, is.engine_seconds, is.celf_seconds,
                is.rescan_seconds, is.speedup_vs_celf, is.speedup_vs_rescan,
                rs.num_sets, rs.k, rs.engine_seconds, rs.rescan_seconds,
-               rs.speedup_vs_rescan);
+               rs.speedup_vs_rescan, sn.create_seconds,
+               sn.legacy_restart_seconds, sn.snapshot_restart_seconds,
+               sn.speedup,
+               static_cast<unsigned long long>(sn.snapshot_file_bytes),
+               static_cast<unsigned long long>(sn.index_file_bytes),
+               static_cast<unsigned long long>(sn.index_approx_bytes));
   std::fclose(f);
   std::printf("sweep: traversal %.3fs, closure %.3fs, speedup %.2fx "
               "(wrote BENCH_micro.json)\n",
@@ -771,6 +869,12 @@ void RunSweepComparison() {
               "(%.1fx)\n",
               rs.num_sets, rs.k, rs.engine_seconds, rs.rescan_seconds,
               rs.speedup_vs_rescan);
+  std::printf("snapshot restart: create %.3fs, legacy load+rebuild %.4fs, "
+              "mmap %.4fs (%.1fx), file %.1f MiB vs ~%.1f MiB in memory\n",
+              sn.create_seconds, sn.legacy_restart_seconds,
+              sn.snapshot_restart_seconds, sn.speedup,
+              static_cast<double>(sn.snapshot_file_bytes) / (1 << 20),
+              static_cast<double>(sn.index_approx_bytes) / (1 << 20));
 }
 
 }  // namespace

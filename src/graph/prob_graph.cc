@@ -14,28 +14,40 @@ Result<EdgeId> ProbGraph::FindEdge(NodeId u, NodeId v) const {
   if (it == nbrs.end() || *it != v) {
     return Status::NotFound("edge not present");
   }
-  return static_cast<EdgeId>(offsets_[u] + (it - nbrs.begin()));
+  return static_cast<EdgeId>(offsets()[u] + (it - nbrs.begin()));
 }
 
-Result<ProbGraph> ProbGraph::WithProbs(std::vector<double> probs) const {
-  if (probs.size() != targets_.size()) {
+Result<ProbGraph> ProbGraph::WithProbs(std::vector<double> new_probs) const {
+  if (new_probs.size() != targets().size()) {
     return Status::InvalidArgument("WithProbs: size mismatch");
   }
-  for (double p : probs) {
+  for (double p : new_probs) {
     if (!(p > 0.0 && p <= 1.0)) {
       return Status::InvalidArgument("WithProbs: probability outside (0,1]");
     }
   }
-  ProbGraph out = *this;
-  out.probs_ = std::move(probs);
+  ProbGraph out;
+  out.num_nodes_ = num_nodes_;
+  if (borrowed_) {
+    // Materialize an owned copy: the result's probabilities differ from the
+    // backing mapping, and its lifetime must not depend on it.
+    out.offsets_.assign(offsets().begin(), offsets().end());
+    out.targets_.assign(targets().begin(), targets().end());
+    out.sources_.assign(sources().begin(), sources().end());
+    out.rev_offsets_.assign(rev_offsets().begin(), rev_offsets().end());
+    out.rev_sources_.assign(rev_sources().begin(), rev_sources().end());
+  } else {
+    out = *this;
+  }
+  out.probs_ = std::move(new_probs);
   return out;
 }
 
 std::vector<ProbEdge> ProbGraph::Edges() const {
   std::vector<ProbEdge> out;
-  out.reserve(targets_.size());
+  out.reserve(targets().size());
   for (EdgeId e = 0; e < num_edges(); ++e) {
-    out.push_back({sources_[e], targets_[e], probs_[e]});
+    out.push_back({EdgeSource(e), EdgeTarget(e), EdgeProb(e)});
   }
   return out;
 }

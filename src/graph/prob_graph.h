@@ -34,53 +34,111 @@ struct ProbEdge {
 ///
 /// Edges are unique per (src, dst) pair and sorted by (src, dst), so
 /// OutEdgesSorted merge algorithms can rely on the order.
+///
+/// Storage is dual-mode: a graph built by ProbGraphBuilder owns its CSR
+/// arrays; Borrowed() wraps spans into an external read-only mapping (see
+/// src/snapshot/) with zero copy. Accessors dispatch on the mode. WithProbs
+/// on a borrowed graph materializes an owned copy (it must mutate).
 class ProbGraph {
  public:
   ProbGraph() = default;
 
+  /// Wraps pre-built CSR arrays without copying. All spans must outlive the
+  /// graph; `offsets`/`rev_offsets` have num_nodes+1 entries, the rest have
+  /// num_edges. Structural validity is the loader's responsibility
+  /// (snapshot/reader.h validates before assembling).
+  static ProbGraph Borrowed(NodeId num_nodes,
+                            std::span<const uint64_t> offsets,
+                            std::span<const NodeId> targets,
+                            std::span<const double> probs,
+                            std::span<const NodeId> sources,
+                            std::span<const uint64_t> rev_offsets,
+                            std::span<const NodeId> rev_sources) {
+    ProbGraph g;
+    g.borrowed_ = true;
+    g.num_nodes_ = num_nodes;
+    g.b_offsets_ = offsets;
+    g.b_targets_ = targets;
+    g.b_probs_ = probs;
+    g.b_sources_ = sources;
+    g.b_rev_offsets_ = rev_offsets;
+    g.b_rev_sources_ = rev_sources;
+    return g;
+  }
+
+  bool borrowed() const { return borrowed_; }
+
   NodeId num_nodes() const { return num_nodes_; }
-  EdgeId num_edges() const { return static_cast<EdgeId>(targets_.size()); }
+  EdgeId num_edges() const { return static_cast<EdgeId>(targets().size()); }
 
   /// Out-neighbors of u (sorted by node id).
   std::span<const NodeId> OutNeighbors(NodeId u) const {
     SOI_DCHECK(u < num_nodes_);
-    return {targets_.data() + offsets_[u],
-            targets_.data() + offsets_[u + 1]};
+    const auto off = offsets();
+    const auto tgt = targets();
+    return {tgt.data() + off[u], tgt.data() + off[u + 1]};
   }
 
   /// Probabilities aligned with OutNeighbors(u).
   std::span<const double> OutProbs(NodeId u) const {
     SOI_DCHECK(u < num_nodes_);
-    return {probs_.data() + offsets_[u], probs_.data() + offsets_[u + 1]};
+    const auto off = offsets();
+    const auto pr = probs();
+    return {pr.data() + off[u], pr.data() + off[u + 1]};
   }
 
   /// First edge id of u's out-edge range; edge e = (u, targets_[e]) for
   /// e in [OutBegin(u), OutBegin(u+1)).
   EdgeId OutBegin(NodeId u) const {
     SOI_DCHECK(u <= num_nodes_);
-    return static_cast<EdgeId>(offsets_[u]);
+    return static_cast<EdgeId>(offsets()[u]);
   }
 
   uint32_t OutDegree(NodeId u) const {
     SOI_DCHECK(u < num_nodes_);
-    return static_cast<uint32_t>(offsets_[u + 1] - offsets_[u]);
+    const auto off = offsets();
+    return static_cast<uint32_t>(off[u + 1] - off[u]);
   }
 
   /// In-neighbors of v (sorted). Requires reverse CSR (always built).
   std::span<const NodeId> InNeighbors(NodeId v) const {
     SOI_DCHECK(v < num_nodes_);
-    return {rev_sources_.data() + rev_offsets_[v],
-            rev_sources_.data() + rev_offsets_[v + 1]};
+    const auto roff = rev_offsets();
+    const auto rsrc = rev_sources();
+    return {rsrc.data() + roff[v], rsrc.data() + roff[v + 1]};
   }
 
   uint32_t InDegree(NodeId v) const {
     SOI_DCHECK(v < num_nodes_);
-    return static_cast<uint32_t>(rev_offsets_[v + 1] - rev_offsets_[v]);
+    const auto roff = rev_offsets();
+    return static_cast<uint32_t>(roff[v + 1] - roff[v]);
   }
 
-  NodeId EdgeSource(EdgeId e) const { return sources_[e]; }
-  NodeId EdgeTarget(EdgeId e) const { return targets_[e]; }
-  double EdgeProb(EdgeId e) const { return probs_[e]; }
+  NodeId EdgeSource(EdgeId e) const { return sources()[e]; }
+  NodeId EdgeTarget(EdgeId e) const { return targets()[e]; }
+  double EdgeProb(EdgeId e) const { return probs()[e]; }
+
+  /// Raw CSR arrays, mode-independent (what the snapshot writer serializes).
+  std::span<const uint64_t> offsets() const {
+    return borrowed_ ? b_offsets_ : std::span<const uint64_t>(offsets_);
+  }
+  std::span<const NodeId> targets() const {
+    return borrowed_ ? b_targets_ : std::span<const NodeId>(targets_);
+  }
+  std::span<const double> probs() const {
+    return borrowed_ ? b_probs_ : std::span<const double>(probs_);
+  }
+  std::span<const NodeId> sources() const {
+    return borrowed_ ? b_sources_ : std::span<const NodeId>(sources_);
+  }
+  std::span<const uint64_t> rev_offsets() const {
+    return borrowed_ ? b_rev_offsets_
+                     : std::span<const uint64_t>(rev_offsets_);
+  }
+  std::span<const NodeId> rev_sources() const {
+    return borrowed_ ? b_rev_sources_
+                     : std::span<const NodeId>(rev_sources_);
+  }
 
   /// Returns the edge id of (u, v), or a NotFound status.
   Result<EdgeId> FindEdge(NodeId u, NodeId v) const;
@@ -110,6 +168,14 @@ class ProbGraph {
   // Reverse CSR (no probabilities; look up via FindEdge when needed).
   std::vector<uint64_t> rev_offsets_;
   std::vector<NodeId> rev_sources_;
+
+  bool borrowed_ = false;
+  std::span<const uint64_t> b_offsets_;
+  std::span<const NodeId> b_targets_;
+  std::span<const double> b_probs_;
+  std::span<const NodeId> b_sources_;
+  std::span<const uint64_t> b_rev_offsets_;
+  std::span<const NodeId> b_rev_sources_;
 };
 
 /// Accumulates edges and produces a validated ProbGraph.

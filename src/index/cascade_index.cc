@@ -185,7 +185,8 @@ Result<CascadeIndex> CascadeIndex::Build(const ProbGraph& graph,
 
 Result<CascadeIndex> CascadeIndex::FromWorlds(NodeId num_nodes,
                                               std::vector<Condensation> worlds,
-                                              uint64_t closure_budget_mb) {
+                                              uint64_t closure_budget_mb,
+                                              RebuildClosures rebuild) {
   if (num_nodes == 0) return Status::InvalidArgument("empty node set");
   if (worlds.empty()) return Status::InvalidArgument("no worlds");
   for (const Condensation& c : worlds) {
@@ -201,7 +202,38 @@ Result<CascadeIndex> CascadeIndex::FromWorlds(NodeId num_nodes,
   // pre-reduction edge count is unrecoverable here; report the stored count
   // for both so load-side stats stay self-consistent.
   index.stats_.avg_dag_edges_before = index.stats_.avg_dag_edges_after;
-  index.BuildClosureCache(closure_budget_mb);
+  if (rebuild == RebuildClosures::kRebuild) {
+    index.BuildClosureCache(closure_budget_mb);
+  }
+  return index;
+}
+
+Result<CascadeIndex> CascadeIndex::FromParts(
+    NodeId num_nodes, std::vector<Condensation> worlds,
+    std::vector<ReachabilityClosure> closures) {
+  if (!closures.empty() && closures.size() != worlds.size()) {
+    return Status::InvalidArgument(
+        "closure count (" + std::to_string(closures.size()) +
+        ") does not match world count (" + std::to_string(worlds.size()) +
+        ")");
+  }
+  for (size_t i = 0; i < closures.size(); ++i) {
+    if (closures[i].num_components() != worlds[i].num_components()) {
+      return Status::InvalidArgument(
+          "closure component count mismatch in world " + std::to_string(i));
+    }
+  }
+  SOI_ASSIGN_OR_RETURN(
+      CascadeIndex index,
+      FromWorlds(num_nodes, std::move(worlds), /*closure_budget_mb=*/0,
+                 RebuildClosures::kSkip));
+  if (!closures.empty()) {
+    uint64_t bytes = 0;
+    for (const ReachabilityClosure& cl : closures) bytes += cl.ApproxBytes();
+    index.closures_ = std::move(closures);
+    index.stats_.closure_bytes = bytes;
+    index.stats_.approx_bytes += bytes;
+  }
   return index;
 }
 

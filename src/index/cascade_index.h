@@ -32,6 +32,18 @@ enum class PropagationModel {
 /// 0 disables the cache entirely (pure traversal paths).
 uint64_t DefaultClosureBudgetMb();
 
+/// Whether an index (re)assembly path should recompute the per-world
+/// reachability-closure cache. The cache is derived data: rebuilding it on
+/// every load is correct but costs the full reverse-topological sweep and
+/// charges the load-time memory budget — exactly what snapshot loading must
+/// avoid (the snapshot carries the closures pre-materialized; see
+/// src/snapshot/). kSkip leaves the cache empty (traversal fallback paths,
+/// byte-identical results) unless the caller attaches closures explicitly.
+enum class RebuildClosures {
+  kRebuild,
+  kSkip,
+};
+
 /// Options for index construction.
 struct CascadeIndexOptions {
   /// Number of sampled possible worlds l. Theorem 2: a constant number of
@@ -134,13 +146,26 @@ class CascadeIndex {
 
   /// Reassembles an index from prebuilt condensations (deserialization path;
   /// see index/index_io.h). All condensations must cover `num_nodes` nodes.
-  /// The closure cache is derived data and is never serialized; it is
-  /// rebuilt here under `closure_budget_mb` (default: same env-driven budget
-  /// as Build), so loaded indexes answer queries at cached speed.
-  static Result<CascadeIndex> FromWorlds(NodeId num_nodes,
-                                         std::vector<Condensation> worlds,
-                                         uint64_t closure_budget_mb =
-                                             DefaultClosureBudgetMb());
+  /// The closure cache is derived data and is never serialized by the legacy
+  /// format; with `rebuild == kRebuild` it is recomputed here under
+  /// `closure_budget_mb` (default: same env-driven budget as Build), so
+  /// loaded indexes answer queries at cached speed. Pass kSkip when the
+  /// caller provides closures from elsewhere (snapshot mmap) or wants pure
+  /// traversal paths — the rebuild sweep and its budget charge are skipped
+  /// entirely.
+  static Result<CascadeIndex> FromWorlds(
+      NodeId num_nodes, std::vector<Condensation> worlds,
+      uint64_t closure_budget_mb = DefaultClosureBudgetMb(),
+      RebuildClosures rebuild = RebuildClosures::kRebuild);
+
+  /// Assembles an index from prebuilt condensations AND prebuilt closures
+  /// (the snapshot load path: both typically borrow spans into one mmap'd
+  /// file, so assembly is O(num_worlds) bookkeeping — no sampling, no SCC
+  /// runs, no closure sweep). `closures` must be empty (traversal paths) or
+  /// have exactly one closure per world with matching component counts.
+  static Result<CascadeIndex> FromParts(
+      NodeId num_nodes, std::vector<Condensation> worlds,
+      std::vector<ReachabilityClosure> closures);
 
   uint32_t num_worlds() const { return static_cast<uint32_t>(worlds_.size()); }
   NodeId num_nodes() const { return num_nodes_; }

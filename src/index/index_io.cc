@@ -84,17 +84,18 @@ std::string SerializeCascadeIndex(const CascadeIndex& index) {
     const Condensation& cond = index.world(i);
     AppendU32(&out, cond.num_components());
     for (uint32_t c : cond.comp_of()) AppendU32(&out, c);
-    const Csr& dag = cond.dag();
-    AppendU32(&out, dag.num_edges());
-    for (uint32_t off : dag.offsets) AppendU32(&out, off);
-    for (NodeId t : dag.targets) AppendU32(&out, t);
+    // Span accessors so borrowed (snapshot-backed) indexes serialize too.
+    AppendU32(&out, cond.num_dag_edges());
+    for (uint32_t off : cond.dag_offsets()) AppendU32(&out, off);
+    for (NodeId t : cond.dag_targets()) AppendU32(&out, t);
   }
   AppendU64(&out, Fnv1a(out.data() + sizeof(kMagic),
                         out.size() - sizeof(kMagic)));
   return out;
 }
 
-Result<CascadeIndex> DeserializeCascadeIndex(const std::string& bytes) {
+Result<CascadeIndex> DeserializeCascadeIndex(const std::string& bytes,
+                                             RebuildClosures rebuild) {
   if (bytes.size() < sizeof(kMagic) + 12 + 8 ||
       std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
     return Status::IOError("not a soi cascade index");
@@ -141,7 +142,8 @@ Result<CascadeIndex> DeserializeCascadeIndex(const std::string& bytes) {
                                 std::move(dag)));
     worlds.push_back(std::move(cond));
   }
-  return CascadeIndex::FromWorlds(num_nodes, std::move(worlds));
+  return CascadeIndex::FromWorlds(num_nodes, std::move(worlds),
+                                  DefaultClosureBudgetMb(), rebuild);
 }
 
 Status SaveCascadeIndex(const CascadeIndex& index, const std::string& path) {
@@ -153,12 +155,13 @@ Status SaveCascadeIndex(const CascadeIndex& index, const std::string& path) {
   return Status::OK();
 }
 
-Result<CascadeIndex> LoadCascadeIndex(const std::string& path) {
+Result<CascadeIndex> LoadCascadeIndex(const std::string& path,
+                                      RebuildClosures rebuild) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IOError("cannot open '" + path + "'");
   std::ostringstream buf;
   buf << in.rdbuf();
-  return DeserializeCascadeIndex(buf.str());
+  return DeserializeCascadeIndex(buf.str(), rebuild);
 }
 
 }  // namespace soi

@@ -28,14 +28,23 @@ namespace soi {
 /// Serializes the index to a byte string.
 std::string SerializeCascadeIndex(const CascadeIndex& index);
 
-/// Parses an index from bytes produced by SerializeCascadeIndex.
-Result<CascadeIndex> DeserializeCascadeIndex(const std::string& bytes);
+/// Parses an index from bytes produced by SerializeCascadeIndex. The legacy
+/// format never stores the closure cache; `rebuild` says whether to
+/// recompute it here (kRebuild, the default — loaded indexes answer at
+/// cached speed) or skip the sweep and its memory-budget charge entirely
+/// (kSkip — callers that immediately discard the cache, or attach closures
+/// from elsewhere, stop paying for a rebuild they never use).
+Result<CascadeIndex> DeserializeCascadeIndex(
+    const std::string& bytes,
+    RebuildClosures rebuild = RebuildClosures::kRebuild);
 
 /// Writes the index to a file.
 Status SaveCascadeIndex(const CascadeIndex& index, const std::string& path);
 
-/// Loads an index from a file.
-Result<CascadeIndex> LoadCascadeIndex(const std::string& path);
+/// Loads an index from a file. See DeserializeCascadeIndex for `rebuild`.
+Result<CascadeIndex> LoadCascadeIndex(
+    const std::string& path,
+    RebuildClosures rebuild = RebuildClosures::kRebuild);
 
 }  // namespace soi
 

@@ -48,10 +48,18 @@ const char* RequestTypeName(const Request& request) {
 
 class Engine::Impl {
  public:
-  Impl(ProbGraph graph, CascadeIndex index, const EngineOptions& options)
+  Impl(ProbGraph graph, CascadeIndex index, const EngineOptions& options,
+       std::optional<FlatSets> typical = std::nullopt,
+       std::shared_ptr<const void> storage = nullptr)
       : graph_(std::move(graph)),
         index_(std::move(index)),
-        options_(options) {}
+        options_(options),
+        storage_(std::move(storage)) {
+    if (typical.has_value()) {
+      tc_cascades_ = std::move(*typical);
+      tc_seeded_ = true;
+    }
+  }
 
   uint64_t NowNs() const {
     return options_.clock_ns != nullptr ? options_.clock_ns() : obs::NowNs();
@@ -222,9 +230,19 @@ class Engine::Impl {
   // Computes the per-node typical cascades once (Algorithm 2 over all
   // nodes — the expensive half of InfMax_TC) and caches them for every
   // later "tc" seed selection. Concurrent first callers serialize here.
+  // When the table was seeded at construction (EngineParts::typical, e.g.
+  // read from a snapshot), the sweep is skipped and only the cover engine's
+  // inverted index is built; the sweep is deterministic, so a seeded table
+  // yields byte-identical selections.
   Status EnsureTypicalCascades() {
     std::lock_guard<std::mutex> lock(tc_mutex_);
     if (tc_ready_) return tc_status_;
+    if (tc_seeded_) {
+      tc_cover_.emplace(&tc_cascades_, index_.num_nodes());
+      tc_status_ = Status::OK();
+      tc_ready_ = true;
+      return tc_status_;
+    }
     TypicalCascadeComputer computer(&index_);
     auto sweep = computer.ComputeAllFlat();
     if (sweep.ok()) {
@@ -241,9 +259,15 @@ class Engine::Impl {
   ProbGraph graph_;
   CascadeIndex index_;
   EngineOptions options_;
+  // Keeps external backing storage (a snapshot mapping) alive while any
+  // borrowed view in this Impl might read it. Declaration order vs the
+  // views is immaterial: destroying a borrowed view never dereferences its
+  // spans.
+  std::shared_ptr<const void> storage_;
   std::atomic<uint32_t> in_flight_{0};
 
   std::mutex tc_mutex_;  // guards tc_ready_/tc_status_/tc_cascades_/tc_cover_
+  bool tc_seeded_ = false;  // tc_cascades_ pre-filled at construction
   bool tc_ready_ = false;
   Status tc_status_;
   FlatSets tc_cascades_;  // node v -> typical cascade C*_v
@@ -258,13 +282,22 @@ Engine::~Engine() = default;
 Engine::Engine(Engine&&) noexcept = default;
 Engine& Engine::operator=(Engine&&) noexcept = default;
 
-Result<Engine> Engine::Create(ProbGraph graph, const EngineOptions& options) {
+namespace {
+
+Status ValidateEngineOptions(const EngineOptions& options) {
   if (options.max_batch == 0) {
     return Status::InvalidArgument("EngineOptions: max_batch must be >= 1");
   }
   if (options.max_in_flight == 0) {
     return Status::InvalidArgument("EngineOptions: max_in_flight must be >= 1");
   }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<Engine> Engine::Create(ProbGraph graph, const EngineOptions& options) {
+  SOI_RETURN_IF_ERROR(ValidateEngineOptions(options));
   if (options.threads != 0) SetGlobalThreads(options.threads);
   Rng rng(options.seed);
   SOI_ASSIGN_OR_RETURN(CascadeIndex index,
@@ -272,6 +305,29 @@ Result<Engine> Engine::Create(ProbGraph graph, const EngineOptions& options) {
   Engine engine;
   engine.impl_ =
       std::make_unique<Impl>(std::move(graph), std::move(index), options);
+  return engine;
+}
+
+Result<Engine> Engine::FromParts(EngineParts parts,
+                                 const EngineOptions& options) {
+  SOI_RETURN_IF_ERROR(ValidateEngineOptions(options));
+  if (parts.graph.num_nodes() != parts.index.num_nodes()) {
+    return Status::InvalidArgument(
+        "EngineParts: graph has " + std::to_string(parts.graph.num_nodes()) +
+        " nodes but index covers " + std::to_string(parts.index.num_nodes()));
+  }
+  if (parts.typical.has_value() &&
+      parts.typical->num_sets() != parts.index.num_nodes()) {
+    return Status::InvalidArgument(
+        "EngineParts: typical table has " +
+        std::to_string(parts.typical->num_sets()) +
+        " sets, expected one per node");
+  }
+  if (options.threads != 0) SetGlobalThreads(options.threads);
+  Engine engine;
+  engine.impl_ = std::make_unique<Impl>(
+      std::move(parts.graph), std::move(parts.index), options,
+      std::move(parts.typical), std::move(parts.storage));
   return engine;
 }
 

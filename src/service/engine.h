@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
 #include <variant>
@@ -10,6 +11,7 @@
 
 #include "graph/prob_graph.h"
 #include "index/cascade_index.h"
+#include "util/flat_sets.h"
 #include "util/status.h"
 
 namespace soi::service {
@@ -143,6 +145,27 @@ struct EngineOptions {
   uint64_t (*clock_ns)() = nullptr;
 };
 
+/// Pre-assembled serving state for Engine::FromParts — the restart path
+/// that skips every build step. The graph and index may be borrowed views
+/// into an external mapping; `storage` is the opaque lifetime anchor that
+/// keeps that mapping alive for as long as the engine exists (the service
+/// layer never depends on the snapshot layer — it just holds the anchor).
+struct EngineParts {
+  ProbGraph graph;
+  CascadeIndex index;
+  /// Pre-computed typical-cascade table (one set per node). When present it
+  /// seeds the engine's "tc" seed-selection cache, so even the first
+  /// seed_select skips the full typical sweep. Must equal what
+  /// TypicalCascadeComputer::ComputeAllFlat() would produce for `index`
+  /// (both are deterministic, so a table captured at snapshot-create time
+  /// qualifies) — otherwise seed_select answers would diverge from an
+  /// owned engine's.
+  std::optional<FlatSets> typical;
+  /// Opaque anchor for whatever backs borrowed views (e.g. a
+  /// snapshot::Snapshot). May be null when everything is owned.
+  std::shared_ptr<const void> storage;
+};
+
 /// Thread-safe, movable facade owning the graph, the index, and the lazily
 /// built seed-selection caches. Create once, answer many.
 class Engine {
@@ -151,6 +174,14 @@ class Engine {
   /// and validates the options.
   static Result<Engine> Create(ProbGraph graph,
                                const EngineOptions& options = {});
+
+  /// Wraps pre-assembled serving state (the snapshot restart path): no
+  /// sampling, no SCC runs, no closure rebuild — the engine answers its
+  /// first query straight from `parts`. `options.index`/`options.seed` are
+  /// ignored (the index already exists); admission-control options apply
+  /// as in Create.
+  static Result<Engine> FromParts(EngineParts parts,
+                                  const EngineOptions& options = {});
 
   ~Engine();
   Engine(Engine&&) noexcept;

@@ -1,0 +1,70 @@
+#ifndef SOI_SERVICE_HOT_SWAP_H_
+#define SOI_SERVICE_HOT_SWAP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "service/engine.h"
+
+namespace soi::service {
+
+/// Atomic hot-swap of the serving engine: the server loop Acquire()s the
+/// current engine per batch, a reloader thread (or a SIGHUP handler's poll
+/// hook) Swap()s in a replacement built from a fresh snapshot, and the old
+/// engine — together with whatever mapping it anchors — retires when the
+/// last in-flight batch drops its shared_ptr. No request is ever dropped or
+/// answered by a half-replaced engine: a batch runs start-to-finish against
+/// the engine it acquired.
+///
+/// Epochs are observability: each Swap() bumps the epoch, so tests and
+/// operators can tell which generation answered ("engine epoch 3"). A
+/// mutex-protected shared_ptr (rather than std::atomic<std::shared_ptr>)
+/// keeps the implementation portable across the toolchains we build with;
+/// the critical section is two refcount operations.
+class EngineHandle {
+ public:
+  explicit EngineHandle(Engine engine)
+      : engine_(std::make_shared<Engine>(std::move(engine))) {}
+
+  EngineHandle(const EngineHandle&) = delete;
+  EngineHandle& operator=(const EngineHandle&) = delete;
+
+  /// The current engine. Hold the returned shared_ptr for the duration of
+  /// the batch: it is what defers retirement of a swapped-out engine until
+  /// in-flight work drains.
+  std::shared_ptr<Engine> Acquire() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return engine_;
+  }
+
+  /// Publishes `next` as the serving engine and bumps the epoch. The
+  /// previous engine is destroyed once every outstanding Acquire() holder
+  /// releases it (possibly inside this call if none are outstanding).
+  void Swap(Engine next) {
+    auto replacement = std::make_shared<Engine>(std::move(next));
+    std::shared_ptr<Engine> retired;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      retired = std::move(engine_);
+      engine_ = std::move(replacement);
+      epoch_.fetch_add(1, std::memory_order_acq_rel);
+    }
+    // `retired` drops its reference outside the lock: if this is the last
+    // reference, the old engine (and its snapshot mapping) unmaps here, not
+    // under the handle's mutex.
+  }
+
+  /// Number of completed swaps (0 for a never-swapped handle).
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+
+ private:
+  mutable std::mutex mu_;
+  std::shared_ptr<Engine> engine_;
+  std::atomic<uint64_t> epoch_{0};
+};
+
+}  // namespace soi::service
+
+#endif  // SOI_SERVICE_HOT_SWAP_H_

@@ -65,11 +65,17 @@ int64_t SalvageId(std::string_view line) {
 
 class StreamServer {
  public:
-  StreamServer(Engine* engine, int in_fd, int out_fd, uint32_t batch_max)
+  // Exactly one of `engine` / `handle` is set: a fixed engine, or a
+  // hot-swappable handle acquired per batch.
+  StreamServer(Engine* engine, const EngineHandle* handle, int in_fd,
+               int out_fd, uint32_t batch_max,
+               const std::function<void()>* poll)
       : engine_(engine),
+        handle_(handle),
         in_fd_(in_fd),
         out_fd_(out_fd),
-        batch_max_(batch_max) {}
+        batch_max_(batch_max),
+        poll_(poll) {}
 
   Status Serve() {
     std::string buffer;
@@ -78,10 +84,16 @@ class StreamServer {
     while (!eof) {
       const ssize_t n = ::read(in_fd_, chunk, sizeof(chunk));
       if (n < 0) {
-        if (errno == EINTR) continue;
+        if (errno == EINTR) {
+          // A signal woke the read (e.g. SIGHUP requesting a reload): give
+          // the poll hook a chance before blocking again.
+          if (poll_ != nullptr && *poll_) (*poll_)();
+          continue;
+        }
         return Status::IOError(std::string("read failed: ") +
                                std::strerror(errno));
       }
+      if (poll_ != nullptr && *poll_) (*poll_)();
       if (n == 0) {
         eof = true;
       } else {
@@ -132,7 +144,16 @@ class StreamServer {
     std::vector<Request> requests;
     requests.reserve(pending_.size());
     for (const ProtocolRequest& p : pending_) requests.push_back(p.request);
-    Result<std::vector<Result<Response>>> batch = engine_->RunBatch(requests);
+    // Acquire per batch: the shared_ptr pins the engine (and any snapshot
+    // mapping it anchors) for the whole batch, so a concurrent Swap()
+    // retires the old engine only after this flush completes.
+    std::shared_ptr<Engine> acquired;
+    Engine* engine = engine_;
+    if (handle_ != nullptr) {
+      acquired = handle_->Acquire();
+      engine = acquired.get();
+    }
+    Result<std::vector<Result<Response>>> batch = engine->RunBatch(requests);
     std::string out;
     if (batch.ok()) {
       for (size_t i = 0; i < pending_.size(); ++i) {
@@ -150,9 +171,11 @@ class StreamServer {
   }
 
   Engine* engine_;
+  const EngineHandle* handle_;
   int in_fd_;
   int out_fd_;
   uint32_t batch_max_;
+  const std::function<void()>* poll_;
   std::vector<ProtocolRequest> pending_;
 };
 
@@ -162,6 +185,19 @@ uint32_t EffectiveBatchMax(const Engine& engine, const ServeOptions& options) {
   return std::min(options.batch_max, engine_max);
 }
 
+Status ServeStreamImpl(Engine* engine, const EngineHandle* handle, int in_fd,
+                       int out_fd, const ServeOptions& options) {
+  std::shared_ptr<Engine> acquired;
+  const Engine* current = engine;
+  if (handle != nullptr) {
+    acquired = handle->Acquire();
+    current = acquired.get();
+  }
+  StreamServer server(engine, handle, in_fd, out_fd,
+                      EffectiveBatchMax(*current, options), &options.poll);
+  return server.Serve();
+}
+
 }  // namespace
 
 Status ServeStream(Engine* engine, int in_fd, int out_fd,
@@ -169,16 +205,21 @@ Status ServeStream(Engine* engine, int in_fd, int out_fd,
   if (engine == nullptr) {
     return Status::InvalidArgument("engine must not be null");
   }
-  StreamServer server(engine, in_fd, out_fd,
-                      EffectiveBatchMax(*engine, options));
-  return server.Serve();
+  return ServeStreamImpl(engine, nullptr, in_fd, out_fd, options);
 }
 
-Status ServeTcp(Engine* engine, uint16_t port, const ServeOptions& options,
-                uint16_t* bound_port) {
-  if (engine == nullptr) {
-    return Status::InvalidArgument("engine must not be null");
+Status ServeStream(const EngineHandle* handle, int in_fd, int out_fd,
+                   const ServeOptions& options) {
+  if (handle == nullptr) {
+    return Status::InvalidArgument("engine handle must not be null");
   }
+  return ServeStreamImpl(nullptr, handle, in_fd, out_fd, options);
+}
+
+namespace {
+
+Status ServeTcpAny(Engine* engine, const EngineHandle* handle, uint16_t port,
+                   const ServeOptions& options, uint16_t* bound_port) {
   const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd < 0) {
     return Status::IOError(std::string("socket failed: ") +
@@ -216,16 +257,21 @@ Status ServeTcp(Engine* engine, uint16_t port, const ServeOptions& options,
   while (options.max_connections == 0 || served < options.max_connections) {
     const int conn_fd = ::accept(listen_fd, nullptr, nullptr);
     if (conn_fd < 0) {
-      if (errno == EINTR) continue;
+      if (errno == EINTR) {
+        if (options.poll) options.poll();
+        continue;
+      }
       const Status status = Status::IOError(std::string("accept failed: ") +
                                             std::strerror(errno));
       ::close(listen_fd);
       return status;
     }
     SOI_OBS_COUNTER_ADD("service/connections", 1);
-    const Status status = ServeStream(engine, conn_fd, conn_fd, options);
+    const Status status = ServeStreamImpl(engine, handle, conn_fd, conn_fd,
+                                          options);
     ::close(conn_fd);
     ++served;
+    if (options.poll) options.poll();
     if (!status.ok()) {
       // One broken connection does not stop the server; log via metrics and
       // keep accepting.
@@ -234,6 +280,24 @@ Status ServeTcp(Engine* engine, uint16_t port, const ServeOptions& options,
   }
   ::close(listen_fd);
   return Status::OK();
+}
+
+}  // namespace
+
+Status ServeTcp(Engine* engine, uint16_t port, const ServeOptions& options,
+                uint16_t* bound_port) {
+  if (engine == nullptr) {
+    return Status::InvalidArgument("engine must not be null");
+  }
+  return ServeTcpAny(engine, nullptr, port, options, bound_port);
+}
+
+Status ServeTcp(const EngineHandle* handle, uint16_t port,
+                const ServeOptions& options, uint16_t* bound_port) {
+  if (handle == nullptr) {
+    return Status::InvalidArgument("engine handle must not be null");
+  }
+  return ServeTcpAny(nullptr, handle, port, options, bound_port);
 }
 
 }  // namespace soi::service

@@ -5,6 +5,7 @@
 #include <functional>
 
 #include "service/engine.h"
+#include "service/hot_swap.h"
 #include "util/status.h"
 
 namespace soi::service {
@@ -22,6 +23,12 @@ struct ServeOptions {
   /// port — the race-free way for a test or supervisor to learn when (and
   /// where) to connect.
   std::function<void(uint16_t)> on_listening;
+  /// Invoked at serve-loop boundaries: after every read wakeup (including
+  /// signal interruptions, so a SIGHUP handler's flag is seen promptly) and
+  /// between connections. This is where a CLI reload handler checks its
+  /// flag and EngineHandle::Swap()s in a fresh snapshot — never from signal
+  /// context. Must not block for long; requests queue while it runs.
+  std::function<void()> poll;
 };
 
 /// Runs the line-JSON protocol over a pair of file descriptors until EOF on
@@ -34,11 +41,24 @@ struct ServeOptions {
 Status ServeStream(Engine* engine, int in_fd, int out_fd,
                    const ServeOptions& options = {});
 
+/// Hot-swappable variant: each batch Acquire()s the handle's current engine
+/// and runs against it start-to-finish, so EngineHandle::Swap() never drops
+/// or splits a request — in-flight batches finish on the old engine, the
+/// next batch picks up the new one. batch_max is clamped against the engine
+/// installed at call time.
+Status ServeStream(const EngineHandle* handle, int in_fd, int out_fd,
+                   const ServeOptions& options = {});
+
 /// Listens on 127.0.0.1:`port` (0 = ephemeral; the chosen port is stored in
 /// `*bound_port` if non-null) and serves connections sequentially with
 /// ServeStream. Returns after `max_connections` connections when that is
 /// nonzero.
 Status ServeTcp(Engine* engine, uint16_t port, const ServeOptions& options = {},
+                uint16_t* bound_port = nullptr);
+
+/// Hot-swappable variant (see the EngineHandle ServeStream overload).
+Status ServeTcp(const EngineHandle* handle, uint16_t port,
+                const ServeOptions& options = {},
                 uint16_t* bound_port = nullptr);
 
 }  // namespace soi::service

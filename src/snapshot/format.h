@@ -1,0 +1,143 @@
+#ifndef SOI_SNAPSHOT_FORMAT_H_
+#define SOI_SNAPSHOT_FORMAT_H_
+
+#include <cstdint>
+
+namespace soi {
+
+/// On-disk layout of `soi-snap-v1`: a versioned, checksummed, 64-byte-
+/// aligned binary container holding the *entire* serving state — graph CSR
+/// + probabilities, per-world SCC condensations, the materialized closure
+/// cache, and the typical-cascade table — as offset-addressed sections a
+/// server can mmap read-only and query with zero parse and zero copy.
+/// DESIGN.md §12 is the normative spec; this header is its code mirror.
+///
+/// File shape:
+///
+///   [SnapshotHeader, 64 B]
+///   [SectionEntry × section_count]
+///   (padding to 64-byte boundary)
+///   [section payloads, each 64-byte aligned, in ascending offset order]
+///
+/// All integers are little-endian; `endian_tag` lets a big-endian reader
+/// fail loudly instead of misreading. Every section carries a CRC-32C;
+/// `header_crc32c` covers the header itself (with that field zeroed) and
+/// the whole section table, so `snapshot verify` detects torn writes
+/// anywhere in the file.
+///
+/// Versioning/compatibility rules (DESIGN §12.4):
+///  - `version` bumps on any incompatible layout change; readers reject
+///    versions they don't know (future version => actionable error, never
+///    a guess).
+///  - `flags` declares which optional payloads are present (closures,
+///    typical table) and which model sampled the worlds. Unknown flag bits
+///    are "foreign": a reader that doesn't understand a bit must refuse the
+///    file rather than silently ignore state it can't interpret.
+///  - Unknown *section kinds* are tolerated on read (skipped); adding a new
+///    optional section is a compatible change as long as no new flag bit is
+///    required to interpret the old ones.
+
+/// "SOISNAP1" — 8 bytes, doubles as a version-0-proof magic.
+inline constexpr char kSnapshotMagic[8] = {'S', 'O', 'I', 'S',
+                                           'N', 'A', 'P', '1'};
+inline constexpr uint32_t kSnapshotVersion = 1;
+/// Written as the literal 0x01020304; reads back as 0x04030201 on a
+/// big-endian machine.
+inline constexpr uint32_t kSnapshotEndianTag = 0x01020304u;
+/// Every section payload starts on a multiple of this (cache-line and
+/// alignof-friendly for every element type we store; keeps mmap'd spans
+/// naturally aligned).
+inline constexpr uint64_t kSnapshotAlign = 64;
+
+/// Capability flags (SnapshotHeader::flags).
+enum SnapshotFlags : uint64_t {
+  /// Closure sections present: the serving state includes the materialized
+  /// per-world reachability closures (read, never rebuilt).
+  kSnapFlagClosures = 1ull << 0,
+  /// Typical-cascade table sections present.
+  kSnapFlagTypical = 1ull << 1,
+  /// Worlds were sampled under Linear Threshold (absent => Independent
+  /// Cascade). Interpretation flag: spread semantics depend on the model.
+  kSnapFlagLinearThreshold = 1ull << 2,
+};
+inline constexpr uint64_t kSnapshotKnownFlags =
+    kSnapFlagClosures | kSnapFlagTypical | kSnapFlagLinearThreshold;
+
+/// Section kinds. Element types and counts are normative (validated on
+/// load); offsets within pooled sections are *local* per world (start at
+/// 0), so borrowed spans slice directly out of the pools.
+enum class SectionKind : uint32_t {
+  // Graph CSR (n = num_nodes, m = num_edges).
+  kGraphOffsets = 1,      // u64[n + 1]
+  kGraphTargets = 2,      // u32[m]
+  kGraphProbs = 3,        // f64[m]
+  kGraphSources = 4,      // u32[m]
+  kGraphRevOffsets = 5,   // u64[n + 1]
+  kGraphRevSources = 6,   // u32[m]
+  // Per-world condensations (w = num_worlds). WorldRecord[w + 1]; the last
+  // record is an end sentinel so per-world extents are CSR-style
+  // subtractions.
+  kWorldTable = 7,        // WorldRecord[w + 1]
+  kCompOf = 8,            // u32[w * n], world-major
+  kMembersOffsets = 9,    // u32 pool: per world, num_components + 1 entries
+  kMembersTargets = 10,   // u32[w * n]
+  kDagOffsets = 11,       // u32 pool: per world, num_components + 1 entries
+  kDagTargets = 12,       // u32 pool: per world, num_dag_edges entries
+  // Closure cache (present iff kSnapFlagClosures).
+  kClosureCompOffsets = 13,  // u64 pool: per world, num_components + 1
+  kClosureComps = 14,        // u32 pool
+  kClosureNodeOffsets = 15,  // u64 pool: per world, num_components + 1
+  kClosureNodes = 16,        // u32 pool
+  // Typical-cascade table (present iff kSnapFlagTypical).
+  kTypicalOffsets = 17,   // u64[n + 1]
+  kTypicalElems = 18,     // u32
+};
+
+/// Fixed 64-byte file header.
+struct SnapshotHeader {
+  char magic[8];          // kSnapshotMagic
+  uint32_t version;       // kSnapshotVersion
+  uint32_t endian_tag;    // kSnapshotEndianTag
+  uint64_t file_size;     // total bytes; rejects truncation up front
+  uint64_t flags;         // SnapshotFlags capability bits
+  uint32_t num_nodes;
+  uint32_t num_worlds;
+  uint64_t num_edges;
+  uint32_t section_count;
+  uint32_t header_crc32c;  // CRC-32C of header (this field zeroed) +
+                           // section table
+  uint64_t reserved;       // zero; room for future metadata
+};
+static_assert(sizeof(SnapshotHeader) == 64, "header must stay 64 bytes");
+
+/// One section-table row (40 bytes).
+struct SectionEntry {
+  uint32_t kind;       // SectionKind
+  uint32_t elem_size;  // bytes per element (4 or 8); sanity-checks readers
+  uint64_t offset;     // absolute file offset, kSnapshotAlign-aligned
+  uint64_t byte_size;  // payload bytes == elem_size * elem_count
+  uint64_t elem_count;
+  uint32_t crc32c;     // CRC-32C of the payload bytes
+  uint32_t reserved;   // zero
+};
+static_assert(sizeof(SectionEntry) == 40, "section entry must stay 40 bytes");
+
+/// Per-world directory row inside kWorldTable (40 bytes). Bases are element
+/// indexes (not bytes) into the pooled sections; stored as w + 1 records
+/// where record[w] is the end sentinel, so world i's extent in pool P is
+/// [rec[i].P_base, rec[i+1].P_base).
+struct WorldRecord {
+  uint32_t num_components;
+  uint32_t reserved;          // zero
+  uint64_t offsets_base;      // into kMembersOffsets AND kDagOffsets AND the
+                              // closure offset pools (all share the
+                              // per-world length num_components + 1)
+  uint64_t dag_targets_base;  // into kDagTargets
+  uint64_t closure_comps_base;  // into kClosureComps
+  uint64_t closure_nodes_base;  // into kClosureNodes
+};
+static_assert(sizeof(WorldRecord) == 40, "world record must stay 40 bytes");
+
+}  // namespace soi
+
+#endif  // SOI_SNAPSHOT_FORMAT_H_

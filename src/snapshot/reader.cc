@@ -1,0 +1,478 @@
+#include "snapshot/reader.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <vector>
+
+#include "snapshot/crc32c.h"
+
+namespace soi {
+
+namespace {
+
+Status Invalid(const std::string& path, const std::string& what) {
+  return Status::InvalidArgument("snapshot '" + path + "': " + what);
+}
+
+// Expected element size for a known section kind; 0 = unknown kind
+// (tolerated and skipped for forward compatibility).
+uint32_t ExpectedElemSize(uint32_t kind) {
+  switch (static_cast<SectionKind>(kind)) {
+    case SectionKind::kGraphOffsets:
+    case SectionKind::kGraphRevOffsets:
+    case SectionKind::kClosureCompOffsets:
+    case SectionKind::kClosureNodeOffsets:
+    case SectionKind::kTypicalOffsets:
+      return 8;
+    case SectionKind::kGraphProbs:
+      return 8;
+    case SectionKind::kGraphTargets:
+    case SectionKind::kGraphSources:
+    case SectionKind::kGraphRevSources:
+    case SectionKind::kCompOf:
+    case SectionKind::kMembersOffsets:
+    case SectionKind::kMembersTargets:
+    case SectionKind::kDagOffsets:
+    case SectionKind::kDagTargets:
+    case SectionKind::kClosureComps:
+    case SectionKind::kClosureNodes:
+    case SectionKind::kTypicalElems:
+      return 4;
+    case SectionKind::kWorldTable:
+      return sizeof(WorldRecord);
+  }
+  return 0;
+}
+
+// offsets[0] == 0, non-decreasing, offsets.back() == total. The single
+// check that makes every CSR slice in the file safe to span into.
+template <typename T>
+bool IsLocalCsr(std::span<const T> offsets, uint64_t total) {
+  if (offsets.empty() || offsets.front() != 0) return false;
+  for (size_t i = 1; i < offsets.size(); ++i) {
+    if (offsets[i] < offsets[i - 1]) return false;
+  }
+  return offsets.back() == total;
+}
+
+template <typename T>
+bool AllBelow(std::span<const T> values, uint64_t bound) {
+  for (T v : values) {
+    if (v >= bound) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Snapshot::~Snapshot() {
+  if (map_ != nullptr) ::munmap(map_, map_size_);
+}
+
+const SectionEntry* Snapshot::Find(SectionKind kind) const {
+  const uint32_t k = static_cast<uint32_t>(kind);
+  return k < 32 ? sections_[k] : nullptr;
+}
+
+template <typename T>
+std::span<const T> Snapshot::View(SectionKind kind) const {
+  const SectionEntry* e = Find(kind);
+  SOI_DCHECK(e != nullptr && e->elem_size == sizeof(T));
+  return std::span<const T>(
+      reinterpret_cast<const T*>(static_cast<const char*>(map_) + e->offset),
+      e->elem_count);
+}
+
+Result<std::shared_ptr<const Snapshot>> Snapshot::Open(
+    const std::string& path, SnapshotValidation validation) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::IOError("snapshot '" + path + "': cannot open file");
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+    ::close(fd);
+    return Status::IOError("snapshot '" + path + "': cannot stat file");
+  }
+  const uint64_t size = static_cast<uint64_t>(st.st_size);
+  if (size < sizeof(SnapshotHeader)) {
+    ::close(fd);
+    return Invalid(path, "truncated: file is " + std::to_string(size) +
+                             " bytes, the soi-snap-v1 header alone is " +
+                             std::to_string(sizeof(SnapshotHeader)));
+  }
+  // PROT_READ MAP_SHARED: all processes mapping this file share one
+  // physical copy via the page cache; nothing here is ever written.
+  void* map = ::mmap(nullptr, size, PROT_READ, MAP_SHARED, fd, 0);
+  ::close(fd);
+  if (map == MAP_FAILED) {
+    return Status::IOError("snapshot '" + path + "': mmap failed");
+  }
+  std::shared_ptr<Snapshot> snap(new Snapshot());
+  snap->map_ = map;
+  snap->map_size_ = size;
+  SOI_RETURN_IF_ERROR(snap->Validate(path, validation));
+  return std::shared_ptr<const Snapshot>(std::move(snap));
+}
+
+Status Snapshot::Validate(const std::string& path,
+                          SnapshotValidation validation) {
+  const char* base = static_cast<const char*>(map_);
+  std::memcpy(&header_, base, sizeof(header_));
+
+  if (std::memcmp(header_.magic, kSnapshotMagic, sizeof(kSnapshotMagic)) !=
+      0) {
+    return Invalid(path, "wrong magic: not a soi-snap file (expected "
+                         "\"SOISNAP1\"); is this a legacy SOIIDX index?");
+  }
+  if (header_.endian_tag != kSnapshotEndianTag) {
+    if (header_.endian_tag == 0x04030201u) {
+      return Invalid(path,
+                     "endianness mismatch: file was written on a big-endian "
+                     "machine; re-create the snapshot on this architecture");
+    }
+    return Invalid(path, "corrupt endianness tag");
+  }
+  if (header_.version != kSnapshotVersion) {
+    return Invalid(path, "unsupported version " +
+                             std::to_string(header_.version) +
+                             " (this binary reads soi-snap-v" +
+                             std::to_string(kSnapshotVersion) +
+                             "); upgrade the binary or re-create the "
+                             "snapshot");
+  }
+  if ((header_.flags & ~kSnapshotKnownFlags) != 0) {
+    return Invalid(
+        path, "unknown capability flags; the snapshot carries state this "
+              "binary cannot interpret — upgrade the binary");
+  }
+  if (header_.file_size != map_size_) {
+    return Invalid(path, "truncated or padded: header declares " +
+                             std::to_string(header_.file_size) +
+                             " bytes but the file has " +
+                             std::to_string(map_size_));
+  }
+  if (header_.num_nodes == 0 || header_.num_worlds == 0) {
+    return Invalid(path, "empty node set or world set");
+  }
+  if (header_.section_count == 0 || header_.section_count > 1024) {
+    return Invalid(path, "implausible section count " +
+                             std::to_string(header_.section_count));
+  }
+  const uint64_t table_bytes =
+      uint64_t{header_.section_count} * sizeof(SectionEntry);
+  if (sizeof(SnapshotHeader) + table_bytes > map_size_) {
+    return Invalid(path, "truncated: section table extends past end of file");
+  }
+
+  // Header + section-table CRC first: everything below trusts the table.
+  {
+    SnapshotHeader zeroed = header_;
+    zeroed.header_crc32c = 0;
+    uint32_t crc = Crc32c(&zeroed, sizeof(zeroed));
+    crc = Crc32cExtend(crc, base + sizeof(SnapshotHeader), table_bytes);
+    if (crc != header_.header_crc32c) {
+      return Invalid(path, "header/section-table checksum mismatch (torn "
+                           "write or corruption)");
+    }
+  }
+
+  const SectionEntry* table =
+      reinterpret_cast<const SectionEntry*>(base + sizeof(SnapshotHeader));
+  for (uint32_t i = 0; i < header_.section_count; ++i) {
+    const SectionEntry& e = table[i];
+    const uint32_t expected = ExpectedElemSize(e.kind);
+    if (expected == 0) continue;  // unknown kind: skip, stay compatible
+    if (e.elem_size != expected) {
+      return Invalid(path, "section " + std::to_string(e.kind) +
+                               " has element size " +
+                               std::to_string(e.elem_size) + ", expected " +
+                               std::to_string(expected));
+    }
+    if (e.offset % kSnapshotAlign != 0) {
+      return Invalid(path, "section " + std::to_string(e.kind) +
+                               " payload is misaligned");
+    }
+    if (e.byte_size != e.elem_size * e.elem_count ||
+        e.offset > map_size_ || e.byte_size > map_size_ - e.offset) {
+      return Invalid(path, "section " + std::to_string(e.kind) +
+                               " extends past end of file (truncated?)");
+    }
+    if (sections_[e.kind] != nullptr) {
+      return Invalid(path,
+                     "duplicate section " + std::to_string(e.kind));
+    }
+    sections_[e.kind] = &e;
+    if (validation == SnapshotValidation::kFull &&
+        Crc32c(base + e.offset, e.byte_size) != e.crc32c) {
+      return Invalid(path, "section " + std::to_string(e.kind) +
+                               " payload checksum mismatch (corruption)");
+    }
+  }
+
+  const uint64_t n = header_.num_nodes;
+  const uint64_t w = header_.num_worlds;
+  const uint64_t m = header_.num_edges;
+  const bool with_closures = (header_.flags & kSnapFlagClosures) != 0;
+  const bool with_typical = (header_.flags & kSnapFlagTypical) != 0;
+
+  // Required sections with their exact element counts.
+  struct Expectation {
+    SectionKind kind;
+    uint64_t count;
+    bool required;
+  };
+  const uint64_t pooled_offsets = [&] {
+    const SectionEntry* e = Find(SectionKind::kMembersOffsets);
+    return e != nullptr ? e->elem_count : 0;
+  }();
+  const Expectation expectations[] = {
+      {SectionKind::kGraphOffsets, n + 1, true},
+      {SectionKind::kGraphTargets, m, true},
+      {SectionKind::kGraphProbs, m, true},
+      {SectionKind::kGraphSources, m, true},
+      {SectionKind::kGraphRevOffsets, n + 1, true},
+      {SectionKind::kGraphRevSources, m, true},
+      {SectionKind::kWorldTable, w + 1, true},
+      {SectionKind::kCompOf, w * n, true},
+      {SectionKind::kMembersOffsets, pooled_offsets, true},
+      {SectionKind::kMembersTargets, w * n, true},
+      {SectionKind::kDagOffsets, pooled_offsets, true},
+      {SectionKind::kClosureCompOffsets, pooled_offsets, with_closures},
+      {SectionKind::kClosureNodeOffsets, pooled_offsets, with_closures},
+  };
+  for (const Expectation& x : expectations) {
+    const SectionEntry* e = Find(x.kind);
+    if (!x.required) {
+      if (e != nullptr) {
+        return Invalid(path, "section " +
+                                 std::to_string(static_cast<uint32_t>(x.kind)) +
+                                 " present but its capability flag is unset");
+      }
+      continue;
+    }
+    if (e == nullptr) {
+      return Invalid(path, "missing required section " +
+                               std::to_string(static_cast<uint32_t>(x.kind)));
+    }
+    if (e->elem_count != x.count) {
+      return Invalid(path, "section " +
+                               std::to_string(static_cast<uint32_t>(x.kind)) +
+                               " has " + std::to_string(e->elem_count) +
+                               " elements, expected " +
+                               std::to_string(x.count));
+    }
+  }
+  // Variable-length pools just need to exist (extents checked below).
+  for (SectionKind kind : {SectionKind::kDagTargets}) {
+    if (Find(kind) == nullptr) {
+      return Invalid(path, "missing required section " +
+                               std::to_string(static_cast<uint32_t>(kind)));
+    }
+  }
+  for (SectionKind kind :
+       {SectionKind::kClosureComps, SectionKind::kClosureNodes}) {
+    if ((Find(kind) != nullptr) != with_closures) {
+      return Invalid(path, with_closures
+                               ? "closure capability flag set but closure "
+                                 "sections are missing"
+                               : "closure sections present but capability "
+                                 "flag is unset");
+    }
+  }
+  for (SectionKind kind :
+       {SectionKind::kTypicalOffsets, SectionKind::kTypicalElems}) {
+    if ((Find(kind) != nullptr) != with_typical) {
+      return Invalid(path, with_typical
+                               ? "typical-table capability flag set but "
+                                 "typical sections are missing"
+                               : "typical sections present but capability "
+                                 "flag is unset");
+    }
+  }
+
+  // Graph CSR consistency + id range scans: after this, no graph accessor
+  // can read out of bounds.
+  if (!IsLocalCsr(View<uint64_t>(SectionKind::kGraphOffsets), m) ||
+      !IsLocalCsr(View<uint64_t>(SectionKind::kGraphRevOffsets), m)) {
+    return Invalid(path, "graph offsets are not a valid CSR over " +
+                             std::to_string(m) + " edges");
+  }
+  if (!AllBelow(View<uint32_t>(SectionKind::kGraphTargets), n) ||
+      !AllBelow(View<uint32_t>(SectionKind::kGraphSources), n) ||
+      !AllBelow(View<uint32_t>(SectionKind::kGraphRevSources), n)) {
+    return Invalid(path, "graph edge endpoint out of node range");
+  }
+
+  // World table: sentinel record closes every pool; per-world extents must
+  // tile the pools exactly, and every per-world CSR must be locally valid
+  // with all ids in range. Linear in the file — memory-bandwidth cheap next
+  // to the closure rebuild this replaces.
+  const auto wt = View<WorldRecord>(SectionKind::kWorldTable);
+  const auto comp_of = View<uint32_t>(SectionKind::kCompOf);
+  const auto mem_off_pool = View<uint32_t>(SectionKind::kMembersOffsets);
+  const auto mem_tgt = View<uint32_t>(SectionKind::kMembersTargets);
+  const auto dag_off_pool = View<uint32_t>(SectionKind::kDagOffsets);
+  const auto dag_tgt_pool = View<uint32_t>(SectionKind::kDagTargets);
+  if (wt[w].offsets_base != mem_off_pool.size() ||
+      wt[w].dag_targets_base != dag_tgt_pool.size()) {
+    return Invalid(path, "world table sentinel does not close the pools");
+  }
+  for (uint64_t i = 0; i < w; ++i) {
+    const WorldRecord& rec = wt[i];
+    const WorldRecord& next = wt[i + 1];
+    const uint64_t nc = rec.num_components;
+    if (nc == 0 || nc > n) {
+      return Invalid(path, "world " + std::to_string(i) +
+                               " has implausible component count " +
+                               std::to_string(nc));
+    }
+    if (next.offsets_base < rec.offsets_base ||
+        next.offsets_base - rec.offsets_base != nc + 1 ||
+        next.dag_targets_base < rec.dag_targets_base) {
+      return Invalid(path, "world " + std::to_string(i) +
+                               " pool extents are inconsistent");
+    }
+    const auto mem_off = mem_off_pool.subspan(rec.offsets_base, nc + 1);
+    const auto dag_off = dag_off_pool.subspan(rec.offsets_base, nc + 1);
+    const uint64_t dag_len = next.dag_targets_base - rec.dag_targets_base;
+    if (!IsLocalCsr(mem_off, n) || !IsLocalCsr(dag_off, dag_len)) {
+      return Invalid(path, "world " + std::to_string(i) +
+                               " has invalid members/DAG offsets");
+    }
+    if (!AllBelow(comp_of.subspan(i * n, n), nc) ||
+        !AllBelow(mem_tgt.subspan(i * n, n), n) ||
+        !AllBelow(dag_tgt_pool.subspan(rec.dag_targets_base, dag_len), nc)) {
+      return Invalid(path, "world " + std::to_string(i) +
+                               " stores an out-of-range id");
+    }
+    if (with_closures) {
+      const auto cco = View<uint64_t>(SectionKind::kClosureCompOffsets)
+                           .subspan(rec.offsets_base, nc + 1);
+      const auto cno = View<uint64_t>(SectionKind::kClosureNodeOffsets)
+                           .subspan(rec.offsets_base, nc + 1);
+      if (next.closure_comps_base < rec.closure_comps_base ||
+          next.closure_nodes_base < rec.closure_nodes_base) {
+        return Invalid(path, "world " + std::to_string(i) +
+                                 " closure extents are inconsistent");
+      }
+      const uint64_t comps_len =
+          next.closure_comps_base - rec.closure_comps_base;
+      const uint64_t nodes_len =
+          next.closure_nodes_base - rec.closure_nodes_base;
+      if (!IsLocalCsr(cco, comps_len) || !IsLocalCsr(cno, nodes_len)) {
+        return Invalid(path, "world " + std::to_string(i) +
+                                 " has invalid closure offsets");
+      }
+      if (!AllBelow(View<uint32_t>(SectionKind::kClosureComps)
+                        .subspan(rec.closure_comps_base, comps_len),
+                    nc) ||
+          !AllBelow(View<uint32_t>(SectionKind::kClosureNodes)
+                        .subspan(rec.closure_nodes_base, nodes_len),
+                    n)) {
+        return Invalid(path, "world " + std::to_string(i) +
+                                 " closure stores an out-of-range id");
+      }
+    }
+  }
+  if (with_closures) {
+    const auto wt_last = wt[w];
+    if (wt_last.closure_comps_base !=
+            View<uint32_t>(SectionKind::kClosureComps).size() ||
+        wt_last.closure_nodes_base !=
+            View<uint32_t>(SectionKind::kClosureNodes).size()) {
+      return Invalid(path,
+                     "world table sentinel does not close the closure pools");
+    }
+  }
+  if (with_typical) {
+    const SectionEntry* toff = Find(SectionKind::kTypicalOffsets);
+    if (toff->elem_count != n + 1) {
+      return Invalid(path, "typical table has " +
+                               std::to_string(toff->elem_count - 1) +
+                               " sets, expected one per node");
+    }
+    const auto offs = View<uint64_t>(SectionKind::kTypicalOffsets);
+    const auto elems = View<uint32_t>(SectionKind::kTypicalElems);
+    if (!IsLocalCsr(offs, elems.size()) || !AllBelow(elems, n)) {
+      return Invalid(path, "typical table offsets/elements are invalid");
+    }
+  }
+
+  info_.version = header_.version;
+  info_.flags = header_.flags;
+  info_.num_nodes = header_.num_nodes;
+  info_.num_worlds = header_.num_worlds;
+  info_.num_edges = header_.num_edges;
+  info_.file_size = header_.file_size;
+  info_.section_count = header_.section_count;
+  info_.has_closures = with_closures;
+  info_.has_typical = with_typical;
+  info_.model = (header_.flags & kSnapFlagLinearThreshold) != 0
+                    ? PropagationModel::kLinearThreshold
+                    : PropagationModel::kIndependentCascade;
+  return Status::OK();
+}
+
+ProbGraph Snapshot::MakeGraph() const {
+  return ProbGraph::Borrowed(header_.num_nodes,
+                             View<uint64_t>(SectionKind::kGraphOffsets),
+                             View<uint32_t>(SectionKind::kGraphTargets),
+                             View<double>(SectionKind::kGraphProbs),
+                             View<uint32_t>(SectionKind::kGraphSources),
+                             View<uint64_t>(SectionKind::kGraphRevOffsets),
+                             View<uint32_t>(SectionKind::kGraphRevSources));
+}
+
+Result<CascadeIndex> Snapshot::MakeIndex() const {
+  const uint64_t n = header_.num_nodes;
+  const uint64_t w = header_.num_worlds;
+  const auto wt = View<WorldRecord>(SectionKind::kWorldTable);
+  const auto comp_of = View<uint32_t>(SectionKind::kCompOf);
+  const auto mem_off = View<uint32_t>(SectionKind::kMembersOffsets);
+  const auto mem_tgt = View<uint32_t>(SectionKind::kMembersTargets);
+  const auto dag_off = View<uint32_t>(SectionKind::kDagOffsets);
+  const auto dag_tgt = View<uint32_t>(SectionKind::kDagTargets);
+  std::vector<Condensation> worlds;
+  worlds.reserve(w);
+  std::vector<ReachabilityClosure> closures;
+  if (info_.has_closures) closures.reserve(w);
+  for (uint64_t i = 0; i < w; ++i) {
+    const WorldRecord& rec = wt[i];
+    const WorldRecord& next = wt[i + 1];
+    const uint64_t nc = rec.num_components;
+    worlds.push_back(Condensation::Borrowed(
+        comp_of.subspan(i * n, n), static_cast<uint32_t>(nc),
+        mem_off.subspan(rec.offsets_base, nc + 1), mem_tgt.subspan(i * n, n),
+        dag_off.subspan(rec.offsets_base, nc + 1),
+        dag_tgt.subspan(rec.dag_targets_base,
+                        next.dag_targets_base - rec.dag_targets_base)));
+    if (info_.has_closures) {
+      closures.push_back(ReachabilityClosure::Borrowed(
+          View<uint64_t>(SectionKind::kClosureCompOffsets)
+              .subspan(rec.offsets_base, nc + 1),
+          View<uint32_t>(SectionKind::kClosureComps)
+              .subspan(rec.closure_comps_base,
+                       next.closure_comps_base - rec.closure_comps_base),
+          View<uint64_t>(SectionKind::kClosureNodeOffsets)
+              .subspan(rec.offsets_base, nc + 1),
+          View<uint32_t>(SectionKind::kClosureNodes)
+              .subspan(rec.closure_nodes_base,
+                       next.closure_nodes_base - rec.closure_nodes_base)));
+    }
+  }
+  return CascadeIndex::FromParts(header_.num_nodes, std::move(worlds),
+                                 std::move(closures));
+}
+
+FlatSets Snapshot::MakeTypical() const {
+  SOI_CHECK(info_.has_typical);
+  return FlatSets::Borrowed(View<uint32_t>(SectionKind::kTypicalElems),
+                            View<uint64_t>(SectionKind::kTypicalOffsets));
+}
+
+}  // namespace soi

@@ -1,0 +1,101 @@
+#ifndef SOI_SNAPSHOT_READER_H_
+#define SOI_SNAPSHOT_READER_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "graph/prob_graph.h"
+#include "index/cascade_index.h"
+#include "snapshot/format.h"
+#include "util/flat_sets.h"
+#include "util/status.h"
+
+namespace soi {
+
+/// How much of the file Open() checks before handing out views.
+enum class SnapshotValidation {
+  /// Header + section table CRC, layout and length consistency, offset-array
+  /// monotonicity, and full range scans of every stored id (comp_of, DAG and
+  /// member targets, closure entries, typical elements). Linear,
+  /// memory-bandwidth cheap — orders of magnitude less than a closure
+  /// rebuild — and sufficient to guarantee no query ever reads out of
+  /// bounds. The serving default.
+  kStructural,
+  /// kStructural plus per-section CRC-32C payload verification (detects
+  /// silent bit rot, not just torn/truncated writes). What `snapshot
+  /// verify` runs.
+  kFull,
+};
+
+/// Header facts surfaced without assembling any views (`snapshot info`).
+struct SnapshotInfo {
+  uint32_t version = 0;
+  uint64_t flags = 0;
+  uint32_t num_nodes = 0;
+  uint32_t num_worlds = 0;
+  uint64_t num_edges = 0;
+  uint64_t file_size = 0;
+  uint32_t section_count = 0;
+  bool has_closures = false;
+  bool has_typical = false;
+  PropagationModel model = PropagationModel::kIndependentCascade;
+};
+
+/// A read-only mmap'd `soi-snap-v1` file (snapshot/format.h). Open()
+/// validates untrusted bytes (never CHECK/aborts on them) and returns a
+/// shared handle; Make*() assemble zero-copy borrowed views into the
+/// mapping — loading is pointer fixup, the closure cache is *read*, never
+/// rebuilt, and the mapping is physically shared with every other process
+/// serving the same file (page cache, PROT_READ).
+///
+/// Lifetime: every borrowed view is valid only while the Snapshot lives.
+/// service::Engine keeps the handle alive via its opaque storage anchor
+/// (EngineParts::storage), so the hot-swap path retires a mapping only
+/// after in-flight queries drain.
+class Snapshot {
+ public:
+  static Result<std::shared_ptr<const Snapshot>> Open(
+      const std::string& path,
+      SnapshotValidation validation = SnapshotValidation::kStructural);
+
+  ~Snapshot();
+  Snapshot(const Snapshot&) = delete;
+  Snapshot& operator=(const Snapshot&) = delete;
+
+  const SnapshotInfo& info() const { return info_; }
+
+  /// The graph as borrowed CSR views into the mapping.
+  ProbGraph MakeGraph() const;
+
+  /// The cascade index as borrowed condensations (+ borrowed closures when
+  /// the snapshot carries them) — O(num_worlds) bookkeeping, no sampling,
+  /// no SCC runs, no closure sweep.
+  Result<CascadeIndex> MakeIndex() const;
+
+  /// The typical-cascade table, if present (info().has_typical).
+  FlatSets MakeTypical() const;
+
+ private:
+  Snapshot() = default;
+
+  Status Validate(const std::string& path, SnapshotValidation validation);
+
+  const SectionEntry* Find(SectionKind kind) const;
+  template <typename T>
+  std::span<const T> View(SectionKind kind) const;
+
+  void* map_ = nullptr;
+  uint64_t map_size_ = 0;
+  SnapshotHeader header_{};
+  // Section directory indexed by kind; unknown kinds in the file are
+  // skipped (forward-compatible: new optional sections don't break old
+  // readers).
+  const SectionEntry* sections_[32] = {};
+  SnapshotInfo info_;
+};
+
+}  // namespace soi
+
+#endif  // SOI_SNAPSHOT_READER_H_

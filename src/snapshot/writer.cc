@@ -1,0 +1,245 @@
+#include "snapshot/writer.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#include "snapshot/crc32c.h"
+#include "snapshot/format.h"
+
+namespace soi {
+
+namespace {
+
+// One section staged for layout; `data` must stay alive until assembly.
+struct Staged {
+  SectionKind kind;
+  uint32_t elem_size;
+  const void* data;
+  uint64_t elem_count;
+  uint64_t byte_size() const { return elem_size * elem_count; }
+};
+
+uint64_t AlignUp(uint64_t v) {
+  return (v + kSnapshotAlign - 1) & ~(kSnapshotAlign - 1);
+}
+
+template <typename T>
+Staged Stage(SectionKind kind, const T* data, uint64_t count) {
+  return Staged{kind, sizeof(T), data, count};
+}
+
+}  // namespace
+
+Result<std::string> SerializeSnapshot(const ProbGraph& graph,
+                                      const CascadeIndex& index,
+                                      const SnapshotWriteOptions& options) {
+  const uint32_t n = graph.num_nodes();
+  const uint32_t w = index.num_worlds();
+  const uint64_t m = graph.num_edges();
+  if (n == 0 || w == 0) {
+    return Status::InvalidArgument("snapshot: empty graph or index");
+  }
+  if (index.num_nodes() != n) {
+    return Status::InvalidArgument(
+        "snapshot: index covers " + std::to_string(index.num_nodes()) +
+        " nodes but graph has " + std::to_string(n));
+  }
+  if (options.typical != nullptr && options.typical->num_sets() != n) {
+    return Status::InvalidArgument(
+        "snapshot: typical table has " +
+        std::to_string(options.typical->num_sets()) + " sets, expected " +
+        std::to_string(n) + " (one per node)");
+  }
+  const bool with_closures = index.has_closure_cache();
+  const bool with_typical = options.typical != nullptr;
+
+  // Concatenate the per-world arrays into pools. Offsets stay *local* per
+  // world (each world's offsets array starts at 0); WorldRecord bases say
+  // where each world's slice begins, so the reader's borrowed spans slice
+  // straight out of the pools.
+  std::vector<WorldRecord> world_table(w + 1);
+  std::vector<uint32_t> comp_of_pool, members_offsets_pool,
+      members_targets_pool, dag_offsets_pool, dag_targets_pool;
+  comp_of_pool.reserve(uint64_t{w} * n);
+  members_targets_pool.reserve(uint64_t{w} * n);
+  std::vector<uint64_t> closure_comp_offsets_pool, closure_node_offsets_pool;
+  std::vector<uint32_t> closure_comps_pool, closure_nodes_pool;
+  for (uint32_t i = 0; i < w; ++i) {
+    const Condensation& cond = index.world(i);
+    WorldRecord& rec = world_table[i];
+    rec.num_components = cond.num_components();
+    rec.offsets_base = members_offsets_pool.size();
+    rec.dag_targets_base = dag_targets_pool.size();
+    rec.closure_comps_base = closure_comps_pool.size();
+    rec.closure_nodes_base = closure_nodes_pool.size();
+    const auto co = cond.comp_of();
+    comp_of_pool.insert(comp_of_pool.end(), co.begin(), co.end());
+    const auto mo = cond.members_offsets();
+    members_offsets_pool.insert(members_offsets_pool.end(), mo.begin(),
+                                mo.end());
+    const auto mt = cond.members_targets();
+    members_targets_pool.insert(members_targets_pool.end(), mt.begin(),
+                                mt.end());
+    const auto dofs = cond.dag_offsets();
+    dag_offsets_pool.insert(dag_offsets_pool.end(), dofs.begin(), dofs.end());
+    const auto dt = cond.dag_targets();
+    dag_targets_pool.insert(dag_targets_pool.end(), dt.begin(), dt.end());
+    if (with_closures) {
+      const ReachabilityClosure& cl = index.closure(i);
+      const auto cco = cl.comp_offsets_view();
+      closure_comp_offsets_pool.insert(closure_comp_offsets_pool.end(),
+                                       cco.begin(), cco.end());
+      const auto cc = cl.comps_view();
+      closure_comps_pool.insert(closure_comps_pool.end(), cc.begin(),
+                                cc.end());
+      const auto cno = cl.node_offsets_view();
+      closure_node_offsets_pool.insert(closure_node_offsets_pool.end(),
+                                       cno.begin(), cno.end());
+      const auto cn = cl.nodes_view();
+      closure_nodes_pool.insert(closure_nodes_pool.end(), cn.begin(),
+                                cn.end());
+    }
+  }
+  // End sentinel: world w's bases close the last world's extents.
+  world_table[w].num_components = 0;
+  world_table[w].offsets_base = members_offsets_pool.size();
+  world_table[w].dag_targets_base = dag_targets_pool.size();
+  world_table[w].closure_comps_base = closure_comps_pool.size();
+  world_table[w].closure_nodes_base = closure_nodes_pool.size();
+
+  const auto g_off = graph.offsets();
+  const auto g_tgt = graph.targets();
+  const auto g_prb = graph.probs();
+  const auto g_src = graph.sources();
+  const auto g_roff = graph.rev_offsets();
+  const auto g_rsrc = graph.rev_sources();
+
+  std::vector<Staged> sections;
+  sections.push_back(Stage(SectionKind::kGraphOffsets, g_off.data(),
+                           g_off.size()));
+  sections.push_back(Stage(SectionKind::kGraphTargets, g_tgt.data(),
+                           g_tgt.size()));
+  sections.push_back(Stage(SectionKind::kGraphProbs, g_prb.data(),
+                           g_prb.size()));
+  sections.push_back(Stage(SectionKind::kGraphSources, g_src.data(),
+                           g_src.size()));
+  sections.push_back(Stage(SectionKind::kGraphRevOffsets, g_roff.data(),
+                           g_roff.size()));
+  sections.push_back(Stage(SectionKind::kGraphRevSources, g_rsrc.data(),
+                           g_rsrc.size()));
+  sections.push_back(Stage(SectionKind::kWorldTable, world_table.data(),
+                           world_table.size()));
+  sections.push_back(Stage(SectionKind::kCompOf, comp_of_pool.data(),
+                           comp_of_pool.size()));
+  sections.push_back(Stage(SectionKind::kMembersOffsets,
+                           members_offsets_pool.data(),
+                           members_offsets_pool.size()));
+  sections.push_back(Stage(SectionKind::kMembersTargets,
+                           members_targets_pool.data(),
+                           members_targets_pool.size()));
+  sections.push_back(Stage(SectionKind::kDagOffsets, dag_offsets_pool.data(),
+                           dag_offsets_pool.size()));
+  sections.push_back(Stage(SectionKind::kDagTargets, dag_targets_pool.data(),
+                           dag_targets_pool.size()));
+  if (with_closures) {
+    sections.push_back(Stage(SectionKind::kClosureCompOffsets,
+                             closure_comp_offsets_pool.data(),
+                             closure_comp_offsets_pool.size()));
+    sections.push_back(Stage(SectionKind::kClosureComps,
+                             closure_comps_pool.data(),
+                             closure_comps_pool.size()));
+    sections.push_back(Stage(SectionKind::kClosureNodeOffsets,
+                             closure_node_offsets_pool.data(),
+                             closure_node_offsets_pool.size()));
+    sections.push_back(Stage(SectionKind::kClosureNodes,
+                             closure_nodes_pool.data(),
+                             closure_nodes_pool.size()));
+  }
+  if (with_typical) {
+    const auto t_off = options.typical->offsets();
+    const auto t_el = options.typical->elements();
+    sections.push_back(Stage(SectionKind::kTypicalOffsets, t_off.data(),
+                             t_off.size()));
+    sections.push_back(Stage(SectionKind::kTypicalElems, t_el.data(),
+                             t_el.size()));
+  }
+
+  // Layout: header, section table, then 64-byte-aligned payloads.
+  const uint32_t count = static_cast<uint32_t>(sections.size());
+  std::vector<SectionEntry> table(count);
+  uint64_t cursor =
+      AlignUp(sizeof(SnapshotHeader) + count * sizeof(SectionEntry));
+  for (uint32_t i = 0; i < count; ++i) {
+    table[i].kind = static_cast<uint32_t>(sections[i].kind);
+    table[i].elem_size = sections[i].elem_size;
+    table[i].offset = cursor;
+    table[i].byte_size = sections[i].byte_size();
+    table[i].elem_count = sections[i].elem_count;
+    table[i].reserved = 0;
+    cursor = AlignUp(cursor + table[i].byte_size);
+  }
+  const uint64_t file_size = cursor;
+
+  std::string out(file_size, '\0');
+  for (uint32_t i = 0; i < count; ++i) {
+    if (table[i].byte_size > 0) {
+      std::memcpy(out.data() + table[i].offset, sections[i].data,
+                  table[i].byte_size);
+    }
+    table[i].crc32c = Crc32c(out.data() + table[i].offset, table[i].byte_size);
+  }
+
+  SnapshotHeader header{};
+  std::memcpy(header.magic, kSnapshotMagic, sizeof(kSnapshotMagic));
+  header.version = kSnapshotVersion;
+  header.endian_tag = kSnapshotEndianTag;
+  header.file_size = file_size;
+  header.flags = (with_closures ? uint64_t{kSnapFlagClosures} : 0) |
+                 (with_typical ? uint64_t{kSnapFlagTypical} : 0) |
+                 (options.model == PropagationModel::kLinearThreshold
+                      ? uint64_t{kSnapFlagLinearThreshold}
+                      : 0);
+  header.num_nodes = n;
+  header.num_worlds = w;
+  header.num_edges = m;
+  header.section_count = count;
+  header.header_crc32c = 0;
+  std::memcpy(out.data(), &header, sizeof(header));
+  std::memcpy(out.data() + sizeof(header), table.data(),
+              count * sizeof(SectionEntry));
+  // Header CRC covers header (crc field zeroed, as it is right now) + table.
+  const uint32_t hcrc =
+      Crc32c(out.data(), sizeof(header) + count * sizeof(SectionEntry));
+  std::memcpy(out.data() + offsetof(SnapshotHeader, header_crc32c), &hcrc,
+              sizeof(hcrc));
+  return out;
+}
+
+Status WriteSnapshot(const ProbGraph& graph, const CascadeIndex& index,
+                     const std::string& path,
+                     const SnapshotWriteOptions& options) {
+  SOI_ASSIGN_OR_RETURN(const std::string bytes,
+                       SerializeSnapshot(graph, index, options));
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Status::IOError("cannot open '" + tmp + "' for writing");
+    }
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out) {
+      std::remove(tmp.c_str());
+      return Status::IOError("write to '" + tmp + "' failed");
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IOError("rename '" + tmp + "' -> '" + path + "' failed");
+  }
+  return Status::OK();
+}
+
+}  // namespace soi

@@ -1,0 +1,45 @@
+#ifndef SOI_SNAPSHOT_WRITER_H_
+#define SOI_SNAPSHOT_WRITER_H_
+
+#include <string>
+
+#include "graph/prob_graph.h"
+#include "index/cascade_index.h"
+#include "util/flat_sets.h"
+#include "util/status.h"
+
+namespace soi {
+
+/// What goes into a snapshot beyond the mandatory graph + condensations.
+struct SnapshotWriteOptions {
+  /// Recorded as a capability flag (spread semantics depend on the model;
+  /// `snapshot info` reports it). Not derivable from the index: the worlds
+  /// are already sampled.
+  PropagationModel model = PropagationModel::kIndependentCascade;
+  /// Typical-cascade table (ComputeAllFlat().cascades; exactly num_nodes
+  /// sets) — serving it from the snapshot means seed_select queries skip
+  /// the full typical sweep too. Null omits the sections.
+  const FlatSets* typical = nullptr;
+};
+
+/// Serializes the full serving state into one `soi-snap-v1` container (see
+/// snapshot/format.h): graph + index, the index's closure cache when it
+/// holds one, and optionally the typical-cascade table.
+///
+/// The writer works from the mode-independent span accessors, so it can
+/// round-trip a snapshot-backed (borrowed) state as well as an owned one.
+Result<std::string> SerializeSnapshot(const ProbGraph& graph,
+                                      const CascadeIndex& index,
+                                      const SnapshotWriteOptions& options = {});
+
+/// Serializes and writes atomically (temp file in the same directory +
+/// rename), so a crashed create never leaves a half-written snapshot at the
+/// target path and a concurrent server hot-reloading the path never maps a
+/// torn file.
+Status WriteSnapshot(const ProbGraph& graph, const CascadeIndex& index,
+                     const std::string& path,
+                     const SnapshotWriteOptions& options = {});
+
+}  // namespace soi
+
+#endif  // SOI_SNAPSHOT_WRITER_H_

@@ -43,8 +43,11 @@
 #include "runtime/parallel_for.h"   // deterministic parallel loops
 #include "runtime/thread_pool.h"    // shared worker pool
 #include "service/engine.h"         // query service facade
+#include "service/hot_swap.h"       // atomic engine hot-swap handle
 #include "service/protocol.h"       // line-JSON wire protocol
 #include "service/server.h"         // stdio / TCP serve loops
+#include "snapshot/reader.h"        // mmap'd soi-snap-v1 loading
+#include "snapshot/writer.h"        // soi-snap-v1 creation
 #include "util/rng.h"               // deterministic PRNG
 #include "util/status.h"            // Status / Result
 

@@ -1,6 +1,7 @@
 #ifndef SOI_UTIL_FLAT_SETS_H_
 #define SOI_UTIL_FLAT_SETS_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -19,35 +20,62 @@ namespace soi {
 /// Sets are append-only and identified by insertion order. Elements are
 /// uint32 ids (node ids or set ids, depending on direction). Spans returned
 /// by Set() are invalidated by any further append/Clear.
+///
+/// Storage is dual-mode: a default-constructed FlatSets owns its arrays and
+/// supports the append mutators; Borrowed() wraps spans into an external
+/// read-only mapping (see src/snapshot/) with zero copy. Read accessors
+/// dispatch on the mode; mutators are owned-mode only.
 class FlatSets {
  public:
   FlatSets() : offsets_(1, 0) {}
 
+  /// Wraps pre-built arena arrays without copying. `offsets` must be
+  /// non-empty with offsets[0] == 0 and offsets.back() == elements.size();
+  /// the spans must outlive the FlatSets. The loader validates structure
+  /// before assembling (snapshot/reader.h).
+  static FlatSets Borrowed(std::span<const uint32_t> elements,
+                           std::span<const uint64_t> offsets) {
+    FlatSets out;
+    out.borrowed_ = true;
+    out.offsets_.clear();
+    out.b_elems_ = elements;
+    out.b_offsets_ = offsets;
+    return out;
+  }
+
+  bool borrowed() const { return borrowed_; }
+
   void Clear() {
+    SOI_DCHECK(!borrowed_);
     elems_.clear();
     offsets_.assign(1, 0);
   }
 
   void Reserve(size_t num_sets, size_t num_elements) {
+    SOI_DCHECK(!borrowed_);
     offsets_.reserve(num_sets + 1);
     elems_.reserve(num_elements);
   }
 
-  size_t num_sets() const { return offsets_.size() - 1; }
-  uint64_t total_elements() const { return elems_.size(); }
+  size_t num_sets() const { return offsets().size() - 1; }
+  uint64_t total_elements() const { return elements().size(); }
 
   std::span<const uint32_t> Set(size_t i) const {
-    SOI_DCHECK(i + 1 < offsets_.size());
-    return {elems_.data() + offsets_[i], elems_.data() + offsets_[i + 1]};
+    const auto off = offsets();
+    const auto el = elements();
+    SOI_DCHECK(i + 1 < off.size());
+    return {el.data() + off[i], el.data() + off[i + 1]};
   }
 
   uint64_t SetSize(size_t i) const {
-    SOI_DCHECK(i + 1 < offsets_.size());
-    return offsets_[i + 1] - offsets_[i];
+    const auto off = offsets();
+    SOI_DCHECK(i + 1 < off.size());
+    return off[i + 1] - off[i];
   }
 
   /// Appends one complete set.
   void AddSet(std::span<const uint32_t> elements) {
+    SOI_DCHECK(!borrowed_);
     elems_.insert(elems_.end(), elements.begin(), elements.end());
     offsets_.push_back(elems_.size());
   }
@@ -55,16 +83,25 @@ class FlatSets {
   /// In-place append: push elements directly onto the arena tail (e.g. from
   /// a traversal kernel), then SealSet() to end the current set. The tail
   /// [offsets_.back(), elems_.size()) is the open set under construction.
-  std::vector<uint32_t>& MutableElements() { return elems_; }
-  void SealSet() { offsets_.push_back(elems_.size()); }
+  std::vector<uint32_t>& MutableElements() {
+    SOI_DCHECK(!borrowed_);
+    return elems_;
+  }
+  void SealSet() {
+    SOI_DCHECK(!borrowed_);
+    offsets_.push_back(elems_.size());
+  }
 
   /// Appends every set of `other`, preserving order.
   void Append(const FlatSets& other) {
+    SOI_DCHECK(!borrowed_);
+    const auto oel = other.elements();
+    const auto ooff = other.offsets();
     const uint64_t base = elems_.size();
-    elems_.insert(elems_.end(), other.elems_.begin(), other.elems_.end());
+    elems_.insert(elems_.end(), oel.begin(), oel.end());
     offsets_.reserve(offsets_.size() + other.num_sets());
-    for (size_t i = 1; i < other.offsets_.size(); ++i) {
-      offsets_.push_back(base + other.offsets_[i]);
+    for (size_t i = 1; i < ooff.size(); ++i) {
+      offsets_.push_back(base + ooff[i]);
     }
   }
 
@@ -83,14 +120,16 @@ class FlatSets {
   /// O(total_elements)). `num_elements` is the element universe size; every
   /// stored element must be < num_elements, and num_sets() must fit uint32.
   FlatSets Transpose(uint32_t num_elements) const {
+    const auto el = elements();
+    const auto off = offsets();
     SOI_CHECK(num_sets() <= ~uint32_t{0});
-    SOI_CHECK(elems_.size() <= ~uint32_t{0});
+    SOI_CHECK(el.size() <= ~uint32_t{0});
     FlatSets out;
     // Count + scatter with uint32 cursors: the per-element tables stay half
     // the size of the uint64 offsets, which keeps this (the cover engine's
     // build cost) cache-resident for typical universes.
     std::vector<uint32_t> cursor(num_elements, 0);
-    for (uint32_t e : elems_) {
+    for (uint32_t e : el) {
       SOI_DCHECK(e < num_elements);
       ++cursor[e];
     }
@@ -102,27 +141,39 @@ class FlatSets {
       cursor[e] = static_cast<uint32_t>(out.offsets_[e]);
     }
     out.offsets_[num_elements] = running;
-    out.elems_.resize(elems_.size());
-    const uint32_t* elems = elems_.data();
+    out.elems_.resize(el.size());
+    const uint32_t* elems = el.data();
     uint32_t* out_elems = out.elems_.data();
     for (size_t i = 0; i < num_sets(); ++i) {
-      for (uint64_t j = offsets_[i]; j < offsets_[i + 1]; ++j) {
+      for (uint64_t j = off[i]; j < off[i + 1]; ++j) {
         out_elems[cursor[elems[j]]++] = static_cast<uint32_t>(i);
       }
     }
     return out;
   }
 
-  const std::vector<uint32_t>& elements() const { return elems_; }
-  const std::vector<uint64_t>& offsets() const { return offsets_; }
+  std::span<const uint32_t> elements() const {
+    return borrowed_ ? b_elems_ : std::span<const uint32_t>(elems_);
+  }
+  std::span<const uint64_t> offsets() const {
+    return borrowed_ ? b_offsets_ : std::span<const uint64_t>(offsets_);
+  }
 
   bool operator==(const FlatSets& other) const {
-    return elems_ == other.elems_ && offsets_ == other.offsets_;
+    const auto el = elements(), oel = other.elements();
+    const auto off = offsets(), ooff = other.offsets();
+    return el.size() == oel.size() && off.size() == ooff.size() &&
+           std::equal(el.begin(), el.end(), oel.begin()) &&
+           std::equal(off.begin(), off.end(), ooff.begin());
   }
 
  private:
   std::vector<uint32_t> elems_;
   std::vector<uint64_t> offsets_;  // offsets_[0] == 0; exclusive set ends
+
+  bool borrowed_ = false;
+  std::span<const uint32_t> b_elems_;
+  std::span<const uint64_t> b_offsets_;
 };
 
 }  // namespace soi

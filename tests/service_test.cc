@@ -9,6 +9,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstring>
 #include <future>
@@ -23,6 +24,7 @@
 #include "graph/prob_graph.h"
 #include "runtime/parallel_for.h"
 #include "service/engine.h"
+#include "service/hot_swap.h"
 #include "service/protocol.h"
 #include "service/server.h"
 #include "util/rng.h"
@@ -487,6 +489,149 @@ TEST(ServeStreamTest, ManyRequestsBatchAndStayOrdered) {
   for (int i = 0; i < 100; ++i) {
     EXPECT_EQ(lines[i].rfind("{\"id\":" + std::to_string(i) + ",", 0), 0u)
         << lines[i];
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Hot swap.
+// ---------------------------------------------------------------------------
+
+// Swapping engines while four threads hammer the handle: every batch must
+// land entirely on one engine (the Acquire() shared_ptr pins it), every
+// answer must match the single-engine reference (replacement engines are
+// built from the same graph and options, so a divergent answer means a
+// torn read), and no engine may be destroyed while a batch still runs.
+// This test runs under TSan in CI.
+TEST(HotSwapTest, SwapUnderConcurrentLoadKeepsAnswersByteIdentical) {
+  EngineOptions options;
+  options.index.num_worlds = 16;
+  options.max_in_flight = 8;
+  const auto make_engine = [&] {
+    return MakeEngine(RandomGraph(100, 400, 3), options);
+  };
+
+  std::vector<Request> requests;
+  for (uint32_t i = 0; i < 20; ++i) {
+    requests.push_back(MakeCascade({i % 100}, i % 16));
+  }
+  // Reference answers from a plain engine; every engine in this test is
+  // deterministic-identical, so these must never change across swaps.
+  std::vector<std::string> reference;
+  {
+    Engine probe = make_engine();
+    auto batch = probe.RunBatch(requests);
+    ASSERT_TRUE(batch.ok());
+    for (size_t i = 0; i < batch->size(); ++i) {
+      reference.push_back(
+          FormatResponseLine(static_cast<int64_t>(i), (*batch)[i]));
+    }
+  }
+
+  EngineHandle handle(make_engine());
+  std::atomic<bool> stop{false};
+  std::atomic<int> batches_ok{0};
+  std::atomic<bool> mismatch{false};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::shared_ptr<Engine> engine = handle.Acquire();
+        const auto batch = engine->RunBatch(requests);
+        if (!batch.ok()) {
+          // Admission control may reject under contention; that's not a
+          // swap bug.
+          SOI_CHECK(batch.status().code() == StatusCode::kResourceExhausted);
+          continue;
+        }
+        batches_ok.fetch_add(1);
+        for (size_t i = 0; i < batch->size(); ++i) {
+          if (FormatResponseLine(static_cast<int64_t>(i), (*batch)[i]) !=
+              reference[i]) {
+            mismatch.store(true);
+          }
+        }
+      }
+    });
+  }
+  constexpr int kSwaps = 5;
+  for (int s = 0; s < kSwaps; ++s) {
+    handle.Swap(make_engine());
+  }
+  // Let the workers observe the final engine before stopping.
+  while (batches_ok.load() < 8) std::this_thread::yield();
+  stop.store(true);
+  for (std::thread& t : workers) t.join();
+  EXPECT_FALSE(mismatch.load());
+  EXPECT_GT(batches_ok.load(), 0);
+  EXPECT_EQ(handle.epoch(), static_cast<uint64_t>(kSwaps));
+}
+
+// The serve loop's poll hook swapping mid-stream: responses before and
+// after the swap come from different engines yet stay byte-identical and
+// in request order.
+TEST(HotSwapTest, ServeStreamPollHookSwapsMidStream) {
+  EngineOptions options;
+  options.index.num_worlds = 16;
+  EngineHandle handle(MakeEngine(RandomGraph(100, 400, 3), options));
+
+  std::string input;
+  for (int i = 0; i < 40; ++i) {
+    input += "{\"op\":\"spread\",\"seeds\":[" + std::to_string(i % 100) +
+             "],\"id\":" + std::to_string(i) + "}\n";
+  }
+
+  std::atomic<int> polls{0};
+  ServeOptions serve_options;
+  serve_options.poll = [&] {
+    // Swap exactly once, after some responses have already been served.
+    if (polls.fetch_add(1) == 1) {
+      handle.Swap(MakeEngine(RandomGraph(100, 400, 3), options));
+    }
+  };
+
+  int in_pipe[2];
+  int out_pipe[2];
+  SOI_CHECK(::pipe(in_pipe) == 0);
+  SOI_CHECK(::pipe(out_pipe) == 0);
+  std::thread writer([&] {
+    // Dribble the input so the serve loop wakes (and polls) many times.
+    for (size_t off = 0; off < input.size();) {
+      const size_t chunk = std::min<size_t>(64, input.size() - off);
+      ssize_t n = ::write(in_pipe[1], input.data() + off, chunk);
+      SOI_CHECK(n > 0);
+      off += static_cast<size_t>(n);
+    }
+    ::close(in_pipe[1]);
+  });
+  std::string output;
+  std::thread reader([&] {
+    char buf[4096];
+    ssize_t n;
+    while ((n = ::read(out_pipe[0], buf, sizeof(buf))) > 0) {
+      output.append(buf, static_cast<size_t>(n));
+    }
+  });
+  const Status served =
+      ServeStream(&handle, in_pipe[0], out_pipe[1], serve_options);
+  ::close(in_pipe[0]);
+  ::close(out_pipe[1]);
+  writer.join();
+  reader.join();
+  ::close(out_pipe[0]);
+  ASSERT_TRUE(served.ok()) << served.ToString();
+  EXPECT_EQ(handle.epoch(), 1u);
+
+  const std::vector<std::string> lines = SplitLines(output);
+  ASSERT_EQ(lines.size(), 40u);
+  // Identical engines => identical per-request answers; compare each
+  // response against a fresh single-engine run.
+  Engine probe = MakeEngine(RandomGraph(100, 400, 3), options);
+  for (int i = 0; i < 40; ++i) {
+    Request r;
+    r.payload = SpreadRequest{{static_cast<NodeId>(i % 100)}};
+    EXPECT_EQ(lines[static_cast<size_t>(i)] + "\n",
+              FormatResponseLine(i, probe.Run(r)))
+        << "request " << i;
   }
 }
 

@@ -1,0 +1,442 @@
+// Tests for the snapshot subsystem (src/snapshot/): CRC-32C vectors, the
+// soi-snap-v1 round trip (graph, condensations, closures, typical table),
+// byte-identical query answers between an owned-index engine and an
+// mmap-backed engine across models and thread counts, and the
+// torn/truncated-file corpus that `snapshot verify` and Open() must reject
+// with actionable errors instead of aborting. This suite runs in the ASan,
+// UBSan, and TSan CI jobs.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cascade/threshold.h"
+#include "core/typical_cascade.h"
+#include "gen/generators.h"
+#include "graph/prob_assign.h"
+#include "graph/prob_graph.h"
+#include "index/cascade_index.h"
+#include "index/index_io.h"
+#include "runtime/parallel_for.h"
+#include "service/engine.h"
+#include "service/protocol.h"
+#include "snapshot/crc32c.h"
+#include "snapshot/format.h"
+#include "snapshot/reader.h"
+#include "snapshot/writer.h"
+#include "util/rng.h"
+
+namespace soi {
+namespace {
+
+ProbGraph RandomGraph(NodeId n, uint64_t m, uint64_t seed,
+                      PropagationModel model =
+                          PropagationModel::kIndependentCascade) {
+  Rng rng(seed);
+  auto topology = GenerateErdosRenyi(n, m, /*undirected=*/false, &rng);
+  SOI_CHECK(topology.ok());
+  auto graph = AssignUniform(*topology, &rng);
+  SOI_CHECK(graph.ok());
+  if (model == PropagationModel::kLinearThreshold) {
+    // LT requires per-node incoming weights summing to <= 1.
+    auto normalized = NormalizeLtWeights(*graph);
+    SOI_CHECK(normalized.ok());
+    return std::move(normalized).value();
+  }
+  return std::move(graph).value();
+}
+
+CascadeIndex BuildIndex(const ProbGraph& graph, PropagationModel model,
+                        uint32_t worlds = 16, uint64_t seed = 1) {
+  CascadeIndexOptions options;
+  options.num_worlds = worlds;
+  options.model = model;
+  Rng rng(seed);
+  auto index = CascadeIndex::Build(graph, options, &rng);
+  SOI_CHECK(index.ok());
+  return std::move(index).value();
+}
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+void WriteBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  SOI_CHECK(static_cast<bool>(out));
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  SOI_CHECK(static_cast<bool>(out));
+}
+
+// Serializes graph+index (+typical) and returns the raw file bytes, so
+// corruption tests can flip bits before writing to disk.
+std::string SnapshotBytes(const ProbGraph& graph, const CascadeIndex& index,
+                          const FlatSets* typical = nullptr,
+                          PropagationModel model =
+                              PropagationModel::kIndependentCascade) {
+  SnapshotWriteOptions options;
+  options.model = model;
+  options.typical = typical;
+  auto bytes = SerializeSnapshot(graph, index, options);
+  SOI_CHECK(bytes.ok());
+  return std::move(bytes).value();
+}
+
+// Locates a section's table entry inside raw snapshot bytes.
+SectionEntry FindSection(const std::string& bytes, SectionKind kind) {
+  SnapshotHeader header{};
+  std::memcpy(&header, bytes.data(), sizeof(header));
+  for (uint32_t i = 0; i < header.section_count; ++i) {
+    SectionEntry e{};
+    std::memcpy(&e, bytes.data() + sizeof(header) + i * sizeof(e), sizeof(e));
+    if (e.kind == static_cast<uint32_t>(kind)) return e;
+  }
+  SOI_CHECK(false);
+  return SectionEntry{};
+}
+
+TEST(Crc32cTest, MatchesKnownVectors) {
+  // The canonical CRC-32C check value (RFC 3720 appendix B.4).
+  const char digits[] = "123456789";
+  EXPECT_EQ(Crc32c(digits, 9), 0xE3069283u);
+  EXPECT_EQ(Crc32c("", 0), 0u);
+  // 32 zero bytes, another published vector.
+  const std::string zeros(32, '\0');
+  EXPECT_EQ(Crc32c(zeros.data(), zeros.size()), 0x8A9136AAu);
+}
+
+TEST(Crc32cTest, ExtendComposesLikeOneShot) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  const uint32_t whole = Crc32c(data.data(), data.size());
+  for (size_t split : {size_t{0}, size_t{1}, size_t{7}, size_t{20}}) {
+    uint32_t crc = Crc32cExtend(0, data.data(), split);
+    crc = Crc32cExtend(crc, data.data() + split, data.size() - split);
+    EXPECT_EQ(crc, whole) << "split at " << split;
+  }
+}
+
+TEST(SnapshotRoundTrip, GraphIndexAndClosuresSurvive) {
+  const ProbGraph graph = RandomGraph(80, 400, 3);
+  const CascadeIndex index =
+      BuildIndex(graph, PropagationModel::kIndependentCascade);
+  ASSERT_TRUE(index.has_closure_cache());
+  const std::string path = TempPath("roundtrip.soisnap");
+  ASSERT_TRUE(WriteSnapshot(graph, index, path, {}).ok());
+
+  auto snap = Snapshot::Open(path, SnapshotValidation::kFull);
+  ASSERT_TRUE(snap.ok()) << snap.status().ToString();
+  EXPECT_EQ((*snap)->info().num_nodes, graph.num_nodes());
+  EXPECT_EQ((*snap)->info().num_edges, graph.num_edges());
+  EXPECT_EQ((*snap)->info().num_worlds, index.num_worlds());
+  EXPECT_TRUE((*snap)->info().has_closures);
+  EXPECT_FALSE((*snap)->info().has_typical);
+
+  const ProbGraph loaded = (*snap)->MakeGraph();
+  ASSERT_EQ(loaded.num_nodes(), graph.num_nodes());
+  ASSERT_EQ(loaded.num_edges(), graph.num_edges());
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    EXPECT_EQ(loaded.EdgeSource(e), graph.EdgeSource(e));
+    EXPECT_EQ(loaded.EdgeTarget(e), graph.EdgeTarget(e));
+    EXPECT_EQ(loaded.EdgeProb(e), graph.EdgeProb(e));
+  }
+
+  auto borrowed = (*snap)->MakeIndex();
+  ASSERT_TRUE(borrowed.ok()) << borrowed.status().ToString();
+  ASSERT_EQ(borrowed->num_worlds(), index.num_worlds());
+  ASSERT_TRUE(borrowed->has_closure_cache());
+  for (uint32_t w = 0; w < index.num_worlds(); ++w) {
+    const Condensation& a = index.world(w);
+    const Condensation& b = borrowed->world(w);
+    ASSERT_EQ(a.num_components(), b.num_components());
+    ASSERT_TRUE(std::equal(a.comp_of().begin(), a.comp_of().end(),
+                           b.comp_of().begin()));
+    ASSERT_TRUE(std::equal(a.dag_targets().begin(), a.dag_targets().end(),
+                           b.dag_targets().begin()));
+    const ReachabilityClosure& ca = index.closure(w);
+    const ReachabilityClosure& cb = borrowed->closure(w);
+    ASSERT_EQ(ca.num_components(), cb.num_components());
+    for (uint32_t c = 0; c < ca.num_components(); ++c) {
+      const auto xa = ca.Closure(c);
+      const auto xb = cb.Closure(c);
+      ASSERT_TRUE(std::equal(xa.begin(), xa.end(), xb.begin(), xb.end()));
+      const auto na = ca.Cascade(c);
+      const auto nb = cb.Cascade(c);
+      ASSERT_TRUE(std::equal(na.begin(), na.end(), nb.begin(), nb.end()));
+    }
+  }
+}
+
+TEST(SnapshotRoundTrip, TypicalTableAndModelFlagSurvive) {
+  const ProbGraph graph =
+      RandomGraph(60, 300, 5, PropagationModel::kLinearThreshold);
+  const CascadeIndex index =
+      BuildIndex(graph, PropagationModel::kLinearThreshold);
+  TypicalCascadeComputer computer(&index);
+  auto sweep = computer.ComputeAllFlat();
+  ASSERT_TRUE(sweep.ok());
+
+  const std::string path = TempPath("typical.soisnap");
+  SnapshotWriteOptions options;
+  options.model = PropagationModel::kLinearThreshold;
+  options.typical = &sweep->cascades;
+  ASSERT_TRUE(WriteSnapshot(graph, index, path, options).ok());
+
+  auto snap = Snapshot::Open(path, SnapshotValidation::kFull);
+  ASSERT_TRUE(snap.ok()) << snap.status().ToString();
+  EXPECT_TRUE((*snap)->info().has_typical);
+  EXPECT_EQ((*snap)->info().model, PropagationModel::kLinearThreshold);
+  EXPECT_TRUE((*snap)->MakeTypical() == sweep->cascades);
+}
+
+TEST(SnapshotRoundTrip, BorrowedIndexSerializesIdenticallyToOwned) {
+  // index_io must read through the span accessors, so saving a borrowed
+  // (mmap-backed) index produces the same SOIIDX bytes as the owned one.
+  const ProbGraph graph = RandomGraph(50, 250, 9);
+  const CascadeIndex index =
+      BuildIndex(graph, PropagationModel::kIndependentCascade);
+  const std::string path = TempPath("reserialize.soisnap");
+  ASSERT_TRUE(WriteSnapshot(graph, index, path, {}).ok());
+  auto snap = Snapshot::Open(path);
+  ASSERT_TRUE(snap.ok());
+  auto borrowed = (*snap)->MakeIndex();
+  ASSERT_TRUE(borrowed.ok());
+  EXPECT_EQ(SerializeCascadeIndex(index), SerializeCascadeIndex(*borrowed));
+}
+
+TEST(IndexIoTest, RebuildClosuresPolicySkipsTheCache) {
+  const ProbGraph graph = RandomGraph(50, 250, 11);
+  const CascadeIndex index =
+      BuildIndex(graph, PropagationModel::kIndependentCascade);
+  const std::string bytes = SerializeCascadeIndex(index);
+  auto rebuilt = DeserializeCascadeIndex(bytes, RebuildClosures::kRebuild);
+  ASSERT_TRUE(rebuilt.ok());
+  EXPECT_TRUE(rebuilt->has_closure_cache());
+  auto skipped = DeserializeCascadeIndex(bytes, RebuildClosures::kSkip);
+  ASSERT_TRUE(skipped.ok());
+  EXPECT_FALSE(skipped->has_closure_cache());
+  // The cache is an accelerator, not a semantic: cascades agree either way.
+  CascadeIndex::Workspace ws;
+  for (uint32_t w = 0; w < index.num_worlds(); ++w) {
+    auto a = rebuilt->Cascade(NodeId{0}, w, &ws);
+    auto b = skipped->Cascade(NodeId{0}, w, &ws);
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_EQ(*a, *b) << "world " << w;
+  }
+}
+
+// The acceptance bar for the whole subsystem: every request type answered
+// by an engine borrowing its state from the mapping is byte-identical (at
+// the wire-format level) to the owned-index engine, for both models, at
+// every thread count.
+TEST(SnapshotEngineTest, ResponsesByteIdenticalToOwnedEngineAcrossThreads) {
+  for (const PropagationModel model : {PropagationModel::kIndependentCascade,
+                                       PropagationModel::kLinearThreshold}) {
+    const ProbGraph graph = RandomGraph(90, 450, 7, model);
+
+    service::EngineOptions options;
+    options.index.num_worlds = 16;
+    options.index.model = model;
+    options.seed = 1;
+    auto owned = service::Engine::Create(graph, options);
+    ASSERT_TRUE(owned.ok()) << owned.status().ToString();
+
+    // Snapshot of the identical serving state (same options, same seed).
+    CascadeIndexOptions index_options = options.index;
+    Rng rng(options.seed);
+    auto index = CascadeIndex::Build(graph, index_options, &rng);
+    ASSERT_TRUE(index.ok());
+    TypicalCascadeComputer computer(&*index);
+    auto sweep = computer.ComputeAllFlat();
+    ASSERT_TRUE(sweep.ok());
+    const std::string path = TempPath("engine.soisnap");
+    SnapshotWriteOptions write_options;
+    write_options.model = model;
+    write_options.typical = &sweep->cascades;
+    ASSERT_TRUE(WriteSnapshot(graph, *index, path, write_options).ok());
+
+    auto snap = Snapshot::Open(path);
+    ASSERT_TRUE(snap.ok()) << snap.status().ToString();
+    service::EngineParts parts;
+    parts.graph = (*snap)->MakeGraph();
+    auto borrowed_index = (*snap)->MakeIndex();
+    ASSERT_TRUE(borrowed_index.ok());
+    parts.index = std::move(*borrowed_index);
+    parts.typical = (*snap)->MakeTypical();
+    parts.storage = *snap;
+    auto mapped = service::Engine::FromParts(std::move(parts), options);
+    ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+
+    std::vector<service::Request> requests;
+    requests.push_back({service::TypicalCascadeRequest{{3}, false}, 0});
+    requests.push_back({service::TypicalCascadeRequest{{3, 5}, true}, 0});
+    requests.push_back({service::CascadeRequest{{2}, 4}, 0});
+    requests.push_back({service::SpreadRequest{{3, 17}}, 0});
+    requests.push_back({service::SeedSelectRequest{4, "tc"}, 0});
+    requests.push_back({service::SeedSelectRequest{4, "std"}, 0});
+    requests.push_back({service::ReliabilityRequest{{3}, 0.3}, 0});
+
+    for (const uint32_t threads : {1u, 8u}) {
+      SetGlobalThreads(threads);
+      auto from_owned = owned->RunBatch(requests);
+      auto from_mapped = mapped->RunBatch(requests);
+      ASSERT_TRUE(from_owned.ok());
+      ASSERT_TRUE(from_mapped.ok());
+      for (size_t i = 0; i < requests.size(); ++i) {
+        EXPECT_EQ(service::FormatResponseLine(static_cast<int64_t>(i),
+                                              (*from_owned)[i]),
+                  service::FormatResponseLine(static_cast<int64_t>(i),
+                                              (*from_mapped)[i]))
+            << "request " << i << " model "
+            << (model == PropagationModel::kLinearThreshold ? "lt" : "ic")
+            << " threads " << threads;
+      }
+    }
+    SetGlobalThreads(0);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The corruption corpus. Untrusted bytes must come back as InvalidArgument
+// with an actionable message — never a CHECK, never an out-of-bounds read.
+// ---------------------------------------------------------------------------
+
+class SnapshotCorruptionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    graph_ = RandomGraph(40, 200, 13);
+    index_ = BuildIndex(graph_, PropagationModel::kIndependentCascade);
+    bytes_ = SnapshotBytes(graph_, index_);
+  }
+
+  // Writes `bytes` to a temp file and expects Open (at `validation`) to fail
+  // with InvalidArgument mentioning `needle`.
+  void ExpectOpenFails(const std::string& bytes, const std::string& needle,
+                       SnapshotValidation validation =
+                           SnapshotValidation::kStructural) {
+    const std::string path = TempPath("corrupt.soisnap");
+    WriteBytes(path, bytes);
+    auto snap = Snapshot::Open(path, validation);
+    ASSERT_FALSE(snap.ok()) << "expected failure mentioning: " << needle;
+    EXPECT_EQ(snap.status().code(), StatusCode::kInvalidArgument)
+        << snap.status().ToString();
+    EXPECT_NE(snap.status().ToString().find(needle), std::string::npos)
+        << "message was: " << snap.status().ToString();
+  }
+
+  ProbGraph graph_;
+  CascadeIndex index_;
+  std::string bytes_;
+};
+
+TEST_F(SnapshotCorruptionTest, PristineBytesPassFullValidation) {
+  const std::string path = TempPath("pristine.soisnap");
+  WriteBytes(path, bytes_);
+  EXPECT_TRUE(Snapshot::Open(path, SnapshotValidation::kFull).ok());
+}
+
+TEST_F(SnapshotCorruptionTest, TruncationAtEveryLayerIsRejected) {
+  // Shorter than the header.
+  ExpectOpenFails(bytes_.substr(0, 10), "truncated");
+  ExpectOpenFails(bytes_.substr(0, 63), "truncated");
+  // Header intact but the declared file size no longer matches.
+  ExpectOpenFails(bytes_.substr(0, 64), "truncated or padded");
+  ExpectOpenFails(bytes_.substr(0, bytes_.size() / 2), "truncated or padded");
+  ExpectOpenFails(bytes_.substr(0, bytes_.size() - 1), "truncated or padded");
+  // Padded is as suspect as truncated.
+  ExpectOpenFails(bytes_ + std::string(16, '\0'), "truncated or padded");
+}
+
+TEST_F(SnapshotCorruptionTest, WrongMagicNamesTheLegacyFormat) {
+  std::string bad = bytes_;
+  std::memcpy(bad.data(), "SOIIDX1\0", 8);
+  ExpectOpenFails(bad, "wrong magic");
+}
+
+TEST_F(SnapshotCorruptionTest, FutureVersionIsRefusedWithUpgradeHint) {
+  std::string bad = bytes_;
+  const uint32_t future = 99;
+  std::memcpy(bad.data() + offsetof(SnapshotHeader, version), &future,
+              sizeof(future));
+  ExpectOpenFails(bad, "unsupported version 99");
+}
+
+TEST_F(SnapshotCorruptionTest, BigEndianFileIsNamedAsSuch) {
+  std::string bad = bytes_;
+  const uint32_t swapped = 0x04030201u;
+  std::memcpy(bad.data() + offsetof(SnapshotHeader, endian_tag), &swapped,
+              sizeof(swapped));
+  ExpectOpenFails(bad, "big-endian");
+}
+
+TEST_F(SnapshotCorruptionTest, ForeignCapabilityFlagsAreRefused) {
+  std::string bad = bytes_;
+  uint64_t flags = 0;
+  std::memcpy(&flags, bad.data() + offsetof(SnapshotHeader, flags),
+              sizeof(flags));
+  flags |= 1ull << 40;  // a capability this binary has never heard of
+  std::memcpy(bad.data() + offsetof(SnapshotHeader, flags), &flags,
+              sizeof(flags));
+  ExpectOpenFails(bad, "unknown capability flags");
+}
+
+TEST_F(SnapshotCorruptionTest, TornSectionTableFailsTheHeaderChecksum) {
+  std::string bad = bytes_;
+  bad[sizeof(SnapshotHeader) + 20] ^= 0xFF;  // inside the section table
+  ExpectOpenFails(bad, "checksum mismatch");
+}
+
+TEST_F(SnapshotCorruptionTest, PayloadBitRotCaughtByFullValidationOnly) {
+  // Flip one byte inside the probability payload: structurally the file is
+  // still sound (probabilities are not id-range-checked), so kStructural
+  // admits it — exactly why `snapshot verify` runs kFull.
+  const SectionEntry probs = FindSection(bytes_, SectionKind::kGraphProbs);
+  std::string bad = bytes_;
+  bad[probs.offset + probs.byte_size / 2] ^= 0x01;
+  const std::string path = TempPath("bitrot.soisnap");
+  WriteBytes(path, bad);
+  EXPECT_TRUE(Snapshot::Open(path, SnapshotValidation::kStructural).ok());
+  ExpectOpenFails(bad, "payload checksum mismatch", SnapshotValidation::kFull);
+}
+
+TEST_F(SnapshotCorruptionTest, OutOfRangeIdsAreCaughtStructurally) {
+  // Corrupt a stored node id to be >= num_nodes. Structural validation must
+  // refuse the file — this is the check that guarantees no query ever reads
+  // out of bounds — but the section-table CRC still passes (the table itself
+  // is intact), so we know the *range scan* caught it, not a checksum.
+  const SectionEntry targets = FindSection(bytes_, SectionKind::kGraphTargets);
+  std::string bad = bytes_;
+  const uint32_t huge = 0x7FFFFFFFu;
+  std::memcpy(bad.data() + targets.offset, &huge, sizeof(huge));
+  ExpectOpenFails(bad, "out of node range");
+}
+
+TEST_F(SnapshotCorruptionTest, MissingFileIsAnIOErrorNotACrash) {
+  auto snap = Snapshot::Open(TempPath("does-not-exist.soisnap"));
+  ASSERT_FALSE(snap.ok());
+  EXPECT_EQ(snap.status().code(), StatusCode::kIOError)
+      << snap.status().ToString();
+}
+
+TEST(SnapshotWriterTest, RejectsMismatchedInputsWithStatus) {
+  const ProbGraph graph = RandomGraph(30, 150, 17);
+  const ProbGraph other = RandomGraph(31, 150, 17);
+  const CascadeIndex index =
+      BuildIndex(graph, PropagationModel::kIndependentCascade);
+  // Index covers a different node count than the graph.
+  EXPECT_FALSE(SerializeSnapshot(other, index, {}).ok());
+  // Typical table with the wrong number of sets.
+  FlatSets wrong;
+  const std::vector<uint32_t> one_set = {0};
+  wrong.AddSet(one_set);
+  SnapshotWriteOptions options;
+  options.typical = &wrong;
+  EXPECT_FALSE(SerializeSnapshot(graph, index, options).ok());
+}
+
+}  // namespace
+}  // namespace soi

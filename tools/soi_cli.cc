@@ -16,6 +16,12 @@
 //   soi_cli serve       --graph g.txt [--worlds 256] [--seed 1]
 //                       (--stdin | --port N) [--max-batch 1024]
 //                       [--max-in-flight 4] [--timeout-ms 0]
+//   soi_cli serve       --snapshot s.soisnap (--stdin | --port N)
+//                       (mmap'd instant restart; SIGHUP hot-reloads the file)
+//   soi_cli snapshot create --graph g.txt [--worlds 256] [--model ic|lt]
+//                       [--seed 1] [--no-typical] --out s.soisnap
+//   soi_cli snapshot info   --in s.soisnap
+//   soi_cli snapshot verify --in s.soisnap
 //
 // Every subcommand's flags live in one declarative table (see Commands()
 // below); `soi_cli <command> --help` prints the generated flag reference
@@ -51,7 +57,9 @@
 // Graphs are whitespace edge lists: "src dst [prob]" (SNAP files load
 // directly; missing probabilities default to --default-prob).
 
+#include <csignal>
 #include <cstdio>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <utility>
@@ -74,7 +82,10 @@
 #include "reliability/reliability.h"
 #include "runtime/parallel_for.h"
 #include "service/engine.h"
+#include "service/hot_swap.h"
 #include "service/server.h"
+#include "snapshot/reader.h"
+#include "snapshot/writer.h"
 #include "util/flags.h"
 #include "util/rng.h"
 #include "util/stats.h"
@@ -194,6 +205,9 @@ std::vector<CommandSpec> Commands() {
                     "serve requests from stdin, responses to stdout"},
                    {"port", FlagType::kInt, "",
                     "serve TCP on 127.0.0.1:<port> (0 = ephemeral)"},
+                   {"snapshot", FlagType::kString, "",
+                    "serve from this soi-snap-v1 file (mmap, no rebuild; "
+                    "--graph/index flags unused; SIGHUP hot-reloads)"},
                    {"max-batch", FlagType::kInt, "1024",
                     "largest request batch the engine accepts"},
                    {"max-in-flight", FlagType::kInt, "4",
@@ -205,6 +219,26 @@ std::vector<CommandSpec> Commands() {
                    {"max-connections", FlagType::kInt, "0",
                     "TCP only: stop after N connections (0 = forever)"}},
                   /*graph=*/true, /*index=*/true)});
+  commands.push_back(
+      {"snapshot-create",
+       "build index + typical table and write a soi-snap-v1 snapshot", "",
+       WithShared({{"out", FlagType::kString, "",
+                    "output snapshot path (required)"},
+                   {"no-typical", FlagType::kBool, "",
+                    "skip the typical-cascade table (smaller file; "
+                    "seed_select pays the sweep on first query)"}},
+                  /*graph=*/true, /*index=*/true)});
+  commands.push_back(
+      {"snapshot-info", "print a snapshot's header facts", "",
+       WithShared({{"in", FlagType::kString, "",
+                    "snapshot path (required)"}},
+                  /*graph=*/false, /*index=*/false)});
+  commands.push_back(
+      {"snapshot-verify",
+       "validate structure plus per-section CRC-32C checksums", "",
+       WithShared({{"in", FlagType::kString, "",
+                    "snapshot path (required)"}},
+                  /*graph=*/false, /*index=*/false)});
   return commands;
 }
 
@@ -512,6 +546,100 @@ int CmdReliability(const FlagParser& flags) {
   return 0;
 }
 
+// Builds the full serving state (index + typical-cascade table unless
+// --no-typical) and writes it as one mmap-able soi-snap-v1 file, so a later
+// `serve --snapshot` answers its first query without rebuilding anything.
+int CmdSnapshotCreate(const FlagParser& flags) {
+  CLI_ASSIGN(out, flags.GetString("out", ""));
+  if (out.empty()) return Fail(Status::InvalidArgument("--out required"));
+  const Status out_ok = ValidateWritableOutPath(out);
+  if (!out_ok.ok()) return Fail(out_ok);
+  CLI_ASSIGN(graph, LoadGraph(flags));
+  CLI_ASSIGN(index_options, IndexOptionsFromFlags(flags));
+  CLI_ASSIGN(index, BuildIndexFromFlags(graph, flags));
+
+  SnapshotWriteOptions options;
+  options.model = index_options.model;
+  TypicalCascadeSweep sweep;
+  if (!flags.GetBool("no-typical", false)) {
+    SOI_OBS_SPAN("cli/compute_typical");
+    TypicalCascadeComputer computer(&index);
+    CLI_ASSIGN(computed, computer.ComputeAllFlat());
+    sweep = std::move(computed);
+    options.typical = &sweep.cascades;
+  }
+  Status written = Status::OK();
+  {
+    SOI_OBS_SPAN("cli/write_snapshot");
+    written = WriteSnapshot(graph, index, out, options);
+  }
+  if (!written.ok()) return Fail(written);
+
+  CLI_ASSIGN(snap, Snapshot::Open(out));
+  std::printf("wrote %s: %u nodes, %llu edges, %u worlds, %u sections, "
+              "%.1f MiB (closures %s, typical %s)\n",
+              out.c_str(), snap->info().num_nodes,
+              static_cast<unsigned long long>(snap->info().num_edges),
+              snap->info().num_worlds, snap->info().section_count,
+              static_cast<double>(snap->info().file_size) / (1 << 20),
+              snap->info().has_closures ? "yes" : "no",
+              snap->info().has_typical ? "yes" : "no");
+  return 0;
+}
+
+int CmdSnapshotInfo(const FlagParser& flags) {
+  CLI_ASSIGN(in, flags.GetString("in", ""));
+  if (in.empty()) return Fail(Status::InvalidArgument("--in required"));
+  CLI_ASSIGN(snap, Snapshot::Open(in));
+  const SnapshotInfo& info = snap->info();
+  std::printf("soi-snap-v%u: %s\n", info.version, in.c_str());
+  std::printf("  file:     %llu bytes, %u sections\n",
+              static_cast<unsigned long long>(info.file_size),
+              info.section_count);
+  std::printf("  graph:    %u nodes, %llu edges\n", info.num_nodes,
+              static_cast<unsigned long long>(info.num_edges));
+  std::printf("  worlds:   %u (model %s)\n", info.num_worlds,
+              info.model == PropagationModel::kLinearThreshold ? "lt" : "ic");
+  std::printf("  closures: %s\n", info.has_closures ? "yes" : "no");
+  std::printf("  typical:  %s\n", info.has_typical ? "yes" : "no");
+  return 0;
+}
+
+int CmdSnapshotVerify(const FlagParser& flags) {
+  CLI_ASSIGN(in, flags.GetString("in", ""));
+  if (in.empty()) return Fail(Status::InvalidArgument("--in required"));
+  auto snap = Snapshot::Open(in, SnapshotValidation::kFull);
+  if (!snap.ok()) {
+    std::fprintf(stderr, "verify FAILED: %s\n",
+                 snap.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("ok: %s (%u sections, all CRC-32C checks passed)\n", in.c_str(),
+              (*snap)->info().section_count);
+  return 0;
+}
+
+// Assembles a ready-to-serve engine from an open snapshot: borrowed views
+// into the mapping, typical table pre-seeded when present, the snapshot
+// itself anchored as the engine's storage.
+Result<service::Engine> EngineFromSnapshot(
+    std::shared_ptr<const Snapshot> snap,
+    const service::EngineOptions& options) {
+  service::EngineParts parts;
+  parts.graph = snap->MakeGraph();
+  SOI_ASSIGN_OR_RETURN(parts.index, snap->MakeIndex());
+  if (snap->info().has_typical) parts.typical = snap->MakeTypical();
+  parts.storage = std::move(snap);
+  return service::Engine::FromParts(std::move(parts), options);
+}
+
+// SIGHUP requests a snapshot reload. The handler only sets a flag (installed
+// without SA_RESTART so a blocking read wakes with EINTR); the serve loop's
+// poll hook does the actual Open + Swap from normal context.
+volatile std::sig_atomic_t g_reload_requested = 0;
+
+void HandleSighup(int) { g_reload_requested = 1; }
+
 // Builds the engine once, then serves the line-JSON protocol until the
 // client goes away (EOF on stdin, or --max-connections TCP clients).
 int CmdServe(const FlagParser& flags) {
@@ -525,12 +653,8 @@ int CmdServe(const FlagParser& flags) {
     return Fail(Status::InvalidArgument("--port must be <= 65535"));
   }
 
-  CLI_ASSIGN(graph, LoadGraph(flags));
+  CLI_ASSIGN(snapshot_path, flags.GetString("snapshot", ""));
   service::EngineOptions options;
-  CLI_ASSIGN(index_options, IndexOptionsFromFlags(flags));
-  options.index = index_options;
-  CLI_ASSIGN(seed, flags.GetInt("seed", 1));
-  options.seed = static_cast<uint64_t>(seed);
   CLI_ASSIGN(max_batch, flags.GetInt("max-batch", 1024));
   CLI_ASSIGN(max_in_flight, flags.GetInt("max-in-flight", 4));
   CLI_ASSIGN(timeout_ms, flags.GetInt("timeout-ms", 0));
@@ -543,10 +667,6 @@ int CmdServe(const FlagParser& flags) {
   options.max_in_flight = static_cast<uint32_t>(max_in_flight);
   options.default_timeout_ms = static_cast<uint64_t>(timeout_ms);
 
-  CLI_ASSIGN(engine, service::Engine::Create(std::move(graph), options));
-  std::fprintf(stderr, "serve: index ready (%u nodes, %u worlds)\n",
-               engine.index().num_nodes(), engine.index().num_worlds());
-
   service::ServeOptions serve_options;
   CLI_ASSIGN(batch_max, flags.GetInt("batch-max", 0));
   CLI_ASSIGN(max_connections, flags.GetInt("max-connections", 0));
@@ -556,6 +676,70 @@ int CmdServe(const FlagParser& flags) {
   }
   serve_options.batch_max = static_cast<uint32_t>(batch_max);
   serve_options.max_connections = static_cast<uint32_t>(max_connections);
+
+  if (!snapshot_path.empty()) {
+    // Instant restart: mmap the snapshot and serve straight from it — no
+    // sampling, no SCC runs, no closure rebuild. SIGHUP hot-reloads the
+    // file behind an EngineHandle while in-flight batches drain.
+    CLI_ASSIGN(snap, Snapshot::Open(snapshot_path));
+    CLI_ASSIGN(first, EngineFromSnapshot(std::move(snap), options));
+    std::fprintf(stderr,
+                 "serve: snapshot mapped (%u nodes, %u worlds, no rebuild)\n",
+                 first.index().num_nodes(), first.index().num_worlds());
+    service::EngineHandle handle(std::move(first));
+
+    g_reload_requested = 0;
+    struct sigaction action {};
+    action.sa_handler = HandleSighup;
+    sigemptyset(&action.sa_mask);
+    action.sa_flags = 0;  // no SA_RESTART: blocking reads wake with EINTR
+    struct sigaction previous {};
+    ::sigaction(SIGHUP, &action, &previous);
+
+    serve_options.poll = [&handle, &snapshot_path, &options]() {
+      if (!g_reload_requested) return;
+      g_reload_requested = 0;
+      auto reopened = Snapshot::Open(snapshot_path);
+      Result<service::Engine> next =
+          reopened.ok() ? EngineFromSnapshot(std::move(*reopened), options)
+                        : Result<service::Engine>(reopened.status());
+      if (!next.ok()) {
+        // Keep serving the old engine; a bad file on disk must not take
+        // down a healthy server.
+        std::fprintf(stderr, "serve: reload failed, keeping old engine: %s\n",
+                     next.status().ToString().c_str());
+        return;
+      }
+      handle.Swap(std::move(*next));
+      std::fprintf(stderr, "serve: snapshot reloaded (epoch %llu)\n",
+                   static_cast<unsigned long long>(handle.epoch()));
+    };
+
+    Status served = Status::OK();
+    if (use_stdin) {
+      served = service::ServeStream(&handle, /*in_fd=*/0, /*out_fd=*/1,
+                                    serve_options);
+    } else {
+      uint16_t bound_port = 0;
+      std::fprintf(stderr, "serve: listening on 127.0.0.1:%lld\n",
+                   static_cast<long long>(port_i64));
+      served = service::ServeTcp(&handle, static_cast<uint16_t>(port_i64),
+                                 serve_options, &bound_port);
+    }
+    ::sigaction(SIGHUP, &previous, nullptr);
+    if (!served.ok()) return Fail(served);
+    return 0;
+  }
+
+  CLI_ASSIGN(graph, LoadGraph(flags));
+  CLI_ASSIGN(index_options, IndexOptionsFromFlags(flags));
+  options.index = index_options;
+  CLI_ASSIGN(seed, flags.GetInt("seed", 1));
+  options.seed = static_cast<uint64_t>(seed);
+
+  CLI_ASSIGN(engine, service::Engine::Create(std::move(graph), options));
+  std::fprintf(stderr, "serve: index ready (%u nodes, %u worlds)\n",
+               engine.index().num_nodes(), engine.index().num_worlds());
 
   Status served = Status::OK();
   if (use_stdin) {
@@ -579,7 +763,21 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr, "%s", FormatProgramHelp(program, commands).c_str());
     return 2;
   }
-  const std::string command = argv[1];
+  std::string command = argv[1];
+  // "snapshot create|info|verify" is one spaced command; rewrite it to the
+  // hyphenated spec name and shift the flag window past the subcommand.
+  int flag_start = 2;
+  if (command == "snapshot") {
+    const std::string sub = argc >= 3 ? argv[2] : "";
+    if (sub != "create" && sub != "info" && sub != "verify") {
+      std::fprintf(stderr,
+                   "snapshot: expected a subcommand: "
+                   "create | info | verify\n");
+      return 2;
+    }
+    command += "-" + sub;
+    flag_start = 3;
+  }
   if (command == "help" || command == "--help" || command == "-h") {
     if (argc >= 3) {
       for (const CommandSpec& spec : commands) {
@@ -610,7 +808,7 @@ int Main(int argc, char** argv) {
   }
 
   std::vector<std::string> tokens;
-  for (int i = 2; i < argc; ++i) tokens.emplace_back(argv[i]);
+  for (int i = flag_start; i < argc; ++i) tokens.emplace_back(argv[i]);
   for (const std::string& token : tokens) {
     if (token == "--help" || token == "-h") {
       std::printf("%s", FormatCommandHelp(program, *spec).c_str());
@@ -672,6 +870,12 @@ int Main(int argc, char** argv) {
     rc = CmdStability(flags);
   } else if (command == "reliability") {
     rc = CmdReliability(flags);
+  } else if (command == "snapshot-create") {
+    rc = CmdSnapshotCreate(flags);
+  } else if (command == "snapshot-info") {
+    rc = CmdSnapshotInfo(flags);
+  } else if (command == "snapshot-verify") {
+    rc = CmdSnapshotVerify(flags);
   } else {
     rc = CmdServe(flags);
   }
