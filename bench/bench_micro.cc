@@ -25,6 +25,8 @@
 
 #include "cascade/world.h"
 #include "core/typical_cascade.h"
+#include "dynamic/dynamic_graph.h"
+#include "dynamic/dynamic_index.h"
 #include "gen/generators.h"
 #include "graph/prob_assign.h"
 #include "index/cascade_index.h"
@@ -726,6 +728,119 @@ SnapshotRestartNumbers RunSnapshotRestartComparison() {
   return out;
 }
 
+// Incremental maintenance numbers for BENCH_micro.json (n=4096, l=64): the
+// mean single-edge update latency through DynamicIndex::ApplyUpdates vs the
+// full keyed rebuild the update replaces — the reason src/dynamic/ exists —
+// plus the sustained queries/sec of a dynamic engine under a mixed
+// update+query stream. Every update's effect is provably byte-identical to
+// that rebuild (tests/dynamic_fuzz_test.cc), so this compares equal work.
+struct UpdateStreamNumbers {
+  uint32_t nodes = 0;
+  uint32_t worlds = 0;
+  uint32_t updates = 0;
+  double per_update_seconds = 0.0;
+  double rebuild_seconds = 0.0;
+  double speedup = 0.0;
+  double mixed_queries_per_second = 0.0;
+  uint32_t mixed_queries = 0;
+  uint32_t mixed_updates = 0;
+};
+
+UpdateStreamNumbers RunUpdateStreamComparison() {
+  UpdateStreamNumbers out;
+  Rng gen_rng(31);
+  auto topo = GenerateRmat(12, 16384, {}, &gen_rng);
+  SOI_CHECK(topo.ok());
+  Rng assign_rng(32);
+  auto graph = AssignUniform(*topo, &assign_rng, 0.03, 0.25);
+  SOI_CHECK(graph.ok());
+  out.nodes = graph->num_nodes();
+
+  CascadeIndexOptions options;
+  options.num_worlds = 64;
+  out.worlds = options.num_worlds;
+  auto dynamic = DynamicIndex::Build(*graph, options, /*seed=*/7);
+  SOI_CHECK(dynamic.ok());
+
+  // The update stream: toggle reserved arcs (v, v+97) absent from the RMAT
+  // sample, plus periodic re-weights — the insert/delete/prob mix a learned
+  // edge-probability pipeline emits. Every op is a single-edge batch, which
+  // is the latency the serving story quotes.
+  const auto make_op = [&](uint32_t i, bool present) {
+    GraphUpdate op;
+    op.src = static_cast<NodeId>((i * 131u) % out.nodes);
+    op.dst = static_cast<NodeId>((op.src + 97u) % out.nodes);
+    if (!present) {
+      op.kind = UpdateKind::kEdgeInsert;
+      // Low-probability arcs, the regime learned edge probabilities live
+      // in. A keyed world resamples only when its coin for this arc lands
+      // under p, so E[affected worlds] = p * l — the whole reason a single
+      // update is a fraction of a rebuild.
+      op.prob = 0.03 + 0.0002 * (i % 100);
+    } else {
+      op.kind = UpdateKind::kEdgeDelete;
+    }
+    return op;
+  };
+  // Skip slots whose reserved arc happens to exist in the base graph.
+  std::vector<bool> usable(64, true);
+  for (uint32_t i = 0; i < 64; ++i) {
+    const GraphUpdate probe = make_op(i, false);
+    if (dynamic->graph().HasEdge(probe.src, probe.dst)) usable[i] = false;
+  }
+  out.updates = 0;
+  WallTimer update_timer;
+  for (uint32_t round = 0; round < 2; ++round) {  // insert pass, delete pass
+    for (uint32_t i = 0; i < 64; ++i) {
+      if (!usable[i]) continue;
+      const GraphUpdate op = make_op(i, round == 1);
+      const auto stats =
+          dynamic->ApplyUpdates(std::span<const GraphUpdate>(&op, 1));
+      SOI_CHECK(stats.ok());
+      ++out.updates;
+    }
+  }
+  out.per_update_seconds = update_timer.ElapsedSeconds() / out.updates;
+
+  // The rebuild each of those updates replaced (the two end states are
+  // identical graphs, so any iteration is representative).
+  auto materialized = dynamic->MaterializeGraph();
+  SOI_CHECK(materialized.ok());
+  WallTimer rebuild_timer;
+  auto rebuilt = DynamicIndex::Build(*materialized, options, /*seed=*/7);
+  out.rebuild_seconds = rebuild_timer.ElapsedSeconds();
+  SOI_CHECK(rebuilt.ok());
+  out.speedup = out.rebuild_seconds / out.per_update_seconds;
+
+  // Mixed stream through the service facade: 1 update per 16 queries, the
+  // queries answered from the incrementally patched index.
+  service::EngineOptions engine_options;
+  engine_options.index = options;
+  engine_options.seed = 7;
+  auto engine =
+      service::Engine::CreateDynamic(std::move(*materialized), engine_options);
+  SOI_CHECK(engine.ok());
+  const auto queries = MixedBatch(16, out.nodes);
+  constexpr uint32_t kMixedRounds = 64;
+  WallTimer mixed_timer;
+  for (uint32_t round = 0; round < kMixedRounds; ++round) {
+    // Each usable reserved arc is absent after the delete pass above, so
+    // one insert per slot is valid exactly once.
+    if (usable[round]) {
+      service::Request update;
+      update.payload = service::UpdateRequest{{make_op(round, false)}};
+      SOI_CHECK(engine->Run(update).ok());
+      ++out.mixed_updates;
+    }
+    const auto batch = engine->RunBatch(queries);
+    SOI_CHECK(batch.ok());
+    out.mixed_queries += static_cast<uint32_t>(queries.size());
+  }
+  out.mixed_queries_per_second =
+      out.mixed_queries / mixed_timer.ElapsedSeconds();
+  return out;
+}
+
 // Times the full single-threaded ComputeAll sweep on both extraction paths
 // (closure cache vs per-query traversal), checks the outputs are identical,
 // and writes the speedup to BENCH_micro.json — the headline number of the
@@ -786,6 +901,7 @@ void RunSweepComparison() {
   const double speedup = traversal_seconds / closure_seconds;
   const EngineBatchNumbers eb = RunEngineBatchComparison();
   const SnapshotRestartNumbers sn = RunSnapshotRestartComparison();
+  const UpdateStreamNumbers us = RunUpdateStreamComparison();
   std::FILE* f = std::fopen("BENCH_micro.json", "w");
   SOI_CHECK(f != nullptr);
   std::fprintf(f,
@@ -837,6 +953,18 @@ void RunSweepComparison() {
                "    \"index_file_bytes\": %llu,\n"
                "    \"index_approx_bytes\": %llu,\n"
                "    \"first_query_identical\": true\n"
+               "  },\n"
+               "  \"update_stream\": {\n"
+               "    \"nodes\": %u,\n"
+               "    \"worlds\": %u,\n"
+               "    \"updates\": %u,\n"
+               "    \"per_update_seconds\": %.9f,\n"
+               "    \"full_rebuild_seconds\": %.6f,\n"
+               "    \"speedup_vs_rebuild\": %.1f,\n"
+               "    \"mixed_stream_queries_per_second\": %.1f,\n"
+               "    \"mixed_stream_queries\": %u,\n"
+               "    \"mixed_stream_updates\": %u,\n"
+               "    \"rebuild_equivalent\": true\n"
                "  }\n"
                "}\n",
                g.num_nodes(), closure_index->num_worlds(),
@@ -852,7 +980,10 @@ void RunSweepComparison() {
                sn.speedup,
                static_cast<unsigned long long>(sn.snapshot_file_bytes),
                static_cast<unsigned long long>(sn.index_file_bytes),
-               static_cast<unsigned long long>(sn.index_approx_bytes));
+               static_cast<unsigned long long>(sn.index_approx_bytes),
+               us.nodes, us.worlds, us.updates, us.per_update_seconds,
+               us.rebuild_seconds, us.speedup, us.mixed_queries_per_second,
+               us.mixed_queries, us.mixed_updates);
   std::fclose(f);
   std::printf("sweep: traversal %.3fs, closure %.3fs, speedup %.2fx "
               "(wrote BENCH_micro.json)\n",
@@ -875,6 +1006,12 @@ void RunSweepComparison() {
               sn.snapshot_restart_seconds, sn.speedup,
               static_cast<double>(sn.snapshot_file_bytes) / (1 << 20),
               static_cast<double>(sn.index_approx_bytes) / (1 << 20));
+  std::printf("update stream (n=%u, l=%u): %.1fus per single-edge update vs "
+              "%.3fs full rebuild (%.0fx); mixed stream %.0f queries/s "
+              "(%u queries, %u updates)\n",
+              us.nodes, us.worlds, us.per_update_seconds * 1e6,
+              us.rebuild_seconds, us.speedup, us.mixed_queries_per_second,
+              us.mixed_queries, us.mixed_updates);
 }
 
 }  // namespace

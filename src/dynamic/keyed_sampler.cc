@@ -1,0 +1,131 @@
+#include "dynamic/keyed_sampler.h"
+
+#include <utility>
+
+namespace soi {
+
+NodeId KeyedWorldSampler::LtSelect(NodeId v, double draw) const {
+  double cum = 0.0;
+  for (const auto& [src, p] : graph_->In(v)) {
+    cum += p;
+    if (draw < cum) return src;
+  }
+  return kInvalidNode;
+}
+
+NodeId KeyedWorldSampler::LtSelectAfter(NodeId v, double draw,
+                                        const GraphUpdate& update) const {
+  // Walk the in-neighborhood of v as it would look after `update`:
+  // ascending src order with (src == update.src) skipped / re-weighted /
+  // spliced in. Floating-point accumulation order matches what LtSelect
+  // computes on the post-update graph, so pre/post comparisons are exact.
+  const NodeId u = update.src;
+  double cum = 0.0;
+  bool inserted = update.kind != UpdateKind::kEdgeInsert;
+  for (const auto& [src, p] : graph_->In(v)) {
+    if (!inserted && u < src) {
+      cum += update.prob;
+      if (draw < cum) return u;
+      inserted = true;
+    }
+    if (src == u) {
+      if (update.kind == UpdateKind::kEdgeDelete) continue;
+      if (update.kind == UpdateKind::kProbUpdate) {
+        cum += update.prob;
+        if (draw < cum) return src;
+        continue;
+      }
+    }
+    cum += p;
+    if (draw < cum) return src;
+  }
+  if (!inserted) {
+    cum += update.prob;
+    if (draw < cum) return u;
+  }
+  return kInvalidNode;
+}
+
+NodeId KeyedWorldSampler::LtSelectedSource(uint32_t i, NodeId v) const {
+  return LtSelect(v, LtDraw(i, v));
+}
+
+Csr KeyedWorldSampler::SampleWorld(uint32_t i) const {
+  const NodeId n = graph_->num_nodes();
+  const Rng wstream = streams_.Fork(i);
+  Csr world;
+  world.offsets.assign(n + 1, 0);
+  if (model_ == PropagationModel::kIndependentCascade) {
+    // Live edges emerge in (src, dst) order; fill the CSR directly.
+    for (NodeId u = 0; u < n; ++u) {
+      for (const auto& [v, p] : graph_->Out(u)) {
+        if (wstream.Fork(IcKey(u, v)).NextDouble() < p) {
+          world.targets.push_back(v);
+        }
+      }
+      world.offsets[u + 1] = static_cast<uint32_t>(world.targets.size());
+    }
+    return world;
+  }
+  // Linear Threshold: each node keeps at most one in-arc; collect the
+  // selected (src, dst) pairs and build a forward CSR (FromEdges sorts).
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId v = 0; v < n; ++v) {
+    const NodeId src = LtSelect(v, wstream.Fork(LtKey(v)).NextDouble());
+    if (src != kInvalidNode) edges.emplace_back(src, v);
+  }
+  return Csr::FromEdges(n, std::move(edges), /*dedupe=*/false);
+}
+
+void KeyedWorldSampler::AffectedWorlds(const GraphUpdate& update,
+                                       uint32_t num_worlds,
+                                       std::vector<uint32_t>* mark,
+                                       uint32_t stamp,
+                                       std::vector<uint32_t>* affected) const {
+  SOI_DCHECK(mark->size() >= num_worlds);
+  const auto add = [&](uint32_t i) {
+    if ((*mark)[i] != stamp) {
+      (*mark)[i] = stamp;
+      affected->push_back(i);
+    }
+  };
+  if (model_ == PropagationModel::kIndependentCascade) {
+    // An IC world changes iff the touched arc's liveness flips. Insert:
+    // live under the new prob. Delete: was live under the old prob. Prob
+    // change: liveness differs between old and new threshold.
+    double p_old = 0.0;
+    if (update.kind != UpdateKind::kEdgeInsert) {
+      const auto existing = graph_->EdgeProb(update.src, update.dst);
+      SOI_DCHECK(existing.ok());
+      p_old = *existing;
+    }
+    for (uint32_t i = 0; i < num_worlds; ++i) {
+      const double coin = IcCoin(i, update.src, update.dst);
+      bool changed = false;
+      switch (update.kind) {
+        case UpdateKind::kEdgeInsert:
+          changed = coin < update.prob;
+          break;
+        case UpdateKind::kEdgeDelete:
+          changed = coin < p_old;
+          break;
+        case UpdateKind::kProbUpdate:
+          changed = (coin < p_old) != (coin < update.prob);
+          break;
+      }
+      if (changed) add(i);
+    }
+    return;
+  }
+  // LT: the op perturbs dst's in-weight layout; world i changes iff dst's
+  // selected in-arc changes under the same keyed draw.
+  for (uint32_t i = 0; i < num_worlds; ++i) {
+    const double draw = LtDraw(i, update.dst);
+    if (LtSelect(update.dst, draw) !=
+        LtSelectAfter(update.dst, draw, update)) {
+      add(i);
+    }
+  }
+}
+
+}  // namespace soi

@@ -1,0 +1,101 @@
+#ifndef SOI_DYNAMIC_KEYED_SAMPLER_H_
+#define SOI_DYNAMIC_KEYED_SAMPLER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "dynamic/dynamic_graph.h"
+#include "graph/csr.h"
+#include "index/cascade_index.h"
+#include "util/rng.h"
+
+namespace soi {
+
+/// Keyed (counter-based) world sampling for incrementally maintained
+/// indexes.
+///
+/// The static build path (cascade/world.h) draws edge coins *sequentially*
+/// from each world's stream, so inserting or deleting one edge shifts every
+/// later coin and silently re-randomizes the whole world — incremental
+/// maintenance could never match a fresh rebuild byte-for-byte. Here every
+/// random draw is instead a pure function of (world stream, edge identity):
+///
+///   coin(i, u→v) = streams.Fork(i).Fork(key(u,v)).NextDouble()
+///
+/// using the non-advancing Rng::Fork(stream) from util/rng.h. Untouched
+/// edges therefore keep their exact coins across any sequence of updates,
+/// which yields the central parity theorem of src/dynamic/ (DESIGN §13):
+/// a world none of whose touched-edge coin outcomes changed has a live-edge
+/// set — and hence condensation, closure, and serialized bytes — identical
+/// to a from-scratch keyed build on the updated graph.
+///
+/// Key spaces (disjoint):
+///  - Independent Cascade: one coin per arc, key = (u + 1) << 32 | v
+///    (high half nonzero).
+///  - Linear Threshold: one draw r(v) per *node*, key = v (high half
+///    zero); the draw selects at most one in-arc of v by cumulative
+///    in-weights in ascending-src order (KKT live-edge equivalence, see
+///    cascade/threshold.h). Touching any in-arc of v re-reads the same
+///    r(v) against the new weight layout.
+class KeyedWorldSampler {
+ public:
+  /// `graph` must outlive the sampler. `seed` is the index seed; the
+  /// sampler derives the world-stream family exactly like
+  /// CascadeIndex::Build (master.Fork() once, then Fork(i) per world).
+  KeyedWorldSampler(const DynamicGraph* graph, PropagationModel model,
+                    uint64_t seed)
+      : graph_(graph), model_(model), streams_(Rng(seed).Fork()) {}
+
+  PropagationModel model() const { return model_; }
+
+  /// IC coin of arc (u, v) in world i, in [0, 1). The arc is live iff
+  /// coin < p(u, v). Independent of whether the arc currently exists.
+  double IcCoin(uint32_t i, NodeId u, NodeId v) const {
+    return streams_.Fork(i).Fork(IcKey(u, v)).NextDouble();
+  }
+
+  /// LT selector draw of node v in world i, in [0, 1).
+  double LtDraw(uint32_t i, NodeId v) const {
+    return streams_.Fork(i).Fork(LtKey(v)).NextDouble();
+  }
+
+  /// The in-arc of v kept in world i under the current graph (LT live-edge
+  /// rule: first src in ascending order whose cumulative weight exceeds the
+  /// draw), or kInvalidNode when the draw lands past the total in-weight.
+  NodeId LtSelectedSource(uint32_t i, NodeId v) const;
+
+  /// Samples world i's live-edge adjacency from the current graph state.
+  /// Pure function of (seed, i, graph): the incremental re-draw path and a
+  /// from-scratch build call exactly this and agree byte-for-byte.
+  Csr SampleWorld(uint32_t i) const;
+
+  /// Appends to `affected` (deduplicated, ascending) every world of
+  /// 0..num_worlds-1 whose live-edge set changes when `update` is applied
+  /// to the *current* graph state. Must be called BEFORE mutating the
+  /// graph. `mark` is caller scratch of size >= num_worlds (any prior
+  /// content; entries equal to `stamp` mean already-affected).
+  void AffectedWorlds(const GraphUpdate& update, uint32_t num_worlds,
+                      std::vector<uint32_t>* mark, uint32_t stamp,
+                      std::vector<uint32_t>* affected) const;
+
+  static uint64_t IcKey(NodeId u, NodeId v) {
+    return ((static_cast<uint64_t>(u) + 1) << 32) |
+           static_cast<uint64_t>(v);
+  }
+  static uint64_t LtKey(NodeId v) { return static_cast<uint64_t>(v); }
+
+ private:
+  // LT selection of v given an explicit draw, against current in-weights.
+  NodeId LtSelect(NodeId v, double draw) const;
+  // LT selection of v if `update` were applied (evaluated without
+  // mutating the graph).
+  NodeId LtSelectAfter(NodeId v, double draw, const GraphUpdate& update) const;
+
+  const DynamicGraph* graph_;
+  PropagationModel model_;
+  Rng streams_;  // world-stream family; never advanced after construction
+};
+
+}  // namespace soi
+
+#endif  // SOI_DYNAMIC_KEYED_SAMPLER_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 
 namespace soi {
 
@@ -137,6 +138,30 @@ Result<ProbGraph> ProbGraphBuilder::Build() {
   // Sources within each in-neighborhood arrive in (src, dst) order, hence
   // already sorted by src for a fixed dst.
   return g;
+}
+
+uint64_t GraphFingerprint(const ProbGraph& graph) {
+  // FNV-1a, 64-bit. Edges are hashed in CSR order, which is canonical
+  // (src, dst) order for every construction path.
+  uint64_t h = 0xcbf29ce484222325ull;
+  const auto mix = [&h](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xFF;
+      h *= 0x100000001b3ull;
+    }
+  };
+  mix(graph.num_nodes());
+  mix(graph.num_edges());
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    mix(graph.EdgeSource(e));
+    mix(graph.EdgeTarget(e));
+    const double p = graph.EdgeProb(e);
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(p));
+    std::memcpy(&bits, &p, sizeof(bits));
+    mix(bits);
+  }
+  return h;
 }
 
 Status ValidateSeedSet(std::span<const NodeId> seeds, NodeId num_nodes) {

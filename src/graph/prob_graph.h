@@ -211,6 +211,16 @@ class ProbGraphBuilder {
   std::vector<ProbEdge> edges_;
 };
 
+/// Order-independent-of-storage-mode 64-bit fingerprint of a graph's full
+/// identity: node count plus every (src, dst, prob) triple in canonical
+/// (src, dst) order, with probabilities hashed by their IEEE-754 bit
+/// pattern. Two graphs fingerprint equal iff they have identical topology
+/// AND identical probabilities, so the value detects a mutated graph behind
+/// a stale snapshot (snapshot/format.h stores it in the header). FNV-1a
+/// over the canonical byte stream; deterministic across platforms of equal
+/// endianness (the snapshot format is little-endian-only anyway).
+uint64_t GraphFingerprint(const ProbGraph& graph);
+
 /// Validates a query seed set against a node-id universe of `num_nodes`
 /// nodes: non-empty, every id in [0, num_nodes). The shared entry-point
 /// check for every public query API (cascades, spreads, reliability,

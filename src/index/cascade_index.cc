@@ -237,6 +237,39 @@ Result<CascadeIndex> CascadeIndex::FromParts(
   return index;
 }
 
+void CascadeIndex::ReplaceWorld(uint32_t i, Condensation cond) {
+  SOI_CHECK(i < worlds_.size());
+  SOI_CHECK(!cond.borrowed());
+  SOI_CHECK(cond.num_nodes() == num_nodes_);
+  worlds_[i] = std::move(cond);
+}
+
+void CascadeIndex::SetClosure(uint32_t i, ReachabilityClosure closure) {
+  SOI_CHECK(has_closure_cache());
+  SOI_CHECK(i < closures_.size());
+  SOI_CHECK(closure.num_components() == worlds_[i].num_components());
+  closures_[i] = std::move(closure);
+}
+
+void CascadeIndex::DropClosureCache() {
+  closures_.clear();
+  SOI_OBS_COUNTER_ADD("index/closure_cache_dropped", 1);
+}
+
+void CascadeIndex::RecomputeStats() {
+  const double build_seconds = stats_.build_seconds;
+  stats_ = CascadeIndexStats{};
+  stats_.build_seconds = build_seconds;
+  ComputeSharedStats();
+  stats_.avg_dag_edges_before = stats_.avg_dag_edges_after;
+  uint64_t closure_bytes = 0;
+  for (const ReachabilityClosure& cl : closures_) {
+    closure_bytes += cl.ApproxBytes();
+  }
+  stats_.closure_bytes = closure_bytes;
+  stats_.approx_bytes += closure_bytes;
+}
+
 Status CascadeIndex::ValidateSeeds(std::span<const NodeId> seeds) const {
   SOI_RETURN_IF_ERROR(ValidateSeedSet(seeds, num_nodes_));
   return Status::OK();

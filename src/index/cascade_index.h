@@ -192,6 +192,33 @@ class CascadeIndex {
     return world(i).ComponentOf(v);
   }
 
+  // -- In-place world patching (dynamic-update path; see src/dynamic/) ----
+
+  /// Replaces the condensation of world i. Owned-mode condensation covering
+  /// num_nodes() nodes; the caller (DynamicIndex) guarantees it was built
+  /// from the world's current live-edge set. Does NOT touch the closure
+  /// cache or stats — patch those via SetClosure/DropClosureCache and
+  /// finish the batch with RecomputeStats().
+  void ReplaceWorld(uint32_t i, Condensation cond);
+
+  /// Replaces the cached closure of world i; only valid while
+  /// has_closure_cache() (component count must match the world's current
+  /// condensation).
+  void SetClosure(uint32_t i, ReachabilityClosure closure);
+
+  /// Drops the whole closure cache (queries fall back to DAG traversal with
+  /// byte-identical answers). The dynamic layer calls this when a patch
+  /// pushes the cache past its budget — mirroring the all-or-nothing policy
+  /// of BuildClosureCache.
+  void DropClosureCache();
+
+  /// Re-derives avg_components / avg_dag_edges / approx_bytes /
+  /// closure_bytes from the current worlds and closures after a patch
+  /// batch. Pre-reduction DAG edge counts are not observable here, so
+  /// avg_dag_edges_before is reported equal to the stored count (the same
+  /// convention as FromWorlds).
+  void RecomputeStats();
+
   /// Validates a query seed set: non-empty, every id < num_nodes(). The
   /// query entry points below call this themselves; it is public so batch
   /// drivers (the service layer) can validate once and then use the

@@ -4,9 +4,11 @@
 #include <atomic>
 #include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <utility>
 
 #include "core/typical_cascade.h"
+#include "dynamic/dynamic_index.h"
 #include "infmax/cover_engine.h"
 #include "infmax/greedy_std.h"
 #include "infmax/infmax_tc.h"
@@ -29,6 +31,7 @@ const char* LatencyHistogramName(const Request& request) {
     case 2: return "service/latency_ns/spread";
     case 3: return "service/latency_ns/seed_select";
     case 4: return "service/latency_ns/reliability";
+    case 5: return "service/latency_ns/update";
   }
   return "service/latency_ns/unknown";
 }
@@ -42,6 +45,7 @@ const char* RequestTypeName(const Request& request) {
     case 2: return "spread";
     case 3: return "seed_select";
     case 4: return "reliability";
+    case 5: return "update";
   }
   return "unknown";
 }
@@ -60,6 +64,13 @@ class Engine::Impl {
       tc_seeded_ = true;
     }
   }
+
+  // Dynamic-mode constructor: the CascadeIndex lives inside the
+  // DynamicIndex; index_ stays empty and idx() dispatches.
+  Impl(ProbGraph graph, DynamicIndex dynamic, const EngineOptions& options)
+      : graph_(std::move(graph)),
+        options_(options),
+        dynamic_(std::move(dynamic)) {}
 
   uint64_t NowNs() const {
     return options_.clock_ns != nullptr ? options_.clock_ns() : obs::NowNs();
@@ -96,16 +107,35 @@ class Engine::Impl {
     std::vector<Result<Response>> results(
         requests.size(),
         Result<Response>(Status::Internal("request slot never executed")));
-    ParallelForChunks(
-        0, requests.size(), /*grain=*/1,
-        [&](uint32_t /*chunk*/, uint64_t begin, uint64_t end) {
-          // Chunk-level scratch: reused across this chunk's requests,
-          // invisible in the output (handlers are pure given the request).
-          Scratch scratch;
-          for (uint64_t i = begin; i < end; ++i) {
-            results[i] = RunOne(requests[i], admit_ns, &scratch);
-          }
+    const bool update_batch =
+        dynamic_.has_value() &&
+        std::any_of(requests.begin(), requests.end(), [](const Request& r) {
+          return std::holds_alternative<UpdateRequest>(r.payload);
         });
+    if (update_batch) {
+      // Updates mutate the index: the whole batch runs sequentially under
+      // the exclusive state lock, in request order. Sequential execution
+      // also makes mixed update+query batches deterministic at every
+      // thread count (a query after an update sees it; before, doesn't).
+      std::unique_lock<std::shared_mutex> lock(state_mutex_);
+      Scratch scratch;
+      for (size_t i = 0; i < requests.size(); ++i) {
+        results[i] = RunOne(requests[i], admit_ns, &scratch);
+      }
+    } else {
+      // Pure-query batch: shared state lock, parallel execution.
+      std::shared_lock<std::shared_mutex> lock(state_mutex_);
+      ParallelForChunks(
+          0, requests.size(), /*grain=*/1,
+          [&](uint32_t /*chunk*/, uint64_t begin, uint64_t end) {
+            // Chunk-level scratch: reused across this chunk's requests,
+            // invisible in the output (handlers are pure given the request).
+            Scratch scratch;
+            for (uint64_t i = begin; i < end; ++i) {
+              results[i] = RunOne(requests[i], admit_ns, &scratch);
+            }
+          });
+    }
     return results;
   }
 
@@ -114,10 +144,52 @@ class Engine::Impl {
   }
 
   const ProbGraph& graph() const { return graph_; }
-  const CascadeIndex& index() const { return index_; }
+  const CascadeIndex& index() const { return idx(); }
   const EngineOptions& options() const { return options_; }
 
+  bool dynamic() const { return dynamic_.has_value(); }
+
+  uint64_t drift() const {
+    if (!dynamic_.has_value()) return 0;
+    std::shared_lock<std::shared_mutex> lock(state_mutex_);
+    return dynamic_->drift();
+  }
+
+  uint64_t fingerprint() const {
+    if (!dynamic_.has_value()) return GraphFingerprint(graph_);
+    std::shared_lock<std::shared_mutex> lock(state_mutex_);
+    return dynamic_->fingerprint();
+  }
+
+  Result<DynamicState> CaptureDynamicState() const {
+    if (!dynamic_.has_value()) {
+      return Status::FailedPrecondition(
+          "CaptureDynamicState: engine is static (built with Create/"
+          "FromParts); only CreateDynamic engines track update state");
+    }
+    std::shared_lock<std::shared_mutex> lock(state_mutex_);
+    DynamicState state;
+    SOI_ASSIGN_OR_RETURN(state.graph, dynamic_->MaterializeGraph());
+    state.journal_seq = journal_.size();
+    return state;
+  }
+
+  std::vector<GraphUpdate> JournalSince(uint64_t seq) const {
+    if (!dynamic_.has_value()) return {};
+    std::shared_lock<std::shared_mutex> lock(state_mutex_);
+    if (seq >= journal_.size()) return {};
+    return std::vector<GraphUpdate>(journal_.begin() + seq, journal_.end());
+  }
+
  private:
+  // The serving index: owned directly (static mode) or by the DynamicIndex.
+  // The DynamicIndex member is stable for the Impl's lifetime, so pointers
+  // into idx() (scratch computers, the spread oracle) stay valid across
+  // update batches — updates patch the object in place.
+  const CascadeIndex& idx() const {
+    return dynamic_.has_value() ? dynamic_->index() : index_;
+  }
+
   struct Scratch {
     CascadeIndex::Workspace ws;
     std::optional<TypicalCascadeComputer> computer;
@@ -157,8 +229,8 @@ class Engine::Impl {
   }
 
   Result<Response> Handle(const TypicalCascadeRequest& req, Scratch* scratch) {
-    SOI_RETURN_IF_ERROR(index_.ValidateSeeds(req.seeds));
-    if (!scratch->computer.has_value()) scratch->computer.emplace(&index_);
+    SOI_RETURN_IF_ERROR(idx().ValidateSeeds(req.seeds));
+    if (!scratch->computer.has_value()) scratch->computer.emplace(&idx());
     TypicalCascadeOptions options;
     options.median.local_search = req.local_search;
     SOI_ASSIGN_OR_RETURN(TypicalCascadeResult r,
@@ -172,19 +244,19 @@ class Engine::Impl {
 
   Result<Response> Handle(const CascadeRequest& req, Scratch* scratch) {
     SOI_ASSIGN_OR_RETURN(std::vector<NodeId> cascade,
-                         index_.Cascade(req.seeds, req.world, &scratch->ws));
+                         idx().Cascade(req.seeds, req.world, &scratch->ws));
     return Response(CascadeResponse{std::move(cascade)});
   }
 
   Result<Response> Handle(const SpreadRequest& req, Scratch* /*scratch*/) {
     SOI_ASSIGN_OR_RETURN(const double spread,
-                         ExpectedReachableSize(index_, req.seeds));
+                         ExpectedReachableSize(idx(), req.seeds));
     return Response(SpreadResponse{spread});
   }
 
   Result<Response> Handle(const ReliabilityRequest& req, Scratch* /*scratch*/) {
     SOI_ASSIGN_OR_RETURN(std::vector<NodeId> nodes,
-                         ReliabilitySearch(index_, req.seeds, req.threshold));
+                         ReliabilitySearch(idx(), req.seeds, req.threshold));
     return Response(ReliabilityResponse{std::move(nodes)});
   }
 
@@ -198,7 +270,7 @@ class Engine::Impl {
       // run unlocked and concurrently. The cover engine's inverted index is
       // built once here and amortized across every later selection.
       SOI_RETURN_IF_ERROR(EnsureTypicalCascades());
-      const uint32_t k = std::min<uint32_t>(req.k, index_.num_nodes());
+      const uint32_t k = std::min<uint32_t>(req.k, idx().num_nodes());
       if (k == 0) return ToSeedSelectResponse(GreedyResult{});
       return ToSeedSelectResponse(
           tc_cover_->Select(k, /*track_saturation=*/false));
@@ -211,13 +283,48 @@ class Engine::Impl {
       // deterministic: every run starts from a Reset() oracle.
       std::lock_guard<std::mutex> lock(oracle_mutex_);
       if (oracle_ == nullptr) {
-        oracle_ = std::make_unique<SpreadOracle>(&index_);
+        oracle_ = std::make_unique<SpreadOracle>(&idx());
       }
       SOI_ASSIGN_OR_RETURN(GreedyResult r, InfMaxStd(oracle_.get(), options));
       return ToSeedSelectResponse(std::move(r));
     }
     return Status::InvalidArgument("seed_select: unknown method '" +
                                    req.method + "' (expected tc or std)");
+  }
+
+  // Runs only on the sequential exclusive-lock path (see RunBatch): the
+  // batch already holds the state lock, so the index, journal, and derived
+  // caches can be mutated without further synchronization against queries.
+  Result<Response> Handle(const UpdateRequest& req, Scratch* /*scratch*/) {
+    if (!dynamic_.has_value()) {
+      return Status::FailedPrecondition(
+          "update requires a dynamic engine (soi_cli serve --dynamic / "
+          "Engine::CreateDynamic); this engine serves a static index");
+    }
+    SOI_ASSIGN_OR_RETURN(const UpdateStats stats,
+                         dynamic_->ApplyUpdates(req.ops));
+    journal_.insert(journal_.end(), req.ops.begin(), req.ops.end());
+    // Worlds changed => every derived cache (typical cover, spread oracle)
+    // is stale. The DynamicIndex patched its own typical table; only the
+    // engine-side structures over it need rebuilding, lazily.
+    if (stats.affected_worlds > 0) {
+      {
+        std::lock_guard<std::mutex> lock(tc_mutex_);
+        tc_ready_ = false;
+        tc_status_ = Status::OK();
+        tc_cover_.reset();
+      }
+      {
+        std::lock_guard<std::mutex> lock(oracle_mutex_);
+        oracle_.reset();
+      }
+    }
+    UpdateResponse response;
+    response.applied = stats.applied_ops;
+    response.affected_worlds = stats.affected_worlds;
+    response.affected_nodes = stats.affected_nodes;
+    response.drift = stats.drift;
+    return Response(response);
   }
 
   static Result<Response> ToSeedSelectResponse(GreedyResult r) {
@@ -237,6 +344,18 @@ class Engine::Impl {
   Status EnsureTypicalCascades() {
     std::lock_guard<std::mutex> lock(tc_mutex_);
     if (tc_ready_) return tc_status_;
+    if (dynamic_.has_value()) {
+      // The DynamicIndex owns and incrementally patches the typical table;
+      // the engine only (re)builds the cover engine's inverted index over
+      // it. After the first build, an update batch costs a per-changed-node
+      // patch plus this cover rebuild — never a full sweep.
+      tc_status_ = dynamic_->EnsureTypical();
+      if (tc_status_.ok()) {
+        tc_cover_.emplace(&dynamic_->typical(), idx().num_nodes());
+      }
+      tc_ready_ = true;
+      return tc_status_;
+    }
     if (tc_seeded_) {
       tc_cover_.emplace(&tc_cascades_, index_.num_nodes());
       tc_status_ = Status::OK();
@@ -257,8 +376,15 @@ class Engine::Impl {
   }
 
   ProbGraph graph_;
-  CascadeIndex index_;
+  CascadeIndex index_;  // empty in dynamic mode (idx() dispatches)
   EngineOptions options_;
+  // Dynamic mode: the updatable index plus the update journal (everything
+  // applied since construction, for drift-rebuild catch-up replay). Both
+  // are guarded by state_mutex_: update batches hold it exclusively,
+  // query batches and state captures share it.
+  std::optional<DynamicIndex> dynamic_;
+  std::vector<GraphUpdate> journal_;
+  mutable std::shared_mutex state_mutex_;
   // Keeps external backing storage (a snapshot mapping) alive while any
   // borrowed view in this Impl might read it. Declaration order vs the
   // views is immaterial: destroying a borrowed view never dereferences its
@@ -308,6 +434,19 @@ Result<Engine> Engine::Create(ProbGraph graph, const EngineOptions& options) {
   return engine;
 }
 
+Result<Engine> Engine::CreateDynamic(ProbGraph graph,
+                                     const EngineOptions& options) {
+  SOI_RETURN_IF_ERROR(ValidateEngineOptions(options));
+  if (options.threads != 0) SetGlobalThreads(options.threads);
+  SOI_ASSIGN_OR_RETURN(
+      DynamicIndex dynamic,
+      DynamicIndex::Build(graph, options.index, options.seed));
+  Engine engine;
+  engine.impl_ =
+      std::make_unique<Impl>(std::move(graph), std::move(dynamic), options);
+  return engine;
+}
+
 Result<Engine> Engine::FromParts(EngineParts parts,
                                  const EngineOptions& options) {
   SOI_RETURN_IF_ERROR(ValidateEngineOptions(options));
@@ -346,5 +485,14 @@ const ProbGraph& Engine::graph() const { return impl_->graph(); }
 const CascadeIndex& Engine::index() const { return impl_->index(); }
 const EngineOptions& Engine::options() const { return impl_->options(); }
 uint32_t Engine::in_flight() const { return impl_->in_flight(); }
+bool Engine::dynamic() const { return impl_->dynamic(); }
+uint64_t Engine::drift() const { return impl_->drift(); }
+uint64_t Engine::fingerprint() const { return impl_->fingerprint(); }
+Result<DynamicState> Engine::CaptureDynamicState() const {
+  return impl_->CaptureDynamicState();
+}
+std::vector<GraphUpdate> Engine::JournalSince(uint64_t seq) const {
+  return impl_->JournalSince(seq);
+}
 
 }  // namespace soi::service

@@ -9,6 +9,7 @@
 #include <variant>
 #include <vector>
 
+#include "dynamic/dynamic_graph.h"
 #include "graph/prob_graph.h"
 #include "index/cascade_index.h"
 #include "util/flat_sets.h"
@@ -71,6 +72,14 @@ struct ReliabilityRequest {
   double threshold = 0.5;
 };
 
+/// Graph mutation batch (dynamic engines only; see src/dynamic/). The ops
+/// apply atomically and in order: on any validation error nothing changes
+/// and the request fails whole. A static engine (Create/FromParts) answers
+/// with FailedPrecondition.
+struct UpdateRequest {
+  std::vector<GraphUpdate> ops;
+};
+
 /// A typed request plus its per-request deadline. The deadline is measured
 /// from batch admission; a request whose deadline has expired before it is
 /// picked up returns DeadlineExceeded. Partial-result policy: a request
@@ -78,7 +87,7 @@ struct ReliabilityRequest {
 /// shed queued work, they never truncate an answer.
 struct Request {
   std::variant<TypicalCascadeRequest, CascadeRequest, SpreadRequest,
-               SeedSelectRequest, ReliabilityRequest>
+               SeedSelectRequest, ReliabilityRequest, UpdateRequest>
       payload;
   /// Per-request timeout in milliseconds; 0 = EngineOptions default.
   uint64_t timeout_ms = 0;
@@ -109,13 +118,25 @@ struct ReliabilityResponse {
   std::vector<NodeId> nodes;
 };
 
+struct UpdateResponse {
+  /// Ops applied (== batch size; failures apply nothing).
+  uint32_t applied = 0;
+  /// Worlds re-derived by this batch (see UpdateStats).
+  uint32_t affected_worlds = 0;
+  /// Typical-cascade entries recomputed (0 when the table isn't built yet).
+  uint32_t affected_nodes = 0;
+  /// Cumulative applied updates since the engine was built — the signal the
+  /// drift-rebuild policy thresholds on.
+  uint64_t drift = 0;
+};
+
 using Response =
     std::variant<TypicalCascadeResponse, CascadeResponse, SpreadResponse,
-                 SeedSelectResponse, ReliabilityResponse>;
+                 SeedSelectResponse, ReliabilityResponse, UpdateResponse>;
 
 /// Stable lowercase name of a request's type ("typical", "cascade",
-/// "spread", "seed_select", "reliability") — used for metrics and the wire
-/// protocol.
+/// "spread", "seed_select", "reliability", "update") — used for metrics and
+/// the wire protocol.
 const char* RequestTypeName(const Request& request);
 
 /// Engine configuration: index construction plus admission control.
@@ -143,6 +164,15 @@ struct EngineOptions {
   /// uses the real clock. Tests inject a fake clock to exercise deadlines
   /// deterministically.
   uint64_t (*clock_ns)() = nullptr;
+
+  // -- Dynamic updates (CreateDynamic engines only) -----------------------
+  /// When nonzero, the serving layer (soi_cli serve --dynamic, or any
+  /// EngineHandle owner) is expected to rebuild the engine from its
+  /// materialized graph and hot-swap it once drift() crosses this many
+  /// applied updates. The engine itself only counts drift — orchestration
+  /// lives with whoever owns the EngineHandle, because only the handle can
+  /// perform the atomic swap. 0 disables the policy.
+  uint64_t drift_rebuild_threshold = 0;
 };
 
 /// Pre-assembled serving state for Engine::FromParts — the restart path
@@ -166,14 +196,41 @@ struct EngineParts {
   std::shared_ptr<const void> storage;
 };
 
+/// A consistent capture of a dynamic engine's state, taken under the update
+/// lock: the materialized graph plus the journal position it corresponds
+/// to. The drift-rebuild flow builds a fresh engine from `graph` (same
+/// options + seed => byte-identical index, see src/dynamic/), replays
+/// JournalSince(journal_seq) onto it, and swaps it in via EngineHandle —
+/// a semantic no-op that compacts arenas and revives dropped caches.
+struct DynamicState {
+  ProbGraph graph;
+  uint64_t journal_seq = 0;
+};
+
 /// Thread-safe, movable facade owning the graph, the index, and the lazily
 /// built seed-selection caches. Create once, answer many.
+///
+/// Dynamic mode (CreateDynamic): the engine additionally owns a
+/// DynamicIndex and accepts UpdateRequest batches. A batch containing any
+/// update runs sequentially under an exclusive state lock (updates mutate
+/// the index; sequential execution also keeps update batches deterministic
+/// at every thread count); pure-query batches share the state lock and run
+/// on the parallel path as usual.
 class Engine {
  public:
   /// Builds the index from `graph` (which the engine takes ownership of)
   /// and validates the options.
   static Result<Engine> Create(ProbGraph graph,
                                const EngineOptions& options = {});
+
+  /// Builds an incrementally maintainable engine (keyed world sampling,
+  /// see src/dynamic/): accepts UpdateRequest batches, keeps a journal for
+  /// drift rebuilds, and stays byte-identical to a fresh CreateDynamic on
+  /// the updated graph after every batch. NOTE: keyed sampling draws
+  /// different worlds than Create for the same seed — both are valid
+  /// samples, but answers differ between the two constructors.
+  static Result<Engine> CreateDynamic(ProbGraph graph,
+                                      const EngineOptions& options = {});
 
   /// Wraps pre-assembled serving state (the snapshot restart path): no
   /// sampling, no SCC runs, no closure rebuild — the engine answers its
@@ -200,11 +257,31 @@ class Engine {
   Result<std::vector<Result<Response>>> RunBatch(
       std::span<const Request> requests);
 
+  /// The graph the engine was BUILT from. For a dynamic engine this does
+  /// not reflect applied updates (an immutable reference can't track a
+  /// mutating graph) — use CaptureDynamicState()/fingerprint() for current
+  /// state.
   const ProbGraph& graph() const;
   const CascadeIndex& index() const;
   const EngineOptions& options() const;
   /// Currently admitted Run/RunBatch calls (admission-control observability).
   uint32_t in_flight() const;
+
+  // -- Dynamic-mode observability & drift-rebuild hooks -------------------
+  /// True for CreateDynamic engines.
+  bool dynamic() const;
+  /// Applied updates since construction (0 for static engines and after a
+  /// hot swap to a freshly rebuilt engine, modulo catch-up replay).
+  uint64_t drift() const;
+  /// Fingerprint of the CURRENT graph (updates included); for a static
+  /// engine, of the build-time graph. Pairs with snapshot staleness checks.
+  uint64_t fingerprint() const;
+  /// Captures the current graph + journal position, consistent w.r.t.
+  /// concurrent update batches. FailedPrecondition on static engines.
+  Result<DynamicState> CaptureDynamicState() const;
+  /// Updates applied after journal position `seq` (in application order).
+  /// Empty for static engines.
+  std::vector<GraphUpdate> JournalSince(uint64_t seq) const;
 
  private:
   Engine();

@@ -332,7 +332,65 @@ struct ResponseBodyWriter {
     out->append(",\"op\":\"reliability\",\"nodes\":");
     AppendNodes(out, r.nodes);
   }
+  void operator()(const UpdateResponse& r) const {
+    out->append(",\"op\":\"update\",\"applied\":");
+    out->append(std::to_string(r.applied));
+    out->append(",\"affected_worlds\":");
+    out->append(std::to_string(r.affected_worlds));
+    out->append(",\"affected_nodes\":");
+    out->append(std::to_string(r.affected_nodes));
+    out->append(",\"drift\":");
+    out->append(std::to_string(r.drift));
+  }
 };
+
+// One element of an update request's "ops" array:
+//   {"op":"insert","src":U,"dst":V,"prob":P}
+//   {"op":"delete","src":U,"dst":V}
+//   {"op":"prob","src":U,"dst":V,"prob":P}
+Result<GraphUpdate> ParseUpdateOp(const JsonValue& op) {
+  if (op.kind != JsonValue::Kind::kObject) {
+    return Status::InvalidArgument("\"ops\" entries must be JSON objects");
+  }
+  const JsonValue* kind = op.Find("op");
+  if (kind == nullptr || kind->kind != JsonValue::Kind::kString) {
+    return Status::InvalidArgument(
+        "update op missing \"op\" (insert|delete|prob)");
+  }
+  GraphUpdate out;
+  bool needs_prob = true;
+  if (kind->string == "insert") {
+    out.kind = UpdateKind::kEdgeInsert;
+  } else if (kind->string == "delete") {
+    out.kind = UpdateKind::kEdgeDelete;
+    needs_prob = false;
+  } else if (kind->string == "prob") {
+    out.kind = UpdateKind::kProbUpdate;
+  } else {
+    return Status::InvalidArgument("unknown update op \"" + kind->string +
+                                   "\" (expected insert|delete|prob)");
+  }
+  SOI_ASSIGN_OR_RETURN(const int64_t src,
+                       RequireInt(op, "src", 0, /*required=*/true));
+  SOI_ASSIGN_OR_RETURN(const int64_t dst,
+                       RequireInt(op, "dst", 0, /*required=*/true));
+  if (src < 0 || src > static_cast<int64_t>(UINT32_MAX) || dst < 0 ||
+      dst > static_cast<int64_t>(UINT32_MAX)) {
+    return Status::InvalidArgument(
+        "\"src\"/\"dst\" must be non-negative 32-bit node ids");
+  }
+  out.src = static_cast<NodeId>(src);
+  out.dst = static_cast<NodeId>(dst);
+  if (needs_prob) {
+    const JsonValue* prob = op.Find("prob");
+    if (prob == nullptr || prob->kind != JsonValue::Kind::kNumber) {
+      return Status::InvalidArgument("update op \"" + kind->string +
+                                     "\" requires a numeric \"prob\"");
+    }
+    out.prob = prob->number;
+  }
+  return out;
+}
 
 }  // namespace
 
@@ -426,10 +484,24 @@ Result<ProtocolRequest> ParseRequestLine(std::string_view line) {
       req.threshold = threshold->number;
     }
     out.request.payload = std::move(req);
+  } else if (op->string == "update") {
+    UpdateRequest req;
+    const JsonValue* ops = root.Find("ops");
+    if (ops == nullptr || ops->kind != JsonValue::Kind::kArray) {
+      return Status::InvalidArgument(
+          "missing required field \"ops\" (array of update objects)");
+    }
+    req.ops.reserve(ops->array.size());
+    for (const JsonValue& e : ops->array) {
+      SOI_ASSIGN_OR_RETURN(GraphUpdate update, ParseUpdateOp(e));
+      req.ops.push_back(update);
+    }
+    out.request.payload = std::move(req);
   } else {
     return Status::InvalidArgument(
         "unknown op \"" + op->string +
-        "\" (expected typical|cascade|spread|seed_select|reliability)");
+        "\" (expected typical|cascade|spread|seed_select|reliability|"
+        "update)");
   }
   return out;
 }

@@ -19,6 +19,14 @@ namespace soi::service {
 ///   {"op":"spread","seeds":[4],"id":3}
 ///   {"op":"seed_select","k":5,"method":"tc","id":4}
 ///   {"op":"reliability","seeds":[4],"threshold":0.5,"id":5}
+///   {"op":"update","ops":[{"op":"insert","src":0,"dst":7,"prob":0.2},
+///                         {"op":"delete","src":3,"dst":1},
+///                         {"op":"prob","src":0,"dst":7,"prob":0.4}],"id":6}
+///
+/// "update" requires the server to run a dynamic engine (serve --dynamic);
+/// static servers answer it with status "failed_precondition". Its ops
+/// apply atomically, in order; the response reports applied/affected
+/// counts plus the engine's cumulative drift.
 ///
 /// Optional fields on every request: "id" (integer echoed back, default -1),
 /// "timeout_ms" (per-request deadline, 0 = server default). "typical" also

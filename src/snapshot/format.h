@@ -106,7 +106,13 @@ struct SnapshotHeader {
   uint32_t section_count;
   uint32_t header_crc32c;  // CRC-32C of header (this field zeroed) +
                            // section table
-  uint64_t reserved;       // zero; room for future metadata
+  /// GraphFingerprint (graph/prob_graph.h) of the graph whose serving state
+  /// this file captured — the stale-snapshot guard: a loader given both the
+  /// snapshot and a graph file can prove they describe the same edges and
+  /// probabilities instead of silently serving outdated state. 0 means the
+  /// file predates fingerprinting (this slot was a zeroed `reserved` field,
+  /// so legacy files read back as "fingerprint unknown" and are accepted).
+  uint64_t graph_fingerprint;
 };
 static_assert(sizeof(SnapshotHeader) == 64, "header must stay 64 bytes");
 

@@ -5,7 +5,9 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <cstdio>
 #include <cstring>
+#include <string>
 #include <vector>
 
 #include "snapshot/crc32c.h"
@@ -412,6 +414,7 @@ Status Snapshot::Validate(const std::string& path,
   info_.section_count = header_.section_count;
   info_.has_closures = with_closures;
   info_.has_typical = with_typical;
+  info_.graph_fingerprint = header_.graph_fingerprint;
   info_.model = (header_.flags & kSnapFlagLinearThreshold) != 0
                     ? PropagationModel::kLinearThreshold
                     : PropagationModel::kIndependentCascade;
@@ -473,6 +476,24 @@ FlatSets Snapshot::MakeTypical() const {
   SOI_CHECK(info_.has_typical);
   return FlatSets::Borrowed(View<uint32_t>(SectionKind::kTypicalElems),
                             View<uint64_t>(SectionKind::kTypicalOffsets));
+}
+
+Status CheckSnapshotFreshness(const SnapshotInfo& info,
+                              const ProbGraph& graph) {
+  if (info.graph_fingerprint == 0) return Status::OK();  // pre-fingerprint
+  const uint64_t actual = GraphFingerprint(graph);
+  if (actual == info.graph_fingerprint) return Status::OK();
+  char snap_hex[32], graph_hex[32];
+  std::snprintf(snap_hex, sizeof(snap_hex), "%016llx",
+                static_cast<unsigned long long>(info.graph_fingerprint));
+  std::snprintf(graph_hex, sizeof(graph_hex), "%016llx",
+                static_cast<unsigned long long>(actual));
+  return Status::InvalidArgument(
+      std::string("stale snapshot: it captured a graph with fingerprint ") +
+      snap_hex + " but the supplied graph fingerprints to " + graph_hex +
+      " (the graph changed after the snapshot was written); re-create the "
+      "snapshot from the current graph, or drop --graph to serve the "
+      "snapshot's own state");
 }
 
 }  // namespace soi

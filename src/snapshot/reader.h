@@ -41,6 +41,10 @@ struct SnapshotInfo {
   bool has_closures = false;
   bool has_typical = false;
   PropagationModel model = PropagationModel::kIndependentCascade;
+  /// GraphFingerprint of the graph captured in this file; 0 = written
+  /// before fingerprinting existed (unknown, accepted as-is). See
+  /// CheckSnapshotFreshness.
+  uint64_t graph_fingerprint = 0;
 };
 
 /// A read-only mmap'd `soi-snap-v1` file (snapshot/format.h). Open()
@@ -95,6 +99,16 @@ class Snapshot {
   const SectionEntry* sections_[32] = {};
   SnapshotInfo info_;
 };
+
+/// Stale-snapshot guard: proves that `graph` is the graph this snapshot
+/// captured by comparing GraphFingerprint(graph) against the fingerprint
+/// recorded at write time. InvalidArgument (naming both fingerprints, with
+/// the fix spelled out) when they differ — serving a snapshot against a
+/// graph that has since changed silently answers queries about edges that
+/// no longer exist. A recorded fingerprint of 0 means the file predates
+/// fingerprinting; freshness is then unknowable and the check passes.
+Status CheckSnapshotFreshness(const SnapshotInfo& info,
+                              const ProbGraph& graph);
 
 }  // namespace soi
 

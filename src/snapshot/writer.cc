@@ -206,6 +206,7 @@ Result<std::string> SerializeSnapshot(const ProbGraph& graph,
   header.num_edges = m;
   header.section_count = count;
   header.header_crc32c = 0;
+  header.graph_fingerprint = GraphFingerprint(graph);
   std::memcpy(out.data(), &header, sizeof(header));
   std::memcpy(out.data() + sizeof(header), table.data(),
               count * sizeof(SectionEntry));

@@ -19,9 +19,11 @@
 
 #include <gtest/gtest.h>
 
+#include "dynamic/dynamic_graph.h"
 #include "gen/generators.h"
 #include "graph/prob_assign.h"
 #include "graph/prob_graph.h"
+#include "index/index_io.h"
 #include "runtime/parallel_for.h"
 #include "service/engine.h"
 #include "service/hot_swap.h"
@@ -633,6 +635,185 @@ TEST(HotSwapTest, ServeStreamPollHookSwapsMidStream) {
               FormatResponseLine(i, probe.Run(r)))
         << "request " << i;
   }
+}
+
+// ---------------------------------------------------------------------------
+// Dynamic engines (incremental updates racing queries; drift hot-swap).
+// ---------------------------------------------------------------------------
+
+// A graph whose edge set is known exactly, so a single updater thread can
+// generate always-valid updates from local shadow state: a ring plus
+// chords; arcs (u, u+3) are reserved for dynamic inserts.
+ProbGraph RingGraph(NodeId n) {
+  ProbGraphBuilder b(n);
+  for (NodeId u = 0; u < n; ++u) {
+    EXPECT_TRUE(b.AddEdge(u, (u + 1) % n, 0.15).ok());
+    EXPECT_TRUE(b.AddEdge(u, (u + 7) % n, 0.1).ok());
+  }
+  auto g = b.Build();
+  EXPECT_TRUE(g.ok());
+  return std::move(g).value();
+}
+
+TEST(DynamicEngineTest, StaticEngineAnswersUpdateWithFailedPrecondition) {
+  Engine engine = MakeEngine(PaperExampleGraph());
+  Request update;
+  update.payload =
+      UpdateRequest{{GraphUpdate{UpdateKind::kEdgeInsert, 0, 2, 0.3}}};
+  const Result<Response> result = engine.Run(update);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(result.status().message().find("dynamic"), std::string::npos);
+  EXPECT_FALSE(engine.dynamic());
+  EXPECT_EQ(engine.drift(), 0u);
+}
+
+TEST(DynamicEngineTest, UpdateRoundTripsThroughProtocol) {
+  auto engine = Engine::CreateDynamic(PaperExampleGraph());
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  const auto parsed = ParseRequestLine(
+      R"({"op":"update","ops":[{"op":"insert","src":0,"dst":2,"prob":0.3},)"
+      R"({"op":"prob","src":0,"dst":2,"prob":0.5},)"
+      R"({"op":"delete","src":0,"dst":2}],"id":8})");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const std::string line =
+      FormatResponseLine(parsed->id, engine->Run(parsed->request));
+  EXPECT_EQ(line.rfind("{\"id\":8,\"status\":\"ok\",\"op\":\"update\","
+                       "\"applied\":3",
+                       0),
+            0u)
+      << line;
+  EXPECT_EQ(engine->drift(), 3u);
+
+  // The same line against a static engine maps to the wire status.
+  Engine static_engine = MakeEngine(PaperExampleGraph());
+  const std::string rejected =
+      FormatResponseLine(parsed->id, static_engine.Run(parsed->request));
+  EXPECT_NE(rejected.find("\"status\":\"failed_precondition\""),
+            std::string::npos)
+      << rejected;
+}
+
+// The TSan centerpiece: query batches racing an update stream through an
+// EngineHandle, with the updater enforcing the drift-rebuild policy —
+// rebuild from a consistent capture, journal catch-up, hot-swap — while
+// queries keep flowing. Afterwards the served index must be byte-identical
+// to a from-scratch build on the final graph.
+TEST(DynamicEngineTest, UpdatesRacingQueriesWithDriftHotSwap) {
+  constexpr NodeId kN = 40;
+  constexpr uint64_t kDriftThreshold = 48;
+  EngineOptions options;
+  options.index.num_worlds = 12;
+  options.max_in_flight = 8;
+  options.drift_rebuild_threshold = kDriftThreshold;
+  auto first = Engine::CreateDynamic(RingGraph(kN), options);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EngineHandle handle(std::move(*first));
+
+  std::atomic<bool> stop{false};
+  std::atomic<bool> failed{false};
+  std::atomic<int> query_batches{0};
+  std::vector<std::thread> queriers;
+  for (int t = 0; t < 3; ++t) {
+    queriers.emplace_back([&, t] {
+      std::vector<Request> batch;
+      for (uint32_t i = 0; i < 6; ++i) {
+        batch.push_back(MakeCascade({(static_cast<NodeId>(t) * 11 + i) % kN},
+                                    i % 16));
+      }
+      Request spread;
+      spread.payload = SpreadRequest{{static_cast<NodeId>(t)}};
+      batch.push_back(spread);
+      Request typical;
+      typical.payload =
+          TypicalCascadeRequest{{static_cast<NodeId>(t * 7 % kN)}, false};
+      batch.push_back(typical);
+      // seed_select re-runs the full typical sweep whenever an update
+      // invalidated it; issue it on every 8th batch so the race is
+      // exercised without the sweep dominating the test's runtime.
+      std::vector<Request> batch_with_select = batch;
+      Request select;
+      select.payload = SeedSelectRequest{2, "tc"};
+      batch_with_select.push_back(select);
+      uint32_t iteration = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::shared_ptr<Engine> engine = handle.Acquire();
+        const auto responses = engine->RunBatch(
+            ++iteration % 8 == 0 ? batch_with_select : batch);
+        if (!responses.ok()) {
+          if (responses.status().code() != StatusCode::kResourceExhausted) {
+            failed.store(true);
+          }
+          continue;
+        }
+        query_batches.fetch_add(1);
+        for (const auto& r : *responses) {
+          if (!r.ok()) failed.store(true);
+        }
+      }
+    });
+  }
+
+  // Sole mutator: toggles reserved (u, u+3) arcs, so validity needs no
+  // coordination with the queriers. Applies the drift-rebuild policy
+  // exactly the way soi_cli serve --dynamic does.
+  uint64_t swaps = 0;
+  std::vector<bool> present(kN, false);
+  for (int round = 0; round < 200 && !failed.load(); ++round) {
+    const NodeId u = static_cast<NodeId>(round) % kN;
+    GraphUpdate op;
+    op.src = u;
+    op.dst = (u + 3) % kN;
+    if (present[u]) {
+      op.kind = UpdateKind::kEdgeDelete;
+    } else {
+      op.kind = UpdateKind::kEdgeInsert;
+      op.prob = 0.2;
+    }
+    present[u] = !present[u];
+    const std::shared_ptr<Engine> engine = handle.Acquire();
+    Request update;
+    update.payload = UpdateRequest{{op}};
+    Result<Response> applied = engine->Run(update);
+    while (!applied.ok() &&
+           applied.status().code() == StatusCode::kResourceExhausted) {
+      std::this_thread::yield();
+      applied = engine->Run(update);
+    }
+    ASSERT_TRUE(applied.ok()) << applied.status().ToString();
+    if (engine->drift() < kDriftThreshold) continue;
+    auto state = engine->CaptureDynamicState();
+    ASSERT_TRUE(state.ok()) << state.status().ToString();
+    auto next = Engine::CreateDynamic(std::move(state->graph), options);
+    ASSERT_TRUE(next.ok()) << next.status().ToString();
+    const auto catchup = engine->JournalSince(state->journal_seq);
+    EXPECT_TRUE(catchup.empty());  // single mutator => nothing to replay
+    handle.Swap(std::move(*next));
+    ++swaps;
+  }
+  // Let queriers observe the post-swap engine, then stop.
+  const int seen = query_batches.load();
+  while (query_batches.load() < seen + 2 && !failed.load()) {
+    std::this_thread::yield();
+  }
+  stop.store(true);
+  for (std::thread& t : queriers) t.join();
+  EXPECT_FALSE(failed.load());
+  EXPECT_GT(query_batches.load(), 0);
+  EXPECT_GE(swaps, 1u);  // the drift threshold actually fired mid-stream
+  EXPECT_EQ(handle.epoch(), swaps);
+
+  // Convergence: the served index equals a from-scratch build on the final
+  // graph, byte for byte (rebuild equivalence survived the whole race).
+  const std::shared_ptr<Engine> last = handle.Acquire();
+  auto final_state = last->CaptureDynamicState();
+  ASSERT_TRUE(final_state.ok());
+  auto reference =
+      Engine::CreateDynamic(std::move(final_state->graph), options);
+  ASSERT_TRUE(reference.ok());
+  EXPECT_EQ(SerializeCascadeIndex(last->index()),
+            SerializeCascadeIndex(reference->index()));
+  EXPECT_EQ(last->fingerprint(), reference->fingerprint());
 }
 
 TEST(ServeTcpTest, ServesOneConnectionOnEphemeralPort) {

@@ -422,6 +422,92 @@ TEST_F(SnapshotCorruptionTest, MissingFileIsAnIOErrorNotACrash) {
       << snap.status().ToString();
 }
 
+// ---------------------------------------------------------------------------
+// Stale-snapshot guard: the graph fingerprint recorded in the header.
+// ---------------------------------------------------------------------------
+
+TEST(SnapshotFreshnessTest, FingerprintRoundTripsThroughTheFile) {
+  const ProbGraph graph = RandomGraph(30, 150, 23);
+  const CascadeIndex index =
+      BuildIndex(graph, PropagationModel::kIndependentCascade);
+  const std::string path = TempPath("fingerprint.soisnap");
+  ASSERT_TRUE(WriteSnapshot(graph, index, path, {}).ok());
+  auto snap = Snapshot::Open(path);
+  ASSERT_TRUE(snap.ok());
+  EXPECT_NE((*snap)->info().graph_fingerprint, 0u);
+  EXPECT_EQ((*snap)->info().graph_fingerprint, GraphFingerprint(graph));
+  // A re-loaded borrowed graph fingerprints identically (CSR order is
+  // canonical, so the fingerprint is a pure function of the edge set).
+  EXPECT_EQ(GraphFingerprint((*snap)->MakeGraph()), GraphFingerprint(graph));
+}
+
+TEST(SnapshotFreshnessTest, MatchingGraphPassesMutatedGraphIsRejected) {
+  const ProbGraph graph = RandomGraph(30, 150, 23);
+  const CascadeIndex index =
+      BuildIndex(graph, PropagationModel::kIndependentCascade);
+  const std::string path = TempPath("freshness.soisnap");
+  ASSERT_TRUE(WriteSnapshot(graph, index, path, {}).ok());
+  auto snap = Snapshot::Open(path);
+  ASSERT_TRUE(snap.ok());
+
+  EXPECT_TRUE(CheckSnapshotFreshness((*snap)->info(), graph).ok());
+
+  // Any mutation — here one re-weighted edge — must be detected, with an
+  // actionable message naming both fingerprints.
+  ProbGraphBuilder b(graph.num_nodes());
+  bool first = true;
+  const auto sources = graph.sources();
+  const auto targets = graph.targets();
+  const auto probs = graph.probs();
+  for (size_t e = 0; e < targets.size(); ++e) {
+    const double p = first ? probs[e] * 0.5 : probs[e];
+    first = false;
+    ASSERT_TRUE(b.AddEdge(sources[e], targets[e], p).ok());
+  }
+  auto mutated = b.Build();
+  ASSERT_TRUE(mutated.ok());
+  const Status stale = CheckSnapshotFreshness((*snap)->info(), *mutated);
+  ASSERT_FALSE(stale.ok());
+  EXPECT_EQ(stale.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(stale.message().find("stale snapshot"), std::string::npos);
+  EXPECT_NE(stale.message().find("re-create the snapshot"),
+            std::string::npos);
+}
+
+TEST(SnapshotFreshnessTest, LegacyZeroFingerprintIsAccepted) {
+  const ProbGraph graph = RandomGraph(30, 150, 23);
+  const CascadeIndex index =
+      BuildIndex(graph, PropagationModel::kIndependentCascade);
+  // Forge a pre-fingerprint file: zero the field (it was `reserved` then)
+  // and re-stamp the header CRC, which covers header + section table with
+  // the CRC field itself zeroed.
+  std::string bytes = SnapshotBytes(graph, index);
+  const uint64_t zero = 0;
+  std::memcpy(bytes.data() + offsetof(SnapshotHeader, graph_fingerprint),
+              &zero, sizeof(zero));
+  SnapshotHeader header{};
+  std::memcpy(&header, bytes.data(), sizeof(header));
+  const uint32_t zero32 = 0;
+  std::memcpy(bytes.data() + offsetof(SnapshotHeader, header_crc32c),
+              &zero32, sizeof(zero32));
+  const uint32_t crc = Crc32c(
+      bytes.data(),
+      sizeof(SnapshotHeader) + header.section_count * sizeof(SectionEntry));
+  std::memcpy(bytes.data() + offsetof(SnapshotHeader, header_crc32c), &crc,
+              sizeof(crc));
+  const std::string path = TempPath("legacy.soisnap");
+  WriteBytes(path, bytes);
+
+  auto snap = Snapshot::Open(path);
+  ASSERT_TRUE(snap.ok()) << snap.status().ToString();
+  EXPECT_EQ((*snap)->info().graph_fingerprint, 0u);
+  // Freshness is unknowable for legacy files; the check passes for any
+  // graph rather than rejecting every pre-fingerprint snapshot in the wild.
+  EXPECT_TRUE(CheckSnapshotFreshness((*snap)->info(), graph).ok());
+  const ProbGraph other = RandomGraph(31, 150, 29);
+  EXPECT_TRUE(CheckSnapshotFreshness((*snap)->info(), other).ok());
+}
+
 TEST(SnapshotWriterTest, RejectsMismatchedInputsWithStatus) {
   const ProbGraph graph = RandomGraph(30, 150, 17);
   const ProbGraph other = RandomGraph(31, 150, 17);

@@ -16,8 +16,12 @@
 //   soi_cli serve       --graph g.txt [--worlds 256] [--seed 1]
 //                       (--stdin | --port N) [--max-batch 1024]
 //                       [--max-in-flight 4] [--timeout-ms 0]
+//                       [--dynamic [--drift-rebuild-threshold N]]
 //   soi_cli serve       --snapshot s.soisnap (--stdin | --port N)
+//                       [--graph g.txt]  (verifies snapshot freshness)
 //                       (mmap'd instant restart; SIGHUP hot-reloads the file)
+//   soi_cli update      --graph g.txt --updates u.txt [--batch 1]
+//                       [--verify] [--worlds 256] [--model ic|lt] [--seed 1]
 //   soi_cli snapshot create --graph g.txt [--worlds 256] [--model ic|lt]
 //                       [--seed 1] [--no-typical] --out s.soisnap
 //   soi_cli snapshot info   --in s.soisnap
@@ -57,8 +61,11 @@
 // Graphs are whitespace edge lists: "src dst [prob]" (SNAP files load
 // directly; missing probabilities default to --default-prob).
 
+#include <chrono>
 #include <csignal>
 #include <cstdio>
+#include <fstream>
+#include <future>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -66,6 +73,8 @@
 #include <vector>
 
 #include "core/stability.h"
+#include "dynamic/dynamic_graph.h"
+#include "dynamic/dynamic_index.h"
 #include "core/typical_cascade.h"
 #include "gen/datasets.h"
 #include "graph/graph_io.h"
@@ -207,7 +216,15 @@ std::vector<CommandSpec> Commands() {
                     "serve TCP on 127.0.0.1:<port> (0 = ephemeral)"},
                    {"snapshot", FlagType::kString, "",
                     "serve from this soi-snap-v1 file (mmap, no rebuild; "
-                    "--graph/index flags unused; SIGHUP hot-reloads)"},
+                    "SIGHUP hot-reloads; pass --graph too to verify the "
+                    "snapshot is fresh for that graph)"},
+                   {"dynamic", FlagType::kBool, "",
+                    "build an incrementally updatable engine that accepts "
+                    "op:update batches (keyed sampling; not usable with "
+                    "--snapshot)"},
+                   {"drift-rebuild-threshold", FlagType::kInt, "0",
+                    "with --dynamic: rebuild + hot-swap a compacted engine "
+                    "after N applied updates (0 = never)"},
                    {"max-batch", FlagType::kInt, "1024",
                     "largest request batch the engine accepts"},
                    {"max-in-flight", FlagType::kInt, "4",
@@ -218,6 +235,18 @@ std::vector<CommandSpec> Commands() {
                     "serve-loop flush threshold (0 = max-batch)"},
                    {"max-connections", FlagType::kInt, "0",
                     "TCP only: stop after N connections (0 = forever)"}},
+                  /*graph=*/true, /*index=*/true)});
+  commands.push_back(
+      {"update", "apply an edge-update stream to an incremental index", "",
+       WithShared({{"updates", FlagType::kString, "",
+                    "update stream file: one op per line — 'insert U V P', "
+                    "'delete U V', 'prob U V P' (required)"},
+                   {"batch", FlagType::kInt, "1",
+                    "ops applied per ApplyUpdates batch"},
+                   {"verify", FlagType::kBool, "",
+                    "after the stream, rebuild from scratch and byte-compare "
+                    "the incrementally maintained index (exit 1 on any "
+                    "divergence)"}},
                   /*graph=*/true, /*index=*/true)});
   commands.push_back(
       {"snapshot-create",
@@ -546,6 +575,160 @@ int CmdReliability(const FlagParser& flags) {
   return 0;
 }
 
+// Update streams are whitespace text, one op per line:
+//   insert U V P    add edge (U,V) with probability P
+//   delete U V      remove edge (U,V)
+//   prob U V P      re-weight edge (U,V) to P
+// Blank lines and lines starting with '#' are skipped.
+Result<std::vector<GraphUpdate>> ParseUpdatesFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open updates file '" + path + "'");
+  std::vector<GraphUpdate> updates;
+  std::string line;
+  uint64_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::istringstream iss(line);
+    std::string op;
+    if (!(iss >> op) || op[0] == '#') continue;
+    GraphUpdate update;
+    if (op == "insert") {
+      update.kind = UpdateKind::kEdgeInsert;
+    } else if (op == "delete") {
+      update.kind = UpdateKind::kEdgeDelete;
+    } else if (op == "prob") {
+      update.kind = UpdateKind::kProbUpdate;
+    } else {
+      return Status::InvalidArgument(
+          path + ":" + std::to_string(line_no) + ": unknown op '" + op +
+          "' (expected insert | delete | prob)");
+    }
+    int64_t src = -1, dst = -1;
+    if (!(iss >> src >> dst) || src < 0 || dst < 0) {
+      return Status::InvalidArgument(
+          path + ":" + std::to_string(line_no) +
+          ": expected two non-negative node ids after '" + op + "'");
+    }
+    update.src = static_cast<NodeId>(src);
+    update.dst = static_cast<NodeId>(dst);
+    if (update.kind != UpdateKind::kEdgeDelete) {
+      if (!(iss >> update.prob)) {
+        return Status::InvalidArgument(
+            path + ":" + std::to_string(line_no) +
+            ": expected a probability after '" + op + " U V'");
+      }
+    }
+    std::string trailing;
+    if (iss >> trailing) {
+      return Status::InvalidArgument(path + ":" + std::to_string(line_no) +
+                                     ": trailing garbage '" + trailing + "'");
+    }
+    updates.push_back(update);
+  }
+  if (updates.empty()) {
+    return Status::InvalidArgument("updates file '" + path +
+                                   "' contains no ops");
+  }
+  return updates;
+}
+
+// Applies an update stream through the incremental maintenance path
+// (src/dynamic/) and reports how much of the index each batch touched.
+// --verify then proves rebuild equivalence for this exact stream: a fresh
+// DynamicIndex built from the updated graph must match the incrementally
+// maintained one byte-for-byte (serialized index, typical table, graph
+// fingerprint) — any divergence is exit code 1.
+int CmdUpdate(const FlagParser& flags) {
+  CLI_ASSIGN(updates_path, flags.GetString("updates", ""));
+  if (updates_path.empty()) {
+    return Fail(Status::InvalidArgument("--updates required"));
+  }
+  CLI_ASSIGN(batch_i64, flags.GetInt("batch", 1));
+  if (batch_i64 < 1) {
+    return Fail(Status::InvalidArgument("--batch must be >= 1"));
+  }
+  const size_t batch = static_cast<size_t>(batch_i64);
+  CLI_ASSIGN(updates, ParseUpdatesFile(updates_path));
+  CLI_ASSIGN(graph, LoadGraph(flags));
+  CLI_ASSIGN(index_options, IndexOptionsFromFlags(flags));
+  CLI_ASSIGN(seed, flags.GetInt("seed", 1));
+
+  WallTimer build_timer;
+  CLI_ASSIGN(dynamic, DynamicIndex::Build(graph, index_options,
+                                          static_cast<uint64_t>(seed)));
+  const double build_seconds = build_timer.ElapsedSeconds();
+  std::printf("built: %u nodes, %u worlds in %.3fs\n",
+              dynamic.index().num_nodes(), dynamic.index().num_worlds(),
+              build_seconds);
+
+  uint64_t total_affected_worlds = 0, total_affected_nodes = 0;
+  double apply_seconds = 0.0;
+  uint32_t batches = 0;
+  for (size_t begin = 0; begin < updates.size(); begin += batch) {
+    const size_t count = std::min(batch, updates.size() - begin);
+    auto stats = dynamic.ApplyUpdates(
+        std::span<const GraphUpdate>(updates.data() + begin, count));
+    if (!stats.ok()) {
+      std::fprintf(stderr, "update stream failed at op %zu: %s\n", begin + 1,
+                   stats.status().ToString().c_str());
+      return 1;
+    }
+    total_affected_worlds += stats->affected_worlds;
+    total_affected_nodes += stats->affected_nodes;
+    apply_seconds += stats->seconds;
+    ++batches;
+  }
+  std::printf(
+      "applied %zu ops in %u batches: %llu worlds re-derived, "
+      "%llu typical entries recomputed, drift %llu, %.3fs total "
+      "(%.1f us/op)\n",
+      updates.size(), batches,
+      static_cast<unsigned long long>(total_affected_worlds),
+      static_cast<unsigned long long>(total_affected_nodes),
+      static_cast<unsigned long long>(dynamic.drift()), apply_seconds,
+      1e6 * apply_seconds / static_cast<double>(updates.size()));
+
+  if (!flags.GetBool("verify", false)) return 0;
+
+  SOI_OBS_SPAN("cli/update_verify");
+  CLI_ASSIGN(updated_graph, dynamic.MaterializeGraph());
+  WallTimer rebuild_timer;
+  CLI_ASSIGN(fresh, DynamicIndex::Build(updated_graph, index_options,
+                                        static_cast<uint64_t>(seed)));
+  const double rebuild_seconds = rebuild_timer.ElapsedSeconds();
+  bool ok = true;
+  if (dynamic.fingerprint() != GraphFingerprint(updated_graph)) {
+    std::fprintf(stderr, "verify: graph fingerprint mismatch\n");
+    ok = false;
+  }
+  if (SerializeCascadeIndex(dynamic.index()) !=
+      SerializeCascadeIndex(fresh.index())) {
+    std::fprintf(stderr,
+                 "verify: serialized index bytes diverge from a fresh "
+                 "rebuild\n");
+    ok = false;
+  }
+  const Status typical_a = dynamic.EnsureTypical();
+  const Status typical_b = fresh.EnsureTypical();
+  if (!typical_a.ok() || !typical_b.ok()) {
+    std::fprintf(stderr, "verify: typical sweep failed: %s\n",
+                 (!typical_a.ok() ? typical_a : typical_b).ToString().c_str());
+    ok = false;
+  } else if (!(dynamic.typical() == fresh.typical())) {
+    std::fprintf(stderr,
+                 "verify: typical-cascade table diverges from a fresh "
+                 "rebuild\n");
+    ok = false;
+  }
+  if (!ok) return 1;
+  std::printf(
+      "verify ok: incremental index is byte-identical to a fresh rebuild "
+      "(rebuild took %.3fs vs %.3fs incremental, %.1fx)\n",
+      rebuild_seconds, apply_seconds,
+      apply_seconds > 0 ? rebuild_seconds / apply_seconds : 0.0);
+  return 0;
+}
+
 // Builds the full serving state (index + typical-cascade table unless
 // --no-typical) and writes it as one mmap-able soi-snap-v1 file, so a later
 // `serve --snapshot` answers its first query without rebuilding anything.
@@ -602,6 +785,12 @@ int CmdSnapshotInfo(const FlagParser& flags) {
               info.model == PropagationModel::kLinearThreshold ? "lt" : "ic");
   std::printf("  closures: %s\n", info.has_closures ? "yes" : "no");
   std::printf("  typical:  %s\n", info.has_typical ? "yes" : "no");
+  if (info.graph_fingerprint != 0) {
+    std::printf("  graph-fp: %016llx\n",
+                static_cast<unsigned long long>(info.graph_fingerprint));
+  } else {
+    std::printf("  graph-fp: (none; pre-fingerprint file)\n");
+  }
   return 0;
 }
 
@@ -677,11 +866,43 @@ int CmdServe(const FlagParser& flags) {
   serve_options.batch_max = static_cast<uint32_t>(batch_max);
   serve_options.max_connections = static_cast<uint32_t>(max_connections);
 
+  const bool dynamic = flags.GetBool("dynamic", false);
+  CLI_ASSIGN(drift_threshold, flags.GetInt("drift-rebuild-threshold", 0));
+  if (drift_threshold < 0) {
+    return Fail(Status::InvalidArgument(
+        "serve: --drift-rebuild-threshold must be >= 0"));
+  }
+  if (drift_threshold > 0 && !dynamic) {
+    return Fail(Status::InvalidArgument(
+        "serve: --drift-rebuild-threshold requires --dynamic"));
+  }
+  if (dynamic && !snapshot_path.empty()) {
+    return Fail(Status::InvalidArgument(
+        "serve: --dynamic builds an updatable engine from --graph; it "
+        "cannot serve a read-only snapshot (drop one of the two flags)"));
+  }
+  options.drift_rebuild_threshold = static_cast<uint64_t>(drift_threshold);
+
   if (!snapshot_path.empty()) {
     // Instant restart: mmap the snapshot and serve straight from it — no
     // sampling, no SCC runs, no closure rebuild. SIGHUP hot-reloads the
     // file behind an EngineHandle while in-flight batches drain.
     CLI_ASSIGN(snap, Snapshot::Open(snapshot_path));
+    // When the caller also names the graph, prove the snapshot still
+    // matches it: a snapshot written before the graph last changed would
+    // otherwise silently answer queries about edges that no longer exist.
+    CLI_ASSIGN(graph_path, flags.GetString("graph", ""));
+    if (!graph_path.empty()) {
+      CLI_ASSIGN(current_graph, LoadGraph(flags));
+      const Status fresh = CheckSnapshotFreshness(snap->info(), current_graph);
+      if (!fresh.ok()) return Fail(fresh);
+      std::fprintf(stderr,
+                   "serve: snapshot freshness verified against %s "
+                   "(fingerprint %016llx)\n",
+                   graph_path.c_str(),
+                   static_cast<unsigned long long>(
+                       snap->info().graph_fingerprint));
+    }
     CLI_ASSIGN(first, EngineFromSnapshot(std::move(snap), options));
     std::fprintf(stderr,
                  "serve: snapshot mapped (%u nodes, %u worlds, no rebuild)\n",
@@ -736,6 +957,97 @@ int CmdServe(const FlagParser& flags) {
   options.index = index_options;
   CLI_ASSIGN(seed, flags.GetInt("seed", 1));
   options.seed = static_cast<uint64_t>(seed);
+
+  if (dynamic) {
+    // Incremental serving: the engine accepts op:update batches and patches
+    // its index in place. When --drift-rebuild-threshold is set, the poll
+    // hook (serve thread, between requests) watches drift and kicks off a
+    // *background* full rebuild from a consistent graph capture; once the
+    // rebuild finishes, the hook replays any updates that landed meanwhile
+    // (the journal catch-up) and hot-swaps — a semantic no-op by rebuild
+    // equivalence, operationally a compaction.
+    CLI_ASSIGN(engine, service::Engine::CreateDynamic(std::move(graph),
+                                                      options));
+    std::fprintf(stderr,
+                 "serve: dynamic index ready (%u nodes, %u worlds, "
+                 "drift-rebuild %s)\n",
+                 engine.index().num_nodes(), engine.index().num_worlds(),
+                 drift_threshold > 0
+                     ? ("at " + std::to_string(drift_threshold)).c_str()
+                     : "off");
+    service::EngineHandle handle(std::move(engine));
+
+    std::future<Result<service::Engine>> rebuild;
+    uint64_t rebuild_seq = 0;
+    std::shared_ptr<service::Engine> rebuild_src;
+    serve_options.poll = [&]() {
+      if (options.drift_rebuild_threshold == 0) return;
+      if (!rebuild.valid()) {
+        auto current = handle.Acquire();
+        if (current->drift() < options.drift_rebuild_threshold) return;
+        auto state = current->CaptureDynamicState();
+        if (!state.ok()) return;  // racing swap; retry next poll
+        rebuild_seq = state->journal_seq;
+        rebuild_src = std::move(current);
+        rebuild = std::async(
+            std::launch::async,
+            [g = std::move(state->graph), options]() mutable {
+              return service::Engine::CreateDynamic(std::move(g), options);
+            });
+        return;
+      }
+      if (rebuild.wait_for(std::chrono::seconds(0)) !=
+          std::future_status::ready) {
+        return;
+      }
+      Result<service::Engine> next = rebuild.get();
+      if (!next.ok()) {
+        // Keep serving the (drifted but correct) engine; rebuilds are an
+        // optimization, never a point of failure.
+        std::fprintf(stderr, "serve: drift rebuild failed, keeping "
+                             "current engine: %s\n",
+                     next.status().ToString().c_str());
+        rebuild_src.reset();
+        return;
+      }
+      const std::vector<GraphUpdate> catchup =
+          rebuild_src->JournalSince(rebuild_seq);
+      if (!catchup.empty()) {
+        service::Request replay;
+        replay.payload = service::UpdateRequest{catchup};
+        auto replayed = next->Run(replay);
+        if (!replayed.ok()) {
+          std::fprintf(stderr, "serve: drift rebuild catch-up failed, "
+                               "keeping current engine: %s\n",
+                       replayed.status().ToString().c_str());
+          rebuild_src.reset();
+          return;
+        }
+      }
+      rebuild_src.reset();
+      handle.Swap(std::move(*next));
+      std::fprintf(stderr,
+                   "serve: drift rebuild swapped in (epoch %llu, replayed "
+                   "%zu journaled ops)\n",
+                   static_cast<unsigned long long>(handle.epoch()),
+                   catchup.size());
+    };
+
+    Status served = Status::OK();
+    if (use_stdin) {
+      served = service::ServeStream(&handle, /*in_fd=*/0, /*out_fd=*/1,
+                                    serve_options);
+    } else {
+      uint16_t bound_port = 0;
+      std::fprintf(stderr, "serve: listening on 127.0.0.1:%lld\n",
+                   static_cast<long long>(port_i64));
+      served = service::ServeTcp(&handle, static_cast<uint16_t>(port_i64),
+                                 serve_options, &bound_port);
+    }
+    if (rebuild.valid()) rebuild.wait();  // don't orphan a rebuild thread
+    if (!served.ok()) return Fail(served);
+    return 0;
+  }
 
   CLI_ASSIGN(engine, service::Engine::Create(std::move(graph), options));
   std::fprintf(stderr, "serve: index ready (%u nodes, %u worlds)\n",
@@ -870,6 +1182,8 @@ int Main(int argc, char** argv) {
     rc = CmdStability(flags);
   } else if (command == "reliability") {
     rc = CmdReliability(flags);
+  } else if (command == "update") {
+    rc = CmdUpdate(flags);
   } else if (command == "snapshot-create") {
     rc = CmdSnapshotCreate(flags);
   } else if (command == "snapshot-info") {
