@@ -39,6 +39,7 @@ int main() {
 
   TablePrinter table({"Config", "k", "std-fixed", "std-mc", "TC", "RR",
                       "degree", "random"});
+  uint64_t total_worlds = 0;
   for (const auto& name : config.configs) {
     const soi::Dataset dataset = soi::bench::LoadDatasetOrDie(name, config);
     const soi::ProbGraph& g = dataset.graph;
@@ -49,6 +50,7 @@ int main() {
     soi::Rng rng(config.seed + 20);
     auto index = soi::CascadeIndex::Build(g, index_options, &rng);
     if (!index.ok()) return 1;
+    total_worlds += index->num_worlds();
 
     soi::GreedyStdOptions fixed_options;
     fixed_options.k = kk;
@@ -105,6 +107,7 @@ int main() {
       "where marginal gains are small relative to its Monte-Carlo noise "
       "(most visibly on the -W settings) — the saturation mechanism behind "
       "Figures 6-7.\n");
+  soi::bench::ReportMemory(total_worlds);
   soi::bench::WriteMetricsSidecar("ablation");
   return 0;
 }

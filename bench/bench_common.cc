@@ -99,6 +99,19 @@ void WriteMetricsSidecar(const char* artifact) {
   }
 }
 
+MemoryReport ReportMemory(uint64_t total_worlds) {
+  MemoryReport report;
+  report.peak_rss_bytes = obs::ReadMemoryStats().high_water_bytes;
+  report.bytes_per_world =
+      total_worlds == 0 ? 0 : report.peak_rss_bytes / total_worlds;
+  std::printf(
+      "memory: peak_rss_bytes=%llu bytes_per_world=%llu (over %llu worlds)\n",
+      static_cast<unsigned long long>(report.peak_rss_bytes),
+      static_cast<unsigned long long>(report.bytes_per_world),
+      static_cast<unsigned long long>(total_worlds));
+  return report;
+}
+
 void PrintBanner(const char* artifact, const char* description,
                  const BenchConfig& config) {
   std::printf("=== %s ===\n%s\n", artifact, description);

@@ -69,6 +69,22 @@ void PrintBanner(const char* artifact, const char* description,
 /// Wall time is measured from BenchConfig::FromEnv(). No-op when SOI_OBS=0.
 void WriteMetricsSidecar(const char* artifact);
 
+/// Peak-memory columns every harness reports: process peak RSS (VmHWM, so
+/// it covers the hungriest moment of the run, not the state at exit) and
+/// that peak amortized over the worlds the harness sampled. Both are 0 on
+/// systems without procfs.
+struct MemoryReport {
+  uint64_t peak_rss_bytes = 0;
+  uint64_t bytes_per_world = 0;
+};
+
+/// Reads the obs memory probe, prints the standard
+/// "memory: peak_rss_bytes=... bytes_per_world=..." footer line, and
+/// returns the numbers so JSON-emitting harnesses can embed them as
+/// columns. `total_worlds` is the number of sampled worlds the harness
+/// built across all of its indexes (0 => bytes_per_world reported as 0).
+MemoryReport ReportMemory(uint64_t total_worlds);
+
 }  // namespace soi::bench
 
 #endif  // SOI_BENCH_BENCH_COMMON_H_

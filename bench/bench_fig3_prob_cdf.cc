@@ -46,6 +46,7 @@ int main() {
   std::printf(
       "\nExpected shape (paper): Goyal (-G) probabilities stochastically "
       "dominate Saito (-S); WC (-W) concentrates near 1/inDeg.\n");
+  soi::bench::ReportMemory(0);
   soi::bench::WriteMetricsSidecar("fig3");
   return 0;
 }

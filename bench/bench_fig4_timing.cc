@@ -44,7 +44,8 @@ struct ScaleRow {
 void WriteJson(const char* path, const soi::bench::BenchConfig& config,
                const std::string& scaling_config,
                const std::vector<NodeRow>& rows,
-               const std::vector<ScaleRow>& scaling) {
+               const std::vector<ScaleRow>& scaling,
+               const soi::bench::MemoryReport& memory) {
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
     std::fprintf(stderr, "warning: cannot write %s\n", path);
@@ -79,7 +80,11 @@ void WriteJson(const char* path, const soi::bench::BenchConfig& config,
                  r.threads, r.build_seconds, r.speedup,
                  i + 1 == scaling.size() ? "" : ",");
   }
-  std::fprintf(f, "  ]}\n}\n");
+  std::fprintf(f, "  ]},\n");
+  std::fprintf(f,
+               "  \"peak_rss_bytes\": %llu,\n  \"bytes_per_world\": %llu\n}\n",
+               static_cast<unsigned long long>(memory.peak_rss_bytes),
+               static_cast<unsigned long long>(memory.bytes_per_world));
   std::fclose(f);
   std::printf("\nwrote %s\n", path);
 }
@@ -97,6 +102,7 @@ int main() {
   std::vector<NodeRow> rows;
   TablePrinter table({"Config", "nodes", "t p50 ms", "t p95 ms", "t max ms",
                       "cost p50", "cost p95", "cost avg"});
+  uint64_t total_worlds = 0;
   for (const auto& name : config.configs) {
     const soi::Dataset dataset = soi::bench::LoadDatasetOrDie(name, config);
     const soi::ProbGraph& g = dataset.graph;
@@ -109,6 +115,7 @@ int main() {
     // Hold-out index for unbiased cost estimation (fresh worlds).
     auto eval_index = soi::CascadeIndex::Build(g, index_options, &rng);
     if (!eval_index.ok()) return 1;
+    total_worlds += index->num_worlds() + eval_index->num_worlds();
 
     soi::TypicalCascadeComputer computer(&*index);
     soi::CascadeIndex::Workspace eval_ws;
@@ -171,6 +178,7 @@ int main() {
     auto index =
         soi::CascadeIndex::Build(scaling_dataset.graph, index_options, &rng);
     if (!index.ok()) return 1;
+    total_worlds += index->num_worlds();
     ScaleRow row;
     row.threads = threads;
     row.build_seconds = timer.ElapsedSeconds();
@@ -187,7 +195,9 @@ int main() {
   std::printf("(hardware concurrency on this machine: %u)\n",
               soi::ThreadPool::HardwareConcurrency());
 
-  WriteJson("BENCH_fig4.json", config, scaling_config, rows, scaling);
+  const soi::bench::MemoryReport memory =
+      soi::bench::ReportMemory(total_worlds);
+  WriteJson("BENCH_fig4.json", config, scaling_config, rows, scaling, memory);
   soi::bench::WriteMetricsSidecar("fig4");
   return 0;
 }

@@ -23,6 +23,7 @@ int main() {
       "Figure 5", "Expected cost of C* vs its size (log2 size buckets)",
       config);
 
+  uint64_t total_worlds = 0;
   for (const auto& name : config.configs) {
     const soi::Dataset dataset = soi::bench::LoadDatasetOrDie(name, config);
     const soi::ProbGraph& g = dataset.graph;
@@ -34,6 +35,7 @@ int main() {
     if (!index.ok()) return 1;
     auto eval_index = soi::CascadeIndex::Build(g, index_options, &rng);
     if (!eval_index.ok()) return 1;
+    total_worlds += index->num_worlds() + eval_index->num_worlds();
 
     soi::TypicalCascadeComputer computer(&*index);
     soi::CascadeIndex::Workspace eval_ws;
@@ -82,6 +84,7 @@ int main() {
       "Expected shape (paper Fig 5): beyond the smallest buckets, cost "
       "decreases as |C*| grows; no bucket combines large size with large "
       "max cost.\n");
+  soi::bench::ReportMemory(total_worlds);
   soi::bench::WriteMetricsSidecar("fig5");
   return 0;
 }

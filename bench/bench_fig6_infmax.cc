@@ -29,6 +29,7 @@ int main() {
 
   TablePrinter summary({"Config", "k", "std sigma(k)", "TC sigma(k)",
                         "TC/std", "crossover k"});
+  uint64_t total_worlds = 0;
   for (const auto& name : config.configs) {
     const soi::Dataset dataset = soi::bench::LoadDatasetOrDie(name, config);
     const soi::ProbGraph& g = dataset.graph;
@@ -39,6 +40,7 @@ int main() {
     soi::Rng rng(config.seed + 4);
     auto index = soi::CascadeIndex::Build(g, index_options, &rng);
     if (!index.ok()) return 1;
+    total_worlds += index->num_worlds();
 
     // InfMax_std: the paper's implementation ([18]) estimates spread with
     // fresh Monte-Carlo simulations per evaluation; both methods get the
@@ -95,6 +97,7 @@ int main() {
   std::printf(
       "\nExpected shape (paper Fig 6): InfMax_std leads for small |S|; "
       "curves cross; InfMax_TC leads for large |S| (TC/std > 1 at k).\n");
+  soi::bench::ReportMemory(total_worlds);
   soi::bench::WriteMetricsSidecar("fig6");
   return 0;
 }

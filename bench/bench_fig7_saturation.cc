@@ -46,6 +46,7 @@ int main() {
   const uint32_t last_iter =
       std::min<uint32_t>(env_u32("SOI_SAT_LAST", 40), config.k);
 
+  uint64_t total_worlds = 0;
   for (const auto& name : config.configs) {
     const soi::Dataset dataset = soi::bench::LoadDatasetOrDie(name, config);
     const soi::ProbGraph& g = dataset.graph;
@@ -56,6 +57,7 @@ int main() {
     soi::Rng rng(config.seed + 6);
     auto index = soi::CascadeIndex::Build(g, index_options, &rng);
     if (!index.ok()) return 1;
+    total_worlds += index->num_worlds();
 
     // The paper runs the *unoptimized* greedy with Monte-Carlo estimates;
     // the MC noise is precisely what drives MG_10/MG_1 toward 1.
@@ -120,6 +122,7 @@ int main() {
       "reduced-scale datasets tie TC's integer coverage gains at ratio "
       "exactly 1.0, the analogue of the paper's saturation at iteration "
       "~65 on the 20x larger originals.\n");
+  soi::bench::ReportMemory(total_worlds);
   soi::bench::WriteMetricsSidecar("fig7");
   return 0;
 }

@@ -841,6 +841,104 @@ UpdateStreamNumbers RunUpdateStreamComparison() {
   return out;
 }
 
+// Scale ceiling under a fixed memory budget (the tier hierarchy's headline
+// number): the largest n in a doubling RMAT family (~10 arcs/node, p in
+// [0.05, 0.40]) whose per-world reachability state is fully admitted under
+// 512 MiB by the legacy materialized-only policy vs the tiered auto policy,
+// plus the labels-vs-materialized sweep latency ratio at the base scale
+// with an in-process byte-equality check (the tier contract).
+struct ScaleNNumbers {
+  uint32_t worlds = 0;
+  uint64_t budget_bytes = 0;
+  uint32_t max_n_materialized = 0;
+  uint32_t max_n_auto = 0;
+  // The auto policy was still fully admitted at the largest size tried, so
+  // max_n_auto is a lower bound, not a ceiling.
+  bool auto_hit_doubling_cap = false;
+  uint64_t mat_bytes_per_world = 0;    // base scale, fully materialized
+  uint64_t label_bytes_per_world = 0;  // the same worlds re-tiered to labels
+  double materialized_sweep_seconds = 0.0;
+  double labels_sweep_seconds = 0.0;
+  double latency_ratio = 0.0;  // labels / materialized
+  uint64_t worlds_built = 0;
+};
+
+ScaleNNumbers RunScaleNComparison() {
+  constexpr uint32_t kMinScale = 12;  // n = 4096, the sweep's regime
+  constexpr uint32_t kMaxScale = 16;  // n = 65536, the CI smoke's regime
+  ScaleNNumbers out;
+  out.worlds = 16;
+  out.budget_bytes = 512ull << 20;
+
+  // Seeds derive from the scale only, so the two policies price exactly the
+  // same worlds at each size — the comparison isolates the policy.
+  const auto build_at = [&out](uint32_t scale, ClosureTierPolicy policy) {
+    Rng gen_rng(100 + scale);
+    auto topo = GenerateRmat(scale, 10ull << scale, {}, &gen_rng);
+    SOI_CHECK(topo.ok());
+    Rng assign_rng(200 + scale);
+    auto graph = AssignUniform(*topo, &assign_rng, 0.05, 0.40);
+    SOI_CHECK(graph.ok());
+    CascadeIndexOptions options;
+    options.num_worlds = out.worlds;
+    options.closure_budget_mb = out.budget_bytes >> 20;
+    options.tier_policy = policy;
+    Rng rng(300 + scale);
+    auto index = CascadeIndex::Build(*graph, options, &rng);
+    SOI_CHECK(index.ok());
+    out.worlds_built += index->num_worlds();
+    return std::move(index).value();
+  };
+
+  // Admission ceilings: materialized-only is all-or-nothing, so it is
+  // admitted iff every world materialized; auto is admitted while no world
+  // falls all the way to the traversal tier.
+  for (uint32_t scale = kMinScale; scale <= kMaxScale; ++scale) {
+    const CascadeIndex index =
+        build_at(scale, ClosureTierPolicy::kMaterialized);
+    if (index.stats().worlds_materialized != out.worlds) break;
+    out.max_n_materialized = 1u << scale;
+  }
+  for (uint32_t scale = kMinScale; scale <= kMaxScale; ++scale) {
+    const CascadeIndex index = build_at(scale, ClosureTierPolicy::kAuto);
+    if (index.stats().worlds_traversal != 0) break;
+    out.max_n_auto = 1u << scale;
+    out.auto_hit_doubling_cap = scale == kMaxScale;
+  }
+
+  // Latency ratio at the base scale: one index, re-tiered in place between
+  // sweeps, so both runs extract from identical worlds.
+  CascadeIndex index = build_at(kMinScale, ClosureTierPolicy::kMaterialized);
+  SOI_CHECK(index.stats().worlds_materialized == out.worlds);
+  out.mat_bytes_per_world = index.stats().closure_bytes / out.worlds;
+  const uint32_t prev_threads = GlobalThreads();
+  SetGlobalThreads(1);
+  WallTimer mat_timer;
+  TypicalCascadeComputer mat_computer(&index);
+  const auto mat_all = mat_computer.ComputeAll();
+  out.materialized_sweep_seconds = mat_timer.ElapsedSeconds();
+  SOI_CHECK(mat_all.ok());
+
+  index.RebuildClosureTiersBytes(out.budget_bytes,
+                                 ClosureTierPolicy::kLabels);
+  SOI_CHECK(index.stats().worlds_labeled == out.worlds);
+  out.label_bytes_per_world = index.stats().label_bytes / out.worlds;
+  WallTimer lab_timer;
+  TypicalCascadeComputer lab_computer(&index);
+  const auto lab_all = lab_computer.ComputeAll();
+  out.labels_sweep_seconds = lab_timer.ElapsedSeconds();
+  SOI_CHECK(lab_all.ok());
+  SetGlobalThreads(prev_threads);
+
+  SOI_CHECK(mat_all->size() == lab_all->size());
+  for (size_t v = 0; v < mat_all->size(); ++v) {
+    SOI_CHECK((*mat_all)[v].cascade == (*lab_all)[v].cascade);
+  }
+  out.latency_ratio =
+      out.labels_sweep_seconds / out.materialized_sweep_seconds;
+  return out;
+}
+
 // Times the full single-threaded ComputeAll sweep on both extraction paths
 // (closure cache vs per-query traversal), checks the outputs are identical,
 // and writes the speedup to BENCH_micro.json — the headline number of the
@@ -902,6 +1000,15 @@ void RunSweepComparison() {
   const EngineBatchNumbers eb = RunEngineBatchComparison();
   const SnapshotRestartNumbers sn = RunSnapshotRestartComparison();
   const UpdateStreamNumbers us = RunUpdateStreamComparison();
+  const ScaleNNumbers sc = RunScaleNComparison();
+  // Peak RSS (VmHWM) amortized over the worlds this comparison suite
+  // sampled (the google-benchmark phase builds are excluded from the
+  // denominator but not the peak — VmHWM is process-wide).
+  const uint64_t suite_worlds = traversal_index->num_worlds() +
+                                closure_index->num_worlds() + sc.worlds_built;
+  const uint64_t peak_rss_bytes = obs::ReadMemoryStats().high_water_bytes;
+  const uint64_t bytes_per_world =
+      suite_worlds == 0 ? 0 : peak_rss_bytes / suite_worlds;
   std::FILE* f = std::fopen("BENCH_micro.json", "w");
   SOI_CHECK(f != nullptr);
   std::fprintf(f,
@@ -965,7 +1072,24 @@ void RunSweepComparison() {
                "    \"mixed_stream_queries\": %u,\n"
                "    \"mixed_stream_updates\": %u,\n"
                "    \"rebuild_equivalent\": true\n"
-               "  }\n"
+               "  },\n"
+               "  \"scale_n\": {\n"
+               "    \"worlds\": %u,\n"
+               "    \"budget_bytes\": %llu,\n"
+               "    \"max_n_materialized\": %u,\n"
+               "    \"max_n_auto\": %u,\n"
+               "    \"auto_hit_doubling_cap\": %s,\n"
+               "    \"n_ratio\": %.1f,\n"
+               "    \"materialized_bytes_per_world\": %llu,\n"
+               "    \"labels_bytes_per_world\": %llu,\n"
+               "    \"bytes_per_world_ratio\": %.1f,\n"
+               "    \"materialized_sweep_seconds\": %.6f,\n"
+               "    \"labels_sweep_seconds\": %.6f,\n"
+               "    \"labels_vs_materialized_latency_ratio\": %.2f,\n"
+               "    \"outputs_identical\": true\n"
+               "  },\n"
+               "  \"peak_rss_bytes\": %llu,\n"
+               "  \"bytes_per_world\": %llu\n"
                "}\n",
                g.num_nodes(), closure_index->num_worlds(),
                static_cast<unsigned long long>(
@@ -983,7 +1107,20 @@ void RunSweepComparison() {
                static_cast<unsigned long long>(sn.index_approx_bytes),
                us.nodes, us.worlds, us.updates, us.per_update_seconds,
                us.rebuild_seconds, us.speedup, us.mixed_queries_per_second,
-               us.mixed_queries, us.mixed_updates);
+               us.mixed_queries, us.mixed_updates, sc.worlds,
+               static_cast<unsigned long long>(sc.budget_bytes),
+               sc.max_n_materialized, sc.max_n_auto,
+               sc.auto_hit_doubling_cap ? "true" : "false",
+               static_cast<double>(sc.max_n_auto) /
+                   std::max(1u, sc.max_n_materialized),
+               static_cast<unsigned long long>(sc.mat_bytes_per_world),
+               static_cast<unsigned long long>(sc.label_bytes_per_world),
+               static_cast<double>(sc.mat_bytes_per_world) /
+                   std::max<uint64_t>(1, sc.label_bytes_per_world),
+               sc.materialized_sweep_seconds, sc.labels_sweep_seconds,
+               sc.latency_ratio,
+               static_cast<unsigned long long>(peak_rss_bytes),
+               static_cast<unsigned long long>(bytes_per_world));
   std::fclose(f);
   std::printf("sweep: traversal %.3fs, closure %.3fs, speedup %.2fx "
               "(wrote BENCH_micro.json)\n",
@@ -1012,6 +1149,21 @@ void RunSweepComparison() {
               us.nodes, us.worlds, us.per_update_seconds * 1e6,
               us.rebuild_seconds, us.speedup, us.mixed_queries_per_second,
               us.mixed_queries, us.mixed_updates);
+  std::printf("scale_n (l=%u, 512 MiB budget): max n materialized-only %u, "
+              "auto-tier %u%s; bytes/world materialized %llu vs labels %llu "
+              "(%.0fx); labels sweep %.2fx the materialized sweep time\n",
+              sc.worlds, sc.max_n_materialized, sc.max_n_auto,
+              sc.auto_hit_doubling_cap ? " (doubling cap)" : "",
+              static_cast<unsigned long long>(sc.mat_bytes_per_world),
+              static_cast<unsigned long long>(sc.label_bytes_per_world),
+              static_cast<double>(sc.mat_bytes_per_world) /
+                  std::max<uint64_t>(1, sc.label_bytes_per_world),
+              sc.latency_ratio);
+  std::printf("memory: peak_rss_bytes=%llu bytes_per_world=%llu "
+              "(over %llu worlds)\n",
+              static_cast<unsigned long long>(peak_rss_bytes),
+              static_cast<unsigned long long>(bytes_per_world),
+              static_cast<unsigned long long>(suite_worlds));
 }
 
 }  // namespace

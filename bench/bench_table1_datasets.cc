@@ -33,6 +33,7 @@ int main() {
                   TablePrinter::Fmt(prob_sum / g.num_nodes(), 3)});
   }
   table.Print(std::cout);
+  soi::bench::ReportMemory(0);
   soi::bench::WriteMetricsSidecar("table1");
   return 0;
 }

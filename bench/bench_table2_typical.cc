@@ -21,6 +21,7 @@ int main() {
 
   TablePrinter table({"Config", "nodes", "avg|C*|", "sd|C*|", "max|C*|",
                       "avg|S_i|", "index s", "sweep s"});
+  uint64_t total_worlds = 0;
   for (const auto& name : config.configs) {
     const soi::Dataset dataset = soi::bench::LoadDatasetOrDie(name, config);
     const soi::ProbGraph& g = dataset.graph;
@@ -34,6 +35,7 @@ int main() {
                    index.status().ToString().c_str());
       return 1;
     }
+    total_worlds += index->num_worlds();
 
     soi::TypicalCascadeComputer computer(&*index);
     soi::RunningStats size_stats, sample_stats;
@@ -66,6 +68,7 @@ int main() {
   std::printf(
       "\nExpected shape (paper Table 2): -G > -S and -F > -W typical-cascade "
       "sizes; sd comparable to or larger than avg.\n");
+  soi::bench::ReportMemory(total_worlds);
   soi::bench::WriteMetricsSidecar("table2");
   return 0;
 }

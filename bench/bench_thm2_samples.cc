@@ -34,6 +34,7 @@ int main() {
   const uint32_t eval_worlds = std::max(1000u, config.eval_worlds);
   const uint32_t nodes_per_dataset = 200;
 
+  uint64_t total_worlds = 0;
   for (const auto& name : config.configs) {
     const soi::Dataset dataset = soi::bench::LoadDatasetOrDie(name, config);
     const soi::ProbGraph& g = dataset.graph;
@@ -44,6 +45,7 @@ int main() {
     soi::Rng eval_rng(config.seed + 100);
     auto eval_index = soi::CascadeIndex::Build(g, eval_options, &eval_rng);
     if (!eval_index.ok()) return 1;
+    total_worlds += eval_index->num_worlds();
     soi::CascadeIndex::Workspace eval_ws;
 
     // Fixed node sample (stride over the graph).
@@ -60,6 +62,7 @@ int main() {
       soi::Rng rng(config.seed + l);
       auto index = soi::CascadeIndex::Build(g, options, &rng);
       if (!index.ok()) return 1;
+      total_worlds += index->num_worlds();
       soi::TypicalCascadeComputer computer(&*index);
 
       soi::RunningStats holdout, in_sample, sizes;
@@ -90,6 +93,7 @@ int main() {
       "Expected shape (Theorem 2): hold-out cost decreases in l and "
       "flattens at a constant sample size; the in-sample gap shrinks like "
       "sqrt(log(l)/l).\n");
+  soi::bench::ReportMemory(total_worlds);
   soi::bench::WriteMetricsSidecar("thm2");
   return 0;
 }

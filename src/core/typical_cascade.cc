@@ -69,15 +69,23 @@ Status TypicalCascadeComputer::SweepAllNodes(
   MedianOptions median_options = options.median;
   median_options.trusted_presorted = true;  // index output is always sorted
 
-  // With the closure cache, a node's cascades are zero-copy spans into the
-  // memoized per-world runs — there is nothing to extract. Without it,
-  // extract in world-major batches: all cascades of a node batch one world
-  // at a time, so each world's DAG stays hot across the whole batch, then
-  // run the per-node Jaccard medians off the shared arena. Nodes are
-  // independent and use no randomness, so results are identical for every
-  // thread count and batch size. Each chunk gets its own scratch because
-  // workspace, arena and solver are stateful.
-  const bool cached = index_->has_closure_cache();
+  // For a materialized world, a node's cascades are zero-copy spans into
+  // the memoized per-world runs — there is nothing to extract. For every
+  // other tier (labels, traversal), extract in world-major batches: all
+  // cascades of a node batch one world at a time, so each world's DAG stays
+  // hot across the whole batch, then run the per-node Jaccard medians off
+  // the shared arena. Mixed-tier indexes extract only the non-materialized
+  // worlds (arena slots are compacted over those). Nodes are independent
+  // and use no randomness, so results are identical for every thread count
+  // and batch size. Each chunk gets its own scratch because workspace,
+  // arena and solver are stateful.
+  std::vector<uint32_t> arena_slot(l, UINT32_MAX);
+  uint32_t num_extract = 0;
+  for (uint32_t i = 0; i < l; ++i) {
+    if (index_->tier(i) != WorldTier::kMaterialized) {
+      arena_slot[i] = num_extract++;
+    }
+  }
   const uint64_t num_batches = (n + kSweepBatch - 1) / kSweepBatch;
   std::vector<Status> chunk_status(PlannedChunks(num_batches, 1), Status::OK());
   ParallelForChunks(
@@ -92,10 +100,11 @@ Status TypicalCascadeComputer::SweepAllNodes(
           const NodeId last = std::min<NodeId>(first + kSweepBatch, n);
           const uint32_t batch = last - first;
           WallTimer extract_timer;
-          if (!cached) {
+          if (num_extract > 0) {
             SOI_OBS_SPAN("typical/extract_cascades");
             arena.Clear();
             for (uint32_t i = 0; i < l; ++i) {
+              if (arena_slot[i] == UINT32_MAX) continue;
               for (NodeId v = first; v < last; ++v) {
                 index_->AppendCascade(v, i, &ws, &arena);
               }
@@ -110,9 +119,11 @@ Status TypicalCascadeComputer::SweepAllNodes(
             WallTimer median_timer;
             double mean_size = 0.0;
             for (uint32_t i = 0; i < l; ++i) {
-              views[i] = cached
-                             ? index_->CachedCascade(first + j, i)
-                             : arena.View(static_cast<size_t>(i) * batch + j);
+              views[i] =
+                  arena_slot[i] == UINT32_MAX
+                      ? index_->CachedCascade(first + j, i)
+                      : arena.View(
+                            static_cast<size_t>(arena_slot[i]) * batch + j);
               mean_size += static_cast<double>(views[i].size());
             }
             mean_size /= static_cast<double>(l);

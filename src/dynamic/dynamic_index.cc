@@ -52,7 +52,8 @@ Result<DynamicIndex> DynamicIndex::Build(const ProbGraph& graph,
       out.index_,
       CascadeIndex::FromWorlds(graph.num_nodes(), std::move(worlds),
                                options.closure_budget_mb,
-                               RebuildClosures::kRebuild));
+                               RebuildClosures::kRebuild,
+                               options.tier_policy));
   return out;
 }
 
@@ -150,7 +151,16 @@ Result<UpdateStats> DynamicIndex::ApplyUpdates(
   // is live, their closures) from the updated graph. Per-world results are
   // pure functions of (seed, world, graph), so this parallel loop is
   // thread-count independent.
+  //
+  // Cache strategy by tier state: a fully materialized index is patched
+  // incrementally (per-world closure swap, byte-identical to a rebuild). A
+  // mixed-tier or labels index instead gets a full deterministic tier
+  // reassignment after the world swap — per-world incremental accounting
+  // has no meaning when the greedy assignment itself depends on world
+  // order. A pure-traversal index keeps no cache either way.
   const bool had_cache = index_.has_closure_cache();
+  const bool tiered_cache =
+      !had_cache && index_.stats().worlds_traversal != index_.num_worlds();
   const uint64_t budget_bytes = options_.closure_budget_mb << 20;
   std::vector<Condensation> new_worlds(affected.size());
   std::vector<ReachabilityClosure> new_closures(had_cache ? affected.size()
@@ -211,8 +221,14 @@ Result<UpdateStats> DynamicIndex::ApplyUpdates(
     }
   }
 
-  // Phase 4 — patch the index in place.
-  if (had_cache && !keep_cache) {
+  // Phase 4 — patch the index in place. When the all-materialized patch
+  // went over budget under a tier-capable policy, reassign tiers instead of
+  // dropping to traversal — labels usually still fit.
+  const bool rebuild_tiers =
+      tiered_cache ||
+      (had_cache && !keep_cache &&
+       options_.tier_policy != ClosureTierPolicy::kMaterialized);
+  if (had_cache && !keep_cache && !rebuild_tiers) {
     index_.DropClosureCache();
   }
   for (size_t k = 0; k < affected.size(); ++k) {
@@ -220,6 +236,10 @@ Result<UpdateStats> DynamicIndex::ApplyUpdates(
     if (keep_cache) {
       index_.SetClosure(affected[k], std::move(new_closures[k]));
     }
+  }
+  if (rebuild_tiers) {
+    index_.RebuildClosureTiers(options_.closure_budget_mb,
+                               options_.tier_policy);
   }
   index_.RecomputeStats();
 

@@ -4,11 +4,13 @@
 #include <atomic>
 #include <cstdlib>
 #include <optional>
+#include <string_view>
 
 #include "cascade/threshold.h"
 #include "cascade/world.h"
 #include "obs/metrics.h"
 #include "runtime/parallel_for.h"
+#include "util/arena.h"
 #include "util/stats.h"
 
 namespace soi {
@@ -40,6 +42,46 @@ uint64_t DefaultClosureBudgetMb() {
   return budget;
 }
 
+bool ParseClosureTierPolicy(const char* name, ClosureTierPolicy* out) {
+  const std::string_view s(name);
+  if (s == "auto") {
+    *out = ClosureTierPolicy::kAuto;
+  } else if (s == "materialized") {
+    *out = ClosureTierPolicy::kMaterialized;
+  } else if (s == "labels") {
+    *out = ClosureTierPolicy::kLabels;
+  } else if (s == "traversal") {
+    *out = ClosureTierPolicy::kTraversal;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* ClosureTierPolicyName(ClosureTierPolicy policy) {
+  switch (policy) {
+    case ClosureTierPolicy::kAuto:
+      return "auto";
+    case ClosureTierPolicy::kMaterialized:
+      return "materialized";
+    case ClosureTierPolicy::kLabels:
+      return "labels";
+    case ClosureTierPolicy::kTraversal:
+      return "traversal";
+  }
+  return "auto";
+}
+
+ClosureTierPolicy DefaultClosureTierPolicy() {
+  static const ClosureTierPolicy policy = [] {
+    ClosureTierPolicy p = ClosureTierPolicy::kAuto;
+    const char* env = std::getenv("SOI_CLOSURE_TIER");
+    if (env != nullptr && *env != '\0') ParseClosureTierPolicy(env, &p);
+    return p;
+  }();
+  return policy;
+}
+
 void CascadeIndex::Workspace::Prepare(uint32_t num_components) {
   if (stamp_.size() < num_components) {
     stamp_.assign(num_components, 0);
@@ -65,49 +107,173 @@ void CascadeIndex::ComputeSharedStats() {
   stats_.approx_bytes = bytes;
 }
 
-void CascadeIndex::BuildClosureCache(uint64_t budget_mb) {
-  closures_.clear();
+void CascadeIndex::AccountCacheStats() {
+  num_materialized_ = 0;
+  num_labeled_ = 0;
+  uint64_t closure_bytes = 0;
+  uint64_t label_bytes = 0;
+  for (size_t i = 0; i < tiers_.size(); ++i) {
+    if (tiers_[i] == WorldTier::kMaterialized) {
+      ++num_materialized_;
+      closure_bytes += closures_[i].ApproxBytes();
+    } else if (tiers_[i] == WorldTier::kLabels) {
+      ++num_labeled_;
+      label_bytes += labels_[i].ApproxBytes();
+    }
+  }
+  stats_.closure_bytes = closure_bytes;
+  stats_.label_bytes = label_bytes;
+  stats_.approx_bytes += closure_bytes + label_bytes;
+  stats_.worlds_materialized = num_materialized_;
+  stats_.worlds_labeled = num_labeled_;
+  stats_.worlds_traversal =
+      num_worlds() - num_materialized_ - num_labeled_;
+}
+
+void CascadeIndex::BuildClosureCache(uint64_t budget_bytes,
+                                     ClosureTierPolicy policy) {
+  // Re-entrant: strip any previous cache contribution first.
+  stats_.approx_bytes -= stats_.closure_bytes + stats_.label_bytes;
   stats_.closure_bytes = 0;
-  if (budget_mb == 0) {
+  stats_.label_bytes = 0;
+  stats_.worlds_materialized = 0;
+  stats_.worlds_labeled = 0;
+  stats_.worlds_traversal = num_worlds();
+  closures_.clear();
+  labels_.clear();
+  tiers_.assign(worlds_.size(), WorldTier::kTraversal);
+  num_materialized_ = 0;
+  num_labeled_ = 0;
+  if (budget_bytes == 0 || policy == ClosureTierPolicy::kTraversal) {
     SOI_OBS_COUNTER_ADD("index/closure_cache_disabled", 1);
     return;
   }
   SOI_OBS_SPAN("index/build_closure_cache");
-  const uint64_t budget_bytes = budget_mb << 20;
-  std::vector<ReachabilityClosure> closures(worlds_.size());
-  // The kept/dropped outcome is thread-count independent: per-world closures
-  // are deterministic, and `over` can only ever be set when the true total
-  // exceeds the budget (any subset sum of a within-budget total is within
-  // budget), in which case the cache is dropped no matter which worlds were
-  // skipped after the flag went up.
-  std::atomic<uint64_t> used{0};
-  std::atomic<bool> over{false};
-  ParallelFor(0, worlds_.size(), /*grain=*/1, [&](uint64_t i) {
-    if (over.load(std::memory_order_relaxed)) return;
-    ReachabilityClosure cl =
-        BuildReachabilityClosure(worlds_[i], budget_bytes / 4);
-    if (cl.num_components() != worlds_[i].num_components()) {
-      over.store(true, std::memory_order_relaxed);
+  const size_t n = worlds_.size();
+
+  if (policy == ClosureTierPolicy::kMaterialized) {
+    // Legacy all-or-nothing: materialize every world or retain nothing.
+    std::vector<ReachabilityClosure> closures(n);
+    // The kept/dropped outcome is thread-count independent: per-world
+    // closures are deterministic, and `over` can only ever be set when the
+    // true total exceeds the budget (any subset sum of a within-budget
+    // total is within budget), in which case the cache is dropped no matter
+    // which worlds were skipped after the flag went up.
+    std::atomic<uint64_t> used{0};
+    std::atomic<bool> over{false};
+    ParallelFor(0, n, /*grain=*/1, [&](uint64_t i) {
+      if (over.load(std::memory_order_relaxed)) return;
+      ReachabilityClosure cl =
+          BuildReachabilityClosure(worlds_[i], budget_bytes / 4);
+      if (cl.num_components() != worlds_[i].num_components()) {
+        over.store(true, std::memory_order_relaxed);
+        return;
+      }
+      const uint64_t bytes = cl.ApproxBytes();
+      if (used.fetch_add(bytes, std::memory_order_relaxed) + bytes >
+          budget_bytes) {
+        over.store(true, std::memory_order_relaxed);
+        return;
+      }
+      closures[i] = std::move(cl);
+    });
+    if (over.load()) {
+      SOI_OBS_COUNTER_ADD("index/closure_cache_skipped_budget", 1);
       return;
     }
-    const uint64_t bytes = cl.ApproxBytes();
-    if (used.fetch_add(bytes, std::memory_order_relaxed) + bytes >
-        budget_bytes) {
-      over.store(true, std::memory_order_relaxed);
-      return;
-    }
-    closures[i] = std::move(cl);
-  });
-  if (over.load()) {
-    SOI_OBS_COUNTER_ADD("index/closure_cache_skipped_budget", 1);
+    closures_ = std::move(closures);
+    tiers_.assign(n, WorldTier::kMaterialized);
+    AccountCacheStats();
+    SOI_OBS_COUNTER_ADD("index/closure_cache_built", 1);
     return;
   }
-  uint64_t bytes = 0;
-  for (const ReachabilityClosure& cl : closures) bytes += cl.ApproxBytes();
-  closures_ = std::move(closures);
-  stats_.closure_bytes = bytes;
-  stats_.approx_bytes += bytes;
-  SOI_OBS_COUNTER_ADD("index/closure_cache_built", 1);
+
+  // kAuto / kLabels: three deterministic passes.
+  //
+  // Pass A (parallel): build every world's interval labels. The label build
+  // also prices the materialized alternative exactly (ReachLabelStats), so
+  // no closure has to be built just to be measured. The per-world interval
+  // cap bounds pathological label growth to the budget.
+  const bool allow_materialized = policy == ClosureTierPolicy::kAuto;
+  const uint64_t max_intervals = std::max<uint64_t>(budget_bytes / 8, 1);
+  std::vector<ReachLabels> labels(n);
+  std::vector<ReachLabelStats> label_stats(n);
+  ParallelForChunks(0, n, /*grain=*/1,
+                    [&](uint32_t /*chunk*/, uint64_t b, uint64_t e) {
+                      ReachLabelScratch scratch;
+                      for (uint64_t i = b; i < e; ++i) {
+                        labels[i] = BuildReachLabels(
+                            worlds_[i], max_intervals, &scratch,
+                            &label_stats[i]);
+                      }
+                    });
+
+  // Pass B (sequential, world order): greedy tier assignment under the
+  // budget — richest tier first. Sequential accounting over deterministic
+  // per-world sizes makes the assignment thread-count independent.
+  std::vector<ReachabilityClosure> closures(n);
+  std::vector<uint8_t> materialize(n, 0);
+  uint64_t used = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t nc1 = worlds_[i].num_components() + uint64_t{1};
+    if (!labels[i].empty()) {
+      // Exact byte cost BuildReachabilityClosure would incur (matches
+      // ReachabilityClosure::ApproxBytes).
+      const uint64_t mat_bytes =
+          16 * nc1 + 4 * (label_stats[i].closure_comps +
+                          label_stats[i].closure_nodes);
+      const uint64_t lab_bytes = labels[i].ApproxBytes();
+      if (allow_materialized && used + mat_bytes <= budget_bytes) {
+        tiers_[i] = WorldTier::kMaterialized;
+        materialize[i] = 1;
+        used += mat_bytes;
+        labels[i] = ReachLabels{};
+      } else if (used + lab_bytes <= budget_bytes) {
+        tiers_[i] = WorldTier::kLabels;
+        used += lab_bytes;
+      } else {
+        labels[i] = ReachLabels{};  // traversal
+      }
+    } else if (allow_materialized) {
+      // The interval cap blew up (pathologically fragmented DAG), so the
+      // materialized cost is unknown; build the closure under the remaining
+      // budget to find out. Rare, and sequential on purpose: the outcome
+      // feeds the running budget.
+      ReachabilityClosure cl =
+          BuildReachabilityClosure(worlds_[i], (budget_bytes - used) / 4);
+      if (cl.num_components() == worlds_[i].num_components() &&
+          used + cl.ApproxBytes() <= budget_bytes) {
+        used += cl.ApproxBytes();
+        closures[i] = std::move(cl);
+        tiers_[i] = WorldTier::kMaterialized;
+      }
+    }
+  }
+
+  // Pass C (parallel): materialize the assigned worlds. The cap cannot
+  // trigger — pass B proved each world's node total fits the budget.
+  ParallelFor(0, n, /*grain=*/1, [&](uint64_t i) {
+    if (!materialize[i]) return;
+    closures[i] = BuildReachabilityClosure(worlds_[i], budget_bytes / 4);
+    SOI_DCHECK(closures[i].num_components() ==
+               worlds_[i].num_components());
+  });
+
+  uint32_t n_mat = 0;
+  uint32_t n_lab = 0;
+  for (WorldTier t : tiers_) {
+    n_mat += t == WorldTier::kMaterialized;
+    n_lab += t == WorldTier::kLabels;
+  }
+  if (n_mat > 0) closures_ = std::move(closures);
+  if (n_lab > 0) labels_ = std::move(labels);
+  AccountCacheStats();
+  if (has_closure_cache()) {
+    SOI_OBS_COUNTER_ADD("index/closure_cache_built", 1);
+  }
+  SOI_OBS_COUNTER_ADD("index/worlds_materialized", n_mat);
+  SOI_OBS_COUNTER_ADD("index/worlds_labeled", n_lab);
+  SOI_OBS_COUNTER_ADD("index/worlds_traversal", n - n_mat - n_lab);
 }
 
 Result<CascadeIndex> CascadeIndex::Build(const ProbGraph& graph,
@@ -141,30 +307,42 @@ Result<CascadeIndex> CascadeIndex::Build(const ProbGraph& graph,
   };
   std::vector<Condensation> worlds(options.num_worlds);
   std::vector<WorldStats> world_stats(options.num_worlds);
-  ParallelFor(0, options.num_worlds, /*grain=*/1, [&](uint64_t i) {
-    Rng world_rng = streams.Fork(i);
-    std::optional<Csr> world;
-    {
-      SOI_OBS_SPAN("index/sample_world");
-      world.emplace(lt_sampler.has_value() ? lt_sampler->Sample(&world_rng)
-                                           : SampleWorld(graph, &world_rng));
-    }
-    std::optional<Condensation> cond;
-    {
-      SOI_OBS_SPAN("index/scc_condense");
-      cond.emplace(Condensation::Build(*world));
-    }
-    uint32_t before = cond->num_dag_edges();
-    uint32_t after = before;
-    if (options.transitive_reduction) {
-      SOI_OBS_SPAN("index/transitive_reduce");
-      const ReductionStats rstats = TransitiveReduce(&*cond, options.reduction);
-      before = rstats.edges_before;
-      after = rstats.edges_after;
-    }
-    world_stats[i] = {before, after};
-    worlds[i] = std::move(*cond);
-  });
+  // Chunked so each worker threads ONE bump arena through its worlds: the
+  // SCC scratch costs O(1) heap allocations per chunk instead of five per
+  // world. Per-world results are slot writes, so the chunking (like the
+  // thread count) cannot change the built index.
+  ParallelForChunks(
+      0, options.num_worlds, /*grain=*/1,
+      [&](uint32_t /*chunk*/, uint64_t b, uint64_t e) {
+        BumpArena scratch;
+        for (uint64_t i = b; i < e; ++i) {
+          scratch.Reset();
+          Rng world_rng = streams.Fork(i);
+          std::optional<Csr> world;
+          {
+            SOI_OBS_SPAN("index/sample_world");
+            world.emplace(lt_sampler.has_value()
+                              ? lt_sampler->Sample(&world_rng)
+                              : SampleWorld(graph, &world_rng));
+          }
+          std::optional<Condensation> cond;
+          {
+            SOI_OBS_SPAN("index/scc_condense");
+            cond.emplace(Condensation::Build(*world, &scratch));
+          }
+          uint32_t before = cond->num_dag_edges();
+          uint32_t after = before;
+          if (options.transitive_reduction) {
+            SOI_OBS_SPAN("index/transitive_reduce");
+            const ReductionStats rstats =
+                TransitiveReduce(&*cond, options.reduction);
+            before = rstats.edges_before;
+            after = rstats.edges_after;
+          }
+          world_stats[i] = {before, after};
+          worlds[i] = std::move(*cond);
+        }
+      });
   SOI_OBS_COUNTER_ADD("index/worlds_built", options.num_worlds);
 
   // Ordered reduction: accumulate floating-point stats in world order.
@@ -176,9 +354,11 @@ Result<CascadeIndex> CascadeIndex::Build(const ProbGraph& graph,
   }
   SOI_OBS_COUNTER_ADD("index/dag_edges_removed", edges_removed);
   index.worlds_ = std::move(worlds);
+  index.tiers_.assign(index.worlds_.size(), WorldTier::kTraversal);
   index.ComputeSharedStats();
   index.stats_.avg_dag_edges_before = edges_before.mean();
-  index.BuildClosureCache(options.closure_budget_mb);
+  index.BuildClosureCache(options.closure_budget_mb << 20,
+                          options.tier_policy);
   index.stats_.build_seconds = timer.ElapsedSeconds();
   return index;
 }
@@ -186,7 +366,8 @@ Result<CascadeIndex> CascadeIndex::Build(const ProbGraph& graph,
 Result<CascadeIndex> CascadeIndex::FromWorlds(NodeId num_nodes,
                                               std::vector<Condensation> worlds,
                                               uint64_t closure_budget_mb,
-                                              RebuildClosures rebuild) {
+                                              RebuildClosures rebuild,
+                                              ClosureTierPolicy tier_policy) {
   if (num_nodes == 0) return Status::InvalidArgument("empty node set");
   if (worlds.empty()) return Status::InvalidArgument("no worlds");
   for (const Condensation& c : worlds) {
@@ -197,43 +378,79 @@ Result<CascadeIndex> CascadeIndex::FromWorlds(NodeId num_nodes,
   CascadeIndex index;
   index.num_nodes_ = num_nodes;
   index.worlds_ = std::move(worlds);
+  index.tiers_.assign(index.worlds_.size(), WorldTier::kTraversal);
   index.ComputeSharedStats();
   // The serialized form stores only the (already reduced) DAG, so the
   // pre-reduction edge count is unrecoverable here; report the stored count
   // for both so load-side stats stay self-consistent.
   index.stats_.avg_dag_edges_before = index.stats_.avg_dag_edges_after;
   if (rebuild == RebuildClosures::kRebuild) {
-    index.BuildClosureCache(closure_budget_mb);
+    index.BuildClosureCache(closure_budget_mb << 20, tier_policy);
   }
   return index;
 }
 
 Result<CascadeIndex> CascadeIndex::FromParts(
     NodeId num_nodes, std::vector<Condensation> worlds,
-    std::vector<ReachabilityClosure> closures) {
-  if (!closures.empty() && closures.size() != worlds.size()) {
-    return Status::InvalidArgument(
-        "closure count (" + std::to_string(closures.size()) +
-        ") does not match world count (" + std::to_string(worlds.size()) +
-        ")");
-  }
-  for (size_t i = 0; i < closures.size(); ++i) {
-    if (closures[i].num_components() != worlds[i].num_components()) {
+    std::vector<ReachabilityClosure> closures, std::vector<ReachLabels> labels,
+    std::vector<WorldTier> tiers) {
+  const size_t n = worlds.size();
+  if (tiers.empty()) {
+    // Legacy two-state contract: closures empty (all traversal) or full
+    // (all materialized); labels are a tiered-mode concept.
+    if (!labels.empty()) {
       return Status::InvalidArgument(
-          "closure component count mismatch in world " + std::to_string(i));
+          "labels require an explicit tier assignment");
+    }
+    if (!closures.empty() && closures.size() != n) {
+      return Status::InvalidArgument(
+          "closure count (" + std::to_string(closures.size()) +
+          ") does not match world count (" + std::to_string(n) + ")");
+    }
+    tiers.assign(n, closures.empty() ? WorldTier::kTraversal
+                                     : WorldTier::kMaterialized);
+  } else {
+    if (tiers.size() != n) {
+      return Status::InvalidArgument(
+          "tier count (" + std::to_string(tiers.size()) +
+          ") does not match world count (" + std::to_string(n) + ")");
+    }
+    if (closures.empty()) {
+      closures.resize(n);
+    } else if (closures.size() != n) {
+      return Status::InvalidArgument("closure count does not match worlds");
+    }
+    if (labels.empty()) {
+      labels.resize(n);
+    } else if (labels.size() != n) {
+      return Status::InvalidArgument("label count does not match worlds");
+    }
+  }
+  uint32_t n_mat = 0;
+  uint32_t n_lab = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (tiers[i] == WorldTier::kMaterialized) {
+      ++n_mat;
+      if (closures[i].num_components() != worlds[i].num_components()) {
+        return Status::InvalidArgument(
+            "closure component count mismatch in world " + std::to_string(i));
+      }
+    } else if (tiers[i] == WorldTier::kLabels) {
+      ++n_lab;
+      if (labels[i].num_components() != worlds[i].num_components()) {
+        return Status::InvalidArgument(
+            "label component count mismatch in world " + std::to_string(i));
+      }
     }
   }
   SOI_ASSIGN_OR_RETURN(
       CascadeIndex index,
       FromWorlds(num_nodes, std::move(worlds), /*closure_budget_mb=*/0,
                  RebuildClosures::kSkip));
-  if (!closures.empty()) {
-    uint64_t bytes = 0;
-    for (const ReachabilityClosure& cl : closures) bytes += cl.ApproxBytes();
-    index.closures_ = std::move(closures);
-    index.stats_.closure_bytes = bytes;
-    index.stats_.approx_bytes += bytes;
-  }
+  index.tiers_ = std::move(tiers);
+  if (n_mat > 0) index.closures_ = std::move(closures);
+  if (n_lab > 0) index.labels_ = std::move(labels);
+  index.AccountCacheStats();
   return index;
 }
 
@@ -253,7 +470,21 @@ void CascadeIndex::SetClosure(uint32_t i, ReachabilityClosure closure) {
 
 void CascadeIndex::DropClosureCache() {
   closures_.clear();
+  labels_.clear();
+  tiers_.assign(worlds_.size(), WorldTier::kTraversal);
+  num_materialized_ = 0;
+  num_labeled_ = 0;
   SOI_OBS_COUNTER_ADD("index/closure_cache_dropped", 1);
+}
+
+void CascadeIndex::RebuildClosureTiers(uint64_t budget_mb,
+                                       ClosureTierPolicy policy) {
+  BuildClosureCache(budget_mb << 20, policy);
+}
+
+void CascadeIndex::RebuildClosureTiersBytes(uint64_t budget_bytes,
+                                            ClosureTierPolicy policy) {
+  BuildClosureCache(budget_bytes, policy);
 }
 
 void CascadeIndex::RecomputeStats() {
@@ -262,12 +493,7 @@ void CascadeIndex::RecomputeStats() {
   stats_.build_seconds = build_seconds;
   ComputeSharedStats();
   stats_.avg_dag_edges_before = stats_.avg_dag_edges_after;
-  uint64_t closure_bytes = 0;
-  for (const ReachabilityClosure& cl : closures_) {
-    closure_bytes += cl.ApproxBytes();
-  }
-  stats_.closure_bytes = closure_bytes;
-  stats_.approx_bytes += closure_bytes;
+  AccountCacheStats();
 }
 
 Status CascadeIndex::ValidateSeeds(std::span<const NodeId> seeds) const {
@@ -289,7 +515,7 @@ void CascadeIndex::CascadeInto(std::span<const NodeId> seeds, uint32_t i,
                                Workspace* ws, std::vector<NodeId>* out) const {
   // Precondition (debug-checked): seeds/world validated by the caller.
   const Condensation& cond = world(i);
-  if (has_closure_cache()) {
+  if (tiers_[i] == WorldTier::kMaterialized) {
     const ReachabilityClosure& cl = closures_[i];
     if (seeds.size() == 1) {
       SOI_DCHECK(seeds[0] < num_nodes_);
@@ -304,6 +530,34 @@ void CascadeIndex::CascadeInto(std::span<const NodeId> seeds, uint32_t i,
         if (ws->stamp_[x] != ws->stamp_id_) {
           ws->stamp_[x] = ws->stamp_id_;
           ws->comps_.push_back(x);
+        }
+      }
+    }
+    std::sort(ws->comps_.begin(), ws->comps_.end());
+    MergeComponentMemberRuns(cond, ws->comps_, &ws->merge_, out);
+    return;
+  }
+  if (tiers_[i] == WorldTier::kLabels) {
+    // Expanding the intervals streams closure component ids; the member-run
+    // merge then produces the exact cascade run the materialized tier would
+    // have returned from storage.
+    const ReachLabels& lab = labels_[i];
+    ws->Prepare(cond.num_components());
+    if (seeds.size() == 1) {
+      SOI_DCHECK(seeds[0] < num_nodes_);
+      lab.AppendClosure(cond.ComponentOf(seeds[0]), &ws->comps_);
+      MergeComponentMemberRuns(cond, ws->comps_, &ws->merge_, out);
+      return;
+    }
+    for (NodeId s : seeds) {
+      SOI_DCHECK(s < num_nodes_);
+      const auto b = lab.Bounds(cond.ComponentOf(s));
+      for (size_t k = 0; k < b.size(); k += 2) {
+        for (uint32_t x = b[k]; x <= b[k + 1]; ++x) {
+          if (ws->stamp_[x] != ws->stamp_id_) {
+            ws->stamp_[x] = ws->stamp_id_;
+            ws->comps_.push_back(x);
+          }
         }
       }
     }
@@ -347,7 +601,7 @@ Result<uint64_t> CascadeIndex::CascadeSize(std::span<const NodeId> seeds,
   SOI_RETURN_IF_ERROR(ValidateSeeds(seeds));
   SOI_RETURN_IF_ERROR(ValidateWorld(i));
   const Condensation& cond = world(i);
-  if (has_closure_cache()) {
+  if (tiers_[i] == WorldTier::kMaterialized) {
     const ReachabilityClosure& cl = closures_[i];
     if (seeds.size() == 1) {
       return cl.NodeCount(cond.ComponentOf(seeds[0]));
@@ -359,6 +613,26 @@ Result<uint64_t> CascadeIndex::CascadeSize(std::span<const NodeId> seeds,
         if (ws->stamp_[x] != ws->stamp_id_) {
           ws->stamp_[x] = ws->stamp_id_;
           total += cond.ComponentSize(x);
+        }
+      }
+    }
+    return total;
+  }
+  if (tiers_[i] == WorldTier::kLabels) {
+    const ReachLabels& lab = labels_[i];
+    if (seeds.size() == 1) {
+      return lab.NodeCount(cond.ComponentOf(seeds[0]));  // O(1)
+    }
+    ws->Prepare(cond.num_components());
+    uint64_t total = 0;
+    for (NodeId s : seeds) {
+      const auto b = lab.Bounds(cond.ComponentOf(s));
+      for (size_t k = 0; k < b.size(); k += 2) {
+        for (uint32_t x = b[k]; x <= b[k + 1]; ++x) {
+          if (ws->stamp_[x] != ws->stamp_id_) {
+            ws->stamp_[x] = ws->stamp_id_;
+            total += cond.ComponentSize(x);
+          }
         }
       }
     }

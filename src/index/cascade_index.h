@@ -8,6 +8,7 @@
 #include "graph/prob_graph.h"
 #include "scc/closure.h"
 #include "scc/condensation.h"
+#include "scc/labels.h"
 #include "scc/transitive.h"
 #include "util/flat_sets.h"
 #include "util/rng.h"
@@ -27,10 +28,49 @@ enum class PropagationModel {
   kLinearThreshold,
 };
 
-/// Default retained-size budget for the per-world closure cache, in MiB:
-/// `SOI_CLOSURE_BUDGET_MB` when set to a valid integer, otherwise 512.
-/// 0 disables the cache entirely (pure traversal paths).
+/// Default retained-size budget for the per-world reachability cache
+/// (closures + labels), in MiB: `SOI_CLOSURE_BUDGET_MB` when set to a valid
+/// integer, otherwise 512. 0 disables the cache entirely (pure traversal
+/// paths).
 uint64_t DefaultClosureBudgetMb();
+
+/// Per-world storage tier for reachability state, cheapest first. Query
+/// results are byte-identical across tiers; only footprint and per-query
+/// cost differ.
+enum class WorldTier : uint8_t {
+  /// Nothing retained: every query runs the condensation-DAG traversal.
+  kTraversal = 0,
+  /// Succinct interval labels (scc/labels.h): O(1) single-source size,
+  /// streaming enumeration, typically 1–2 orders of magnitude smaller than
+  /// the materialized closure.
+  kLabels = 1,
+  /// Fully materialized closure + cascade runs (scc/closure.h): zero-copy
+  /// single-source cascades.
+  kMaterialized = 2,
+};
+
+/// Which tiers BuildClosureCache may assign.
+enum class ClosureTierPolicy : uint8_t {
+  /// Per-world greedy, in world order: materialize while the budget lasts,
+  /// then labels, then traversal. When everything fits this is exactly the
+  /// materialized-only cache (same bytes, same stats).
+  kAuto = 0,
+  /// Legacy all-or-nothing: materialize every world or retain nothing.
+  kMaterialized = 1,
+  /// Labels only (greedy under the budget, never materializes) — the
+  /// benchmarking tier for the labels-vs-materialized latency ratio.
+  kLabels = 2,
+  /// Retain nothing; all queries traverse.
+  kTraversal = 3,
+};
+
+/// Default tier policy: `SOI_CLOSURE_TIER` when set to one of
+/// auto|materialized|labels|traversal, otherwise kAuto.
+ClosureTierPolicy DefaultClosureTierPolicy();
+
+/// Parses a tier-policy name (the CLI flag / env-var vocabulary).
+bool ParseClosureTierPolicy(const char* name, ClosureTierPolicy* out);
+const char* ClosureTierPolicyName(ClosureTierPolicy policy);
 
 /// Whether an index (re)assembly path should recompute the per-world
 /// reachability-closure cache. The cache is derived data: rebuilding it on
@@ -55,12 +95,15 @@ struct CascadeIndexOptions {
   /// disabling is an ablation that trades memory for build time.
   bool transitive_reduction = true;
   ReductionOptions reduction;
-  /// Memory budget for the per-world reachability-closure cache (see
-  /// scc/closure.h). When the total closure size across worlds would exceed
-  /// this many MiB the cache is dropped and every query falls back to the
-  /// per-query DAG traversal; outputs are byte-identical either way.
-  /// 0 disables the cache.
+  /// Memory budget for the per-world reachability cache (closures +
+  /// labels). Under the default kAuto policy each world is assigned the
+  /// richest tier that still fits: materialized closure, then interval
+  /// labels, then nothing (per-query DAG traversal). Outputs are
+  /// byte-identical across tiers. 0 disables the cache.
   uint64_t closure_budget_mb = DefaultClosureBudgetMb();
+  /// Which tiers the budget logic may assign (kAuto unless overridden by
+  /// the `--closure-tier` flag / `SOI_CLOSURE_TIER`).
+  ClosureTierPolicy tier_policy = DefaultClosureTierPolicy();
 };
 
 /// Aggregate construction statistics (reported by benches).
@@ -70,12 +113,18 @@ struct CascadeIndexStats {
   double avg_dag_edges_before = 0.0;
   double avg_dag_edges_after = 0.0;
   /// Estimated resident bytes of the index payload: condensations plus the
-  /// closure cache when retained (== closure_bytes > 0). Build and
-  /// FromWorlds use one shared accounting, so a saved-then-loaded index
-  /// reports the same approx_bytes it was built with.
+  /// retained reachability cache (closures + labels). Build and FromWorlds
+  /// use one shared accounting, so a saved-then-loaded index reports the
+  /// same approx_bytes it was built with.
   uint64_t approx_bytes = 0;
-  /// Bytes of the retained closure cache (0 when disabled / over budget).
+  /// Bytes of the retained materialized closures (0 when none).
   uint64_t closure_bytes = 0;
+  /// Bytes of the retained interval labels (0 when none).
+  uint64_t label_bytes = 0;
+  /// Tier population (sums to num_worlds after construction).
+  uint32_t worlds_materialized = 0;
+  uint32_t worlds_labeled = 0;
+  uint32_t worlds_traversal = 0;
 };
 
 /// The cascade index of Algorithm 1 (paper §4, Figure 2): for each of the l
@@ -85,15 +134,22 @@ struct CascadeIndexStats {
 /// I[v, i], obtained by one DAG traversal — typically far cheaper than
 /// re-traversing G_i.
 ///
-/// On top of that, the index memoizes per-world reachability: each world's
-/// full component closure is computed once in reverse-topological order and
-/// each component's cascade run is materialized once (scc/closure.h), after
-/// which a single-source cascade query is a zero-copy span into the runs CSR
-/// (see CachedCascade), a cascade-size query is an offset subtraction, and a
-/// seed-set cascade is a stamped union of closure lists plus one run merge.
-/// The cache is guarded by CascadeIndexOptions::closure_budget_mb; when
-/// absent, queries fall back to the traversal path with byte-identical
-/// results.
+/// On top of that, the index memoizes per-world reachability through a
+/// three-tier memory hierarchy picked per world under
+/// CascadeIndexOptions::closure_budget_mb (see WorldTier):
+///
+///  - kMaterialized (scc/closure.h): the world's full component closure and
+///    cascade runs, computed once in reverse-topological order. A
+///    single-source cascade query is a zero-copy span into the runs CSR
+///    (CachedCascade), a size query an offset subtraction.
+///  - kLabels (scc/labels.h): succinct interval labels over the
+///    reverse-topological id order. Size queries stay O(1)
+///    (precomputed reach_nodes); enumeration expands the intervals and
+///    merges member runs — nothing the size of a closure is ever stored.
+///  - kTraversal: per-query DAG traversal, zero retained bytes.
+///
+/// Query results are byte-identical across tiers and thread counts; the
+/// tiers trade only memory against per-query constant factors.
 class CascadeIndex {
  public:
   /// Reusable per-thread scratch for cascade queries; sized on first use.
@@ -156,16 +212,24 @@ class CascadeIndex {
   static Result<CascadeIndex> FromWorlds(
       NodeId num_nodes, std::vector<Condensation> worlds,
       uint64_t closure_budget_mb = DefaultClosureBudgetMb(),
-      RebuildClosures rebuild = RebuildClosures::kRebuild);
+      RebuildClosures rebuild = RebuildClosures::kRebuild,
+      ClosureTierPolicy tier_policy = DefaultClosureTierPolicy());
 
-  /// Assembles an index from prebuilt condensations AND prebuilt closures
-  /// (the snapshot load path: both typically borrow spans into one mmap'd
-  /// file, so assembly is O(num_worlds) bookkeeping — no sampling, no SCC
-  /// runs, no closure sweep). `closures` must be empty (traversal paths) or
-  /// have exactly one closure per world with matching component counts.
+  /// Assembles an index from prebuilt condensations AND prebuilt
+  /// reachability state (the snapshot load path: everything typically
+  /// borrows spans into one mmap'd file, so assembly is O(num_worlds)
+  /// bookkeeping — no sampling, no SCC runs, no closure sweep).
+  ///
+  /// With `tiers` empty the legacy two-state contract applies: `closures`
+  /// must be empty (all worlds traverse) or have exactly one closure per
+  /// world (all worlds materialized). With `tiers` given (one per world),
+  /// `closures`/`labels` are indexed per world and must be populated — with
+  /// matching component counts — exactly where the tier says so.
   static Result<CascadeIndex> FromParts(
       NodeId num_nodes, std::vector<Condensation> worlds,
-      std::vector<ReachabilityClosure> closures);
+      std::vector<ReachabilityClosure> closures,
+      std::vector<ReachLabels> labels = {},
+      std::vector<WorldTier> tiers = {});
 
   uint32_t num_worlds() const { return static_cast<uint32_t>(worlds_.size()); }
   NodeId num_nodes() const { return num_nodes_; }
@@ -177,14 +241,51 @@ class CascadeIndex {
     return worlds_[i];
   }
 
-  /// True when the per-world closure cache was retained under the budget.
-  bool has_closure_cache() const { return !closures_.empty(); }
+  /// True when EVERY world carries a materialized closure — the strongest
+  /// cache state, in which CachedCascade is valid for any world. Mixed-tier
+  /// and labels-only indexes answer the same queries byte-identically
+  /// through Cascade/CascadeSize/AppendCascade, just not via zero-copy
+  /// spans for non-materialized worlds.
+  bool has_closure_cache() const {
+    return !worlds_.empty() && num_materialized_ == worlds_.size();
+  }
 
-  /// The reachability closure of world i; only valid with
-  /// has_closure_cache().
+  /// Storage tier of world i.
+  WorldTier tier(uint32_t i) const {
+    SOI_DCHECK(i < tiers_.size());
+    return tiers_[i];
+  }
+
+  /// True when every world answers size queries in O(1) — i.e. no world is
+  /// on the traversal tier (the spread oracle's first-round fast path).
+  bool has_fast_counts() const {
+    return !worlds_.empty() &&
+           num_materialized_ + num_labeled_ == worlds_.size();
+  }
+
+  /// The reachability closure of world i; only valid when
+  /// tier(i) == kMaterialized.
   const ReachabilityClosure& closure(uint32_t i) const {
     SOI_DCHECK(i < closures_.size());
+    SOI_DCHECK(tiers_[i] == WorldTier::kMaterialized);
     return closures_[i];
+  }
+
+  /// The interval labels of world i; only valid when tier(i) == kLabels.
+  const ReachLabels& labels(uint32_t i) const {
+    SOI_DCHECK(i < labels_.size());
+    SOI_DCHECK(tiers_[i] == WorldTier::kLabels);
+    return labels_[i];
+  }
+
+  /// Cascade size of component `comp` in world i, O(1); only valid when
+  /// tier(i) != kTraversal.
+  uint32_t ReachNodeCount(uint32_t comp, uint32_t i) const {
+    SOI_DCHECK(i < tiers_.size());
+    SOI_DCHECK(tiers_[i] != WorldTier::kTraversal);
+    return tiers_[i] == WorldTier::kMaterialized
+               ? closures_[i].NodeCount(comp)
+               : labels_[i].NodeCount(comp);
   }
 
   /// The I[v, i] matrix entry: component of v in world i.
@@ -196,8 +297,9 @@ class CascadeIndex {
 
   /// Replaces the condensation of world i. Owned-mode condensation covering
   /// num_nodes() nodes; the caller (DynamicIndex) guarantees it was built
-  /// from the world's current live-edge set. Does NOT touch the closure
-  /// cache or stats — patch those via SetClosure/DropClosureCache and
+  /// from the world's current live-edge set. Does NOT touch the
+  /// reachability cache or stats — the caller must restore cache
+  /// consistency (SetClosure / DropClosureCache / RebuildClosureTiers) and
   /// finish the batch with RecomputeStats().
   void ReplaceWorld(uint32_t i, Condensation cond);
 
@@ -206,11 +308,24 @@ class CascadeIndex {
   /// condensation).
   void SetClosure(uint32_t i, ReachabilityClosure closure);
 
-  /// Drops the whole closure cache (queries fall back to DAG traversal with
-  /// byte-identical answers). The dynamic layer calls this when a patch
-  /// pushes the cache past its budget — mirroring the all-or-nothing policy
-  /// of BuildClosureCache.
+  /// Drops the whole reachability cache — every world falls back to DAG
+  /// traversal with byte-identical answers. The dynamic layer calls this
+  /// when a patch pushes the cache past its budget — mirroring the
+  /// all-or-nothing policy of the kMaterialized tier policy.
   void DropClosureCache();
+
+  /// Recomputes the full tier assignment from the current worlds (the
+  /// dynamic layer's recovery path after patching a mixed-tier index).
+  /// Deterministic: depends only on the worlds, budget and policy. Stats
+  /// are updated in place.
+  void RebuildClosureTiers(uint64_t budget_mb, ClosureTierPolicy policy);
+
+  /// Byte-granular variant of RebuildClosureTiers for callers that need
+  /// exact budget boundaries (tests, embedders metering their own pools).
+  /// A world whose retained bytes land exactly on the remaining budget is
+  /// admitted (<=, not <).
+  void RebuildClosureTiersBytes(uint64_t budget_bytes,
+                                ClosureTierPolicy policy);
 
   /// Re-derives avg_components / avg_dag_edges / approx_bytes /
   /// closure_bytes from the current worlds and closures after a patch
@@ -231,11 +346,11 @@ class CascadeIndex {
   /// Zero-copy cascade of single source v in world i: a span into the
   /// memoized run, sorted ascending, valid for the index's lifetime.
   ///
-  /// Unchecked hot kernel: requires has_closure_cache(), v < num_nodes()
-  /// and i < num_worlds() (pre-validated by the caller; debug-checked).
-  /// Identical content to Cascade(v, i, ws).
+  /// Unchecked hot kernel: requires tier(i) == kMaterialized,
+  /// v < num_nodes() and i < num_worlds() (pre-validated by the caller;
+  /// debug-checked). Identical content to Cascade(v, i, ws).
   std::span<const NodeId> CachedCascade(NodeId v, uint32_t i) const {
-    SOI_DCHECK(has_closure_cache());
+    SOI_DCHECK(i < tiers_.size() && tiers_[i] == WorldTier::kMaterialized);
     SOI_DCHECK(v < num_nodes_);
     return closures_[i].Cascade(world(i).ComponentOf(v));
   }
@@ -302,16 +417,29 @@ class CascadeIndex {
   // the stored (post-reduction) count.
   void ComputeSharedStats();
 
-  // Builds the per-world closure cache if it fits `budget_mb`; otherwise
-  // leaves the cache empty. Records which path future queries take via the
-  // index/closure_cache_{built,skipped_budget,disabled} counters. The
-  // kept/dropped decision depends only on the worlds and the budget, never
-  // on the thread count.
-  void BuildClosureCache(uint64_t budget_mb);
+  // Assigns every world its storage tier under `budget_bytes` and `policy`
+  // and builds the retained state (closures / labels). Re-entrant: strips
+  // any previous cache contribution from the stats first. The assignment
+  // depends only on the worlds, the budget and the policy, never on the
+  // thread count: tier choice is a sequential world-order greedy over
+  // deterministic per-world sizes.
+  void BuildClosureCache(uint64_t budget_bytes, ClosureTierPolicy policy);
+
+  // Recomputes num_materialized_/num_labeled_, the stats tier population
+  // and the cache byte totals from tiers_/closures_/labels_ (adds cache
+  // bytes to stats_.approx_bytes).
+  void AccountCacheStats();
 
   NodeId num_nodes_ = 0;
   std::vector<Condensation> worlds_;
-  std::vector<ReachabilityClosure> closures_;  // empty = traversal paths
+  // Tier state. tiers_ always has one entry per world. closures_ is either
+  // empty or one entry per world, populated exactly where
+  // tiers_[i] == kMaterialized; labels_ likewise for kLabels.
+  std::vector<WorldTier> tiers_;
+  std::vector<ReachabilityClosure> closures_;
+  std::vector<ReachLabels> labels_;
+  uint32_t num_materialized_ = 0;
+  uint32_t num_labeled_ = 0;
   CascadeIndexStats stats_;
 };
 

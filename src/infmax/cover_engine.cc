@@ -15,14 +15,20 @@ namespace {
 
 // Marginal value of a candidate's set under the current cover, summed in
 // element order (the legacy ValueGain loop — summation order is part of the
-// bit-compatibility contract for the weighted paths).
-double ValueGain(std::span<const uint32_t> set, std::span<const double> values,
+// bit-compatibility contract for the weighted paths). Iterates via ForEach,
+// so raw and packed candidate arenas produce the same sum.
+double ValueGain(const FlatSets& sets, size_t i, std::span<const double> values,
                  const BitVector& covered) {
   double gain = 0.0;
-  for (uint32_t e : set) {
+  sets.ForEach(i, [&](uint32_t e) {
     if (!covered.Test(e)) gain += values[e];
-  }
+  });
   return gain;
+}
+
+// Marks every element of set i covered.
+void CoverSet(const FlatSets& sets, size_t i, BitVector* covered) {
+  sets.ForEach(i, [&](uint32_t e) { covered->Set(e); });
 }
 
 // CELF heap entry ordered by (gain desc, candidate id asc) — identical to
@@ -142,12 +148,11 @@ GreedyResult CoverEngine::Select(uint32_t k, bool track_saturation) const {
     // in the inverted lists of newly covered elements (a selected
     // candidate's elements are all covered) except `best` itself, whose
     // stored value is overwritten with the 0 sentinel right after.
-    for (uint32_t e : fwd_->Set(best)) {
-      if (!covered.TestAndSet(e)) continue;
-      const std::span<const uint32_t> cands = inv_->Set(e);
-      for (uint32_t c : cands) --stored[c];
-      decrements += cands.size();
-    }
+    fwd_->ForEach(best, [&](uint32_t e) {
+      if (!covered.TestAndSet(e)) return;
+      inv_->ForEach(e, [&](uint32_t c) { --stored[c]; });
+      decrements += inv_->SetSize(e);
+    });
     stored[best] = 0;
 
     covered_total += best_gain;
@@ -173,7 +178,7 @@ GreedyResult SelectWeightedCover(const FlatSets& cand_to_elems,
   // ascending id order like the legacy loop.
   const std::vector<double> init = ParallelMap<double>(
       0, n, /*grain=*/512, [&](uint64_t v) {
-        return ValueGain(cand_to_elems.Set(v), elem_values, covered);
+        return ValueGain(cand_to_elems, v, elem_values, covered);
       });
   CelfHeap heap;
   for (uint32_t v = 0; v < n; ++v) heap.push({init[v], v, 0});
@@ -188,14 +193,14 @@ GreedyResult SelectWeightedCover(const FlatSets& cand_to_elems,
       CelfEntry top = heap.top();
       if (top.round == round) {
         heap.pop();
-        for (uint32_t e : cand_to_elems.Set(top.node)) covered.Set(e);
+        CoverSet(cand_to_elems, top.node, &covered);
         total_value += top.gain;
         result.seeds.push_back(top.node);
         result.steps.push_back({top.node, top.gain, total_value, -1.0});
         break;
       }
       heap.pop();
-      top.gain = ValueGain(cand_to_elems.Set(top.node), elem_values, covered);
+      top.gain = ValueGain(cand_to_elems, top.node, elem_values, covered);
       top.round = round;
       heap.push(top);
       ++refreshes;
@@ -217,7 +222,7 @@ BudgetedSelection SelectBudgetedCover(const FlatSets& cand_to_elems,
   // Full set values double as the round-0 gains and the best-single scan.
   const std::vector<double> full_value = ParallelMap<double>(
       0, n, /*grain=*/512, [&](uint64_t v) {
-        return ValueGain(cand_to_elems.Set(v), elem_values, covered);
+        return ValueGain(cand_to_elems, v, elem_values, covered);
       });
 
   // Lazy ratio heap: keys only decrease (gains shrink as coverage grows,
@@ -237,14 +242,14 @@ BudgetedSelection SelectBudgetedCover(const FlatSets& cand_to_elems,
     heap.pop();
     if (cand_costs[top.node] > budget - result.total_cost) continue;
     const double gain =
-        ValueGain(cand_to_elems.Set(top.node), elem_values, covered);
+        ValueGain(cand_to_elems, top.node, elem_values, covered);
     if (top.round != round) {
       heap.push({gain / cand_costs[top.node], top.node, round});
       ++refreshes;
       continue;
     }
     if (gain <= 0.0) break;
-    for (uint32_t e : cand_to_elems.Set(top.node)) covered.Set(e);
+    CoverSet(cand_to_elems, top.node, &covered);
     result.total_cost += cand_costs[top.node];
     result.covered_value += gain;
     result.seeds.push_back(top.node);

@@ -18,10 +18,17 @@ Result<GreedyResult> InfMaxTC(const FlatSets& typical_cascades,
         std::to_string(num_nodes) + " nodes)");
   }
   // Branch-free max reduction over the flat arena (vectorizes), then one
-  // range check.
+  // range check. Packed arenas stream per set instead.
   NodeId max_id = 0;
-  for (NodeId v : typical_cascades.elements()) max_id = std::max(max_id, v);
-  if (!typical_cascades.elements().empty() && max_id >= num_nodes) {
+  if (typical_cascades.packed()) {
+    for (size_t i = 0; i < typical_cascades.num_sets(); ++i) {
+      typical_cascades.ForEach(
+          i, [&](NodeId v) { max_id = std::max(max_id, v); });
+    }
+  } else {
+    for (NodeId v : typical_cascades.elements()) max_id = std::max(max_id, v);
+  }
+  if (typical_cascades.total_elements() > 0 && max_id >= num_nodes) {
     return Status::OutOfRange("cascade node id");
   }
   const uint32_t k = std::min<uint32_t>(options.k, num_nodes);

@@ -55,13 +55,14 @@ uint64_t SpreadOracle::Traverse(NodeId v) {
 
 double SpreadOracle::MarginalGain(NodeId v) {
   // First-round fast path: with nothing committed the gain of v is its
-  // cascade size, a closure-cache table lookup per world. Identical value to
-  // the traversal (node_counts is the exact reachable-node total).
-  if (!any_committed_ && index_->has_closure_cache()) {
+  // cascade size, an O(1) lookup per world on any non-traversal tier
+  // (materialized closures and interval labels both precompute it).
+  // Identical value to the traversal — the exact reachable-node total.
+  if (!any_committed_ && index_->has_fast_counts()) {
     SOI_DCHECK(v < index_->num_nodes());
     uint64_t total = 0;
     for (uint32_t i = 0; i < index_->num_worlds(); ++i) {
-      total += index_->closure(i).NodeCount(index_->world(i).ComponentOf(v));
+      total += index_->ReachNodeCount(index_->world(i).ComponentOf(v), i);
     }
     return static_cast<double>(total) /
            static_cast<double>(index_->num_worlds());

@@ -18,10 +18,13 @@ Status ValidateInputs(const FlatSets& cascades,
   for (double v : values) {
     if (!(v >= 0.0)) return Status::InvalidArgument("values must be >= 0");
   }
-  for (NodeId v : cascades.elements()) {
-    if (v >= n) return Status::OutOfRange("cascade node id");
+  Status range = Status::OK();
+  for (size_t i = 0; i < n && range.ok(); ++i) {
+    cascades.ForEach(i, [&](NodeId v) {
+      if (v >= n && range.ok()) range = Status::OutOfRange("cascade node id");
+    });
   }
-  return Status::OK();
+  return range;
 }
 
 }  // namespace

@@ -1,12 +1,15 @@
 #include "scc/condensation.h"
 
+#include <algorithm>
 #include <utility>
+
+#include "util/arena.h"
 
 namespace soi {
 
-Condensation Condensation::Build(const Csr& world) {
+Condensation Condensation::Build(const Csr& world, BumpArena* scratch) {
   Condensation cond;
-  SccResult scc = TarjanScc(world);
+  SccResult scc = TarjanScc(world, scratch);
   cond.num_components_ = scc.num_components;
   cond.comp_of_ = std::move(scc.comp_of);
 
@@ -20,8 +23,16 @@ Condensation Condensation::Build(const Csr& world) {
   for (uint32_t c = 0; c < nc; ++c) {
     cond.members_.offsets[c + 1] += cond.members_.offsets[c];
   }
-  std::vector<uint32_t> cursor(cond.members_.offsets.begin(),
-                               cond.members_.offsets.end() - 1);
+  std::vector<uint32_t> cursor_vec;
+  std::span<uint32_t> cursor;
+  if (scratch != nullptr) {
+    cursor = scratch->AllocateArray<uint32_t>(nc);
+  } else {
+    cursor_vec.resize(nc);
+    cursor = cursor_vec;
+  }
+  std::copy(cond.members_.offsets.begin(), cond.members_.offsets.end() - 1,
+            cursor.begin());
   for (NodeId v = 0; v < n; ++v) {
     cond.members_.targets[cursor[cond.comp_of_[v]]++] = v;
   }

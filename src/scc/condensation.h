@@ -28,7 +28,10 @@ class Condensation {
   Condensation() = default;
 
   /// Builds the condensation of `world` (deduplicating parallel DAG edges).
-  static Condensation Build(const Csr& world);
+  /// `scratch` (optional) bump-allocates the SCC working arrays and the
+  /// member-bucketing cursor; callers condensing many worlds Reset() one
+  /// arena between calls (see util/arena.h).
+  static Condensation Build(const Csr& world, BumpArena* scratch = nullptr);
 
   /// Reassembles a condensation from its serialized parts: the node ->
   /// component map and the (already reduced) DAG. Rebuilds the members CSR.

@@ -1,0 +1,82 @@
+#include "scc/labels.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace soi {
+
+ReachLabels BuildReachLabels(const Condensation& cond,
+                             uint64_t max_total_intervals,
+                             ReachLabelScratch* scratch,
+                             ReachLabelStats* stats) {
+  const uint32_t nc = cond.num_components();
+  const auto members_offsets = cond.members_offsets();
+
+  ReachLabels out;
+  out.offsets.reserve(nc + 1);
+  out.offsets.push_back(0);
+  out.bounds.reserve(4 * nc);
+  out.reach_nodes.reserve(nc);
+
+  ReachLabelScratch local;
+  std::vector<std::pair<uint32_t, uint32_t>>& gather =
+      scratch ? scratch->gather : local.gather;
+
+  uint64_t closure_comps = 0;
+  uint64_t closure_nodes = 0;
+  for (uint32_t c = 0; c < nc; ++c) {
+    // Successors have smaller ids (reverse-topological order), so their
+    // interval lists are final; c's label is the coalesced union of theirs
+    // plus the singleton [c, c].
+    gather.clear();
+    gather.emplace_back(c, c);
+    for (uint32_t s : cond.DagSuccessors(c)) {
+      const auto b = out.Bounds(s);
+      for (size_t k = 0; k < b.size(); k += 2) {
+        gather.emplace_back(b[k], b[k + 1]);
+      }
+    }
+    std::sort(gather.begin(), gather.end());
+
+    const size_t first = out.bounds.size();
+    uint32_t lo = gather[0].first;
+    uint32_t hi = gather[0].second;
+    for (size_t k = 1; k < gather.size(); ++k) {
+      if (gather[k].first <= hi + 1) {  // adjacent ids coalesce too
+        hi = std::max(hi, gather[k].second);
+      } else {
+        out.bounds.push_back(lo);
+        out.bounds.push_back(hi);
+        lo = gather[k].first;
+        hi = gather[k].second;
+      }
+    }
+    out.bounds.push_back(lo);
+    out.bounds.push_back(hi);
+    out.offsets.push_back(out.bounds.size() / 2);
+    if (out.bounds.size() / 2 > max_total_intervals) {
+      // Pathologically fragmented DAG: labels would cost more than they
+      // save. Hand back the failure sentinel so the tier assignment falls
+      // through to materialization or traversal for this world.
+      return ReachLabels{};
+    }
+
+    uint32_t reach = 0;
+    for (size_t k = first; k < out.bounds.size(); k += 2) {
+      reach += members_offsets[out.bounds[k + 1] + 1] -
+               members_offsets[out.bounds[k]];
+      closure_comps += out.bounds[k + 1] - out.bounds[k] + 1;
+    }
+    out.reach_nodes.push_back(reach);
+    closure_nodes += reach;
+  }
+
+  if (stats != nullptr) {
+    stats->total_intervals = out.bounds.size() / 2;
+    stats->closure_comps = closure_comps;
+    stats->closure_nodes = closure_nodes;
+  }
+  return out;
+}
+
+}  // namespace soi

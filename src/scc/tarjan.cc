@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/arena.h"
+
 namespace soi {
 
 namespace {
@@ -16,40 +18,50 @@ struct Frame {
 
 }  // namespace
 
-SccResult TarjanScc(const Csr& graph) {
+SccResult TarjanScc(const Csr& graph) { return TarjanScc(graph, nullptr); }
+
+SccResult TarjanScc(const Csr& graph, BumpArena* scratch) {
   const uint32_t n = graph.num_nodes();
   SccResult result;
   result.comp_of.assign(n, kUnvisited);
 
-  std::vector<uint32_t> index(n, kUnvisited);
-  std::vector<uint32_t> lowlink(n, 0);
-  std::vector<uint8_t> on_stack(n, 0);
-  std::vector<NodeId> scc_stack;
-  std::vector<Frame> dfs;
-  scc_stack.reserve(64);
-  dfs.reserve(64);
+  // All five working arrays are bounded by n (a node enters the DFS and the
+  // SCC stack at most once), so scratch is five bump allocations — recycled
+  // across worlds when the caller threads an arena through.
+  BumpArena local_arena(size_t{64} << 10);
+  BumpArena& arena = scratch != nullptr ? *scratch : local_arena;
+  const std::span<uint32_t> index = arena.AllocateArray<uint32_t>(n);
+  const std::span<uint32_t> lowlink = arena.AllocateArray<uint32_t>(n);
+  const std::span<uint8_t> on_stack = arena.AllocateArray<uint8_t>(n);
+  const std::span<NodeId> scc_stack = arena.AllocateArray<NodeId>(n);
+  const std::span<Frame> dfs = arena.AllocateArray<Frame>(n);
+  std::fill(index.begin(), index.end(), kUnvisited);
+  std::fill(lowlink.begin(), lowlink.end(), 0u);
+  std::fill(on_stack.begin(), on_stack.end(), uint8_t{0});
+  size_t scc_top = 0;
+  size_t dfs_top = 0;
 
   uint32_t next_index = 0;
   uint32_t next_comp = 0;
 
   for (NodeId root = 0; root < n; ++root) {
     if (index[root] != kUnvisited) continue;
-    dfs.push_back({root, 0});
+    dfs[dfs_top++] = {root, 0};
     index[root] = lowlink[root] = next_index++;
-    scc_stack.push_back(root);
+    scc_stack[scc_top++] = root;
     on_stack[root] = 1;
 
-    while (!dfs.empty()) {
-      Frame& frame = dfs.back();
+    while (dfs_top > 0) {
+      Frame& frame = dfs[dfs_top - 1];
       const NodeId u = frame.node;
       const auto nbrs = graph.Neighbors(u);
       if (frame.next_edge < nbrs.size()) {
         const NodeId v = nbrs[frame.next_edge++];
         if (index[v] == kUnvisited) {
           index[v] = lowlink[v] = next_index++;
-          scc_stack.push_back(v);
+          scc_stack[scc_top++] = v;
           on_stack[v] = 1;
-          dfs.push_back({v, 0});
+          dfs[dfs_top++] = {v, 0};
         } else if (on_stack[v]) {
           lowlink[u] = std::min(lowlink[u], index[v]);
         }
@@ -58,17 +70,16 @@ SccResult TarjanScc(const Csr& graph) {
       // u is finished: close its SCC if it is a root, then propagate lowlink.
       if (lowlink[u] == index[u]) {
         while (true) {
-          const NodeId w = scc_stack.back();
-          scc_stack.pop_back();
+          const NodeId w = scc_stack[--scc_top];
           on_stack[w] = 0;
           result.comp_of[w] = next_comp;
           if (w == u) break;
         }
         ++next_comp;
       }
-      dfs.pop_back();
-      if (!dfs.empty()) {
-        const NodeId parent = dfs.back().node;
+      --dfs_top;
+      if (dfs_top > 0) {
+        const NodeId parent = dfs[dfs_top - 1].node;
         lowlink[parent] = std::min(lowlink[parent], lowlink[u]);
       }
     }

@@ -20,10 +20,18 @@ struct SccResult {
   uint32_t num_components = 0;
 };
 
+class BumpArena;
+
 /// Iterative Tarjan SCC (Tarjan, SIAM J. Comput. 1972). Runs in O(n + m)
 /// with an explicit stack, so deep sampled worlds cannot overflow the call
 /// stack.
 SccResult TarjanScc(const Csr& graph);
+
+/// Same, with the five O(n) working arrays bump-allocated from `scratch`
+/// (util/arena.h) instead of the heap — callers that condense many worlds
+/// Reset() one arena between calls and pay O(1) allocations per world.
+/// nullptr falls back to a call-local arena.
+SccResult TarjanScc(const Csr& graph, BumpArena* scratch);
 
 }  // namespace soi
 

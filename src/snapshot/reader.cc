@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "snapshot/crc32c.h"
+#include "util/packed_runs.h"
 
 namespace soi {
 
@@ -29,6 +30,8 @@ uint32_t ExpectedElemSize(uint32_t kind) {
     case SectionKind::kClosureCompOffsets:
     case SectionKind::kClosureNodeOffsets:
     case SectionKind::kTypicalOffsets:
+    case SectionKind::kLabelOffsets:
+    case SectionKind::kTypicalPackedOffsets:
       return 8;
     case SectionKind::kGraphProbs:
       return 8;
@@ -43,7 +46,14 @@ uint32_t ExpectedElemSize(uint32_t kind) {
     case SectionKind::kClosureComps:
     case SectionKind::kClosureNodes:
     case SectionKind::kTypicalElems:
+    case SectionKind::kTierTable:
+    case SectionKind::kLabelBounds:
+    case SectionKind::kLabelReachNodes:
       return 4;
+    case SectionKind::kClosureCompsPacked:
+    case SectionKind::kClosureNodesPacked:
+    case SectionKind::kTypicalPacked:
+      return 1;
     case SectionKind::kWorldTable:
       return sizeof(WorldRecord);
   }
@@ -139,11 +149,14 @@ Status Snapshot::Validate(const std::string& path,
     }
     return Invalid(path, "corrupt endianness tag");
   }
-  if (header_.version != kSnapshotVersion) {
+  // Major must match; any minor of a known major is readable (additive
+  // evolution only — a file using state we can't interpret also sets a flag
+  // bit we don't know, rejected below).
+  if ((header_.version & 0xFFFFu) != kSnapshotVersionMajor) {
     return Invalid(path, "unsupported version " +
-                             std::to_string(header_.version) +
+                             std::to_string(header_.version & 0xFFFFu) +
                              " (this binary reads soi-snap-v" +
-                             std::to_string(kSnapshotVersion) +
+                             std::to_string(kSnapshotVersionMajor) +
                              "); upgrade the binary or re-create the "
                              "snapshot");
   }
@@ -219,10 +232,28 @@ Status Snapshot::Validate(const std::string& path,
   const uint64_t n = header_.num_nodes;
   const uint64_t w = header_.num_worlds;
   const uint64_t m = header_.num_edges;
-  const bool with_closures = (header_.flags & kSnapFlagClosures) != 0;
+  const bool tiered = (header_.flags & kSnapFlagTiered) != 0;
+  const bool raw_closures = (header_.flags & kSnapFlagClosures) != 0;
+  const bool packed_closures = (header_.flags & kSnapFlagPackedClosures) != 0;
+  const bool with_closures = raw_closures || packed_closures;
+  const bool with_labels = (header_.flags & kSnapFlagLabels) != 0;
   const bool with_typical = (header_.flags & kSnapFlagTypical) != 0;
+  const bool packed_typical = (header_.flags & kSnapFlagPackedTypical) != 0;
+  if (raw_closures && packed_closures) {
+    return Invalid(path, "closures declared both raw and packed");
+  }
+  if ((packed_closures || with_labels) && !tiered) {
+    return Invalid(path,
+                   "packed closures / labels require the per-world tier "
+                   "table (kSnapFlagTiered)");
+  }
+  if (packed_typical && !with_typical) {
+    return Invalid(path, "packed-typical flag set without a typical table");
+  }
 
-  // Required sections with their exact element counts.
+  // Required sections with their exact element counts. The tiered closure /
+  // label pools cover only the qualifying worlds, so their exact sizes are
+  // established by the cumulative world scan below, not here.
   struct Expectation {
     SectionKind kind;
     uint64_t count;
@@ -244,13 +275,22 @@ Status Snapshot::Validate(const std::string& path,
       {SectionKind::kMembersOffsets, pooled_offsets, true},
       {SectionKind::kMembersTargets, w * n, true},
       {SectionKind::kDagOffsets, pooled_offsets, true},
-      {SectionKind::kClosureCompOffsets, pooled_offsets, with_closures},
-      {SectionKind::kClosureNodeOffsets, pooled_offsets, with_closures},
+      {SectionKind::kTierTable, w, tiered},
+      {SectionKind::kClosureCompOffsets, pooled_offsets,
+       with_closures && !tiered},
+      {SectionKind::kClosureNodeOffsets, pooled_offsets,
+       with_closures && !tiered},
   };
   for (const Expectation& x : expectations) {
     const SectionEntry* e = Find(x.kind);
     if (!x.required) {
-      if (e != nullptr) {
+      // Tiered closure offset pools are required too, just not with a count
+      // known yet; only flag-less presence is an error here.
+      const bool tolerated =
+          tiered && with_closures &&
+          (x.kind == SectionKind::kClosureCompOffsets ||
+           x.kind == SectionKind::kClosureNodeOffsets);
+      if (e != nullptr && !tolerated) {
         return Invalid(path, "section " +
                                  std::to_string(static_cast<uint32_t>(x.kind)) +
                                  " present but its capability flag is unset");
@@ -276,24 +316,73 @@ Status Snapshot::Validate(const std::string& path,
                                std::to_string(static_cast<uint32_t>(kind)));
     }
   }
-  for (SectionKind kind :
-       {SectionKind::kClosureComps, SectionKind::kClosureNodes}) {
-    if ((Find(kind) != nullptr) != with_closures) {
-      return Invalid(path, with_closures
-                               ? "closure capability flag set but closure "
-                                 "sections are missing"
-                               : "closure sections present but capability "
-                                 "flag is unset");
+  const auto require_present = [&](std::initializer_list<SectionKind> kinds,
+                                   bool flagged,
+                                   const char* what) -> Status {
+    for (SectionKind kind : kinds) {
+      if ((Find(kind) != nullptr) != flagged) {
+        return Invalid(path, std::string(what) +
+                                 (flagged ? " capability flag set but its "
+                                            "sections are missing"
+                                          : " sections present but the "
+                                            "capability flag is unset"));
+      }
+    }
+    return Status::OK();
+  };
+  SOI_RETURN_IF_ERROR(require_present(
+      {SectionKind::kClosureCompOffsets, SectionKind::kClosureNodeOffsets},
+      with_closures, "closure"));
+  SOI_RETURN_IF_ERROR(require_present(
+      {SectionKind::kClosureComps, SectionKind::kClosureNodes}, raw_closures,
+      "raw-closure"));
+  SOI_RETURN_IF_ERROR(require_present(
+      {SectionKind::kClosureCompsPacked, SectionKind::kClosureNodesPacked},
+      packed_closures, "packed-closure"));
+  SOI_RETURN_IF_ERROR(require_present(
+      {SectionKind::kLabelOffsets, SectionKind::kLabelBounds,
+       SectionKind::kLabelReachNodes},
+      with_labels, "label"));
+  SOI_RETURN_IF_ERROR(require_present({SectionKind::kTypicalOffsets},
+                                      with_typical, "typical-table"));
+  SOI_RETURN_IF_ERROR(require_present({SectionKind::kTypicalElems},
+                                      with_typical && !packed_typical,
+                                      "raw-typical"));
+  SOI_RETURN_IF_ERROR(require_present(
+      {SectionKind::kTypicalPacked, SectionKind::kTypicalPackedOffsets},
+      packed_typical, "packed-typical"));
+  if (with_closures && tiered) {
+    // The two tiered closure offset pools are sliced with one shared
+    // per-world base; equal lengths first, exact totals after the world
+    // scan.
+    if (Find(SectionKind::kClosureNodeOffsets)->elem_count !=
+        Find(SectionKind::kClosureCompOffsets)->elem_count) {
+      return Invalid(path, "closure offset pools have mismatched lengths");
     }
   }
-  for (SectionKind kind :
-       {SectionKind::kTypicalOffsets, SectionKind::kTypicalElems}) {
-    if ((Find(kind) != nullptr) != with_typical) {
-      return Invalid(path, with_typical
-                               ? "typical-table capability flag set but "
-                                 "typical sections are missing"
-                               : "typical sections present but capability "
-                                 "flag is unset");
+
+  // Tier table contents + census; flags must agree with the census so a
+  // tier never points at state the file does not carry.
+  uint32_t n_mat = 0, n_lab = 0;
+  if (tiered) {
+    const auto tiers = View<uint32_t>(SectionKind::kTierTable);
+    for (uint64_t i = 0; i < w; ++i) {
+      if (tiers[i] >
+          static_cast<uint32_t>(WorldTier::kMaterialized)) {
+        return Invalid(path, "world " + std::to_string(i) +
+                                 " has unknown storage tier " +
+                                 std::to_string(tiers[i]));
+      }
+      if (tiers[i] == static_cast<uint32_t>(WorldTier::kMaterialized)) {
+        ++n_mat;
+      } else if (tiers[i] == static_cast<uint32_t>(WorldTier::kLabels)) {
+        ++n_lab;
+      }
+    }
+    if ((n_mat > 0) != with_closures || (n_lab > 0) != with_labels) {
+      return Invalid(path,
+                     "tier table disagrees with the closure/label "
+                     "capability flags");
     }
   }
 
@@ -324,6 +413,19 @@ Status Snapshot::Validate(const std::string& path,
       wt[w].dag_targets_base != dag_tgt_pool.size()) {
     return Invalid(path, "world table sentinel does not close the pools");
   }
+  // Tiered pools are sliced by cumulative bases (per qualifying world, in
+  // world order); the scan below both validates the slices and proves they
+  // tile the pools exactly.
+  uint64_t c_off_base = 0;     // closure offset pools (13/15)
+  uint64_t lab_off_base = 0;   // kLabelOffsets
+  uint64_t lab_bounds_base = 0;  // kLabelBounds, u32 units
+  uint64_t lab_rn_base = 0;    // kLabelReachNodes
+  const auto tier_of = [&](uint64_t i) {
+    return tiered ? static_cast<WorldTier>(
+                        View<uint32_t>(SectionKind::kTierTable)[i])
+                  : (with_closures ? WorldTier::kMaterialized
+                                   : WorldTier::kTraversal);
+  };
   for (uint64_t i = 0; i < w; ++i) {
     const WorldRecord& rec = wt[i];
     const WorldRecord& next = wt[i + 1];
@@ -352,44 +454,170 @@ Status Snapshot::Validate(const std::string& path,
       return Invalid(path, "world " + std::to_string(i) +
                                " stores an out-of-range id");
     }
-    if (with_closures) {
-      const auto cco = View<uint64_t>(SectionKind::kClosureCompOffsets)
-                           .subspan(rec.offsets_base, nc + 1);
-      const auto cno = View<uint64_t>(SectionKind::kClosureNodeOffsets)
-                           .subspan(rec.offsets_base, nc + 1);
-      if (next.closure_comps_base < rec.closure_comps_base ||
-          next.closure_nodes_base < rec.closure_nodes_base) {
+    const WorldTier tier = tier_of(i);
+    if (next.closure_comps_base < rec.closure_comps_base ||
+        next.closure_nodes_base < rec.closure_nodes_base) {
+      return Invalid(path, "world " + std::to_string(i) +
+                               " closure extents are inconsistent");
+    }
+    const uint64_t comps_len = next.closure_comps_base -
+                               rec.closure_comps_base;
+    const uint64_t nodes_len = next.closure_nodes_base -
+                               rec.closure_nodes_base;
+    if (tier != WorldTier::kMaterialized) {
+      if (comps_len != 0 || nodes_len != 0) {
         return Invalid(path, "world " + std::to_string(i) +
-                                 " closure extents are inconsistent");
+                                 " retains no closure but has a closure "
+                                 "extent");
       }
-      const uint64_t comps_len =
-          next.closure_comps_base - rec.closure_comps_base;
-      const uint64_t nodes_len =
-          next.closure_nodes_base - rec.closure_nodes_base;
-      if (!IsLocalCsr(cco, comps_len) || !IsLocalCsr(cno, nodes_len)) {
+    } else {
+      const uint64_t co_base = tiered ? c_off_base : rec.offsets_base;
+      const auto cco_pool = View<uint64_t>(SectionKind::kClosureCompOffsets);
+      const auto cno_pool = View<uint64_t>(SectionKind::kClosureNodeOffsets);
+      if (co_base + nc + 1 > cco_pool.size()) {
         return Invalid(path, "world " + std::to_string(i) +
-                                 " has invalid closure offsets");
+                                 " closure offsets extend past their pool");
       }
-      if (!AllBelow(View<uint32_t>(SectionKind::kClosureComps)
-                        .subspan(rec.closure_comps_base, comps_len),
-                    nc) ||
-          !AllBelow(View<uint32_t>(SectionKind::kClosureNodes)
-                        .subspan(rec.closure_nodes_base, nodes_len),
-                    n)) {
+      const auto cco = cco_pool.subspan(co_base, nc + 1);
+      const auto cno = cno_pool.subspan(co_base, nc + 1);
+      if (raw_closures) {
+        const auto comps = View<uint32_t>(SectionKind::kClosureComps);
+        const auto nodes = View<uint32_t>(SectionKind::kClosureNodes);
+        if (rec.closure_comps_base > comps.size() ||
+            comps_len > comps.size() - rec.closure_comps_base ||
+            rec.closure_nodes_base > nodes.size() ||
+            nodes_len > nodes.size() - rec.closure_nodes_base) {
+          return Invalid(path, "world " + std::to_string(i) +
+                                   " closure extent exceeds its pool");
+        }
+        if (!IsLocalCsr(cco, comps_len) || !IsLocalCsr(cno, nodes_len)) {
+          return Invalid(path, "world " + std::to_string(i) +
+                                   " has invalid closure offsets");
+        }
+        if (!AllBelow(comps.subspan(rec.closure_comps_base, comps_len),
+                      nc) ||
+            !AllBelow(nodes.subspan(rec.closure_nodes_base, nodes_len), n)) {
+          return Invalid(path, "world " + std::to_string(i) +
+                                   " closure stores an out-of-range id");
+        }
+      } else {
+        // Packed closures: the runs sit back-to-back in component order
+        // (no per-run byte offsets stored — the element counts from the
+        // offset pools delimit them). Walk and decode-validate every run,
+        // proving each varint well-formed, each id in range, and the byte
+        // extent filled exactly — after this, load-time cursors can trust
+        // the bytes unconditionally.
+        const auto comps_bytes =
+            View<uint8_t>(SectionKind::kClosureCompsPacked);
+        const auto nodes_bytes =
+            View<uint8_t>(SectionKind::kClosureNodesPacked);
+        if (rec.closure_comps_base > comps_bytes.size() ||
+            comps_len > comps_bytes.size() - rec.closure_comps_base ||
+            rec.closure_nodes_base > nodes_bytes.size() ||
+            nodes_len > nodes_bytes.size() - rec.closure_nodes_base) {
+          return Invalid(path, "world " + std::to_string(i) +
+                                   " packed closure extent exceeds its pool");
+        }
+        if (!IsLocalCsr(cco, cco.back()) || !IsLocalCsr(cno, cno.back())) {
+          return Invalid(path, "world " + std::to_string(i) +
+                                   " has invalid packed closure offsets");
+        }
+        uint64_t c_pos = 0, n_pos = 0;
+        for (uint64_t c = 0; c < nc; ++c) {
+          uint64_t used_c = 0, used_n = 0;
+          if (!ValidatePackedRunPrefix(
+                  comps_bytes.subspan(rec.closure_comps_base + c_pos,
+                                      comps_len - c_pos),
+                  cco[c + 1] - cco[c], nc, &used_c) ||
+              !ValidatePackedRunPrefix(
+                  nodes_bytes.subspan(rec.closure_nodes_base + n_pos,
+                                      nodes_len - n_pos),
+                  cno[c + 1] - cno[c], n, &used_n)) {
+            return Invalid(path, "world " + std::to_string(i) +
+                                     " has a malformed packed closure run");
+          }
+          c_pos += used_c;
+          n_pos += used_n;
+        }
+        if (c_pos != comps_len || n_pos != nodes_len) {
+          return Invalid(path, "world " + std::to_string(i) +
+                                   " packed closure runs do not fill their "
+                                   "extent");
+        }
+      }
+      if (tiered) c_off_base += nc + 1;
+    }
+    if (tier == WorldTier::kLabels) {
+      const auto loff_pool = View<uint64_t>(SectionKind::kLabelOffsets);
+      const auto bounds_pool = View<uint32_t>(SectionKind::kLabelBounds);
+      const auto rn_pool = View<uint32_t>(SectionKind::kLabelReachNodes);
+      if (lab_off_base + nc + 1 > loff_pool.size() ||
+          lab_rn_base + nc > rn_pool.size()) {
         return Invalid(path, "world " + std::to_string(i) +
-                                 " closure stores an out-of-range id");
+                                 " label extent exceeds its pool");
       }
+      const auto loff = loff_pool.subspan(lab_off_base, nc + 1);
+      if (!IsLocalCsr(loff, loff.back())) {
+        return Invalid(path, "world " + std::to_string(i) +
+                                 " has invalid label offsets");
+      }
+      const uint64_t bounds_len = 2 * loff.back();
+      if (lab_bounds_base + bounds_len > bounds_pool.size()) {
+        return Invalid(path, "world " + std::to_string(i) +
+                                 " label bounds extend past their pool");
+      }
+      const auto bounds = bounds_pool.subspan(lab_bounds_base, bounds_len);
+      for (uint64_t c = 0; c < nc; ++c) {
+        // Intervals must be ascending, disjoint (gaps >= 2: maximally
+        // coalesced) and in component range — the contract every label
+        // query (binary search, streaming expansion) relies on.
+        uint64_t prev_hi = 0;
+        for (uint64_t k = loff[c]; k < loff[c + 1]; ++k) {
+          const uint32_t lo = bounds[2 * k];
+          const uint32_t hi = bounds[2 * k + 1];
+          if (lo > hi || hi >= nc ||
+              (k > loff[c] && uint64_t{lo} < prev_hi + 2)) {
+            return Invalid(path, "world " + std::to_string(i) +
+                                     " has a malformed label interval");
+          }
+          prev_hi = hi;
+        }
+      }
+      if (!AllBelow(rn_pool.subspan(lab_rn_base, nc), n + 1)) {
+        return Invalid(path, "world " + std::to_string(i) +
+                                 " label reach count exceeds the node count");
+      }
+      lab_off_base += nc + 1;
+      lab_bounds_base += bounds_len;
+      lab_rn_base += nc;
     }
   }
   if (with_closures) {
     const auto wt_last = wt[w];
-    if (wt_last.closure_comps_base !=
-            View<uint32_t>(SectionKind::kClosureComps).size() ||
-        wt_last.closure_nodes_base !=
-            View<uint32_t>(SectionKind::kClosureNodes).size()) {
+    const uint64_t comps_total =
+        raw_closures ? View<uint32_t>(SectionKind::kClosureComps).size()
+                     : View<uint8_t>(SectionKind::kClosureCompsPacked).size();
+    const uint64_t nodes_total =
+        raw_closures ? View<uint32_t>(SectionKind::kClosureNodes).size()
+                     : View<uint8_t>(SectionKind::kClosureNodesPacked).size();
+    if (wt_last.closure_comps_base != comps_total ||
+        wt_last.closure_nodes_base != nodes_total) {
       return Invalid(path,
                      "world table sentinel does not close the closure pools");
     }
+    if (tiered &&
+        c_off_base != Find(SectionKind::kClosureCompOffsets)->elem_count) {
+      return Invalid(path,
+                     "closure offset pools do not tile the materialized "
+                     "worlds exactly");
+    }
+  }
+  if (with_labels &&
+      (lab_off_base != Find(SectionKind::kLabelOffsets)->elem_count ||
+       lab_bounds_base != Find(SectionKind::kLabelBounds)->elem_count ||
+       lab_rn_base != Find(SectionKind::kLabelReachNodes)->elem_count)) {
+    return Invalid(path,
+                   "label pools do not tile the labeled worlds exactly");
   }
   if (with_typical) {
     const SectionEntry* toff = Find(SectionKind::kTypicalOffsets);
@@ -399,9 +627,29 @@ Status Snapshot::Validate(const std::string& path,
                                " sets, expected one per node");
     }
     const auto offs = View<uint64_t>(SectionKind::kTypicalOffsets);
-    const auto elems = View<uint32_t>(SectionKind::kTypicalElems);
-    if (!IsLocalCsr(offs, elems.size()) || !AllBelow(elems, n)) {
-      return Invalid(path, "typical table offsets/elements are invalid");
+    if (packed_typical) {
+      const SectionEntry* tbo = Find(SectionKind::kTypicalPackedOffsets);
+      if (tbo->elem_count != n + 1) {
+        return Invalid(path, "packed typical byte offsets have " +
+                                 std::to_string(tbo->elem_count) +
+                                 " entries, expected num_nodes + 1");
+      }
+      const auto bo = View<uint64_t>(SectionKind::kTypicalPackedOffsets);
+      const auto bytes = View<uint8_t>(SectionKind::kTypicalPacked);
+      if (!IsLocalCsr(bo, bytes.size()) || !IsLocalCsr(offs, offs.back())) {
+        return Invalid(path, "packed typical table offsets are invalid");
+      }
+      for (uint64_t v = 0; v < n; ++v) {
+        if (!ValidatePackedRun(bytes.subspan(bo[v], bo[v + 1] - bo[v]),
+                               offs[v + 1] - offs[v], n)) {
+          return Invalid(path, "packed typical table has a malformed run");
+        }
+      }
+    } else {
+      const auto elems = View<uint32_t>(SectionKind::kTypicalElems);
+      if (!IsLocalCsr(offs, elems.size()) || !AllBelow(elems, n)) {
+        return Invalid(path, "typical table offsets/elements are invalid");
+      }
     }
   }
 
@@ -414,6 +662,14 @@ Status Snapshot::Validate(const std::string& path,
   info_.section_count = header_.section_count;
   info_.has_closures = with_closures;
   info_.has_typical = with_typical;
+  info_.tiered = tiered;
+  info_.has_labels = with_labels;
+  info_.packed = packed_closures || packed_typical;
+  info_.worlds_materialized =
+      tiered ? n_mat : (with_closures ? header_.num_worlds : 0);
+  info_.worlds_labeled = n_lab;
+  info_.worlds_traversal =
+      header_.num_worlds - info_.worlds_materialized - n_lab;
   info_.graph_fingerprint = header_.graph_fingerprint;
   info_.model = (header_.flags & kSnapFlagLinearThreshold) != 0
                     ? PropagationModel::kLinearThreshold
@@ -434,6 +690,8 @@ ProbGraph Snapshot::MakeGraph() const {
 Result<CascadeIndex> Snapshot::MakeIndex() const {
   const uint64_t n = header_.num_nodes;
   const uint64_t w = header_.num_worlds;
+  const bool tiered = info_.tiered;
+  const bool packed = (header_.flags & kSnapFlagPackedClosures) != 0;
   const auto wt = View<WorldRecord>(SectionKind::kWorldTable);
   const auto comp_of = View<uint32_t>(SectionKind::kCompOf);
   const auto mem_off = View<uint32_t>(SectionKind::kMembersOffsets);
@@ -442,8 +700,19 @@ Result<CascadeIndex> Snapshot::MakeIndex() const {
   const auto dag_tgt = View<uint32_t>(SectionKind::kDagTargets);
   std::vector<Condensation> worlds;
   worlds.reserve(w);
+  std::vector<WorldTier> tiers;
   std::vector<ReachabilityClosure> closures;
-  if (info_.has_closures) closures.reserve(w);
+  std::vector<ReachLabels> labels;
+  if (tiered) {
+    tiers.resize(w);
+    if (info_.has_closures) closures.resize(w);
+    if (info_.has_labels) labels.resize(w);
+  } else if (info_.has_closures) {
+    closures.reserve(w);
+  }
+  // Cumulative bases for the tiered pools, mirroring Validate()'s scan.
+  uint64_t c_off_base = 0;
+  uint64_t lab_off_base = 0, lab_bounds_base = 0, lab_rn_base = 0;
   for (uint64_t i = 0; i < w; ++i) {
     const WorldRecord& rec = wt[i];
     const WorldRecord& next = wt[i + 1];
@@ -454,26 +723,86 @@ Result<CascadeIndex> Snapshot::MakeIndex() const {
         dag_off.subspan(rec.offsets_base, nc + 1),
         dag_tgt.subspan(rec.dag_targets_base,
                         next.dag_targets_base - rec.dag_targets_base)));
-    if (info_.has_closures) {
-      closures.push_back(ReachabilityClosure::Borrowed(
-          View<uint64_t>(SectionKind::kClosureCompOffsets)
-              .subspan(rec.offsets_base, nc + 1),
-          View<uint32_t>(SectionKind::kClosureComps)
-              .subspan(rec.closure_comps_base,
-                       next.closure_comps_base - rec.closure_comps_base),
-          View<uint64_t>(SectionKind::kClosureNodeOffsets)
-              .subspan(rec.offsets_base, nc + 1),
-          View<uint32_t>(SectionKind::kClosureNodes)
-              .subspan(rec.closure_nodes_base,
-                       next.closure_nodes_base - rec.closure_nodes_base)));
+    const WorldTier tier =
+        tiered ? static_cast<WorldTier>(
+                     View<uint32_t>(SectionKind::kTierTable)[i])
+               : (info_.has_closures ? WorldTier::kMaterialized
+                                     : WorldTier::kTraversal);
+    if (tiered) tiers[i] = tier;
+    if (tier == WorldTier::kMaterialized) {
+      const uint64_t co_base = tiered ? c_off_base : rec.offsets_base;
+      const auto cco = View<uint64_t>(SectionKind::kClosureCompOffsets)
+                           .subspan(co_base, nc + 1);
+      const auto cno = View<uint64_t>(SectionKind::kClosureNodeOffsets)
+                           .subspan(co_base, nc + 1);
+      ReachabilityClosure cl;
+      if (!packed) {
+        cl = ReachabilityClosure::Borrowed(
+            cco,
+            View<uint32_t>(SectionKind::kClosureComps)
+                .subspan(rec.closure_comps_base,
+                         next.closure_comps_base - rec.closure_comps_base),
+            cno,
+            View<uint32_t>(SectionKind::kClosureNodes)
+                .subspan(rec.closure_nodes_base,
+                         next.closure_nodes_base - rec.closure_nodes_base));
+      } else {
+        // Decode the varint runs into an owned closure — one linear pass
+        // over the packed bytes, validated up front by Open(). Runs are
+        // back-to-back; each cursor's end position starts the next run.
+        const auto comps_bytes =
+            View<uint8_t>(SectionKind::kClosureCompsPacked);
+        const auto nodes_bytes =
+            View<uint8_t>(SectionKind::kClosureNodesPacked);
+        cl.comp_offsets.assign(cco.begin(), cco.end());
+        cl.node_offsets.assign(cno.begin(), cno.end());
+        cl.comps.reserve(cco.back());
+        cl.nodes.reserve(cno.back());
+        const uint8_t* c_pos = comps_bytes.data() + rec.closure_comps_base;
+        const uint8_t* n_pos = nodes_bytes.data() + rec.closure_nodes_base;
+        for (uint64_t c = 0; c < nc; ++c) {
+          PackedRunCursor comps_run(c_pos, cco[c + 1] - cco[c]);
+          comps_run.AppendTo(&cl.comps);
+          c_pos = comps_run.pos();
+          PackedRunCursor nodes_run(n_pos, cno[c + 1] - cno[c]);
+          nodes_run.AppendTo(&cl.nodes);
+          n_pos = nodes_run.pos();
+        }
+      }
+      if (tiered) {
+        closures[i] = std::move(cl);
+        c_off_base += nc + 1;
+      } else {
+        closures.push_back(std::move(cl));
+      }
+    } else if (tier == WorldTier::kLabels) {
+      const auto loff = View<uint64_t>(SectionKind::kLabelOffsets)
+                            .subspan(lab_off_base, nc + 1);
+      const uint64_t bounds_len = 2 * loff.back();
+      labels[i] = ReachLabels::Borrowed(
+          loff,
+          View<uint32_t>(SectionKind::kLabelBounds)
+              .subspan(lab_bounds_base, bounds_len),
+          View<uint32_t>(SectionKind::kLabelReachNodes)
+              .subspan(lab_rn_base, nc));
+      lab_off_base += nc + 1;
+      lab_bounds_base += bounds_len;
+      lab_rn_base += nc;
     }
   }
   return CascadeIndex::FromParts(header_.num_nodes, std::move(worlds),
-                                 std::move(closures));
+                                 std::move(closures), std::move(labels),
+                                 std::move(tiers));
 }
 
 FlatSets Snapshot::MakeTypical() const {
   SOI_CHECK(info_.has_typical);
+  if ((header_.flags & kSnapFlagPackedTypical) != 0) {
+    return FlatSets::BorrowedPacked(
+        View<uint8_t>(SectionKind::kTypicalPacked),
+        View<uint64_t>(SectionKind::kTypicalPackedOffsets),
+        View<uint64_t>(SectionKind::kTypicalOffsets));
+  }
   return FlatSets::Borrowed(View<uint32_t>(SectionKind::kTypicalElems),
                             View<uint64_t>(SectionKind::kTypicalOffsets));
 }

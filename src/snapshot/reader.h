@@ -38,8 +38,20 @@ struct SnapshotInfo {
   uint64_t num_edges = 0;
   uint64_t file_size = 0;
   uint32_t section_count = 0;
+  /// Any materialized closures present (raw or packed); without `tiered`
+  /// they cover every world.
   bool has_closures = false;
   bool has_typical = false;
+  /// Per-world tier table present (v1.1 mixed-tier serving state).
+  bool tiered = false;
+  /// Interval-label sections present for the kLabels-tier worlds.
+  bool has_labels = false;
+  /// Closure / typical payloads are delta-varint packed.
+  bool packed = false;
+  /// Tier census (sums to num_worlds).
+  uint32_t worlds_materialized = 0;
+  uint32_t worlds_labeled = 0;
+  uint32_t worlds_traversal = 0;
   PropagationModel model = PropagationModel::kIndependentCascade;
   /// GraphFingerprint of the graph captured in this file; 0 = written
   /// before fingerprinting existed (unknown, accepted as-is). See
@@ -50,9 +62,12 @@ struct SnapshotInfo {
 /// A read-only mmap'd `soi-snap-v1` file (snapshot/format.h). Open()
 /// validates untrusted bytes (never CHECK/aborts on them) and returns a
 /// shared handle; Make*() assemble zero-copy borrowed views into the
-/// mapping — loading is pointer fixup, the closure cache is *read*, never
-/// rebuilt, and the mapping is physically shared with every other process
-/// serving the same file (page cache, PROT_READ).
+/// mapping — loading is pointer fixup, the reachability cache is *read*,
+/// never rebuilt, and the mapping is physically shared with every other
+/// process serving the same file (page cache, PROT_READ). The one
+/// exception: delta-varint packed closures (kSnapFlagPackedClosures) are
+/// decoded into owned arrays at MakeIndex() time — a single linear pass
+/// over the packed bytes; labels and packed typical tables stay zero-copy.
 ///
 /// Lifetime: every borrowed view is valid only while the Snapshot lives.
 /// service::Engine keeps the handle alive via its opaque storage anchor

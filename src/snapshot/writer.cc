@@ -7,6 +7,7 @@
 
 #include "snapshot/crc32c.h"
 #include "snapshot/format.h"
+#include "util/packed_runs.h"
 
 namespace soi {
 
@@ -52,13 +53,35 @@ Result<std::string> SerializeSnapshot(const ProbGraph& graph,
         std::to_string(options.typical->num_sets()) + " sets, expected " +
         std::to_string(n) + " (one per node)");
   }
-  const bool with_closures = index.has_closure_cache();
   const bool with_typical = options.typical != nullptr;
+
+  // Tier census. Uniform all-materialized / all-traversal indexes can use
+  // the v1.0 layout (no tier table); anything else — mixed tiers, labels,
+  // or packed encodings — needs the tiered sections.
+  uint32_t n_mat = 0, n_lab = 0;
+  std::vector<uint32_t> tier_table(w);
+  for (uint32_t i = 0; i < w; ++i) {
+    const WorldTier t = index.tier(i);
+    tier_table[i] = static_cast<uint32_t>(t);
+    if (t == WorldTier::kMaterialized) ++n_mat;
+    if (t == WorldTier::kLabels) ++n_lab;
+  }
+  const bool uniform = (n_mat == w) || (n_mat == 0 && n_lab == 0);
+  const bool tiered = options.pack || !uniform;
+  const bool with_closures = n_mat > 0;
+  const bool packed_closures = with_closures && options.pack;
+  const bool raw_closures = with_closures && !options.pack;
+  const bool with_labels = n_lab > 0;
+  const bool pack_typical = with_typical && options.pack;
 
   // Concatenate the per-world arrays into pools. Offsets stay *local* per
   // world (each world's offsets array starts at 0); WorldRecord bases say
   // where each world's slice begins, so the reader's borrowed spans slice
-  // straight out of the pools.
+  // straight out of the pools. Closure pools take slices only from the
+  // materialized worlds (every world under the legacy all-materialized
+  // layout); label pools only from the labeled ones — their per-world bases
+  // are a cumulative scan on read, so non-qualifying worlds contribute
+  // nothing.
   std::vector<WorldRecord> world_table(w + 1);
   std::vector<uint32_t> comp_of_pool, members_offsets_pool,
       members_targets_pool, dag_offsets_pool, dag_targets_pool;
@@ -66,14 +89,20 @@ Result<std::string> SerializeSnapshot(const ProbGraph& graph,
   members_targets_pool.reserve(uint64_t{w} * n);
   std::vector<uint64_t> closure_comp_offsets_pool, closure_node_offsets_pool;
   std::vector<uint32_t> closure_comps_pool, closure_nodes_pool;
+  std::vector<uint8_t> comps_packed, nodes_packed;
+  std::vector<uint64_t> label_offsets_pool;
+  std::vector<uint32_t> label_bounds_pool, label_reach_pool;
   for (uint32_t i = 0; i < w; ++i) {
     const Condensation& cond = index.world(i);
+    const uint32_t nc = cond.num_components();
     WorldRecord& rec = world_table[i];
-    rec.num_components = cond.num_components();
+    rec.num_components = nc;
     rec.offsets_base = members_offsets_pool.size();
     rec.dag_targets_base = dag_targets_pool.size();
-    rec.closure_comps_base = closure_comps_pool.size();
-    rec.closure_nodes_base = closure_nodes_pool.size();
+    rec.closure_comps_base =
+        packed_closures ? comps_packed.size() : closure_comps_pool.size();
+    rec.closure_nodes_base =
+        packed_closures ? nodes_packed.size() : closure_nodes_pool.size();
     const auto co = cond.comp_of();
     comp_of_pool.insert(comp_of_pool.end(), co.begin(), co.end());
     const auto mo = cond.members_offsets();
@@ -86,28 +115,59 @@ Result<std::string> SerializeSnapshot(const ProbGraph& graph,
     dag_offsets_pool.insert(dag_offsets_pool.end(), dofs.begin(), dofs.end());
     const auto dt = cond.dag_targets();
     dag_targets_pool.insert(dag_targets_pool.end(), dt.begin(), dt.end());
-    if (with_closures) {
+    if (index.tier(i) == WorldTier::kMaterialized) {
       const ReachabilityClosure& cl = index.closure(i);
       const auto cco = cl.comp_offsets_view();
       closure_comp_offsets_pool.insert(closure_comp_offsets_pool.end(),
                                        cco.begin(), cco.end());
-      const auto cc = cl.comps_view();
-      closure_comps_pool.insert(closure_comps_pool.end(), cc.begin(),
-                                cc.end());
       const auto cno = cl.node_offsets_view();
       closure_node_offsets_pool.insert(closure_node_offsets_pool.end(),
                                        cno.begin(), cno.end());
-      const auto cn = cl.nodes_view();
-      closure_nodes_pool.insert(closure_nodes_pool.end(), cn.begin(),
-                                cn.end());
+      if (packed_closures) {
+        // Per-run delta-varint encode, back-to-back: the element offsets
+        // pooled above delimit the runs, so no byte offsets are stored.
+        for (uint32_t c = 0; c < nc; ++c) {
+          AppendPackedRun(cl.Closure(c), &comps_packed);
+          AppendPackedRun(cl.Cascade(c), &nodes_packed);
+        }
+      } else {
+        const auto cc = cl.comps_view();
+        closure_comps_pool.insert(closure_comps_pool.end(), cc.begin(),
+                                  cc.end());
+        const auto cn = cl.nodes_view();
+        closure_nodes_pool.insert(closure_nodes_pool.end(), cn.begin(),
+                                  cn.end());
+      }
+    } else if (index.tier(i) == WorldTier::kLabels) {
+      const ReachLabels& lb = index.labels(i);
+      const auto lo = lb.offsets_view();
+      label_offsets_pool.insert(label_offsets_pool.end(), lo.begin(),
+                                lo.end());
+      const auto bd = lb.bounds_view();
+      label_bounds_pool.insert(label_bounds_pool.end(), bd.begin(), bd.end());
+      const auto rn = lb.reach_nodes_view();
+      label_reach_pool.insert(label_reach_pool.end(), rn.begin(), rn.end());
     }
   }
   // End sentinel: world w's bases close the last world's extents.
   world_table[w].num_components = 0;
   world_table[w].offsets_base = members_offsets_pool.size();
   world_table[w].dag_targets_base = dag_targets_pool.size();
-  world_table[w].closure_comps_base = closure_comps_pool.size();
-  world_table[w].closure_nodes_base = closure_nodes_pool.size();
+  world_table[w].closure_comps_base =
+      packed_closures ? comps_packed.size() : closure_comps_pool.size();
+  world_table[w].closure_nodes_base =
+      packed_closures ? nodes_packed.size() : closure_nodes_pool.size();
+
+  // Typical table in the requested encoding. When the input is already in
+  // the target encoding the sections stage zero-copy from its spans; the
+  // re-encode below only runs on a mismatch.
+  FlatSets typical_reencoded;
+  const FlatSets* typical = options.typical;
+  if (with_typical && typical->packed() != pack_typical) {
+    typical_reencoded = pack_typical ? FlatSets::Pack(*typical)
+                                     : FlatSets::Unpack(*typical);
+    typical = &typical_reencoded;
+  }
 
   const auto g_off = graph.offsets();
   const auto g_tgt = graph.targets();
@@ -143,27 +203,63 @@ Result<std::string> SerializeSnapshot(const ProbGraph& graph,
                            dag_offsets_pool.size()));
   sections.push_back(Stage(SectionKind::kDagTargets, dag_targets_pool.data(),
                            dag_targets_pool.size()));
+  if (tiered) {
+    sections.push_back(Stage(SectionKind::kTierTable, tier_table.data(),
+                             tier_table.size()));
+  }
   if (with_closures) {
     sections.push_back(Stage(SectionKind::kClosureCompOffsets,
                              closure_comp_offsets_pool.data(),
                              closure_comp_offsets_pool.size()));
-    sections.push_back(Stage(SectionKind::kClosureComps,
-                             closure_comps_pool.data(),
-                             closure_comps_pool.size()));
     sections.push_back(Stage(SectionKind::kClosureNodeOffsets,
                              closure_node_offsets_pool.data(),
                              closure_node_offsets_pool.size()));
+  }
+  if (raw_closures) {
+    sections.push_back(Stage(SectionKind::kClosureComps,
+                             closure_comps_pool.data(),
+                             closure_comps_pool.size()));
     sections.push_back(Stage(SectionKind::kClosureNodes,
                              closure_nodes_pool.data(),
                              closure_nodes_pool.size()));
   }
+  if (packed_closures) {
+    sections.push_back(Stage(SectionKind::kClosureCompsPacked,
+                             comps_packed.data(), comps_packed.size()));
+    sections.push_back(Stage(SectionKind::kClosureNodesPacked,
+                             nodes_packed.data(), nodes_packed.size()));
+  }
+  if (with_labels) {
+    sections.push_back(Stage(SectionKind::kLabelOffsets,
+                             label_offsets_pool.data(),
+                             label_offsets_pool.size()));
+    sections.push_back(Stage(SectionKind::kLabelBounds,
+                             label_bounds_pool.data(),
+                             label_bounds_pool.size()));
+    sections.push_back(Stage(SectionKind::kLabelReachNodes,
+                             label_reach_pool.data(),
+                             label_reach_pool.size()));
+  }
   if (with_typical) {
-    const auto t_off = options.typical->offsets();
-    const auto t_el = options.typical->elements();
-    sections.push_back(Stage(SectionKind::kTypicalOffsets, t_off.data(),
-                             t_off.size()));
-    sections.push_back(Stage(SectionKind::kTypicalElems, t_el.data(),
-                             t_el.size()));
+    if (pack_typical) {
+      const PackedRuns& runs = typical->packed_runs();
+      const auto t_eo = runs.elem_offsets();
+      const auto t_by = runs.bytes();
+      const auto t_bo = runs.byte_offsets();
+      sections.push_back(Stage(SectionKind::kTypicalOffsets, t_eo.data(),
+                               t_eo.size()));
+      sections.push_back(Stage(SectionKind::kTypicalPacked, t_by.data(),
+                               t_by.size()));
+      sections.push_back(Stage(SectionKind::kTypicalPackedOffsets,
+                               t_bo.data(), t_bo.size()));
+    } else {
+      const auto t_off = typical->offsets();
+      const auto t_el = typical->elements();
+      sections.push_back(Stage(SectionKind::kTypicalOffsets, t_off.data(),
+                               t_off.size()));
+      sections.push_back(Stage(SectionKind::kTypicalElems, t_el.data(),
+                               t_el.size()));
+    }
   }
 
   // Layout: header, section table, then 64-byte-aligned payloads.
@@ -196,8 +292,12 @@ Result<std::string> SerializeSnapshot(const ProbGraph& graph,
   header.version = kSnapshotVersion;
   header.endian_tag = kSnapshotEndianTag;
   header.file_size = file_size;
-  header.flags = (with_closures ? uint64_t{kSnapFlagClosures} : 0) |
+  header.flags = (raw_closures ? uint64_t{kSnapFlagClosures} : 0) |
+                 (packed_closures ? uint64_t{kSnapFlagPackedClosures} : 0) |
+                 (tiered ? uint64_t{kSnapFlagTiered} : 0) |
+                 (with_labels ? uint64_t{kSnapFlagLabels} : 0) |
                  (with_typical ? uint64_t{kSnapFlagTypical} : 0) |
+                 (pack_typical ? uint64_t{kSnapFlagPackedTypical} : 0) |
                  (options.model == PropagationModel::kLinearThreshold
                       ? uint64_t{kSnapFlagLinearThreshold}
                       : 0);

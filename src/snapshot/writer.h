@@ -18,13 +18,23 @@ struct SnapshotWriteOptions {
   PropagationModel model = PropagationModel::kIndependentCascade;
   /// Typical-cascade table (ComputeAllFlat().cascades; exactly num_nodes
   /// sets) — serving it from the snapshot means seed_select queries skip
-  /// the full typical sweep too. Null omits the sections.
+  /// the full typical sweep too. Null omits the sections. Either encoding
+  /// (raw or packed) is accepted; the writer re-encodes as `pack` dictates.
   const FlatSets* typical = nullptr;
+  /// Store closure runs and typical sets delta-varint packed
+  /// (util/packed_runs.h) — typically ~4x smaller sections, at the cost of
+  /// one linear decode of the materialized closures at load time (interval
+  /// labels and the packed typical table stay zero-copy). false writes the
+  /// v1.0 raw layout when the index tiering allows it (all worlds
+  /// materialized, or none retained).
+  bool pack = true;
 };
 
 /// Serializes the full serving state into one `soi-snap-v1` container (see
-/// snapshot/format.h): graph + index, the index's closure cache when it
-/// holds one, and optionally the typical-cascade table.
+/// snapshot/format.h): graph + index, the index's retained reachability
+/// state (materialized closures, interval labels and the per-world tier
+/// assignment — the tiering round-trips exactly), and optionally the
+/// typical-cascade table.
 ///
 /// The writer works from the mode-independent span accessors, so it can
 /// round-trip a snapshot-backed (borrowed) state as well as an owned one.

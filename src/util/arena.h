@@ -1,0 +1,104 @@
+#ifndef SOI_UTIL_ARENA_H_
+#define SOI_UTIL_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "util/check.h"
+
+namespace soi {
+
+/// Bump-pointer arena for trivially-destructible scratch: one pointer
+/// increment per allocation, one Reset() per work item, chunks retained
+/// across resets. This is what world construction and the per-world tier
+/// builds thread through their hot loops so building l worlds costs O(1)
+/// heap allocations per worker instead of O(l) vector churn (the pool.h
+/// idea from explicit state-space tools, applied to our per-world scratch).
+///
+/// Not thread-safe: one arena per worker (the deterministic runtime already
+/// gives every ParallelForChunks chunk its own scratch).
+class BumpArena {
+ public:
+  explicit BumpArena(size_t chunk_bytes = size_t{1} << 20)
+      : chunk_bytes_(chunk_bytes) {}
+
+  BumpArena(const BumpArena&) = delete;
+  BumpArena& operator=(const BumpArena&) = delete;
+
+  /// Raw allocation, aligned to `align` (a power of two).
+  void* Allocate(size_t bytes, size_t align) {
+    SOI_DCHECK((align & (align - 1)) == 0);
+    uintptr_t p = (cursor_ + align - 1) & ~(uintptr_t{align} - 1);
+    if (p + bytes > limit_) {
+      Grow(bytes + align);
+      p = (cursor_ + align - 1) & ~(uintptr_t{align} - 1);
+    }
+    cursor_ = p + bytes;
+    return reinterpret_cast<void*>(p);
+  }
+
+  /// Uninitialized array of `n` Ts. T must be trivially destructible: Reset
+  /// never runs destructors.
+  template <typename T>
+  std::span<T> AllocateArray(size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>);
+    return {static_cast<T*>(Allocate(n * sizeof(T), alignof(T))), n};
+  }
+
+  /// Rewinds every chunk; capacity is retained for the next work item.
+  void Reset() {
+    used_before_current_ = 0;
+    current_ = 0;
+    if (!chunks_.empty()) {
+      cursor_ = reinterpret_cast<uintptr_t>(chunks_[0].data.get());
+      limit_ = cursor_ + chunks_[0].size;
+    } else {
+      cursor_ = limit_ = 0;
+    }
+  }
+
+  /// Total bytes currently reserved across chunks (the retained footprint).
+  size_t retained_bytes() const {
+    size_t total = 0;
+    for (const Chunk& c : chunks_) total += c.size;
+    return total;
+  }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<char[]> data;
+    size_t size = 0;
+  };
+
+  void Grow(size_t min_bytes) {
+    if (current_ < chunks_.size()) {
+      used_before_current_ += chunks_[current_].size;
+      ++current_;
+    }
+    // Reuse the next retained chunk when large enough; otherwise insert a
+    // fresh one (doubling policy, floor chunk_bytes_).
+    if (current_ >= chunks_.size() || chunks_[current_].size < min_bytes) {
+      size_t size = chunk_bytes_;
+      while (size < min_bytes) size *= 2;
+      if (size < used_before_current_) size = used_before_current_;  // double
+      Chunk chunk{std::make_unique<char[]>(size), size};
+      chunks_.insert(chunks_.begin() + current_, std::move(chunk));
+    }
+    cursor_ = reinterpret_cast<uintptr_t>(chunks_[current_].data.get());
+    limit_ = cursor_ + chunks_[current_].size;
+  }
+
+  size_t chunk_bytes_;
+  std::vector<Chunk> chunks_;
+  size_t current_ = 0;
+  size_t used_before_current_ = 0;
+  uintptr_t cursor_ = 0;
+  uintptr_t limit_ = 0;
+};
+
+}  // namespace soi
+
+#endif  // SOI_UTIL_ARENA_H_

@@ -1,0 +1,49 @@
+#include "util/packed_runs.h"
+
+namespace soi {
+
+void AppendPackedRun(std::span<const uint32_t> run,
+                     std::vector<uint8_t>* out) {
+  if (run.empty()) return;
+  AppendVarint(run[0], out);
+  for (size_t i = 1; i < run.size(); ++i) {
+    SOI_DCHECK(run[i] > run[i - 1]);
+    AppendVarint(run[i] - run[i - 1] - 1, out);
+  }
+}
+
+bool ValidatePackedRunPrefix(std::span<const uint8_t> bytes,
+                             uint64_t elem_count, uint64_t id_bound,
+                             uint64_t* consumed) {
+  const uint8_t* pos = bytes.data();
+  const uint8_t* end = pos + bytes.size();
+  uint64_t prev = 0;
+  for (uint64_t k = 0; k < elem_count; ++k) {
+    uint64_t delta = 0;
+    uint32_t shift = 0;
+    uint8_t byte;
+    do {
+      if (pos == end || shift > 28) return false;  // truncated / oversized
+      byte = *pos++;
+      delta |= static_cast<uint64_t>(byte & 0x7F) << shift;
+      shift += 7;
+    } while (byte & 0x80);
+    if (delta > ~uint32_t{0}) return false;
+    const uint64_t value = k == 0 ? delta : prev + delta + 1;
+    // Must stay uint32-representable (the cursor decodes into uint32) and
+    // inside the caller's id universe.
+    if (value > ~uint32_t{0} || value >= id_bound) return false;
+    prev = value;
+  }
+  *consumed = static_cast<uint64_t>(pos - bytes.data());
+  return true;
+}
+
+bool ValidatePackedRun(std::span<const uint8_t> bytes, uint64_t elem_count,
+                       uint64_t id_bound) {
+  uint64_t consumed = 0;
+  return ValidatePackedRunPrefix(bytes, elem_count, id_bound, &consumed) &&
+         consumed == bytes.size();  // extent must be consumed exactly
+}
+
+}  // namespace soi

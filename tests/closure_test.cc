@@ -43,12 +43,14 @@ ProbGraph TestGraph(PropagationModel model) {
 
 CascadeIndex BuildIndex(const ProbGraph& g, PropagationModel model,
                         bool reduction, uint64_t budget_mb,
-                        uint32_t worlds = 48, uint64_t seed = 11) {
+                        uint32_t worlds = 48, uint64_t seed = 11,
+                        ClosureTierPolicy policy = ClosureTierPolicy::kAuto) {
   CascadeIndexOptions options;
   options.num_worlds = worlds;
   options.model = model;
   options.transitive_reduction = reduction;
   options.closure_budget_mb = budget_mb;
+  options.tier_policy = policy;
   Rng rng(seed);
   auto index = CascadeIndex::Build(g, options, &rng);
   EXPECT_TRUE(index.ok());
@@ -242,6 +244,85 @@ TEST_P(ClosureEquivalenceTest, SpreadOracleGainsIdentical) {
   EXPECT_EQ(oracle_cached.CurrentSpread(), oracle_plain.CurrentSpread());
 }
 
+TEST_P(ClosureEquivalenceTest, LabelsTierByteIdenticalAcrossThreads) {
+  const auto [model, reduction] = GetParam();
+  const ProbGraph g = TestGraph(model);
+  const CascadeIndex materialized = BuildIndex(g, model, reduction, 512);
+  const CascadeIndex labeled = BuildIndex(
+      g, model, reduction, 512, 48, 11, ClosureTierPolicy::kLabels);
+  ASSERT_TRUE(materialized.has_closure_cache());
+  ASSERT_FALSE(labeled.has_closure_cache());
+  ASSERT_EQ(labeled.stats().worlds_labeled, labeled.num_worlds());
+  ASSERT_TRUE(labeled.has_fast_counts());
+  EXPECT_GT(labeled.stats().label_bytes, 0u);
+  EXPECT_LT(labeled.stats().label_bytes, materialized.stats().closure_bytes);
+
+  // The O(1) per-component counts agree across tiers, and the label
+  // intervals expand to exactly the materialized closure lists.
+  std::vector<uint32_t> expanded;
+  for (uint32_t i = 0; i < labeled.num_worlds(); ++i) {
+    const ReachLabels& lab = labeled.labels(i);
+    const ReachabilityClosure& cl = materialized.closure(i);
+    for (uint32_t c = 0; c < labeled.world(i).num_components(); ++c) {
+      ASSERT_EQ(labeled.ReachNodeCount(c, i),
+                materialized.ReachNodeCount(c, i));
+      expanded.clear();
+      lab.AppendClosure(c, &expanded);
+      const auto ref = cl.Closure(c);
+      ASSERT_TRUE(std::equal(expanded.begin(), expanded.end(), ref.begin(),
+                             ref.end()));
+      ASSERT_EQ(lab.ClosureLength(c), ref.size());
+      for (uint32_t x : ref) ASSERT_TRUE(lab.Reaches(c, x));
+    }
+  }
+
+  // Single- and multi-seed queries byte-identical.
+  CascadeIndex::Workspace ws_a, ws_b;
+  const std::vector<std::vector<NodeId>> seed_sets = {
+      {0}, {0, 1}, {2, 3, 5, 7},
+      {0, static_cast<NodeId>(g.num_nodes() - 1)}};
+  for (const auto& seeds : seed_sets) {
+    for (uint32_t i = 0; i < labeled.num_worlds(); ++i) {
+      const auto a = labeled.Cascade(seeds, i, &ws_a).value();
+      ASSERT_EQ(a, materialized.Cascade(seeds, i, &ws_b).value());
+      ASSERT_EQ(labeled.CascadeSize(seeds, i, &ws_a).value(), a.size());
+    }
+  }
+
+  // Typical sweep byte-identical across tiers and thread counts.
+  const uint32_t saved_threads = GlobalThreads();
+  std::vector<std::vector<TypicalCascadeResult>> sweeps;
+  for (const CascadeIndex* index : {&materialized, &labeled}) {
+    for (uint32_t threads : {1u, 8u}) {
+      SetGlobalThreads(threads);
+      TypicalCascadeComputer computer(index);
+      auto result = computer.ComputeAll({});
+      ASSERT_TRUE(result.ok());
+      sweeps.push_back(std::move(result).value());
+    }
+  }
+  SetGlobalThreads(saved_threads);
+  for (size_t s = 1; s < sweeps.size(); ++s) {
+    ASSERT_EQ(sweeps[s].size(), sweeps[0].size());
+    for (size_t v = 0; v < sweeps[0].size(); ++v) {
+      ASSERT_EQ(sweeps[s][v].cascade, sweeps[0][v].cascade);
+      ASSERT_EQ(sweeps[s][v].median_source, sweeps[0][v].median_source);
+    }
+  }
+
+  // Spread-oracle gains identical (first round takes the fast-count path on
+  // both indexes, later rounds traverse).
+  SpreadOracle oracle_lab(&labeled);
+  SpreadOracle oracle_mat(&materialized);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    ASSERT_EQ(oracle_lab.MarginalGain(v), oracle_mat.MarginalGain(v));
+  }
+  EXPECT_EQ(oracle_lab.Add(3), oracle_mat.Add(3));
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    ASSERT_EQ(oracle_lab.MarginalGain(v), oracle_mat.MarginalGain(v));
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(
     ModelsAndReduction, ClosureEquivalenceTest,
     ::testing::Values(
@@ -261,7 +342,7 @@ INSTANTIATE_TEST_SUITE_P(
 // Budget semantics.
 // ---------------------------------------------------------------------------
 
-TEST(ClosureBudgetTest, OverBudgetFallsBackWithIdenticalOutputs) {
+TEST(ClosureBudgetTest, OverBudgetDemotesToCheaperTiersWithIdenticalOutputs) {
   // Dense enough that the total closure size dwarfs a 1 MiB budget.
   Rng gen_rng(17);
   auto topo = GenerateRmat(10, 6000, {}, &gen_rng);
@@ -273,16 +354,64 @@ TEST(ClosureBudgetTest, OverBudgetFallsBackWithIdenticalOutputs) {
       BuildIndex(*g, PropagationModel::kIndependentCascade, true, 1, 16);
   const CascadeIndex plain =
       BuildIndex(*g, PropagationModel::kIndependentCascade, true, 0, 16);
+  // kAuto: over budget no longer means "retain nothing" — worlds demote to
+  // labels (or traversal), the retained bytes stay under budget, and every
+  // query is still byte-identical.
   ASSERT_FALSE(tiny.has_closure_cache());
-  EXPECT_EQ(tiny.stats().closure_bytes, 0u);
-  EXPECT_EQ(tiny.stats().approx_bytes, plain.stats().approx_bytes);
-  CascadeIndex::Workspace ws_a, ws_b;
+  const CascadeIndexStats& st = tiny.stats();
+  EXPECT_EQ(st.worlds_materialized + st.worlds_labeled + st.worlds_traversal,
+            tiny.num_worlds());
+  EXPECT_GT(st.worlds_labeled + st.worlds_traversal, 0u);
+  EXPECT_GT(st.worlds_labeled, 0u);  // labels fit where closures did not
+  EXPECT_LE(st.closure_bytes + st.label_bytes, uint64_t{1} << 20);
+  EXPECT_EQ(st.approx_bytes, plain.stats().approx_bytes + st.closure_bytes +
+                                 st.label_bytes);
+  // The legacy all-or-nothing policy still retains nothing when over.
+  const CascadeIndex legacy =
+      BuildIndex(*g, PropagationModel::kIndependentCascade, true, 1, 16, 11,
+                 ClosureTierPolicy::kMaterialized);
+  ASSERT_FALSE(legacy.has_closure_cache());
+  EXPECT_EQ(legacy.stats().closure_bytes, 0u);
+  EXPECT_EQ(legacy.stats().label_bytes, 0u);
+  EXPECT_EQ(legacy.stats().worlds_traversal, legacy.num_worlds());
+  EXPECT_EQ(legacy.stats().approx_bytes, plain.stats().approx_bytes);
+  // And budget 0 pins every world to the traversal tier.
+  EXPECT_EQ(plain.stats().worlds_traversal, plain.num_worlds());
+  EXPECT_EQ(plain.stats().label_bytes, 0u);
+  CascadeIndex::Workspace ws_a, ws_b, ws_c;
   for (uint32_t i = 0; i < tiny.num_worlds(); ++i) {
     for (NodeId v = 0; v < g->num_nodes(); v += 37) {
-      ASSERT_EQ(tiny.Cascade(v, i, &ws_a).value(),
-                plain.Cascade(v, i, &ws_b).value());
+      const auto a = tiny.Cascade(v, i, &ws_a).value();
+      ASSERT_EQ(a, plain.Cascade(v, i, &ws_b).value());
+      ASSERT_EQ(a, legacy.Cascade(v, i, &ws_c).value());
+      ASSERT_EQ(tiny.CascadeSize(v, i, &ws_a).value(), a.size());
     }
   }
+}
+
+TEST(ClosureBudgetTest, ExactByteBudgetBoundaryAdmitsWorld) {
+  const ProbGraph g = TestGraph(PropagationModel::kIndependentCascade);
+  CascadeIndex index =
+      BuildIndex(g, PropagationModel::kIndependentCascade, true, 0, 8);
+  const uint64_t w0_bytes =
+      BuildReachabilityClosure(index.world(0), UINT64_MAX).ApproxBytes();
+  // Budget exactly equal to world 0's materialized bytes: the world must be
+  // admitted (<=, not <), and nothing else can fit a closure.
+  index.RebuildClosureTiersBytes(w0_bytes, ClosureTierPolicy::kAuto);
+  EXPECT_EQ(index.tier(0), WorldTier::kMaterialized);
+  EXPECT_EQ(index.stats().closure_bytes, w0_bytes);
+  for (uint32_t i = 1; i < index.num_worlds(); ++i) {
+    EXPECT_NE(index.tier(i), WorldTier::kMaterialized) << "world " << i;
+  }
+  // One byte short: world 0 demotes (labels at best, never materialized).
+  index.RebuildClosureTiersBytes(w0_bytes - 1, ClosureTierPolicy::kAuto);
+  EXPECT_NE(index.tier(0), WorldTier::kMaterialized);
+  EXPECT_LE(index.stats().closure_bytes + index.stats().label_bytes,
+            w0_bytes - 1);
+  // Budget 0 via the byte-granular path: all traversal.
+  index.RebuildClosureTiersBytes(0, ClosureTierPolicy::kAuto);
+  EXPECT_EQ(index.stats().worlds_traversal, index.num_worlds());
+  EXPECT_EQ(index.stats().closure_bytes + index.stats().label_bytes, 0u);
 }
 
 TEST(ClosureBudgetTest, FromWorldsRebuildsCacheUnderBudget) {

@@ -508,6 +508,275 @@ TEST(SnapshotFreshnessTest, LegacyZeroFingerprintIsAccepted) {
   EXPECT_TRUE(CheckSnapshotFreshness((*snap)->info(), other).ok());
 }
 
+// ---------------------------------------------------------------------------
+// v1.1: delta-varint packed sections and the per-world tier table.
+// ---------------------------------------------------------------------------
+
+TEST(SnapshotPackedTest, PackedFileIsSmallerAndAnswersIdentically) {
+  const ProbGraph graph = RandomGraph(80, 400, 31);
+  const CascadeIndex index =
+      BuildIndex(graph, PropagationModel::kIndependentCascade);
+  ASSERT_TRUE(index.has_closure_cache());
+  TypicalCascadeComputer computer(&index);
+  auto sweep = computer.ComputeAllFlat();
+  ASSERT_TRUE(sweep.ok());
+
+  SnapshotWriteOptions packed_options;
+  packed_options.typical = &sweep->cascades;
+  auto packed_bytes = SerializeSnapshot(graph, index, packed_options);
+  ASSERT_TRUE(packed_bytes.ok());
+  SnapshotWriteOptions raw_options = packed_options;
+  raw_options.pack = false;
+  auto raw_bytes = SerializeSnapshot(graph, index, raw_options);
+  ASSERT_TRUE(raw_bytes.ok());
+  // The point of the encoding: the packed file is strictly smaller.
+  EXPECT_LT(packed_bytes->size(), raw_bytes->size());
+
+  for (const bool pack : {true, false}) {
+    const std::string path =
+        TempPath(pack ? "packed.soisnap" : "unpacked.soisnap");
+    WriteBytes(path, pack ? *packed_bytes : *raw_bytes);
+    auto snap = Snapshot::Open(path, SnapshotValidation::kFull);
+    ASSERT_TRUE(snap.ok()) << snap.status().ToString();
+    EXPECT_EQ((*snap)->info().packed, pack);
+    EXPECT_TRUE((*snap)->info().has_closures);
+    EXPECT_TRUE((*snap)->info().has_typical);
+    // Logical equality regardless of the on-disk encoding.
+    EXPECT_TRUE((*snap)->MakeTypical() == sweep->cascades);
+    auto loaded = (*snap)->MakeIndex();
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    ASSERT_TRUE(loaded->has_closure_cache());
+    for (uint32_t w = 0; w < index.num_worlds(); ++w) {
+      const ReachabilityClosure& ca = index.closure(w);
+      const ReachabilityClosure& cb = loaded->closure(w);
+      ASSERT_EQ(ca.num_components(), cb.num_components());
+      for (uint32_t c = 0; c < ca.num_components(); ++c) {
+        const auto xa = ca.Closure(c), xb = cb.Closure(c);
+        ASSERT_TRUE(std::equal(xa.begin(), xa.end(), xb.begin(), xb.end()))
+            << "pack " << pack << " world " << w << " comp " << c;
+        const auto na = ca.Cascade(c), nb = cb.Cascade(c);
+        ASSERT_TRUE(std::equal(na.begin(), na.end(), nb.begin(), nb.end()))
+            << "pack " << pack << " world " << w << " comp " << c;
+      }
+    }
+  }
+}
+
+TEST(SnapshotPackedTest, WriterReencodesTypicalAcrossEncodings) {
+  // snapshot -> serve -> snapshot must work in both directions: the writer
+  // re-encodes whichever FlatSets encoding it is handed to match `pack`.
+  const ProbGraph graph = RandomGraph(50, 250, 43);
+  const CascadeIndex index =
+      BuildIndex(graph, PropagationModel::kIndependentCascade);
+  TypicalCascadeComputer computer(&index);
+  auto sweep = computer.ComputeAllFlat();
+  ASSERT_TRUE(sweep.ok());
+
+  const std::string packed_path = TempPath("reencode-packed.soisnap");
+  SnapshotWriteOptions options;
+  options.typical = &sweep->cascades;  // raw in, packed file out
+  ASSERT_TRUE(WriteSnapshot(graph, index, packed_path, options).ok());
+  auto packed_snap = Snapshot::Open(packed_path);
+  ASSERT_TRUE(packed_snap.ok());
+  const FlatSets borrowed_packed = (*packed_snap)->MakeTypical();
+  EXPECT_TRUE(borrowed_packed.packed());
+
+  const std::string raw_path = TempPath("reencode-raw.soisnap");
+  SnapshotWriteOptions raw_options;
+  raw_options.typical = &borrowed_packed;  // packed in, raw file out
+  raw_options.pack = false;
+  ASSERT_TRUE(WriteSnapshot(graph, index, raw_path, raw_options).ok());
+  auto raw_snap = Snapshot::Open(raw_path, SnapshotValidation::kFull);
+  ASSERT_TRUE(raw_snap.ok()) << raw_snap.status().ToString();
+  const FlatSets reloaded = (*raw_snap)->MakeTypical();
+  EXPECT_FALSE(reloaded.packed());
+  EXPECT_TRUE(reloaded == sweep->cascades);
+}
+
+// Pins kAuto's greedy pass to a known mixed assignment: a budget of
+// (world 0's materialized cost + world 1's label cost) materializes world
+// 0, labels world 1, and leaves the rest on traversal — assuming labels
+// are cheaper than closures here, which the ASSERT_LT guards.
+uint64_t MixedTierBudget(CascadeIndex* index) {
+  const uint64_t mat0 = index->closure(0).ApproxBytes();
+  const uint64_t mat1 = index->closure(1).ApproxBytes();
+  index->RebuildClosureTiersBytes(uint64_t{1} << 30,
+                                  ClosureTierPolicy::kLabels);
+  const uint64_t lab1 = index->labels(1).ApproxBytes();
+  SOI_CHECK(lab1 < mat1);
+  return mat0 + lab1;
+}
+
+TEST(SnapshotTieredTest, MixedTierIndexRoundTripsExactly) {
+  const ProbGraph graph = RandomGraph(100, 500, 37);
+  CascadeIndex index =
+      BuildIndex(graph, PropagationModel::kIndependentCascade);
+  ASSERT_TRUE(index.has_closure_cache());
+  index.RebuildClosureTiersBytes(MixedTierBudget(&index),
+                                 ClosureTierPolicy::kAuto);
+  const uint32_t n_mat = index.stats().worlds_materialized;
+  const uint32_t n_lab = index.stats().worlds_labeled;
+  ASSERT_GT(n_mat, 0u);
+  ASSERT_GT(n_lab, 0u);
+
+  const std::string path = TempPath("tiered.soisnap");
+  ASSERT_TRUE(WriteSnapshot(graph, index, path, {}).ok());
+  auto snap = Snapshot::Open(path, SnapshotValidation::kFull);
+  ASSERT_TRUE(snap.ok()) << snap.status().ToString();
+  EXPECT_TRUE((*snap)->info().tiered);
+  EXPECT_TRUE((*snap)->info().has_labels);
+  EXPECT_EQ((*snap)->info().worlds_materialized, n_mat);
+  EXPECT_EQ((*snap)->info().worlds_labeled, n_lab);
+  EXPECT_EQ((*snap)->info().worlds_traversal,
+            index.num_worlds() - n_mat - n_lab);
+
+  auto loaded = (*snap)->MakeIndex();
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->num_worlds(), index.num_worlds());
+  CascadeIndex::Workspace ws;
+  for (uint32_t w = 0; w < index.num_worlds(); ++w) {
+    ASSERT_EQ(loaded->tier(w), index.tier(w)) << "world " << w;
+    if (index.tier(w) == WorldTier::kLabels) {
+      const ReachLabels& la = index.labels(w);
+      const ReachLabels& lb = loaded->labels(w);
+      const auto oa = la.offsets_view(), ob = lb.offsets_view();
+      ASSERT_TRUE(std::equal(oa.begin(), oa.end(), ob.begin(), ob.end()));
+      const auto ba = la.bounds_view(), bb = lb.bounds_view();
+      ASSERT_TRUE(std::equal(ba.begin(), ba.end(), bb.begin(), bb.end()));
+      const auto ra = la.reach_nodes_view(), rb = lb.reach_nodes_view();
+      ASSERT_TRUE(std::equal(ra.begin(), ra.end(), rb.begin(), rb.end()));
+    }
+    // The tier is an accelerator, never a semantic: cascades agree on
+    // every tier, original vs. reloaded.
+    for (const NodeId v : {NodeId{0}, NodeId{17}, NodeId{63}}) {
+      auto a = index.Cascade(v, w, &ws);
+      auto b = loaded->Cascade(v, w, &ws);
+      ASSERT_TRUE(a.ok() && b.ok());
+      EXPECT_EQ(*a, *b) << "world " << w << " node " << v;
+    }
+  }
+}
+
+TEST(SnapshotTieredTest, AllLabelsIndexRoundTrips) {
+  const ProbGraph graph = RandomGraph(60, 300, 47);
+  CascadeIndex index =
+      BuildIndex(graph, PropagationModel::kIndependentCascade);
+  index.RebuildClosureTiersBytes(uint64_t{1} << 30,
+                                 ClosureTierPolicy::kLabels);
+  ASSERT_EQ(index.stats().worlds_labeled, index.num_worlds());
+
+  const std::string path = TempPath("all-labels.soisnap");
+  ASSERT_TRUE(WriteSnapshot(graph, index, path, {}).ok());
+  auto snap = Snapshot::Open(path, SnapshotValidation::kFull);
+  ASSERT_TRUE(snap.ok()) << snap.status().ToString();
+  EXPECT_TRUE((*snap)->info().tiered);
+  EXPECT_FALSE((*snap)->info().has_closures);
+  EXPECT_EQ((*snap)->info().worlds_labeled, index.num_worlds());
+  auto loaded = (*snap)->MakeIndex();
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  CascadeIndex::Workspace ws;
+  for (uint32_t w = 0; w < index.num_worlds(); ++w) {
+    ASSERT_EQ(loaded->tier(w), WorldTier::kLabels);
+    auto a = index.Cascade(NodeId{5}, w, &ws);
+    auto b = loaded->Cascade(NodeId{5}, w, &ws);
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_EQ(*a, *b) << "world " << w;
+  }
+}
+
+TEST(SnapshotVersionTest, NewerMinorVersionIsTolerated) {
+  // Minor bumps are additive-only; a v1.x file from a newer writer must
+  // still open as long as every capability flag is understood.
+  const ProbGraph graph = RandomGraph(40, 200, 53);
+  const CascadeIndex index =
+      BuildIndex(graph, PropagationModel::kIndependentCascade);
+  std::string bytes = SnapshotBytes(graph, index);
+  const uint32_t future_minor =
+      kSnapshotVersionMajor | (uint32_t{7} << 16);
+  std::memcpy(bytes.data() + offsetof(SnapshotHeader, version), &future_minor,
+              sizeof(future_minor));
+  SnapshotHeader header{};
+  std::memcpy(&header, bytes.data(), sizeof(header));
+  const uint32_t zero32 = 0;
+  std::memcpy(bytes.data() + offsetof(SnapshotHeader, header_crc32c), &zero32,
+              sizeof(zero32));
+  const uint32_t crc = Crc32c(
+      bytes.data(),
+      sizeof(SnapshotHeader) + header.section_count * sizeof(SectionEntry));
+  std::memcpy(bytes.data() + offsetof(SnapshotHeader, header_crc32c), &crc,
+              sizeof(crc));
+  const std::string path = TempPath("future-minor.soisnap");
+  WriteBytes(path, bytes);
+  auto snap = Snapshot::Open(path, SnapshotValidation::kFull);
+  EXPECT_TRUE(snap.ok()) << snap.status().ToString();
+}
+
+// Corruption corpus for the v1.1 sections: malformed packed runs, label
+// intervals, and tier-table entries must all be caught *structurally*.
+class SnapshotTieredCorruptionTest : public SnapshotCorruptionTest {
+ protected:
+  void SetUp() override {
+    graph_ = RandomGraph(60, 300, 41);
+    index_ = BuildIndex(graph_, PropagationModel::kIndependentCascade);
+    index_.RebuildClosureTiersBytes(MixedTierBudget(&index_),
+                                    ClosureTierPolicy::kAuto);
+    SOI_CHECK(index_.stats().worlds_materialized > 0);
+    SOI_CHECK(index_.stats().worlds_labeled > 0);
+    bytes_ = SnapshotBytes(graph_, index_);
+  }
+};
+
+TEST_F(SnapshotTieredCorruptionTest, PristineTieredBytesPassFullValidation) {
+  const std::string path = TempPath("tiered-pristine.soisnap");
+  WriteBytes(path, bytes_);
+  auto snap = Snapshot::Open(path, SnapshotValidation::kFull);
+  EXPECT_TRUE(snap.ok()) << snap.status().ToString();
+}
+
+TEST_F(SnapshotTieredCorruptionTest, UnknownTierValueIsRejected) {
+  const SectionEntry tiers = FindSection(bytes_, SectionKind::kTierTable);
+  std::string bad = bytes_;
+  const uint32_t bogus = 7;
+  std::memcpy(bad.data() + tiers.offset, &bogus, sizeof(bogus));
+  ExpectOpenFails(bad, "unknown storage tier");
+}
+
+TEST_F(SnapshotTieredCorruptionTest, MalformedPackedClosureRunIsRejected) {
+  // 0xFF-fill the head of the packed pool: either the varint decodes past
+  // uint32 range or the cursor overruns its slice — both are malformed.
+  const SectionEntry pool =
+      FindSection(bytes_, SectionKind::kClosureCompsPacked);
+  std::string bad = bytes_;
+  for (uint64_t i = 0; i < 5 && i < pool.byte_size; ++i) {
+    bad[pool.offset + i] = static_cast<char>(0xFF);
+  }
+  ExpectOpenFails(bad, "packed closure run");
+}
+
+TEST_F(SnapshotTieredCorruptionTest, MalformedLabelIntervalIsRejected) {
+  // An interval lower bound >= num_components breaks the label invariant.
+  const SectionEntry bounds = FindSection(bytes_, SectionKind::kLabelBounds);
+  std::string bad = bytes_;
+  const uint32_t huge = 0x7FFFFFFFu;
+  std::memcpy(bad.data() + bounds.offset, &huge, sizeof(huge));
+  ExpectOpenFails(bad, "malformed label interval");
+}
+
+TEST_F(SnapshotTieredCorruptionTest, MalformedPackedTypicalRunIsRejected) {
+  TypicalCascadeComputer computer(&index_);
+  auto sweep = computer.ComputeAllFlat();
+  ASSERT_TRUE(sweep.ok());
+  const std::string with_typical =
+      SnapshotBytes(graph_, index_, &sweep->cascades);
+  const SectionEntry pool =
+      FindSection(with_typical, SectionKind::kTypicalPacked);
+  std::string bad = with_typical;
+  for (uint64_t i = 0; i < 5 && i < pool.byte_size; ++i) {
+    bad[pool.offset + i] = static_cast<char>(0xFF);
+  }
+  ExpectOpenFails(bad, "typical table");
+}
+
 TEST(SnapshotWriterTest, RejectsMismatchedInputsWithStatus) {
   const ProbGraph graph = RandomGraph(30, 150, 17);
   const ProbGraph other = RandomGraph(31, 150, 17);

@@ -23,7 +23,7 @@
 //   soi_cli update      --graph g.txt --updates u.txt [--batch 1]
 //                       [--verify] [--worlds 256] [--model ic|lt] [--seed 1]
 //   soi_cli snapshot create --graph g.txt [--worlds 256] [--model ic|lt]
-//                       [--seed 1] [--no-typical] --out s.soisnap
+//                       [--seed 1] [--no-typical] [--no-pack] --out s.soisnap
 //   soi_cli snapshot info   --in s.soisnap
 //   soi_cli snapshot verify --in s.soisnap
 //
@@ -53,6 +53,12 @@
 //                      either way, only speed changes. A loaded index
 //                      (sphere --index) rebuilds the cache under the
 //                      environment budget — the cache is never serialized.
+//   --closure-tier P   which reachability tiers the budget may assign:
+//                      auto (default; materialized, then interval labels,
+//                      then traversal as the budget runs out), materialized
+//                      (all-or-nothing legacy cache), labels, traversal.
+//                      Also via SOI_CLOSURE_TIER. Byte-identical outputs on
+//                      every tier; only memory/speed change (DESIGN §14).
 //
 // `serve` speaks the line-delimited JSON protocol "soi-service-v1" (see
 // src/service/protocol.h) over stdin/stdout or a loopback TCP port, with
@@ -138,6 +144,9 @@ std::vector<FlagSpec> WithShared(std::vector<FlagSpec> flags, bool graph,
     flags.push_back({"seed", FlagType::kInt, "1", "world-sampling seed"});
     flags.push_back({"closure-budget-mb", FlagType::kInt, "512",
                      "closure cache memory budget (0 = disabled)"});
+    flags.push_back({"closure-tier", FlagType::kString, "",
+                     "reachability tier policy: auto|materialized|labels|"
+                     "traversal (default: SOI_CLOSURE_TIER or auto)"});
   }
   flags.push_back({"threads", FlagType::kInt, "0",
                    "worker threads (0 = hardware concurrency)"});
@@ -255,7 +264,11 @@ std::vector<CommandSpec> Commands() {
                     "output snapshot path (required)"},
                    {"no-typical", FlagType::kBool, "",
                     "skip the typical-cascade table (smaller file; "
-                    "seed_select pays the sweep on first query)"}},
+                    "seed_select pays the sweep on first query)"},
+                   {"no-pack", FlagType::kBool, "",
+                    "write raw u32 closure/typical sections instead of "
+                    "delta-varint packed ones (larger file, zero-copy "
+                    "closures at load)"}},
                   /*graph=*/true, /*index=*/true)});
   commands.push_back(
       {"snapshot-info", "print a snapshot's header facts", "",
@@ -319,6 +332,13 @@ Result<CascadeIndexOptions> IndexOptionsFromFlags(const FlagParser& flags) {
     return Status::InvalidArgument("--closure-budget-mb must be >= 0");
   }
   options.closure_budget_mb = static_cast<uint64_t>(budget);
+  SOI_ASSIGN_OR_RETURN(const std::string tier,
+                       flags.GetString("closure-tier", ""));
+  if (!tier.empty() &&
+      !ParseClosureTierPolicy(tier.c_str(), &options.tier_policy)) {
+    return Status::InvalidArgument(
+        "--closure-tier must be auto, materialized, labels, or traversal");
+  }
   return options;
 }
 
@@ -743,6 +763,7 @@ int CmdSnapshotCreate(const FlagParser& flags) {
 
   SnapshotWriteOptions options;
   options.model = index_options.model;
+  options.pack = !flags.GetBool("no-pack", false);
   TypicalCascadeSweep sweep;
   if (!flags.GetBool("no-typical", false)) {
     SOI_OBS_SPAN("cli/compute_typical");
@@ -760,13 +781,14 @@ int CmdSnapshotCreate(const FlagParser& flags) {
 
   CLI_ASSIGN(snap, Snapshot::Open(out));
   std::printf("wrote %s: %u nodes, %llu edges, %u worlds, %u sections, "
-              "%.1f MiB (closures %s, typical %s)\n",
+              "%.1f MiB (closures %s, typical %s, packed %s)\n",
               out.c_str(), snap->info().num_nodes,
               static_cast<unsigned long long>(snap->info().num_edges),
               snap->info().num_worlds, snap->info().section_count,
               static_cast<double>(snap->info().file_size) / (1 << 20),
               snap->info().has_closures ? "yes" : "no",
-              snap->info().has_typical ? "yes" : "no");
+              snap->info().has_typical ? "yes" : "no",
+              snap->info().packed ? "yes" : "no");
   return 0;
 }
 
@@ -775,15 +797,22 @@ int CmdSnapshotInfo(const FlagParser& flags) {
   if (in.empty()) return Fail(Status::InvalidArgument("--in required"));
   CLI_ASSIGN(snap, Snapshot::Open(in));
   const SnapshotInfo& info = snap->info();
-  std::printf("soi-snap-v%u: %s\n", info.version, in.c_str());
-  std::printf("  file:     %llu bytes, %u sections\n",
+  std::printf("soi-snap-v%u.%u: %s\n", info.version & 0xFFFFu,
+              info.version >> 16, in.c_str());
+  std::printf("  file:     %llu bytes, %u sections%s\n",
               static_cast<unsigned long long>(info.file_size),
-              info.section_count);
+              info.section_count, info.packed ? ", packed" : "");
   std::printf("  graph:    %u nodes, %llu edges\n", info.num_nodes,
               static_cast<unsigned long long>(info.num_edges));
   std::printf("  worlds:   %u (model %s)\n", info.num_worlds,
               info.model == PropagationModel::kLinearThreshold ? "lt" : "ic");
+  if (info.tiered) {
+    std::printf("  tiers:    %u materialized, %u labels, %u traversal\n",
+                info.worlds_materialized, info.worlds_labeled,
+                info.worlds_traversal);
+  }
   std::printf("  closures: %s\n", info.has_closures ? "yes" : "no");
+  std::printf("  labels:   %s\n", info.has_labels ? "yes" : "no");
   std::printf("  typical:  %s\n", info.has_typical ? "yes" : "no");
   if (info.graph_fingerprint != 0) {
     std::printf("  graph-fp: %016llx\n",
