@@ -1,0 +1,255 @@
+// Sketch-tier calibration: error vs latency for the bottom-k reachability
+// sketches behind `accuracy: "sketch"` (src/infmax/sketch_oracle.h).
+//
+// Two claims back the serving tier, and this harness measures both:
+//   1. Accuracy: the mean relative error of sketch spread estimates stays
+//      within the advertised 1/sqrt(k-2) bound (Cohen-style bottom-k
+//      estimators), measured against the exact closure-based spread on the
+//      same sampled worlds.
+//   2. Latency: answering from sketches is markedly faster than the exact
+//      tier at serving scale (n = 4096, l = 64) — >= 5x in its best regime
+//      (small-k sketches on multi-seed queries) — which is what makes
+//      "degrade to sketch instead of shedding" a sensible routing policy.
+//
+// Latency depends on the seed-set size (the exact tier answers single-seed
+// queries from an O(1) closure count; sketch costs grow with the number of
+// distinct seed components), so rows are broken out per size and every
+// timing is the minimum over repetitions to shed scheduler noise.
+//
+// Output: a table per suite plus BENCH_sketch.json with rows
+// {k, seeds, bound, measured_mean_rel_err, sketch_us, exact_us, speedup}
+// at serving scale and a small-graph calibration block (n = 512) where the
+// exact tier is cheap enough to average tightly.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "gen/generators.h"
+#include "graph/prob_assign.h"
+#include "index/cascade_index.h"
+#include "infmax/sketch_oracle.h"
+#include "infmax/spread_estimator.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using soi::CascadeIndex;
+using soi::CascadeIndexOptions;
+using soi::ExactSpreadEstimator;
+using soi::NodeId;
+using soi::ProbGraph;
+using soi::Rng;
+using soi::SketchSpreadOracle;
+using soi::TablePrinter;
+using soi::WallTimer;
+
+constexpr uint32_t kReps = 5;
+constexpr uint32_t kQueriesPerSize = 64;
+const uint32_t kSketchKs[] = {8, 16, 64, 256};
+const uint32_t kSeedSizes[] = {1, 2, 8};
+
+struct Row {
+  uint32_t k = 0;
+  uint32_t seeds = 0;
+  double bound = 0.0;
+  double measured_mean_rel_err = 0.0;
+  double sketch_us = 0.0;
+  double exact_us = 0.0;
+  double speedup = 0.0;
+};
+
+ProbGraph MakeGraph(uint32_t scale, uint64_t edges, uint64_t seed) {
+  Rng topo_rng(seed);
+  auto topo = soi::GenerateRmat(scale, edges, {}, &topo_rng);
+  SOI_CHECK(topo.ok());
+  Rng assign_rng(seed + 1);
+  auto graph = soi::AssignUniform(*topo, &assign_rng, 0.05, 0.35);
+  SOI_CHECK(graph.ok());
+  return *std::move(graph);
+}
+
+std::vector<std::vector<NodeId>> MakeQueries(NodeId n, uint32_t size,
+                                             uint32_t count) {
+  std::vector<std::vector<NodeId>> queries;
+  for (uint32_t i = 0; i < count; ++i) {
+    std::vector<NodeId> seeds;
+    for (uint32_t j = 0; j < size; ++j) {
+      seeds.push_back(static_cast<NodeId>((i * 257u + j * 7919u) % n));
+    }
+    std::sort(seeds.begin(), seeds.end());
+    seeds.erase(std::unique(seeds.begin(), seeds.end()), seeds.end());
+    queries.push_back(std::move(seeds));
+  }
+  return queries;
+}
+
+// Minimum per-query microseconds over kReps passes (the first pass also
+// returns the values, which every later pass must reproduce).
+template <typename F>
+double MinMicros(uint32_t count, F&& pass) {
+  double best = 0.0;
+  for (uint32_t rep = 0; rep < kReps; ++rep) {
+    WallTimer timer;
+    pass();
+    const double us = timer.ElapsedSeconds() * 1e6 / count;
+    if (rep == 0 || us < best) best = us;
+  }
+  return best;
+}
+
+std::vector<Row> RunSuite(const ProbGraph& graph, uint32_t worlds,
+                          uint64_t seed, const char* label) {
+  CascadeIndexOptions options;
+  options.num_worlds = worlds;
+  Rng rng(seed);
+  auto index = CascadeIndex::Build(graph, options, &rng);
+  SOI_CHECK(index.ok());
+  const ExactSpreadEstimator exact(&*index);
+
+  std::printf("\n--- %s (n=%u, l=%u, %u queries/size, min of %u reps) ---\n",
+              label, graph.num_nodes(), worlds, kQueriesPerSize, kReps);
+  std::vector<Row> rows;
+  for (const uint32_t size : kSeedSizes) {
+    const auto queries = MakeQueries(graph.num_nodes(), size,
+                                     kQueriesPerSize);
+    std::vector<double> exact_values(queries.size());
+    const double exact_us = MinMicros(kQueriesPerSize, [&] {
+      for (size_t i = 0; i < queries.size(); ++i) {
+        const auto v = exact.EstimateSpread(queries[i]);
+        SOI_CHECK(v.ok());
+        exact_values[i] = *v;
+      }
+    });
+    for (const uint32_t k : kSketchKs) {
+      auto oracle = SketchSpreadOracle::BuildDeterministic(*index, k,
+                                                           seed + 17);
+      SOI_CHECK(oracle.ok());
+      std::vector<double> estimates(queries.size());
+      const double sketch_us = MinMicros(kQueriesPerSize, [&] {
+        for (size_t i = 0; i < queries.size(); ++i) {
+          const auto est = oracle->EstimateSpread(queries[i]);
+          SOI_CHECK(est.ok());
+          estimates[i] = *est;
+        }
+      });
+      Row row;
+      row.k = k;
+      row.seeds = size;
+      row.bound = SketchSpreadOracle::RelativeErrorBound(k);
+      row.sketch_us = sketch_us;
+      row.exact_us = exact_us;
+      row.speedup = exact_us / sketch_us;
+      double err_sum = 0.0;
+      for (size_t i = 0; i < queries.size(); ++i) {
+        SOI_CHECK(exact_values[i] > 0.0);
+        err_sum += std::abs(estimates[i] - exact_values[i]) /
+                   exact_values[i];
+      }
+      row.measured_mean_rel_err = err_sum / queries.size();
+      rows.push_back(row);
+    }
+  }
+
+  TablePrinter table({"k", "seeds", "bound", "mean rel err", "sketch us",
+                      "exact us", "speedup"});
+  for (const Row& r : rows) {
+    table.AddRow({TablePrinter::Fmt(uint64_t{r.k}),
+                  TablePrinter::Fmt(uint64_t{r.seeds}),
+                  TablePrinter::Fmt(r.bound, 4),
+                  TablePrinter::Fmt(r.measured_mean_rel_err, 4),
+                  TablePrinter::Fmt(r.sketch_us, 2),
+                  TablePrinter::Fmt(r.exact_us, 2),
+                  TablePrinter::Fmt(r.speedup, 2)});
+  }
+  table.Print(std::cout);
+  return rows;
+}
+
+void EmitRows(std::FILE* f, const std::vector<Row>& rows) {
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(f,
+                 "    {\"k\": %u, \"seeds\": %u, \"bound\": %.6g, "
+                 "\"measured_mean_rel_err\": %.6g, \"sketch_us\": %.6g, "
+                 "\"exact_us\": %.6g, \"speedup\": %.4g}%s\n",
+                 r.k, r.seeds, r.bound, r.measured_mean_rel_err, r.sketch_us,
+                 r.exact_us, r.speedup, i + 1 == rows.size() ? "" : ",");
+  }
+}
+
+void WriteJson(const char* path, const std::vector<Row>& serving,
+               const std::vector<Row>& calibration, uint32_t serving_nodes,
+               uint32_t calibration_nodes, uint32_t worlds) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n  \"artifact\": \"sketch\",\n");
+  std::fprintf(f,
+               "  \"serving\": {\"nodes\": %u, \"worlds\": %u, "
+               "\"queries_per_size\": %u, \"rows\": [\n",
+               serving_nodes, worlds, kQueriesPerSize);
+  EmitRows(f, serving);
+  std::fprintf(f, "  ]},\n");
+  std::fprintf(f,
+               "  \"calibration\": {\"nodes\": %u, \"worlds\": %u, "
+               "\"queries_per_size\": %u, \"rows\": [\n",
+               calibration_nodes, worlds, kQueriesPerSize);
+  EmitRows(f, calibration);
+  std::fprintf(f, "  ]}\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path);
+}
+
+}  // namespace
+
+int main() {
+  auto config = soi::bench::BenchConfig::FromEnv();
+  soi::bench::PrintBanner(
+      "sketch", "Sketch-tier error vs latency calibration", config);
+
+  // Serving scale: the regime the routing policy quotes.
+  const ProbGraph serving_graph = MakeGraph(12, 16384, config.seed + 50);
+  const std::vector<Row> serving =
+      RunSuite(serving_graph, 64, config.seed, "serving scale");
+
+  // Calibration scale: small enough that the exact tier averages tightly.
+  const ProbGraph calibration_graph = MakeGraph(9, 2048, config.seed + 60);
+  const std::vector<Row> calibration =
+      RunSuite(calibration_graph, 64, config.seed + 1, "calibration");
+
+  bool ok = true;
+  double best_speedup = 0.0;
+  for (const std::vector<Row>* rows : {&serving, &calibration}) {
+    for (const Row& r : *rows) {
+      if (r.measured_mean_rel_err > r.bound) {
+        std::printf("FAIL: k=%u seeds=%u error %.4f exceeds bound %.4f\n",
+                    r.k, r.seeds, r.measured_mean_rel_err, r.bound);
+        ok = false;
+      }
+    }
+  }
+  for (const Row& r : serving) best_speedup = std::max(best_speedup, r.speedup);
+  if (best_speedup < 5.0) {
+    std::printf("FAIL: best serving-scale speedup %.2fx is below 5x\n",
+                best_speedup);
+    ok = false;
+  }
+  std::printf("\nExpected shape: mean relative error within 1/sqrt(k-2) in "
+              "every row; small-k sketches >= 5x faster than exact on "
+              "multi-seed queries at serving scale (best here: %.1fx).\n",
+              best_speedup);
+
+  WriteJson("BENCH_sketch.json", serving, calibration,
+            serving_graph.num_nodes(), calibration_graph.num_nodes(), 64);
+  soi::bench::WriteMetricsSidecar("sketch");
+  return ok ? 0 : 1;
+}

@@ -1,6 +1,10 @@
 #include "infmax/sketch_oracle.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/check.h"
 
 namespace soi {
 
@@ -18,27 +22,39 @@ inline double NormalizedRank(uint64_t rank) {
   return (static_cast<double>(rank) + 1.0) * 0x1.0p-64;
 }
 
+Status BadK(uint32_t k) {
+  char msg[128];
+  std::snprintf(msg, sizeof(msg),
+                "sketch k must be >= 3 (k=%u implies an undefined "
+                "1/sqrt(k-2) error bound)",
+                k);
+  return Status::InvalidArgument(msg);
+}
+
 }  // namespace
 
-Result<SketchSpreadOracle> SketchSpreadOracle::Build(
-    const CascadeIndex& index, const SketchOptions& options, Rng* rng) {
-  if (options.k < 2) {
-    return Status::InvalidArgument("sketch k must be >= 2");
-  }
+double SketchSpreadOracle::RelativeErrorBound(uint32_t k) {
+  if (k < 3) return 1.0;  // bound undefined below k=3; report "no guarantee"
+  return 1.0 / std::sqrt(static_cast<double>(k) - 2.0);
+}
+
+Result<SketchSpreadOracle> SketchSpreadOracle::BuildWithSalt(
+    const CascadeIndex& index, uint32_t k, uint64_t salt) {
+  if (k < 3) return BadK(k);
   SketchSpreadOracle oracle;
   oracle.index_ = &index;
-  oracle.k_ = options.k;
-  const uint64_t salt = rng->Next();
+  oracle.k_ = k;
+  oracle.salt_ = salt;
 
   std::vector<uint64_t> buf;
   for (uint32_t i = 0; i < index.num_worlds(); ++i) {
     const Condensation& cond = index.world(i);
     const uint32_t nc = cond.num_components();
-    oracle.world_base_.push_back(oracle.sketch_offsets_.size());
+    oracle.world_base_.push_back(oracle.own_offsets_.size());
     // Offset table for this world: nc + 1 entries. Filled as we go.
-    const size_t table_start = oracle.sketch_offsets_.size();
-    oracle.sketch_offsets_.resize(table_start + nc + 1);
-    oracle.sketch_offsets_[table_start] = oracle.entries_.size();
+    const size_t table_start = oracle.own_offsets_.size();
+    oracle.own_offsets_.resize(table_start + nc + 1);
+    oracle.own_offsets_[table_start] = oracle.own_entries_.size();
 
     // Children (DAG successors) have smaller ids, so ascending order is a
     // valid bottom-up schedule.
@@ -48,18 +64,75 @@ Result<SketchSpreadOracle> SketchSpreadOracle::Build(
         buf.push_back(RankOf(salt, i, v));
       }
       for (uint32_t succ : cond.DagSuccessors(c)) {
-        const uint64_t begin = oracle.sketch_offsets_[table_start + succ];
-        const uint64_t end = oracle.sketch_offsets_[table_start + succ + 1];
-        buf.insert(buf.end(), oracle.entries_.begin() + begin,
-                   oracle.entries_.begin() + end);
+        const uint64_t begin = oracle.own_offsets_[table_start + succ];
+        const uint64_t end = oracle.own_offsets_[table_start + succ + 1];
+        buf.insert(buf.end(), oracle.own_entries_.begin() + begin,
+                   oracle.own_entries_.begin() + end);
       }
       std::sort(buf.begin(), buf.end());
       buf.erase(std::unique(buf.begin(), buf.end()), buf.end());
       if (buf.size() > oracle.k_) buf.resize(oracle.k_);
-      oracle.entries_.insert(oracle.entries_.end(), buf.begin(), buf.end());
-      oracle.sketch_offsets_[table_start + c + 1] = oracle.entries_.size();
+      oracle.own_entries_.insert(oracle.own_entries_.end(), buf.begin(),
+                                 buf.end());
+      oracle.own_offsets_[table_start + c + 1] = oracle.own_entries_.size();
     }
   }
+  oracle.sketch_offsets_ = oracle.own_offsets_;
+  oracle.entries_ = oracle.own_entries_;
+  return oracle;
+}
+
+Result<SketchSpreadOracle> SketchSpreadOracle::Build(
+    const CascadeIndex& index, const SketchOptions& options, Rng* rng) {
+  return BuildWithSalt(index, options.k, rng->Next());
+}
+
+Result<SketchSpreadOracle> SketchSpreadOracle::BuildDeterministic(
+    const CascadeIndex& index, uint32_t k, uint64_t seed) {
+  // Salt is a pure function of the seed, so independently constructed
+  // oracles over the same index agree byte-for-byte.
+  SplitMix64 mixer(seed ^ 0x736b65746368ull);  // "sketch"
+  return BuildWithSalt(index, k, mixer.Next());
+}
+
+Result<SketchSpreadOracle> SketchSpreadOracle::FromParts(
+    const CascadeIndex* index, const SketchParts& parts) {
+  if (parts.k < 3) return BadK(parts.k);
+  SketchSpreadOracle oracle;
+  oracle.index_ = index;
+  oracle.k_ = parts.k;
+  oracle.salt_ = parts.salt;
+
+  // The offsets pool must tile exactly into one (nc + 1)-entry table per
+  // world, be globally non-decreasing, cover [0, entries.size()], and bound
+  // every sketch run by k. This revalidates what the snapshot reader checks
+  // so FromParts is safe on hand-assembled parts too.
+  uint64_t expect = 0;
+  for (uint32_t i = 0; i < index->num_worlds(); ++i) {
+    oracle.world_base_.push_back(expect);
+    expect += static_cast<uint64_t>(index->world(i).num_components()) + 1;
+  }
+  if (parts.offsets.size() != expect) {
+    return Status::InvalidArgument("sketch offsets pool has wrong extent");
+  }
+  if (!parts.offsets.empty()) {
+    if (parts.offsets.front() != 0 ||
+        parts.offsets.back() != parts.entries.size()) {
+      return Status::InvalidArgument("sketch offsets do not close the pool");
+    }
+    for (size_t i = 1; i < parts.offsets.size(); ++i) {
+      if (parts.offsets[i] < parts.offsets[i - 1]) {
+        return Status::InvalidArgument("sketch offsets not non-decreasing");
+      }
+      if (parts.offsets[i] - parts.offsets[i - 1] > parts.k) {
+        return Status::InvalidArgument("sketch run longer than k");
+      }
+    }
+  } else if (!parts.entries.empty()) {
+    return Status::InvalidArgument("sketch entries without offsets");
+  }
+  oracle.sketch_offsets_ = parts.offsets;
+  oracle.entries_ = parts.entries;
   return oracle;
 }
 
@@ -71,37 +144,123 @@ std::span<const uint64_t> SketchSpreadOracle::Sketch(uint32_t world,
   return {entries_.data() + begin, entries_.data() + end};
 }
 
+double SketchSpreadOracle::EstimateMerged(
+    std::span<const uint64_t> merged) const {
+  if (merged.size() < k_) {
+    // Sketch is exhaustive: it IS the reachable rank set.
+    return static_cast<double>(merged.size());
+  }
+  return static_cast<double>(k_ - 1) / NormalizedRank(merged[k_ - 1]);
+}
+
+namespace {
+
+// Streams the k smallest distinct ranks of sorted runs `a` and `b` into
+// `out` (caller-sized to >= k), returning how many were written. Bottom-k
+// sketches are closed under this: the union's bottom-k is the k-truncated
+// merge of the parts' bottom-k runs, so capping at k loses nothing and
+// keeps every query O(k) per run instead of sorting the concatenation.
+// Shared descendants contribute the same rank through several runs;
+// min-wise semantics require deduplication. Once one run exhausts, the
+// other's tail is a block copy.
+size_t MergeBottomK(std::span<const uint64_t> a, std::span<const uint64_t> b,
+                    uint32_t k, uint64_t* out) {
+  const size_t na = a.size();
+  const size_t nb = b.size();
+  size_t i = 0;
+  size_t j = 0;
+  size_t o = 0;
+  while (o < k) {
+    if (i < na && j < nb) {
+      const uint64_t va = a[i];
+      const uint64_t vb = b[j];
+      if (va < vb) {
+        out[o++] = va;
+        ++i;
+      } else if (vb < va) {
+        out[o++] = vb;
+        ++j;
+      } else {
+        out[o++] = va;
+        ++i;
+        ++j;
+      }
+    } else if (i < na) {
+      const size_t take = std::min<size_t>(k - o, na - i);
+      std::copy_n(a.data() + i, take, out + o);
+      o += take;
+      break;
+    } else if (j < nb) {
+      const size_t take = std::min<size_t>(k - o, nb - j);
+      std::copy_n(b.data() + j, take, out + o);
+      o += take;
+      break;
+    } else {
+      break;
+    }
+  }
+  return o;
+}
+
+}  // namespace
+
 Result<double> SketchSpreadOracle::EstimateSpread(
     std::span<const NodeId> seeds) const {
   SOI_RETURN_IF_ERROR(ValidateSeedSet(seeds, index_->num_nodes()));
   std::vector<uint64_t> merged;
-  std::vector<uint32_t> comps;
+  std::vector<uint64_t> scratch;
+  std::vector<std::span<const uint64_t>> runs;
+  const uint32_t num_worlds = index_->num_worlds();
+  if (num_worlds == 0) return 0.0;
+
   double total = 0.0;
-  for (uint32_t i = 0; i < index_->num_worlds(); ++i) {
+  merged.resize(k_);
+  scratch.resize(k_);
+  for (uint32_t i = 0; i < num_worlds; ++i) {
     const Condensation& cond = index_->world(i);
-    comps.clear();
-    for (NodeId s : seeds) comps.push_back(cond.ComponentOf(s));
-    std::sort(comps.begin(), comps.end());
-    comps.erase(std::unique(comps.begin(), comps.end()), comps.end());
-
-    merged.clear();
-    for (uint32_t c : comps) {
-      const auto sketch = Sketch(i, c);
-      merged.insert(merged.end(), sketch.begin(), sketch.end());
+    runs.clear();
+    for (NodeId s : seeds) {
+      const auto sketch = Sketch(i, cond.ComponentOf(s));
+      if (!sketch.empty()) runs.push_back(sketch);
     }
-    std::sort(merged.begin(), merged.end());
-    // Shared descendants contribute the same ranks through several seed
-    // sketches; min-wise semantics require deduplication.
-    merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
-
-    if (merged.size() < k_) {
-      // Sketch is exhaustive: it IS the reachable rank set.
-      total += static_cast<double>(merged.size());
-    } else {
-      total += static_cast<double>(k_ - 1) / NormalizedRank(merged[k_ - 1]);
+    if (runs.empty()) continue;
+    if (runs.size() == 1) {
+      // The stored run already is the seed set's bottom-k sketch.
+      total += EstimateMerged(runs[0]);
+      continue;
     }
+    // Smallest leading rank first: the k-th-rank bound tightens after the
+    // first merges, so later runs usually fail the cutoff test and are
+    // skipped without being scanned at all. Seeds sharing a component
+    // yield the same stored run; the pointer tie-break parks those
+    // duplicates side by side so one unique() pass drops them (cheaper
+    // than deduplicating component ids up front with a second sort).
+    std::sort(runs.begin(), runs.end(), [](const auto& a, const auto& b) {
+      return a.front() != b.front() ? a.front() < b.front()
+                                    : a.data() < b.data();
+    });
+    runs.erase(std::unique(runs.begin(), runs.end(),
+                           [](const auto& a, const auto& b) {
+                             return a.data() == b.data();
+                           }),
+               runs.end());
+    if (runs.size() == 1) {
+      total += EstimateMerged(runs[0]);
+      continue;
+    }
+    size_t len = std::min<size_t>(runs[0].size(), k_);
+    std::copy_n(runs[0].data(), len, merged.data());
+    for (size_t r = 1; r < runs.size(); ++r) {
+      // A full merged buffer's last entry is the current k-th smallest
+      // distinct rank; a run starting at or beyond it cannot contribute.
+      if (len == k_ && runs[r].front() >= merged[len - 1]) continue;
+      len = MergeBottomK(std::span<const uint64_t>(merged.data(), len),
+                         runs[r], k_, scratch.data());
+      merged.swap(scratch);
+    }
+    total += EstimateMerged(std::span<const uint64_t>(merged.data(), len));
   }
-  return total / index_->num_worlds();
+  return total / num_worlds;
 }
 
 double SketchSpreadOracle::EstimateSpread(NodeId v) const {
@@ -109,6 +268,101 @@ double SketchSpreadOracle::EstimateSpread(NodeId v) const {
   const auto result = EstimateSpread(std::span<const NodeId>(seeds, 1));
   SOI_CHECK(result.ok());
   return *result;
+}
+
+Result<GreedyResult> SketchSpreadOracle::SelectSeeds(uint32_t k) const {
+  const NodeId n = index_->num_nodes();
+  if (k == 0 || k > n) {
+    return Status::InvalidArgument("seed count k must be in [1, num_nodes]");
+  }
+  const uint32_t num_worlds = index_->num_worlds();
+
+  // CELF lazy greedy on the sketch tier. Committed state: per world, the
+  // bottom-k sketch of the union reached by the selected seeds (merging two
+  // bottom-k sketches and keeping the k smallest ranks yields the union's
+  // bottom-k sketch exactly, so the committed state stays size <= k).
+  std::vector<std::vector<uint64_t>> committed(num_worlds);
+  double current = 0.0;  // sum over worlds of EstimateMerged(committed)
+
+  auto gain_of = [&](NodeId v) {
+    std::vector<uint64_t> merged;
+    double total = 0.0;
+    for (uint32_t w = 0; w < num_worlds; ++w) {
+      const auto sketch = Sketch(w, index_->world(w).ComponentOf(v));
+      const auto& base = committed[w];
+      merged.clear();
+      merged.reserve(base.size() + sketch.size());
+      std::merge(base.begin(), base.end(), sketch.begin(), sketch.end(),
+                 std::back_inserter(merged));
+      merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+      if (merged.size() > k_) merged.resize(k_);
+      total += EstimateMerged(merged);
+    }
+    return total - current;
+  };
+
+  struct Cand {
+    double gain;
+    NodeId node;
+    uint32_t round;  // round the gain was computed in
+  };
+  // Max-heap by gain, lowest node id on ties (for determinism).
+  auto worse = [](const Cand& a, const Cand& b) {
+    if (a.gain != b.gain) return a.gain < b.gain;
+    return a.node > b.node;
+  };
+  std::vector<Cand> heap;
+  heap.reserve(n);
+  for (NodeId v = 0; v < n; ++v) {
+    heap.push_back({gain_of(v), v, 0});
+  }
+  std::make_heap(heap.begin(), heap.end(), worse);
+
+  GreedyResult result;
+  for (uint32_t round = 1; round <= k; ++round) {
+    for (;;) {
+      std::pop_heap(heap.begin(), heap.end(), worse);
+      Cand top = heap.back();
+      heap.pop_back();
+      if (top.round != round - 1) {  // stale: re-evaluate lazily
+        top.gain = gain_of(top.node);
+        top.round = round - 1;
+        heap.push_back(top);
+        std::push_heap(heap.begin(), heap.end(), worse);
+        continue;
+      }
+      // Commit: fold the seed's per-world sketches into the committed state.
+      std::vector<uint64_t> merged;
+      for (uint32_t w = 0; w < num_worlds; ++w) {
+        const auto sketch =
+            Sketch(w, index_->world(w).ComponentOf(top.node));
+        auto& base = committed[w];
+        merged.clear();
+        merged.reserve(base.size() + sketch.size());
+        std::merge(base.begin(), base.end(), sketch.begin(), sketch.end(),
+                   std::back_inserter(merged));
+        merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+        if (merged.size() > k_) merged.resize(k_);
+        base = merged;
+      }
+      current += top.gain;
+      result.seeds.push_back(top.node);
+      GreedyStepInfo step;
+      step.node = top.node;
+      step.marginal_gain = top.gain;
+      step.objective_after = current;
+      result.steps.push_back(step);
+      break;
+    }
+  }
+  // The greedy ran on per-world sums; GreedyStepInfo promises expected
+  // spread, so rescale before handing the steps out (as the RR greedy does).
+  const double scale = 1.0 / num_worlds;
+  for (GreedyStepInfo& step : result.steps) {
+    step.marginal_gain *= scale;
+    step.objective_after *= scale;
+  }
+  return result;
 }
 
 }  // namespace soi

@@ -1,0 +1,33 @@
+#include "infmax/spread_estimator.h"
+
+#include "index/cascade_index.h"
+#include "infmax/rrset.h"
+#include "reliability/reliability.h"
+
+namespace soi {
+
+const char* EstimatorTierName(EstimatorTier tier) {
+  switch (tier) {
+    case EstimatorTier::kExact:
+      return "exact";
+    case EstimatorTier::kSketch:
+      return "sketch";
+    case EstimatorTier::kSampled:
+      return "sampled";
+  }
+  return "unknown";
+}
+
+Result<double> ExactSpreadEstimator::EstimateSpread(
+    std::span<const NodeId> seeds) const {
+  return ExpectedReachableSize(*index_, seeds);
+}
+
+Result<double> RrSpreadEstimator::EstimateSpread(
+    std::span<const NodeId> seeds) const {
+  SOI_RETURN_IF_ERROR(ValidateSeedSet(seeds, rr_->num_nodes()));
+  SpreadScratch scratch;
+  return rr_->EstimateSpread(seeds, &scratch);
+}
+
+}  // namespace soi

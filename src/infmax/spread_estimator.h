@@ -1,0 +1,80 @@
+#ifndef SOI_INFMAX_SPREAD_ESTIMATOR_H_
+#define SOI_INFMAX_SPREAD_ESTIMATOR_H_
+
+#include <span>
+
+#include "graph/prob_graph.h"
+#include "util/status.h"
+
+namespace soi {
+
+class CascadeIndex;
+class RrCollection;
+
+/// Which family of machinery produced a spread number. The service engine
+/// routes by tier (exact closure cache vs bottom-k sketches) rather than by
+/// concrete type, and responses report the tier that answered.
+enum class EstimatorTier : uint8_t {
+  kExact = 0,    // closure cache over the sampled worlds — exact on them
+  kSketch = 1,   // bottom-k reachability sketches, ~1/sqrt(k-2) rel. error
+  kSampled = 2,  // RR-set coverage proxy (unbiased, variance-bounded)
+};
+
+/// Wire/display name of a tier: "exact", "sketch", "sampled".
+const char* EstimatorTierName(EstimatorTier tier);
+
+/// One interface over the three spread entry points the codebase grew
+/// (SpreadOracle's closure sweep, SketchSpreadOracle, and
+/// RrCollection::EstimateSpread). Implementations must be safe for
+/// concurrent EstimateSpread calls — the engine shares one estimator across
+/// its query batch threads.
+class SpreadEstimator {
+ public:
+  virtual ~SpreadEstimator() = default;
+
+  /// Estimated expected spread sigma(S) of `seeds`. Validates the seed set.
+  virtual Result<double> EstimateSpread(
+      std::span<const NodeId> seeds) const = 0;
+
+  virtual const char* name() const = 0;
+  virtual EstimatorTier tier() const = 0;
+
+  /// A-priori relative error bound of the estimate, 0 when the estimator is
+  /// exact on the sampled worlds. Responses surface this as `est_error`.
+  virtual double relative_error_bound() const = 0;
+};
+
+/// Exact tier: averages true per-world cascade sizes via the index's closure
+/// cache (ExpectedReachableSize). `index` must outlive the adapter.
+class ExactSpreadEstimator : public SpreadEstimator {
+ public:
+  explicit ExactSpreadEstimator(const CascadeIndex* index) : index_(index) {}
+
+  Result<double> EstimateSpread(std::span<const NodeId> seeds) const override;
+  const char* name() const override { return "exact"; }
+  EstimatorTier tier() const override { return EstimatorTier::kExact; }
+  double relative_error_bound() const override { return 0.0; }
+
+ private:
+  const CascadeIndex* index_;
+};
+
+/// Sampled tier: RR-set coverage estimate. `rr` must outlive the adapter;
+/// calls use a private scratch per query, so the adapter is thread-safe even
+/// though RrCollection's scratch-less overload is not.
+class RrSpreadEstimator : public SpreadEstimator {
+ public:
+  explicit RrSpreadEstimator(const RrCollection* rr) : rr_(rr) {}
+
+  Result<double> EstimateSpread(std::span<const NodeId> seeds) const override;
+  const char* name() const override { return "rr"; }
+  EstimatorTier tier() const override { return EstimatorTier::kSampled; }
+  double relative_error_bound() const override { return 0.0; }
+
+ private:
+  const RrCollection* rr_;
+};
+
+}  // namespace soi
+
+#endif  // SOI_INFMAX_SPREAD_ESTIMATOR_H_

@@ -12,6 +12,7 @@
 #include "infmax/cover_engine.h"
 #include "infmax/greedy_std.h"
 #include "infmax/infmax_tc.h"
+#include "infmax/spread_estimator.h"
 #include "infmax/spread_oracle.h"
 #include "obs/metrics.h"
 #include "reliability/reliability.h"
@@ -74,6 +75,14 @@ class Engine::Impl {
 
   uint64_t NowNs() const {
     return options_.clock_ns != nullptr ? options_.clock_ns() : obs::NowNs();
+  }
+
+  Status AdoptSketches(const SketchParts& parts) {
+    SOI_ASSIGN_OR_RETURN(SketchSpreadOracle oracle,
+                         SketchSpreadOracle::FromParts(&index_, parts));
+    std::lock_guard<std::mutex> lock(sketch_mutex_);
+    sketch_ = std::make_unique<SketchSpreadOracle>(std::move(oracle));
+    return Status::OK();
   }
 
   Result<std::vector<Result<Response>>> RunBatch(
@@ -195,6 +204,64 @@ class Engine::Impl {
     std::optional<TypicalCascadeComputer> computer;
   };
 
+  // Where an individual request gets answered, decided at pickup time.
+  struct Route {
+    bool use_sketch = false;
+    bool degraded_deadline = false;  // auto flipped tier on deadline slack
+    bool degraded_pressure = false;  // auto flipped tier on in-flight depth
+  };
+
+  static bool SketchCapable(const Request& request) {
+    return std::holds_alternative<SpreadRequest>(request.payload) ||
+           std::holds_alternative<SeedSelectRequest>(request.payload);
+  }
+
+  Result<Route> DecideRoute(const Request& request, bool expired,
+                            uint64_t waited_ns, uint64_t timeout_ms) const {
+    Route route;
+    const uint32_t k = options_.sketch_k;
+    switch (request.accuracy) {
+      case Accuracy::kExact:
+        return route;
+      case Accuracy::kSketch:
+        if (k == 0) {
+          return Status::FailedPrecondition(
+              "sketch tier disabled: start the engine with sketch_k > 0 "
+              "(soi_cli serve --sketch-k) or load a snapshot that carries "
+              "sketches");
+        }
+        if (!SketchCapable(request)) {
+          return Status::FailedPrecondition(
+              RequestTypeName(request) +
+              std::string(" has no sketch path (accuracy:sketch applies to "
+                          "spread and seed_select)"));
+        }
+        route.use_sketch = true;
+        return route;
+      case Accuracy::kAuto: {
+        if (k == 0 || !SketchCapable(request)) return route;
+        if (request.max_error > 0 &&
+            SketchSpreadOracle::RelativeErrorBound(k) > request.max_error) {
+          // The sketch tier cannot meet the requested bound; stay exact
+          // even under pressure (correctness beats degradation).
+          return route;
+        }
+        const uint32_t threshold = options_.sketch_pressure_in_flight != 0
+                                       ? options_.sketch_pressure_in_flight
+                                       : options_.max_in_flight;
+        route.degraded_deadline =
+            expired ||
+            (timeout_ms != 0 && waited_ns * 2 > timeout_ms * 1'000'000ull);
+        route.degraded_pressure =
+            in_flight_.load(std::memory_order_acquire) >= threshold;
+        route.use_sketch =
+            route.degraded_deadline || route.degraded_pressure;
+        return route;
+      }
+    }
+    return route;
+  }
+
   Result<Response> RunOne(const Request& request, uint64_t admit_ns,
                           Scratch* scratch) {
     // Deadline check at pickup: started requests always run to completion.
@@ -202,14 +269,34 @@ class Engine::Impl {
                                     ? request.timeout_ms
                                     : options_.default_timeout_ms;
     const uint64_t start_ns = NowNs();
-    if (timeout_ms != 0 && start_ns - admit_ns > timeout_ms * 1'000'000ull) {
+    const bool expired =
+        timeout_ms != 0 && start_ns - admit_ns > timeout_ms * 1'000'000ull;
+    SOI_ASSIGN_OR_RETURN(
+        const Route route,
+        DecideRoute(request, expired, start_ns - admit_ns, timeout_ms));
+    // Graceful degradation: an expired auto request whose route reached the
+    // sketch tier is answered (approximately) instead of shed. Everything
+    // else keeps the original deadline contract.
+    if (expired &&
+        !(request.accuracy == Accuracy::kAuto && route.use_sketch)) {
       SOI_OBS_COUNTER_ADD("service/requests_deadline_exceeded", 1);
       return Status::DeadlineExceeded(
           RequestTypeName(request) + std::string(" request expired after ") +
           std::to_string(timeout_ms) + "ms before execution started");
     }
-    Result<Response> result = Dispatch(request, scratch);
+    if (route.degraded_deadline) {
+      SOI_OBS_COUNTER_ADD("service/degrade_deadline", 1);
+    }
+    if (route.degraded_pressure) {
+      SOI_OBS_COUNTER_ADD("service/degrade_pressure", 1);
+    }
+    SOI_OBS_COUNTER_ADD(route.use_sketch ? "service/requests_tier_sketch"
+                                         : "service/requests_tier_exact",
+                        1);
+    Result<Response> result = route.use_sketch ? DispatchSketch(request)
+                                               : Dispatch(request, scratch);
     const uint64_t latency_ns = NowNs() - start_ns;
+    if (result.ok()) result->meta.elapsed_us = latency_ns / 1000;
     SOI_OBS_HISTOGRAM_RECORD("service/latency_ns", latency_ns);
     SOI_OBS_HISTOGRAM_RECORD(LatencyHistogramName(request), latency_ns);
     if (result.ok()) {
@@ -226,6 +313,47 @@ class Engine::Impl {
           return Handle(payload, scratch);
         },
         request.payload);
+  }
+
+  // Sketch-tier answers for the two ops that have one. Routing guarantees
+  // the op is sketch-capable and the tier is enabled before we get here.
+  Result<Response> DispatchSketch(const Request& request) {
+    SOI_ASSIGN_OR_RETURN(const SketchSpreadOracle* sk, EnsureSketches());
+    Result<Response> result = [&]() -> Result<Response> {
+      if (const auto* req = std::get_if<SpreadRequest>(&request.payload)) {
+        SOI_ASSIGN_OR_RETURN(const double est, sk->EstimateSpread(req->seeds));
+        return Response(SpreadResponse{est});
+      }
+      const auto& req = std::get<SeedSelectRequest>(request.payload);
+      if (req.k == 0) {
+        return Status::InvalidArgument("seed_select: k must be >= 1");
+      }
+      const uint32_t k = std::min<uint32_t>(req.k, idx().num_nodes());
+      SOI_ASSIGN_OR_RETURN(GreedyResult r, sk->SelectSeeds(k));
+      return ToSeedSelectResponse(std::move(r));
+    }();
+    if (result.ok()) {
+      result->meta.tier = "sketch";
+      result->meta.est_error = sk->relative_error_bound();
+    }
+    return result;
+  }
+
+  // Builds the sketch tier once (deterministically from the engine seed,
+  // so an engine that lazily builds and one that adopted snapshot sketches
+  // created with the same seed answer identically) and caches it. Reset by
+  // update batches that touch worlds; the next sketch query rebuilds over
+  // the patched index.
+  Result<const SketchSpreadOracle*> EnsureSketches() {
+    std::lock_guard<std::mutex> lock(sketch_mutex_);
+    if (sketch_ == nullptr) {
+      SOI_ASSIGN_OR_RETURN(
+          SketchSpreadOracle oracle,
+          SketchSpreadOracle::BuildDeterministic(idx(), options_.sketch_k,
+                                                 options_.seed));
+      sketch_ = std::make_unique<SketchSpreadOracle>(std::move(oracle));
+    }
+    return sketch_.get();
   }
 
   Result<Response> Handle(const TypicalCascadeRequest& req, Scratch* scratch) {
@@ -249,8 +377,10 @@ class Engine::Impl {
   }
 
   Result<Response> Handle(const SpreadRequest& req, Scratch* /*scratch*/) {
-    SOI_ASSIGN_OR_RETURN(const double spread,
-                         ExpectedReachableSize(idx(), req.seeds));
+    // Same SpreadEstimator interface the sketch tier implements; the exact
+    // adapter answers from the closure cache (ExpectedReachableSize).
+    const ExactSpreadEstimator exact(&idx());
+    SOI_ASSIGN_OR_RETURN(const double spread, exact.EstimateSpread(req.seeds));
     return Response(SpreadResponse{spread});
   }
 
@@ -317,6 +447,10 @@ class Engine::Impl {
       {
         std::lock_guard<std::mutex> lock(oracle_mutex_);
         oracle_.reset();
+      }
+      {
+        std::lock_guard<std::mutex> lock(sketch_mutex_);
+        sketch_.reset();
       }
     }
     UpdateResponse response;
@@ -401,6 +535,9 @@ class Engine::Impl {
 
   std::mutex oracle_mutex_;  // serializes stateful "std" selections
   std::unique_ptr<SpreadOracle> oracle_;
+
+  std::mutex sketch_mutex_;  // guards the lazily built sketch tier
+  std::unique_ptr<SketchSpreadOracle> sketch_;
 };
 
 Engine::Engine() = default;
@@ -416,6 +553,12 @@ Status ValidateEngineOptions(const EngineOptions& options) {
   }
   if (options.max_in_flight == 0) {
     return Status::InvalidArgument("EngineOptions: max_in_flight must be >= 1");
+  }
+  if (options.sketch_k != 0 && options.sketch_k < 3) {
+    return Status::InvalidArgument(
+        "EngineOptions: sketch_k must be >= 3 (the sketch tier's "
+        "1/sqrt(k-2) error bound is undefined below that) or 0 to disable "
+        "the tier");
   }
   return Status::OK();
 }
@@ -449,7 +592,19 @@ Result<Engine> Engine::CreateDynamic(ProbGraph graph,
 
 Result<Engine> Engine::FromParts(EngineParts parts,
                                  const EngineOptions& options) {
-  SOI_RETURN_IF_ERROR(ValidateEngineOptions(options));
+  EngineOptions effective = options;
+  if (parts.sketches.has_value()) {
+    if (effective.sketch_k != 0 &&
+        effective.sketch_k != parts.sketches->k) {
+      return Status::InvalidArgument(
+          "EngineParts: sketches were built with k=" +
+          std::to_string(parts.sketches->k) + " but options request " +
+          std::to_string(effective.sketch_k) +
+          "; drop sketch_k to adopt the parts' k");
+    }
+    effective.sketch_k = parts.sketches->k;
+  }
+  SOI_RETURN_IF_ERROR(ValidateEngineOptions(effective));
   if (parts.graph.num_nodes() != parts.index.num_nodes()) {
     return Status::InvalidArgument(
         "EngineParts: graph has " + std::to_string(parts.graph.num_nodes()) +
@@ -462,11 +617,14 @@ Result<Engine> Engine::FromParts(EngineParts parts,
         std::to_string(parts.typical->num_sets()) +
         " sets, expected one per node");
   }
-  if (options.threads != 0) SetGlobalThreads(options.threads);
+  if (effective.threads != 0) SetGlobalThreads(effective.threads);
   Engine engine;
   engine.impl_ = std::make_unique<Impl>(
-      std::move(parts.graph), std::move(parts.index), options,
+      std::move(parts.graph), std::move(parts.index), effective,
       std::move(parts.typical), std::move(parts.storage));
+  if (parts.sketches.has_value()) {
+    SOI_RETURN_IF_ERROR(engine.impl_->AdoptSketches(*parts.sketches));
+  }
   return engine;
 }
 

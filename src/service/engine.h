@@ -12,6 +12,7 @@
 #include "dynamic/dynamic_graph.h"
 #include "graph/prob_graph.h"
 #include "index/cascade_index.h"
+#include "infmax/sketch_oracle.h"
 #include "util/flat_sets.h"
 #include "util/status.h"
 
@@ -36,6 +37,20 @@ namespace soi::service {
 /// count. The single best-effort exception is per-request deadlines, which
 /// compare wall clocks; batches that use no deadlines are fully
 /// deterministic.
+
+/// Per-request accuracy knob. kExact always answers from the exact tier
+/// (closure cache); kSketch demands the bottom-k sketch tier (fails with
+/// FailedPrecondition when the engine has no sketches or the op has no
+/// sketch path); kAuto answers exact while headroom exists and degrades to
+/// the sketch tier under pressure — admission depth at/above the configured
+/// threshold, or deadline slack mostly consumed — instead of shedding.
+/// Only spread and seed_select have a sketch path; kAuto on other ops is
+/// accepted and served exact.
+enum class Accuracy : uint8_t {
+  kExact = 0,
+  kSketch = 1,
+  kAuto = 2,
+};
 
 /// Sphere of influence (Algorithm 2) of a seed set.
 struct TypicalCascadeRequest {
@@ -91,6 +106,13 @@ struct Request {
       payload;
   /// Per-request timeout in milliseconds; 0 = EngineOptions default.
   uint64_t timeout_ms = 0;
+  /// Which tier may answer (defaults to exact: v1 clients see byte-identical
+  /// behavior).
+  Accuracy accuracy = Accuracy::kExact;
+  /// With kAuto: largest acceptable relative error. 0 = any. When the sketch
+  /// tier's 1/sqrt(k-2) bound exceeds this, auto stays exact even under
+  /// pressure (correctness beats degradation).
+  double max_error = 0.0;
 };
 
 struct TypicalCascadeResponse {
@@ -130,9 +152,26 @@ struct UpdateResponse {
   uint64_t drift = 0;
 };
 
-using Response =
+using ResponsePayload =
     std::variant<TypicalCascadeResponse, CascadeResponse, SpreadResponse,
                  SeedSelectResponse, ReliabilityResponse, UpdateResponse>;
+
+/// Answer provenance attached to every response: which tier produced it,
+/// its a-priori relative error bound (0 = exact on the sampled worlds), and
+/// the handler's wall time. Protocol v2 serializes all three; v1 responses
+/// ignore them (v1 only ever sees the exact tier).
+struct ResponseMeta {
+  const char* tier = "exact";
+  double est_error = 0.0;
+  uint64_t elapsed_us = 0;
+};
+
+struct Response {
+  Response() = default;
+  Response(ResponsePayload p) : payload(std::move(p)) {}  // NOLINT: implicit
+  ResponsePayload payload;
+  ResponseMeta meta;
+};
 
 /// Stable lowercase name of a request's type ("typical", "cascade",
 /// "spread", "seed_select", "reliability", "update") — used for metrics and
@@ -165,6 +204,18 @@ struct EngineOptions {
   /// deterministically.
   uint64_t (*clock_ns)() = nullptr;
 
+  // -- Sketch tier / accuracy routing -------------------------------------
+  /// Bottom-k sketch size for the approximate serving tier; 0 disables the
+  /// tier (explicit accuracy:sketch requests fail with FailedPrecondition
+  /// and auto never degrades). Sketches are built lazily on first use
+  /// (deterministically from `seed`), or adopted from EngineParts::sketches
+  /// on the snapshot path. Relative error ~ 1/sqrt(k-2).
+  uint32_t sketch_k = 0;
+  /// In-flight batch depth at which auto requests degrade to the sketch
+  /// tier; 0 = max_in_flight (degrade only at admission saturation). Lower
+  /// values trade accuracy for latency earlier.
+  uint32_t sketch_pressure_in_flight = 0;
+
   // -- Dynamic updates (CreateDynamic engines only) -----------------------
   /// When nonzero, the serving layer (soi_cli serve --dynamic, or any
   /// EngineHandle owner) is expected to rebuild the engine from its
@@ -191,6 +242,11 @@ struct EngineParts {
   /// qualifies) — otherwise seed_select answers would diverge from an
   /// owned engine's.
   std::optional<FlatSets> typical;
+  /// Pre-built sketch tier (snapshot kinds 27-29, via MakeSketchParts).
+  /// When present the engine adopts it instead of building sketches lazily,
+  /// and enables routing with the parts' k. The spans may borrow from
+  /// `storage`.
+  std::optional<SketchParts> sketches;
   /// Opaque anchor for whatever backs borrowed views (e.g. a
   /// snapshot::Snapshot). May be null when everything is owned.
   std::shared_ptr<const void> storage;

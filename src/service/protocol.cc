@@ -410,6 +410,22 @@ const char* StatusCodeToWireString(StatusCode code) {
   return "unknown";
 }
 
+const char* StatusCodeToErrorCode(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kOutOfRange: return "OUT_OF_RANGE";
+    case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case StatusCode::kIOError: return "IO_ERROR";
+    case StatusCode::kUnimplemented: return "UNIMPLEMENTED";
+    case StatusCode::kInternal: return "INTERNAL";
+    case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+    case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+  }
+  return "UNKNOWN";
+}
+
 Result<ProtocolRequest> ParseRequestLine(std::string_view line) {
   JsonReader reader(line);
   SOI_ASSIGN_OR_RETURN(const JsonValue root, reader.Parse());
@@ -419,6 +435,14 @@ Result<ProtocolRequest> ParseRequestLine(std::string_view line) {
 
   ProtocolRequest out;
   SOI_ASSIGN_OR_RETURN(out.id, RequireInt(root, "id", -1, /*required=*/false));
+  SOI_ASSIGN_OR_RETURN(const int64_t version,
+                       RequireInt(root, "v", 1, /*required=*/false));
+  if (version != 1 && version != 2) {
+    return Status::InvalidArgument(
+        "unsupported protocol version \"v\":" + std::to_string(version) +
+        " (this server speaks v1 and v2)");
+  }
+  out.version = static_cast<int>(version);
   SOI_ASSIGN_OR_RETURN(
       const int64_t timeout_ms,
       RequireInt(root, "timeout_ms", 0, /*required=*/false));
@@ -426,6 +450,40 @@ Result<ProtocolRequest> ParseRequestLine(std::string_view line) {
     return Status::InvalidArgument("\"timeout_ms\" must be >= 0");
   }
   out.request.timeout_ms = static_cast<uint64_t>(timeout_ms);
+
+  // Accuracy envelope fields are v2-only and uniform across ops. On a v1
+  // line they are an error naming the fix — silently ignoring them would
+  // serve exact answers to a client that asked for routing.
+  const JsonValue* accuracy = root.Find("accuracy");
+  const JsonValue* max_error = root.Find("max_error");
+  if (out.version < 2 && (accuracy != nullptr || max_error != nullptr)) {
+    return Status::InvalidArgument(
+        "\"accuracy\"/\"max_error\" require the v2 envelope; add \"v\":2 to "
+        "the request");
+  }
+  if (accuracy != nullptr) {
+    if (accuracy->kind != JsonValue::Kind::kString) {
+      return Status::InvalidArgument("\"accuracy\" must be a string");
+    }
+    if (accuracy->string == "exact") {
+      out.request.accuracy = Accuracy::kExact;
+    } else if (accuracy->string == "sketch") {
+      out.request.accuracy = Accuracy::kSketch;
+    } else if (accuracy->string == "auto") {
+      out.request.accuracy = Accuracy::kAuto;
+    } else {
+      return Status::InvalidArgument("unknown accuracy \"" +
+                                     accuracy->string +
+                                     "\" (expected exact|sketch|auto)");
+    }
+  }
+  if (max_error != nullptr) {
+    if (max_error->kind != JsonValue::Kind::kNumber ||
+        max_error->number < 0.0) {
+      return Status::InvalidArgument("\"max_error\" must be a number >= 0");
+    }
+    out.request.max_error = max_error->number;
+  }
 
   const JsonValue* op = root.Find("op");
   if (op == nullptr || op->kind != JsonValue::Kind::kString) {
@@ -514,9 +572,34 @@ std::string FormatResponseLine(int64_t id, const Result<Response>& result) {
                                                 : result.status().code()));
   out.append("\"");
   if (result.ok()) {
-    std::visit(ResponseBodyWriter{&out}, *result);
+    std::visit(ResponseBodyWriter{&out}, result->payload);
   } else {
     out.append(",\"error\":\"");
+    AppendEscaped(&out, result.status().message());
+    out.append("\"");
+  }
+  out.append("}\n");
+  return out;
+}
+
+std::string FormatResponseLine(int64_t id, int version,
+                               const Result<Response>& result) {
+  if (version < 2) return FormatResponseLine(id, result);
+  std::string out = "{\"id\":";
+  out.append(std::to_string(id));
+  if (result.ok()) {
+    out.append(",\"status\":\"ok\"");
+    std::visit(ResponseBodyWriter{&out}, result->payload);
+    out.append(",\"tier\":\"");
+    out.append(result->meta.tier);
+    out.append("\",\"est_error\":");
+    AppendDouble(&out, result->meta.est_error);
+    out.append(",\"elapsed_us\":");
+    out.append(std::to_string(result->meta.elapsed_us));
+  } else {
+    out.append(",\"status\":\"error\",\"code\":\"");
+    out.append(StatusCodeToErrorCode(result.status().code()));
+    out.append("\",\"message\":\"");
     AppendEscaped(&out, result.status().message());
     out.append("\"");
   }

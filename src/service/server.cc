@@ -63,6 +63,18 @@ int64_t SalvageId(std::string_view line) {
   return negative ? -value : value;
 }
 
+// Best-effort recovery of the envelope version from a malformed line, so a
+// v2 client gets its parse errors in the v2 error shape.
+int SalvageVersion(std::string_view line) {
+  const size_t key = line.find("\"v\"");
+  if (key == std::string_view::npos) return 1;
+  size_t pos = line.find(':', key + 3);
+  if (pos == std::string_view::npos) return 1;
+  ++pos;
+  while (pos < line.size() && (line[pos] == ' ' || line[pos] == '\t')) ++pos;
+  return pos < line.size() && line[pos] == '2' ? 2 : 1;
+}
+
 class StreamServer {
  public:
   // Exactly one of `engine` / `handle` is set: a fixed engine, or a
@@ -131,7 +143,7 @@ class StreamServer {
       // line, then report the parse error.
       SOI_RETURN_IF_ERROR(Flush());
       return WriteAll(out_fd_,
-                      FormatResponseLine(SalvageId(line),
+                      FormatResponseLine(SalvageId(line), SalvageVersion(line),
                                          Result<Response>(parsed.status())));
     }
     pending_.push_back(std::move(*parsed));
@@ -157,13 +169,15 @@ class StreamServer {
     std::string out;
     if (batch.ok()) {
       for (size_t i = 0; i < pending_.size(); ++i) {
-        out += FormatResponseLine(pending_[i].id, (*batch)[i]);
+        out += FormatResponseLine(pending_[i].id, pending_[i].version,
+                                  (*batch)[i]);
       }
     } else {
       // Batch-level rejection (admission control): every queued request
       // gets the same error response.
       for (const ProtocolRequest& p : pending_) {
-        out += FormatResponseLine(p.id, Result<Response>(batch.status()));
+        out += FormatResponseLine(p.id, p.version,
+                                  Result<Response>(batch.status()));
       }
     }
     pending_.clear();

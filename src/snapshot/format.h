@@ -47,8 +47,9 @@ inline constexpr char kSnapshotMagic[8] = {'S', 'O', 'I', 'S',
                                            'N', 'A', 'P', '1'};
 inline constexpr uint32_t kSnapshotVersionMajor = 1;
 /// Minor 1 added the tiered / packed sections (kinds 19-26) and their flag
-/// bits. Minor-0 files (version word == 1) remain fully readable.
-inline constexpr uint32_t kSnapshotVersionMinor = 1;
+/// bits. Minor 2 added the bottom-k sketch tier (kinds 27-29,
+/// kSnapFlagSketches). Minor-0/1 files remain fully readable.
+inline constexpr uint32_t kSnapshotVersionMinor = 2;
 inline constexpr uint32_t kSnapshotVersion =
     kSnapshotVersionMajor | (kSnapshotVersionMinor << 16);
 /// Written as the literal 0x01020304; reads back as 0x04030201 on a
@@ -85,11 +86,16 @@ enum SnapshotFlags : uint64_t {
   /// Typical elements are stored delta-varint packed (kinds 25/26 replace
   /// 18; the element-offset section 17 stays). Requires kSnapFlagTypical.
   kSnapFlagPackedTypical = 1ull << 6,
+  /// Bottom-k sketch tier present (kinds 27-29): per-(world, component)
+  /// combined reachability sketches for the approximate serving tier
+  /// (infmax/sketch_oracle.h). `serve --snapshot` answers accuracy=sketch
+  /// queries straight from these sections — no rebuild.
+  kSnapFlagSketches = 1ull << 7,
 };
 inline constexpr uint64_t kSnapshotKnownFlags =
     kSnapFlagClosures | kSnapFlagTypical | kSnapFlagLinearThreshold |
     kSnapFlagTiered | kSnapFlagLabels | kSnapFlagPackedClosures |
-    kSnapFlagPackedTypical;
+    kSnapFlagPackedTypical | kSnapFlagSketches;
 
 /// Section kinds. Element types and counts are normative (validated on
 /// load); offsets within pooled sections are *local* per world (start at
@@ -148,6 +154,16 @@ enum class SectionKind : uint32_t {
   // *are* randomly accessed (CoverEngine), hence the explicit byte offsets.
   kTypicalPacked = 25,         // u8: delta-varint typical sets
   kTypicalPackedOffsets = 26,  // u64[n + 1] byte offsets
+  // v1.2 bottom-k sketch tier (present iff kSnapFlagSketches). The offsets
+  // pool holds one (num_components + 1)-entry table per world — every world
+  // qualifies, so its per-world bases are WorldRecord::offsets_base, shared
+  // with kMembersOffsets/kDagOffsets — with entries *absolute* into the
+  // entries pool (sketches are written in one pass across worlds, so the
+  // pool is globally non-decreasing). Each sketch run holds at most k
+  // strictly increasing 64-bit ranks.
+  kSketchMeta = 27,     // u64[2]: sketch k, rank salt
+  kSketchOffsets = 28,  // u64 pool: per world, num_components + 1 entries
+  kSketchEntries = 29,  // u64 pool: sorted rank runs, back-to-back
 };
 
 /// Fixed 64-byte file header.

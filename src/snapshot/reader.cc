@@ -32,6 +32,9 @@ uint32_t ExpectedElemSize(uint32_t kind) {
     case SectionKind::kTypicalOffsets:
     case SectionKind::kLabelOffsets:
     case SectionKind::kTypicalPackedOffsets:
+    case SectionKind::kSketchMeta:
+    case SectionKind::kSketchOffsets:
+    case SectionKind::kSketchEntries:
       return 8;
     case SectionKind::kGraphProbs:
       return 8;
@@ -239,6 +242,7 @@ Status Snapshot::Validate(const std::string& path,
   const bool with_labels = (header_.flags & kSnapFlagLabels) != 0;
   const bool with_typical = (header_.flags & kSnapFlagTypical) != 0;
   const bool packed_typical = (header_.flags & kSnapFlagPackedTypical) != 0;
+  const bool with_sketches = (header_.flags & kSnapFlagSketches) != 0;
   if (raw_closures && packed_closures) {
     return Invalid(path, "closures declared both raw and packed");
   }
@@ -351,6 +355,10 @@ Status Snapshot::Validate(const std::string& path,
   SOI_RETURN_IF_ERROR(require_present(
       {SectionKind::kTypicalPacked, SectionKind::kTypicalPackedOffsets},
       packed_typical, "packed-typical"));
+  SOI_RETURN_IF_ERROR(require_present(
+      {SectionKind::kSketchMeta, SectionKind::kSketchOffsets,
+       SectionKind::kSketchEntries},
+      with_sketches, "sketch"));
   if (with_closures && tiered) {
     // The two tiered closure offset pools are sliced with one shared
     // per-world base; equal lengths first, exact totals after the world
@@ -652,6 +660,47 @@ Status Snapshot::Validate(const std::string& path,
       }
     }
   }
+  uint32_t sketch_k = 0;
+  if (with_sketches) {
+    // The sketch offsets pool tiles identically to kMembersOffsets (one
+    // nc + 1 table per world, sharing WorldRecord::offsets_base), so the
+    // world scan above already proved the per-world bases; what's left is
+    // the pool's own shape: meta sane, tables globally non-decreasing and
+    // closing the entries pool, each run at most k strictly increasing
+    // ranks (adjacent table positions delimit the runs; pairs that span a
+    // world boundary are zero-length by construction).
+    if (Find(SectionKind::kSketchMeta)->elem_count != 2) {
+      return Invalid(path, "sketch metadata must be exactly {k, salt}");
+    }
+    const auto meta = View<uint64_t>(SectionKind::kSketchMeta);
+    if (meta[0] < 3 || meta[0] > 0xFFFFFFFFull) {
+      return Invalid(path, "sketch k " + std::to_string(meta[0]) +
+                               " out of range (must be >= 3: the 1/sqrt(k-2) "
+                               "error bound is undefined below that)");
+    }
+    sketch_k = static_cast<uint32_t>(meta[0]);
+    if (Find(SectionKind::kSketchOffsets)->elem_count != pooled_offsets) {
+      return Invalid(path, "sketch offsets do not tile the worlds (expected " +
+                               std::to_string(pooled_offsets) + " entries)");
+    }
+    const auto s_off = View<uint64_t>(SectionKind::kSketchOffsets);
+    const auto s_ent = View<uint64_t>(SectionKind::kSketchEntries);
+    if (s_off.empty() || s_off.front() != 0 ||
+        s_off.back() != s_ent.size()) {
+      return Invalid(path, "sketch offsets do not close the entries pool");
+    }
+    for (size_t i = 1; i < s_off.size(); ++i) {
+      if (s_off[i] < s_off[i - 1] || s_off[i] - s_off[i - 1] > sketch_k) {
+        return Invalid(path, "sketch offsets are not non-decreasing runs of "
+                             "at most k entries");
+      }
+      for (uint64_t j = s_off[i - 1] + 1; j < s_off[i]; ++j) {
+        if (s_ent[j] <= s_ent[j - 1]) {
+          return Invalid(path, "sketch run is not strictly increasing");
+        }
+      }
+    }
+  }
 
   info_.version = header_.version;
   info_.flags = header_.flags;
@@ -665,6 +714,8 @@ Status Snapshot::Validate(const std::string& path,
   info_.tiered = tiered;
   info_.has_labels = with_labels;
   info_.packed = packed_closures || packed_typical;
+  info_.has_sketches = with_sketches;
+  info_.sketch_k = sketch_k;
   info_.worlds_materialized =
       tiered ? n_mat : (with_closures ? header_.num_worlds : 0);
   info_.worlds_labeled = n_lab;
@@ -805,6 +856,17 @@ FlatSets Snapshot::MakeTypical() const {
   }
   return FlatSets::Borrowed(View<uint32_t>(SectionKind::kTypicalElems),
                             View<uint64_t>(SectionKind::kTypicalOffsets));
+}
+
+SketchParts Snapshot::MakeSketchParts() const {
+  SOI_CHECK(info_.has_sketches);
+  const auto meta = View<uint64_t>(SectionKind::kSketchMeta);
+  SketchParts parts;
+  parts.k = static_cast<uint32_t>(meta[0]);
+  parts.salt = meta[1];
+  parts.offsets = View<uint64_t>(SectionKind::kSketchOffsets);
+  parts.entries = View<uint64_t>(SectionKind::kSketchEntries);
+  return parts;
 }
 
 Status CheckSnapshotFreshness(const SnapshotInfo& info,

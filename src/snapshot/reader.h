@@ -8,6 +8,7 @@
 
 #include "graph/prob_graph.h"
 #include "index/cascade_index.h"
+#include "infmax/sketch_oracle.h"
 #include "snapshot/format.h"
 #include "util/flat_sets.h"
 #include "util/status.h"
@@ -48,6 +49,10 @@ struct SnapshotInfo {
   bool has_labels = false;
   /// Closure / typical payloads are delta-varint packed.
   bool packed = false;
+  /// Bottom-k sketch tier sections present (minor-2, kinds 27-29).
+  bool has_sketches = false;
+  /// Sketch size k when has_sketches (relative error ~ 1/sqrt(k-2)).
+  uint32_t sketch_k = 0;
   /// Tier census (sums to num_worlds).
   uint32_t worlds_materialized = 0;
   uint32_t worlds_labeled = 0;
@@ -95,6 +100,11 @@ class Snapshot {
 
   /// The typical-cascade table, if present (info().has_typical).
   FlatSets MakeTypical() const;
+
+  /// The sketch tier as borrowed spans into the mapping, if present
+  /// (info().has_sketches). Feed to SketchSpreadOracle::FromParts with the
+  /// index from MakeIndex(); the parts stay valid while the Snapshot lives.
+  SketchParts MakeSketchParts() const;
 
  private:
   Snapshot() = default;

@@ -5,6 +5,7 @@
 #include <fstream>
 #include <vector>
 
+#include "infmax/sketch_oracle.h"
 #include "snapshot/crc32c.h"
 #include "snapshot/format.h"
 #include "util/packed_runs.h"
@@ -54,6 +55,13 @@ Result<std::string> SerializeSnapshot(const ProbGraph& graph,
         std::to_string(n) + " (one per node)");
   }
   const bool with_typical = options.typical != nullptr;
+  const bool with_sketches = options.sketches != nullptr;
+  if (with_sketches && options.sketches->num_nodes() != n) {
+    return Status::InvalidArgument(
+        "snapshot: sketches cover " +
+        std::to_string(options.sketches->num_nodes()) +
+        " nodes but graph has " + std::to_string(n));
+  }
 
   // Tier census. Uniform all-materialized / all-traversal indexes can use
   // the v1.0 layout (no tier table); anything else — mixed tiers, labels,
@@ -169,6 +177,22 @@ Result<std::string> SerializeSnapshot(const ProbGraph& graph,
     typical = &typical_reencoded;
   }
 
+  // Sketch tier (minor-2 sections). The offsets pool tiles exactly like
+  // kMembersOffsets (nc + 1 entries per world), so the per-world bases are
+  // the WorldRecord offsets_base already written above — a mismatch means
+  // the sketches were built over a different index.
+  uint64_t sketch_meta[2] = {0, 0};
+  if (with_sketches) {
+    if (options.sketches->offsets_view().size() !=
+        members_offsets_pool.size()) {
+      return Status::InvalidArgument(
+          "snapshot: sketch offsets do not tile the index's worlds (built "
+          "over a different index?)");
+    }
+    sketch_meta[0] = options.sketches->sketch_k();
+    sketch_meta[1] = options.sketches->salt();
+  }
+
   const auto g_off = graph.offsets();
   const auto g_tgt = graph.targets();
   const auto g_prb = graph.probs();
@@ -261,6 +285,16 @@ Result<std::string> SerializeSnapshot(const ProbGraph& graph,
                                t_el.size()));
     }
   }
+  if (with_sketches) {
+    const auto s_off = options.sketches->offsets_view();
+    const auto s_ent = options.sketches->entries_view();
+    sections.push_back(Stage(SectionKind::kSketchMeta, sketch_meta,
+                             uint64_t{2}));
+    sections.push_back(Stage(SectionKind::kSketchOffsets, s_off.data(),
+                             s_off.size()));
+    sections.push_back(Stage(SectionKind::kSketchEntries, s_ent.data(),
+                             s_ent.size()));
+  }
 
   // Layout: header, section table, then 64-byte-aligned payloads.
   const uint32_t count = static_cast<uint32_t>(sections.size());
@@ -298,6 +332,7 @@ Result<std::string> SerializeSnapshot(const ProbGraph& graph,
                  (with_labels ? uint64_t{kSnapFlagLabels} : 0) |
                  (with_typical ? uint64_t{kSnapFlagTypical} : 0) |
                  (pack_typical ? uint64_t{kSnapFlagPackedTypical} : 0) |
+                 (with_sketches ? uint64_t{kSnapFlagSketches} : 0) |
                  (options.model == PropagationModel::kLinearThreshold
                       ? uint64_t{kSnapFlagLinearThreshold}
                       : 0);

@@ -10,6 +10,8 @@
 
 namespace soi {
 
+class SketchSpreadOracle;
+
 /// What goes into a snapshot beyond the mandatory graph + condensations.
 struct SnapshotWriteOptions {
   /// Recorded as a capability flag (spread semantics depend on the model;
@@ -28,6 +30,11 @@ struct SnapshotWriteOptions {
   /// v1.0 raw layout when the index tiering allows it (all worlds
   /// materialized, or none retained).
   bool pack = true;
+  /// Bottom-k sketch tier built over the same index (infmax/sketch_oracle.h)
+  /// — persisted as the minor-2 sketch sections so `serve --snapshot` can
+  /// route approximate queries without rebuilding sketches. Null omits the
+  /// sections. Must have been built over the index being serialized.
+  const SketchSpreadOracle* sketches = nullptr;
 };
 
 /// Serializes the full serving state into one `soi-snap-v1` container (see

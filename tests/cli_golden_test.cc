@@ -20,6 +20,10 @@
 //       --eval-worlds 100 --seed 1 --threads 1 > infmax_tc.stdout.golden
 //   soi_cli serve   --graph graph.txt --worlds 64 --seed 1 --threads 1 \
 //       --stdin < serve.requests.jsonl > serve.stdout.golden
+//   soi_cli serve   --graph graph.txt --worlds 64 --seed 1 --threads 1 \
+//       --sketch-k 16 --stdin < serve_v2.requests.jsonl \
+//       | sed -E 's/"elapsed_us":[0-9]+/"elapsed_us":0/' \
+//       > serve_v2.stdout.golden
 
 #include <cstdio>
 #include <fstream>
@@ -181,6 +185,30 @@ TEST(CliGoldenTest, ServeStdinMatchesGoldenAcrossThreads) {
     ASSERT_EQ(run.exit_code, 0);
     EXPECT_EQ(run.stdout_text, golden)
         << "serve diverged at --threads " << threads;
+  }
+}
+
+// The one nondeterministic token in v2 responses is the wall-clock field.
+std::string NormalizeElapsed(const std::string& text) {
+  static const std::regex kElapsed(R"("elapsed_us":[0-9]+)");
+  return std::regex_replace(text, kElapsed, "\"elapsed_us\":0");
+}
+
+TEST(CliGoldenTest, ServeV2StdinMatchesGoldenAcrossThreads) {
+  // The fixture mixes v1 and v2 lines, every accuracy knob, and the v2
+  // structured-error shapes; the sketch tier is deterministic (salt is a
+  // pure function of --seed), so the whole reply stream is golden-stable
+  // once elapsed_us is normalized.
+  const std::string golden =
+      ReadFileOrDie(GoldenPath("serve_v2.stdout.golden"));
+  for (const char* threads : {"1", "8"}) {
+    const CliRun run = RunCli("serve " + GraphFlags() +
+                              " --sketch-k 16 --stdin --threads " + threads +
+                              " < '" + GoldenPath("serve_v2.requests.jsonl") +
+                              "'");
+    ASSERT_EQ(run.exit_code, 0);
+    EXPECT_EQ(NormalizeElapsed(run.stdout_text), golden)
+        << "serve v2 diverged at --threads " << threads;
   }
 }
 

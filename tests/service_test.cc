@@ -138,8 +138,8 @@ TEST(EngineTest, EngineReuseAcrossRequestTypes) {
   const Result<Response> again = engine.Run(select_tc);
   ASSERT_TRUE(once.ok());
   ASSERT_TRUE(again.ok());
-  const auto& first = std::get<SeedSelectResponse>(*once);
-  const auto& second = std::get<SeedSelectResponse>(*again);
+  const auto& first = std::get<SeedSelectResponse>(once->payload);
+  const auto& second = std::get<SeedSelectResponse>(again->payload);
   EXPECT_EQ(first.seeds, second.seeds);
   EXPECT_EQ(first.objective, second.objective);
 }
@@ -154,9 +154,10 @@ TEST(EngineTest, SpreadMatchesCascadeSizeAverage) {
   for (uint32_t i = 0; i < engine.index().num_worlds(); ++i) {
     const Result<Response> one = engine.Run(MakeCascade({4}, i));
     ASSERT_TRUE(one.ok());
-    total += static_cast<double>(std::get<CascadeResponse>(*one).cascade.size());
+    total +=
+        static_cast<double>(std::get<CascadeResponse>(one->payload).cascade.size());
   }
-  EXPECT_DOUBLE_EQ(std::get<SpreadResponse>(*result).spread,
+  EXPECT_DOUBLE_EQ(std::get<SpreadResponse>(result->payload).spread,
                    total / engine.index().num_worlds());
 }
 
@@ -213,6 +214,204 @@ TEST(EngineTest, DefaultTimeoutAppliesWhenRequestHasNone) {
   const Result<Response> expired = engine.Run(MakeCascade({0}, 0));
   ASSERT_FALSE(expired.ok());
   EXPECT_EQ(expired.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+// ---------------------------------------------------------------------------
+// Accuracy routing: the sketch tier, auto degradation, and the max_error
+// gate. A single in-flight request sees in_flight == 1 at route time, so
+// sketch_pressure_in_flight = 1 forces the pressure path deterministically.
+// ---------------------------------------------------------------------------
+
+Request MakeSpread(std::vector<NodeId> seeds,
+                   Accuracy accuracy = Accuracy::kExact) {
+  Request r;
+  r.payload = SpreadRequest{std::move(seeds)};
+  r.accuracy = accuracy;
+  return r;
+}
+
+TEST(AccuracyRoutingTest, CreateRejectsUndersizedSketchK) {
+  EngineOptions options;
+  options.sketch_k = 2;
+  const auto engine = Engine::Create(PaperExampleGraph(), options);
+  ASSERT_FALSE(engine.ok());
+  EXPECT_EQ(engine.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(AccuracyRoutingTest, ExplicitSketchWithoutTierIsFailedPrecondition) {
+  Engine engine = MakeEngine(PaperExampleGraph());  // sketch_k = 0
+  const Result<Response> result = engine.Run(MakeSpread({4}, Accuracy::kSketch));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(result.status().ToString().find("sketch"), std::string::npos);
+}
+
+TEST(AccuracyRoutingTest, ExplicitSketchOnNonCapableOpIsFailedPrecondition) {
+  EngineOptions options;
+  options.sketch_k = 16;
+  Engine engine = MakeEngine(PaperExampleGraph(), options);
+  Request cascade = MakeCascade({0}, 0);
+  cascade.accuracy = Accuracy::kSketch;
+  const Result<Response> result = engine.Run(cascade);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(result.status().ToString().find("no sketch path"),
+            std::string::npos);
+}
+
+TEST(AccuracyRoutingTest, SketchResponsesCarryTierAndErrorBound) {
+  EngineOptions options;
+  options.sketch_k = 16;
+  Engine engine = MakeEngine(PaperExampleGraph(), options);
+
+  const Result<Response> exact = engine.Run(MakeSpread({4}));
+  ASSERT_TRUE(exact.ok()) << exact.status().ToString();
+  EXPECT_STREQ(exact->meta.tier, "exact");
+  EXPECT_DOUBLE_EQ(exact->meta.est_error, 0.0);
+
+  const Result<Response> sketch =
+      engine.Run(MakeSpread({4}, Accuracy::kSketch));
+  ASSERT_TRUE(sketch.ok()) << sketch.status().ToString();
+  EXPECT_STREQ(sketch->meta.tier, "sketch");
+  EXPECT_DOUBLE_EQ(sketch->meta.est_error,
+                   SketchSpreadOracle::RelativeErrorBound(16));
+  EXPECT_GT(std::get<SpreadResponse>(sketch->payload).spread, 0.0);
+
+  Request select;
+  select.payload = SeedSelectRequest{2, "tc"};
+  select.accuracy = Accuracy::kSketch;
+  const Result<Response> selected = engine.Run(select);
+  ASSERT_TRUE(selected.ok()) << selected.status().ToString();
+  EXPECT_STREQ(selected->meta.tier, "sketch");
+  EXPECT_EQ(std::get<SeedSelectResponse>(selected->payload).seeds.size(), 2u);
+}
+
+TEST(AccuracyRoutingTest, AutoStaysExactWithHeadroom) {
+  EngineOptions options;
+  options.sketch_k = 16;  // pressure threshold defaults to max_in_flight = 4
+  Engine engine = MakeEngine(PaperExampleGraph(), options);
+  const Result<Response> result = engine.Run(MakeSpread({4}, Accuracy::kAuto));
+  ASSERT_TRUE(result.ok());
+  EXPECT_STREQ(result->meta.tier, "exact");
+}
+
+TEST(AccuracyRoutingTest, AutoDegradesUnderAdmissionPressure) {
+  EngineOptions options;
+  options.sketch_k = 16;
+  options.sketch_pressure_in_flight = 1;  // a single request is "pressure"
+  Engine engine = MakeEngine(PaperExampleGraph(), options);
+  const Result<Response> degraded =
+      engine.Run(MakeSpread({4}, Accuracy::kAuto));
+  ASSERT_TRUE(degraded.ok());
+  EXPECT_STREQ(degraded->meta.tier, "sketch");
+  EXPECT_GT(degraded->meta.est_error, 0.0);
+  // Exact requests ignore pressure entirely.
+  const Result<Response> exact = engine.Run(MakeSpread({4}));
+  ASSERT_TRUE(exact.ok());
+  EXPECT_STREQ(exact->meta.tier, "exact");
+}
+
+TEST(AccuracyRoutingTest, AutoDegradesInsteadOfSheddingOnDeadline) {
+  EngineOptions options;
+  options.clock_ns = &FakeClock;
+  options.sketch_k = 16;
+  Engine engine = MakeEngine(PaperExampleGraph(), options);
+
+  // Exact contract unchanged: an expired exact request is shed.
+  g_fake_now_ns.store(0);
+  Request exact = MakeSpread({4});
+  exact.timeout_ms = 5;  // pickup is a simulated 10ms after admission
+  const Result<Response> shed = engine.Run(exact);
+  ASSERT_FALSE(shed.ok());
+  EXPECT_EQ(shed.status().code(), StatusCode::kDeadlineExceeded);
+
+  // The same expired request under auto is answered from the sketch tier.
+  g_fake_now_ns.store(0);
+  Request auto_request = MakeSpread({4}, Accuracy::kAuto);
+  auto_request.timeout_ms = 5;
+  const Result<Response> degraded = engine.Run(auto_request);
+  ASSERT_TRUE(degraded.ok()) << degraded.status().ToString();
+  EXPECT_STREQ(degraded->meta.tier, "sketch");
+}
+
+TEST(AccuracyRoutingTest, MaxErrorGateKeepsAutoExact) {
+  EngineOptions options;
+  options.sketch_k = 3;  // error bound 1/sqrt(1) = 1.0
+  options.sketch_pressure_in_flight = 1;  // always under pressure
+  Engine engine = MakeEngine(PaperExampleGraph(), options);
+
+  // Demanding better accuracy than the tier can promise pins the request to
+  // the exact tier even under pressure.
+  Request strict = MakeSpread({4}, Accuracy::kAuto);
+  strict.max_error = 0.5;
+  const Result<Response> exact = engine.Run(strict);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_STREQ(exact->meta.tier, "exact");
+
+  // max_error = 0 (any error acceptable) degrades as usual.
+  const Result<Response> degraded =
+      engine.Run(MakeSpread({4}, Accuracy::kAuto));
+  ASSERT_TRUE(degraded.ok());
+  EXPECT_STREQ(degraded->meta.tier, "sketch");
+}
+
+TEST(AccuracyRoutingTest, SaturatedAutoBatchDegradesWithZeroShed) {
+  // Saturating replay: a large all-auto batch under a 1-deep pressure
+  // threshold must answer every request (zero shed), all from the sketch
+  // tier, and identically at every thread count.
+  EngineOptions options;
+  options.sketch_k = 16;
+  options.sketch_pressure_in_flight = 1;
+  const ProbGraph graph = RandomGraph(100, 400, 3);
+  std::vector<Request> requests;
+  for (uint32_t i = 0; i < 200; ++i) {
+    requests.push_back(MakeSpread({i % 100}, Accuracy::kAuto));
+  }
+  std::vector<std::string> reference;
+  for (const uint32_t threads : {1u, 8u}) {
+    SetGlobalThreads(threads);
+    Engine engine = MakeEngine(ProbGraph(graph), options);
+    const auto batch = engine.RunBatch(requests);
+    ASSERT_TRUE(batch.ok());
+    std::vector<std::string> lines;
+    for (size_t i = 0; i < batch->size(); ++i) {
+      const Result<Response>& r = (*batch)[i];
+      ASSERT_TRUE(r.ok()) << "request " << i << " shed: "
+                          << r.status().ToString();
+      EXPECT_STREQ(r->meta.tier, "sketch");
+      lines.push_back(FormatResponseLine(static_cast<int64_t>(i), r));
+    }
+    if (reference.empty()) {
+      reference = std::move(lines);
+    } else {
+      EXPECT_EQ(reference, lines) << "threads " << threads;
+    }
+  }
+  SetGlobalThreads(0);
+}
+
+TEST(AccuracyRoutingTest, UpdateBatchInvalidatesSketches) {
+  EngineOptions options;
+  options.sketch_k = 16;
+  options.index.num_worlds = 8;
+  auto engine = Engine::CreateDynamic(RandomGraph(30, 120, 9), options);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  const Result<Response> before =
+      engine->Run(MakeSpread({3}, Accuracy::kSketch));
+  ASSERT_TRUE(before.ok());
+
+  Request update;
+  update.payload =
+      UpdateRequest{{GraphUpdate{UpdateKind::kEdgeInsert, 3, 27, 0.9}}};
+  ASSERT_TRUE(engine->Run(update).ok());
+
+  // Post-update sketches are rebuilt over the patched index; the new edge
+  // can only grow node 3's estimate.
+  const Result<Response> after =
+      engine->Run(MakeSpread({3}, Accuracy::kSketch));
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_GE(std::get<SpreadResponse>(after->payload).spread,
+            std::get<SpreadResponse>(before->payload).spread - 1e-9);
 }
 
 // The acceptance bar for the batching layer: a 1000-request mixed batch is
@@ -389,6 +588,105 @@ TEST(ProtocolTest, WireStatusStringsAreSnakeCase) {
 }
 
 // ---------------------------------------------------------------------------
+// Protocol v2: the versioned envelope, accuracy fields, and structured
+// error codes.
+// ---------------------------------------------------------------------------
+
+TEST(ProtocolV2Test, VersionFieldParseMatrix) {
+  // No "v" and "v":1 are both v1.
+  const auto implicit = ParseRequestLine(R"({"op":"spread","seeds":[1]})");
+  ASSERT_TRUE(implicit.ok());
+  EXPECT_EQ(implicit->version, 1);
+  const auto explicit_v1 =
+      ParseRequestLine(R"({"v":1,"op":"spread","seeds":[1]})");
+  ASSERT_TRUE(explicit_v1.ok());
+  EXPECT_EQ(explicit_v1->version, 1);
+
+  const auto v2 = ParseRequestLine(R"({"v":2,"op":"spread","seeds":[1]})");
+  ASSERT_TRUE(v2.ok());
+  EXPECT_EQ(v2->version, 2);
+  EXPECT_EQ(v2->request.accuracy, Accuracy::kExact);  // default
+
+  // Unknown versions and wrong types are named errors, not silent v1.
+  const auto v3 = ParseRequestLine(R"({"v":3,"op":"spread","seeds":[1]})");
+  ASSERT_FALSE(v3.ok());
+  EXPECT_NE(v3.status().message().find("unsupported protocol version"),
+            std::string::npos);
+  EXPECT_FALSE(
+      ParseRequestLine(R"({"v":"2","op":"spread","seeds":[1]})").ok());
+  EXPECT_FALSE(
+      ParseRequestLine(R"({"v":1.5,"op":"spread","seeds":[1]})").ok());
+}
+
+TEST(ProtocolV2Test, AccuracyFieldParseMatrix) {
+  const auto sketch = ParseRequestLine(
+      R"({"v":2,"op":"spread","seeds":[1],"accuracy":"sketch"})");
+  ASSERT_TRUE(sketch.ok());
+  EXPECT_EQ(sketch->request.accuracy, Accuracy::kSketch);
+
+  const auto with_bound = ParseRequestLine(
+      R"({"v":2,"op":"seed_select","k":3,"accuracy":"auto","max_error":0.25})");
+  ASSERT_TRUE(with_bound.ok());
+  EXPECT_EQ(with_bound->request.accuracy, Accuracy::kAuto);
+  EXPECT_DOUBLE_EQ(with_bound->request.max_error, 0.25);
+
+  const auto exact = ParseRequestLine(
+      R"({"v":2,"op":"spread","seeds":[1],"accuracy":"exact"})");
+  ASSERT_TRUE(exact.ok());
+  EXPECT_EQ(exact->request.accuracy, Accuracy::kExact);
+
+  // Unknown accuracy and malformed max_error are named errors.
+  const auto bogus = ParseRequestLine(
+      R"({"v":2,"op":"spread","seeds":[1],"accuracy":"fast"})");
+  ASSERT_FALSE(bogus.ok());
+  EXPECT_NE(bogus.status().message().find("accuracy"), std::string::npos);
+  EXPECT_FALSE(ParseRequestLine(
+      R"({"v":2,"op":"spread","seeds":[1],"max_error":-0.5})").ok());
+  EXPECT_FALSE(ParseRequestLine(
+      R"({"v":2,"op":"spread","seeds":[1],"max_error":"low"})").ok());
+  EXPECT_FALSE(ParseRequestLine(
+      R"({"v":2,"op":"spread","seeds":[1],"accuracy":7})").ok());
+}
+
+TEST(ProtocolV2Test, AccuracyOnV1LineIsAnErrorNamingTheFix) {
+  const auto v1_accuracy = ParseRequestLine(
+      R"({"op":"spread","seeds":[1],"accuracy":"sketch"})");
+  ASSERT_FALSE(v1_accuracy.ok());
+  EXPECT_NE(v1_accuracy.status().message().find("add \"v\":2"),
+            std::string::npos);
+  EXPECT_FALSE(ParseRequestLine(
+      R"({"v":1,"op":"spread","seeds":[1],"max_error":0.1})").ok());
+}
+
+TEST(ProtocolV2Test, V2SuccessLinesCarryResponseMetadata) {
+  Response response{SpreadResponse{12.25}};
+  response.meta.tier = "sketch";
+  response.meta.est_error = 0.25;
+  response.meta.elapsed_us = 42;
+  EXPECT_EQ(FormatResponseLine(7, 2, Result<Response>(response)),
+            "{\"id\":7,\"status\":\"ok\",\"op\":\"spread\",\"spread\":12.25,"
+            "\"tier\":\"sketch\",\"est_error\":0.25,\"elapsed_us\":42}\n");
+  // The 3-arg overload at version 1 is byte-identical to the v1 formatter.
+  EXPECT_EQ(FormatResponseLine(7, 1, Result<Response>(response)),
+            FormatResponseLine(7, Result<Response>(response)));
+}
+
+TEST(ProtocolV2Test, V2ErrorLinesAreStructured) {
+  const std::string line = FormatResponseLine(
+      9, 2, Result<Response>(Status::DeadlineExceeded("too slow")));
+  EXPECT_EQ(line,
+            "{\"id\":9,\"status\":\"error\",\"code\":\"DEADLINE_EXCEEDED\","
+            "\"message\":\"too slow\"}\n");
+  EXPECT_STREQ(StatusCodeToErrorCode(StatusCode::kInvalidArgument),
+               "INVALID_ARGUMENT");
+  EXPECT_STREQ(StatusCodeToErrorCode(StatusCode::kFailedPrecondition),
+               "FAILED_PRECONDITION");
+  EXPECT_STREQ(StatusCodeToErrorCode(StatusCode::kResourceExhausted),
+               "RESOURCE_EXHAUSTED");
+  EXPECT_STREQ(StatusCodeToErrorCode(StatusCode::kOk), "OK");
+}
+
+// ---------------------------------------------------------------------------
 // Serve loops.
 // ---------------------------------------------------------------------------
 
@@ -492,6 +790,54 @@ TEST(ServeStreamTest, ManyRequestsBatchAndStayOrdered) {
     EXPECT_EQ(lines[i].rfind("{\"id\":" + std::to_string(i) + ",", 0), 0u)
         << lines[i];
   }
+}
+
+TEST(ProtocolV2Test, MixedVersionStreamAnswersEachLineInItsOwnShape) {
+  EngineOptions options;
+  options.sketch_k = 16;
+  Engine engine = MakeEngine(PaperExampleGraph(), options);
+  const std::string input =
+      "{\"op\":\"spread\",\"seeds\":[4],\"id\":1}\n"
+      "{\"v\":2,\"op\":\"spread\",\"seeds\":[4],\"id\":2}\n"
+      "{\"v\":2,\"op\":\"spread\",\"seeds\":[4],\"accuracy\":\"sketch\","
+      "\"id\":3}\n"
+      "{\"v\":2,\"op\":\"cascade\",\"seeds\":[4],\"world\":0,"
+      "\"accuracy\":\"sketch\",\"id\":4}\n";
+  const std::vector<std::string> lines = SplitLines(ServeOnce(&engine, input));
+  ASSERT_EQ(lines.size(), 4u);
+  // v1 line: v1 shape, no metadata.
+  EXPECT_EQ(lines[0].find("tier"), std::string::npos);
+  EXPECT_EQ(lines[0].rfind("{\"id\":1,\"status\":\"ok\",\"op\":\"spread\"", 0),
+            0u);
+  // v2 exact: metadata names the exact tier.
+  EXPECT_NE(lines[1].find("\"tier\":\"exact\",\"est_error\":0,"),
+            std::string::npos);
+  // v2 sketch: sketch tier with its error bound 1/sqrt(16-2).
+  EXPECT_NE(lines[2].find("\"tier\":\"sketch\""), std::string::npos);
+  EXPECT_NE(lines[2].find("\"est_error\":0.2672612419"), std::string::npos);
+  // v2 structured error for the op with no sketch path.
+  EXPECT_EQ(lines[3].rfind("{\"id\":4,\"status\":\"error\","
+                           "\"code\":\"FAILED_PRECONDITION\"",
+                           0),
+            0u);
+}
+
+TEST(ProtocolV2Test, MalformedV2LineSalvagesTheV2ErrorShape) {
+  Engine engine = MakeEngine(PaperExampleGraph());
+  const std::string input =
+      "{\"v\":2,\"op\":\"spread\",\"seeds\":[oops],\"id\":5}\n"
+      "{\"v\": 2, \"id\": 6, \"op\":\"nope\"}\n"
+      "{\"op\":\"nope\",\"id\":7}\n";
+  const std::vector<std::string> lines = SplitLines(ServeOnce(&engine, input));
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0].rfind("{\"id\":5,\"status\":\"error\","
+                           "\"code\":\"INVALID_ARGUMENT\"",
+                           0),
+            0u);
+  EXPECT_EQ(lines[1].rfind("{\"id\":6,\"status\":\"error\"", 0), 0u);
+  // A v1 malformed line keeps the v1 error shape.
+  EXPECT_EQ(lines[2].rfind("{\"id\":7,\"status\":\"invalid_argument\"", 0),
+            0u);
 }
 
 // ---------------------------------------------------------------------------

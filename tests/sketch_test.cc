@@ -1,4 +1,6 @@
+#include <algorithm>
 #include <cmath>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -7,7 +9,9 @@
 #include "graph/prob_assign.h"
 #include "index/cascade_index.h"
 #include "infmax/sketch_oracle.h"
+#include "infmax/spread_estimator.h"
 #include "infmax/spread_oracle.h"
+#include "reliability/reliability.h"
 #include "util/rng.h"
 
 namespace soi {
@@ -137,6 +141,188 @@ TEST(SketchOracleTest, SketchesBoundedByK) {
     total_comps += index.world(i).num_components();
   }
   EXPECT_LE(oracle->total_sketch_entries(), total_comps * options.k);
+}
+
+TEST(SketchOracleTest, SmallKRejectedWithErrorBoundExplanation) {
+  const ProbGraph g = RandomTestGraph(20, 60, 1);
+  const CascadeIndex index = BuildIndex(g, 4, 2);
+  for (uint32_t k : {1u, 2u}) {
+    const auto built = SketchSpreadOracle::BuildDeterministic(index, k, 7);
+    ASSERT_FALSE(built.ok()) << "k=" << k;
+    EXPECT_EQ(built.status().code(), StatusCode::kInvalidArgument);
+    // The message must name the undefined 1/sqrt(k-2) bound, not just "bad k".
+    EXPECT_NE(built.status().ToString().find("1/sqrt(k-2)"), std::string::npos)
+        << built.status().ToString();
+  }
+  EXPECT_TRUE(SketchSpreadOracle::BuildDeterministic(index, 3, 7).ok());
+}
+
+TEST(SketchOracleTest, RelativeErrorBoundFormula) {
+  EXPECT_DOUBLE_EQ(SketchSpreadOracle::RelativeErrorBound(3), 1.0);
+  EXPECT_DOUBLE_EQ(SketchSpreadOracle::RelativeErrorBound(6),
+                   1.0 / std::sqrt(4.0));
+  EXPECT_DOUBLE_EQ(SketchSpreadOracle::RelativeErrorBound(66),
+                   1.0 / std::sqrt(64.0));
+  // Degenerate k (never buildable) clamps to 1 instead of dividing by <= 0.
+  EXPECT_DOUBLE_EQ(SketchSpreadOracle::RelativeErrorBound(2), 1.0);
+}
+
+TEST(SketchOracleTest, BuildDeterministicIsAPureFunctionOfSeed) {
+  const ProbGraph g = RandomTestGraph(60, 240, 19);
+  const CascadeIndex index = BuildIndex(g, 8, 20);
+  const auto a = SketchSpreadOracle::BuildDeterministic(index, 16, 42);
+  const auto b = SketchSpreadOracle::BuildDeterministic(index, 16, 42);
+  const auto c = SketchSpreadOracle::BuildDeterministic(index, 16, 43);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(a->salt(), b->salt());
+  ASSERT_EQ(a->entries_view().size(), b->entries_view().size());
+  EXPECT_TRUE(std::equal(a->entries_view().begin(), a->entries_view().end(),
+                         b->entries_view().begin()));
+  EXPECT_TRUE(std::equal(a->offsets_view().begin(), a->offsets_view().end(),
+                         b->offsets_view().begin()));
+  EXPECT_NE(a->salt(), c->salt());  // different seed, different ranks
+}
+
+TEST(SketchOracleTest, FromPartsRoundTripsEveryEstimate) {
+  const ProbGraph g = RandomTestGraph(80, 320, 21);
+  const CascadeIndex index = BuildIndex(g, 8, 22);
+  const auto built = SketchSpreadOracle::BuildDeterministic(index, 16, 5);
+  ASSERT_TRUE(built.ok());
+  SketchParts parts;
+  parts.k = built->sketch_k();
+  parts.salt = built->salt();
+  parts.offsets = built->offsets_view();
+  parts.entries = built->entries_view();
+  const auto adopted = SketchSpreadOracle::FromParts(&index, parts);
+  ASSERT_TRUE(adopted.ok()) << adopted.status().ToString();
+  for (NodeId v = 0; v < g.num_nodes(); v += 3) {
+    EXPECT_DOUBLE_EQ(built->EstimateSpread(v), adopted->EstimateSpread(v));
+  }
+  const auto sel_a = built->SelectSeeds(4);
+  const auto sel_b = adopted->SelectSeeds(4);
+  ASSERT_TRUE(sel_a.ok());
+  ASSERT_TRUE(sel_b.ok());
+  EXPECT_EQ(sel_a->seeds, sel_b->seeds);
+}
+
+TEST(SketchOracleTest, FromPartsRejectsCorruptTables) {
+  const ProbGraph g = RandomTestGraph(40, 160, 23);
+  const CascadeIndex index = BuildIndex(g, 4, 24);
+  const auto built = SketchSpreadOracle::BuildDeterministic(index, 8, 5);
+  ASSERT_TRUE(built.ok());
+  SketchParts good;
+  good.k = built->sketch_k();
+  good.salt = built->salt();
+  good.offsets = built->offsets_view();
+  good.entries = built->entries_view();
+
+  SketchParts bad_k = good;
+  bad_k.k = 2;
+  EXPECT_FALSE(SketchSpreadOracle::FromParts(&index, bad_k).ok());
+
+  // Offsets table sized for a different index (drop one world's table).
+  SketchParts short_offsets = good;
+  short_offsets.offsets = good.offsets.subspan(0, good.offsets.size() - 1);
+  EXPECT_FALSE(SketchSpreadOracle::FromParts(&index, short_offsets).ok());
+
+  // Final offset no longer covering the entries pool.
+  std::vector<uint64_t> truncated(good.entries.begin(),
+                                  good.entries.end() - 1);
+  SketchParts short_entries = good;
+  short_entries.entries = truncated;
+  EXPECT_FALSE(SketchSpreadOracle::FromParts(&index, short_entries).ok());
+
+  // Non-monotone offsets.
+  std::vector<uint64_t> swapped(good.offsets.begin(), good.offsets.end());
+  if (swapped.size() >= 3) {
+    std::swap(swapped[1], swapped[2]);
+    swapped[1] = swapped[2] + good.k + 1;  // also violates run <= k
+    SketchParts bad_offsets = good;
+    bad_offsets.offsets = swapped;
+    EXPECT_FALSE(SketchSpreadOracle::FromParts(&index, bad_offsets).ok());
+  }
+}
+
+TEST(SketchOracleTest, SelectSeedsIsDeterministicAndSane) {
+  const ProbGraph g = RandomTestGraph(120, 500, 25);
+  const CascadeIndex index = BuildIndex(g, 16, 26);
+  const auto oracle = SketchSpreadOracle::BuildDeterministic(index, 32, 5);
+  ASSERT_TRUE(oracle.ok());
+  EXPECT_FALSE(oracle->SelectSeeds(0).ok());
+  EXPECT_FALSE(oracle->SelectSeeds(g.num_nodes() + 1).ok());
+  const auto a = oracle->SelectSeeds(5);
+  const auto b = oracle->SelectSeeds(5);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->seeds, b->seeds);
+  ASSERT_EQ(a->seeds.size(), 5u);
+  ASSERT_EQ(a->steps.size(), 5u);
+  // No duplicate selections; objective is non-decreasing; the reported
+  // objective matches the oracle's own estimate of the selected set.
+  std::vector<NodeId> sorted = a->seeds;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  double prev = 0.0;
+  for (const auto& step : a->steps) {
+    EXPECT_GE(step.objective_after, prev - 1e-9);
+    prev = step.objective_after;
+  }
+  const auto direct = oracle->EstimateSpread(a->seeds);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_NEAR(a->steps.back().objective_after, *direct, 1e-6);
+}
+
+TEST(SketchOracleTest, SpreadEstimatorInterfaceAgreesAcrossTiers) {
+  const ProbGraph g = RandomTestGraph(50, 200, 27);
+  const CascadeIndex index = BuildIndex(g, 8, 28);
+  const auto sketch = SketchSpreadOracle::BuildDeterministic(index, 256, 5);
+  ASSERT_TRUE(sketch.ok());
+  const ExactSpreadEstimator exact(&index);
+  EXPECT_STREQ(exact.name(), "exact");
+  EXPECT_STREQ(sketch->name(), "sketch");
+  EXPECT_EQ(exact.tier(), EstimatorTier::kExact);
+  EXPECT_EQ(sketch->tier(), EstimatorTier::kSketch);
+  EXPECT_DOUBLE_EQ(exact.relative_error_bound(), 0.0);
+  EXPECT_STREQ(EstimatorTierName(sketch->tier()), "sketch");
+  const std::vector<NodeId> seeds = {3, 17};
+  const std::vector<const SpreadEstimator*> tiers = {&exact, &*sketch};
+  for (const SpreadEstimator* estimator : tiers) {
+    const auto est = estimator->EstimateSpread(seeds);
+    ASSERT_TRUE(est.ok()) << estimator->name();
+    // k=256 > n: sketches never truncate, so both tiers are exact here.
+    EXPECT_NEAR(*est, *exact.EstimateSpread(seeds), 1e-9) << estimator->name();
+    EXPECT_FALSE(estimator->EstimateSpread(std::vector<NodeId>{999}).ok());
+  }
+}
+
+TEST(SketchOracleTest, CalibrationMeasuredErrorWithinTwiceBound) {
+  // The acceptance calibration at test scale: mean relative error of the
+  // sketch estimate vs the exact closure value stays within 2x the a-priori
+  // 1/sqrt(k-2) bound (the bound is per-estimate; averaging over worlds
+  // tightens it, so 2x has comfortable slack against unlucky salts).
+  const ProbGraph g = RandomTestGraph(512, 2560, 29);
+  const CascadeIndex index = BuildIndex(g, 16, 30);
+  for (uint32_t k : {16u, 64u}) {
+    const auto oracle = SketchSpreadOracle::BuildDeterministic(index, k, 5);
+    ASSERT_TRUE(oracle.ok());
+    const double bound = SketchSpreadOracle::RelativeErrorBound(k);
+    double total_rel_err = 0.0;
+    int count = 0;
+    for (NodeId v = 0; v < g.num_nodes(); v += 11) {
+      const std::vector<NodeId> seeds = {v};
+      const auto truth = ExpectedReachableSize(index, seeds);
+      ASSERT_TRUE(truth.ok());
+      if (*truth < 5.0) continue;  // tiny sets are exact on both tiers
+      const auto est = oracle->EstimateSpread(seeds);
+      ASSERT_TRUE(est.ok());
+      total_rel_err += std::abs(*est - *truth) / *truth;
+      ++count;
+    }
+    ASSERT_GT(count, 10);
+    EXPECT_LT(total_rel_err / count, 2.0 * bound) << "k=" << k;
+  }
 }
 
 }  // namespace

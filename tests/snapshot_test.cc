@@ -6,6 +6,7 @@
 // with actionable errors instead of aborting. This suite runs in the ASan,
 // UBSan, and TSan CI jobs.
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -22,6 +23,7 @@
 #include "graph/prob_graph.h"
 #include "index/cascade_index.h"
 #include "index/index_io.h"
+#include "infmax/sketch_oracle.h"
 #include "runtime/parallel_for.h"
 #include "service/engine.h"
 #include "service/protocol.h"
@@ -775,6 +777,241 @@ TEST_F(SnapshotTieredCorruptionTest, MalformedPackedTypicalRunIsRejected) {
     bad[pool.offset + i] = static_cast<char>(0xFF);
   }
   ExpectOpenFails(bad, "typical table");
+}
+
+// ---------------------------------------------------------------------------
+// The v1.2 sketch sections (kinds 27-29): round trip, engine byte-equality
+// between lazily built and snapshot-adopted sketches, and corruption.
+// ---------------------------------------------------------------------------
+
+std::string SnapshotBytesWithSketches(const ProbGraph& graph,
+                                      const CascadeIndex& index,
+                                      const SketchSpreadOracle& sketches,
+                                      PropagationModel model =
+                                          PropagationModel::kIndependentCascade) {
+  SnapshotWriteOptions options;
+  options.model = model;
+  options.sketches = &sketches;
+  auto bytes = SerializeSnapshot(graph, index, options);
+  SOI_CHECK(bytes.ok());
+  return std::move(bytes).value();
+}
+
+TEST(SnapshotSketchTest, SketchSectionsRoundTripExactly) {
+  const ProbGraph graph = RandomGraph(60, 300, 31);
+  const CascadeIndex index =
+      BuildIndex(graph, PropagationModel::kIndependentCascade);
+  auto built = SketchSpreadOracle::BuildDeterministic(index, 16, 1);
+  ASSERT_TRUE(built.ok());
+  const std::string path = TempPath("sketches.soisnap");
+  WriteBytes(path, SnapshotBytesWithSketches(graph, index, *built));
+
+  auto snap = Snapshot::Open(path, SnapshotValidation::kFull);
+  ASSERT_TRUE(snap.ok()) << snap.status().ToString();
+  EXPECT_TRUE((*snap)->info().has_sketches);
+  EXPECT_EQ((*snap)->info().sketch_k, 16u);
+
+  const SketchParts parts = (*snap)->MakeSketchParts();
+  EXPECT_EQ(parts.k, built->sketch_k());
+  EXPECT_EQ(parts.salt, built->salt());
+  ASSERT_EQ(parts.offsets.size(), built->offsets_view().size());
+  ASSERT_EQ(parts.entries.size(), built->entries_view().size());
+  EXPECT_TRUE(std::equal(parts.entries.begin(), parts.entries.end(),
+                         built->entries_view().begin()));
+
+  auto borrowed_index = (*snap)->MakeIndex();
+  ASSERT_TRUE(borrowed_index.ok());
+  auto adopted = SketchSpreadOracle::FromParts(&*borrowed_index, parts);
+  ASSERT_TRUE(adopted.ok()) << adopted.status().ToString();
+  for (NodeId v = 0; v < graph.num_nodes(); v += 3) {
+    EXPECT_DOUBLE_EQ(adopted->EstimateSpread(v), built->EstimateSpread(v));
+  }
+}
+
+TEST(SnapshotSketchTest, SnapshotWithoutSketchesReportsNone) {
+  const ProbGraph graph = RandomGraph(30, 150, 32);
+  const CascadeIndex index =
+      BuildIndex(graph, PropagationModel::kIndependentCascade);
+  const std::string path = TempPath("no-sketches.soisnap");
+  WriteBytes(path, SnapshotBytes(graph, index));
+  auto snap = Snapshot::Open(path);
+  ASSERT_TRUE(snap.ok());
+  EXPECT_FALSE((*snap)->info().has_sketches);
+  EXPECT_EQ((*snap)->info().sketch_k, 0u);
+}
+
+TEST(SnapshotSketchTest, AdoptedEngineMatchesOwnedEngineAcrossThreads) {
+  // An engine that lazily builds sketches (sketch_k + seed) and one adopting
+  // them from a snapshot written with the same seed must answer
+  // accuracy:sketch requests byte-identically, for both models, at every
+  // thread count.
+  for (const PropagationModel model : {PropagationModel::kIndependentCascade,
+                                       PropagationModel::kLinearThreshold}) {
+    const ProbGraph graph = RandomGraph(90, 450, 7, model);
+    service::EngineOptions options;
+    options.index.num_worlds = 16;
+    options.index.model = model;
+    options.seed = 1;
+    options.sketch_k = 16;
+    auto owned = service::Engine::Create(graph, options);
+    ASSERT_TRUE(owned.ok()) << owned.status().ToString();
+
+    CascadeIndexOptions index_options = options.index;
+    Rng rng(options.seed);
+    auto index = CascadeIndex::Build(graph, index_options, &rng);
+    ASSERT_TRUE(index.ok());
+    auto sketches =
+        SketchSpreadOracle::BuildDeterministic(*index, 16, options.seed);
+    ASSERT_TRUE(sketches.ok());
+    const std::string path = TempPath("sketch-engine.soisnap");
+    WriteBytes(path, SnapshotBytesWithSketches(graph, *index, *sketches,
+                                               model));
+
+    auto snap = Snapshot::Open(path);
+    ASSERT_TRUE(snap.ok()) << snap.status().ToString();
+    service::EngineParts parts;
+    parts.graph = (*snap)->MakeGraph();
+    auto borrowed_index = (*snap)->MakeIndex();
+    ASSERT_TRUE(borrowed_index.ok());
+    parts.index = std::move(*borrowed_index);
+    parts.sketches = (*snap)->MakeSketchParts();
+    parts.storage = *snap;
+    // sketch_k = 0 here: FromParts adopts the parts' k.
+    service::EngineOptions mapped_options = options;
+    mapped_options.sketch_k = 0;
+    auto mapped = service::Engine::FromParts(std::move(parts), mapped_options);
+    ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+    EXPECT_EQ(mapped->options().sketch_k, 16u);
+
+    std::vector<service::Request> requests;
+    service::Request spread;
+    spread.payload = service::SpreadRequest{{3, 17}};
+    spread.accuracy = service::Accuracy::kSketch;
+    requests.push_back(spread);
+    service::Request select;
+    select.payload = service::SeedSelectRequest{4, "tc"};
+    select.accuracy = service::Accuracy::kSketch;
+    requests.push_back(select);
+    service::Request exact_spread;
+    exact_spread.payload = service::SpreadRequest{{3, 17}};
+    requests.push_back(exact_spread);
+
+    for (const uint32_t threads : {1u, 8u}) {
+      SetGlobalThreads(threads);
+      auto from_owned = owned->RunBatch(requests);
+      auto from_mapped = mapped->RunBatch(requests);
+      ASSERT_TRUE(from_owned.ok());
+      ASSERT_TRUE(from_mapped.ok());
+      for (size_t i = 0; i < requests.size(); ++i) {
+        // v1 format compares the payload bytes; tier/est_error are compared
+        // directly (elapsed_us legitimately differs between runs).
+        EXPECT_EQ(service::FormatResponseLine(static_cast<int64_t>(i),
+                                              (*from_owned)[i]),
+                  service::FormatResponseLine(static_cast<int64_t>(i),
+                                              (*from_mapped)[i]))
+            << "request " << i << " threads " << threads;
+        ASSERT_TRUE((*from_owned)[i].ok());
+        ASSERT_TRUE((*from_mapped)[i].ok());
+        EXPECT_STREQ((*from_owned)[i]->meta.tier, (*from_mapped)[i]->meta.tier);
+        EXPECT_DOUBLE_EQ((*from_owned)[i]->meta.est_error,
+                         (*from_mapped)[i]->meta.est_error);
+      }
+    }
+    SetGlobalThreads(0);
+  }
+}
+
+class SnapshotSketchCorruptionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    graph_ = RandomGraph(40, 200, 33);
+    index_ = BuildIndex(graph_, PropagationModel::kIndependentCascade);
+    auto sketches = SketchSpreadOracle::BuildDeterministic(index_, 8, 1);
+    SOI_CHECK(sketches.ok());
+    bytes_ = SnapshotBytesWithSketches(graph_, index_, *sketches);
+  }
+
+  void ExpectOpenFails(const std::string& bytes, const std::string& needle) {
+    const std::string path = TempPath("sketch-corrupt.soisnap");
+    WriteBytes(path, bytes);
+    auto snap = Snapshot::Open(path);
+    ASSERT_FALSE(snap.ok()) << "expected failure mentioning: " << needle;
+    EXPECT_EQ(snap.status().code(), StatusCode::kInvalidArgument)
+        << snap.status().ToString();
+    EXPECT_NE(snap.status().ToString().find(needle), std::string::npos)
+        << "message was: " << snap.status().ToString();
+  }
+
+  ProbGraph graph_;
+  CascadeIndex index_;
+  std::string bytes_;
+};
+
+TEST_F(SnapshotSketchCorruptionTest, PristineSketchBytesPassFullValidation) {
+  const std::string path = TempPath("sketch-pristine.soisnap");
+  WriteBytes(path, bytes_);
+  EXPECT_TRUE(Snapshot::Open(path, SnapshotValidation::kFull).ok());
+}
+
+TEST_F(SnapshotSketchCorruptionTest, UndersizedSketchKIsRejected) {
+  const SectionEntry meta = FindSection(bytes_, SectionKind::kSketchMeta);
+  std::string bad = bytes_;
+  const uint64_t two = 2;
+  std::memcpy(bad.data() + meta.offset, &two, sizeof(two));
+  ExpectOpenFails(bad, "sketch");
+}
+
+TEST_F(SnapshotSketchCorruptionTest, NonMonotoneSketchOffsetsAreRejected) {
+  const SectionEntry offsets =
+      FindSection(bytes_, SectionKind::kSketchOffsets);
+  SOI_CHECK(offsets.byte_size >= 2 * sizeof(uint64_t));
+  std::string bad = bytes_;
+  const uint64_t huge = ~uint64_t{0} / 2;
+  std::memcpy(bad.data() + offsets.offset + sizeof(uint64_t), &huge,
+              sizeof(huge));
+  ExpectOpenFails(bad, "sketch");
+}
+
+TEST_F(SnapshotSketchCorruptionTest, UnsortedSketchEntriesAreRejected) {
+  const SectionEntry offsets =
+      FindSection(bytes_, SectionKind::kSketchOffsets);
+  const SectionEntry entries =
+      FindSection(bytes_, SectionKind::kSketchEntries);
+  // Ranks are only ordered within a run, so find the first run holding at
+  // least two entries and zero its second rank; the rank before it is a
+  // salted hash and almost surely nonzero, breaking strict increase.
+  const uint64_t count = offsets.byte_size / sizeof(uint64_t);
+  const char* base = bytes_.data() + offsets.offset;
+  uint64_t target = ~uint64_t{0};
+  for (uint64_t i = 1; i < count; ++i) {
+    uint64_t lo = 0;
+    uint64_t hi = 0;
+    std::memcpy(&lo, base + (i - 1) * sizeof(uint64_t), sizeof(lo));
+    std::memcpy(&hi, base + i * sizeof(uint64_t), sizeof(hi));
+    if (hi - lo >= 2) {
+      target = lo + 1;
+      break;
+    }
+  }
+  ASSERT_NE(target, ~uint64_t{0}) << "no sketch run with >= 2 entries";
+  std::string bad = bytes_;
+  const uint64_t zero = 0;
+  std::memcpy(bad.data() + entries.offset + target * sizeof(uint64_t), &zero,
+              sizeof(zero));
+  ExpectOpenFails(bad, "sketch");
+}
+
+TEST(SnapshotWriterTest, SketchesOverDifferentIndexAreRejected) {
+  const ProbGraph graph = RandomGraph(30, 150, 34);
+  const CascadeIndex index =
+      BuildIndex(graph, PropagationModel::kIndependentCascade, /*worlds=*/16);
+  const CascadeIndex other =
+      BuildIndex(graph, PropagationModel::kIndependentCascade, /*worlds=*/8);
+  auto sketches = SketchSpreadOracle::BuildDeterministic(other, 8, 1);
+  ASSERT_TRUE(sketches.ok());
+  SnapshotWriteOptions options;
+  options.sketches = &*sketches;
+  EXPECT_FALSE(SerializeSnapshot(graph, index, options).ok());
 }
 
 TEST(SnapshotWriterTest, RejectsMismatchedInputsWithStatus) {

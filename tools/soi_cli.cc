@@ -16,6 +16,7 @@
 //   soi_cli serve       --graph g.txt [--worlds 256] [--seed 1]
 //                       (--stdin | --port N) [--max-batch 1024]
 //                       [--max-in-flight 4] [--timeout-ms 0]
+//                       [--sketch-k K] [--sketch-pressure-in-flight N]
 //                       [--dynamic [--drift-rebuild-threshold N]]
 //   soi_cli serve       --snapshot s.soisnap (--stdin | --port N)
 //                       [--graph g.txt]  (verifies snapshot freshness)
@@ -23,7 +24,8 @@
 //   soi_cli update      --graph g.txt --updates u.txt [--batch 1]
 //                       [--verify] [--worlds 256] [--model ic|lt] [--seed 1]
 //   soi_cli snapshot create --graph g.txt [--worlds 256] [--model ic|lt]
-//                       [--seed 1] [--no-typical] [--no-pack] --out s.soisnap
+//                       [--seed 1] [--no-typical] [--no-pack]
+//                       [--sketch-k K] --out s.soisnap
 //   soi_cli snapshot info   --in s.soisnap
 //   soi_cli snapshot verify --in s.soisnap
 //
@@ -92,6 +94,7 @@
 #include "infmax/greedy_std.h"
 #include "infmax/infmax_tc.h"
 #include "infmax/rrset.h"
+#include "infmax/sketch_oracle.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "reliability/reliability.h"
@@ -240,6 +243,13 @@ std::vector<CommandSpec> Commands() {
                     "concurrently admitted batches"},
                    {"timeout-ms", FlagType::kInt, "0",
                     "default per-request deadline (0 = none)"},
+                   {"sketch-k", FlagType::kInt, "0",
+                    "enable the bottom-k sketch tier with this k (>= 3; "
+                    "0 = exact-only; with --snapshot the file's embedded "
+                    "sketches are used and this must be 0 or match their k)"},
+                   {"sketch-pressure-in-flight", FlagType::kInt, "0",
+                    "accuracy:auto degrades to the sketch tier once this "
+                    "many batches are in flight (0 = max-in-flight)"},
                    {"batch-max", FlagType::kInt, "0",
                     "serve-loop flush threshold (0 = max-batch)"},
                    {"max-connections", FlagType::kInt, "0",
@@ -262,6 +272,10 @@ std::vector<CommandSpec> Commands() {
        "build index + typical table and write a soi-snap-v1 snapshot", "",
        WithShared({{"out", FlagType::kString, "",
                     "output snapshot path (required)"},
+                   {"sketch-k", FlagType::kInt, "0",
+                    "also build + embed bottom-k reachability sketches with "
+                    "this k (>= 3; 0 = none) so serve --snapshot gets the "
+                    "sketch tier without any build"},
                    {"no-typical", FlagType::kBool, "",
                     "skip the typical-cascade table (smaller file; "
                     "seed_select pays the sweep on first query)"},
@@ -772,6 +786,21 @@ int CmdSnapshotCreate(const FlagParser& flags) {
     sweep = std::move(computed);
     options.typical = &sweep.cascades;
   }
+  CLI_ASSIGN(sketch_k, flags.GetInt("sketch-k", 0));
+  if (sketch_k < 0 || (sketch_k > 0 && sketch_k < 3)) {
+    return Fail(Status::InvalidArgument(
+        "snapshot create: --sketch-k must be 0 (off) or >= 3"));
+  }
+  std::unique_ptr<SketchSpreadOracle> sketches;
+  if (sketch_k > 0) {
+    SOI_OBS_SPAN("cli/build_sketches");
+    CLI_ASSIGN(seed, flags.GetInt("seed", 1));
+    CLI_ASSIGN(built, SketchSpreadOracle::BuildDeterministic(
+                          index, static_cast<uint32_t>(sketch_k),
+                          static_cast<uint64_t>(seed)));
+    sketches = std::make_unique<SketchSpreadOracle>(std::move(built));
+    options.sketches = sketches.get();
+  }
   Status written = Status::OK();
   {
     SOI_OBS_SPAN("cli/write_snapshot");
@@ -781,14 +810,17 @@ int CmdSnapshotCreate(const FlagParser& flags) {
 
   CLI_ASSIGN(snap, Snapshot::Open(out));
   std::printf("wrote %s: %u nodes, %llu edges, %u worlds, %u sections, "
-              "%.1f MiB (closures %s, typical %s, packed %s)\n",
+              "%.1f MiB (closures %s, typical %s, packed %s, sketches %s)\n",
               out.c_str(), snap->info().num_nodes,
               static_cast<unsigned long long>(snap->info().num_edges),
               snap->info().num_worlds, snap->info().section_count,
               static_cast<double>(snap->info().file_size) / (1 << 20),
               snap->info().has_closures ? "yes" : "no",
               snap->info().has_typical ? "yes" : "no",
-              snap->info().packed ? "yes" : "no");
+              snap->info().packed ? "yes" : "no",
+              snap->info().has_sketches
+                  ? ("k=" + std::to_string(snap->info().sketch_k)).c_str()
+                  : "no");
   return 0;
 }
 
@@ -814,6 +846,12 @@ int CmdSnapshotInfo(const FlagParser& flags) {
   std::printf("  closures: %s\n", info.has_closures ? "yes" : "no");
   std::printf("  labels:   %s\n", info.has_labels ? "yes" : "no");
   std::printf("  typical:  %s\n", info.has_typical ? "yes" : "no");
+  if (info.has_sketches) {
+    std::printf("  sketches: yes (k=%u, error bound %.3f)\n", info.sketch_k,
+                SketchSpreadOracle::RelativeErrorBound(info.sketch_k));
+  } else {
+    std::printf("  sketches: no\n");
+  }
   if (info.graph_fingerprint != 0) {
     std::printf("  graph-fp: %016llx\n",
                 static_cast<unsigned long long>(info.graph_fingerprint));
@@ -847,6 +885,7 @@ Result<service::Engine> EngineFromSnapshot(
   parts.graph = snap->MakeGraph();
   SOI_ASSIGN_OR_RETURN(parts.index, snap->MakeIndex());
   if (snap->info().has_typical) parts.typical = snap->MakeTypical();
+  if (snap->info().has_sketches) parts.sketches = snap->MakeSketchParts();
   parts.storage = std::move(snap);
   return service::Engine::FromParts(std::move(parts), options);
 }
@@ -884,6 +923,15 @@ int CmdServe(const FlagParser& flags) {
   options.max_batch = static_cast<uint32_t>(max_batch);
   options.max_in_flight = static_cast<uint32_t>(max_in_flight);
   options.default_timeout_ms = static_cast<uint64_t>(timeout_ms);
+  CLI_ASSIGN(sketch_k, flags.GetInt("sketch-k", 0));
+  CLI_ASSIGN(sketch_pressure, flags.GetInt("sketch-pressure-in-flight", 0));
+  if (sketch_k < 0 || (sketch_k > 0 && sketch_k < 3) || sketch_pressure < 0) {
+    return Fail(Status::InvalidArgument(
+        "serve: --sketch-k must be 0 (off) or >= 3, "
+        "--sketch-pressure-in-flight >= 0"));
+  }
+  options.sketch_k = static_cast<uint32_t>(sketch_k);
+  options.sketch_pressure_in_flight = static_cast<uint32_t>(sketch_pressure);
 
   service::ServeOptions serve_options;
   CLI_ASSIGN(batch_max, flags.GetInt("batch-max", 0));
