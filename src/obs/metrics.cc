@@ -155,7 +155,7 @@ Registry& Registry::Get() {
 Counter* Registry::GetCounter(std::string_view name) {
   {
     std::shared_lock lock(mutex_);
-    const auto it = counters_.find(std::string(name));
+    const auto it = counters_.find(name);
     if (it != counters_.end()) return it->second.get();
   }
   std::unique_lock lock(mutex_);
@@ -167,7 +167,7 @@ Counter* Registry::GetCounter(std::string_view name) {
 TimerStat* Registry::GetTimer(std::string_view name) {
   {
     std::shared_lock lock(mutex_);
-    const auto it = timers_.find(std::string(name));
+    const auto it = timers_.find(name);
     if (it != timers_.end()) return it->second.get();
   }
   std::unique_lock lock(mutex_);
@@ -179,7 +179,7 @@ TimerStat* Registry::GetTimer(std::string_view name) {
 Histogram* Registry::GetHistogram(std::string_view name) {
   {
     std::shared_lock lock(mutex_);
-    const auto it = histograms_.find(std::string(name));
+    const auto it = histograms_.find(name);
     if (it != histograms_.end()) return it->second.get();
   }
   std::unique_lock lock(mutex_);
@@ -190,19 +190,19 @@ Histogram* Registry::GetHistogram(std::string_view name) {
 
 Counter* Registry::FindCounter(std::string_view name) const {
   std::shared_lock lock(mutex_);
-  const auto it = counters_.find(std::string(name));
+  const auto it = counters_.find(name);
   return it == counters_.end() ? nullptr : it->second.get();
 }
 
 TimerStat* Registry::FindTimer(std::string_view name) const {
   std::shared_lock lock(mutex_);
-  const auto it = timers_.find(std::string(name));
+  const auto it = timers_.find(name);
   return it == timers_.end() ? nullptr : it->second.get();
 }
 
 Histogram* Registry::FindHistogram(std::string_view name) const {
   std::shared_lock lock(mutex_);
-  const auto it = histograms_.find(std::string(name));
+  const auto it = histograms_.find(name);
   return it == histograms_.end() ? nullptr : it->second.get();
 }
 

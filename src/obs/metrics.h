@@ -111,10 +111,28 @@ struct HistogramSnapshot {
   uint64_t p95 = 0;
 };
 
-/// The process-wide name -> instrument table. Lookup takes a shared lock;
-/// first use of a name takes an exclusive lock once. Returned pointers are
-/// stable for the process lifetime (entries are never removed, only their
-/// values reset), so callers may cache them.
+/// Transparent hash for heterogeneous unordered_map lookup: a counter bump
+/// from a string literal or string_view probes the table without
+/// materializing a std::string first — the serving hot path does one of
+/// these per request, so the lookup itself must not allocate.
+struct TransparentStringHash {
+  using is_transparent = void;
+  size_t operator()(std::string_view s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+  size_t operator()(const std::string& s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+  size_t operator()(const char* s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+};
+
+/// The process-wide name -> instrument table. Lookup takes a shared lock
+/// and is allocation-free (heterogeneous string_view probe); first use of a
+/// name takes an exclusive lock once. Returned pointers are stable for the
+/// process lifetime (entries are never removed, only their values reset),
+/// so callers may cache them.
 class Registry {
  public:
   static Registry& Get();
@@ -146,10 +164,14 @@ class Registry {
  private:
   Registry() = default;
 
+  template <typename T>
+  using NameMap = std::unordered_map<std::string, std::unique_ptr<T>,
+                                     TransparentStringHash, std::equal_to<>>;
+
   mutable std::shared_mutex mutex_;
-  std::unordered_map<std::string, std::unique_ptr<Counter>> counters_;
-  std::unordered_map<std::string, std::unique_ptr<TimerStat>> timers_;
-  std::unordered_map<std::string, std::unique_ptr<Histogram>> histograms_;
+  NameMap<Counter> counters_;
+  NameMap<TimerStat> timers_;
+  NameMap<Histogram> histograms_;
 };
 
 /// RAII phase probe: on destruction reports the elapsed wall time into the

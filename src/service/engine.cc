@@ -87,10 +87,32 @@ class Engine::Impl {
 
   Result<std::vector<Result<Response>>> RunBatch(
       std::span<const Request> requests) {
-    if (requests.size() > options_.max_batch) {
+    std::vector<Result<Response>> results;
+    const Status status = RunBatchCore(
+        requests.size(),
+        [&](size_t i) -> const Request& { return requests[i]; }, &results);
+    if (!status.ok()) return status;
+    return results;
+  }
+
+  Status RunBatchInto(std::span<const Request* const> requests,
+                      std::vector<Result<Response>>* results) {
+    return RunBatchCore(
+        requests.size(),
+        [&](size_t i) -> const Request& { return *requests[i]; }, results);
+  }
+
+  // Shared batch core: `get(i)` yields request i, `*results` is resized to
+  // the batch (storage reused call over call — this is what makes the
+  // serving hot path allocation-free for fixed-size responses).
+  template <typename GetRequest>
+  Status RunBatchCore(size_t n, const GetRequest& get,
+                      std::vector<Result<Response>>* results) {
+    results->clear();
+    if (n > options_.max_batch) {
       SOI_OBS_COUNTER_ADD("service/batches_rejected", 1);
       return Status::ResourceExhausted(
-          "batch of " + std::to_string(requests.size()) +
+          "batch of " + std::to_string(n) +
           " requests exceeds max_batch=" + std::to_string(options_.max_batch) +
           "; split the batch");
     }
@@ -112,15 +134,15 @@ class Engine::Impl {
     SOI_OBS_HISTOGRAM_RECORD("service/queue_depth", prior + 1);
 
     const uint64_t admit_ns = NowNs();
-    // Pre-sized per-request slots (placeholder overwritten by every item).
-    std::vector<Result<Response>> results(
-        requests.size(),
-        Result<Response>(Status::Internal("request slot never executed")));
-    const bool update_batch =
-        dynamic_.has_value() &&
-        std::any_of(requests.begin(), requests.end(), [](const Request& r) {
-          return std::holds_alternative<UpdateRequest>(r.payload);
-        });
+    // Pre-sized per-request slots (the placeholder — an empty first
+    // alternative, no heap behind it — is overwritten by every item).
+    results->resize(n, Result<Response>(Response()));
+    bool update_batch = false;
+    if (dynamic_.has_value()) {
+      for (size_t i = 0; i < n && !update_batch; ++i) {
+        update_batch = std::holds_alternative<UpdateRequest>(get(i).payload);
+      }
+    }
     if (update_batch) {
       // Updates mutate the index: the whole batch runs sequentially under
       // the exclusive state lock, in request order. Sequential execution
@@ -128,24 +150,36 @@ class Engine::Impl {
       // thread count (a query after an update sees it; before, doesn't).
       std::unique_lock<std::shared_mutex> lock(state_mutex_);
       Scratch scratch;
-      for (size_t i = 0; i < requests.size(); ++i) {
-        results[i] = RunOne(requests[i], admit_ns, &scratch);
+      for (size_t i = 0; i < n; ++i) {
+        (*results)[i] = RunOne(get(i), admit_ns, &scratch);
+      }
+    } else if (PlannedChunks(n, /*grain=*/1) <= 1) {
+      // Single-chunk batch (one thread, or one request): run inline. This
+      // sidesteps ParallelForChunks' std::function wrapper, whose capture
+      // list outgrows the small-object buffer and would heap-allocate on
+      // every batch — the serving hot path at --threads 1 stays
+      // allocation-free. Identical execution semantics: one chunk, one
+      // scratch, request order.
+      std::shared_lock<std::shared_mutex> lock(state_mutex_);
+      Scratch scratch;
+      for (size_t i = 0; i < n; ++i) {
+        (*results)[i] = RunOne(get(i), admit_ns, &scratch);
       }
     } else {
       // Pure-query batch: shared state lock, parallel execution.
       std::shared_lock<std::shared_mutex> lock(state_mutex_);
       ParallelForChunks(
-          0, requests.size(), /*grain=*/1,
+          0, n, /*grain=*/1,
           [&](uint32_t /*chunk*/, uint64_t begin, uint64_t end) {
             // Chunk-level scratch: reused across this chunk's requests,
             // invisible in the output (handlers are pure given the request).
             Scratch scratch;
             for (uint64_t i = begin; i < end; ++i) {
-              results[i] = RunOne(requests[i], admit_ns, &scratch);
+              (*results)[i] = RunOne(get(i), admit_ns, &scratch);
             }
           });
     }
-    return results;
+    return Status::OK();
   }
 
   uint32_t in_flight() const {
@@ -637,6 +671,11 @@ Result<Response> Engine::Run(const Request& request) {
 Result<std::vector<Result<Response>>> Engine::RunBatch(
     std::span<const Request> requests) {
   return impl_->RunBatch(requests);
+}
+
+Status Engine::RunBatchInto(std::span<const Request* const> requests,
+                            std::vector<Result<Response>>* results) {
+  return impl_->RunBatchInto(requests, results);
 }
 
 const ProbGraph& Engine::graph() const { return impl_->graph(); }

@@ -313,6 +313,18 @@ class Engine {
   Result<std::vector<Result<Response>>> RunBatch(
       std::span<const Request> requests);
 
+  /// Zero-allocation batch entry point for the serving data plane: executes
+  /// `*requests[i]` (pointers let the caller gather a cross-connection
+  /// batch without copying request payloads) into `*results`, which is
+  /// resized to the batch and whose storage is reused call over call.
+  /// Admission control, ordering, and determinism match RunBatch exactly;
+  /// the returned Status is RunBatch's outer status (on error `*results`
+  /// is left cleared). At a single-thread budget the batch runs inline on
+  /// the caller with one reused scratch — no task dispatch, no heap
+  /// traffic for fixed-size responses.
+  Status RunBatchInto(std::span<const Request* const> requests,
+                      std::vector<Result<Response>>* results);
+
   /// The graph the engine was BUILT from. For a dynamic engine this does
   /// not reflect applied updates (an immutable reference can't track a
   /// mutating graph) — use CaptureDynamicState()/fingerprint() for current

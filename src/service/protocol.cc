@@ -1,8 +1,10 @@
 #include "service/protocol.h"
 
 #include <cctype>
+#include <charconv>
 #include <cmath>
 #include <cstdio>
+#include <optional>
 #include <utility>
 #include <vector>
 
@@ -268,11 +270,22 @@ Result<std::vector<NodeId>> RequireSeeds(const JsonValue& object) {
   return seeds;
 }
 
+// Integer serialization without the std::to_string temporary: to_chars into
+// a stack buffer, then append. The output bytes are identical (both emit
+// minimal decimal digits), but a warm output buffer absorbs the append
+// without touching the heap.
+template <typename Int>
+void AppendInt(std::string* out, Int v) {
+  char buf[24];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  out->append(buf, res.ptr);
+}
+
 void AppendNodes(std::string* out, const std::vector<NodeId>& nodes) {
   out->push_back('[');
   for (size_t i = 0; i < nodes.size(); ++i) {
     if (i != 0) out->push_back(',');
-    out->append(std::to_string(nodes[i]));
+    AppendInt(out, nodes[i]);
   }
   out->push_back(']');
 }
@@ -334,13 +347,13 @@ struct ResponseBodyWriter {
   }
   void operator()(const UpdateResponse& r) const {
     out->append(",\"op\":\"update\",\"applied\":");
-    out->append(std::to_string(r.applied));
+    AppendInt(out, r.applied);
     out->append(",\"affected_worlds\":");
-    out->append(std::to_string(r.affected_worlds));
+    AppendInt(out, r.affected_worlds);
     out->append(",\"affected_nodes\":");
-    out->append(std::to_string(r.affected_nodes));
+    AppendInt(out, r.affected_nodes);
     out->append(",\"drift\":");
-    out->append(std::to_string(r.drift));
+    AppendInt(out, r.drift);
   }
 };
 
@@ -390,6 +403,357 @@ Result<GraphUpdate> ParseUpdateOp(const JsonValue& op) {
     out.prob = prob->number;
   }
   return out;
+}
+
+// ---------------------------------------------------------------------------
+// Fast in-situ request parser (the serving hot path).
+//
+// Recognizes the flat request subset every real client emits — one JSON
+// object, known keys, plain integers/doubles, escape-free strings — as
+// string_view slices over the connection buffer, with zero heap
+// allocations. ANY deviation (unknown or duplicate keys, escapes, "update"
+// batches, malformed syntax, failed validation) makes it bail out and the
+// canonical JsonReader-based parser runs instead. The fast path therefore
+// never changes observable behavior: it only accepts lines the canonical
+// parser would accept, producing an identical ProtocolRequest, and every
+// error message keeps coming from the one canonical implementation.
+// ---------------------------------------------------------------------------
+
+struct FastFields {
+  std::optional<int64_t> id, v, timeout_ms, world, k;
+  std::optional<bool> local_search;
+  std::optional<double> threshold, max_error;
+  std::string_view op, method, accuracy;
+  std::string_view seeds;  // the bytes between '[' and ']'
+  bool has_op = false, has_method = false, has_accuracy = false;
+  bool has_seeds = false;
+};
+
+class FastParser {
+ public:
+  explicit FastParser(std::string_view s) : s_(s) {}
+
+  // True when the whole line is in the fast subset and *f holds every
+  // field; false means "use the canonical parser".
+  bool Scan(FastFields* f) {
+    SkipWs();
+    if (!Consume('{')) return false;
+    SkipWs();
+    if (!Consume('}')) {
+      while (true) {
+        std::string_view key;
+        if (!ScanString(&key)) return false;
+        SkipWs();
+        if (!Consume(':')) return false;
+        SkipWs();
+        if (!ScanMember(f, key)) return false;
+        SkipWs();
+        if (Consume('}')) break;
+        if (!Consume(',')) return false;
+        SkipWs();
+      }
+    }
+    SkipWs();
+    return pos_ == s_.size();
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ScanMember(FastFields* f, std::string_view key) {
+    if (key == "id") return ScanInt(&f->id);
+    if (key == "v") return ScanInt(&f->v);
+    if (key == "timeout_ms") return ScanInt(&f->timeout_ms);
+    if (key == "world") return ScanInt(&f->world);
+    if (key == "k") return ScanInt(&f->k);
+    if (key == "local_search") return ScanBool(&f->local_search);
+    if (key == "threshold") return ScanDouble(&f->threshold);
+    if (key == "max_error") return ScanDouble(&f->max_error);
+    if (key == "op") return ScanStringField(&f->op, &f->has_op);
+    if (key == "method") return ScanStringField(&f->method, &f->has_method);
+    if (key == "accuracy") {
+      return ScanStringField(&f->accuracy, &f->has_accuracy);
+    }
+    if (key == "seeds") return ScanSeeds(f);
+    // Unknown key (including "ops": update batches are rare and allocate
+    // anyway): let the canonical parser decide what it means.
+    return false;
+  }
+
+  // A duplicate key bails out in every Scan* helper: the canonical parser
+  // honors the FIRST occurrence, and replicating that here isn't worth it.
+
+  bool ScanInt(std::optional<int64_t>* dst) {
+    if (dst->has_value()) return false;
+    int64_t v = 0;
+    const auto res =
+        std::from_chars(s_.data() + pos_, s_.data() + s_.size(), v);
+    if (res.ec != std::errc()) return false;
+    const size_t next = static_cast<size_t>(res.ptr - s_.data());
+    // A fraction or exponent makes this a double; the canonical parser
+    // decides whether it is integral.
+    if (next < s_.size() &&
+        (s_[next] == '.' || s_[next] == 'e' || s_[next] == 'E')) {
+      return false;
+    }
+    pos_ = next;
+    *dst = v;
+    return true;
+  }
+
+  bool ScanDouble(std::optional<double>* dst) {
+    if (dst->has_value()) return false;
+    if (pos_ >= s_.size()) return false;
+    // from_chars accepts "inf"/"nan"; the canonical number grammar does
+    // not, so demand a digit or sign up front.
+    const char c = s_[pos_];
+    if (c != '-' && (c < '0' || c > '9')) return false;
+    double v = 0.0;
+    const auto res =
+        std::from_chars(s_.data() + pos_, s_.data() + s_.size(), v);
+    if (res.ec != std::errc()) return false;
+    pos_ = static_cast<size_t>(res.ptr - s_.data());
+    *dst = v;
+    return true;
+  }
+
+  bool ScanBool(std::optional<bool>* dst) {
+    if (dst->has_value()) return false;
+    if (s_.substr(pos_, 4) == "true") {
+      pos_ += 4;
+      *dst = true;
+      return true;
+    }
+    if (s_.substr(pos_, 5) == "false") {
+      pos_ += 5;
+      *dst = false;
+      return true;
+    }
+    return false;
+  }
+
+  bool ScanString(std::string_view* out) {
+    if (!Consume('"')) return false;
+    const size_t begin = pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') return false;  // escapes: canonical parser
+      ++pos_;
+    }
+    if (pos_ >= s_.size()) return false;  // unterminated
+    *out = s_.substr(begin, pos_ - begin);
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool ScanStringField(std::string_view* out, bool* present) {
+    if (*present) return false;
+    if (!ScanString(out)) return false;
+    *present = true;
+    return true;
+  }
+
+  bool ScanSeeds(FastFields* f) {
+    if (f->has_seeds) return false;
+    if (!Consume('[')) return false;
+    const size_t begin = pos_;
+    while (pos_ < s_.size() && s_[pos_] != ']') {
+      const char c = s_[pos_];
+      const bool numeric = (c >= '0' && c <= '9') || c == '-' || c == '+' ||
+                           c == '.' || c == 'e' || c == 'E';
+      if (!numeric && c != ',' && c != ' ' && c != '\t') return false;
+      ++pos_;
+    }
+    if (pos_ >= s_.size()) return false;  // unterminated array
+    f->seeds = s_.substr(begin, pos_ - begin);
+    f->has_seeds = true;
+    ++pos_;  // ']'
+    return true;
+  }
+
+  std::string_view s_;
+  size_t pos_ = 0;
+};
+
+// Extracts the seeds slice into a reused vector. Bails (false) on anything
+// the canonical RequireSeeds would reject, so its error message is produced
+// by the fallback.
+bool ParseSeedsInto(std::string_view slice, std::vector<NodeId>* seeds) {
+  seeds->clear();
+  size_t pos = 0;
+  const auto skip_ws = [&] {
+    while (pos < slice.size() && (slice[pos] == ' ' || slice[pos] == '\t')) {
+      ++pos;
+    }
+  };
+  skip_ws();
+  if (pos == slice.size()) return true;  // empty array
+  while (true) {
+    uint64_t v = 0;
+    const auto res =
+        std::from_chars(slice.data() + pos, slice.data() + slice.size(), v);
+    if (res.ec != std::errc()) return false;
+    const size_t next = static_cast<size_t>(res.ptr - slice.data());
+    if (next < slice.size() &&
+        (slice[next] == '.' || slice[next] == 'e' || slice[next] == 'E')) {
+      return false;  // fractional node id: canonical error path
+    }
+    if (v > UINT32_MAX) return false;
+    seeds->push_back(static_cast<NodeId>(v));
+    pos = next;
+    skip_ws();
+    if (pos == slice.size()) return true;
+    if (slice[pos] != ',') return false;
+    ++pos;
+    skip_ws();
+    if (pos == slice.size()) return false;  // trailing comma
+  }
+}
+
+// Reuse-or-emplace: keeps the payload's current alternative (and its heap
+// capacity) when the type already matches.
+template <typename T>
+T* PayloadSlot(Request* request) {
+  if (T* existing = std::get_if<T>(&request->payload)) return existing;
+  return &request->payload.emplace<T>();
+}
+
+// Maps scanned fields onto *out, replicating the canonical parser's
+// validation. Any failed check bails to the fallback so the error message
+// has a single source of truth. On success *out is exactly what
+// ParseRequestLine would have produced.
+bool BuildFastRequest(const FastFields& f, ProtocolRequest* out) {
+  const int64_t version = f.v.value_or(1);
+  if (version != 1 && version != 2) return false;
+  const int64_t timeout_ms = f.timeout_ms.value_or(0);
+  if (timeout_ms < 0) return false;
+  if (version < 2 && (f.has_accuracy || f.max_error.has_value())) {
+    return false;  // v2 fields on a v1 line: canonical error
+  }
+  Accuracy accuracy = Accuracy::kExact;
+  if (f.has_accuracy) {
+    if (f.accuracy == "exact") {
+      accuracy = Accuracy::kExact;
+    } else if (f.accuracy == "sketch") {
+      accuracy = Accuracy::kSketch;
+    } else if (f.accuracy == "auto") {
+      accuracy = Accuracy::kAuto;
+    } else {
+      return false;
+    }
+  }
+  const double max_error = f.max_error.value_or(0.0);
+  if (max_error < 0.0) return false;
+  if (!f.has_op) return false;
+
+  if (f.op == "typical") {
+    if (!f.has_seeds) return false;
+    auto* req = PayloadSlot<TypicalCascadeRequest>(&out->request);
+    if (!ParseSeedsInto(f.seeds, &req->seeds)) return false;
+    req->local_search = f.local_search.value_or(false);
+  } else if (f.op == "cascade") {
+    if (!f.has_seeds || !f.world.has_value()) return false;
+    if (*f.world < 0 || *f.world > static_cast<int64_t>(UINT32_MAX)) {
+      return false;
+    }
+    auto* req = PayloadSlot<CascadeRequest>(&out->request);
+    if (!ParseSeedsInto(f.seeds, &req->seeds)) return false;
+    req->world = static_cast<uint32_t>(*f.world);
+  } else if (f.op == "spread") {
+    if (!f.has_seeds) return false;
+    auto* req = PayloadSlot<SpreadRequest>(&out->request);
+    if (!ParseSeedsInto(f.seeds, &req->seeds)) return false;
+  } else if (f.op == "seed_select") {
+    if (!f.k.has_value()) return false;
+    if (*f.k <= 0 || *f.k > static_cast<int64_t>(UINT32_MAX)) return false;
+    auto* req = PayloadSlot<SeedSelectRequest>(&out->request);
+    req->k = static_cast<uint32_t>(*f.k);
+    if (f.has_method) {
+      req->method.assign(f.method);
+    } else {
+      req->method.assign("tc");
+    }
+  } else if (f.op == "reliability") {
+    if (!f.has_seeds) return false;
+    auto* req = PayloadSlot<ReliabilityRequest>(&out->request);
+    if (!ParseSeedsInto(f.seeds, &req->seeds)) return false;
+    req->threshold = f.threshold.value_or(0.5);
+  } else {
+    // "update" and unknown ops: canonical path (updates allocate anyway).
+    return false;
+  }
+
+  out->id = f.id.value_or(-1);
+  out->version = static_cast<int>(version);
+  out->request.timeout_ms = static_cast<uint64_t>(timeout_ms);
+  out->request.accuracy = accuracy;
+  out->request.max_error = max_error;
+  return true;
+}
+
+// Quote-aware scan for a top-level  "key" ws* ':' ws* <integer>  pattern.
+// Tracks string boundaries (honoring backslash escapes) so a key embedded
+// inside a string VALUE is never matched, and a quoted token only counts as
+// a key when a ':' follows it.
+bool SalvageIntField(std::string_view line, std::string_view key,
+                     int64_t* out) {
+  const size_t n = line.size();
+  size_t i = 0;
+  const auto is_ws = [](char c) {
+    return c == ' ' || c == '\t' || c == '\r' || c == '\n';
+  };
+  while (i < n) {
+    if (line[i] != '"') {
+      ++i;
+      continue;
+    }
+    const size_t token_begin = ++i;
+    bool has_escape = false;
+    while (i < n && line[i] != '"') {
+      if (line[i] == '\\') {
+        has_escape = true;
+        ++i;
+        if (i < n) ++i;  // skip the escaped character (handles \")
+      } else {
+        ++i;
+      }
+    }
+    if (i >= n) return false;  // unterminated string: nothing after it
+    const std::string_view token = line.substr(token_begin, i - token_begin);
+    ++i;  // closing quote
+    if (has_escape || token != key) continue;
+    size_t j = i;
+    while (j < n && is_ws(line[j])) ++j;
+    if (j >= n || line[j] != ':') continue;  // a string value, not a key
+    ++j;
+    while (j < n && is_ws(line[j])) ++j;
+    bool negative = false;
+    if (j < n && line[j] == '-') {
+      negative = true;
+      ++j;
+    }
+    if (j >= n || line[j] < '0' || line[j] > '9') continue;
+    int64_t value = 0;
+    while (j < n && line[j] >= '0' && line[j] <= '9') {
+      value = value * 10 + (line[j] - '0');
+      ++j;
+    }
+    *out = negative ? -value : value;
+    return true;
+  }
+  return false;
 }
 
 }  // namespace
@@ -564,46 +928,74 @@ Result<ProtocolRequest> ParseRequestLine(std::string_view line) {
   return out;
 }
 
-std::string FormatResponseLine(int64_t id, const Result<Response>& result) {
-  std::string out = "{\"id\":";
-  out.append(std::to_string(id));
-  out.append(",\"status\":\"");
-  out.append(StatusCodeToWireString(result.ok() ? StatusCode::kOk
-                                                : result.status().code()));
-  out.append("\"");
-  if (result.ok()) {
-    std::visit(ResponseBodyWriter{&out}, result->payload);
-  } else {
-    out.append(",\"error\":\"");
-    AppendEscaped(&out, result.status().message());
-    out.append("\"");
+Status ParseRequestLineInto(std::string_view line, ProtocolRequest* out) {
+  FastFields fields;
+  if (FastParser(line).Scan(&fields) && BuildFastRequest(fields, out)) {
+    return Status::OK();
   }
-  out.append("}\n");
+  // Outside the fast subset (or validation failed): the canonical parser is
+  // the single source of truth for both acceptance and error text.
+  Result<ProtocolRequest> parsed = ParseRequestLine(line);
+  if (!parsed.ok()) return parsed.status();
+  *out = std::move(*parsed);
+  return Status::OK();
+}
+
+int64_t SalvageId(std::string_view line) {
+  int64_t id = -1;
+  return SalvageIntField(line, "id", &id) ? id : -1;
+}
+
+int SalvageVersion(std::string_view line) {
+  int64_t v = 1;
+  return SalvageIntField(line, "v", &v) && v == 2 ? 2 : 1;
+}
+
+void AppendResponseLine(std::string* out, int64_t id, int version,
+                        const Result<Response>& result) {
+  out->append("{\"id\":");
+  AppendInt(out, id);
+  if (version < 2) {
+    out->append(",\"status\":\"");
+    out->append(StatusCodeToWireString(result.ok() ? StatusCode::kOk
+                                                   : result.status().code()));
+    out->append("\"");
+    if (result.ok()) {
+      std::visit(ResponseBodyWriter{out}, result->payload);
+    } else {
+      out->append(",\"error\":\"");
+      AppendEscaped(out, result.status().message());
+      out->append("\"");
+    }
+  } else if (result.ok()) {
+    out->append(",\"status\":\"ok\"");
+    std::visit(ResponseBodyWriter{out}, result->payload);
+    out->append(",\"tier\":\"");
+    out->append(result->meta.tier);
+    out->append("\",\"est_error\":");
+    AppendDouble(out, result->meta.est_error);
+    out->append(",\"elapsed_us\":");
+    AppendInt(out, result->meta.elapsed_us);
+  } else {
+    out->append(",\"status\":\"error\",\"code\":\"");
+    out->append(StatusCodeToErrorCode(result.status().code()));
+    out->append("\",\"message\":\"");
+    AppendEscaped(out, result.status().message());
+    out->append("\"");
+  }
+  out->append("}\n");
+}
+
+std::string FormatResponseLine(int64_t id, const Result<Response>& result) {
+  std::string out;
+  AppendResponseLine(&out, id, /*version=*/1, result);
   return out;
 }
 
 std::string FormatResponseLine(int64_t id, int version,
                                const Result<Response>& result) {
-  if (version < 2) return FormatResponseLine(id, result);
-  std::string out = "{\"id\":";
-  out.append(std::to_string(id));
-  if (result.ok()) {
-    out.append(",\"status\":\"ok\"");
-    std::visit(ResponseBodyWriter{&out}, result->payload);
-    out.append(",\"tier\":\"");
-    out.append(result->meta.tier);
-    out.append("\",\"est_error\":");
-    AppendDouble(&out, result->meta.est_error);
-    out.append(",\"elapsed_us\":");
-    out.append(std::to_string(result->meta.elapsed_us));
-  } else {
-    out.append(",\"status\":\"error\",\"code\":\"");
-    out.append(StatusCodeToErrorCode(result.status().code()));
-    out.append("\",\"message\":\"");
-    AppendEscaped(&out, result.status().message());
-    out.append("\"");
-  }
-  out.append("}\n");
+  std::string out;
+  AppendResponseLine(&out, id, version, result);
   return out;
 }
 

@@ -94,6 +94,24 @@ struct ProtocolRequest {
 /// naming the offending field.
 Result<ProtocolRequest> ParseRequestLine(std::string_view line);
 
+/// Zero-allocation variant for the serving hot path: parses `line` into
+/// `*out`, reusing whatever storage `*out` already holds (seed vectors,
+/// method strings, the payload variant's current alternative). Flat
+/// requests in the common shape — no escapes, no duplicate keys, plain
+/// integers — are parsed in situ over the connection buffer without a
+/// single heap allocation once the slot is warm. Anything unusual
+/// (escaped strings, "update" batches, malformed JSON) falls back to
+/// ParseRequestLine, so accepted requests and error messages are
+/// byte-identical to the allocating parser in every case.
+Status ParseRequestLineInto(std::string_view line, ProtocolRequest* out);
+
+/// Appends one response line (terminated with '\n') in the shape of
+/// `version` to `*out` — the allocation-free serialization primitive the
+/// serving data plane builds per-connection output buffers with. Appending
+/// into a warm buffer performs no heap allocation on success paths.
+void AppendResponseLine(std::string* out, int64_t id, int version,
+                        const Result<Response>& result);
+
 /// Formats one v1 response line (terminated with '\n'). Kept as the
 /// two-argument overload so every v1 producer stays byte-identical.
 std::string FormatResponseLine(int64_t id, const Result<Response>& result);
@@ -102,6 +120,20 @@ std::string FormatResponseLine(int64_t id, const Result<Response>& result);
 /// else is treated as 1, the permissive default for salvaged error paths).
 std::string FormatResponseLine(int64_t id, int version,
                                const Result<Response>& result);
+
+/// Best-effort recovery of the correlation id from a line that failed to
+/// parse, so the client can still match the error to its request. Scans
+/// for a quoted "id" KEY — a quote-aware tokenizer, not a substring match,
+/// so an "id" embedded inside a string value never counts — tolerating
+/// arbitrary whitespace around the ':'. Returns -1 when no id key with an
+/// integer value is found.
+int64_t SalvageId(std::string_view line);
+
+/// Best-effort recovery of the envelope version from a malformed line (same
+/// key scanner as SalvageId), so a v2 client gets its parse errors in the
+/// v2 error shape. Returns 2 only for a "v" key with integer value 2;
+/// everything else (absent, string-embedded, non-integer) is 1.
+int SalvageVersion(std::string_view line);
 
 /// snake_case wire name of a status code ("ok", "invalid_argument",
 /// "deadline_exceeded", ...) — v1 "status" values.

@@ -9,189 +9,16 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <limits>
+#include <memory>
 #include <string>
-#include <vector>
 
 #include "obs/metrics.h"
-#include "service/protocol.h"
+#include "service/event_loop.h"
 
 namespace soi::service {
 
 namespace {
-
-Status WriteAll(int fd, std::string_view data) {
-  while (!data.empty()) {
-    const ssize_t n = ::write(fd, data.data(), data.size());
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return Status::IOError(std::string("write failed: ") +
-                             std::strerror(errno));
-    }
-    data.remove_prefix(static_cast<size_t>(n));
-  }
-  return Status::OK();
-}
-
-// True when `fd` has data ready right now (used to decide whether to keep
-// accumulating a batch or flush what we have).
-bool ReadableNow(int fd) {
-  struct pollfd pfd{fd, POLLIN, 0};
-  return ::poll(&pfd, 1, /*timeout_ms=*/0) > 0 &&
-         (pfd.revents & (POLLIN | POLLHUP)) != 0;
-}
-
-// Best-effort recovery of the correlation id from a line that failed to
-// parse, so the client can still match the error to its request.
-int64_t SalvageId(std::string_view line) {
-  const size_t key = line.find("\"id\"");
-  if (key == std::string_view::npos) return -1;
-  size_t pos = line.find(':', key + 4);
-  if (pos == std::string_view::npos) return -1;
-  ++pos;
-  while (pos < line.size() && (line[pos] == ' ' || line[pos] == '\t')) ++pos;
-  bool negative = false;
-  if (pos < line.size() && line[pos] == '-') {
-    negative = true;
-    ++pos;
-  }
-  if (pos >= line.size() || line[pos] < '0' || line[pos] > '9') return -1;
-  int64_t value = 0;
-  while (pos < line.size() && line[pos] >= '0' && line[pos] <= '9') {
-    value = value * 10 + (line[pos] - '0');
-    ++pos;
-  }
-  return negative ? -value : value;
-}
-
-// Best-effort recovery of the envelope version from a malformed line, so a
-// v2 client gets its parse errors in the v2 error shape.
-int SalvageVersion(std::string_view line) {
-  const size_t key = line.find("\"v\"");
-  if (key == std::string_view::npos) return 1;
-  size_t pos = line.find(':', key + 3);
-  if (pos == std::string_view::npos) return 1;
-  ++pos;
-  while (pos < line.size() && (line[pos] == ' ' || line[pos] == '\t')) ++pos;
-  return pos < line.size() && line[pos] == '2' ? 2 : 1;
-}
-
-class StreamServer {
- public:
-  // Exactly one of `engine` / `handle` is set: a fixed engine, or a
-  // hot-swappable handle acquired per batch.
-  StreamServer(Engine* engine, const EngineHandle* handle, int in_fd,
-               int out_fd, uint32_t batch_max,
-               const std::function<void()>* poll)
-      : engine_(engine),
-        handle_(handle),
-        in_fd_(in_fd),
-        out_fd_(out_fd),
-        batch_max_(batch_max),
-        poll_(poll) {}
-
-  Status Serve() {
-    std::string buffer;
-    char chunk[1 << 16];
-    bool eof = false;
-    while (!eof) {
-      const ssize_t n = ::read(in_fd_, chunk, sizeof(chunk));
-      if (n < 0) {
-        if (errno == EINTR) {
-          // A signal woke the read (e.g. SIGHUP requesting a reload): give
-          // the poll hook a chance before blocking again.
-          if (poll_ != nullptr && *poll_) (*poll_)();
-          continue;
-        }
-        return Status::IOError(std::string("read failed: ") +
-                               std::strerror(errno));
-      }
-      if (poll_ != nullptr && *poll_) (*poll_)();
-      if (n == 0) {
-        eof = true;
-      } else {
-        buffer.append(chunk, static_cast<size_t>(n));
-      }
-      size_t start = 0;
-      size_t nl;
-      while ((nl = buffer.find('\n', start)) != std::string::npos) {
-        SOI_RETURN_IF_ERROR(
-            HandleLine(std::string_view(buffer).substr(start, nl - start)));
-        start = nl + 1;
-      }
-      buffer.erase(0, start);
-      // Nothing more buffered right now: execute what we have instead of
-      // stalling the client's responses.
-      if (!eof && !pending_.empty() && !ReadableNow(in_fd_)) {
-        SOI_RETURN_IF_ERROR(Flush());
-      }
-    }
-    // A trailing line without '\n' still counts.
-    if (!buffer.empty()) SOI_RETURN_IF_ERROR(HandleLine(buffer));
-    return Flush();
-  }
-
- private:
-  Status HandleLine(std::string_view line) {
-    // Skip blank lines (a trailing newline at EOF is not a request).
-    const bool blank =
-        line.find_first_not_of(" \t\r") == std::string_view::npos;
-    if (blank) return Status::OK();
-    Result<ProtocolRequest> parsed = ParseRequestLine(line);
-    if (!parsed.ok()) {
-      SOI_OBS_COUNTER_ADD("service/lines_malformed", 1);
-      // Responses stay in request order: run everything queued before this
-      // line, then report the parse error.
-      SOI_RETURN_IF_ERROR(Flush());
-      return WriteAll(out_fd_,
-                      FormatResponseLine(SalvageId(line), SalvageVersion(line),
-                                         Result<Response>(parsed.status())));
-    }
-    pending_.push_back(std::move(*parsed));
-    if (pending_.size() >= batch_max_) return Flush();
-    return Status::OK();
-  }
-
-  Status Flush() {
-    if (pending_.empty()) return Status::OK();
-    std::vector<Request> requests;
-    requests.reserve(pending_.size());
-    for (const ProtocolRequest& p : pending_) requests.push_back(p.request);
-    // Acquire per batch: the shared_ptr pins the engine (and any snapshot
-    // mapping it anchors) for the whole batch, so a concurrent Swap()
-    // retires the old engine only after this flush completes.
-    std::shared_ptr<Engine> acquired;
-    Engine* engine = engine_;
-    if (handle_ != nullptr) {
-      acquired = handle_->Acquire();
-      engine = acquired.get();
-    }
-    Result<std::vector<Result<Response>>> batch = engine->RunBatch(requests);
-    std::string out;
-    if (batch.ok()) {
-      for (size_t i = 0; i < pending_.size(); ++i) {
-        out += FormatResponseLine(pending_[i].id, pending_[i].version,
-                                  (*batch)[i]);
-      }
-    } else {
-      // Batch-level rejection (admission control): every queued request
-      // gets the same error response.
-      for (const ProtocolRequest& p : pending_) {
-        out += FormatResponseLine(p.id, p.version,
-                                  Result<Response>(batch.status()));
-      }
-    }
-    pending_.clear();
-    return WriteAll(out_fd_, out);
-  }
-
-  Engine* engine_;
-  const EngineHandle* handle_;
-  int in_fd_;
-  int out_fd_;
-  uint32_t batch_max_;
-  const std::function<void()>* poll_;
-  std::vector<ProtocolRequest> pending_;
-};
 
 uint32_t EffectiveBatchMax(const Engine& engine, const ServeOptions& options) {
   const uint32_t engine_max = engine.options().max_batch;
@@ -199,41 +26,40 @@ uint32_t EffectiveBatchMax(const Engine& engine, const ServeOptions& options) {
   return std::min(options.batch_max, engine_max);
 }
 
-Status ServeStreamImpl(Engine* engine, const EngineHandle* handle, int in_fd,
-                       int out_fd, const ServeOptions& options) {
+// Resolves user-facing ServeOptions against the currently installed engine
+// into the event loop's concrete knobs. 0-valued "unlimited" sizes map to
+// SIZE_MAX so the loop only ever compares against one threshold form.
+EventLoopOptions MakeLoopOptions(Engine* engine, const EngineHandle* handle,
+                                 const ServeOptions& options) {
   std::shared_ptr<Engine> acquired;
   const Engine* current = engine;
   if (handle != nullptr) {
     acquired = handle->Acquire();
     current = acquired.get();
   }
-  StreamServer server(engine, handle, in_fd, out_fd,
-                      EffectiveBatchMax(*current, options), &options.poll);
-  return server.Serve();
+  EventLoopOptions loop;
+  loop.batch_max = EffectiveBatchMax(*current, options);
+  loop.batch_window_us = options.batch_window_us;
+  loop.max_line_bytes = options.max_line_bytes == 0
+                            ? std::numeric_limits<size_t>::max()
+                            : options.max_line_bytes;
+  loop.max_output_bytes = options.max_output_bytes == 0
+                              ? std::numeric_limits<size_t>::max()
+                              : options.max_output_bytes;
+  loop.poll = &options.poll;
+  return loop;
 }
 
-}  // namespace
-
-Status ServeStream(Engine* engine, int in_fd, int out_fd,
-                   const ServeOptions& options) {
-  if (engine == nullptr) {
-    return Status::InvalidArgument("engine must not be null");
-  }
-  return ServeStreamImpl(engine, nullptr, in_fd, out_fd, options);
+Status ServeStreamImpl(Engine* engine, const EngineHandle* handle, int in_fd,
+                       int out_fd, const ServeOptions& options) {
+  EventLoop loop(engine, handle, MakeLoopOptions(engine, handle, options));
+  return loop.ServePair(in_fd, out_fd);
 }
 
-Status ServeStream(const EngineHandle* handle, int in_fd, int out_fd,
-                   const ServeOptions& options) {
-  if (handle == nullptr) {
-    return Status::InvalidArgument("engine handle must not be null");
-  }
-  return ServeStreamImpl(nullptr, handle, in_fd, out_fd, options);
-}
-
-namespace {
-
-Status ServeTcpAny(Engine* engine, const EngineHandle* handle, uint16_t port,
-                   const ServeOptions& options, uint16_t* bound_port) {
+// Creates the bound, listening socket on 127.0.0.1:`port` and reports the
+// chosen port (both to `*bound_port` and the on_listening callback).
+Status OpenListener(uint16_t port, const ServeOptions& options,
+                    uint16_t* bound_port, int* listen_fd_out) {
   const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd < 0) {
     return Status::IOError(std::string("socket failed: ") +
@@ -260,43 +86,42 @@ Status ServeTcpAny(Engine* engine, const EngineHandle* handle, uint16_t port,
       bound_port != nullptr) {
     *bound_port = ntohs(addr.sin_port);
   }
-  if (::listen(listen_fd, /*backlog=*/16) < 0) {
+  if (::listen(listen_fd, /*backlog=*/128) < 0) {
     const Status status = Status::IOError(std::string("listen failed: ") +
                                           std::strerror(errno));
     ::close(listen_fd);
     return status;
   }
   if (options.on_listening) options.on_listening(ntohs(addr.sin_port));
-  uint32_t served = 0;
-  while (options.max_connections == 0 || served < options.max_connections) {
-    const int conn_fd = ::accept(listen_fd, nullptr, nullptr);
-    if (conn_fd < 0) {
-      if (errno == EINTR) {
-        if (options.poll) options.poll();
-        continue;
-      }
-      const Status status = Status::IOError(std::string("accept failed: ") +
-                                            std::strerror(errno));
-      ::close(listen_fd);
-      return status;
-    }
-    SOI_OBS_COUNTER_ADD("service/connections", 1);
-    const Status status = ServeStreamImpl(engine, handle, conn_fd, conn_fd,
-                                          options);
-    ::close(conn_fd);
-    ++served;
-    if (options.poll) options.poll();
-    if (!status.ok()) {
-      // One broken connection does not stop the server; log via metrics and
-      // keep accepting.
-      SOI_OBS_COUNTER_ADD("service/connections_failed", 1);
-    }
-  }
-  ::close(listen_fd);
+  *listen_fd_out = listen_fd;
   return Status::OK();
 }
 
+Status ServeTcpAny(Engine* engine, const EngineHandle* handle, uint16_t port,
+                   const ServeOptions& options, uint16_t* bound_port) {
+  int listen_fd = -1;
+  SOI_RETURN_IF_ERROR(OpenListener(port, options, bound_port, &listen_fd));
+  EventLoop loop(engine, handle, MakeLoopOptions(engine, handle, options));
+  return loop.ServeListener(listen_fd, options.max_connections);
+}
+
 }  // namespace
+
+Status ServeStream(Engine* engine, int in_fd, int out_fd,
+                   const ServeOptions& options) {
+  if (engine == nullptr) {
+    return Status::InvalidArgument("engine must not be null");
+  }
+  return ServeStreamImpl(engine, nullptr, in_fd, out_fd, options);
+}
+
+Status ServeStream(const EngineHandle* handle, int in_fd, int out_fd,
+                   const ServeOptions& options) {
+  if (handle == nullptr) {
+    return Status::InvalidArgument("engine handle must not be null");
+  }
+  return ServeStreamImpl(nullptr, handle, in_fd, out_fd, options);
+}
 
 Status ServeTcp(Engine* engine, uint16_t port, const ServeOptions& options,
                 uint16_t* bound_port) {
@@ -312,6 +137,42 @@ Status ServeTcp(const EngineHandle* handle, uint16_t port,
     return Status::InvalidArgument("engine handle must not be null");
   }
   return ServeTcpAny(nullptr, handle, port, options, bound_port);
+}
+
+Status ServeTcpSequential(Engine* engine, uint16_t port,
+                          const ServeOptions& options, uint16_t* bound_port) {
+  if (engine == nullptr) {
+    return Status::InvalidArgument("engine must not be null");
+  }
+  int listen_fd = -1;
+  SOI_RETURN_IF_ERROR(OpenListener(port, options, bound_port, &listen_fd));
+  uint32_t served = 0;
+  while (options.max_connections == 0 || served < options.max_connections) {
+    const int conn_fd = ::accept(listen_fd, nullptr, nullptr);
+    if (conn_fd < 0) {
+      if (errno == EINTR) {
+        if (options.poll) options.poll();
+        continue;
+      }
+      const Status status = Status::IOError(std::string("accept failed: ") +
+                                            std::strerror(errno));
+      ::close(listen_fd);
+      return status;
+    }
+    SOI_OBS_COUNTER_ADD("service/connections", 1);
+    const Status status =
+        ServeStreamImpl(engine, nullptr, conn_fd, conn_fd, options);
+    ::close(conn_fd);
+    ++served;
+    if (options.poll) options.poll();
+    if (!status.ok()) {
+      // One broken connection does not stop the server; log via metrics and
+      // keep accepting.
+      SOI_OBS_COUNTER_ADD("service/connections_failed", 1);
+    }
+  }
+  ::close(listen_fd);
+  return Status::OK();
 }
 
 }  // namespace soi::service

@@ -11,9 +11,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstring>
 #include <future>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -1200,6 +1202,376 @@ TEST(ServeTcpTest, ServesOneConnectionOnEphemeralPort) {
   server.join();
   EXPECT_EQ(response.rfind("{\"id\":5,\"status\":\"ok\",\"op\":\"spread\"", 0),
             0u);
+}
+
+// ---------------------------------------------------------------------------
+// Serving data plane: salvage scanner, in-situ parser, line guard, and the
+// epoll event loop under concurrent clients. These run in the TSan and ASan
+// CI jobs, so every concurrent path doubles as a race/sanitizer check.
+
+TEST(SalvageTest, IdToleratesWhitespaceAroundColon) {
+  EXPECT_EQ(SalvageId("{\"id\" : 42, \"op\":}"), 42);
+  EXPECT_EQ(SalvageId("{\"id\"\t:\t-7,\"op\":}"), -7);
+  EXPECT_EQ(SalvageId("{\"op\":oops,\"id\"  :  9}"), 9);
+  EXPECT_EQ(SalvageId("{\"id\":5,\"op\":oops}"), 5);
+}
+
+TEST(SalvageTest, IdInsideStringValueDoesNotCount) {
+  // "id" as a string VALUE (followed by ',' / '}' rather than ':').
+  EXPECT_EQ(SalvageId("{\"mode\":\"id\",\"op\":oops}"), -1);
+  // "id": 99 embedded inside a string value via escaped quotes.
+  EXPECT_EQ(SalvageId("{\"note\":\"\\\"id\\\": 99\",\"op\":oops}"), -1);
+  // The real key still wins even after a decoy value.
+  EXPECT_EQ(SalvageId("{\"note\":\"\\\"id\\\": 99\",\"id\":3,\"op\":oops}"),
+            3);
+  // No digits after the colon: not a salvageable id.
+  EXPECT_EQ(SalvageId("{\"id\":,\"op\":oops}"), -1);
+  EXPECT_EQ(SalvageId("{\"id\":\"7\",\"op\":oops}"), -1);
+}
+
+TEST(SalvageTest, VersionRequiresIntegerTwo) {
+  EXPECT_EQ(SalvageVersion("{\"v\" : 2,\"op\":oops}"), 2);
+  EXPECT_EQ(SalvageVersion("{\"v\":2,\"op\":oops}"), 2);
+  EXPECT_EQ(SalvageVersion("{\"v\":1,\"op\":oops}"), 1);
+  // The old substring scanner reported 2 for "23" and for string-embedded
+  // decoys; the tokenizer must not.
+  EXPECT_EQ(SalvageVersion("{\"v\":23,\"op\":oops}"), 1);
+  EXPECT_EQ(SalvageVersion("{\"v\":\"2\",\"op\":oops}"), 1);
+  EXPECT_EQ(SalvageVersion("{\"note\":\"\\\"v\\\":2\",\"op\":oops}"), 1);
+  EXPECT_EQ(SalvageVersion("{\"op\":oops}"), 1);
+}
+
+// Every line in this corpus must behave identically through the in-situ
+// parser and the canonical allocating parser: same accept/reject decision,
+// byte-identical error messages, and — for accepted lines — identical
+// engine responses and envelope fields.
+TEST(ParseIntoTest, MatchesCanonicalParserAcrossCorpus) {
+  EngineOptions options;
+  options.sketch_k = 16;
+  // A frozen clock pins the v2 envelope's elapsed_us field so responses are
+  // byte-comparable.
+  options.clock_ns = [] { return uint64_t{0}; };
+  Engine engine = MakeEngine(PaperExampleGraph(), options);
+  const char* corpus[] = {
+      "{\"op\":\"spread\",\"seeds\":[4],\"id\":1}",
+      "{\"op\":\"typical\",\"seeds\":[4,0,1],\"local_search\":true,\"id\":2}",
+      "{\"op\":\"cascade\",\"seeds\":[4],\"world\":3,\"id\":4}",
+      "{\"op\":\"seed_select\",\"k\":2,\"method\":\"std\",\"id\":5}",
+      "{\"op\":\"seed_select\",\"k\":2,\"id\":51}",
+      "{\"op\":\"reliability\",\"seeds\":[4],\"threshold\":0.25,\"id\":6}",
+      "{\"v\":2,\"op\":\"spread\",\"seeds\":[4],\"accuracy\":\"sketch\","
+      "\"id\":7}",
+      "{\"v\":2,\"op\":\"spread\",\"seeds\":[4],\"accuracy\":\"auto\","
+      "\"max_error\":0.5,\"id\":8}",
+      "{ \"op\" : \"spread\" , \"seeds\" : [ 4 ] , \"id\" : 9 }",
+      "{\"id\":10,\"timeout_ms\":1000,\"op\":\"spread\",\"seeds\":[4]}",
+      "{\"op\":\"update\",\"ops\":[{\"op\":\"insert\",\"src\":0,\"dst\":1,"
+      "\"prob\":0.5}],\"id\":11}",
+      // Escapes force the canonical fallback; the result must still match.
+      "{\"op\":\"seed_select\",\"k\":1,\"method\":\"t\\u0063\",\"id\":13}",
+      // Duplicate keys: the canonical reader honors the first occurrence.
+      "{\"op\":\"spread\",\"seeds\":[4],\"id\":1,\"id\":2}",
+      // Unknown fields are ignored by the canonical reader.
+      "{\"op\":\"spread\",\"seeds\":[4],\"extra\":3,\"id\":12}",
+      // Error corpus: messages must be byte-identical to the canonical ones.
+      "garbage",
+      "{\"op\":\"spread\",\"seeds\":[4]",
+      "{\"op\":\"bogus\",\"seeds\":[4]}",
+      "{\"op\":\"spread\"}",
+      "{\"op\":\"spread\",\"seeds\":[-1]}",
+      "{\"op\":\"spread\",\"seeds\":[4],\"accuracy\":\"sketch\"}",
+      "{\"v\":3,\"op\":\"spread\",\"seeds\":[4]}",
+      "{\"op\":\"spread\",\"seeds\":[4],\"id\":1.5}",
+      "{\"op\":\"spread\",\"seeds\":[4],\"id\":true}",
+      "{\"op\":\"spread\",\"seeds\":[4.5]}",
+      "{\"op\":\"spread\",\"seeds\":[4],\"threshold\":.5}",
+      "{\"op\":\"spread\",\"seeds\":[4]}trailing",
+  };
+  // The reused slot starts dirty — parsed from a request whose every field
+  // differs from the corpus lines — so the test also proves reuse leaves no
+  // residue behind.
+  ProtocolRequest reused;
+  ASSERT_TRUE(ParseRequestLineInto(
+                  "{\"v\":2,\"op\":\"typical\",\"seeds\":[0,1,3],"
+                  "\"local_search\":true,\"timeout_ms\":9999,\"id\":-5}",
+                  &reused)
+                  .ok());
+  for (const char* line : corpus) {
+    SCOPED_TRACE(line);
+    Result<ProtocolRequest> canonical = ParseRequestLine(line);
+    const Status into_status = ParseRequestLineInto(line, &reused);
+    ASSERT_EQ(canonical.ok(), into_status.ok());
+    if (!canonical.ok()) {
+      EXPECT_EQ(canonical.status().ToString(), into_status.ToString());
+      continue;
+    }
+    EXPECT_EQ(canonical->id, reused.id);
+    EXPECT_EQ(canonical->version, reused.version);
+    EXPECT_EQ(canonical->request.timeout_ms, reused.request.timeout_ms);
+    EXPECT_EQ(static_cast<int>(canonical->request.accuracy),
+              static_cast<int>(reused.request.accuracy));
+    EXPECT_EQ(canonical->request.max_error, reused.request.max_error);
+    // Identical wire responses through a deterministic engine == identical
+    // payloads, without enumerating every variant alternative here.
+    const std::string from_canonical = FormatResponseLine(
+        canonical->id, canonical->version, engine.Run(canonical->request));
+    const std::string from_into = FormatResponseLine(
+        reused.id, reused.version, engine.Run(reused.request));
+    EXPECT_EQ(from_canonical, from_into);
+  }
+}
+
+TEST(LineGuardTest, OversizedLineGetsInOrderErrorAndResyncs) {
+  Engine engine = MakeEngine(PaperExampleGraph());
+  ServeOptions options;
+  options.max_line_bytes = 64;
+  std::string giant = "{\"id\":9,\"op\":\"spread\",\"seeds\":[4],\"pad\":\"";
+  giant.append(200, 'x');
+  giant += "\"}";
+  const std::string input =
+      "{\"op\":\"spread\",\"seeds\":[4],\"id\":1}\n" + giant + "\n" +
+      "{\"op\":\"spread\",\"seeds\":[4],\"id\":2}\n";
+  const std::vector<std::string> lines =
+      SplitLines(ServeOnce(&engine, input, options));
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0].rfind("{\"id\":1,\"status\":\"ok\"", 0), 0u);
+  // The oversized line's id is still salvaged and the error is in order.
+  EXPECT_EQ(lines[1].rfind("{\"id\":9,\"status\":\"invalid_argument\"", 0),
+            0u)
+      << lines[1];
+  EXPECT_NE(lines[1].find("max_line_bytes=64"), std::string::npos);
+  // Parsing resynchronized at the newline: the next request still works.
+  EXPECT_EQ(lines[2].rfind("{\"id\":2,\"status\":\"ok\"", 0), 0u);
+}
+
+TEST(LineGuardTest, NewlinelessStreamIsBoundedAndAnsweredOnce) {
+  Engine engine = MakeEngine(PaperExampleGraph());
+  ServeOptions options;
+  options.max_line_bytes = 64;
+  // 1 MiB of newline-less garbage: the guard must answer exactly one error
+  // (when the buffer first exceeds the cap) and drop the rest — the old
+  // loop would have buffered all of it.
+  std::string input(1 << 20, 'x');
+  const std::vector<std::string> lines =
+      SplitLines(ServeOnce(&engine, input + "\n", options));
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0].rfind("{\"id\":-1,\"status\":\"invalid_argument\"", 0),
+            0u);
+}
+
+namespace tcp {
+
+int Connect(uint16_t port) {
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  SOI_CHECK(fd >= 0);
+  SOI_CHECK(::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                      sizeof(addr)) == 0);
+  return fd;
+}
+
+void WriteAll(int fd, std::string_view data) {
+  while (!data.empty()) {
+    const ssize_t n = ::write(fd, data.data(), data.size());
+    SOI_CHECK(n > 0);
+    data.remove_prefix(static_cast<size_t>(n));
+  }
+}
+
+std::string ReadUntilEof(int fd) {
+  std::string out;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::read(fd, buf, sizeof(buf))) > 0) {
+    out.append(buf, static_cast<size_t>(n));
+  }
+  return out;
+}
+
+}  // namespace tcp
+
+// The acceptance bar for the event loop: N pipelined connections served
+// concurrently must each receive exactly the bytes the single-connection
+// stdin path produces for their stream — at 1 worker thread and at 8.
+TEST(ServeTcpTest, ConcurrentPipelinedClientsMatchStdinReplay) {
+  EngineOptions engine_options;
+  engine_options.sketch_k = 16;
+  // Frozen clock: elapsed_us would otherwise differ between the reference
+  // replay and the live serve, breaking byte-for-byte comparison.
+  engine_options.clock_ns = [] { return uint64_t{0}; };
+  Engine engine = MakeEngine(PaperExampleGraph(), engine_options);
+
+  constexpr int kClients = 3;
+  std::vector<std::string> streams(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    for (int i = 0; i < 12; ++i) {
+      const int id = c * 100 + i;
+      switch (i % 4) {
+        case 0:
+          streams[c] += "{\"op\":\"spread\",\"seeds\":[" +
+                        std::to_string(i % 5) +
+                        "],\"id\":" + std::to_string(id) + "}\n";
+          break;
+        case 1:
+          streams[c] += "{\"v\":2,\"op\":\"spread\",\"seeds\":[" +
+                        std::to_string(i % 5) +
+                        "],\"accuracy\":\"sketch\",\"id\":" +
+                        std::to_string(id) + "}\n";
+          break;
+        case 2:
+          streams[c] += "{\"op\":\"typical\",\"seeds\":[" +
+                        std::to_string(i % 5) +
+                        "],\"id\":" + std::to_string(id) + "}\n";
+          break;
+        case 3:  // malformed: error responses must interleave in order too
+          streams[c] +=
+              "{\"op\":\"spread\",\"seeds\":[oops],\"id\":" +
+              std::to_string(id) + "}\n";
+          break;
+      }
+    }
+  }
+  // Reference bytes from the single-connection stream path.
+  std::vector<std::string> expected(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    expected[c] = ServeOnce(&engine, streams[c]);
+  }
+
+  for (const uint32_t threads : {1u, 8u}) {
+    SetGlobalThreads(threads);
+    std::promise<uint16_t> port_promise;
+    std::future<uint16_t> port_future = port_promise.get_future();
+    ServeOptions options;
+    options.max_connections = kClients;
+    options.on_listening = [&](uint16_t port) {
+      port_promise.set_value(port);
+    };
+    std::thread server([&] {
+      const Status status = ServeTcp(&engine, /*port=*/0, options);
+      SOI_CHECK(status.ok());
+    });
+    const uint16_t port = port_future.get();
+
+    std::vector<std::string> got(kClients);
+    std::vector<std::thread> clients;
+    for (int c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        const int fd = tcp::Connect(port);
+        // Fully pipelined: the whole stream goes out before any read.
+        tcp::WriteAll(fd, streams[c]);
+        ::shutdown(fd, SHUT_WR);
+        got[c] = tcp::ReadUntilEof(fd);
+        ::close(fd);
+      });
+    }
+    for (auto& t : clients) t.join();
+    server.join();
+    for (int c = 0; c < kClients; ++c) {
+      EXPECT_EQ(got[c], expected[c])
+          << "client " << c << " at threads=" << threads;
+    }
+  }
+  SetGlobalThreads(0);
+}
+
+// Fuzz-ish corpus over a real socket: torn lines, pipelined half-writes,
+// binary garbage, and oversized lines. The connection must survive all of
+// it and answer every non-blank line, in order.
+TEST(ServeTcpTest, SurvivesTornLinesGarbageAndOversizedLines) {
+  Engine engine = MakeEngine(PaperExampleGraph());
+  std::promise<uint16_t> port_promise;
+  std::future<uint16_t> port_future = port_promise.get_future();
+  ServeOptions options;
+  options.max_connections = 1;
+  options.max_line_bytes = 128;
+  options.on_listening = [&](uint16_t port) { port_promise.set_value(port); };
+  std::thread server([&] {
+    const Status status = ServeTcp(&engine, /*port=*/0, options);
+    SOI_CHECK(status.ok());
+  });
+  const int fd = tcp::Connect(port_future.get());
+
+  const auto pause = [] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  };
+  // 1: a request torn across two writes, split mid-keyword.
+  tcp::WriteAll(fd, "{\"op\":\"spr");
+  pause();
+  tcp::WriteAll(fd, "ead\",\"seeds\":[4],\"id\":1}\n");
+  // 2 + 3: two requests in one write, the second torn mid-line; its tail
+  // shares a write with binary garbage (4).
+  tcp::WriteAll(fd,
+                "{\"op\":\"spread\",\"seeds\":[4],\"id\":2}\n"
+                "{\"op\":\"cascade\",\"seeds\":[4],\"wor");
+  pause();
+  tcp::WriteAll(fd, std::string("ld\":0,\"id\":3}\n\x00\x01\xff\xfe\n", 34));
+  // 5: an oversized line (beyond max_line_bytes=128), then 6: recovery.
+  std::string giant = "{\"id\":5,\"pad\":\"";
+  giant.append(300, 'y');
+  giant += "\"}\n";
+  tcp::WriteAll(fd, giant);
+  tcp::WriteAll(fd, "{\"op\":\"spread\",\"seeds\":[4],\"id\":6}\n");
+  ::shutdown(fd, SHUT_WR);
+  const std::vector<std::string> lines =
+      SplitLines(tcp::ReadUntilEof(fd));
+  ::close(fd);
+  server.join();
+
+  ASSERT_EQ(lines.size(), 6u);
+  EXPECT_EQ(lines[0].rfind("{\"id\":1,\"status\":\"ok\"", 0), 0u);
+  EXPECT_EQ(lines[1].rfind("{\"id\":2,\"status\":\"ok\"", 0), 0u);
+  EXPECT_EQ(lines[2].rfind("{\"id\":3,\"status\":\"ok\"", 0), 0u);
+  EXPECT_EQ(lines[3].rfind("{\"id\":-1,\"status\":\"invalid_argument\"", 0),
+            0u)
+      << lines[3];
+  EXPECT_EQ(lines[4].rfind("{\"id\":5,\"status\":\"invalid_argument\"", 0),
+            0u)
+      << lines[4];
+  EXPECT_NE(lines[4].find("max_line_bytes=128"), std::string::npos);
+  EXPECT_EQ(lines[5].rfind("{\"id\":6,\"status\":\"ok\"", 0), 0u);
+}
+
+// Cross-connection batching with a window: requests from separate
+// connections arriving inside the window coalesce into one engine batch
+// (visible via the serve/batch_size histogram) and still demux correctly.
+TEST(ServeTcpTest, BatchWindowCoalescesAcrossConnections) {
+  Engine engine = MakeEngine(PaperExampleGraph());
+  std::promise<uint16_t> port_promise;
+  std::future<uint16_t> port_future = port_promise.get_future();
+  ServeOptions options;
+  options.max_connections = 2;
+  options.batch_window_us = 50000;  // 50ms: generous on a loaded CI box
+  options.on_listening = [&](uint16_t port) { port_promise.set_value(port); };
+  std::thread server([&] {
+    const Status status = ServeTcp(&engine, /*port=*/0, options);
+    SOI_CHECK(status.ok());
+  });
+  const uint16_t port = port_future.get();
+  std::vector<std::string> got(2);
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 2; ++c) {
+    clients.emplace_back([&, c] {
+      const int fd = tcp::Connect(port);
+      tcp::WriteAll(fd, "{\"op\":\"spread\",\"seeds\":[4],\"id\":" +
+                            std::to_string(c) + "}\n");
+      ::shutdown(fd, SHUT_WR);
+      got[c] = tcp::ReadUntilEof(fd);
+      ::close(fd);
+    });
+  }
+  for (auto& t : clients) t.join();
+  server.join();
+  for (int c = 0; c < 2; ++c) {
+    EXPECT_EQ(got[c].rfind("{\"id\":" + std::to_string(c) + ",\"status\":"
+                           "\"ok\"",
+                           0),
+              0u)
+        << got[c];
+  }
 }
 
 }  // namespace

@@ -253,7 +253,13 @@ std::vector<CommandSpec> Commands() {
                    {"batch-max", FlagType::kInt, "0",
                     "serve-loop flush threshold (0 = max-batch)"},
                    {"max-connections", FlagType::kInt, "0",
-                    "TCP only: stop after N connections (0 = forever)"}},
+                    "TCP only: stop after N connections (0 = forever)"},
+                   {"batch-window-us", FlagType::kInt, "0",
+                    "cross-connection batching window in microseconds "
+                    "(0 = flush once the ready set drains)"},
+                   {"max-line-bytes", FlagType::kInt, "1048576",
+                    "longest accepted request line; longer lines get an "
+                    "in-order error and are dropped (0 = unlimited)"}},
                   /*graph=*/true, /*index=*/true)});
   commands.push_back(
       {"update", "apply an edge-update stream to an incremental index", "",
@@ -942,6 +948,22 @@ int CmdServe(const FlagParser& flags) {
   }
   serve_options.batch_max = static_cast<uint32_t>(batch_max);
   serve_options.max_connections = static_cast<uint32_t>(max_connections);
+  CLI_ASSIGN(batch_window_us, flags.GetInt("batch-window-us", 0));
+  CLI_ASSIGN(max_line_bytes, flags.GetInt("max-line-bytes", 1 << 20));
+  if (batch_window_us < 0 || max_line_bytes < 0) {
+    return Fail(Status::InvalidArgument(
+        "serve: --batch-window-us and --max-line-bytes must be >= 0"));
+  }
+  serve_options.batch_window_us = static_cast<uint32_t>(batch_window_us);
+  serve_options.max_line_bytes = static_cast<size_t>(max_line_bytes);
+  // Printed from the on_listening callback so --port 0 reports the actual
+  // ephemeral port the kernel chose — supervisors and smoke scripts parse
+  // this line to learn where to connect.
+  serve_options.on_listening = [](uint16_t port) {
+    std::fprintf(stderr, "serve: listening on 127.0.0.1:%u\n",
+                 static_cast<unsigned>(port));
+    std::fflush(stderr);
+  };
 
   const bool dynamic = flags.GetBool("dynamic", false);
   CLI_ASSIGN(drift_threshold, flags.GetInt("drift-rebuild-threshold", 0));
@@ -1018,11 +1040,8 @@ int CmdServe(const FlagParser& flags) {
       served = service::ServeStream(&handle, /*in_fd=*/0, /*out_fd=*/1,
                                     serve_options);
     } else {
-      uint16_t bound_port = 0;
-      std::fprintf(stderr, "serve: listening on 127.0.0.1:%lld\n",
-                   static_cast<long long>(port_i64));
       served = service::ServeTcp(&handle, static_cast<uint16_t>(port_i64),
-                                 serve_options, &bound_port);
+                                 serve_options);
     }
     ::sigaction(SIGHUP, &previous, nullptr);
     if (!served.ok()) return Fail(served);
@@ -1115,11 +1134,8 @@ int CmdServe(const FlagParser& flags) {
       served = service::ServeStream(&handle, /*in_fd=*/0, /*out_fd=*/1,
                                     serve_options);
     } else {
-      uint16_t bound_port = 0;
-      std::fprintf(stderr, "serve: listening on 127.0.0.1:%lld\n",
-                   static_cast<long long>(port_i64));
       served = service::ServeTcp(&handle, static_cast<uint16_t>(port_i64),
-                                 serve_options, &bound_port);
+                                 serve_options);
     }
     if (rebuild.valid()) rebuild.wait();  // don't orphan a rebuild thread
     if (!served.ok()) return Fail(served);
@@ -1135,11 +1151,8 @@ int CmdServe(const FlagParser& flags) {
     served = service::ServeStream(&engine, /*in_fd=*/0, /*out_fd=*/1,
                                   serve_options);
   } else {
-    uint16_t bound_port = 0;
-    std::fprintf(stderr, "serve: listening on 127.0.0.1:%lld\n",
-                 static_cast<long long>(port_i64));
     served = service::ServeTcp(&engine, static_cast<uint16_t>(port_i64),
-                               serve_options, &bound_port);
+                               serve_options);
   }
   if (!served.ok()) return Fail(served);
   return 0;
